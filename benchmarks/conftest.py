@@ -1,0 +1,13 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper table/figure via its experiment driver
+and asserts every paper claim.  ``pytest benchmarks/ --benchmark-only``
+therefore doubles as the reproduction gate: timings tell you the cost of
+regenerating each artifact; assertion failures tell you a paper-level
+conclusion no longer holds.
+"""
+
+
+def assert_claims(result):
+    """Fail with the full report if any paper claim broke."""
+    assert result.all_claims_hold, "\n" + result.report()

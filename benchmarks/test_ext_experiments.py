@@ -1,0 +1,25 @@
+"""Benches for the packaged extension experiments (ext-* ids)."""
+
+from conftest import assert_claims
+
+from repro.experiments.extensions import ext_dvfs, ext_skew, ext_stream, ext_trends
+
+
+def test_ext_trends(benchmark):
+    result = benchmark(ext_trends)
+    assert_claims(result)
+
+
+def test_ext_skew(benchmark):
+    result = benchmark(ext_skew)
+    assert_claims(result)
+
+
+def test_ext_dvfs(benchmark):
+    result = benchmark(ext_dvfs)
+    assert_claims(result)
+
+
+def test_ext_stream(benchmark):
+    result = benchmark(ext_stream)
+    assert_claims(result)

@@ -1,0 +1,68 @@
+"""Extension benches: DVFS and multi-query suites (Section 7 future work)."""
+
+from repro.core.design_space import DesignSpaceExplorer
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.dvfs import dvfs_variant
+from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
+from repro.pstore.engine import PStore, PStoreConfig
+from repro.workloads.queries import q3_join, section54_join
+from repro.workloads.suite import WorkloadSuite, suite_tradeoff_curve
+
+
+def dvfs_vs_downsizing():
+    """Three ways to save energy on a network-bound join, 8-node budget."""
+    workload = q3_join(1000, 0.05, 0.05)
+    config = PStoreConfig(warm_cache=True)
+
+    def run(cluster):
+        return PStore(cluster, config=config, record_intervals=False).simulate(workload)
+
+    nominal = run(ClusterSpec.homogeneous(CLUSTER_V_NODE, 8, name="8N"))
+    downsized = run(ClusterSpec.homogeneous(CLUSTER_V_NODE, 4, name="4N"))
+    scaled = run(
+        ClusterSpec.homogeneous(dvfs_variant(CLUSTER_V_NODE, 0.6), 8, name="8N@60%")
+    )
+    return nominal, downsized, scaled
+
+
+def test_dvfs_beats_downsizing_for_network_bound_joins(benchmark):
+    """DVFS sheds watts without touching the network bottleneck, so it
+    saves energy at (almost) no performance cost — downsizing cannot."""
+    nominal, downsized, scaled = benchmark(dvfs_vs_downsizing)
+    # DVFS: same speed, less energy.
+    assert scaled.makespan_s <= nominal.makespan_s * 1.02
+    assert scaled.energy_j < nominal.energy_j * 0.80
+    # Downsizing: saves energy too, but pays ~40% in latency.
+    assert downsized.energy_j < nominal.energy_j
+    assert downsized.makespan_s > nominal.makespan_s * 1.3
+    # At equal performance budgets, DVFS dominates here.
+    assert scaled.energy_j < downsized.energy_j
+
+
+def suite_design_selection():
+    from repro.workloads.suite import SuiteEntry
+
+    suite = WorkloadSuite(
+        name="nightly-reports",
+        entries=(
+            # a scalable scan-heavy report (runs 3x per night)
+            SuiteEntry(section54_join(0.01, 0.10), weight=3.0),
+            # a bottlenecked repartitioning join
+            SuiteEntry(section54_join(0.10, 0.02), weight=1.0),
+        ),
+    )
+    explorer = DesignSpaceExplorer(CLUSTER_V_NODE, WIMPY_LAPTOP_B, cluster_size=8)
+    return suite_tradeoff_curve(suite, explorer)
+
+
+def test_suite_level_advisor(benchmark):
+    """Suite-level curves keep the single-query conclusions: Wimpy
+    substitution wins subject to the Beefy-memory feasibility cut."""
+    curve = benchmark(suite_design_selection)
+    labels = [p.label for p in curve]
+    assert labels[0] == "8B,0W"
+    assert "0B,8W" not in labels  # heterogeneous query needs beefy nodes
+    best = curve.best_design(target_performance=0.6)
+    norm = curve.normalized_point(best.label)
+    assert best.num_wimpy > 0
+    assert norm.energy < 0.85

@@ -1,0 +1,15 @@
+"""Figure 1: framing results (Vertica Q12 sweep; modeled mixes)."""
+
+from conftest import assert_claims
+
+from repro.experiments.fig01 import fig1a, fig1b
+
+
+def test_fig1a(benchmark):
+    result = benchmark(fig1a)
+    assert_claims(result)
+
+
+def test_fig1b(benchmark):
+    result = benchmark(fig1b)
+    assert_claims(result)

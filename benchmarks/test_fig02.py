@@ -1,0 +1,15 @@
+"""Figure 2: Vertica Q1/Q21 — scalable queries have flat energy."""
+
+from conftest import assert_claims
+
+from repro.experiments.fig02 import fig2a, fig2b
+
+
+def test_fig2a(benchmark):
+    result = benchmark(fig2a)
+    assert_claims(result)
+
+
+def test_fig2b(benchmark):
+    result = benchmark(fig2b)
+    assert_claims(result)

@@ -1,0 +1,10 @@
+"""Figure 3: dual-shuffle join under concurrency (simulator)."""
+
+from conftest import assert_claims
+
+from repro.experiments.fig03 import fig3
+
+
+def test_fig3(benchmark):
+    result = benchmark(fig3)
+    assert_claims(result)

@@ -1,0 +1,10 @@
+"""Figure 4: broadcast join under concurrency (simulator)."""
+
+from conftest import assert_claims
+
+from repro.experiments.fig04 import fig4
+
+
+def test_fig4(benchmark):
+    result = benchmark(fig4)
+    assert_claims(result)

@@ -1,0 +1,10 @@
+"""Figure 5: half- vs full-cluster energy by execution plan."""
+
+from conftest import assert_claims
+
+from repro.experiments.fig05 import fig5
+
+
+def test_fig5(benchmark):
+    result = benchmark(fig5)
+    assert_claims(result)

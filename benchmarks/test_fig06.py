@@ -1,0 +1,10 @@
+"""Figure 6: single-node hash-join energy across hardware classes."""
+
+from conftest import assert_claims
+
+from repro.experiments.fig06 import fig6
+
+
+def test_fig6(benchmark):
+    result = benchmark(fig6)
+    assert_claims(result)

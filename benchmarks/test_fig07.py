@@ -1,0 +1,15 @@
+"""Figure 7: all-Beefy vs 2-Beefy/2-Wimpy prototype clusters."""
+
+from conftest import assert_claims
+
+from repro.experiments.fig07 import fig7a, fig7b
+
+
+def test_fig7a(benchmark):
+    result = benchmark(fig7a)
+    assert_claims(result)
+
+
+def test_fig7b(benchmark):
+    result = benchmark(fig7b)
+    assert_claims(result)

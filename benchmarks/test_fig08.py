@@ -1,0 +1,10 @@
+"""Figure 8: model validation, homogeneous plans (5% bound)."""
+
+from conftest import assert_claims
+
+from repro.experiments.fig08 import fig8
+
+
+def test_fig8(benchmark):
+    result = benchmark(fig8)
+    assert_claims(result)

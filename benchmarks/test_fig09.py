@@ -1,0 +1,10 @@
+"""Figure 9: model validation, heterogeneous plans (10% bound)."""
+
+from conftest import assert_claims
+
+from repro.experiments.fig08 import fig9
+
+
+def test_fig9(benchmark):
+    result = benchmark(fig9)
+    assert_claims(result)

@@ -1,0 +1,15 @@
+"""Figure 10: modeled design space at two selectivity settings."""
+
+from conftest import assert_claims
+
+from repro.experiments.fig10 import fig10a, fig10b
+
+
+def test_fig10a(benchmark):
+    result = benchmark(fig10a)
+    assert_claims(result)
+
+
+def test_fig10b(benchmark):
+    result = benchmark(fig10b)
+    assert_claims(result)

@@ -1,0 +1,10 @@
+"""Figure 11: knee migration with probe selectivity."""
+
+from conftest import assert_claims
+
+from repro.experiments.fig11 import fig11
+
+
+def test_fig11(benchmark):
+    result = benchmark(fig11)
+    assert_claims(result)

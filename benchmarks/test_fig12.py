@@ -1,0 +1,10 @@
+"""Figure 12: the design-principles advisor end-to-end."""
+
+from conftest import assert_claims
+
+from repro.experiments.fig12 import fig12
+
+
+def test_fig12(benchmark):
+    result = benchmark(fig12)
+    assert_claims(result)

@@ -1,0 +1,71 @@
+"""Extension bench: data skew (Section 4.1 / future work).
+
+The paper flags skew as a bottleneck that creates "cluster and server
+imbalances even in highly tuned configurations".  This bench quantifies it:
+Zipf-skewed partitions stretch response time (the barrier waits for the hot
+node) and erode the energy savings that downsizing a bottlenecked cluster
+would otherwise deliver.
+"""
+
+import pytest
+
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.presets import CLUSTER_V_NODE
+from repro.pstore.engine import PStore, PStoreConfig
+from repro.simulator.network import SMC_GS5_SWITCH
+from repro.workloads.queries import q3_join
+from repro.workloads.skew import imbalance, zipf_partition_weights
+
+WORKLOAD = q3_join(1000, 0.05, 0.05)
+
+
+def run_skew_grid():
+    results = {}
+    for theta in (0.0, 0.5, 1.0):
+        for nodes in (8, 4):
+            engine = PStore(
+                ClusterSpec.homogeneous(CLUSTER_V_NODE, nodes, name=f"{nodes}N"),
+                switch=SMC_GS5_SWITCH,
+                config=PStoreConfig(warm_cache=True),
+                record_intervals=False,
+            )
+            weights = zipf_partition_weights(nodes, theta)
+            results[(theta, nodes)] = engine.simulate(
+                WORKLOAD, partition_weights=weights
+            )
+    return results
+
+
+def test_skew_stretches_response_time(benchmark):
+    results = benchmark(run_skew_grid)
+    for nodes in (8, 4):
+        uniform = results[(0.0, nodes)].makespan_s
+        mild = results[(0.5, nodes)].makespan_s
+        heavy = results[(1.0, nodes)].makespan_s
+        assert uniform < mild < heavy, f"{nodes}N: skew must slow the join"
+
+
+def test_skew_amplifies_downsizing_savings():
+    """Section 4.1: skew creates imbalances 'especially as the system
+    scales' — under a Zipf placement the hot node's share of the data grows
+    with cluster size, so the big cluster wastes proportionally more idle
+    capacity and downsizing saves even more energy."""
+    results = run_skew_grid()
+    savings = {
+        theta: 1.0 - results[(theta, 4)].energy_j / results[(theta, 8)].energy_j
+        for theta in (0.0, 0.5, 1.0)
+    }
+    assert savings[0.0] > 0.10  # the baseline Figure 3 effect
+    assert savings[0.0] < savings[0.5] < savings[1.0]
+    # the hot node's relative share at 8 nodes exceeds its share at 4
+    assert imbalance(zipf_partition_weights(8, 1.0)) > imbalance(
+        zipf_partition_weights(4, 1.0)
+    )
+
+
+def test_imbalance_metric_tracks_theta():
+    assert (
+        imbalance(zipf_partition_weights(8, 0.0))
+        < imbalance(zipf_partition_weights(8, 0.5))
+        < imbalance(zipf_partition_weights(8, 1.0))
+    )

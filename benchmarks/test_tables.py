@@ -1,0 +1,20 @@
+"""Tables 1-3: configuration, hardware, and model constants."""
+
+from conftest import assert_claims
+
+from repro.experiments.tables import tbl1, tbl2, tbl3
+
+
+def test_table1(benchmark):
+    result = benchmark(tbl1)
+    assert_claims(result)
+
+
+def test_table2(benchmark):
+    result = benchmark(tbl2)
+    assert_claims(result)
+
+
+def test_table3(benchmark):
+    result = benchmark(tbl3)
+    assert_claims(result)

@@ -1,0 +1,21 @@
+"""Full design study in one call.
+
+`design_report` runs the library's complete pipeline — plan, simulate,
+diagnose the bottleneck, sweep homogeneous sizes and Beefy/Wimpy mixes,
+apply the Section 6 principles, and sanity-check against a faster
+interconnect — and renders it as a single operator-facing report.
+
+Run:  python examples/design_report.py
+"""
+
+from repro import CLUSTER_V_NODE, WIMPY_LAPTOP_B, section54_join
+from repro.core.report import design_report
+
+report = design_report(
+    query=section54_join(build_selectivity=0.10, probe_selectivity=0.02),
+    beefy=CLUSTER_V_NODE,
+    wimpy=WIMPY_LAPTOP_B,
+    cluster_size=8,
+    target_performance=0.60,  # the SLA tolerates a 40% slowdown
+)
+print(report)

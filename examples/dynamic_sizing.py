@@ -1,0 +1,77 @@
+"""Dynamic cluster sizing: replicas + power states around a bottlenecked join.
+
+Combines three pieces the paper points at but leaves to future work:
+
+1. **replication** (chained declustering) lets a query run on fewer nodes
+   without repartitioning — the inactive nodes' partitions are served by
+   replicas on the survivors;
+2. **power-state costs** decide whether the inactive nodes are worth
+   actually powering off (boot/shutdown cycles cost time and energy);
+3. the **simulator** prices the shrunk configuration, including the load
+   imbalance the replica assignment induces.
+
+Run:  python examples/dynamic_sizing.py
+"""
+
+from repro import ClusterSpec, CLUSTER_V_NODE
+from repro.analysis.report import render_table
+from repro.hardware.powerstate import (
+    TRADITIONAL_SERVER,
+    downsizing_break_even_s,
+    downsizing_net_energy_j,
+)
+from repro.pstore import PStore, PStoreConfig
+from repro.pstore.replication import ReplicatedLayout
+from repro.workloads.queries import q3_join
+
+WORKLOAD = q3_join(scale_factor=1000, build_selectivity=0.05, probe_selectivity=0.05)
+LAYOUT = ReplicatedLayout(num_nodes=8, num_partitions=16, replication_factor=2)
+CONFIG = PStoreConfig(warm_cache=True)
+
+rows = []
+baseline = None
+for active_count in (8, 6, 5, 4):
+    active = LAYOUT.choose_active_nodes(active_count)
+    weights = LAYOUT.load_weights(active)
+    engine = PStore(
+        ClusterSpec.homogeneous(CLUSTER_V_NODE, active_count, name=f"{active_count}N"),
+        config=CONFIG,
+        record_intervals=False,
+    )
+    result = engine.simulate(WORKLOAD, partition_weights=weights)
+    if baseline is None:
+        baseline = result
+    rows.append(
+        (
+            f"{active_count} of 8",
+            f"{max(weights):.2f}x",
+            f"{result.makespan_s:.1f}",
+            f"{baseline.makespan_s / result.makespan_s:.2f}",
+            f"{1 - result.energy_j / baseline.energy_j:+.1%}",
+        )
+    )
+
+print(
+    render_table(
+        ("active nodes", "hottest node load", "time (s)", "perf ratio",
+         "query energy saving"),
+        rows,
+        title="Replica-served downsizing of a network-bound shuffle join",
+    )
+)
+print()
+
+break_even = downsizing_break_even_s(CLUSTER_V_NODE, model=TRADITIONAL_SERVER)
+print(
+    f"Powering an idle cluster-V node off pays for its boot/shutdown cycle "
+    f"after ~{break_even / 60:.1f} minutes of idleness."
+)
+for hours in (0.05, 0.5, 4.0):
+    net = downsizing_net_energy_j(
+        CLUSTER_V_NODE, idle_nodes=4, off_duration_s=hours * 3600
+    )
+    verdict = "saves" if net > 0 else "wastes"
+    print(
+        f"  turning 4 nodes off for {hours:g} h {verdict} "
+        f"{abs(net) / 1000:.0f} kJ net"
+    )

@@ -1,0 +1,70 @@
+"""Power-model calibration: from meter readings to a SysPower regression.
+
+The Section 3.1 workflow for onboarding a new server type:
+
+1. hold the node at a series of CPU-utilization levels (the paper ran
+   concurrent hash joins to do this),
+2. read average power through the management interface (iLO2: 5-minute
+   windows, three per level),
+3. fit exponential, power-law, and logarithmic regressions,
+4. keep the best R² — that becomes the node's SysPower model.
+
+Here the "server" is a simulated machine whose true behaviour we know, so
+you can see the recovered model match the ground truth.
+
+Run:  python examples/power_calibration.py
+"""
+
+from repro import NodeSpec, PowerLawModel
+from repro.analysis.report import render_table
+from repro.hardware.calibration import (
+    fit_best_model,
+    fit_exponential,
+    fit_logarithmic,
+    fit_power_law,
+)
+from repro.hardware.meter import ILO2Interface
+
+# Ground truth for the "new" server: a power-law curve we pretend not to know.
+TRUE_MODEL = PowerLawModel(coefficient=95.0, exponent=0.31)
+
+UTILIZATION_LEVELS = (0.05, 0.10, 0.20, 0.35, 0.50, 0.65, 0.80, 0.90, 1.00)
+
+ilo2 = ILO2Interface(accuracy=0.01, seed=7)
+readings = ilo2.utilization_sweep(TRUE_MODEL.power, UTILIZATION_LEVELS)
+
+print(
+    render_table(
+        ("CPU utilization", "measured watts"),
+        [(f"{u:.0%}", f"{w:.1f}") for u, w in readings],
+        title="iLO2 readings (three 5-minute windows per level, 1% accuracy)",
+    )
+)
+print()
+
+fits = [fit_power_law(readings), fit_exponential(readings), fit_logarithmic(readings)]
+print(
+    render_table(
+        ("family", "fitted model", "R²"),
+        [(f.family, f.model.formula(), f"{f.r2:.5f}") for f in fits],
+        title="Candidate regressions",
+    )
+)
+print()
+
+best = fit_best_model(readings)
+print(f"selected: {best}")
+print(f"ground truth was: {TRUE_MODEL.formula()}")
+
+# The fitted model can go straight into a NodeSpec for cluster studies:
+node = NodeSpec(
+    name="new-server",
+    cpu_bandwidth_mbps=3000.0,
+    memory_mb=64_000.0,
+    disk_bandwidth_mbps=800.0,
+    nic_bandwidth_mbps=100.0,
+    power_model=best.model,
+    engine_base_utilization=0.20,
+)
+print(f"\nready for design studies: {node}")
+print(f"idle ~{node.idle_power_w:.0f} W, peak ~{node.peak_power_w:.0f} W")

@@ -1,0 +1,46 @@
+"""Provisioning advisor: apply the paper's design principles to an SLA.
+
+Scenario: a nightly reporting workload runs a large repartitioning join.
+The SLA tolerates a 40% slowdown relative to the full 8-server cluster.
+Should we (a) keep all servers, (b) power a subset, or (c) swap servers
+for low-power nodes?  This is Figure 12 as a decision tool.
+
+Run:  python examples/provisioning_advisor.py
+"""
+
+from repro import CLUSTER_V_NODE, WIMPY_LAPTOP_B, recommend_design
+from repro.core.design_space import DesignSpaceExplorer
+from repro.pstore.plans import ExecutionMode
+from repro.workloads.queries import section54_join
+
+TARGET = 0.60  # normalized performance floor from the SLA
+
+explorer = DesignSpaceExplorer(
+    CLUSTER_V_NODE, WIMPY_LAPTOP_B, cluster_size=8, strict_paper_conditions=True
+)
+
+SCENARIOS = {
+    "highly selective scan-heavy query (scales ideally)": section54_join(0.01, 0.01),
+    "repartitioning join, selective probe (bottlenecked)": section54_join(0.10, 0.02),
+}
+
+for description, workload in SCENARIOS.items():
+    print(f"--- {description} ---")
+    homo = explorer.sweep_sizes(
+        workload, sizes=(8, 6, 4, 2), mode=ExecutionMode.HOMOGENEOUS
+    )
+    try:
+        hetero = explorer.sweep(workload)
+    except Exception:
+        hetero = None
+    recommendation = recommend_design(
+        homo, target_performance=TARGET, heterogeneous_curve=hetero
+    )
+    print(f"principle: {recommendation.principle.value}")
+    print(f"recommended design: {recommendation.design.label}")
+    print(
+        f"expected: {recommendation.normalized_performance:.0%} of full-cluster "
+        f"performance at {recommendation.normalized_energy:.0%} of its energy"
+    )
+    print(f"why: {recommendation.rationale}")
+    print()

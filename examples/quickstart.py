@@ -1,0 +1,51 @@
+"""Quickstart: explore the energy/performance trade-off of a cluster design.
+
+This walks the paper's core loop in ~40 lines:
+
+1. describe a parallel hash-join workload (tables, selectivities),
+2. enumerate Beefy/Wimpy cluster designs with the analytical model,
+3. look at the normalized energy-vs-performance curve and the EDP line,
+4. pick the best design for a performance target.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CLUSTER_V_NODE, WIMPY_LAPTOP_B, DesignSpaceExplorer, HashJoinQuery
+from repro.analysis.report import render_normalized_curve
+
+# The Section 5.4 join: a 700 GB ORDERS table (10% of tuples pass the
+# predicate) joined against a 2.8 TB LINEITEM table (1% pass).
+query = HashJoinQuery(
+    name="orders-x-lineitem",
+    build_volume_mb=700_000.0,
+    probe_volume_mb=2_800_000.0,
+    build_selectivity=0.10,
+    probe_selectivity=0.01,
+)
+
+# An 8-node cluster that can mix traditional Xeon servers ("Beefy") with
+# low-power laptops-as-servers ("Wimpy").
+explorer = DesignSpaceExplorer(
+    beefy=CLUSTER_V_NODE, wimpy=WIMPY_LAPTOP_B, cluster_size=8
+)
+
+curve = explorer.sweep(query)
+print(render_normalized_curve("8-node designs, normalized to all-Beefy", curve.normalized()))
+print()
+
+below = curve.below_edp_points()
+print(f"{len(below)} designs beat the constant-EDP trade-off:")
+for point in below:
+    print(
+        f"  {point.label}: {1 - point.energy:.0%} energy saved for "
+        f"{1 - point.performance:.0%} performance lost"
+    )
+print()
+
+# "We can tolerate a 30% slowdown" -> which design minimizes energy?
+best = curve.best_design(target_performance=0.70)
+norm = curve.normalized_point(best.label)
+print(
+    f"Best design at a 0.70 performance target: {best.label} "
+    f"(energy ratio {norm.energy:.2f}, performance ratio {norm.performance:.2f})"
+)

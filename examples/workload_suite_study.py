@@ -1,0 +1,61 @@
+"""Workload-suite study: designing for a whole nightly batch, not one query.
+
+The paper's future-work: "expand the study to include entire workloads".
+This example prices a weighted mix of three reports — a scalable scan, a
+moderately bottlenecked join, and a heavily repartitioning join — across
+all Beefy/Wimpy designs of an 8-node cluster, and picks a design for a 30%
+acceptable slowdown.
+
+Run:  python examples/workload_suite_study.py
+"""
+
+from repro import CLUSTER_V_NODE, WIMPY_LAPTOP_B
+from repro.analysis.report import render_normalized_curve
+from repro.core.design_space import DesignSpaceExplorer
+from repro.workloads.queries import JoinWorkloadSpec
+from repro.workloads.suite import SuiteEntry, WorkloadSuite, suite_tradeoff_curve
+
+
+def report(name, build_sel, probe_sel, weight):
+    return SuiteEntry(
+        JoinWorkloadSpec(
+            name=name,
+            build_volume_mb=700_000.0,
+            probe_volume_mb=2_800_000.0,
+            build_selectivity=build_sel,
+            probe_selectivity=probe_sel,
+        ),
+        weight=weight,
+    )
+
+
+SUITE = WorkloadSuite(
+    name="nightly-batch",
+    entries=(
+        report("daily-scan-report", 0.01, 0.01, weight=5.0),   # scalable, frequent
+        report("weekly-rollup", 0.01, 0.10, weight=2.0),       # network-bound probe
+        report("quarterly-reparth", 0.10, 0.02, weight=1.0),   # heterogeneous-mode
+    ),
+)
+
+explorer = DesignSpaceExplorer(CLUSTER_V_NODE, WIMPY_LAPTOP_B, cluster_size=8)
+curve = suite_tradeoff_curve(SUITE, explorer)
+
+print(
+    render_normalized_curve(
+        f"suite '{SUITE.name}' across 8-node designs (vs all-Beefy)",
+        curve.normalized(),
+    )
+)
+print()
+
+for target in (0.9, 0.7, 0.5):
+    try:
+        best = curve.best_design(target_performance=target)
+        norm = curve.normalized_point(best.label)
+        print(
+            f"target {target:.0%} performance -> {best.label}: "
+            f"energy {norm.energy:.2f}, performance {norm.performance:.2f}"
+        )
+    except Exception as error:  # pragma: no cover - illustrative
+        print(f"target {target:.0%}: {error}")

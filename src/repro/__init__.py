@@ -1,0 +1,109 @@
+"""repro — reproduction of *Towards Energy-Efficient Database Cluster Design*.
+
+Lang, Harizopoulos, Patel, Shah, Tsirogiannis — PVLDB 5(11), 2012.
+
+The library provides:
+
+* :mod:`repro.hardware` — node specs, power models, calibration, meters;
+* :mod:`repro.simulator` — fluid discrete-event cluster simulator;
+* :mod:`repro.workloads` — TPC-H schema/sizing, data generation, queries;
+* :mod:`repro.pstore` — the P-store parallel query engine (functional and
+  simulated executors);
+* :mod:`repro.dbms` — behavioural models of Vertica-like and HadoopDB-like
+  parallel DBMSs;
+* :mod:`repro.core` — the paper's analytical model, design-space explorer,
+  EDP analysis, and cluster design principles;
+* :mod:`repro.analysis` — metrics, normalized curves, ASCII reports;
+* :mod:`repro.experiments` — one driver per paper table/figure.
+
+Quickstart::
+
+    from repro import (
+        ClusterSpec, CLUSTER_V_NODE, WIMPY_LAPTOP_B,
+        HashJoinQuery, PStoreModel, DesignSpaceExplorer,
+    )
+
+    query = HashJoinQuery.tpch_orders_lineitem(
+        scale_factor=1000, build_selectivity=0.10, probe_selectivity=0.01)
+    explorer = DesignSpaceExplorer(
+        beefy=CLUSTER_V_NODE, wimpy=WIMPY_LAPTOP_B, cluster_size=8)
+    curve = explorer.sweep(query)
+    print(curve.best_design(target_performance=0.6))
+"""
+
+from repro.core.design_space import DesignPoint, DesignSpaceExplorer, TradeoffCurve
+from repro.core.edp import edp, normalized_series
+from repro.core.model import (
+    HashJoinQuery,
+    ModelConstants,
+    ModelParameters,
+    Prediction,
+    PStoreModel,
+)
+from repro.core.principles import DesignRecommendation, recommend_design
+from repro.errors import ReproError
+from repro.hardware.cluster import ClusterSpec, NodeGroup
+from repro.hardware.dvfs import dvfs_variant
+from repro.hardware.node import NodeSpec
+from repro.hardware.power import (
+    ExponentialModel,
+    IdlePeakModel,
+    LogarithmicModel,
+    PowerLawModel,
+    PowerModel,
+)
+from repro.hardware.presets import (
+    BEEFY_L5630,
+    CLUSTER_V_NODE,
+    LAPTOP_B,
+    TABLE2_SYSTEMS,
+    WIMPY_LAPTOP_B,
+)
+from repro.pstore.engine import PStore, PStoreConfig
+from repro.pstore.replication import ReplicatedLayout
+from repro.workloads.queries import JoinMethod, JoinWorkloadSpec, q3_join, section54_join
+from repro.workloads.suite import WorkloadSuite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    # hardware
+    "NodeSpec",
+    "NodeGroup",
+    "ClusterSpec",
+    "PowerModel",
+    "PowerLawModel",
+    "ExponentialModel",
+    "LogarithmicModel",
+    "IdlePeakModel",
+    "CLUSTER_V_NODE",
+    "BEEFY_L5630",
+    "WIMPY_LAPTOP_B",
+    "LAPTOP_B",
+    "TABLE2_SYSTEMS",
+    # core
+    "HashJoinQuery",
+    "ModelConstants",
+    "ModelParameters",
+    "PStoreModel",
+    "Prediction",
+    "DesignPoint",
+    "DesignSpaceExplorer",
+    "TradeoffCurve",
+    "edp",
+    "normalized_series",
+    "DesignRecommendation",
+    "recommend_design",
+    # engine & workloads
+    "PStore",
+    "PStoreConfig",
+    "JoinMethod",
+    "JoinWorkloadSpec",
+    "q3_join",
+    "section54_join",
+    "WorkloadSuite",
+    "ReplicatedLayout",
+    "dvfs_variant",
+]

@@ -1,0 +1,16 @@
+"""Analysis and reporting: metrics, curve helpers, ASCII renderers."""
+
+from repro.analysis.metrics import energy_summary, joules_per_qualifying_mb
+from repro.analysis.report import (
+    render_normalized_curve,
+    render_series,
+    render_table,
+)
+
+__all__ = [
+    "energy_summary",
+    "joules_per_qualifying_mb",
+    "render_table",
+    "render_series",
+    "render_normalized_curve",
+]

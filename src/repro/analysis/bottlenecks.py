@@ -1,0 +1,96 @@
+"""Bottleneck attribution: where does execution time actually go?
+
+Section 4.1 classifies the causes of sub-linear speedup — hardware
+bottlenecks (network, disk), the broadcast's algorithmic bottleneck, data
+skew.  The fluid simulator records, for every interval, which resource
+capped each flow; this module aggregates those bindings into the numbers
+the paper quotes, e.g. *"Query 12 spends 48% of the query time network
+bottlenecked during repartitioning"*.
+
+:func:`derive_query_profile` closes the loop with the Section 3 substrate:
+it converts a simulated P-store run into the black-box
+local-fraction/shuffle characterization the Vertica-like model consumes —
+the "initial hardware calibration data and query optimizer information" of
+the Section 6 design procedure.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.dbms.vertica_like import QueryProfile
+from repro.errors import SimulationError
+from repro.simulator.engine import SimulationResult
+from repro.simulator.resources import CPU, DISK, NIC_IN, NIC_OUT
+
+__all__ = [
+    "bottleneck_breakdown",
+    "network_bound_fraction",
+    "derive_query_profile",
+]
+
+_KINDS = (CPU, DISK, NIC_IN, NIC_OUT)
+
+
+def bottleneck_breakdown(result: SimulationResult) -> dict[str, float]:
+    """Fraction of flow-time spent bound by each resource kind.
+
+    Flow-time weights each interval by how many flows it carried, so a
+    phase where eight nodes wait on the network counts eight times the
+    flow-time of a single straggler.  Fractions sum to 1.
+    """
+    if not result.intervals:
+        raise SimulationError(
+            "result has no recorded intervals; run with record_intervals=True"
+        )
+    totals: dict[str, float] = defaultdict(float)
+    for interval in result.intervals:
+        for binding in interval.flow_bindings:
+            kind = binding.partition(":")[0]
+            totals[kind] += interval.duration_s
+    grand_total = sum(totals.values())
+    if grand_total <= 0:
+        raise SimulationError("no flow-time recorded (all phases empty?)")
+    return {kind: totals.get(kind, 0.0) / grand_total for kind in _KINDS}
+
+
+def network_bound_fraction(result: SimulationResult) -> float:
+    """The paper's headline per-query number: share of flow-time that was
+    network-bound (inbound or outbound NIC)."""
+    breakdown = bottleneck_breakdown(result)
+    return breakdown[NIC_IN] + breakdown[NIC_OUT]
+
+
+def derive_query_profile(
+    result: SimulationResult,
+    name: str,
+    reference_nodes: int,
+    shuffle_scaling: float = 0.34,
+) -> QueryProfile:
+    """Black-box characterization of a simulated run.
+
+    * ``local_fraction`` = 1 − network-bound flow-time fraction,
+    * ``reference_time_s`` = the run's makespan,
+    * stage utilizations from the run's mean node utilization.
+
+    The returned profile plugs straight into
+    :class:`~repro.dbms.vertica_like.VerticaLikeDBMS`, so a P-store
+    measurement can drive the same size-sweep analyses as the paper's
+    published splits.
+    """
+    if reference_nodes <= 0:
+        raise SimulationError(f"reference_nodes must be > 0, got {reference_nodes}")
+    network_fraction = network_bound_fraction(result)
+    mean_util = sum(
+        result.mean_utilization(node)
+        for node in range(len(result.node_energy_j))
+    ) / len(result.node_energy_j)
+    return QueryProfile(
+        name=name,
+        local_fraction=1.0 - network_fraction,
+        reference_nodes=reference_nodes,
+        reference_time_s=result.makespan_s,
+        shuffle_scaling=shuffle_scaling,
+        local_utilization=min(1.0, max(0.01, mean_util)),
+        shuffle_utilization=min(1.0, max(0.01, mean_util * 0.6)),
+    )

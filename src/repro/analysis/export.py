@@ -1,0 +1,99 @@
+"""Exporting experiment results and trade-off curves to JSON/CSV.
+
+A reproduction harness is only useful if its outputs can leave the Python
+process: these helpers serialize :class:`ExperimentResult` objects (claims
+included) and normalized curves into plain structures, JSON strings, or
+CSV text that plotting scripts and CI dashboards can consume.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Sequence
+
+from repro.core.edp import NormalizedPoint
+from repro.errors import ReproError
+from repro.experiments.base import ExperimentResult
+
+__all__ = [
+    "curve_to_rows",
+    "curve_to_csv",
+    "experiment_to_dict",
+    "experiment_to_json",
+    "experiments_summary_csv",
+]
+
+
+def curve_to_rows(points: Sequence[NormalizedPoint]) -> list[dict[str, Any]]:
+    """Normalized curve as a list of plain dicts (one per design point)."""
+    return [
+        {
+            "label": point.label,
+            "performance": point.performance,
+            "energy": point.energy,
+            "edp_ratio": point.edp_ratio,
+            "below_edp": point.below_edp_curve,
+        }
+        for point in points
+    ]
+
+
+def curve_to_csv(points: Sequence[NormalizedPoint]) -> str:
+    """Normalized curve as CSV text with a header row."""
+    if not points:
+        raise ReproError("cannot export an empty curve")
+    buffer = io.StringIO()
+    writer = csv.DictWriter(
+        buffer,
+        fieldnames=["label", "performance", "energy", "edp_ratio", "below_edp"],
+    )
+    writer.writeheader()
+    for row in curve_to_rows(points):
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def experiment_to_dict(result: ExperimentResult) -> dict[str, Any]:
+    """JSON-safe summary of one experiment (data payloads are elided;
+    claims, title, and the rendered text are preserved)."""
+    return {
+        "id": result.experiment_id,
+        "title": result.title,
+        "all_claims_hold": result.all_claims_hold,
+        "claims": [
+            {
+                "description": claim.description,
+                "holds": claim.holds,
+                "detail": claim.detail,
+            }
+            for claim in result.claims
+        ],
+        "text": result.text,
+    }
+
+
+def experiment_to_json(result: ExperimentResult, indent: int | None = 2) -> str:
+    return json.dumps(experiment_to_dict(result), indent=indent)
+
+
+def experiments_summary_csv(results: Sequence[ExperimentResult]) -> str:
+    """One CSV row per experiment: id, title, claims passed/total."""
+    if not results:
+        raise ReproError("no experiment results to summarize")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["id", "title", "claims_passed", "claims_total", "status"])
+    for result in results:
+        passed = sum(1 for claim in result.claims if claim.holds)
+        writer.writerow(
+            [
+                result.experiment_id,
+                result.title,
+                passed,
+                len(result.claims),
+                "ok" if result.all_claims_hold else "FAILED",
+            ]
+        )
+    return buffer.getvalue()

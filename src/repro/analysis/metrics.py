@@ -1,0 +1,82 @@
+"""Derived metrics over simulation results and model predictions."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.errors import ModelError, SimulationError
+from repro.simulator.engine import SimulationResult
+from repro.workloads.queries import JoinWorkloadSpec
+
+__all__ = [
+    "EnergySummary",
+    "energy_summary",
+    "joules_per_qualifying_mb",
+    "attribute_energy_by_job",
+]
+
+
+@dataclass(frozen=True)
+class EnergySummary:
+    """Headline numbers of one run, in the units the paper reports."""
+
+    makespan_s: float
+    energy_j: float
+    average_power_w: float
+
+    @property
+    def energy_kj(self) -> float:
+        return self.energy_j / 1000.0
+
+    @property
+    def edp_js(self) -> float:
+        return self.energy_j * self.makespan_s
+
+
+def energy_summary(result: SimulationResult) -> EnergySummary:
+    """Summarize a simulator run."""
+    return EnergySummary(
+        makespan_s=result.makespan_s,
+        energy_j=result.energy_j,
+        average_power_w=result.average_power_w,
+    )
+
+
+def joules_per_qualifying_mb(
+    energy_j: float, workload: JoinWorkloadSpec
+) -> float:
+    """Energy per MB of qualifying (post-predicate) data processed.
+
+    A size-independent efficiency metric useful when comparing joins at
+    different selectivities.
+    """
+    qualifying = workload.qualifying_build_mb + workload.qualifying_probe_mb
+    if qualifying <= 0:
+        raise ModelError("workload has no qualifying data")
+    return energy_j / qualifying
+
+
+def attribute_energy_by_job(result: SimulationResult) -> dict[str, float]:
+    """Split cluster energy across concurrent jobs by flow-time share.
+
+    Each interval's energy is divided among the jobs with live flows in it,
+    weighted by how many flows each contributes — the natural accounting
+    for the paper's concurrent-join experiments ("what did each of the 4
+    joins cost?").  Intervals with no live flows (pure idle gaps between
+    arrivals) are attributed to ``"(idle)"``.  The attribution sums to the
+    run's total energy exactly.
+    """
+    if not result.intervals:
+        raise SimulationError(
+            "result has no recorded intervals; run with record_intervals=True"
+        )
+    attribution: dict[str, float] = defaultdict(float)
+    for interval in result.intervals:
+        if not interval.flow_jobs:
+            attribution["(idle)"] += interval.energy_j
+            continue
+        share = interval.energy_j / len(interval.flow_jobs)
+        for job_name in interval.flow_jobs:
+            attribution[job_name] += share
+    return dict(attribution)

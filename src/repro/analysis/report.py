@@ -1,0 +1,81 @@
+"""ASCII rendering of the paper's tables and figures.
+
+The benchmark harness prints the same rows/series the paper's figures show;
+these helpers keep that output consistent and legible in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.edp import NormalizedPoint
+
+__all__ = ["render_table", "render_series", "render_normalized_curve"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with a header rule."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("  ".join("-" * width for width in widths))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def render_series(
+    name: str,
+    points: Sequence[tuple[str, float]],
+    unit: str = "",
+) -> str:
+    """One labelled series, e.g. a figure's single line of data."""
+    suffix = f" {unit}" if unit else ""
+    body = ", ".join(f"{label}={value:.3g}{suffix}" for label, value in points)
+    return f"{name}: {body}"
+
+
+def render_normalized_curve(
+    title: str, points: Sequence[NormalizedPoint]
+) -> str:
+    """The paper's normalized energy-vs-performance plot, as a table.
+
+    Adds the constant-EDP reference column and flags points below the
+    curve, which is the property every figure discussion revolves around.
+    """
+    rows = []
+    for point in points:
+        rows.append(
+            (
+                point.label,
+                f"{point.performance:.3f}",
+                f"{point.energy:.3f}",
+                f"{point.performance:.3f}",  # constant-EDP energy at this perf
+                f"{point.edp_ratio:.3f}",
+                "below" if point.below_edp_curve else "above",
+            )
+        )
+    return render_table(
+        headers=("design", "perf", "energy", "edp-curve", "edp-ratio", "vs EDP"),
+        rows=rows,
+        title=title,
+    )
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)

@@ -1,0 +1,55 @@
+"""The paper's primary contribution: model-driven energy-efficient design.
+
+* :mod:`repro.core.model` — the Section 5.3 analytical performance/energy
+  model of P-store (homogeneous equations verbatim from the paper,
+  heterogeneous ingestion-bound model derived from Section 5.4's
+  description).
+* :mod:`repro.core.edp` — Energy-Delay-Product metrics and normalized
+  energy-vs-performance points.
+* :mod:`repro.core.design_space` — enumerating Beefy/Wimpy mixes and
+  homogeneous sizes, producing trade-off curves, finding knees and best
+  designs under performance targets.
+* :mod:`repro.core.principles` — the Section 6 design principles as an
+  executable advisor (Figure 12).
+* :mod:`repro.core.validation` — model-vs-observation comparison used by
+  the Figure 8/9 experiments.
+"""
+
+from repro.core.design_space import DesignPoint, DesignSpaceExplorer, TradeoffCurve
+from repro.core.edp import NormalizedPoint, edp, normalized_series
+from repro.core.model import (
+    HashJoinQuery,
+    ModelConstants,
+    ModelParameters,
+    PhasePrediction,
+    Prediction,
+    PStoreModel,
+)
+from repro.core.principles import DesignRecommendation, recommend_design
+from repro.core.report import DesignReport, design_report
+from repro.core.sensitivity import SensitivityPoint, sweep_parameter
+from repro.core.validation import ValidationReport, ValidationRow, compare_normalized
+
+__all__ = [
+    "PStoreModel",
+    "ModelConstants",
+    "ModelParameters",
+    "HashJoinQuery",
+    "Prediction",
+    "PhasePrediction",
+    "edp",
+    "normalized_series",
+    "NormalizedPoint",
+    "DesignPoint",
+    "DesignSpaceExplorer",
+    "TradeoffCurve",
+    "DesignRecommendation",
+    "recommend_design",
+    "DesignReport",
+    "design_report",
+    "SensitivityPoint",
+    "sweep_parameter",
+    "ValidationReport",
+    "ValidationRow",
+    "compare_normalized",
+]

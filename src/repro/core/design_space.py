@@ -1,0 +1,258 @@
+"""Cluster design-space exploration (Section 5.4-5.5).
+
+:class:`DesignSpaceExplorer` enumerates the Beefy/Wimpy mixes of a
+fixed-size cluster (the paper's ``8B,0W ... 0B,8W`` axis), evaluates each
+design with the analytical model (or any caller-supplied evaluator), and
+returns a :class:`TradeoffCurve` supporting the paper's analyses: EDP
+comparison, knee location, and best-design selection under a performance
+target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.edp import NormalizedPoint, normalized_series
+from repro.core.model import ModelParameters, Prediction, PStoreModel
+from repro.errors import ModelError
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.node import NodeSpec
+from repro.pstore.plans import ExecutionMode
+from repro.workloads.queries import JoinWorkloadSpec
+
+__all__ = ["DesignPoint", "TradeoffCurve", "DesignSpaceExplorer"]
+
+Evaluator = Callable[[ClusterSpec, JoinWorkloadSpec], tuple[float, float]]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated cluster design."""
+
+    label: str
+    cluster: ClusterSpec
+    time_s: float
+    energy_j: float
+    prediction: Prediction | None = None
+
+    @property
+    def num_beefy(self) -> int:
+        return self.cluster.num_beefy
+
+    @property
+    def num_wimpy(self) -> int:
+        return self.cluster.num_wimpy
+
+
+class TradeoffCurve:
+    """An ordered set of design points with a designated reference."""
+
+    def __init__(self, points: Sequence[DesignPoint], reference_label: str | None = None):
+        if not points:
+            raise ModelError("a trade-off curve needs at least one point")
+        self.points = list(points)
+        labels = [p.label for p in self.points]
+        if len(set(labels)) != len(labels):
+            raise ModelError(f"duplicate design labels: {labels}")
+        self.reference_label = reference_label or labels[0]
+        if self.reference_label not in labels:
+            raise ModelError(f"unknown reference {self.reference_label!r}")
+
+    @property
+    def reference(self) -> DesignPoint:
+        return next(p for p in self.points if p.label == self.reference_label)
+
+    def normalized(self) -> list[NormalizedPoint]:
+        """The paper's normalized (performance, energy) series."""
+        return normalized_series(
+            [(p.label, p.time_s, p.energy_j) for p in self.points],
+            reference_label=self.reference_label,
+        )
+
+    def point(self, label: str) -> DesignPoint:
+        for p in self.points:
+            if p.label == label:
+                return p
+        raise ModelError(f"no design point {label!r}")
+
+    def normalized_point(self, label: str) -> NormalizedPoint:
+        for np_ in self.normalized():
+            if np_.label == label:
+                return np_
+        raise ModelError(f"no design point {label!r}")
+
+    # ------------------------------------------------------------- analyses
+    def below_edp_points(self) -> list[NormalizedPoint]:
+        """Design points that beat the constant-EDP trade-off."""
+        return [p for p in self.normalized() if p.below_edp_curve]
+
+    def best_design(self, target_performance: float) -> DesignPoint:
+        """Minimum-energy design meeting a normalized performance target.
+
+        This is the Section 6 selection rule: fix an acceptable performance
+        loss (e.g. 40% -> target 0.6), then choose the least-energy design
+        still meeting it.
+        """
+        if target_performance <= 0:
+            raise ModelError(f"target performance must be > 0, got {target_performance}")
+        eligible = [
+            (norm, point)
+            for norm, point in zip(self.normalized(), self.points)
+            if norm.performance >= target_performance
+        ]
+        if not eligible:
+            raise ModelError(
+                f"no design meets performance target {target_performance:.2f}"
+            )
+        return min(eligible, key=lambda pair: pair[0].energy)[1]
+
+    def knee(self) -> DesignPoint:
+        """The knee of the normalized curve (max distance from the chord).
+
+        Figure 11 discusses how the knee — where the bottleneck flips from
+        source-bound to Beefy-ingest-bound — migrates with selectivity.
+        """
+        normalized = self.normalized()
+        if len(normalized) < 3:
+            return self.points[-1]
+        first, last = normalized[0], normalized[-1]
+        dx = last.performance - first.performance
+        dy = last.energy - first.energy
+        length = (dx * dx + dy * dy) ** 0.5
+        if length == 0:
+            return self.points[0]
+        best_index, best_distance = 0, -1.0
+        for index, p in enumerate(normalized):
+            distance = abs(
+                dx * (first.energy - p.energy) - (first.performance - p.performance) * dy
+            ) / length
+            if distance > best_distance:
+                best_index, best_distance = index, distance
+        return self.points[best_index]
+
+    def energy_span(self) -> float:
+        """Max/min energy ratio across the curve (1.0 = flat curve)."""
+        energies = [p.energy for p in self.normalized()]
+        low = min(energies)
+        if low <= 0:
+            raise ModelError("non-positive normalized energy")
+        return max(energies) / low
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+
+class DesignSpaceExplorer:
+    """Enumerates and evaluates Beefy/Wimpy mixes of a fixed-size cluster."""
+
+    def __init__(
+        self,
+        beefy: NodeSpec,
+        wimpy: NodeSpec,
+        cluster_size: int,
+        warm_cache: bool = False,
+        evaluator: Evaluator | None = None,
+        strict_paper_conditions: bool = False,
+    ):
+        if cluster_size <= 0:
+            raise ModelError(f"cluster_size must be > 0, got {cluster_size}")
+        self.beefy = beefy
+        self.wimpy = wimpy
+        self.cluster_size = cluster_size
+        self.warm_cache = warm_cache
+        self.strict_paper_conditions = strict_paper_conditions
+        self._evaluator = evaluator
+
+    def mixes(self) -> list[ClusterSpec]:
+        """All designs from all-Beefy to all-Wimpy (paper's ``xB,yW`` axis)."""
+        designs = []
+        for num_beefy in range(self.cluster_size, -1, -1):
+            num_wimpy = self.cluster_size - num_beefy
+            designs.append(
+                ClusterSpec.beefy_wimpy(self.beefy, num_beefy, self.wimpy, num_wimpy)
+            )
+        return designs
+
+    def evaluate(
+        self,
+        cluster: ClusterSpec,
+        query: JoinWorkloadSpec,
+        mode: ExecutionMode | None = None,
+    ) -> DesignPoint:
+        """Evaluate one design (analytical model unless a custom evaluator
+        was supplied)."""
+        if self._evaluator is not None:
+            time_s, energy_j = self._evaluator(cluster, query)
+            return DesignPoint(
+                label=cluster.name, cluster=cluster, time_s=time_s, energy_j=energy_j
+            )
+        # Build parameters from the explorer's node types directly so that
+        # all-Wimpy designs keep the Beefy disk/NIC bandwidths (the paper's
+        # Section 5.4 uniformity assumption).
+        params = ModelParameters.from_specs(
+            self.beefy, cluster.num_beefy, self.wimpy, cluster.num_wimpy
+        )
+        model = PStoreModel(
+            params,
+            warm_cache=self.warm_cache,
+            strict_paper_conditions=self.strict_paper_conditions,
+        )
+        prediction = model.predict(query, mode=mode)
+        return DesignPoint(
+            label=cluster.name,
+            cluster=cluster,
+            time_s=prediction.time_s,
+            energy_j=prediction.energy_j,
+            prediction=prediction,
+        )
+
+    def sweep_sizes(
+        self,
+        query: JoinWorkloadSpec,
+        sizes: Sequence[int],
+        mode: ExecutionMode | None = None,
+    ) -> TradeoffCurve:
+        """Homogeneous all-Beefy size sweep (largest size is the reference).
+
+        This is the other axis of the paper's design space: Figures 1a/3/4
+        vary homogeneous cluster size, Figure 12(c) compares this sweep
+        against the Beefy/Wimpy mixes at fixed size.
+        """
+        if not sizes:
+            raise ModelError("no cluster sizes given")
+        points = []
+        for size in sorted(set(sizes), reverse=True):
+            cluster = ClusterSpec.homogeneous(self.beefy, size, name=f"{size}B")
+            try:
+                points.append(self.evaluate(cluster, query, mode=mode))
+            except ModelError:
+                continue
+        if not points:
+            raise ModelError(f"no feasible size for {query.name}")
+        return TradeoffCurve(points, reference_label=points[0].label)
+
+    def sweep(
+        self,
+        query: JoinWorkloadSpec,
+        mode: ExecutionMode | None = None,
+        reference_label: str | None = None,
+    ) -> TradeoffCurve:
+        """Evaluate every feasible mix; infeasible designs are skipped.
+
+        Infeasibility mirrors the paper ("we do not use fewer than 2 Beefy
+        nodes because 1 Beefy node cannot build the entire hash table"):
+        designs whose hash table cannot fit are dropped from the curve.
+        """
+        points = []
+        for cluster in self.mixes():
+            try:
+                points.append(self.evaluate(cluster, query, mode=mode))
+            except ModelError:
+                continue
+        if not points:
+            raise ModelError(f"no feasible design for {query.name}")
+        return TradeoffCurve(points, reference_label=reference_label)

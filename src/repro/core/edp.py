@@ -1,0 +1,114 @@
+"""Energy-Delay-Product metrics and normalized trade-off points.
+
+Every figure in the paper plots *normalized energy consumption* against
+*normalized performance* relative to a reference configuration, with a
+dotted **constant-EDP** curve: points trading x% performance for exactly x%
+energy.  In normalized coordinates that curve is simply
+``energy_ratio == performance_ratio``, so:
+
+* points **above** the curve give up proportionally more performance than
+  they save in energy (the Figure 1a situation);
+* points **below** it save proportionally more energy — the design points
+  the paper is hunting for (Figure 1b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ModelError
+
+__all__ = [
+    "edp",
+    "NormalizedPoint",
+    "normalized_point",
+    "normalized_series",
+    "constant_edp_energy",
+]
+
+
+def edp(energy_j: float, delay_s: float) -> float:
+    """Energy-delay product in joule-seconds (lower is better)."""
+    if energy_j < 0 or delay_s < 0:
+        raise ModelError(f"EDP inputs must be >= 0: energy={energy_j}, delay={delay_s}")
+    return energy_j * delay_s
+
+
+@dataclass(frozen=True)
+class NormalizedPoint:
+    """One design point in the paper's normalized coordinates."""
+
+    label: str
+    performance: float  # (1/T) / (1/T_ref) = T_ref / T
+    energy: float  # E / E_ref
+
+    def __post_init__(self) -> None:
+        if self.performance <= 0 or self.energy < 0:
+            raise ModelError(
+                f"{self.label}: invalid normalized point "
+                f"(performance={self.performance}, energy={self.energy})"
+            )
+
+    @property
+    def edp_ratio(self) -> float:
+        """Normalized EDP: (E/E_ref) * (T/T_ref) = energy / performance."""
+        return self.energy / self.performance
+
+    @property
+    def below_edp_curve(self) -> bool:
+        """True when the point saves proportionally more energy than it
+        loses in performance (normalized EDP < 1)."""
+        return self.edp_ratio < 1.0
+
+    def edp_margin(self) -> float:
+        """Distance below (+) or above (-) the constant-EDP curve."""
+        return self.performance - self.energy
+
+
+def normalized_point(
+    label: str,
+    time_s: float,
+    energy_j: float,
+    reference_time_s: float,
+    reference_energy_j: float,
+) -> NormalizedPoint:
+    """Normalize one (time, energy) measurement against a reference."""
+    if min(time_s, reference_time_s) <= 0 or reference_energy_j <= 0:
+        raise ModelError("times and reference energy must be > 0")
+    return NormalizedPoint(
+        label=label,
+        performance=reference_time_s / time_s,
+        energy=energy_j / reference_energy_j,
+    )
+
+
+def normalized_series(
+    points: Sequence[tuple[str, float, float]],
+    reference_label: str | None = None,
+) -> list[NormalizedPoint]:
+    """Normalize a series of ``(label, time_s, energy_j)`` measurements.
+
+    The reference is the named point, or the first point when omitted —
+    the paper normalizes against the largest / all-Beefy configuration,
+    which its experiments list first.
+    """
+    if not points:
+        raise ModelError("no points to normalize")
+    labels = [label for label, _, _ in points]
+    if reference_label is None:
+        reference_label = labels[0]
+    if reference_label not in labels:
+        raise ModelError(f"reference {reference_label!r} not among {labels}")
+    _, ref_time, ref_energy = points[labels.index(reference_label)]
+    return [
+        normalized_point(label, time_s, energy_j, ref_time, ref_energy)
+        for label, time_s, energy_j in points
+    ]
+
+
+def constant_edp_energy(performance: float) -> float:
+    """Energy ratio on the constant-EDP curve at a given performance ratio."""
+    if performance <= 0:
+        raise ModelError(f"performance ratio must be > 0, got {performance}")
+    return performance

@@ -1,0 +1,634 @@
+"""The Section 5.3 analytical model of P-store performance and energy.
+
+The model predicts response time and cluster energy for a parallel hash
+join, phase by phase.  Symbols follow Table 3 of the paper:
+
+=========  ==================================================================
+``Bld``    build table size (MB), ``Sbld`` its predicate selectivity
+``Prb``    probe table size (MB), ``Sprb`` its predicate selectivity
+``NB/NW``  number of Beefy / Wimpy nodes
+``MB/MW``  per-node memory (MB) usable for hash tables
+``I``      disk bandwidth (MB/s); ``L`` network bandwidth (MB/s)
+``CB/CW``  maximum CPU bandwidth (MB/s)
+``GB/GW``  P-store's inherent CPU-utilization constants
+``fB/fW``  node power models (watts as a function of CPU utilization)
+``H``      true iff Wimpy nodes can hold their hash-table share:
+           ``MW >= (Bld * Sbld) / (NB + NW)``
+=========  ==================================================================
+
+**Homogeneous execution** (``H`` true) is transcribed verbatim from the
+paper.  For each phase (build, then probe), with ``S`` the phase's
+selectivity and ``N = NB + NW``::
+
+    R  = I*S                 if I*S < L        (disk bound)
+         N*L/(N-1)           otherwise         (network bound)
+    U  = I                   if I*S < L
+         (N*L/(N-1)) / S     otherwise
+
+    T  = Volume*S / (NB*R + NW*R)
+    E  = T * ( NB*fB(GB + U/CB) + NW*fW(GW + U/CW) )
+
+**Heterogeneous execution** (``H`` false) is only described qualitatively
+in the paper ("in the interest of space, we omit this model"); we derive it
+from Section 5.4's account: Wimpy nodes scan/filter and forward all
+qualifying tuples; Beefy nodes additionally ingest and build/probe, and
+their *inbound* NIC saturates first.  Per phase with qualifying volume
+``Q = Volume*S``::
+
+    supply  = sum over nodes of min(scan_limit * S, L)      (qualifying MB/s)
+    ingest  = NB * L * N/(N-1)       (each Beefy's hash share arrives
+                                      (N-1)/N over its inbound NIC)
+    T       = Q / min(supply, ingest)
+
+with source CPU rates scaled down proportionally when ingest-bound — this
+produces the knee behaviour of Figure 11 (knee where supply == ingest).
+
+**Cache regimes**: cold scans are bound by ``I``; warm scans by the node's
+CPU bandwidth (the paper's Section 5.3.1 validation setting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.node import NodeSpec
+from repro.hardware.power import PowerLawModel, PowerModel
+from repro.pstore.plans import ExecutionMode
+from repro.units import clamp
+from repro.workloads.queries import JoinMethod, JoinWorkloadSpec
+
+__all__ = [
+    "ModelConstants",
+    "ModelParameters",
+    "HashJoinQuery",
+    "PhasePrediction",
+    "Prediction",
+    "PStoreModel",
+]
+
+
+class HashJoinQuery(JoinWorkloadSpec):
+    """A hash-join workload with paper-specific factories.
+
+    Identical to :class:`~repro.workloads.queries.JoinWorkloadSpec`; exists
+    so model users have a descriptive entry point.
+    """
+
+    @classmethod
+    def tpch_orders_lineitem(
+        cls,
+        scale_factor: float,
+        build_selectivity: float,
+        probe_selectivity: float,
+        method: JoinMethod = JoinMethod.SHUFFLE,
+    ) -> "HashJoinQuery":
+        """ORDERS (build) x LINEITEM (probe) at the paper's 20 B projections."""
+        from repro.workloads import tpch
+
+        return cls(
+            name=f"orders-lineitem-sf{scale_factor:g}",
+            build_volume_mb=tpch.projected_size_mb(tpch.ORDERS, scale_factor),
+            probe_volume_mb=tpch.projected_size_mb(tpch.LINEITEM, scale_factor),
+            build_selectivity=build_selectivity,
+            probe_selectivity=probe_selectivity,
+            method=method,
+        )
+
+
+@dataclass(frozen=True)
+class ModelConstants:
+    """Table 3's published constants, for reference and the tbl3 check."""
+
+    CB: float = 5037.0  # max CPU bandwidth of a Beefy node (MB/s)
+    CW: float = 1129.0  # max CPU bandwidth of a Wimpy node (MB/s)
+    GB: float = 0.25  # Beefy CPU utilization constant of P-store
+    GW: float = 0.13  # Wimpy CPU utilization constant of P-store
+    beefy_power_coefficient: float = 130.03
+    beefy_power_exponent: float = 0.2369
+    wimpy_power_coefficient: float = 10.994
+    wimpy_power_exponent: float = 0.2875
+
+    def beefy_power_model(self) -> PowerLawModel:
+        return PowerLawModel(self.beefy_power_coefficient, self.beefy_power_exponent)
+
+    def wimpy_power_model(self) -> PowerLawModel:
+        return PowerLawModel(self.wimpy_power_coefficient, self.wimpy_power_exponent)
+
+
+TABLE3 = ModelConstants()
+
+
+@dataclass(frozen=True)
+class ModelParameters:
+    """Hardware inputs of the model (one Beefy type + one Wimpy type).
+
+    The paper assumes uniform disk (``I``) and network (``L``) bandwidths
+    across node types and notes "we can easily extend our model to account
+    for separate Wimpy and Beefy I/O bandwidths" — the optional
+    ``wimpy_disk_mbps`` / ``wimpy_network_mbps`` fields are that extension
+    (``None`` keeps the paper's uniformity assumption).
+    """
+
+    num_beefy: int
+    num_wimpy: int
+    beefy_memory_mb: float
+    wimpy_memory_mb: float
+    disk_mbps: float  # I — Beefy (and, by default, Wimpy) disk bandwidth
+    network_mbps: float  # L — Beefy (and, by default, Wimpy) NIC bandwidth
+    beefy_cpu_mbps: float
+    wimpy_cpu_mbps: float
+    beefy_base_util: float
+    wimpy_base_util: float
+    beefy_power: PowerModel
+    wimpy_power: PowerModel
+    wimpy_disk_mbps: float | None = None
+    wimpy_network_mbps: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_beefy < 0 or self.num_wimpy < 0:
+            raise ModelError("node counts must be >= 0")
+        if self.num_beefy + self.num_wimpy == 0:
+            raise ModelError("the cluster must have at least one node")
+        for attr in ("disk_mbps", "network_mbps", "beefy_cpu_mbps", "wimpy_cpu_mbps"):
+            if getattr(self, attr) <= 0:
+                raise ModelError(f"{attr} must be > 0")
+        for attr in ("wimpy_disk_mbps", "wimpy_network_mbps"):
+            value = getattr(self, attr)
+            if value is not None and value <= 0:
+                raise ModelError(f"{attr} must be > 0 when set")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_beefy + self.num_wimpy
+
+    @property
+    def effective_wimpy_disk_mbps(self) -> float:
+        """Wimpy disk bandwidth (Beefy's under the uniformity assumption)."""
+        return self.wimpy_disk_mbps if self.wimpy_disk_mbps is not None else self.disk_mbps
+
+    @property
+    def effective_wimpy_network_mbps(self) -> float:
+        """Wimpy NIC bandwidth (Beefy's under the uniformity assumption)."""
+        return (
+            self.wimpy_network_mbps
+            if self.wimpy_network_mbps is not None
+            else self.network_mbps
+        )
+
+    @classmethod
+    def from_specs(
+        cls,
+        beefy: NodeSpec,
+        num_beefy: int,
+        wimpy: NodeSpec | None = None,
+        num_wimpy: int = 0,
+    ) -> "ModelParameters":
+        """Build parameters from node specs.
+
+        Disk and network bandwidths are taken from the Beefy spec (even for
+        all-Wimpy designs), reflecting the paper's uniformity assumption
+        ("the disk configuration for both the Wimpy and the Beefy nodes are
+        the same", and Section 5.4 models identical IO/network for both).
+        """
+        reference = beefy
+        wimpy = wimpy or reference
+        return cls(
+            num_beefy=num_beefy,
+            num_wimpy=num_wimpy,
+            beefy_memory_mb=beefy.memory_mb,
+            wimpy_memory_mb=wimpy.memory_mb,
+            disk_mbps=reference.disk_bandwidth_mbps,
+            network_mbps=reference.nic_bandwidth_mbps,
+            beefy_cpu_mbps=beefy.cpu_bandwidth_mbps,
+            wimpy_cpu_mbps=wimpy.cpu_bandwidth_mbps,
+            beefy_base_util=beefy.engine_base_utilization,
+            wimpy_base_util=wimpy.engine_base_utilization,
+            beefy_power=beefy.power_model,
+            wimpy_power=wimpy.power_model,
+        )
+
+    @classmethod
+    def from_cluster(cls, cluster: ClusterSpec) -> "ModelParameters":
+        num_beefy = cluster.num_beefy
+        num_wimpy = cluster.num_wimpy
+        beefy = cluster.beefy_spec if num_beefy else cluster.wimpy_spec
+        wimpy = cluster.wimpy_spec if num_wimpy else beefy
+        return cls.from_specs(beefy, num_beefy, wimpy, num_wimpy)
+
+
+@dataclass(frozen=True)
+class PhasePrediction:
+    """Model output for one join phase."""
+
+    name: str
+    time_s: float
+    energy_j: float
+    beefy_utilization: float
+    wimpy_utilization: float
+    bottleneck: str  # 'disk' | 'cpu' | 'network' | 'ingest'
+
+    @property
+    def average_power_w(self) -> float:
+        if self.time_s <= 0:
+            return 0.0
+        return self.energy_j / self.time_s
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Model output for a whole join: build + probe."""
+
+    query: JoinWorkloadSpec
+    mode: ExecutionMode
+    build: PhasePrediction
+    probe: PhasePrediction
+
+    @property
+    def time_s(self) -> float:
+        return self.build.time_s + self.probe.time_s
+
+    @property
+    def energy_j(self) -> float:
+        return self.build.energy_j + self.probe.energy_j
+
+    @property
+    def performance(self) -> float:
+        """The paper's performance metric: inverse response time."""
+        if self.time_s <= 0:
+            raise ModelError("zero-duration prediction has no performance")
+        return 1.0 / self.time_s
+
+    @property
+    def average_power_w(self) -> float:
+        if self.time_s <= 0:
+            return 0.0
+        return self.energy_j / self.time_s
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product in joule-seconds."""
+        return self.energy_j * self.time_s
+
+
+class PStoreModel:
+    """Analytical performance/energy model (Section 5.3).
+
+    ``pipeline_cpu_cost`` mirrors the simulated executor's parameter: CPU
+    bandwidth consumed per scanned MB.  1.0 reproduces the paper's printed
+    equations (``U`` equals the scan rate and utilization is ``G + U/C``);
+    the Figure 7/8/9 experiments use the calibrated value so model and
+    simulator describe the same engine.
+    """
+
+    def __init__(
+        self,
+        params: ModelParameters,
+        warm_cache: bool = False,
+        pipeline_cpu_cost: float = 1.0,
+        strict_paper_conditions: bool = False,
+    ):
+        if pipeline_cpu_cost <= 0:
+            raise ModelError(f"pipeline_cpu_cost must be > 0, got {pipeline_cpu_cost}")
+        self.params = params
+        self.warm_cache = warm_cache
+        self.pipeline_cpu_cost = pipeline_cpu_cost
+        #: use the paper's printed branch condition ``I*S < L`` verbatim.
+        #: The default compares against the effective network-bound rate
+        #: ``n*L/(n-1)`` instead, which matches the fluid simulator exactly;
+        #: the printed form declares small clusters network-bound slightly
+        #: too eagerly (visible only for n <= 7 at the Section 5.4
+        #: parameters).  Figure 12's homogeneous size sweeps use the strict
+        #: form, reproducing the paper's own curves.
+        self.strict_paper_conditions = strict_paper_conditions
+
+    # ------------------------------------------------------------------ public
+    def hash_table_fits_everywhere(self, query: JoinWorkloadSpec) -> bool:
+        """Table 3's ``H``: can the smallest node hold its hash-table share?"""
+        params = self.params
+        share = query.qualifying_build_mb / params.num_nodes
+        smallest = (
+            min(params.wimpy_memory_mb, params.beefy_memory_mb)
+            if params.num_wimpy and params.num_beefy
+            else (params.wimpy_memory_mb if params.num_wimpy else params.beefy_memory_mb)
+        )
+        return smallest >= share
+
+    def resolve_mode(
+        self, query: JoinWorkloadSpec, mode: ExecutionMode | None = None
+    ) -> ExecutionMode:
+        """Pick (or validate) the execution mode for a query."""
+        params = self.params
+        if mode is ExecutionMode.HOMOGENEOUS or (
+            mode is None and self.hash_table_fits_everywhere(query)
+        ):
+            if mode is ExecutionMode.HOMOGENEOUS and not self.hash_table_fits_everywhere(
+                query
+            ):
+                raise ModelError(
+                    f"{query.name}: homogeneous execution forced but the hash "
+                    "table does not fit on every node"
+                )
+            return ExecutionMode.HOMOGENEOUS
+        # Heterogeneous: only the NB beefy nodes build hash tables.
+        if params.num_beefy == 0:
+            raise ModelError(
+                f"{query.name}: hash table does not fit on the all-Wimpy cluster "
+                "and P-store has no 2-pass join"
+            )
+        beefy_share = query.qualifying_build_mb / params.num_beefy
+        if beefy_share > params.beefy_memory_mb:
+            raise ModelError(
+                f"{query.name}: heterogeneous execution needs {beefy_share:.0f} MB "
+                f"per Beefy node; only {params.beefy_memory_mb:.0f} MB available"
+            )
+        return ExecutionMode.HETEROGENEOUS
+
+    def predict(
+        self, query: JoinWorkloadSpec, mode: ExecutionMode | None = None
+    ) -> Prediction:
+        """Predict response time and energy for the dual-shuffle join.
+
+        ``mode`` forces homogeneous/heterogeneous execution (used by the
+        validation experiments that mirror the paper's stated plans);
+        ``None`` applies the ``H`` rule.
+        """
+        resolved = self.resolve_mode(query, mode)
+        if resolved is ExecutionMode.HOMOGENEOUS:
+            build = self._homogeneous_phase(
+                "build", query.build_volume_mb, query.build_selectivity
+            )
+            probe = self._homogeneous_phase(
+                "probe", query.probe_volume_mb, query.probe_selectivity
+            )
+        else:
+            build = self._heterogeneous_phase(
+                "build", query.build_volume_mb, query.build_selectivity
+            )
+            probe = self._heterogeneous_phase(
+                "probe", query.probe_volume_mb, query.probe_selectivity
+            )
+        return Prediction(query=query, mode=resolved, build=build, probe=probe)
+
+    def predict_broadcast(self, query: JoinWorkloadSpec) -> Prediction:
+        """Analytic prediction for the broadcast join (Section 4.3.2).
+
+        Build phase: every node must *receive* ``(N-1)/N`` of the
+        qualifying build table over its inbound NIC — the algorithmic
+        bottleneck ("broadcast generally takes the same time to complete
+        regardless of the number of participating nodes").  Probe phase:
+        purely local scanning against the replicated hash table.
+
+        Requires homogeneous feasibility: each node holds the full
+        qualifying build table.
+        """
+        params = self.params
+        n = params.num_nodes
+        smallest_memory = (
+            min(params.wimpy_memory_mb, params.beefy_memory_mb)
+            if params.num_wimpy and params.num_beefy
+            else (params.wimpy_memory_mb if params.num_wimpy else params.beefy_memory_mb)
+        )
+        if query.qualifying_build_mb > smallest_memory:
+            raise ModelError(
+                f"{query.name}: broadcast needs {query.qualifying_build_mb:.0f} MB "
+                f"on every node; smallest node has {smallest_memory:.0f} MB"
+            )
+        scan_b, scan_w = self._scan_limits()
+
+        # Build: per-node ingest of (N-1)/N of the qualifying table over L,
+        # or the sources' filtered supply if that is slower.
+        qualifying = query.qualifying_build_mb
+        if n > 1:
+            ingest_time = qualifying * (n - 1) / n / params.network_mbps
+        else:
+            ingest_time = 0.0
+        per_node = query.build_volume_mb / n
+        supply_time_b = per_node / scan_b if params.num_beefy else 0.0
+        supply_time_w = per_node / scan_w if params.num_wimpy else 0.0
+        build_time = max(ingest_time, supply_time_b, supply_time_w)
+        build_util_b = self._beefy_utilization(
+            min(scan_b, per_node / build_time if build_time else scan_b)
+        )
+        build_util_w = self._wimpy_utilization(
+            min(scan_w, per_node / build_time if build_time else scan_w)
+        )
+        build = PhasePrediction(
+            name="build",
+            time_s=build_time,
+            energy_j=self._energy_with_idle_tails(
+                build_time,
+                build_time if params.num_beefy else 0.0,
+                build_time if params.num_wimpy else 0.0,
+                build_util_b,
+                build_util_w,
+            ),
+            beefy_utilization=build_util_b if params.num_beefy else 0.0,
+            wimpy_utilization=build_util_w if params.num_wimpy else 0.0,
+            bottleneck="ingest" if build_time == ingest_time else (
+                "cpu" if self.warm_cache else "disk"
+            ),
+        )
+
+        # Probe: local scan of each node's partition, barrier on the slower
+        # type; no network at all.
+        probe_per_node = query.probe_volume_mb / n
+        time_b = probe_per_node / scan_b if params.num_beefy else 0.0
+        time_w = probe_per_node / scan_w if params.num_wimpy else 0.0
+        probe_time = max(time_b, time_w)
+        probe = PhasePrediction(
+            name="probe",
+            time_s=probe_time,
+            energy_j=self._energy_with_idle_tails(
+                probe_time,
+                time_b,
+                time_w,
+                self._beefy_utilization(scan_b),
+                self._wimpy_utilization(scan_w),
+            ),
+            beefy_utilization=self._beefy_utilization(scan_b) if params.num_beefy else 0.0,
+            wimpy_utilization=self._wimpy_utilization(scan_w) if params.num_wimpy else 0.0,
+            bottleneck="cpu" if self.warm_cache else "disk",
+        )
+        return Prediction(
+            query=query, mode=ExecutionMode.HOMOGENEOUS, build=build, probe=probe
+        )
+
+    # ----------------------------------------------------------------- phases
+    def _scan_limits(self) -> tuple[float, float]:
+        """Pre-filter scan rate ceilings (beefy, wimpy) for the cache regime."""
+        params = self.params
+        cost = self.pipeline_cpu_cost
+        if self.warm_cache:
+            return params.beefy_cpu_mbps / cost, params.wimpy_cpu_mbps / cost
+        # Cold scans are disk-bound unless the engine pipeline cannot keep up.
+        return (
+            min(params.disk_mbps, params.beefy_cpu_mbps / cost),
+            min(params.effective_wimpy_disk_mbps, params.wimpy_cpu_mbps / cost),
+        )
+
+    def _homogeneous_phase(
+        self, name: str, volume_mb: float, selectivity: float
+    ) -> PhasePrediction:
+        """The paper's homogeneous equations, one node-type pair at a time."""
+        params = self.params
+        n = params.num_nodes
+        network_rate = (
+            params.network_mbps if n == 1 else n * params.network_mbps / (n - 1)
+        )
+        scan_b, scan_w = self._scan_limits()
+
+        def rates(scan_limit: float, nic_mbps: float) -> tuple[float, float, str]:
+            scan_rate = scan_limit * selectivity
+            type_network_rate = (
+                network_rate * nic_mbps / params.network_mbps
+            )  # per-type NIC extension; == network_rate when uniform
+            if self.strict_paper_conditions:
+                # Verbatim Table 3 branch: disk bound iff I*S < L.
+                scan_bound = n == 1 or scan_rate < nic_mbps
+            else:
+                # Compare against the effective network-bound rate
+                # n*L/(n-1): identical for the paper's 8-node settings but
+                # consistent with the fluid simulator at small n.
+                scan_bound = n == 1 or scan_rate <= type_network_rate
+            if scan_bound:
+                bottleneck = "disk" if not self.warm_cache else "cpu"
+                return scan_rate, scan_limit, bottleneck
+            return type_network_rate, type_network_rate / selectivity, "network"
+
+        rate_b, util_rate_b, bneck_b = rates(scan_b, params.network_mbps)
+        rate_w, util_rate_w, bneck_w = rates(
+            scan_w, params.effective_wimpy_network_mbps
+        )
+
+        # Per-node completion times; the phase barrier makes the slower node
+        # type gate the phase.  When RB == RW (always true in the paper's
+        # disk-/network-bound settings) this equals the printed
+        # ``Volume*S / (NB*R + NW*R)``.
+        per_node_qualifying = volume_mb * selectivity / n
+        time_b = per_node_qualifying / rate_b if params.num_beefy else 0.0
+        time_w = per_node_qualifying / rate_w if params.num_wimpy else 0.0
+        time_s = max(time_b, time_w)
+
+        beefy_util = self._beefy_utilization(util_rate_b)
+        wimpy_util = self._wimpy_utilization(util_rate_w)
+        energy = self._energy_with_idle_tails(time_s, time_b, time_w, beefy_util, wimpy_util)
+        bottleneck = bneck_b if time_b >= time_w else bneck_w
+        return PhasePrediction(
+            name=name,
+            time_s=time_s,
+            energy_j=energy,
+            beefy_utilization=beefy_util if params.num_beefy else 0.0,
+            wimpy_utilization=wimpy_util if params.num_wimpy else 0.0,
+            bottleneck=bottleneck,
+        )
+
+    def _heterogeneous_phase(
+        self, name: str, volume_mb: float, selectivity: float
+    ) -> PhasePrediction:
+        """Derived ingestion-bound model (see module docstring)."""
+        params = self.params
+        n = params.num_nodes
+        nb = params.num_beefy
+        scan_b, scan_w = self._scan_limits()
+
+        # Qualifying-tuple supply per source node (outbound NIC can also cap).
+        supply_b = min(scan_b * selectivity, params.network_mbps)
+        supply_w = min(scan_w * selectivity, params.effective_wimpy_network_mbps)
+        supply = nb * supply_b + params.num_wimpy * supply_w
+
+        # Beefy inbound NICs: each Beefy's share arrives (n-1)/n over the wire.
+        ingest_capacity = (
+            nb * params.network_mbps * (n / (n - 1)) if n > 1 else float("inf")
+        )
+
+        qualifying_mb = volume_mb * selectivity
+
+        # Three candidate limits gate the phase:
+        #  * the Beefy inbound NICs draining the whole qualifying volume,
+        #  * each Beefy source draining its own partition,
+        #  * each Wimpy source draining its own partition (barrier).
+        ingest_time = qualifying_mb / ingest_capacity
+        per_node_qualifying = qualifying_mb / n
+        time_b = per_node_qualifying / supply_b if nb else 0.0
+        time_w = per_node_qualifying / supply_w if params.num_wimpy else 0.0
+        time_s = max(ingest_time, time_b, time_w)
+        if time_s == ingest_time:
+            bottleneck = "ingest"
+        elif supply_b >= params.network_mbps and time_b >= time_w:
+            bottleneck = "network"
+        else:
+            bottleneck = "cpu" if self.warm_cache else "disk"
+
+        # Source-side CPU rates, diluted by how long each type's scan work
+        # is spread over the phase (slow peers or ingest limits stall it).
+        throttle_b = time_b / time_s if time_s > 0 else 0.0
+        throttle_w = time_w / time_s if time_s > 0 else 0.0
+        util_rate_b = min(scan_b, supply_b / selectivity) * throttle_b
+        util_rate_w = min(scan_w, supply_w / selectivity) * throttle_w
+        beefy_util = self._beefy_utilization(util_rate_b)
+        wimpy_util = self._wimpy_utilization(util_rate_w)
+        # Sources stay active for the whole phase at their diluted rates.
+        energy = self._energy_with_idle_tails(
+            time_s, time_s if nb else 0.0, time_s if params.num_wimpy else 0.0,
+            beefy_util, wimpy_util,
+        )
+        return PhasePrediction(
+            name=name,
+            time_s=time_s,
+            energy_j=energy,
+            beefy_utilization=beefy_util,
+            wimpy_utilization=wimpy_util if params.num_wimpy else 0.0,
+            bottleneck=bottleneck,
+        )
+
+    # ------------------------------------------------------------- utilities
+    def _beefy_utilization(self, prefilter_rate_mbps: float) -> float:
+        params = self.params
+        return clamp(
+            params.beefy_base_util
+            + self.pipeline_cpu_cost * prefilter_rate_mbps / params.beefy_cpu_mbps,
+            0.0,
+            1.0,
+        )
+
+    def _wimpy_utilization(self, prefilter_rate_mbps: float) -> float:
+        params = self.params
+        return clamp(
+            params.wimpy_base_util
+            + self.pipeline_cpu_cost * prefilter_rate_mbps / params.wimpy_cpu_mbps,
+            0.0,
+            1.0,
+        )
+
+    def _energy_with_idle_tails(
+        self,
+        time_s: float,
+        time_b: float,
+        time_w: float,
+        beefy_util: float,
+        wimpy_util: float,
+    ) -> float:
+        """Cluster energy for one phase.
+
+        Each node type is busy for its own completion time and idles at its
+        engine-base utilization until the barrier releases.  When both types
+        finish together this reduces to the paper's
+        ``T * (NB*fB(...) + NW*fW(...))``.
+        """
+        params = self.params
+        energy = 0.0
+        if params.num_beefy:
+            idle_power = params.beefy_power.power(max(params.beefy_base_util, 0.01))
+            energy += params.num_beefy * (
+                params.beefy_power.power(beefy_util) * time_b
+                + idle_power * (time_s - time_b)
+            )
+        if params.num_wimpy:
+            idle_power = params.wimpy_power.power(max(params.wimpy_base_util, 0.01))
+            energy += params.num_wimpy * (
+                params.wimpy_power.power(wimpy_util) * time_w
+                + idle_power * (time_s - time_w)
+            )
+        return energy

@@ -1,0 +1,138 @@
+"""The Section 6 cluster design principles as an executable advisor.
+
+Figure 12 summarizes the paper:
+
+(a) **Highly scalable query** — energy is flat in cluster size, so use all
+    available nodes (fastest point costs nothing extra).
+(b) **Bottlenecked query, homogeneous cluster** — smaller clusters save
+    energy; shrink to the fewest nodes still meeting the performance
+    target.
+(c) **Bottlenecked query, heterogeneous option** — substituting Wimpy for
+    Beefy nodes can beat the best homogeneous design on *both* energy and
+    performance (points below the EDP curve).
+
+:func:`recommend_design` reproduces that decision procedure given trade-off
+curves for the candidate designs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.design_space import DesignPoint, TradeoffCurve
+from repro.errors import ModelError
+
+__all__ = ["Principle", "DesignRecommendation", "classify_scalability", "recommend_design"]
+
+#: Energy ratios within this band of 1.0 count as "flat" (ideal speedup).
+_FLAT_ENERGY_TOLERANCE = 0.05
+
+
+class Principle(enum.Enum):
+    """Which Figure 12 case applied."""
+
+    SCALABLE_USE_ALL_NODES = "scalable-use-all-nodes"  # Fig 12(a)
+    BOTTLENECKED_DOWNSIZE = "bottlenecked-downsize"  # Fig 12(b)
+    HETEROGENEOUS_SUBSTITUTION = "heterogeneous-substitution"  # Fig 12(c)
+
+
+@dataclass(frozen=True)
+class DesignRecommendation:
+    """The advisor's output: a design plus the principle that selected it."""
+
+    principle: Principle
+    design: DesignPoint
+    rationale: str
+    normalized_performance: float
+    normalized_energy: float
+
+
+def classify_scalability(size_curve: TradeoffCurve) -> bool:
+    """True when the workload scales ideally (energy flat across sizes).
+
+    The paper's criterion from Figure 2: for partitionable queries the
+    energy-consumption ratio stays roughly constant as the cluster shrinks,
+    because the performance loss exactly offsets the power reduction.
+    """
+    normalized = size_curve.normalized()
+    return all(
+        abs(point.energy - 1.0) <= _FLAT_ENERGY_TOLERANCE for point in normalized
+    )
+
+
+def recommend_design(
+    homogeneous_curve: TradeoffCurve,
+    target_performance: float,
+    heterogeneous_curve: TradeoffCurve | None = None,
+) -> DesignRecommendation:
+    """Apply the Section 6 procedure.
+
+    Parameters
+    ----------
+    homogeneous_curve:
+        A homogeneous size sweep (largest cluster as reference), e.g.
+        8N..2N of Beefy nodes.
+    target_performance:
+        Minimum acceptable normalized performance (e.g. 0.6 for "a 40%
+        performance loss is acceptable").
+    heterogeneous_curve:
+        Optional Beefy/Wimpy mix sweep sharing the same reference design.
+    """
+    if not 0 < target_performance <= 1.0:
+        raise ModelError(
+            f"target performance must be in (0, 1], got {target_performance}"
+        )
+
+    # Case (a): scalable workload -> use everything.
+    if classify_scalability(homogeneous_curve):
+        best = homogeneous_curve.reference
+        norm = homogeneous_curve.normalized_point(best.label)
+        return DesignRecommendation(
+            principle=Principle.SCALABLE_USE_ALL_NODES,
+            design=best,
+            rationale=(
+                "energy is flat across cluster sizes (ideal speedup); the "
+                "largest cluster is fastest at no extra energy"
+            ),
+            normalized_performance=norm.performance,
+            normalized_energy=norm.energy,
+        )
+
+    # Case (b): bottlenecked -> fewest nodes still meeting the target.
+    homo_best = homogeneous_curve.best_design(target_performance)
+    homo_norm = homogeneous_curve.normalized_point(homo_best.label)
+
+    # Case (c): heterogeneous candidates, if offered.
+    if heterogeneous_curve is not None:
+        try:
+            hetero_best = heterogeneous_curve.best_design(target_performance)
+        except ModelError:
+            hetero_best = None
+        if hetero_best is not None:
+            hetero_norm = heterogeneous_curve.normalized_point(hetero_best.label)
+            if hetero_norm.energy < homo_norm.energy:
+                return DesignRecommendation(
+                    principle=Principle.HETEROGENEOUS_SUBSTITUTION,
+                    design=hetero_best,
+                    rationale=(
+                        f"{hetero_best.label} consumes "
+                        f"{(1 - hetero_norm.energy / homo_norm.energy):.0%} less "
+                        f"energy than the best homogeneous design "
+                        f"({homo_best.label}) while meeting the "
+                        f"{target_performance:.0%} performance target"
+                    ),
+                    normalized_performance=hetero_norm.performance,
+                    normalized_energy=hetero_norm.energy,
+                )
+
+    return DesignRecommendation(
+        principle=Principle.BOTTLENECKED_DOWNSIZE,
+        design=homo_best,
+        rationale=(
+            "the workload is bottlenecked (non-linear speedup); the smallest "
+            f"cluster meeting the {target_performance:.0%} target minimizes energy"
+        ),
+        normalized_performance=homo_norm.performance,
+        normalized_energy=homo_norm.energy,
+    )

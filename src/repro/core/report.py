@@ -1,0 +1,160 @@
+"""One-call cluster design report: the library's findings, assembled.
+
+:func:`design_report` is the downstream-facing entry point: given a join
+workload, the candidate node types, and a performance target, it runs the
+whole pipeline — planning, simulation-based bottleneck diagnosis, design
+space exploration, the Section 6 principles, and a network-trend
+sensitivity check — and renders a single text report an operator can act
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.bottlenecks import bottleneck_breakdown
+from repro.analysis.report import render_normalized_curve, render_table
+from repro.core.design_space import DesignSpaceExplorer, TradeoffCurve
+from repro.core.principles import DesignRecommendation, recommend_design
+from repro.core.sensitivity import sweep_parameter
+from repro.errors import ModelError, ReproError
+from repro.hardware.node import NodeSpec
+from repro.pstore.engine import PStore, PStoreConfig
+from repro.pstore.plans import ExecutionMode
+from repro.workloads.queries import JoinWorkloadSpec
+
+__all__ = ["DesignReport", "design_report"]
+
+
+@dataclass
+class DesignReport:
+    """Structured output of :func:`design_report`."""
+
+    workload: JoinWorkloadSpec
+    plan_text: str
+    bottlenecks: dict[str, float]
+    homogeneous_curve: TradeoffCurve
+    heterogeneous_curve: TradeoffCurve | None
+    recommendation: DesignRecommendation
+    network_sensitivity: list
+    text: str
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def design_report(
+    query: JoinWorkloadSpec,
+    beefy: NodeSpec,
+    wimpy: NodeSpec,
+    cluster_size: int = 8,
+    target_performance: float = 0.6,
+    warm_cache: bool = False,
+    network_values: tuple[float, ...] | None = None,
+) -> DesignReport:
+    """Produce the full design study for one workload.
+
+    Sections: execution plan, measured bottleneck profile (simulated on the
+    all-Beefy reference), homogeneous size sweep, heterogeneous mix sweep,
+    the Section 6 recommendation, and how the answer shifts with network
+    bandwidth.
+    """
+    if cluster_size < 2:
+        raise ReproError("a design study needs at least 2 nodes")
+
+    from repro.hardware.cluster import ClusterSpec
+
+    reference = ClusterSpec.homogeneous(beefy, cluster_size)
+    engine = PStore(reference, config=PStoreConfig(warm_cache=warm_cache))
+
+    # 1. plan + bottleneck diagnosis on the reference cluster
+    plan = engine.plan(query)
+    simulated = engine.simulate(plan)
+    bottlenecks = bottleneck_breakdown(simulated)
+
+    # 2. design space: homogeneous sizes and Beefy/Wimpy mixes
+    explorer = DesignSpaceExplorer(
+        beefy, wimpy, cluster_size, warm_cache=warm_cache,
+        strict_paper_conditions=True,
+    )
+    sizes = tuple(range(cluster_size, 1, -2))
+    homo = explorer.sweep_sizes(query, sizes=sizes, mode=ExecutionMode.HOMOGENEOUS)
+    try:
+        hetero = explorer.sweep(query)
+    except ModelError:
+        hetero = None
+
+    # 3. the Section 6 decision
+    recommendation = recommend_design(
+        homo, target_performance, heterogeneous_curve=hetero
+    )
+
+    # 4. does the answer survive a faster interconnect?
+    values = network_values or (
+        beefy.nic_bandwidth_mbps,
+        beefy.nic_bandwidth_mbps * 4,
+    )
+    try:
+        sensitivity = sweep_parameter(
+            query, beefy, wimpy, "network_mbps", list(values),
+            cluster_size=cluster_size,
+            target_performance=target_performance,
+            warm_cache=warm_cache,
+        )
+    except ModelError:
+        sensitivity = []
+
+    # 5. render
+    sections = [
+        f"DESIGN REPORT: {query}",
+        "",
+        "-- execution plan (reference cluster) " + "-" * 20,
+        plan.explain(),
+        "",
+        "-- bottleneck profile (simulated flow-time shares) " + "-" * 8,
+        render_table(
+            ("resource", "share of flow-time"),
+            [(kind, f"{share:.0%}") for kind, share in bottlenecks.items()],
+        ),
+        "",
+        "-- homogeneous size sweep " + "-" * 32,
+        render_normalized_curve("vs largest cluster", homo.normalized()),
+        "",
+    ]
+    if hetero is not None:
+        sections += [
+            "-- Beefy/Wimpy mixes " + "-" * 37,
+            render_normalized_curve("vs all-Beefy", hetero.normalized()),
+            "",
+        ]
+    sections += [
+        "-- recommendation " + "-" * 40,
+        f"principle: {recommendation.principle.value}",
+        f"design:    {recommendation.design.label}",
+        f"expected:  {recommendation.normalized_performance:.0%} performance, "
+        f"{recommendation.normalized_energy:.0%} energy (vs reference)",
+        f"why:       {recommendation.rationale}",
+    ]
+    if sensitivity:
+        sections += [
+            "",
+            "-- network-trend check " + "-" * 35,
+            render_table(
+                ("interconnect", "best design", "energy"),
+                [
+                    (f"{p.value:g} MB/s", p.best_label, f"{p.best_energy:.2f}")
+                    for p in sensitivity
+                ],
+            ),
+        ]
+
+    return DesignReport(
+        workload=query,
+        plan_text=plan.explain(),
+        bottlenecks=bottlenecks,
+        homogeneous_curve=homo,
+        heterogeneous_curve=hetero,
+        recommendation=recommendation,
+        network_sensitivity=sensitivity,
+        text="\n".join(sections),
+    )

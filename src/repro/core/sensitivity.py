@@ -1,0 +1,127 @@
+"""Sensitivity analysis: how hardware trends move the best design.
+
+Section 4.1 argues the network-CPU performance gap "is likely to persist
+into the near future" — but the model lets us *check* what happens if it
+does not.  :func:`sweep_parameter` re-runs the design-space exploration
+while scaling one hardware dimension (network, disk, Wimpy CPU, Wimpy
+power draw) and reports how the energy-optimal design under a performance
+target migrates.
+
+The headline finding this enables: a faster interconnect removes the
+ingestion bottleneck that Figure 10(b) blames for heterogenous designs'
+poor showing — with enough network, Wimpy substitution wins even at high
+selectivities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.design_space import DesignSpaceExplorer, TradeoffCurve
+from repro.errors import ModelError
+from repro.hardware.node import NodeSpec
+from repro.workloads.queries import JoinWorkloadSpec
+
+__all__ = ["SensitivityPoint", "PARAMETERS", "sweep_parameter"]
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Best design (under the target) at one parameter value."""
+
+    parameter: str
+    value: float
+    best_label: str
+    best_energy: float  # normalized vs the all-Beefy reference
+    best_performance: float
+    curve: TradeoffCurve
+
+    def __str__(self) -> str:
+        return (
+            f"{self.parameter}={self.value:g}: {self.best_label} "
+            f"(energy {self.best_energy:.2f}, perf {self.best_performance:.2f})"
+        )
+
+
+def _scale_network(beefy: NodeSpec, wimpy: NodeSpec, value: float):
+    return (
+        beefy.with_overrides(nic_bandwidth_mbps=value),
+        wimpy.with_overrides(nic_bandwidth_mbps=value),
+    )
+
+
+def _scale_disk(beefy: NodeSpec, wimpy: NodeSpec, value: float):
+    return (
+        beefy.with_overrides(disk_bandwidth_mbps=value),
+        wimpy.with_overrides(disk_bandwidth_mbps=value),
+    )
+
+
+def _scale_wimpy_cpu(beefy: NodeSpec, wimpy: NodeSpec, value: float):
+    return beefy, wimpy.with_overrides(cpu_bandwidth_mbps=value)
+
+
+def _scale_wimpy_memory(beefy: NodeSpec, wimpy: NodeSpec, value: float):
+    return beefy, wimpy.with_overrides(memory_mb=value)
+
+
+Applier = Callable[[NodeSpec, NodeSpec, float], tuple[NodeSpec, NodeSpec]]
+
+#: sweepable hardware dimensions (name -> spec transformer)
+PARAMETERS: dict[str, Applier] = {
+    "network_mbps": _scale_network,
+    "disk_mbps": _scale_disk,
+    "wimpy_cpu_mbps": _scale_wimpy_cpu,
+    "wimpy_memory_mb": _scale_wimpy_memory,
+}
+
+
+def sweep_parameter(
+    query: JoinWorkloadSpec,
+    beefy: NodeSpec,
+    wimpy: NodeSpec,
+    parameter: str,
+    values: Sequence[float],
+    cluster_size: int = 8,
+    target_performance: float = 0.6,
+    warm_cache: bool = False,
+) -> list[SensitivityPoint]:
+    """Explore the design space at each value of one hardware parameter.
+
+    Each point reports the minimum-energy design meeting
+    ``target_performance`` (normalized against that point's own all-Beefy
+    reference, so the comparison is always "given this hardware, what
+    should the cluster look like?").
+    """
+    try:
+        applier = PARAMETERS[parameter]
+    except KeyError:
+        raise ModelError(
+            f"unknown parameter {parameter!r}; choose from {sorted(PARAMETERS)}"
+        ) from None
+    if not values:
+        raise ModelError("no parameter values to sweep")
+
+    points = []
+    for value in values:
+        if value <= 0:
+            raise ModelError(f"{parameter} values must be > 0, got {value}")
+        scaled_beefy, scaled_wimpy = applier(beefy, wimpy, value)
+        explorer = DesignSpaceExplorer(
+            scaled_beefy, scaled_wimpy, cluster_size, warm_cache=warm_cache
+        )
+        curve = explorer.sweep(query)
+        best = curve.best_design(target_performance)
+        norm = curve.normalized_point(best.label)
+        points.append(
+            SensitivityPoint(
+                parameter=parameter,
+                value=float(value),
+                best_label=best.label,
+                best_energy=norm.energy,
+                best_performance=norm.performance,
+                curve=curve,
+            )
+        )
+    return points

@@ -1,0 +1,92 @@
+"""Model-vs-observation validation (the Figure 8/9 methodology).
+
+The paper validates its analytical model against measured 2-Beefy/2-Wimpy
+runs by comparing *normalized* response times and energies — each series is
+divided by its own 100%-LINEITEM-selectivity entry, and the model is deemed
+validated when the normalized values agree within 5% (homogeneous) / 10%
+(heterogeneous).
+
+This module provides exactly that comparison, with the simulator playing
+the role of the physical cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import ModelError
+
+__all__ = ["ValidationRow", "ValidationReport", "normalize_by", "compare_normalized"]
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    """One workload point: observed vs modeled normalized values."""
+
+    label: str
+    observed: float
+    modeled: float
+
+    @property
+    def error(self) -> float:
+        """Absolute normalized-value difference (the paper's error metric)."""
+        return abs(self.observed - self.modeled)
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """All rows of one validation figure plus the headline max error."""
+
+    metric: str
+    rows: tuple[ValidationRow, ...]
+
+    @property
+    def max_error(self) -> float:
+        return max(row.error for row in self.rows)
+
+    def within(self, tolerance: float) -> bool:
+        return self.max_error <= tolerance
+
+    def __str__(self) -> str:
+        lines = [f"validation of {self.metric} (max error {self.max_error:.3f})"]
+        lines.extend(
+            f"  {row.label}: observed={row.observed:.3f} modeled={row.modeled:.3f} "
+            f"(err {row.error:.3f})"
+            for row in self.rows
+        )
+        return "\n".join(lines)
+
+
+def normalize_by(values: Mapping[str, float], reference: str) -> dict[str, float]:
+    """Divide a series by its reference entry."""
+    if reference not in values:
+        raise ModelError(f"reference {reference!r} not in {sorted(values)}")
+    denom = values[reference]
+    if denom <= 0:
+        raise ModelError(f"reference value must be > 0, got {denom}")
+    return {label: value / denom for label, value in values.items()}
+
+
+def compare_normalized(
+    metric: str,
+    observed: Mapping[str, float],
+    modeled: Mapping[str, float],
+    reference: str,
+    order: Sequence[str] | None = None,
+) -> ValidationReport:
+    """Normalize both series by ``reference`` and compare label-by-label."""
+    if set(observed) != set(modeled):
+        raise ModelError(
+            f"label mismatch: observed={sorted(observed)} modeled={sorted(modeled)}"
+        )
+    observed_norm = normalize_by(observed, reference)
+    modeled_norm = normalize_by(modeled, reference)
+    labels = list(order) if order is not None else sorted(observed)
+    rows = tuple(
+        ValidationRow(
+            label=label, observed=observed_norm[label], modeled=modeled_norm[label]
+        )
+        for label in labels
+    )
+    return ValidationReport(metric=metric, rows=rows)

@@ -1,0 +1,123 @@
+"""Columnar record batches — the tuple representation of functional P-store.
+
+A :class:`RecordBatch` is a set of equally-long named numpy arrays.  It is
+deliberately minimal: just enough structure for the scan / filter / project /
+exchange / hash-join operators to push realistic data through the same plans
+the simulator prices.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import ExecutionError
+
+__all__ = ["RecordBatch"]
+
+
+class RecordBatch:
+    """An immutable-ish batch of rows stored column-wise."""
+
+    def __init__(self, columns: Mapping[str, np.ndarray]):
+        if not columns:
+            raise ExecutionError("a RecordBatch needs at least one column")
+        lengths = {name: len(array) for name, array in columns.items()}
+        if len(set(lengths.values())) != 1:
+            raise ExecutionError(f"ragged columns: {lengths}")
+        self._columns = {name: np.asarray(array) for name, array in columns.items()}
+        self._num_rows = next(iter(lengths.values()))
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(self._columns)
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise ExecutionError(
+                f"no column {name!r}; have {sorted(self._columns)}"
+            ) from None
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def nbytes(self) -> int:
+        """Total payload bytes across all columns."""
+        return sum(array.nbytes for array in self._columns.values())
+
+    # ------------------------------------------------------------ combinators
+    def take(self, indices: np.ndarray) -> "RecordBatch":
+        """Row subset/reorder by integer indices."""
+        return RecordBatch({name: array[indices] for name, array in self._columns.items()})
+
+    def filter(self, mask: np.ndarray) -> "RecordBatch":
+        """Row subset by boolean mask."""
+        if len(mask) != self._num_rows:
+            raise ExecutionError(
+                f"mask length {len(mask)} != batch rows {self._num_rows}"
+            )
+        return RecordBatch({name: array[mask] for name, array in self._columns.items()})
+
+    def project(self, names: Iterable[str]) -> "RecordBatch":
+        """Column subset (in the given order)."""
+        names = list(names)
+        if not names:
+            raise ExecutionError("projection must keep at least one column")
+        return RecordBatch({name: self.column(name) for name in names})
+
+    def rename(self, mapping: Mapping[str, str]) -> "RecordBatch":
+        """Rename columns; names absent from ``mapping`` are kept."""
+        return RecordBatch(
+            {mapping.get(name, name): array for name, array in self._columns.items()}
+        )
+
+    def slices(self, batch_rows: int) -> Iterable["RecordBatch"]:
+        """Split into consecutive batches of at most ``batch_rows`` rows."""
+        if batch_rows <= 0:
+            raise ExecutionError(f"batch_rows must be > 0, got {batch_rows}")
+        for start in range(0, self._num_rows, batch_rows):
+            yield RecordBatch(
+                {
+                    name: array[start : start + batch_rows]
+                    for name, array in self._columns.items()
+                }
+            )
+
+    @classmethod
+    def concat(cls, batches: Iterable["RecordBatch"]) -> "RecordBatch":
+        """Concatenate batches with identical column sets."""
+        batches = list(batches)
+        if not batches:
+            raise ExecutionError("cannot concat zero batches")
+        names = batches[0].column_names
+        for batch in batches[1:]:
+            if batch.column_names != names:
+                raise ExecutionError(
+                    f"column mismatch: {batch.column_names} vs {names}"
+                )
+        return cls(
+            {name: np.concatenate([b.column(name) for b in batches]) for name in names}
+        )
+
+    @classmethod
+    def empty_like(cls, template: "RecordBatch") -> "RecordBatch":
+        return cls(
+            {
+                name: np.empty(0, dtype=template.column(name).dtype)
+                for name in template.column_names
+            }
+        )
+
+    def __repr__(self) -> str:
+        return f"RecordBatch(rows={self._num_rows}, columns={list(self._columns)})"

@@ -1,0 +1,36 @@
+"""Behavioural models of the off-the-shelf parallel DBMSs of Section 3.
+
+The paper treats Vertica and HadoopDB as black boxes and characterizes each
+query by how its execution time splits between perfectly-partitionable
+local work and network-bound repartitioning.  These models reproduce that
+characterization:
+
+* :mod:`repro.dbms.vertica_like` — stage-based column-store model with the
+  paper's published per-query splits (Q1: all local; Q21: 94.5% local;
+  Q12: 52% local at 8 nodes) and a calibrated sub-linear shuffle-scaling
+  exponent capturing switch contention.
+* :mod:`repro.dbms.hadoopdb_like` — adds Hadoop's coordination overhead
+  (fixed job startup plus per-task scheduling cost), "the Hadoop
+  bottleneck" of Section 3.2.
+"""
+
+from repro.dbms.calibration import (
+    Q1_PROFILE,
+    Q12_PROFILE,
+    Q21_PROFILE,
+    SHUFFLE_SCALING_ALPHA,
+)
+from repro.dbms.hadoopdb_like import HadoopDBLike, HadoopOverheads
+from repro.dbms.vertica_like import DBMSRunResult, QueryProfile, VerticaLikeDBMS
+
+__all__ = [
+    "QueryProfile",
+    "DBMSRunResult",
+    "VerticaLikeDBMS",
+    "HadoopDBLike",
+    "HadoopOverheads",
+    "Q1_PROFILE",
+    "Q12_PROFILE",
+    "Q21_PROFILE",
+    "SHUFFLE_SCALING_ALPHA",
+]

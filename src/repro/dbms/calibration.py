@@ -1,0 +1,64 @@
+"""Published query characterizations and calibrated scaling constants.
+
+Per-query local/shuffle splits come straight from Section 3.1:
+
+* **Q1** — "does not involve any joins and only does simple aggregations on
+  the LINEITEM table"; scales linearly -> local fraction 1.0.
+* **Q21** — "the bulk of this query (94.5% of the total query time for
+  eight nodes) is spent doing node local execution".
+* **Q12** — "spends 48% of the query time network bottlenecked during
+  repartitioning with the eight node cluster" -> local fraction 0.52.
+
+``SHUFFLE_SCALING_ALPHA`` is the one calibrated constant: the shuffle
+stage's scaling exponent.  The paper reports that going from 16N to 8N on
+Q12 "reduces the performance by only 36%", i.e. T(16)/T(8) ~= 0.64 with the
+splits above; solving ``0.52/2 + 0.48 * 0.5**alpha = 0.64`` gives
+``alpha ~= 0.34``.  Physically this is the SMC switch's contention: each
+node's send volume halves with twice the nodes, but the flow count grows
+quadratically.  The ablation bench shows that ``alpha = 1`` (an ideal
+switch) would erase Figure 1(a)'s energy savings entirely.
+
+Reference response times are representative values for warm scale-1000
+runs on the 16-node cluster-V; every figure normalizes them away.
+"""
+
+from __future__ import annotations
+
+from repro.dbms.vertica_like import QueryProfile
+
+__all__ = [
+    "SHUFFLE_SCALING_ALPHA",
+    "Q1_PROFILE",
+    "Q12_PROFILE",
+    "Q21_PROFILE",
+]
+
+#: Calibrated shuffle-stage scaling exponent (see module docstring).
+SHUFFLE_SCALING_ALPHA = 0.34
+
+#: TPC-H Q1 at SF1000: pure local scan + aggregate (Figure 2a).
+Q1_PROFILE = QueryProfile(
+    name="tpch-q1",
+    local_fraction=1.0,
+    reference_nodes=8,
+    reference_time_s=35.0,
+    shuffle_scaling=SHUFFLE_SCALING_ALPHA,
+)
+
+#: TPC-H Q12 at SF1000: 48% of time network-bound at 8N (Figures 1a).
+Q12_PROFILE = QueryProfile(
+    name="tpch-q12",
+    local_fraction=0.52,
+    reference_nodes=8,
+    reference_time_s=60.0,
+    shuffle_scaling=SHUFFLE_SCALING_ALPHA,
+)
+
+#: TPC-H Q21 at SF1000: 94.5% local at 8N (Figure 2b).
+Q21_PROFILE = QueryProfile(
+    name="tpch-q21",
+    local_fraction=0.945,
+    reference_nodes=8,
+    reference_time_s=160.0,
+    shuffle_scaling=SHUFFLE_SCALING_ALPHA,
+)

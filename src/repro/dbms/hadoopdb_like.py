@@ -1,0 +1,102 @@
+"""HadoopDB-like model: a parallel DBMS coordinated through Hadoop.
+
+Section 3.2: "Hadoop was designed with fault tolerance as one of the
+primary goals and consequently, the performance of our version of HadoopDB
+was limited by the Hadoop bottleneck", and the evaluation "found that the
+best performing cluster is not always the most energy-efficient" (results
+omitted from the paper for space).
+
+We model the bottleneck as job-level coordination overhead on top of the
+Vertica-like stage model:
+
+* a fixed per-job cost (job setup, JVM startup, HDFS metadata) that does
+  not shrink with more nodes, and
+* a per-node scheduling/heartbeat cost that *grows* with cluster size.
+
+Both are energy-relevant: the overhead time is spent at low utilization on
+every node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.design_space import DesignPoint, TradeoffCurve
+from repro.dbms.vertica_like import DBMSRunResult, QueryProfile, VerticaLikeDBMS
+from repro.errors import ConfigurationError
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.node import NodeSpec
+from repro.hardware.presets import CLUSTER_V_NODE
+
+__all__ = ["HadoopOverheads", "HadoopDBLike"]
+
+
+@dataclass(frozen=True)
+class HadoopOverheads:
+    """Coordination costs of the Hadoop layer."""
+
+    #: fixed seconds per job regardless of cluster size
+    job_startup_s: float = 15.0
+    #: additional seconds per cluster node (task scheduling, heartbeats)
+    per_node_s: float = 1.0
+    #: CPU utilization during coordination (mostly idle waiting)
+    coordination_utilization: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.job_startup_s < 0 or self.per_node_s < 0:
+            raise ConfigurationError("overhead times must be >= 0")
+        if not 0.0 < self.coordination_utilization <= 1.0:
+            raise ConfigurationError(
+                "coordination utilization must be in (0, 1], got "
+                f"{self.coordination_utilization}"
+            )
+
+    def time_s(self, num_nodes: int) -> float:
+        return self.job_startup_s + self.per_node_s * num_nodes
+
+
+class HadoopDBLike:
+    """Vertica-like engine wrapped in Hadoop coordination overhead."""
+
+    def __init__(
+        self,
+        node: NodeSpec = CLUSTER_V_NODE,
+        overheads: HadoopOverheads | None = None,
+    ):
+        self.node = node
+        self.overheads = overheads or HadoopOverheads()
+        self._engine = VerticaLikeDBMS(node)
+
+    def run(self, profile: QueryProfile, num_nodes: int) -> DBMSRunResult:
+        base = self._engine.run(profile, num_nodes)
+        overhead_time = self.overheads.time_s(num_nodes)
+        overhead_power = self.node.power_model.power(
+            self.overheads.coordination_utilization
+        )
+        return DBMSRunResult(
+            query=f"hadoopdb:{profile.name}",
+            num_nodes=num_nodes,
+            time_s=base.time_s + overhead_time,
+            energy_j=base.energy_j + num_nodes * overhead_power * overhead_time,
+            local_time_s=base.local_time_s,
+            shuffle_time_s=base.shuffle_time_s,
+        )
+
+    def size_sweep(self, profile: QueryProfile, sizes: Sequence[int]) -> TradeoffCurve:
+        """Size sweep with Hadoop overheads; largest size is the reference."""
+        if not sizes:
+            raise ConfigurationError("no cluster sizes given")
+        ordered = sorted(set(sizes), reverse=True)
+        points = []
+        for size in ordered:
+            result = self.run(profile, size)
+            points.append(
+                DesignPoint(
+                    label=f"{size}N",
+                    cluster=ClusterSpec.homogeneous(self.node, size, name=f"{size}N"),
+                    time_s=result.time_s,
+                    energy_j=result.energy_j,
+                )
+            )
+        return TradeoffCurve(points, reference_label=points[0].label)

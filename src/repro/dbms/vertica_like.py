@@ -1,0 +1,144 @@
+"""Stage-based model of a Vertica-like column-store parallel DBMS.
+
+Section 3.1 explains every speedup result through one number per query: the
+fraction of execution time spent in node-local processing versus network
+repartitioning (at the 8-node reference).  We model a query as two stages:
+
+* **local** — perfectly partitionable work; time scales as ``1/N``;
+* **shuffle** — repartitioning; time scales as ``(N0/N)**alpha`` with
+  ``alpha < 1``: adding nodes shrinks each node's send volume, but switch
+  contention grows, so the stage improves sub-linearly.  ``alpha`` is
+  calibrated in :mod:`repro.dbms.calibration` against the published Q12
+  speedups (8N performance ratio ~0.64 relative to 16N).
+
+Energy per Section 3's methodology: each stage runs at a characteristic
+CPU utilization (high while computing locally, low while network-blocked),
+node power comes from the Table 1 regression, and cluster energy is
+``N * sum(stage power x stage time)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.design_space import DesignPoint, TradeoffCurve
+from repro.errors import ConfigurationError
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.node import NodeSpec
+from repro.hardware.presets import CLUSTER_V_NODE
+
+__all__ = ["QueryProfile", "DBMSRunResult", "VerticaLikeDBMS"]
+
+
+@dataclass(frozen=True)
+class QueryProfile:
+    """Black-box characterization of one query on the reference cluster."""
+
+    name: str
+    #: fraction of response time spent on node-local work at the reference size
+    local_fraction: float
+    #: cluster size at which ``local_fraction`` was measured
+    reference_nodes: int
+    #: response time at the reference size (seconds)
+    reference_time_s: float
+    #: shuffle-stage scaling exponent (1 = ideal, 0 = size-independent)
+    shuffle_scaling: float
+    #: CPU utilization during local processing
+    local_utilization: float = 0.90
+    #: CPU utilization while network-blocked in the shuffle stage
+    shuffle_utilization: float = 0.35
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.local_fraction <= 1.0:
+            raise ConfigurationError(
+                f"{self.name}: local_fraction must be in [0, 1], got {self.local_fraction}"
+            )
+        if self.reference_nodes <= 0 or self.reference_time_s <= 0:
+            raise ConfigurationError(f"{self.name}: reference size/time must be > 0")
+        if not 0.0 <= self.shuffle_scaling <= 1.0:
+            raise ConfigurationError(
+                f"{self.name}: shuffle_scaling must be in [0, 1], got {self.shuffle_scaling}"
+            )
+        for label, util in (
+            ("local", self.local_utilization),
+            ("shuffle", self.shuffle_utilization),
+        ):
+            if not 0.0 < util <= 1.0:
+                raise ConfigurationError(
+                    f"{self.name}: {label} utilization must be in (0, 1], got {util}"
+                )
+
+    @property
+    def shuffle_fraction(self) -> float:
+        return 1.0 - self.local_fraction
+
+
+@dataclass(frozen=True)
+class DBMSRunResult:
+    """Response time and energy of one query at one cluster size."""
+
+    query: str
+    num_nodes: int
+    time_s: float
+    energy_j: float
+    local_time_s: float
+    shuffle_time_s: float
+
+    @property
+    def average_power_w(self) -> float:
+        return self.energy_j / self.time_s if self.time_s > 0 else 0.0
+
+
+class VerticaLikeDBMS:
+    """Runs query profiles at any cluster size, producing time and energy."""
+
+    def __init__(self, node: NodeSpec = CLUSTER_V_NODE):
+        self.node = node
+
+    def run(self, profile: QueryProfile, num_nodes: int) -> DBMSRunResult:
+        if num_nodes <= 0:
+            raise ConfigurationError(f"num_nodes must be > 0, got {num_nodes}")
+        n0 = profile.reference_nodes
+        local0 = profile.local_fraction * profile.reference_time_s
+        shuffle0 = profile.shuffle_fraction * profile.reference_time_s
+
+        local_time = local0 * n0 / num_nodes
+        shuffle_time = shuffle0 * (n0 / num_nodes) ** profile.shuffle_scaling
+
+        power_local = self.node.power_model.power(profile.local_utilization)
+        power_shuffle = self.node.power_model.power(profile.shuffle_utilization)
+        energy = num_nodes * (power_local * local_time + power_shuffle * shuffle_time)
+
+        return DBMSRunResult(
+            query=profile.name,
+            num_nodes=num_nodes,
+            time_s=local_time + shuffle_time,
+            energy_j=energy,
+            local_time_s=local_time,
+            shuffle_time_s=shuffle_time,
+        )
+
+    def size_sweep(
+        self, profile: QueryProfile, sizes: Sequence[int]
+    ) -> TradeoffCurve:
+        """Evaluate a homogeneous size sweep; largest size is the reference.
+
+        This reproduces the Section 3 experiments ("varying the cluster
+        size between 8 and 16 nodes, in 2 node increments").
+        """
+        if not sizes:
+            raise ConfigurationError("no cluster sizes given")
+        ordered = sorted(set(sizes), reverse=True)
+        points = []
+        for size in ordered:
+            result = self.run(profile, size)
+            points.append(
+                DesignPoint(
+                    label=f"{size}N",
+                    cluster=ClusterSpec.homogeneous(self.node, size, name=f"{size}N"),
+                    time_s=result.time_s,
+                    energy_j=result.energy_j,
+                )
+            )
+        return TradeoffCurve(points, reference_label=points[0].label)

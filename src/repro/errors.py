@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+errors (``TypeError`` etc. still propagate unchanged).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ModelError",
+    "SimulationError",
+    "PlanError",
+    "ExecutionError",
+    "CalibrationError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """A hardware/cluster/workload configuration is invalid or inconsistent."""
+
+
+class ModelError(ReproError):
+    """The analytical model was asked to evaluate an unsupported scenario."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class PlanError(ReproError):
+    """A query plan could not be constructed (e.g. hash table cannot fit)."""
+
+
+class ExecutionError(ReproError):
+    """A functional P-store execution failed."""
+
+
+class CalibrationError(ReproError):
+    """Power-model regression could not be fitted to the measurements."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition is invalid (unknown table, bad selectivity...)."""

@@ -1,0 +1,97 @@
+"""Experiment registry: one driver per paper table/figure.
+
+Run any experiment::
+
+    from repro.experiments import run
+    result = run("fig1a")
+    print(result.report())
+
+or from the command line::
+
+    python -m repro.experiments fig1a fig3
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.experiments.base import Claim, ExperimentResult, check
+from repro.experiments.fig01 import fig1a, fig1b
+from repro.experiments.fig02 import fig2a, fig2b
+from repro.experiments.fig03 import fig3
+from repro.experiments.fig04 import fig4
+from repro.experiments.fig05 import fig5
+from repro.experiments.fig06 import fig6
+from repro.experiments.fig07 import fig7a, fig7b
+from repro.experiments.fig08 import fig8, fig9
+from repro.experiments.fig10 import fig10a, fig10b
+from repro.experiments.fig11 import fig11
+from repro.experiments.extensions import ext_dvfs, ext_skew, ext_stream, ext_trends
+from repro.experiments.fig12 import fig12
+from repro.experiments.tables import tbl1, tbl2, tbl3
+
+__all__ = [
+    "PAPER_EXPERIMENTS",
+    "EXTENSION_EXPERIMENTS",
+    "EXPERIMENTS",
+    "run",
+    "run_all",
+    "ExperimentResult",
+    "Claim",
+    "check",
+]
+
+#: every table and figure of the paper's evaluation, in paper order
+PAPER_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "fig1a": fig1a,
+    "fig1b": fig1b,
+    "tbl1": tbl1,
+    "fig2a": fig2a,
+    "fig2b": fig2b,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "tbl2": tbl2,
+    "fig6": fig6,
+    "fig7a": fig7a,
+    "fig7b": fig7b,
+    "tbl3": tbl3,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10a": fig10a,
+    "fig10b": fig10b,
+    "fig11": fig11,
+    "fig12": fig12,
+}
+
+#: future-work studies beyond the paper (see repro.experiments.extensions)
+EXTENSION_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "ext-trends": ext_trends,
+    "ext-skew": ext_skew,
+    "ext-dvfs": ext_dvfs,
+    "ext-stream": ext_stream,
+}
+
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    **PAPER_EXPERIMENTS,
+    **EXTENSION_EXPERIMENTS,
+}
+
+
+def run(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by id (raises for unknown ids)."""
+    try:
+        driver = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {', '.join(EXPERIMENTS)}"
+        ) from None
+    return driver()
+
+
+def run_all() -> list[ExperimentResult]:
+    """Run every experiment in paper order."""
+    return [driver() for driver in EXPERIMENTS.values()]

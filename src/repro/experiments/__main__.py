@@ -1,0 +1,77 @@
+"""Command-line entry point: regenerate paper tables and figures.
+
+Usage::
+
+    python -m repro.experiments all
+    python -m repro.experiments fig1a fig3 tbl1
+    repro-experiments fig11          # via the installed console script
+
+Exits non-zero if any paper claim fails its check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import EXPERIMENTS, run
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="print only the claim check summary",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit each result as a JSON object instead of text",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list available experiment ids and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in EXPERIMENTS:
+            print(experiment_id)
+        return 0
+    if not args.experiments:
+        parser.error("provide experiment ids, 'all', or --list")
+
+    ids = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    failures = 0
+    for experiment_id in ids:
+        result = run(experiment_id)
+        if args.json:
+            from repro.analysis.export import experiment_to_json
+
+            print(experiment_to_json(result))
+        elif args.quiet:
+            status = "ok" if result.all_claims_hold else "FAILED"
+            print(f"{experiment_id}: {status}")
+        else:
+            print(result.report())
+            print()
+        failures += len(result.failed_claims())
+    if failures:
+        print(f"{failures} claim check(s) failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

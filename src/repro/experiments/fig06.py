@@ -1,0 +1,67 @@
+"""Figure 6: single-node hash-join energy across five hardware classes.
+
+An in-memory 0.1M x 20M row join (100-byte tuples) on the Table 2 systems.
+Laptop B consumes the least energy (~800 J) even though the workstations
+finish far sooner — low-power systems cut power draw more than they cut
+performance, which is the premise for the Wimpy-node design space.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.experiments.base import ExperimentResult, check
+from repro.hardware.presets import TABLE2_SYSTEMS
+from repro.workloads.microbench import simulate_microbench
+
+__all__ = ["fig6"]
+
+
+def fig6() -> ExperimentResult:
+    results = {s.name: simulate_microbench(s) for s in TABLE2_SYSTEMS}
+    rows = [
+        (r.system, f"{r.response_time_s:.1f}", f"{r.energy_j:.0f}",
+         f"{r.average_power_w:.1f}")
+        for r in results.values()
+    ]
+    by_energy = sorted(results.values(), key=lambda r: r.energy_j)
+    by_speed = sorted(results.values(), key=lambda r: r.response_time_s)
+
+    claims = (
+        check(
+            "Laptop B consumes the least energy for the join",
+            by_energy[0].system == "laptop-B",
+            f"winner: {by_energy[0].system} at {by_energy[0].energy_j:.0f} J",
+        ),
+        check(
+            "a workstation is fastest (lowest response time)",
+            by_speed[0].system.startswith("workstation"),
+            f"fastest: {by_speed[0].system} at {by_speed[0].response_time_s:.1f} s",
+        ),
+        check(
+            "Laptop B energy ~800 J (paper's reading)",
+            abs(results["laptop-B"].energy_j - 800.0) <= 80.0,
+            f"{results['laptop-B'].energy_j:.0f} J",
+        ),
+        check(
+            "Workstation A energy ~1300 J (paper's reading)",
+            abs(results["workstation-A"].energy_j - 1300.0) <= 130.0,
+            f"{results['workstation-A'].energy_j:.0f} J",
+        ),
+        check(
+            "all response times within the figure's 0-50 s axis",
+            all(0.0 < r.response_time_s <= 50.0 for r in results.values()),
+        ),
+        check(
+            "all energies within the figure's 0-1800 J axis",
+            all(0.0 < r.energy_j <= 1800.0 for r in results.values()),
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="fig6",
+        title="Single-node in-memory hash join: energy vs response time",
+        text=render_table(
+            ("system", "response time (s)", "energy (J)", "avg power (W)"), rows
+        ),
+        claims=claims,
+        data={"results": results},
+    )

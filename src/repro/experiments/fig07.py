@@ -1,0 +1,156 @@
+"""Figure 7: all-Beefy (AB) vs 2-Beefy/2-Wimpy (BW) prototype clusters.
+
+Simulated reproduction of the Section 5.2 SF-400 dual-shuffle joins on the
+L5630 Beefy prototype and Laptop B Wimpy nodes:
+
+* **7(a)** — ORDERS 1% (homogeneous execution): AB wins at selective
+  LINEITEM predicates (the Wimpy scan limit dominates), BW wins big at
+  50%/100% (everyone is network-bound, Wimpies draw a fraction of the
+  power).
+* **7(b)** — ORDERS 10% (heterogeneous execution forced, as in the paper):
+  Wimpy nodes scan/filter for the Beefy pair; the Beefy ingest bottleneck
+  roughly doubles response time.
+
+Calibration (documented in EXPERIMENTS.md): ``pipeline_cpu_cost = 3.0``
+matches the paper's observed AB response times (L1 ~8 s); the Wimpy NIC is
+set to 88 MB/s matching the BW/AB slowdown at L100.  Known deviation: in
+7(b) the paper measured BW saving 7-13% at L50/L100, while our simulator —
+which keeps the paper's own G_B = 0.25 engine-utilization floor during
+network stalls — shows BW costing ~10-15% more; the paper's own *model*
+(Figure 10b) agrees with our direction (savings never exceed 5%).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.experiments.base import ExperimentResult, check
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.presets import BEEFY_L5630, WIMPY_LAPTOP_B
+from repro.pstore.engine import PStore, PStoreConfig
+from repro.pstore.plans import ExecutionMode
+from repro.workloads.queries import q3_join
+
+__all__ = ["fig7a", "fig7b", "FIG7_CONFIG", "fig7_wimpy_node", "fig7_engines"]
+
+#: Engine calibration for the SF-400 prototype experiments.
+FIG7_CONFIG = PStoreConfig(warm_cache=True, pipeline_cpu_cost=3.0)
+
+LINEITEM_SELECTIVITIES = (0.01, 0.10, 0.50, 1.00)
+
+
+def fig7_wimpy_node():
+    """Laptop B with its measured usable NIC bandwidth (88 MB/s)."""
+    return WIMPY_LAPTOP_B.with_overrides(nic_bandwidth_mbps=88.0)
+
+
+def fig7_engines():
+    """The AB and BW prototype clusters as simulated engines."""
+    ab = PStore(
+        ClusterSpec.homogeneous(BEEFY_L5630, 4, name="AB"),
+        config=FIG7_CONFIG,
+        record_intervals=False,
+    )
+    bw = PStore(
+        ClusterSpec.beefy_wimpy(BEEFY_L5630, 2, fig7_wimpy_node(), 2, name="BW"),
+        config=FIG7_CONFIG,
+        record_intervals=False,
+    )
+    return ab, bw
+
+
+def _grid(orders_selectivity: float, mode: ExecutionMode | None):
+    ab, bw = fig7_engines()
+    rows = []
+    data = {}
+    for ls in LINEITEM_SELECTIVITIES:
+        workload = q3_join(400, orders_selectivity, ls)
+        result_ab = ab.simulate(workload)
+        result_bw = bw.simulate(workload, force_mode=mode)
+        saving = 1.0 - result_bw.energy_j / result_ab.energy_j
+        data[ls] = (result_ab, result_bw, saving)
+        rows.append(
+            (
+                f"L{ls:.0%}",
+                f"{result_ab.makespan_s:.1f}",
+                f"{result_ab.energy_j / 1e3:.1f}",
+                f"{result_bw.makespan_s:.1f}",
+                f"{result_bw.energy_j / 1e3:.1f}",
+                f"{saving:+.1%}",
+            )
+        )
+    text = render_table(
+        ("LINEITEM sel", "AB time (s)", "AB energy (kJ)",
+         "BW time (s)", "BW energy (kJ)", "BW saving"),
+        rows,
+    )
+    return data, text
+
+
+def fig7a() -> ExperimentResult:
+    """ORDERS 1%: homogeneous execution — all nodes build hash tables."""
+    data, text = _grid(0.01, mode=None)
+    claims = (
+        check(
+            "AB consumes less energy at 1% and 10% LINEITEM selectivity",
+            data[0.01][2] < 0.0 and data[0.10][2] < 0.0,
+            f"BW 'saving' L1={data[0.01][2]:+.0%}, L10={data[0.10][2]:+.0%}",
+        ),
+        check(
+            "BW saves substantially at 50% (paper: 43%)",
+            data[0.50][2] >= 0.25,
+            f"{data[0.50][2]:+.1%}",
+        ),
+        check(
+            "BW saves substantially at 100% (paper: 56%)",
+            data[1.00][2] >= 0.25,
+            f"{data[1.00][2]:+.1%}",
+        ),
+        check(
+            "at L1 the Wimpy scan limit dominates (BW ~4-6x slower)",
+            3.0 <= data[0.01][1].makespan_s / data[0.01][0].makespan_s <= 7.0,
+            f"ratio {data[0.01][1].makespan_s / data[0.01][0].makespan_s:.1f}",
+        ),
+        check(
+            "at L100 both clusters are network bound (BW ~8-15% slower)",
+            1.0 <= data[1.00][1].makespan_s / data[1.00][0].makespan_s <= 1.25,
+            f"ratio {data[1.00][1].makespan_s / data[1.00][0].makespan_s:.2f}",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="fig7a",
+        title="AB vs BW clusters, ORDERS 1% (homogeneous), SF400",
+        text=text,
+        claims=claims,
+        data={"grid": data},
+    )
+
+
+def fig7b() -> ExperimentResult:
+    """ORDERS 10%: heterogeneous execution — Wimpies feed the Beefies."""
+    data, text = _grid(0.10, mode=ExecutionMode.HETEROGENEOUS)
+    claims = (
+        check(
+            "AB wins clearly at selective LINEITEM predicates (L1/L10)",
+            data[0.01][2] < -0.25 and data[0.10][2] < -0.25,
+            f"L1={data[0.01][2]:+.0%}, L10={data[0.10][2]:+.0%}",
+        ),
+        check(
+            "at L50/L100 BW is energy-competitive with AB (within 20%; "
+            "paper measured 7-13% savings, paper's own model <=5%)",
+            abs(data[0.50][2]) <= 0.20 and abs(data[1.00][2]) <= 0.20,
+            f"L50={data[0.50][2]:+.1%}, L100={data[1.00][2]:+.1%}",
+        ),
+        check(
+            "heterogeneous ingest roughly doubles response time at L100 "
+            "(paper: ~290 s vs ~155 s)",
+            1.6 <= data[1.00][1].makespan_s / data[1.00][0].makespan_s <= 2.4,
+            f"ratio {data[1.00][1].makespan_s / data[1.00][0].makespan_s:.2f}",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="fig7b",
+        title="AB vs BW clusters, ORDERS 10% (heterogeneous), SF400",
+        text=text,
+        claims=claims,
+        data={"grid": data},
+    )

@@ -1,0 +1,119 @@
+"""Figures 8 and 9: validating the analytical model against "observed" runs.
+
+The paper validates its model against measured 2B/2W-cluster joins by
+comparing series normalized to the 100%-LINEITEM point: within 5% for the
+homogeneous plans (Figure 8) and within 10% for the heterogeneous plans
+(Figure 9).  Our "observations" come from the fluid simulator — the
+independent implementation the model must agree with.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.core.model import ModelParameters, PStoreModel
+from repro.core.validation import ValidationReport, compare_normalized
+from repro.experiments.base import ExperimentResult, check
+from repro.experiments.fig07 import FIG7_CONFIG, fig7_engines, fig7_wimpy_node
+from repro.hardware.presets import BEEFY_L5630
+from repro.pstore.plans import ExecutionMode
+from repro.workloads.queries import q3_join
+
+__all__ = ["fig8", "fig9", "run_validation"]
+
+LINEITEM_SELECTIVITIES = (0.01, 0.10, 0.50, 1.00)
+REFERENCE = "L100%"
+
+
+def _label(ls: float) -> str:
+    return f"L{ls:.0%}"
+
+
+def run_validation(
+    orders_selectivity: float, mode: ExecutionMode
+) -> tuple[ValidationReport, ValidationReport]:
+    """Observed (simulator) vs modeled, both normalized by the L100% run."""
+    _, bw = fig7_engines()
+    params = ModelParameters.from_specs(BEEFY_L5630, 2, fig7_wimpy_node(), 2)
+    model = PStoreModel(
+        params,
+        warm_cache=FIG7_CONFIG.warm_cache,
+        pipeline_cpu_cost=FIG7_CONFIG.pipeline_cpu_cost,
+    )
+
+    observed_rt, observed_energy, modeled_rt, modeled_energy = {}, {}, {}, {}
+    for ls in LINEITEM_SELECTIVITIES:
+        workload = q3_join(400, orders_selectivity, ls)
+        label = _label(ls)
+        observed = bw.simulate(workload, force_mode=mode)
+        predicted = model.predict(workload, mode=mode)
+        observed_rt[label] = observed.makespan_s
+        observed_energy[label] = observed.energy_j
+        modeled_rt[label] = predicted.time_s
+        modeled_energy[label] = predicted.energy_j
+
+    order = [_label(ls) for ls in LINEITEM_SELECTIVITIES]
+    rt = compare_normalized(
+        "response time", observed_rt, modeled_rt, reference=REFERENCE, order=order
+    )
+    energy = compare_normalized(
+        "energy", observed_energy, modeled_energy, reference=REFERENCE, order=order
+    )
+    return rt, energy
+
+
+def _result(
+    experiment_id: str,
+    title: str,
+    orders_selectivity: float,
+    mode: ExecutionMode,
+    tolerance: float,
+) -> ExperimentResult:
+    rt, energy = run_validation(orders_selectivity, mode)
+    rows = [
+        (row_rt.label, f"{row_rt.observed:.3f}", f"{row_rt.modeled:.3f}",
+         f"{row_e.observed:.3f}", f"{row_e.modeled:.3f}")
+        for row_rt, row_e in zip(rt.rows, energy.rows)
+    ]
+    claims = (
+        check(
+            f"normalized response time within {tolerance:.0%} (paper's bound)",
+            rt.within(tolerance),
+            f"max error {rt.max_error:.3f}",
+        ),
+        check(
+            f"normalized energy within {tolerance:.0%} (paper's bound)",
+            energy.within(tolerance),
+            f"max error {energy.max_error:.3f}",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        text=render_table(
+            ("workload", "RT obs", "RT model", "E obs", "E model"), rows
+        ),
+        claims=claims,
+        data={"rt": rt, "energy": energy},
+    )
+
+
+def fig8() -> ExperimentResult:
+    """Homogeneous validation: ORDERS 1%, within 5% (Figure 8)."""
+    return _result(
+        "fig8",
+        "Model validation, 2B/2W homogeneous (ORDERS 1%)",
+        orders_selectivity=0.01,
+        mode=ExecutionMode.HOMOGENEOUS,
+        tolerance=0.05,
+    )
+
+
+def fig9() -> ExperimentResult:
+    """Heterogeneous validation: ORDERS 10%, within 10% (Figure 9)."""
+    return _result(
+        "fig9",
+        "Model validation, 2B/2W heterogeneous (ORDERS 10%)",
+        orders_selectivity=0.10,
+        mode=ExecutionMode.HETEROGENEOUS,
+        tolerance=0.10,
+    )

@@ -1,0 +1,76 @@
+"""Hardware substrate: node specifications, power models, calibration, meters.
+
+This package models the physical testbed of the paper:
+
+* :mod:`repro.hardware.power` — server power as a function of CPU
+  utilization (the paper's ``SysPower`` regressions, Table 1/Table 3).
+* :mod:`repro.hardware.calibration` — fitting those regressions from
+  (utilization, watts) samples, choosing among exponential / power-law /
+  logarithmic forms by R² exactly as Section 3.1 describes.
+* :mod:`repro.hardware.node` / :mod:`repro.hardware.cluster` — node and
+  cluster specifications (CPU bandwidth, memory, disk, NIC).
+* :mod:`repro.hardware.meter` — simulated WattsUp Pro (1 Hz, +/-1.5%) and
+  iLO2 (5-minute window average) power meters.
+* :mod:`repro.hardware.presets` — the paper's published hardware: cluster-V
+  nodes, the L5630 Beefy nodes, Laptop B Wimpy nodes, and the five Table 2
+  systems.
+"""
+
+from repro.hardware.calibration import (
+    CalibrationResult,
+    fit_best_model,
+    fit_exponential,
+    fit_logarithmic,
+    fit_power_law,
+    r_squared,
+)
+from repro.hardware.cluster import ClusterSpec, NodeGroup
+from repro.hardware.meter import ILO2Interface, PowerSample, WattsUpMeter
+from repro.hardware.node import NodeSpec
+from repro.hardware.power import (
+    ExponentialModel,
+    IdlePeakModel,
+    LogarithmicModel,
+    PowerLawModel,
+    PowerModel,
+)
+from repro.hardware.presets import (
+    BEEFY_L5630,
+    CLUSTER_V_NODE,
+    DESKTOP_ATOM,
+    LAPTOP_A,
+    LAPTOP_B,
+    TABLE2_SYSTEMS,
+    WIMPY_LAPTOP_B,
+    WORKSTATION_A,
+    WORKSTATION_B,
+)
+
+__all__ = [
+    "PowerModel",
+    "PowerLawModel",
+    "ExponentialModel",
+    "LogarithmicModel",
+    "IdlePeakModel",
+    "CalibrationResult",
+    "fit_power_law",
+    "fit_exponential",
+    "fit_logarithmic",
+    "fit_best_model",
+    "r_squared",
+    "NodeSpec",
+    "NodeGroup",
+    "ClusterSpec",
+    "PowerSample",
+    "WattsUpMeter",
+    "ILO2Interface",
+    "CLUSTER_V_NODE",
+    "BEEFY_L5630",
+    "WIMPY_LAPTOP_B",
+    "WORKSTATION_A",
+    "WORKSTATION_B",
+    "DESKTOP_ATOM",
+    "LAPTOP_A",
+    "LAPTOP_B",
+    "TABLE2_SYSTEMS",
+]

@@ -1,0 +1,126 @@
+"""Fitting node power models from (utilization, watts) measurements.
+
+Section 3.1 of the paper: *"we explored exponential, power, and logarithmic
+regression models, and picked the one with the best R² value"*.  This module
+reproduces that workflow: least-squares fits for the three forms (each is
+linear after a transform) and selection by R² computed on the original watt
+scale.
+
+The table-1 experiment (:mod:`repro.experiments.tables`) drives this with
+samples produced by the simulated iLO2 interface and recovers the published
+``130.03 * C^0.2369`` model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import CalibrationError
+from repro.hardware.power import (
+    ExponentialModel,
+    LogarithmicModel,
+    PowerLawModel,
+    PowerModel,
+)
+
+__all__ = [
+    "CalibrationResult",
+    "r_squared",
+    "fit_power_law",
+    "fit_exponential",
+    "fit_logarithmic",
+    "fit_best_model",
+]
+
+_MIN_SAMPLES = 3
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """A fitted power model plus its goodness of fit."""
+
+    model: PowerModel
+    r2: float
+    family: str
+
+    def __str__(self) -> str:
+        return f"{self.family}: {self.model.formula()} (R²={self.r2:.4f})"
+
+
+def _validate(samples: Sequence[tuple[float, float]]) -> tuple[np.ndarray, np.ndarray]:
+    if len(samples) < _MIN_SAMPLES:
+        raise CalibrationError(
+            f"need at least {_MIN_SAMPLES} samples to fit a power model, got {len(samples)}"
+        )
+    util = np.asarray([s[0] for s in samples], dtype=float)
+    watts = np.asarray([s[1] for s in samples], dtype=float)
+    if np.any(util <= 0) or np.any(util > 1.0):
+        raise CalibrationError("utilization samples must lie in (0, 1]")
+    if np.any(watts <= 0):
+        raise CalibrationError("watt samples must be positive")
+    return util, watts
+
+
+def r_squared(observed: Iterable[float], predicted: Iterable[float]) -> float:
+    """Coefficient of determination of ``predicted`` against ``observed``."""
+    y = np.asarray(list(observed), dtype=float)
+    yhat = np.asarray(list(predicted), dtype=float)
+    if y.shape != yhat.shape or y.size == 0:
+        raise CalibrationError("observed/predicted must be equal-length, non-empty")
+    ss_res = float(np.sum((y - yhat) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    if ss_tot == 0.0:
+        # All observations identical: perfect fit iff residuals are zero.
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def _linear_fit(x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
+    """Least-squares slope/intercept of y on x."""
+    slope, intercept = np.polyfit(x, y, 1)
+    return float(slope), float(intercept)
+
+
+def fit_power_law(samples: Sequence[tuple[float, float]]) -> CalibrationResult:
+    """Fit ``W = a * (100u)^b`` by linear regression in log-log space."""
+    util, watts = _validate(samples)
+    slope, intercept = _linear_fit(np.log(100.0 * util), np.log(watts))
+    model = PowerLawModel(coefficient=math.exp(intercept), exponent=slope)
+    r2 = r_squared(watts, [model.power(u) for u in util])
+    return CalibrationResult(model=model, r2=r2, family="power")
+
+
+def fit_exponential(samples: Sequence[tuple[float, float]]) -> CalibrationResult:
+    """Fit ``W = a * e^(b * 100u)`` by linear regression in semilog space."""
+    util, watts = _validate(samples)
+    slope, intercept = _linear_fit(100.0 * util, np.log(watts))
+    model = ExponentialModel(coefficient=math.exp(intercept), rate=slope)
+    r2 = r_squared(watts, [model.power(u) for u in util])
+    return CalibrationResult(model=model, r2=r2, family="exponential")
+
+
+def fit_logarithmic(samples: Sequence[tuple[float, float]]) -> CalibrationResult:
+    """Fit ``W = a + b * ln(100u)`` by linear regression."""
+    util, watts = _validate(samples)
+    slope, intercept = _linear_fit(np.log(100.0 * util), watts)
+    model = LogarithmicModel(offset=intercept, slope=slope)
+    r2 = r_squared(watts, [model.power(u) for u in util])
+    return CalibrationResult(model=model, r2=r2, family="logarithmic")
+
+
+def fit_best_model(samples: Sequence[tuple[float, float]]) -> CalibrationResult:
+    """Fit all three regression families and return the best by R².
+
+    This is exactly the selection procedure of Section 3.1 (which picked the
+    power-law form for every server the paper measured).
+    """
+    candidates = [
+        fit_power_law(samples),
+        fit_exponential(samples),
+        fit_logarithmic(samples),
+    ]
+    return max(candidates, key=lambda result: result.r2)

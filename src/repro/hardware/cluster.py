@@ -1,0 +1,158 @@
+"""Cluster specifications: homogeneous and heterogeneous node collections.
+
+The paper's design space is the ratio of "Beefy" to "Wimpy" nodes in a
+fixed-size cluster (Figures 1b, 10, 11, 12c) plus homogeneous size sweeps
+(Figures 1a, 2, 3, 4).  :class:`ClusterSpec` supports both:
+
+>>> from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
+>>> homo = ClusterSpec.homogeneous(CLUSTER_V_NODE, 8)
+>>> mix = ClusterSpec.beefy_wimpy(CLUSTER_V_NODE, 5, WIMPY_LAPTOP_B, 3)
+>>> mix.num_nodes, mix.num_beefy, mix.num_wimpy
+(8, 5, 3)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+from repro.hardware.node import NodeSpec
+
+__all__ = ["NodeGroup", "ClusterSpec"]
+
+#: role labels used by planners and the analytical model
+BEEFY = "beefy"
+WIMPY = "wimpy"
+
+
+@dataclass(frozen=True)
+class NodeGroup:
+    """``count`` identical nodes playing a given role."""
+
+    spec: NodeSpec
+    count: int
+    role: str = BEEFY
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ConfigurationError(f"node count must be >= 0, got {self.count}")
+        if self.role not in (BEEFY, WIMPY):
+            raise ConfigurationError(f"unknown node role: {self.role!r}")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """An ordered collection of node groups forming one cluster design."""
+
+    name: str
+    groups: tuple[NodeGroup, ...]
+
+    def __post_init__(self) -> None:
+        if self.num_nodes == 0:
+            raise ConfigurationError(f"cluster {self.name!r} has no nodes")
+
+    # ---------------------------------------------------------------- builders
+    @classmethod
+    def homogeneous(cls, spec: NodeSpec, count: int, name: str | None = None) -> "ClusterSpec":
+        """A cluster of ``count`` identical (Beefy-role) nodes."""
+        if count <= 0:
+            raise ConfigurationError(f"homogeneous cluster needs count > 0, got {count}")
+        return cls(
+            name=name or f"{count}x{spec.name}",
+            groups=(NodeGroup(spec=spec, count=count, role=BEEFY),),
+        )
+
+    @classmethod
+    def beefy_wimpy(
+        cls,
+        beefy: NodeSpec,
+        num_beefy: int,
+        wimpy: NodeSpec,
+        num_wimpy: int,
+        name: str | None = None,
+    ) -> "ClusterSpec":
+        """The paper's ``{NB}B,{NW}W`` mixed design."""
+        if num_beefy < 0 or num_wimpy < 0 or num_beefy + num_wimpy == 0:
+            raise ConfigurationError(
+                f"invalid mix: {num_beefy} beefy + {num_wimpy} wimpy nodes"
+            )
+        return cls(
+            name=name or f"{num_beefy}B,{num_wimpy}W",
+            groups=(
+                NodeGroup(spec=beefy, count=num_beefy, role=BEEFY),
+                NodeGroup(spec=wimpy, count=num_wimpy, role=WIMPY),
+            ),
+        )
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def num_nodes(self) -> int:
+        return sum(group.count for group in self.groups)
+
+    @property
+    def num_beefy(self) -> int:
+        return sum(group.count for group in self.groups if group.role == BEEFY)
+
+    @property
+    def num_wimpy(self) -> int:
+        return sum(group.count for group in self.groups if group.role == WIMPY)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        specs = {id(group.spec) for group in self.groups if group.count > 0}
+        return len(specs) <= 1
+
+    @property
+    def beefy_spec(self) -> NodeSpec:
+        """Spec of the Beefy group (raises if the cluster has none)."""
+        for group in self.groups:
+            if group.role == BEEFY and group.count > 0:
+                return group.spec
+        raise ConfigurationError(f"cluster {self.name!r} has no beefy nodes")
+
+    @property
+    def wimpy_spec(self) -> NodeSpec:
+        """Spec of the Wimpy group (raises if the cluster has none)."""
+        for group in self.groups:
+            if group.role == WIMPY and group.count > 0:
+                return group.spec
+        raise ConfigurationError(f"cluster {self.name!r} has no wimpy nodes")
+
+    def nodes(self) -> Iterator[tuple[NodeSpec, str]]:
+        """Yield ``(spec, role)`` once per physical node, beefy nodes first."""
+        for group in self.groups:
+            for _ in range(group.count):
+                yield group.spec, group.role
+
+    @property
+    def total_memory_mb(self) -> float:
+        return sum(spec.memory_mb for spec, _ in self.nodes())
+
+    @property
+    def idle_power_w(self) -> float:
+        """Aggregate idle power of the whole cluster."""
+        return sum(spec.idle_power_w for spec, _ in self.nodes())
+
+    def subset(self, count: int, name: str | None = None) -> "ClusterSpec":
+        """First ``count`` nodes of this cluster as a new spec.
+
+        Used by the homogeneous size sweeps ("vary the cluster size between
+        8 and 16 nodes in 2 node increments").
+        """
+        if not 0 < count <= self.num_nodes:
+            raise ConfigurationError(
+                f"cannot take {count} nodes from {self.num_nodes}-node cluster"
+            )
+        remaining = count
+        groups: list[NodeGroup] = []
+        for group in self.groups:
+            take = min(group.count, remaining)
+            if take > 0:
+                groups.append(NodeGroup(spec=group.spec, count=take, role=group.role))
+                remaining -= take
+        return ClusterSpec(name=name or f"{self.name}[:{count}]", groups=tuple(groups))
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{g.count}x{g.spec.name}" for g in self.groups if g.count)
+        return f"{self.name}({parts})"

@@ -1,0 +1,142 @@
+"""Simulated power meters.
+
+The paper measures power two ways:
+
+* **WattsUp Pro** wall meters — 1 Hz sampling, +/-1.5% accuracy (Section 5.1);
+* **HP iLO2** remote management — power averaged over 5-minute windows,
+  reported three times per utilization level (Section 3.1).
+
+Both are reproduced here as instruments that sample an arbitrary
+``power(t) -> watts`` function.  The simulator's power traces and the node
+power models both provide such functions, so calibration experiments can be
+run against "measured" data with realistic noise, exactly mirroring how the
+authors derived their regressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PowerSample", "WattsUpMeter", "ILO2Interface"]
+
+PowerFunction = Callable[[float], float]
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """One meter reading: wall-clock time and watts."""
+
+    time_s: float
+    watts: float
+
+
+class WattsUpMeter:
+    """WattsUp-Pro-style wall meter: periodic sampling with bounded error.
+
+    Parameters
+    ----------
+    sample_hz:
+        Sampling frequency; the real instrument reports once per second.
+    accuracy:
+        Symmetric relative error bound; the datasheet value is +/-1.5%.
+    seed:
+        Seed for the error distribution, so experiments are reproducible.
+    """
+
+    def __init__(self, sample_hz: float = 1.0, accuracy: float = 0.015, seed: int | None = None):
+        if sample_hz <= 0:
+            raise ConfigurationError(f"sample_hz must be > 0, got {sample_hz}")
+        if accuracy < 0:
+            raise ConfigurationError(f"accuracy must be >= 0, got {accuracy}")
+        self.sample_hz = sample_hz
+        self.accuracy = accuracy
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, power_fn: PowerFunction, duration_s: float) -> list[PowerSample]:
+        """Sample ``power_fn`` for ``duration_s`` seconds."""
+        if duration_s <= 0:
+            raise ConfigurationError(f"duration must be > 0, got {duration_s}")
+        period = 1.0 / self.sample_hz
+        times = np.arange(period, duration_s + 1e-9, period)
+        samples = []
+        for t in times:
+            true_watts = power_fn(float(t))
+            if true_watts < 0:
+                raise ConfigurationError(f"power function returned {true_watts} W at t={t}")
+            error = self._rng.uniform(-self.accuracy, self.accuracy)
+            samples.append(PowerSample(time_s=float(t), watts=true_watts * (1.0 + error)))
+        return samples
+
+    @staticmethod
+    def energy_joules(samples: Sequence[PowerSample]) -> float:
+        """Trapezoidal energy estimate from a sample series."""
+        if len(samples) < 2:
+            raise ConfigurationError("need at least two samples to integrate energy")
+        times = np.asarray([s.time_s for s in samples])
+        watts = np.asarray([s.watts for s in samples])
+        return float(np.trapezoid(watts, times))
+
+    @staticmethod
+    def average_watts(samples: Sequence[PowerSample]) -> float:
+        if not samples:
+            raise ConfigurationError("no samples")
+        return float(np.mean([s.watts for s in samples]))
+
+
+class ILO2Interface:
+    """iLO2-style management interface: windowed power averages.
+
+    ``measure`` runs ``windows`` consecutive averaging windows (the paper
+    used three 5-minute windows per utilization level) and returns the mean
+    of the window averages — the quantity the authors fed into their
+    regression fits.
+    """
+
+    WINDOW_S = 300.0
+
+    def __init__(self, accuracy: float = 0.01, seed: int | None = None):
+        if accuracy < 0:
+            raise ConfigurationError(f"accuracy must be >= 0, got {accuracy}")
+        self.accuracy = accuracy
+        self._rng = np.random.default_rng(seed)
+
+    def measure(self, power_fn: PowerFunction, windows: int = 3) -> float:
+        """Average power over ``windows`` consecutive 5-minute windows."""
+        if windows <= 0:
+            raise ConfigurationError(f"windows must be > 0, got {windows}")
+        window_means = []
+        for w in range(windows):
+            start = w * self.WINDOW_S
+            # 1 Hz internal sampling within the window, matching iLO2's
+            # behaviour of averaging continuous measurements.
+            times = start + np.arange(1.0, self.WINDOW_S + 1e-9, 1.0)
+            true_mean = float(np.mean([power_fn(float(t)) for t in times]))
+            error = self._rng.uniform(-self.accuracy, self.accuracy)
+            window_means.append(true_mean * (1.0 + error))
+        return float(np.mean(window_means))
+
+    def utilization_sweep(
+        self,
+        power_at_utilization: Callable[[float], float],
+        utilizations: Sequence[float],
+        windows: int = 3,
+    ) -> list[tuple[float, float]]:
+        """Measure steady-state power at each utilization level.
+
+        Returns (utilization, watts) pairs ready for
+        :func:`repro.hardware.calibration.fit_best_model` — this is the
+        paper's Section 3.1 procedure of running concurrent joins to hold a
+        utilization level while iLO2 reports power.
+        """
+        readings = []
+        for util in utilizations:
+            if not 0 < util <= 1.0:
+                raise ConfigurationError(f"utilization must be in (0, 1], got {util}")
+            watts = self.measure(lambda _t: power_at_utilization(util), windows=windows)
+            readings.append((util, watts))
+        return readings

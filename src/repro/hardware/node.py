@@ -1,0 +1,101 @@
+"""Node specifications: the per-server inputs of the paper's model (Table 3).
+
+A :class:`NodeSpec` bundles the hardware parameters the paper's analytical
+model and our simulator consume:
+
+* ``cpu_bandwidth_mbps`` — maximum CPU processing bandwidth (``CB``/``CW``),
+* ``memory_mb`` — memory usable for hash tables (``MB``/``MW``),
+* ``disk_bandwidth_mbps`` — storage scan bandwidth (``I``),
+* ``nic_bandwidth_mbps`` — usable network bandwidth per direction (``L``),
+* ``power_model`` — watts as a function of CPU utilization (``fB``/``fW``),
+* ``engine_base_utilization`` — the P-store CPU constant (``GB``/``GW``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.hardware.power import MIN_UTILIZATION, PowerModel
+from repro.units import clamp
+
+__all__ = ["NodeSpec"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Immutable description of one cluster node."""
+
+    name: str
+    cpu_bandwidth_mbps: float
+    memory_mb: float
+    disk_bandwidth_mbps: float
+    nic_bandwidth_mbps: float
+    power_model: PowerModel
+    engine_base_utilization: float = 0.0
+    cores: int = 4
+    threads: int = 8
+    #: free-form documentation fields used by the Table 1 / Table 2 renderers
+    description: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "cpu_bandwidth_mbps",
+            "memory_mb",
+            "disk_bandwidth_mbps",
+            "nic_bandwidth_mbps",
+        ):
+            value = getattr(self, attr)
+            if value <= 0:
+                raise ConfigurationError(f"{self.name}: {attr} must be > 0, got {value}")
+        if not 0.0 <= self.engine_base_utilization < 1.0:
+            raise ConfigurationError(
+                f"{self.name}: engine_base_utilization must be in [0, 1), "
+                f"got {self.engine_base_utilization}"
+            )
+        if self.cores <= 0 or self.threads <= 0:
+            raise ConfigurationError(f"{self.name}: cores/threads must be positive")
+
+    def utilization(self, processing_rate_mbps: float) -> float:
+        """CPU utilization when the node processes data at the given rate.
+
+        Implements ``G + U / C`` from the paper's model, clamped to
+        ``[MIN_UTILIZATION, 1.0]``.
+        """
+        if processing_rate_mbps < 0:
+            raise ConfigurationError(f"negative processing rate: {processing_rate_mbps}")
+        raw = self.engine_base_utilization + processing_rate_mbps / self.cpu_bandwidth_mbps
+        return clamp(raw, MIN_UTILIZATION, 1.0)
+
+    def power_at_rate(self, processing_rate_mbps: float) -> float:
+        """Watts drawn while processing data at ``processing_rate_mbps``."""
+        return self.power_model.power(self.utilization(processing_rate_mbps))
+
+    @property
+    def idle_power_w(self) -> float:
+        """Watts drawn with the engine idle (utilization floor only)."""
+        return self.power_model.power(
+            max(MIN_UTILIZATION, self.engine_base_utilization)
+        )
+
+    @property
+    def peak_power_w(self) -> float:
+        """Watts drawn at 100% CPU utilization."""
+        return self.power_model.power(1.0)
+
+    def with_overrides(self, **changes: Any) -> "NodeSpec":
+        """Copy of this spec with the given fields replaced.
+
+        The paper's design exploration does this repeatedly, e.g. modelling
+        cluster-V nodes *"as if they each had four Crucial SSDs"*
+        (``disk_bandwidth_mbps=1200``).
+        """
+        return replace(self, **changes)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}(cpu={self.cpu_bandwidth_mbps:g}MB/s, "
+            f"mem={self.memory_mb:g}MB, disk={self.disk_bandwidth_mbps:g}MB/s, "
+            f"nic={self.nic_bandwidth_mbps:g}MB/s)"
+        )

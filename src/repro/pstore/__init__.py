@@ -1,0 +1,37 @@
+"""P-store: the paper's custom parallel query execution kernel (Section 4).
+
+P-store is "built on top of a block-iterator tuple-scan module and a storage
+engine that has scan, project, and select operators", extended with network
+exchange and hash-join operators.  This package provides it at two levels:
+
+* **functional** — operators really process tuples (numpy record batches):
+  :mod:`repro.pstore.operators`, :mod:`repro.pstore.functional`.  Used for
+  correctness tests, small-scale examples, and to cross-check the data
+  volumes the simulator prices.
+* **simulated** — the same physical plans are converted into fluid-flow
+  jobs for :mod:`repro.simulator`, producing the response times and energy
+  figures of the paper's cluster experiments:
+  :mod:`repro.pstore.plans`, :mod:`repro.pstore.planner`,
+  :mod:`repro.pstore.simulated`.
+
+The :class:`repro.pstore.engine.PStore` facade ties both together.
+"""
+
+from repro.pstore.catalog import Catalog, CatalogTable, PartitionScheme
+from repro.pstore.engine import PStore, PStoreConfig
+from repro.pstore.functional import FunctionalCluster, FunctionalJoinResult
+from repro.pstore.planner import plan_join
+from repro.pstore.plans import ExecutionMode, JoinPlan
+
+__all__ = [
+    "PStore",
+    "PStoreConfig",
+    "Catalog",
+    "CatalogTable",
+    "PartitionScheme",
+    "FunctionalCluster",
+    "FunctionalJoinResult",
+    "plan_join",
+    "JoinPlan",
+    "ExecutionMode",
+]

@@ -1,0 +1,122 @@
+"""Catalog: how tables are laid out across the cluster.
+
+Section 3.1 describes the layout the paper uses: large tables are
+hash-partitioned on a chosen attribute ("hash segmentation"), small tables
+are replicated on every node.  Whether a join needs an exchange is purely a
+function of this metadata: a join is *partition compatible* when both
+inputs are already hash-partitioned on the join attribute (or replicated).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.workloads.tpch import TableSchema
+
+__all__ = ["PartitionKind", "PartitionScheme", "CatalogTable", "Catalog"]
+
+
+class PartitionKind(enum.Enum):
+    HASH = "hash"
+    REPLICATED = "replicated"
+
+
+@dataclass(frozen=True)
+class PartitionScheme:
+    """Placement of one table across nodes."""
+
+    kind: PartitionKind
+    attribute: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is PartitionKind.HASH and not self.attribute:
+            raise WorkloadError("hash partitioning needs an attribute")
+        if self.kind is PartitionKind.REPLICATED and self.attribute:
+            raise WorkloadError("replicated tables have no partitioning attribute")
+
+    @classmethod
+    def hash(cls, attribute: str) -> "PartitionScheme":
+        return cls(kind=PartitionKind.HASH, attribute=attribute)
+
+    @classmethod
+    def replicated(cls) -> "PartitionScheme":
+        return cls(kind=PartitionKind.REPLICATED)
+
+    def compatible_with_key(self, join_key: str) -> bool:
+        """True if a join on ``join_key`` needs no repartitioning of this side."""
+        if self.kind is PartitionKind.REPLICATED:
+            return True
+        return self.attribute == join_key
+
+
+@dataclass(frozen=True)
+class CatalogTable:
+    """A table registered in the catalog with its placement."""
+
+    schema: TableSchema
+    scheme: PartitionScheme
+    projection: tuple[str, ...] | None = None
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+
+class Catalog:
+    """Name -> CatalogTable registry with join-compatibility queries."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, CatalogTable] = {}
+
+    def register(self, table: CatalogTable) -> None:
+        if table.name in self._tables:
+            raise WorkloadError(f"table {table.name!r} already registered")
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> CatalogTable:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise WorkloadError(
+                f"unknown table {name!r}; registered: {sorted(self._tables)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def join_is_partition_compatible(
+        self, left: str, right: str, join_key_left: str, join_key_right: str
+    ) -> bool:
+        """True when neither side needs repartitioning for this join.
+
+        E.g. the paper's layout hashes ORDERS on O_CUSTKEY and LINEITEM on
+        L_ORDERKEY: an ORDERS x LINEITEM join on the order key is *not*
+        compatible (ORDERS must move), while CUSTOMER x ORDERS on the
+        customer key is.
+        """
+        return self.table(left).scheme.compatible_with_key(join_key_left) and self.table(
+            right
+        ).scheme.compatible_with_key(join_key_right)
+
+    @classmethod
+    def paper_layout(cls) -> "Catalog":
+        """The hash-segmentation layout of Section 3.1.
+
+        LINEITEM on L_ORDERKEY, ORDERS on O_CUSTKEY, CUSTOMER on C_CUSTKEY;
+        the remaining TPC-H tables replicated.
+        """
+        from repro.workloads import tpch
+
+        catalog = cls()
+        catalog.register(
+            CatalogTable(tpch.LINEITEM, PartitionScheme.hash("l_orderkey"))
+        )
+        catalog.register(CatalogTable(tpch.ORDERS, PartitionScheme.hash("o_custkey")))
+        catalog.register(
+            CatalogTable(tpch.CUSTOMER, PartitionScheme.hash("c_custkey"))
+        )
+        for table in (tpch.SUPPLIER, tpch.PART, tpch.PARTSUPP, tpch.NATION, tpch.REGION):
+            catalog.register(CatalogTable(table, PartitionScheme.replicated()))
+        return catalog

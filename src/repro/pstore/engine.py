@@ -1,0 +1,122 @@
+"""The P-store facade: plan, simulate, and explain parallel hash joins.
+
+Typical use (the Figure 3 experiment, condensed)::
+
+    from repro.hardware import ClusterSpec
+    from repro.hardware.presets import CLUSTER_V_NODE
+    from repro.pstore import PStore, PStoreConfig
+    from repro.simulator.network import SMC_GS5_SWITCH
+    from repro.workloads.queries import q3_join
+
+    engine = PStore(
+        ClusterSpec.homogeneous(CLUSTER_V_NODE, 8),
+        switch=SMC_GS5_SWITCH,
+    )
+    result = engine.simulate(q3_join(scale_factor=1000), concurrency=4)
+    print(result.makespan_s, result.energy_j)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.hardware.cluster import ClusterSpec
+from repro.pstore.planner import plan_join
+from repro.pstore.plans import ExecutionMode, JoinPlan
+from repro.pstore.simulated import SimulatedPStore
+from repro.simulator.engine import SimulationResult
+from repro.simulator.network import IDEAL_SWITCH, SwitchModel
+from repro.workloads.queries import JoinWorkloadSpec
+
+__all__ = ["PStoreConfig", "PStore"]
+
+
+@dataclass(frozen=True)
+class PStoreConfig:
+    """Engine-level execution parameters.
+
+    * ``warm_cache`` — the paper's cluster experiments all ran with warm
+      buffer pools (scans are CPU-, not disk-, bound).
+    * ``pipeline_cpu_cost`` — CPU bandwidth consumed per scanned MB; 1.0
+      reproduces the paper's model, larger values model slower engine
+      pipelines (see the Figure 7 calibration notes).
+    * ``receive_cpu_cost`` — CPU charged per ingested MB on hash-table
+      nodes (0.0 in the paper's model; used by ablation benches).
+    """
+
+    warm_cache: bool = True
+    pipeline_cpu_cost: float = 1.0
+    receive_cpu_cost: float = 0.0
+
+
+class PStore:
+    """Plans and executes (simulated) parallel hash joins on one cluster."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        switch: SwitchModel = IDEAL_SWITCH,
+        config: PStoreConfig | None = None,
+        record_intervals: bool = True,
+    ):
+        self.cluster = cluster
+        self.switch = switch
+        self.config = config or PStoreConfig()
+        self._executor = SimulatedPStore(
+            cluster, switch=switch, record_intervals=record_intervals
+        )
+
+    def plan(
+        self,
+        workload: JoinWorkloadSpec,
+        force_mode: "ExecutionMode | None" = None,
+    ) -> JoinPlan:
+        """Resolve the execution strategy for a workload on this cluster."""
+        return plan_join(
+            self.cluster,
+            workload,
+            warm_cache=self.config.warm_cache,
+            pipeline_cpu_cost=self.config.pipeline_cpu_cost,
+            receive_cpu_cost=self.config.receive_cpu_cost,
+            force_mode=force_mode,
+        )
+
+    def simulate(
+        self,
+        workload: JoinWorkloadSpec | JoinPlan,
+        concurrency: int = 1,
+        partition_weights: Sequence[float] | None = None,
+        force_mode: "ExecutionMode | None" = None,
+    ) -> SimulationResult:
+        """Simulate the workload, returning response time and energy."""
+        plan = (
+            workload
+            if isinstance(workload, JoinPlan)
+            else self.plan(workload, force_mode=force_mode)
+        )
+        return self._executor.run(
+            plan, concurrency=concurrency, partition_weights=partition_weights
+        )
+
+    def simulate_stream(
+        self,
+        workload: JoinWorkloadSpec | JoinPlan,
+        start_times_s: Sequence[float],
+        partition_weights: Sequence[float] | None = None,
+        force_mode: "ExecutionMode | None" = None,
+    ) -> SimulationResult:
+        """Simulate a stream of identical queries arriving over time."""
+        plan = (
+            workload
+            if isinstance(workload, JoinPlan)
+            else self.plan(workload, force_mode=force_mode)
+        )
+        return self._executor.run_stream(
+            plan, start_times_s, partition_weights=partition_weights
+        )
+
+    def explain(self, workload: JoinWorkloadSpec | JoinPlan) -> str:
+        """Human-readable plan description."""
+        plan = workload if isinstance(workload, JoinPlan) else self.plan(workload)
+        return plan.explain()

@@ -1,0 +1,27 @@
+"""Block-iterator operators of functional P-store.
+
+Every operator consumes and produces :class:`repro.data.RecordBatch`
+streams via the Python iterator protocol — the same "block-iterator
+tuple-scan" discipline the paper's engine uses, with no full
+materialization between operators.
+"""
+
+from repro.pstore.operators.aggregate import HashAggregate
+from repro.pstore.operators.base import Operator
+from repro.pstore.operators.exchange import broadcast_batches, hash_partition
+from repro.pstore.operators.filter import Filter
+from repro.pstore.operators.hashjoin import HashJoin, hash_join_batches
+from repro.pstore.operators.project import Project
+from repro.pstore.operators.scan import MemoryScan
+
+__all__ = [
+    "Operator",
+    "MemoryScan",
+    "Filter",
+    "Project",
+    "HashJoin",
+    "hash_join_batches",
+    "hash_partition",
+    "broadcast_batches",
+    "HashAggregate",
+]

@@ -1,0 +1,118 @@
+"""Hash aggregation: group-by with sum/count/min/max/mean.
+
+Used by the Q1-style pipelines (scan -> filter -> aggregate) of the
+functional engine — TPC-H Q1 is the paper's canonical perfectly-scalable
+workload (Figure 2a), and its partial-aggregate-per-node structure is what
+makes it scale linearly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.data import RecordBatch
+from repro.errors import ExecutionError
+from repro.pstore.operators.base import Operator
+
+__all__ = ["HashAggregate", "merge_partial_aggregates"]
+
+_SUPPORTED = ("sum", "count", "min", "max", "mean")
+
+
+class HashAggregate(Operator):
+    """Group by one or more key columns; aggregate value columns.
+
+    ``aggregates`` maps output column name to ``(function, input column)``.
+    The operator materializes its input (hash aggregation is a pipeline
+    breaker), then emits a single result batch sorted by group key.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        group_by: Sequence[str],
+        aggregates: Mapping[str, tuple[str, str]],
+    ):
+        if not group_by:
+            raise ExecutionError("group_by must name at least one column")
+        if not aggregates:
+            raise ExecutionError("aggregates must define at least one output")
+        for out_name, (func, _column) in aggregates.items():
+            if func not in _SUPPORTED:
+                raise ExecutionError(
+                    f"aggregate {out_name!r}: unsupported function {func!r} "
+                    f"(supported: {_SUPPORTED})"
+                )
+        self._child = child
+        self._group_by = list(group_by)
+        self._aggregates = dict(aggregates)
+
+    def batches(self) -> Iterator[RecordBatch]:
+        batches = list(self._child)
+        if not batches:
+            return
+        data = RecordBatch.concat(batches)
+        if data.num_rows == 0:
+            return
+
+        key_columns = [data.column(name) for name in self._group_by]
+        # Build a composite group id via lexicographic unique.
+        stacked = np.rec.fromarrays(key_columns, names=self._group_by)
+        unique_keys, group_ids = np.unique(stacked, return_inverse=True)
+        num_groups = len(unique_keys)
+
+        out: dict[str, np.ndarray] = {
+            name: np.asarray(unique_keys[name]) for name in self._group_by
+        }
+        counts = np.bincount(group_ids, minlength=num_groups)
+        for out_name, (func, column_name) in self._aggregates.items():
+            if func == "count":
+                out[out_name] = counts.astype(np.int64)
+                continue
+            values = data.column(column_name).astype(np.float64)
+            if func == "sum":
+                out[out_name] = np.bincount(
+                    group_ids, weights=values, minlength=num_groups
+                )
+            elif func == "mean":
+                sums = np.bincount(group_ids, weights=values, minlength=num_groups)
+                out[out_name] = sums / np.maximum(counts, 1)
+            elif func in ("min", "max"):
+                result = np.full(
+                    num_groups, np.inf if func == "min" else -np.inf, dtype=np.float64
+                )
+                ufunc = np.minimum if func == "min" else np.maximum
+                ufunc.at(result, group_ids, values)
+                out[out_name] = result
+        yield RecordBatch(out)
+
+
+def merge_partial_aggregates(
+    partials: Sequence[RecordBatch],
+    group_by: Sequence[str],
+    sum_columns: Sequence[str],
+) -> RecordBatch:
+    """Combine per-node partial aggregates (sums/counts) into a global one.
+
+    This is the second phase of a parallel Q1: each node aggregates its
+    partition locally, then the small partials are merged — the reason Q1
+    needs almost no network and scales linearly (Figure 2a).
+    """
+    if not partials:
+        raise ExecutionError("no partial aggregates to merge")
+    combined = RecordBatch.concat(partials)
+    aggregates = {name: ("sum", name) for name in sum_columns}
+    merger = HashAggregate(
+        _SingleBatch(combined), group_by=group_by, aggregates=aggregates
+    )
+    return merger.collect()
+
+
+class _SingleBatch(Operator):
+    def __init__(self, batch: RecordBatch):
+        self._batch = batch
+
+    def batches(self) -> Iterator[RecordBatch]:
+        yield self._batch

@@ -1,0 +1,41 @@
+"""Operator interface: a pull-based iterator of record batches."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+from repro.data import RecordBatch
+
+__all__ = ["Operator"]
+
+
+class Operator(ABC):
+    """Base class for all block-iterator operators.
+
+    Subclasses implement :meth:`batches`; consumers simply iterate:
+
+    >>> for batch in Filter(MemoryScan([data]), predicate):  # doctest: +SKIP
+    ...     process(batch)
+
+    Operators are single-use iterables (like the paper's open/next/close
+    trees): create a fresh tree per execution.
+    """
+
+    @abstractmethod
+    def batches(self) -> Iterator[RecordBatch]:
+        """Yield output batches in order."""
+
+    def __iter__(self) -> Iterator[RecordBatch]:
+        return self.batches()
+
+    def collect(self) -> RecordBatch:
+        """Materialize the full output (testing/debug convenience)."""
+        out = list(self.batches())
+        if not out:
+            raise StopIteration("operator produced no batches")
+        return RecordBatch.concat(out)
+
+    def total_rows(self) -> int:
+        """Consume the stream, returning the number of rows produced."""
+        return sum(batch.num_rows for batch in self.batches())

@@ -1,0 +1,44 @@
+"""Extend operator: append a computed column to each batch.
+
+The functional Q1 pipeline needs derived expressions such as
+``l_extendedprice * (1 - l_discount)``; :class:`Extend` evaluates a
+vectorized expression per batch and attaches the result as a new column,
+keeping the block-iterator discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.data import RecordBatch
+from repro.errors import ExecutionError
+from repro.pstore.operators.base import Operator
+
+__all__ = ["Extend"]
+
+Expression = Callable[[RecordBatch], np.ndarray]
+
+
+class Extend(Operator):
+    """Append ``name = expression(batch)`` to every batch."""
+
+    def __init__(self, child: Operator, name: str, expression: Expression):
+        self._child = child
+        self._name = name
+        self._expression = expression
+
+    def batches(self) -> Iterator[RecordBatch]:
+        for batch in self._child:
+            if self._name in batch:
+                raise ExecutionError(f"column {self._name!r} already exists")
+            values = np.asarray(self._expression(batch))
+            if values.shape != (batch.num_rows,):
+                raise ExecutionError(
+                    f"expression for {self._name!r} returned shape {values.shape}, "
+                    f"expected ({batch.num_rows},)"
+                )
+            columns = {name: batch.column(name) for name in batch.column_names}
+            columns[self._name] = values
+            yield RecordBatch(columns)

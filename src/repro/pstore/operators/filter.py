@@ -1,0 +1,60 @@
+"""Select (filter) operator: applies a predicate to each batch."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.data import RecordBatch
+from repro.errors import ExecutionError
+from repro.pstore.operators.base import Operator
+
+__all__ = ["Filter", "column_less_than", "column_between"]
+
+Predicate = Callable[[RecordBatch], np.ndarray]
+
+
+class Filter(Operator):
+    """Keep rows where ``predicate(batch)`` is True.
+
+    The predicate receives the whole batch and returns a boolean mask —
+    vectorized, like the paper's block-at-a-time select operator.
+    Empty output batches are suppressed.
+    """
+
+    def __init__(self, child: Operator, predicate: Predicate):
+        self._child = child
+        self._predicate = predicate
+
+    def batches(self) -> Iterator[RecordBatch]:
+        for batch in self._child:
+            mask = np.asarray(self._predicate(batch))
+            if mask.dtype != np.bool_:
+                raise ExecutionError(f"predicate returned dtype {mask.dtype}, want bool")
+            if mask.shape != (batch.num_rows,):
+                raise ExecutionError(
+                    f"predicate mask shape {mask.shape} != ({batch.num_rows},)"
+                )
+            if mask.any():
+                yield batch.filter(mask)
+
+
+def column_less_than(name: str, cutoff: float) -> Predicate:
+    """Predicate factory: ``column < cutoff`` (the selectivity predicates of
+    Section 4.3 are of this shape on L_SHIPDATE / O_CUSTKEY)."""
+
+    def predicate(batch: RecordBatch) -> np.ndarray:
+        return batch.column(name) < cutoff
+
+    return predicate
+
+
+def column_between(name: str, low: float, high: float) -> Predicate:
+    """Predicate factory: ``low <= column < high``."""
+
+    def predicate(batch: RecordBatch) -> np.ndarray:
+        values = batch.column(name)
+        return (values >= low) & (values < high)
+
+    return predicate

@@ -1,0 +1,36 @@
+"""Project operator: column pruning (and optional renaming)."""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from repro.data import RecordBatch
+from repro.pstore.operators.base import Operator
+
+__all__ = ["Project"]
+
+
+class Project(Operator):
+    """Emit only the requested columns, optionally renamed.
+
+    P-store stores pre-projected 20-byte tuples, so in the cluster plans the
+    projection happens at load time; the operator exists for completeness of
+    the functional engine and for Q1-style pipelines.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        columns: Sequence[str],
+        rename: Mapping[str, str] | None = None,
+    ):
+        self._child = child
+        self._columns = list(columns)
+        self._rename = dict(rename or {})
+
+    def batches(self) -> Iterator[RecordBatch]:
+        for batch in self._child:
+            projected = batch.project(self._columns)
+            if self._rename:
+                projected = projected.rename(self._rename)
+            yield projected

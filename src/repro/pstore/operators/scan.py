@@ -1,0 +1,35 @@
+"""Scan operators: produce record batches from stored partitions."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.data import RecordBatch
+from repro.errors import ExecutionError
+from repro.pstore.operators.base import Operator
+
+__all__ = ["MemoryScan"]
+
+
+class MemoryScan(Operator):
+    """Scan over in-memory batches, re-blocked to a target batch size.
+
+    This is the warm-buffer-pool scan of the paper's experiments (all P-store
+    cluster runs used in-memory projections).  ``batch_rows`` controls the
+    block size of the iterator; ``None`` passes partitions through unsplit.
+    """
+
+    def __init__(self, partitions: Sequence[RecordBatch], batch_rows: int | None = None):
+        if batch_rows is not None and batch_rows <= 0:
+            raise ExecutionError(f"batch_rows must be > 0, got {batch_rows}")
+        self._partitions = list(partitions)
+        self._batch_rows = batch_rows
+
+    def batches(self) -> Iterator[RecordBatch]:
+        for partition in self._partitions:
+            if partition.num_rows == 0:
+                continue
+            if self._batch_rows is None:
+                yield partition
+            else:
+                yield from partition.slices(self._batch_rows)

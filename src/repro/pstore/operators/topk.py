@@ -1,0 +1,64 @@
+"""Top-K operator: keep the k largest rows by a sort column.
+
+TPC-H Q3 returns the ten highest-revenue orders; in a parallel plan each
+node keeps a local top-k and the coordinator merges them — correct because
+the global top-k is contained in the union of the local ones.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.data import RecordBatch
+from repro.errors import ExecutionError
+from repro.pstore.operators.base import Operator
+
+__all__ = ["TopK", "merge_top_k"]
+
+
+def _top_k_of_batch(batch: RecordBatch, by: str, k: int, ascending: bool) -> RecordBatch:
+    values = batch.column(by)
+    if len(values) <= k:
+        order = np.argsort(values, kind="stable")
+    else:
+        # partial selection then sort of the survivors
+        split = np.argpartition(values, k if ascending else len(values) - k)
+        keep = split[:k] if ascending else split[len(values) - k :]
+        order = keep[np.argsort(values[keep], kind="stable")]
+    if not ascending:
+        order = order[::-1]
+    return batch.take(order[:k])
+
+
+class TopK(Operator):
+    """Materializing top-k: consumes the child, emits one sorted batch."""
+
+    def __init__(self, child: Operator, by: str, k: int, ascending: bool = False):
+        if k <= 0:
+            raise ExecutionError(f"k must be > 0, got {k}")
+        self._child = child
+        self._by = by
+        self._k = k
+        self._ascending = ascending
+
+    def batches(self) -> Iterator[RecordBatch]:
+        best: RecordBatch | None = None
+        for batch in self._child:
+            candidate = (
+                batch if best is None else RecordBatch.concat([best, batch])
+            )
+            best = _top_k_of_batch(candidate, self._by, self._k, self._ascending)
+        if best is not None and best.num_rows > 0:
+            yield best
+
+
+def merge_top_k(
+    partials: Sequence[RecordBatch], by: str, k: int, ascending: bool = False
+) -> RecordBatch:
+    """Coordinator-side merge of per-node top-k results."""
+    partials = [p for p in partials if p.num_rows > 0]
+    if not partials:
+        raise ExecutionError("no partial top-k results to merge")
+    return _top_k_of_batch(RecordBatch.concat(partials), by, k, ascending)

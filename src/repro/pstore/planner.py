@@ -1,0 +1,186 @@
+"""The P-store planner: resolve a workload into an executable JoinPlan.
+
+Implements the paper's execution-strategy rules:
+
+* **Homogeneous vs heterogeneous** (Section 5.2 / Table 3's ``H``): all
+  nodes build hash tables iff every node can hold its share,
+  ``M >= Bld * Sbld / N``.  Otherwise Wimpy nodes become scan/filter
+  feeders and only Beefy nodes join — and if even the Beefy nodes cannot
+  hold ``Bld * Sbld / NB``, the plan is infeasible ("P-store does not
+  support out-of-memory joins").
+* **Broadcast feasibility** (Section 4.3.2): every node must hold the
+  *entire* qualifying build table.
+* **AUTO method choice**: pick the feasible method that moves the fewest
+  bytes over the network (the classic optimizer rule the paper's
+  "algorithmic bottleneck" discussion presumes).
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanError
+from repro.hardware.cluster import BEEFY, ClusterSpec
+from repro.pstore.plans import ExecutionMode, JoinPlan
+from repro.workloads.queries import JoinMethod, JoinWorkloadSpec
+
+__all__ = ["plan_join", "shuffle_network_mb", "broadcast_network_mb"]
+
+
+def shuffle_network_mb(
+    workload: JoinWorkloadSpec, num_nodes: int, num_join_nodes: int
+) -> float:
+    """Bytes crossing the network for a dual-shuffle join.
+
+    Each of the ``num_nodes`` data partitions sends its qualifying tuples
+    to the ``m`` join nodes, keeping the 1/m slice that hashes to itself
+    when it is a join node.
+    """
+    if num_join_nodes <= 0:
+        raise PlanError("shuffle needs at least one join node")
+    m = num_join_nodes
+    n = num_nodes
+    qualifying = workload.qualifying_build_mb + workload.qualifying_probe_mb
+    if m >= n:
+        # homogeneous: each node keeps 1/n of its own qualifying data
+        return qualifying * (n - 1) / n
+    # heterogeneous: (n - m) feeder nodes send everything; m join nodes
+    # keep 1/m of their own data.
+    feeder_fraction = (n - m) / n
+    join_fraction = (m / n) * (m - 1) / m
+    return qualifying * (feeder_fraction + join_fraction)
+
+
+def broadcast_network_mb(workload: JoinWorkloadSpec, num_nodes: int) -> float:
+    """Bytes crossing the network for a broadcast join.
+
+    Every node must receive the qualifying build tuples it does not already
+    hold: ``(n-1)/n`` of the table, times ``n`` receivers — the algorithmic
+    bottleneck of Section 4.1 (independent of n per receiver).
+    """
+    qualifying = workload.qualifying_build_mb
+    return qualifying * (num_nodes - 1)
+
+
+def _min_memory_mb(cluster: ClusterSpec) -> float:
+    return min(spec.memory_mb for spec, _ in cluster.nodes())
+
+
+def _beefy_ids(cluster: ClusterSpec) -> tuple[int, ...]:
+    return tuple(
+        node_id
+        for node_id, (_spec, role) in enumerate(cluster.nodes())
+        if role == BEEFY
+    )
+
+
+def plan_join(
+    cluster: ClusterSpec,
+    workload: JoinWorkloadSpec,
+    warm_cache: bool = True,
+    pipeline_cpu_cost: float = 1.0,
+    receive_cpu_cost: float = 0.0,
+    force_mode: ExecutionMode | None = None,
+) -> JoinPlan:
+    """Resolve ``workload`` into a :class:`JoinPlan` for ``cluster``.
+
+    ``force_mode`` overrides the memory-driven homogeneous/heterogeneous
+    choice.  The paper's Section 5.2 experiments force heterogeneous
+    execution whenever the ORDERS selectivity is >= 10%, because on the real
+    Wimpy nodes the cached working set left no headroom for hash tables —
+    a constraint the pure hash-table-share arithmetic does not see.
+    """
+    n = cluster.num_nodes
+    notes: list[str] = []
+
+    if workload.method is JoinMethod.LOCAL:
+        return JoinPlan(
+            workload=workload,
+            cluster=cluster,
+            method=JoinMethod.LOCAL,
+            mode=ExecutionMode.HOMOGENEOUS,
+            join_node_ids=tuple(range(n)),
+            warm_cache=warm_cache,
+            pipeline_cpu_cost=pipeline_cpu_cost,
+            receive_cpu_cost=receive_cpu_cost,
+            notes=("partition-compatible join: no exchange needed",),
+        )
+
+    share = workload.hash_table_share_mb(n)
+    fits_everywhere = _min_memory_mb(cluster) >= share  # Table 3's H predicate
+    if force_mode is ExecutionMode.HOMOGENEOUS and not fits_everywhere:
+        raise PlanError(
+            f"{workload.name}: homogeneous execution forced but the per-node "
+            f"hash-table share ({share:.0f} MB) exceeds the smallest node's "
+            f"memory ({_min_memory_mb(cluster):.0f} MB)"
+        )
+    if force_mode is ExecutionMode.HETEROGENEOUS:
+        fits_everywhere = False
+        notes.append("heterogeneous execution forced by caller")
+
+    if fits_everywhere:
+        mode = ExecutionMode.HOMOGENEOUS
+        join_nodes = tuple(range(n))
+    else:
+        beefy_ids = _beefy_ids(cluster)
+        if not beefy_ids:
+            raise PlanError(
+                f"{workload.name}: hash-table share {share:.0f} MB exceeds node "
+                f"memory {_min_memory_mb(cluster):.0f} MB and the cluster has no "
+                "larger nodes to fall back to (P-store has no 2-pass join)"
+            )
+        beefy_share = workload.qualifying_build_mb / len(beefy_ids)
+        beefy_memory = cluster.beefy_spec.memory_mb
+        if beefy_share > beefy_memory:
+            raise PlanError(
+                f"{workload.name}: even heterogeneous execution needs "
+                f"{beefy_share:.0f} MB per Beefy node but only "
+                f"{beefy_memory:.0f} MB is available"
+            )
+        mode = ExecutionMode.HETEROGENEOUS
+        join_nodes = beefy_ids
+        if force_mode is None:
+            notes.append(
+                "wimpy nodes lack memory for their hash-table share; "
+                "they scan/filter and feed the beefy nodes"
+            )
+
+    method = workload.method
+    if method is JoinMethod.AUTO:
+        candidates: list[tuple[float, JoinMethod]] = [
+            (shuffle_network_mb(workload, n, len(join_nodes)), JoinMethod.SHUFFLE)
+        ]
+        if (
+            mode is ExecutionMode.HOMOGENEOUS
+            and workload.qualifying_build_mb <= _min_memory_mb(cluster)
+        ):
+            candidates.append(
+                (broadcast_network_mb(workload, n), JoinMethod.BROADCAST)
+            )
+        network_mb, method = min(candidates, key=lambda pair: pair[0])
+        notes.append(
+            f"auto-chose {method.value} ({network_mb:.0f} MB over the network)"
+        )
+
+    if method is JoinMethod.BROADCAST:
+        if mode is ExecutionMode.HETEROGENEOUS:
+            raise PlanError(
+                f"{workload.name}: broadcast join requires every node to hold "
+                "the full hash table, impossible in heterogeneous mode"
+            )
+        if workload.qualifying_build_mb > _min_memory_mb(cluster):
+            raise PlanError(
+                f"{workload.name}: broadcast needs "
+                f"{workload.qualifying_build_mb:.0f} MB on every node but the "
+                f"smallest node has {_min_memory_mb(cluster):.0f} MB"
+            )
+
+    return JoinPlan(
+        workload=workload,
+        cluster=cluster,
+        method=method,
+        mode=mode,
+        join_node_ids=join_nodes,
+        warm_cache=warm_cache,
+        pipeline_cpu_cost=pipeline_cpu_cost,
+        receive_cpu_cost=receive_cpu_cost,
+        notes=tuple(notes),
+    )

@@ -1,0 +1,101 @@
+"""Physical join plans: the object shared by both P-store executors.
+
+A :class:`JoinPlan` fixes everything the paper's Section 4/5 experiments
+vary: the join method (dual shuffle / broadcast / local), the execution
+mode (homogeneous vs heterogeneous — Section 5.2's "two important notes"),
+which nodes build hash tables, and the cache regime.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+from repro.hardware.cluster import ClusterSpec
+from repro.workloads.queries import JoinMethod, JoinWorkloadSpec
+
+__all__ = ["ExecutionMode", "JoinPlan"]
+
+
+class ExecutionMode(enum.Enum):
+    """Who participates in the join itself (Section 5.2).
+
+    * HOMOGENEOUS — every node scans, exchanges, builds and probes.
+    * HETEROGENEOUS — Wimpy nodes "only scan and filter the data before
+      shuffling it to the Beefy nodes for further processing".
+    """
+
+    HOMOGENEOUS = "homogeneous"
+    HETEROGENEOUS = "heterogeneous"
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """A fully-resolved parallel hash join execution plan."""
+
+    workload: JoinWorkloadSpec
+    cluster: ClusterSpec
+    method: JoinMethod
+    mode: ExecutionMode
+    join_node_ids: tuple[int, ...]
+    warm_cache: bool = True
+    #: CPU-bandwidth cost per pre-filter MB of the scan/filter/partition/send
+    #: pipeline.  1.0 matches the paper's model (U equals the scan rate);
+    #: larger values model engines whose effective scan rate is below the
+    #: raw CPU bandwidth (see the Figure 7 calibration).
+    pipeline_cpu_cost: float = 1.0
+    #: CPU cost per received MB at hash-table nodes (build insert / probe
+    #: lookup).  The paper's model charges 0 (only scan-side CPU counts);
+    #: nonzero values are used by the ablation benches.
+    receive_cpu_cost: float = 0.0
+    notes: tuple[str, ...] = field(default=(), compare=False)
+
+    def __post_init__(self) -> None:
+        if self.method is JoinMethod.AUTO:
+            raise PlanError("JoinPlan.method must be resolved, not AUTO")
+        num_nodes = self.cluster.num_nodes
+        if self.method is not JoinMethod.LOCAL:
+            if not self.join_node_ids:
+                raise PlanError("a non-local join needs at least one join node")
+            if any(not 0 <= i < num_nodes for i in self.join_node_ids):
+                raise PlanError(
+                    f"join node ids {self.join_node_ids} out of range for "
+                    f"{num_nodes}-node cluster"
+                )
+            if len(set(self.join_node_ids)) != len(self.join_node_ids):
+                raise PlanError(f"duplicate join node ids: {self.join_node_ids}")
+        if self.pipeline_cpu_cost <= 0:
+            raise PlanError(f"pipeline_cpu_cost must be > 0, got {self.pipeline_cpu_cost}")
+        if self.receive_cpu_cost < 0:
+            raise PlanError(f"receive_cpu_cost must be >= 0, got {self.receive_cpu_cost}")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.cluster.num_nodes
+
+    @property
+    def num_join_nodes(self) -> int:
+        if self.method is JoinMethod.LOCAL:
+            return self.num_nodes
+        return len(self.join_node_ids)
+
+    def hash_table_share_mb(self) -> float:
+        """Per-join-node hash table size implied by this plan."""
+        if self.method is JoinMethod.BROADCAST:
+            # every join node holds the full qualifying build table
+            return self.workload.qualifying_build_mb
+        return self.workload.hash_table_share_mb(self.num_join_nodes)
+
+    def explain(self) -> str:
+        """Multi-line, human-readable plan description."""
+        lines = [
+            f"JoinPlan for {self.workload.name} on {self.cluster.name}",
+            f"  method: {self.method.value}   mode: {self.mode.value}",
+            f"  nodes: {self.num_nodes} total, "
+            f"{self.num_join_nodes} building hash tables",
+            f"  hash table/node: {self.hash_table_share_mb():.1f} MB",
+            f"  cache: {'warm' if self.warm_cache else 'cold (disk scan)'}",
+        ]
+        lines.extend(f"  note: {note}" for note in self.notes)
+        return "\n".join(lines)

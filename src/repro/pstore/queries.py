@@ -1,0 +1,186 @@
+"""Canonical functional query pipelines.
+
+TPC-H Q1 is the paper's exemplar of a perfectly-scalable query (Figure 2a):
+every node aggregates its own LINEITEM partition, and only tiny partial
+aggregates cross the network.  :func:`parallel_q1` executes exactly that
+two-phase plan on the functional engine; :func:`single_node_q1` is the
+reference implementation the parallel plan must match.
+
+TPC-H Q3 — the partition-incompatible join the whole paper revolves around
+— is provided end-to-end as :func:`parallel_q3`: scan/filter both tables,
+dual-shuffle join, revenue aggregation per order, top-10 by revenue.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data import RecordBatch
+from repro.errors import ExecutionError
+from repro.pstore.functional import FunctionalCluster
+from repro.pstore.operators.aggregate import HashAggregate, merge_partial_aggregates
+from repro.pstore.operators.extend import Extend
+from repro.pstore.operators.filter import Filter
+from repro.pstore.operators.scan import MemoryScan
+from repro.pstore.operators.topk import TopK, merge_top_k
+
+__all__ = [
+    "q1_local_aggregate",
+    "parallel_q1",
+    "single_node_q1",
+    "parallel_q3",
+    "single_node_q3",
+]
+
+_GROUP = ("l_returnflag", "l_linestatus")
+_SUMS = {
+    "sum_qty": ("sum", "l_quantity"),
+    "sum_base_price": ("sum", "l_extendedprice"),
+    "sum_disc_price": ("sum", "disc_price"),
+    "count_order": ("count", "l_quantity"),
+}
+
+
+def _pipeline(partition: RecordBatch, date_cutoff: int) -> HashAggregate:
+    scan = MemoryScan([partition], batch_rows=4096)
+    filtered = Filter(scan, lambda b: b.column("l_shipdate") <= date_cutoff)
+    extended = Extend(
+        filtered,
+        "disc_price",
+        lambda b: b.column("l_extendedprice") * (1.0 - b.column("l_discount")),
+    )
+    return HashAggregate(extended, group_by=list(_GROUP), aggregates=_SUMS)
+
+
+def q1_local_aggregate(partition: RecordBatch, date_cutoff: int) -> RecordBatch | None:
+    """Phase 1 of parallel Q1: one node's partial aggregate (None if empty)."""
+    batches = list(_pipeline(partition, date_cutoff))
+    if not batches:
+        return None
+    return RecordBatch.concat(batches)
+
+
+def parallel_q1(
+    partitions: Sequence[RecordBatch], date_cutoff: int
+) -> RecordBatch:
+    """Two-phase parallel Q1: local aggregates, then a global merge.
+
+    The merged sums are finalized into the Q1 output (averages derived from
+    sums and counts), sorted by group key as the query specifies.
+    """
+    if not partitions:
+        raise ExecutionError("parallel_q1 needs at least one partition")
+    partials = [
+        partial
+        for partial in (q1_local_aggregate(p, date_cutoff) for p in partitions)
+        if partial is not None
+    ]
+    if not partials:
+        raise ExecutionError("no rows qualified; Q1 result would be empty")
+    merged = merge_partial_aggregates(
+        partials,
+        group_by=list(_GROUP),
+        sum_columns=["sum_qty", "sum_base_price", "sum_disc_price", "count_order"],
+    )
+    return _finalize(merged)
+
+
+def single_node_q1(lineitem: RecordBatch, date_cutoff: int) -> RecordBatch:
+    """Reference implementation: the same pipeline on the whole table."""
+    batches = list(_pipeline(lineitem, date_cutoff))
+    if not batches:
+        raise ExecutionError("no rows qualified; Q1 result would be empty")
+    return _finalize(RecordBatch.concat(batches))
+
+
+def _finalize(aggregated: RecordBatch) -> RecordBatch:
+    counts = aggregated.column("count_order")
+    if np.any(counts <= 0):
+        raise ExecutionError("aggregate produced empty groups")
+    columns = {name: aggregated.column(name) for name in aggregated.column_names}
+    columns["avg_qty"] = aggregated.column("sum_qty") / counts
+    columns["avg_price"] = aggregated.column("sum_base_price") / counts
+    result = RecordBatch(columns)
+    order = np.lexsort(
+        (result.column("l_linestatus"), result.column("l_returnflag"))
+    )
+    return result.take(order)
+
+
+# --------------------------------------------------------------------------
+# TPC-H Q3: the partition-incompatible join + revenue top-k
+# --------------------------------------------------------------------------
+
+_Q3_GROUP = ("o_orderkey", "o_orderdate", "o_shippriority")
+
+
+def _q3_revenue_top_k(joined: RecordBatch, k: int) -> RecordBatch:
+    """Revenue aggregation + top-k over one node's join output."""
+    scan = MemoryScan([joined], batch_rows=8192)
+    extended = Extend(
+        scan,
+        "revenue_item",
+        lambda b: b.column("l_extendedprice") * (1.0 - b.column("l_discount")),
+    )
+    aggregated = HashAggregate(
+        extended,
+        group_by=list(_Q3_GROUP),
+        aggregates={"revenue": ("sum", "revenue_item")},
+    )
+    return TopK(aggregated, by="revenue", k=k).collect()
+
+
+def parallel_q3(
+    orders_partitions: Sequence[RecordBatch],
+    lineitem_partitions: Sequence[RecordBatch],
+    order_date_cutoff: int,
+    ship_date_cutoff: int,
+    k: int = 10,
+    join_node_ids: Sequence[int] | None = None,
+) -> RecordBatch:
+    """Parallel TPC-H Q3: filter, dual-shuffle join, aggregate, top-k.
+
+    Q3's predicates: orders placed before ``order_date_cutoff`` joined with
+    line items shipped after ``ship_date_cutoff``; result is the top ``k``
+    (orderkey, orderdate, shippriority) groups by revenue.
+    ``join_node_ids`` restricts hash-table nodes (heterogeneous execution).
+    """
+    if len(orders_partitions) != len(lineitem_partitions):
+        raise ExecutionError("orders/lineitem partition counts differ")
+    cluster = FunctionalCluster(num_nodes=len(orders_partitions))
+    join_result = cluster.shuffle_join(
+        orders_partitions,
+        lineitem_partitions,
+        build_key="o_orderkey",
+        probe_key="l_orderkey",
+        build_predicate=lambda b: b.column("o_orderdate") < order_date_cutoff,
+        probe_predicate=lambda b: b.column("l_shipdate") > ship_date_cutoff,
+        join_node_ids=join_node_ids,
+    )
+    if join_result.total_rows == 0:
+        raise ExecutionError("Q3 join produced no rows; widen the predicates")
+    # Each join node computes a local revenue top-k; merge at coordinator.
+    # (Here the per-node outputs were concatenated; re-split by node share
+    # is unnecessary for correctness since top-k merge is associative.)
+    local = _q3_revenue_top_k(join_result.result, k)
+    return merge_top_k([local], by="revenue", k=k)
+
+
+def single_node_q3(
+    orders: RecordBatch,
+    lineitem: RecordBatch,
+    order_date_cutoff: int,
+    ship_date_cutoff: int,
+    k: int = 10,
+) -> RecordBatch:
+    """Reference Q3: same pipeline without parallelism."""
+    from repro.pstore.operators.hashjoin import hash_join_batches
+
+    build = orders.filter(orders.column("o_orderdate") < order_date_cutoff)
+    probe = lineitem.filter(lineitem.column("l_shipdate") > ship_date_cutoff)
+    joined = hash_join_batches(build, probe, key="o_orderkey", probe_key="l_orderkey")
+    if joined.num_rows == 0:
+        raise ExecutionError("Q3 join produced no rows; widen the predicates")
+    return _q3_revenue_top_k(joined, k)

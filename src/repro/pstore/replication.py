@@ -1,0 +1,167 @@
+"""Replication-based dynamic cluster sizing.
+
+Section 2 of the paper: Lang et al. [24] "showed how data replication can
+be leveraged to reduce the number of online cluster nodes in a parallel
+DBMS.  That work is complimentary to ours as we could leverage similar
+replication techniques to dynamically augment cluster size."
+
+This module supplies that substrate: a table is partitioned over ``n``
+logical partitions and each partition is replicated on ``r`` consecutive
+nodes (chained declustering).  Any subset of nodes that still *covers*
+every partition can serve queries; deactivating the others shrinks the
+online cluster without repartitioning — the knob the paper's
+"smaller clusters save energy" findings want to turn at runtime.
+
+The planner-facing output is a set of per-node **load weights**: how many
+partitions each active node serves.  Those weights plug directly into the
+simulated executor's ``partition_weights``, so the energy effect of
+shrinking via replicas (including the induced imbalance when the active
+count does not divide the partition count) is measured, not assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ReplicatedLayout"]
+
+
+@dataclass(frozen=True)
+class ReplicatedLayout:
+    """Chained-declustering placement of ``num_partitions`` over ``num_nodes``.
+
+    Partition ``p`` has its primary on node ``p % num_nodes`` and replicas
+    on the next ``replication_factor - 1`` nodes (mod ``num_nodes``).
+    """
+
+    num_nodes: int
+    num_partitions: int
+    replication_factor: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ConfigurationError(f"num_nodes must be > 0, got {self.num_nodes}")
+        if self.num_partitions < self.num_nodes:
+            raise ConfigurationError(
+                "need at least one partition per node "
+                f"({self.num_partitions} < {self.num_nodes})"
+            )
+        if not 1 <= self.replication_factor <= self.num_nodes:
+            raise ConfigurationError(
+                f"replication factor must be in [1, {self.num_nodes}], "
+                f"got {self.replication_factor}"
+            )
+
+    # ------------------------------------------------------------- placement
+    def replica_nodes(self, partition: int) -> tuple[int, ...]:
+        """Nodes holding a copy of ``partition`` (primary first)."""
+        if not 0 <= partition < self.num_partitions:
+            raise ConfigurationError(
+                f"partition {partition} out of range [0, {self.num_partitions})"
+            )
+        primary = partition % self.num_nodes
+        return tuple(
+            (primary + offset) % self.num_nodes
+            for offset in range(self.replication_factor)
+        )
+
+    def partitions_on(self, node: int) -> tuple[int, ...]:
+        """All partitions (primary or replica) stored on ``node``."""
+        if not 0 <= node < self.num_nodes:
+            raise ConfigurationError(f"node {node} out of range")
+        return tuple(
+            partition
+            for partition in range(self.num_partitions)
+            if node in self.replica_nodes(partition)
+        )
+
+    @property
+    def storage_blowup(self) -> float:
+        """Stored copies per logical byte (== replication factor)."""
+        return float(self.replication_factor)
+
+    # -------------------------------------------------------------- coverage
+    def covers(self, active_nodes: Sequence[int]) -> bool:
+        """True if the active set holds at least one copy of every partition."""
+        active = set(active_nodes)
+        return all(
+            any(node in active for node in self.replica_nodes(partition))
+            for partition in range(self.num_partitions)
+        )
+
+    def minimum_active_nodes(self) -> int:
+        """Smallest active-set size guaranteed to cover all partitions.
+
+        With chained declustering over r consecutive nodes, leaving any
+        run of r consecutive nodes entirely inactive loses a partition, so
+        coverage needs at least ``ceil(n / r)`` active nodes — and the
+        evenly-spaced choice achieves it.
+        """
+        return -(-self.num_nodes // self.replication_factor)
+
+    def choose_active_nodes(self, count: int) -> tuple[int, ...]:
+        """An evenly-spaced active set of ``count`` nodes that covers.
+
+        Raises if ``count`` is below :meth:`minimum_active_nodes` or if the
+        spacing fails to cover (cannot happen for even spacing, kept as a
+        safety check).
+        """
+        if not 0 < count <= self.num_nodes:
+            raise ConfigurationError(
+                f"active count must be in [1, {self.num_nodes}], got {count}"
+            )
+        if count < self.minimum_active_nodes():
+            raise ConfigurationError(
+                f"{count} active nodes cannot cover {self.num_partitions} "
+                f"partitions at replication factor {self.replication_factor}; "
+                f"need at least {self.minimum_active_nodes()}"
+            )
+        # even spacing over the ring
+        active = tuple(
+            round(index * self.num_nodes / count) % self.num_nodes
+            for index in range(count)
+        )
+        if len(set(active)) != count or not self.covers(active):
+            raise ConfigurationError(
+                f"failed to construct a covering active set of size {count}"
+            )
+        return active
+
+    # ----------------------------------------------------------- query loads
+    def assignment(self, active_nodes: Sequence[int]) -> dict[int, list[int]]:
+        """Assign every partition to one active replica, balancing load.
+
+        Greedy least-loaded assignment over each partition's active
+        replicas — the strategy of the replication paper the authors cite.
+        Returns {active node -> partitions served}.
+        """
+        active = list(dict.fromkeys(active_nodes))
+        if not active:
+            raise ConfigurationError("no active nodes")
+        if not self.covers(active):
+            raise ConfigurationError(
+                f"active set {active} does not cover all partitions"
+            )
+        load: dict[int, list[int]] = {node: [] for node in active}
+        active_set = set(active)
+        for partition in range(self.num_partitions):
+            candidates = [
+                node for node in self.replica_nodes(partition) if node in active_set
+            ]
+            target = min(candidates, key=lambda node: len(load[node]))
+            load[target].append(partition)
+        return load
+
+    def load_weights(self, active_nodes: Sequence[int]) -> list[float]:
+        """Per-active-node data weights for the simulated executor.
+
+        Weights are normalized so a perfectly even assignment yields 1.0
+        per node (the convention of ``partition_weights``).
+        """
+        assignment = self.assignment(active_nodes)
+        counts = [len(assignment[node]) for node in dict.fromkeys(active_nodes)]
+        mean = self.num_partitions / len(counts)
+        return [count / mean for count in counts]

@@ -1,0 +1,242 @@
+"""Simulated P-store executor: JoinPlan -> fluid-simulator jobs.
+
+Each (node, phase) pair becomes one :class:`~repro.simulator.jobs.FlowSpec`
+whose demand coefficients encode the scan -> filter -> partition -> send
+pipeline exactly:
+
+* the flow's *rate* is the node's pre-filter scan rate (reference MB/s);
+* CPU demand is ``pipeline_cpu_cost`` per scanned MB (plus optional
+  ``receive_cpu_cost`` per ingested MB at hash-table nodes);
+* disk demand is 1.0 per scanned MB when the cache is cold;
+* network demands route the qualifying fraction to its destinations with
+  per-destination NIC-in coefficients — so receiver-side ingestion limits
+  (the heterogeneous bottleneck of Section 5.4) emerge from max-min
+  fairness instead of being hard-coded.
+
+Phases are barriers: the probe phase of a join starts only after every
+node finished building ("after all the nodes have built their hash tables,
+the LINEITEM table is repartitioned", Section 4.3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import PlanError
+from repro.hardware.cluster import ClusterSpec
+from repro.pstore.plans import JoinPlan
+from repro.simulator.engine import ClusterSimulator, SimulationResult
+from repro.simulator.jobs import FlowSpec, Job, Phase
+from repro.simulator.network import IDEAL_SWITCH, SwitchModel
+from repro.simulator.resources import cpu, disk, nic_in, nic_out
+from repro.workloads.queries import JoinMethod
+
+__all__ = ["build_join_job", "SimulatedPStore"]
+
+
+def _partition_volumes(total_mb: float, weights: Sequence[float] | None, n: int) -> list[float]:
+    """Per-node pre-filter volumes; ``weights`` models data skew."""
+    if weights is None:
+        return [total_mb / n] * n
+    if len(weights) != n:
+        raise PlanError(f"need {n} partition weights, got {len(weights)}")
+    if any(w < 0 for w in weights) or sum(weights) <= 0:
+        raise PlanError(f"invalid partition weights: {weights}")
+    scale = total_mb / sum(weights)
+    return [w * scale for w in weights]
+
+
+def _phase_flows(
+    plan: JoinPlan,
+    phase_label: str,
+    table_volume_mb: float,
+    selectivity: float,
+    weights: Sequence[float] | None,
+) -> list[FlowSpec]:
+    """Flows for one exchange phase (build or probe) of the join."""
+    n = plan.num_nodes
+    join_nodes = list(plan.join_node_ids)
+    m = len(join_nodes)
+    volumes = _partition_volumes(table_volume_mb, weights, n)
+
+    flows = []
+    for node in range(n):
+        demands: dict[str, float] = {cpu(node): plan.pipeline_cpu_cost}
+        if not plan.warm_cache:
+            demands[disk(node)] = 1.0
+
+        if plan.method is JoinMethod.LOCAL:
+            pass  # no exchange at all
+        elif plan.method is JoinMethod.SHUFFLE:
+            if node in join_nodes:
+                outbound = selectivity * (m - 1) / m
+            else:
+                outbound = selectivity
+            if outbound > 0:
+                demands[nic_out(node)] = outbound
+            for target in join_nodes:
+                if target == node:
+                    continue
+                demands[nic_in(target)] = (
+                    demands.get(nic_in(target), 0.0) + selectivity / m
+                )
+                if plan.receive_cpu_cost > 0:
+                    demands[cpu(target)] = (
+                        demands.get(cpu(target), 0.0)
+                        + plan.receive_cpu_cost * selectivity / m
+                    )
+        elif plan.method is JoinMethod.BROADCAST:
+            # Build side only: every node receives the full qualifying table.
+            if n > 1:
+                demands[nic_out(node)] = selectivity * (n - 1)
+                for target in range(n):
+                    if target == node:
+                        continue
+                    demands[nic_in(target)] = (
+                        demands.get(nic_in(target), 0.0) + selectivity
+                    )
+                    if plan.receive_cpu_cost > 0:
+                        demands[cpu(target)] = (
+                            demands.get(cpu(target), 0.0)
+                            + plan.receive_cpu_cost * selectivity
+                        )
+        else:  # pragma: no cover - planner resolves AUTO
+            raise PlanError(f"unresolved join method: {plan.method}")
+
+        flows.append(
+            FlowSpec(
+                name=f"{phase_label}:node{node}",
+                volume_mb=volumes[node],
+                demands=demands,
+            )
+        )
+    return flows
+
+
+def _local_probe_flows(
+    plan: JoinPlan, weights: Sequence[float] | None
+) -> list[FlowSpec]:
+    """Broadcast probe: each node probes its local partition, no network."""
+    n = plan.num_nodes
+    volumes = _partition_volumes(plan.workload.probe_volume_mb, weights, n)
+    flows = []
+    for node in range(n):
+        demands: dict[str, float] = {cpu(node): plan.pipeline_cpu_cost}
+        if not plan.warm_cache:
+            demands[disk(node)] = 1.0
+        flows.append(
+            FlowSpec(
+                name=f"probe-local:node{node}",
+                volume_mb=volumes[node],
+                demands=demands,
+            )
+        )
+    return flows
+
+
+def build_join_job(
+    plan: JoinPlan,
+    job_name: str = "join",
+    start_time_s: float = 0.0,
+    partition_weights: Sequence[float] | None = None,
+) -> Job:
+    """Convert a plan into a two-phase (build, probe) simulator job.
+
+    ``partition_weights`` optionally skews the per-node data volumes (the
+    Section 4.1 "data skew" bottleneck; uniform by default, as in the
+    paper's experiments).
+    """
+    workload = plan.workload
+    build_flows = _phase_flows(
+        plan,
+        phase_label="build",
+        table_volume_mb=workload.build_volume_mb,
+        selectivity=workload.build_selectivity,
+        weights=partition_weights,
+    )
+    if plan.method is JoinMethod.BROADCAST:
+        probe_flows = _local_probe_flows(plan, partition_weights)
+    else:
+        probe_flows = _phase_flows(
+            plan,
+            phase_label="probe",
+            table_volume_mb=workload.probe_volume_mb,
+            selectivity=workload.probe_selectivity,
+            weights=partition_weights,
+        )
+    return Job(
+        name=job_name,
+        phases=(
+            Phase(name="build", flows=tuple(build_flows)),
+            Phase(name="probe", flows=tuple(probe_flows)),
+        ),
+        start_time_s=start_time_s,
+        metadata={"plan": plan},
+    )
+
+
+class SimulatedPStore:
+    """Runs join plans on the fluid simulator, one or many at a time."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        switch: SwitchModel = IDEAL_SWITCH,
+        record_intervals: bool = True,
+    ):
+        self.cluster = cluster
+        self.switch = switch
+        self._simulator = ClusterSimulator(
+            cluster, switch=switch, record_intervals=record_intervals
+        )
+
+    def run(
+        self,
+        plan: JoinPlan,
+        concurrency: int = 1,
+        partition_weights: Sequence[float] | None = None,
+    ) -> SimulationResult:
+        """Execute ``concurrency`` independent copies of the join.
+
+        This is the Figure 3/4 experiment setup: "1, 2, and 4 independent
+        concurrent joins being performed" — all queries start together and
+        share the cluster.
+        """
+        if concurrency <= 0:
+            raise PlanError(f"concurrency must be > 0, got {concurrency}")
+        jobs = [
+            build_join_job(
+                plan,
+                job_name=f"join#{index}",
+                partition_weights=partition_weights,
+            )
+            for index in range(concurrency)
+        ]
+        return self._simulator.run(jobs)
+
+    def run_stream(
+        self,
+        plan: JoinPlan,
+        start_times_s: Sequence[float],
+        partition_weights: Sequence[float] | None = None,
+    ) -> SimulationResult:
+        """Execute one copy of the join per arrival time.
+
+        Queries arriving while earlier ones still run share the cluster;
+        the result's per-job response times expose queueing/contention
+        delay (``result.response_time_s("join#3")``).
+        """
+        if not start_times_s:
+            raise PlanError("need at least one arrival time")
+        if any(t < 0 for t in start_times_s):
+            raise PlanError(f"negative arrival time in {start_times_s}")
+        jobs = [
+            build_join_job(
+                plan,
+                job_name=f"join#{index}",
+                start_time_s=float(start),
+                partition_weights=partition_weights,
+            )
+            for index, start in enumerate(start_times_s)
+        ]
+        return self._simulator.run(jobs)

@@ -1,0 +1,35 @@
+"""Fluid discrete-event cluster simulator.
+
+The paper's P-store experiments are *rate-bound*: every phase of a parallel
+hash join proceeds at the speed of its slowest shared resource (disk, CPU,
+NIC in/out).  This package models a cluster as a set of rate-capacity
+resources and queries as *fluid flows* that demand those resources in fixed
+proportions; a max-min fair allocator determines instantaneous rates, and
+the engine advances time from flow completion to flow completion,
+integrating per-node CPU utilization into energy via the hardware power
+models.
+
+This reproduces exactly the quantities the paper measures — response time
+and joules per query — including under concurrent queries (Figures 3 and 4)
+and heterogeneous Beefy/Wimpy clusters (Figure 7).
+"""
+
+from repro.simulator.allocation import max_min_fair_rates
+from repro.simulator.engine import ClusterSimulator, Interval, SimulationResult
+from repro.simulator.jobs import FlowSpec, Job, Phase
+from repro.simulator.network import IDEAL_SWITCH, SwitchModel
+from repro.simulator.resources import Resource, ResourcePool
+
+__all__ = [
+    "max_min_fair_rates",
+    "ClusterSimulator",
+    "SimulationResult",
+    "Interval",
+    "FlowSpec",
+    "Phase",
+    "Job",
+    "SwitchModel",
+    "IDEAL_SWITCH",
+    "Resource",
+    "ResourcePool",
+]

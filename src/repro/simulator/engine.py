@@ -1,0 +1,351 @@
+"""The fluid simulation engine.
+
+:class:`ClusterSimulator` advances simulated time from event to event.
+Between events the rate of every live flow is constant (computed by the
+max-min fair allocator), so per-node CPU utilization — and therefore power —
+is piecewise constant and energy integrates exactly.
+
+Events are: a job becoming ready (its start time), a flow completing, and a
+phase barrier releasing the next phase of a job.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import SimulationError
+from repro.hardware.cluster import ClusterSpec
+from repro.simulator.allocation import max_min_fair_allocation
+from repro.simulator.jobs import FlowSpec, Job
+from repro.simulator.network import IDEAL_SWITCH, SwitchModel
+from repro.simulator.resources import CPU, ResourcePool
+
+__all__ = ["ClusterSimulator", "SimulationResult", "Interval"]
+
+_COMPLETION_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One piecewise-constant stretch of the simulation."""
+
+    start_s: float
+    end_s: float
+    node_utilization: tuple[float, ...]
+    node_power_w: tuple[float, ...]
+    flow_names: tuple[str, ...]
+    #: per-flow binding resource (parallel to ``flow_names``): the saturated
+    #: resource that capped each flow during this interval
+    flow_bindings: tuple[str, ...] = ()
+    #: owning job of each flow (parallel to ``flow_names``)
+    flow_jobs: tuple[str, ...] = ()
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    @property
+    def cluster_power_w(self) -> float:
+        return sum(self.node_power_w)
+
+    @property
+    def energy_j(self) -> float:
+        return self.cluster_power_w * self.duration_s
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one :meth:`ClusterSimulator.run` call."""
+
+    makespan_s: float
+    energy_j: float
+    node_energy_j: tuple[float, ...]
+    job_start_s: dict[str, float]
+    job_completion_s: dict[str, float]
+    intervals: list[Interval] = field(repr=False, default_factory=list)
+
+    def response_time_s(self, job_name: str) -> float:
+        """Wall-clock duration of one job."""
+        try:
+            return self.job_completion_s[job_name] - self.job_start_s[job_name]
+        except KeyError:
+            raise SimulationError(f"unknown job {job_name!r}") from None
+
+    @property
+    def average_power_w(self) -> float:
+        """Mean cluster power over the whole run."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.energy_j / self.makespan_s
+
+    @property
+    def performance(self) -> float:
+        """The paper's performance metric: inverse of response time."""
+        if self.makespan_s <= 0:
+            raise SimulationError("zero-makespan run has no performance")
+        return 1.0 / self.makespan_s
+
+    def power_at(self, time_s: float) -> float:
+        """Cluster power draw at an instant (step function over intervals)."""
+        for interval in self.intervals:
+            if interval.start_s <= time_s < interval.end_s:
+                return interval.cluster_power_w
+        if self.intervals and time_s >= self.intervals[-1].end_s:
+            return self.intervals[-1].cluster_power_w
+        raise SimulationError(f"time {time_s} precedes the simulation")
+
+    def mean_utilization(self, node_id: int) -> float:
+        """Time-weighted mean CPU utilization of one node."""
+        total = sum(i.node_utilization[node_id] * i.duration_s for i in self.intervals)
+        duration = sum(i.duration_s for i in self.intervals)
+        if duration <= 0:
+            return 0.0
+        return total / duration
+
+
+class _LiveFlow:
+    __slots__ = ("spec", "job_index", "phase_index", "remaining_mb", "job_name")
+
+    def __init__(self, spec: FlowSpec, job_index: int, phase_index: int, job_name: str):
+        self.spec = spec
+        self.job_index = job_index
+        self.phase_index = phase_index
+        self.remaining_mb = spec.volume_mb
+        self.job_name = job_name
+
+    @property
+    def done(self) -> bool:
+        return self.remaining_mb <= _COMPLETION_EPS * max(1.0, self.spec.volume_mb)
+
+
+class ClusterSimulator:
+    """Simulates jobs on a cluster, producing time and energy.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster design (node specs determine resource capacities and
+        power models).
+    switch:
+        Network contention model; :data:`~repro.simulator.network.IDEAL_SWITCH`
+        by default.
+    record_intervals:
+        Keep the full piecewise trace on the result (needed by the meter
+        experiments; can be disabled for large sweeps).
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        switch: SwitchModel = IDEAL_SWITCH,
+        record_intervals: bool = True,
+    ):
+        self.pool = ResourcePool(cluster)
+        self.switch = switch
+        self.record_intervals = record_intervals
+
+    # ------------------------------------------------------------------ public
+    def run(self, jobs: Sequence[Job], max_events: int = 1_000_000) -> SimulationResult:
+        """Run ``jobs`` to completion and return timing and energy."""
+        self._validate(jobs)
+
+        time_s = 0.0
+        job_phase = [0] * len(jobs)
+        phase_live_count = [0] * len(jobs)
+        job_start: dict[str, float] = {}
+        job_completion: dict[str, float] = {}
+        pending = sorted(range(len(jobs)), key=lambda i: jobs[i].start_time_s)
+        live: list[_LiveFlow] = []
+
+        num_nodes = self.pool.num_nodes
+        node_energy = [0.0] * num_nodes
+        intervals: list[Interval] = []
+        events = 0
+
+        while pending or live:
+            events += 1
+            if events > max_events:
+                raise SimulationError(f"exceeded {max_events} events; simulation stalled?")
+
+            # Admit every job whose start time has arrived.
+            while pending and jobs[pending[0]].start_time_s <= time_s + _COMPLETION_EPS:
+                index = pending.pop(0)
+                job_start[jobs[index].name] = time_s
+                self._advance_job(
+                    jobs, index, 0, live, phase_live_count, job_phase,
+                    time_s, job_completion,
+                )
+
+            if not live:
+                if pending:
+                    # Idle gap until the next arrival: the cluster still
+                    # draws engine-idle power (relevant for the delayed-
+                    # execution studies of Section 2's citations).
+                    gap = jobs[pending[0]].start_time_s - time_s
+                    self._integrate([], [], [], time_s, gap, node_energy, intervals)
+                    time_s = jobs[pending[0]].start_time_s
+                    continue
+                break
+
+            rates, bindings = self._allocate(live)
+
+            # Next event: earliest flow completion or job admission.
+            dt = math.inf
+            for flow, rate in zip(live, rates):
+                if rate > 0:
+                    dt = min(dt, flow.remaining_mb / rate)
+            if pending:
+                dt = min(dt, jobs[pending[0]].start_time_s - time_s)
+            if not math.isfinite(dt) or dt < 0:
+                raise SimulationError(
+                    "simulation stalled: live flows have zero rate and no pending events"
+                )
+
+            self._integrate(live, rates, bindings, time_s, dt, node_energy, intervals)
+
+            for flow, rate in zip(live, rates):
+                flow.remaining_mb -= rate * dt
+            time_s += dt
+
+            # Retire completed flows and release phase barriers.
+            finished = [flow for flow in live if flow.done]
+            if finished:
+                live = [flow for flow in live if not flow.done]
+                touched_jobs = set()
+                for flow in finished:
+                    phase_live_count[flow.job_index] -= 1
+                    touched_jobs.add(flow.job_index)
+                for index in touched_jobs:
+                    if phase_live_count[index] == 0 and job_phase[index] is not None:
+                        self._advance_job(
+                            jobs, index, job_phase[index] + 1, live,
+                            phase_live_count, job_phase, time_s, job_completion,
+                        )
+
+        return SimulationResult(
+            makespan_s=time_s,
+            energy_j=sum(node_energy),
+            node_energy_j=tuple(node_energy),
+            job_start_s=job_start,
+            job_completion_s=job_completion,
+            intervals=intervals,
+        )
+
+    # ----------------------------------------------------------------- helpers
+    def _validate(self, jobs: Sequence[Job]) -> None:
+        if not jobs:
+            raise SimulationError("no jobs to run")
+        names = [job.name for job in jobs]
+        if len(set(names)) != len(names):
+            raise SimulationError(f"duplicate job names: {names}")
+        for job in jobs:
+            for phase in job.phases:
+                for flow in phase.flows:
+                    for resource in flow.demands:
+                        if resource not in self.pool:
+                            raise SimulationError(
+                                f"job {job.name!r} flow {flow.name!r} references "
+                                f"unknown resource {resource!r}"
+                            )
+
+    def _advance_job(
+        self,
+        jobs: Sequence[Job],
+        job_index: int,
+        start_phase: int,
+        live: list[_LiveFlow],
+        phase_live_count: list[int],
+        job_phase: list,
+        time_s: float,
+        job_completion: dict[str, float],
+    ) -> None:
+        """Admit phases from ``start_phase`` on, skipping all-empty ones."""
+        phase_index = start_phase
+        while True:
+            if phase_index >= len(jobs[job_index].phases):
+                job_completion[jobs[job_index].name] = time_s
+                job_phase[job_index] = None
+                return
+            self._admit_phase(jobs, job_index, phase_index, live, phase_live_count, job_phase)
+            if phase_live_count[job_index] > 0:
+                return
+            phase_index += 1
+
+    def _admit_phase(
+        self,
+        jobs: Sequence[Job],
+        job_index: int,
+        phase_index: int,
+        live: list[_LiveFlow],
+        phase_live_count: list[int],
+        job_phase: list,
+    ) -> None:
+        job_phase[job_index] = phase_index
+        count = 0
+        for flow in jobs[job_index].phases[phase_index].flows:
+            if flow.volume_mb > 0:
+                live.append(
+                    _LiveFlow(flow, job_index, phase_index, jobs[job_index].name)
+                )
+                count += 1
+        phase_live_count[job_index] = count
+
+    def _allocate(
+        self, live: Sequence[_LiveFlow]
+    ) -> tuple[list[float], list[str]]:
+        capacities = self.pool.capacities()
+        network_flows = sum(
+            1
+            for flow in live
+            if any(self.pool.is_network(r) for r in flow.spec.demands)
+        )
+        efficiency = self.switch.efficiency(network_flows)
+        if efficiency < 1.0:
+            for name in capacities:
+                if self.pool.is_network(name):
+                    capacities[name] *= efficiency
+        return max_min_fair_allocation(
+            [flow.spec.demands for flow in live], capacities
+        )
+
+    def _integrate(
+        self,
+        live: Sequence[_LiveFlow],
+        rates: Sequence[float],
+        bindings: Sequence[str],
+        time_s: float,
+        dt: float,
+        node_energy: list[float],
+        intervals: list[Interval],
+    ) -> None:
+        if dt <= 0:
+            return
+        cpu_rates = [0.0] * self.pool.num_nodes
+        for flow, rate in zip(live, rates):
+            for resource, coef in flow.spec.demands.items():
+                kind, _, node = resource.partition(":")
+                if kind == CPU:
+                    cpu_rates[int(node)] += coef * rate
+        utils = []
+        powers = []
+        for node_id in self.pool.node_ids():
+            spec = self.pool.node_spec(node_id)
+            util = spec.utilization(cpu_rates[node_id])
+            watts = spec.power_model.power(util)
+            utils.append(util)
+            powers.append(watts)
+            node_energy[node_id] += watts * dt
+        if self.record_intervals:
+            intervals.append(
+                Interval(
+                    start_s=time_s,
+                    end_s=time_s + dt,
+                    node_utilization=tuple(utils),
+                    node_power_w=tuple(powers),
+                    flow_names=tuple(flow.spec.name for flow in live),
+                    flow_bindings=tuple(bindings),
+                    flow_jobs=tuple(flow.job_name for flow in live),
+                )
+            )

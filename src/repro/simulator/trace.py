@@ -1,0 +1,55 @@
+"""Power-trace helpers bridging the simulator and the simulated meters.
+
+The meters in :mod:`repro.hardware.meter` sample an arbitrary
+``power(t) -> watts`` function; :func:`power_function` turns a
+:class:`~repro.simulator.engine.SimulationResult` into one, so experiments
+can "measure" a simulated run exactly the way the authors metered their
+physical clusters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import SimulationError
+from repro.simulator.engine import Interval, SimulationResult
+
+__all__ = ["power_function", "energy_from_intervals", "utilization_series"]
+
+
+def power_function(result: SimulationResult) -> Callable[[float], float]:
+    """Cluster power as a function of time (step function; O(log n) lookup)."""
+    if not result.intervals:
+        raise SimulationError("result has no recorded intervals")
+    starts = [interval.start_s for interval in result.intervals]
+    intervals = result.intervals
+
+    def power(time_s: float) -> float:
+        if time_s < starts[0]:
+            raise SimulationError(f"time {time_s} precedes the simulation")
+        # binary search for the interval containing time_s
+        lo, hi = 0, len(starts) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if starts[mid] <= time_s:
+                lo = mid
+            else:
+                hi = mid - 1
+        return intervals[lo].cluster_power_w
+
+    return power
+
+
+def energy_from_intervals(intervals: Sequence[Interval]) -> float:
+    """Exact energy of a piecewise-constant trace (joules)."""
+    return sum(interval.energy_j for interval in intervals)
+
+
+def utilization_series(
+    result: SimulationResult, node_id: int
+) -> list[tuple[float, float]]:
+    """(time, utilization) step series for one node, one point per interval."""
+    return [
+        (interval.start_s, interval.node_utilization[node_id])
+        for interval in result.intervals
+    ]

@@ -1,0 +1,52 @@
+"""Workload substrate: TPC-H schema and sizing, data generation, query specs.
+
+* :mod:`repro.workloads.tpch` — table schemas, rows-per-scale-factor, full
+  and projected sizes (the paper stores 4-column 20-byte projections of
+  LINEITEM and ORDERS for its P-store experiments).
+* :mod:`repro.workloads.datagen` — seeded synthetic generators producing
+  numpy record batches with TPC-H-like distributions, used by the
+  functional executor and the correctness tests.
+* :mod:`repro.workloads.queries` — the join workload specifications used in
+  the experiments (TPC-H Q3's LINEITEM x ORDERS join at configurable
+  selectivities, the Section 5.4 700 GB x 2.8 TB join...).
+* :mod:`repro.workloads.microbench` — the Figure 6 single-node in-memory
+  hash join microbenchmark.
+"""
+
+from repro.workloads.microbench import MicrobenchResult, MicroJoinSpec, simulate_microbench
+from repro.workloads.queries import (
+    JoinMethod,
+    JoinWorkloadSpec,
+    q3_join,
+    section54_join,
+)
+from repro.workloads.tpch import (
+    LINEITEM,
+    LINEITEM_JOIN_PROJECTION,
+    ORDERS,
+    ORDERS_JOIN_PROJECTION,
+    TPCH_TABLES,
+    TableSchema,
+    full_size_mb,
+    projected_size_mb,
+    rows_at_scale,
+)
+
+__all__ = [
+    "TableSchema",
+    "TPCH_TABLES",
+    "LINEITEM",
+    "ORDERS",
+    "LINEITEM_JOIN_PROJECTION",
+    "ORDERS_JOIN_PROJECTION",
+    "rows_at_scale",
+    "full_size_mb",
+    "projected_size_mb",
+    "JoinMethod",
+    "JoinWorkloadSpec",
+    "q3_join",
+    "section54_join",
+    "MicroJoinSpec",
+    "MicrobenchResult",
+    "simulate_microbench",
+]

@@ -1,0 +1,49 @@
+"""Query arrival schedules: streams instead of all-at-once concurrency.
+
+Section 2 cites work that delays analytics "due to energy concerns"
+[20, 23]; studying that trade requires queries arriving over time rather
+than the Figure 3 setup where all concurrent joins start together.  These
+generators produce start-time lists for the simulated executor's
+stream mode (:meth:`repro.pstore.simulated.SimulatedPStore.run_stream`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = ["periodic_arrivals", "poisson_arrivals", "batched_arrivals"]
+
+
+def periodic_arrivals(count: int, interval_s: float, start_s: float = 0.0) -> list[float]:
+    """``count`` arrivals spaced ``interval_s`` apart."""
+    if count <= 0:
+        raise WorkloadError(f"count must be > 0, got {count}")
+    if interval_s < 0 or start_s < 0:
+        raise WorkloadError("interval and start must be >= 0")
+    return [start_s + index * interval_s for index in range(count)]
+
+
+def poisson_arrivals(
+    count: int, rate_per_s: float, seed: int = 0, start_s: float = 0.0
+) -> list[float]:
+    """``count`` arrivals of a Poisson process with the given rate."""
+    if count <= 0:
+        raise WorkloadError(f"count must be > 0, got {count}")
+    if rate_per_s <= 0:
+        raise WorkloadError(f"rate must be > 0, got {rate_per_s}")
+    if start_s < 0:
+        raise WorkloadError(f"start must be >= 0, got {start_s}")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(scale=1.0 / rate_per_s, size=count)
+    times = start_s + np.cumsum(gaps)
+    times[0] = start_s  # first query arrives at the stream start
+    return [float(t) for t in times]
+
+
+def batched_arrivals(count: int) -> list[float]:
+    """All queries at t=0 — the Figure 3/4 concurrency setup."""
+    if count <= 0:
+        raise WorkloadError(f"count must be > 0, got {count}")
+    return [0.0] * count

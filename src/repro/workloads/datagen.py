@@ -1,0 +1,124 @@
+"""Seeded synthetic TPC-H-like data generation.
+
+The functional P-store executor and the correctness tests need real tuples.
+These generators produce numpy record batches with the distributions the
+experiments rely on:
+
+* LINEITEM rows reference ORDERS keys with 1-7 lines per order (TPC-H's
+  distribution, mean 4), so join fan-out is realistic;
+* ``l_shipdate`` / ``o_orderdate`` are uniform over the TPC-H date range,
+  which makes predicate selectivities directly controllable
+  (:func:`date_cutoff_for_selectivity`);
+* all generation is driven by an explicit seed for reproducibility.
+
+Volumes here are intentionally small (tests run at "milli scale factors");
+large-scale behaviour is the simulator's job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import RecordBatch
+from repro.errors import WorkloadError
+from repro.workloads import tpch
+
+__all__ = [
+    "DATE_MIN",
+    "DATE_MAX",
+    "generate_orders",
+    "generate_lineitem",
+    "generate_join_pair",
+    "date_cutoff_for_selectivity",
+]
+
+#: TPC-H date domain expressed as integer day offsets (1992-01-01 .. 1998-08-02).
+DATE_MIN = 0
+DATE_MAX = 2405
+
+_LINES_PER_ORDER_MIN = 1
+_LINES_PER_ORDER_MAX = 7
+
+
+def _check_scale(scale_factor: float) -> None:
+    if scale_factor <= 0:
+        raise WorkloadError(f"scale factor must be > 0, got {scale_factor}")
+
+
+def generate_orders(scale_factor: float, seed: int = 0) -> RecordBatch:
+    """Synthetic ORDERS with the paper's four-column join projection."""
+    _check_scale(scale_factor)
+    rows = tpch.ORDERS.rows(scale_factor)
+    if rows == 0:
+        raise WorkloadError(f"scale factor {scale_factor} yields zero ORDERS rows")
+    rng = np.random.default_rng(seed)
+    num_customers = max(1, tpch.CUSTOMER.rows(scale_factor))
+    return RecordBatch(
+        {
+            "o_orderkey": np.arange(1, rows + 1, dtype=np.int64),
+            "o_custkey": rng.integers(1, num_customers + 1, size=rows, dtype=np.int64),
+            "o_orderdate": rng.integers(DATE_MIN, DATE_MAX + 1, size=rows, dtype=np.int32),
+            "o_shippriority": np.zeros(rows, dtype=np.int32),
+        }
+    )
+
+
+def generate_lineitem(
+    scale_factor: float,
+    seed: int = 0,
+    orders: RecordBatch | None = None,
+) -> RecordBatch:
+    """Synthetic LINEITEM rows referencing ORDERS keys.
+
+    If ``orders`` is given, line items reference exactly its keys (so the
+    pair joins consistently); otherwise keys are drawn from the cardinality
+    implied by the scale factor.
+    """
+    _check_scale(scale_factor)
+    rng = np.random.default_rng(seed + 1)
+    if orders is not None:
+        order_keys = orders.column("o_orderkey")
+    else:
+        num_orders = tpch.ORDERS.rows(scale_factor)
+        if num_orders == 0:
+            raise WorkloadError(f"scale factor {scale_factor} yields zero orders")
+        order_keys = np.arange(1, num_orders + 1, dtype=np.int64)
+
+    lines_per_order = rng.integers(
+        _LINES_PER_ORDER_MIN, _LINES_PER_ORDER_MAX + 1, size=len(order_keys)
+    )
+    l_orderkey = np.repeat(order_keys, lines_per_order)
+    rows = len(l_orderkey)
+    return RecordBatch(
+        {
+            "l_orderkey": l_orderkey.astype(np.int64),
+            "l_quantity": rng.integers(1, 51, size=rows).astype(np.float64),
+            "l_extendedprice": rng.uniform(900.0, 105_000.0, size=rows),
+            "l_discount": rng.uniform(0.0, 0.10, size=rows),
+            "l_tax": rng.uniform(0.0, 0.08, size=rows),
+            # returnflag in {0:'A', 1:'N', 2:'R'}; linestatus in {0:'O', 1:'F'}
+            "l_returnflag": rng.integers(0, 3, size=rows, dtype=np.int8),
+            "l_linestatus": rng.integers(0, 2, size=rows, dtype=np.int8),
+            "l_shipdate": rng.integers(DATE_MIN, DATE_MAX + 1, size=rows, dtype=np.int32),
+        }
+    )
+
+
+def generate_join_pair(
+    scale_factor: float, seed: int = 0
+) -> tuple[RecordBatch, RecordBatch]:
+    """A consistent (orders, lineitem) pair for join tests."""
+    orders = generate_orders(scale_factor, seed=seed)
+    lineitem = generate_lineitem(scale_factor, seed=seed, orders=orders)
+    return orders, lineitem
+
+
+def date_cutoff_for_selectivity(selectivity: float) -> int:
+    """Date cutoff ``d`` such that ``date < d`` matches about ``selectivity``.
+
+    Valid because generated dates are uniform on [DATE_MIN, DATE_MAX].
+    """
+    if not 0.0 <= selectivity <= 1.0:
+        raise WorkloadError(f"selectivity must be in [0, 1], got {selectivity}")
+    span = DATE_MAX - DATE_MIN + 1
+    return DATE_MIN + int(round(selectivity * span))

@@ -1,0 +1,129 @@
+"""Single-node in-memory hash-join energy microbenchmark (Figure 6).
+
+Section 5.1 runs a cache-conscious, multi-threaded hash join between a
+10 MB build table (100 K rows x 100 B) and a 2 GB probe table (20 M rows x
+100 B) on five systems, measuring wall-outlet energy.  The headline result:
+**Laptop B consumes the least energy (~800 J) even though the workstations
+are much faster**, because its power draw drops far more than its
+performance does.
+
+:func:`simulate_microbench` reproduces the measurement using each system's
+hash-join throughput and power model (see
+:mod:`repro.hardware.presets` for the calibration notes).
+:func:`run_functional_microbench` actually executes a scaled-down join via
+functional P-store operators, for correctness-level validation of the
+kernel the numbers describe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data import RecordBatch
+from repro.errors import WorkloadError
+from repro.hardware.node import NodeSpec
+
+__all__ = [
+    "MicroJoinSpec",
+    "MicrobenchResult",
+    "FIGURE6_JOIN",
+    "simulate_microbench",
+    "run_functional_microbench",
+]
+
+
+@dataclass(frozen=True)
+class MicroJoinSpec:
+    """Build/probe table shapes for the microbenchmark."""
+
+    build_rows: int
+    probe_rows: int
+    row_bytes: int
+
+    def __post_init__(self) -> None:
+        if min(self.build_rows, self.probe_rows, self.row_bytes) <= 0:
+            raise WorkloadError("microbench spec fields must all be > 0")
+
+    @property
+    def build_mb(self) -> float:
+        return self.build_rows * self.row_bytes / 1e6
+
+    @property
+    def probe_mb(self) -> float:
+        return self.probe_rows * self.row_bytes / 1e6
+
+    @property
+    def total_mb(self) -> float:
+        return self.build_mb + self.probe_mb
+
+
+#: The paper's join: 0.1 M x 20 M rows of 100-byte tuples (10 MB x 2 GB).
+FIGURE6_JOIN = MicroJoinSpec(build_rows=100_000, probe_rows=20_000_000, row_bytes=100)
+
+
+@dataclass(frozen=True)
+class MicrobenchResult:
+    """Outcome for one system: the (response time, energy) point of Figure 6."""
+
+    system: str
+    response_time_s: float
+    energy_j: float
+
+    @property
+    def average_power_w(self) -> float:
+        return self.energy_j / self.response_time_s
+
+
+def simulate_microbench(
+    system: NodeSpec, spec: MicroJoinSpec = FIGURE6_JOIN
+) -> MicrobenchResult:
+    """Model the in-memory join on one system.
+
+    The kernel is CPU-bound and multi-threaded, so the node runs at full
+    utilization for ``total_bytes / join_throughput`` seconds; energy is
+    that duration times the system's full-load power.
+    """
+    response_time = spec.total_mb / system.cpu_bandwidth_mbps
+    watts = system.power_model.power(1.0)
+    return MicrobenchResult(
+        system=system.name,
+        response_time_s=response_time,
+        energy_j=watts * response_time,
+    )
+
+
+def run_functional_microbench(
+    scale: float = 0.001, seed: int = 7
+) -> tuple[int, RecordBatch]:
+    """Actually execute a scaled-down version of the Figure 6 join.
+
+    Returns ``(expected_matches, joined_batch)`` where ``expected_matches``
+    is computed independently of the join operator, so tests can check the
+    kernel end-to-end.
+    """
+    if not 0 < scale <= 1.0:
+        raise WorkloadError(f"scale must be in (0, 1], got {scale}")
+    # Import here to avoid a package cycle (pstore depends on workloads).
+    from repro.pstore.operators.hashjoin import hash_join_batches
+
+    rng = np.random.default_rng(seed)
+    build_rows = max(1, int(FIGURE6_JOIN.build_rows * scale))
+    probe_rows = max(1, int(FIGURE6_JOIN.probe_rows * scale))
+    build = RecordBatch(
+        {
+            "key": np.arange(build_rows, dtype=np.int64),
+            "build_payload": rng.integers(0, 1 << 30, size=build_rows, dtype=np.int64),
+        }
+    )
+    probe_keys = rng.integers(0, 2 * build_rows, size=probe_rows, dtype=np.int64)
+    probe = RecordBatch(
+        {
+            "key": probe_keys,
+            "probe_payload": rng.integers(0, 1 << 30, size=probe_rows, dtype=np.int64),
+        }
+    )
+    expected_matches = int(np.count_nonzero(probe_keys < build_rows))
+    joined = hash_join_batches(build, probe, key="key")
+    return expected_matches, joined

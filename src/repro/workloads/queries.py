@@ -1,0 +1,142 @@
+"""Join workload specifications used throughout the experiments.
+
+A :class:`JoinWorkloadSpec` captures the paper's hash-join parameters
+(Table 3's ``Bld``, ``Prb``, ``Sbld``, ``Sprb``) plus the execution method.
+Factories cover the two joins the paper studies:
+
+* :func:`q3_join` — the partition-incompatible TPC-H Q3 join between
+  LINEITEM and ORDERS at a given scale factor (Sections 4.3 and 5.2);
+* :func:`section54_join` — the design-space join between a 700 GB ORDERS
+  table and a 2.8 TB LINEITEM table (Section 5.4, Figures 1b/10/11).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.errors import WorkloadError
+from repro.units import gb, tb
+from repro.workloads import tpch
+
+__all__ = ["JoinMethod", "JoinWorkloadSpec", "q3_join", "section54_join"]
+
+
+class JoinMethod(enum.Enum):
+    """How a partition-incompatible join moves data (Section 4.3)."""
+
+    SHUFFLE = "shuffle"  # repartition both tables on the join key
+    BROADCAST = "broadcast"  # broadcast the (filtered) build table
+    LOCAL = "local"  # partition-compatible: no network at all
+    AUTO = "auto"  # let the planner pick
+
+
+@dataclass(frozen=True)
+class JoinWorkloadSpec:
+    """One parallel hash join: volumes, selectivities, method.
+
+    ``build_volume_mb``/``probe_volume_mb`` are *pre-predicate* table sizes
+    (the model's ``Bld`` and ``Prb``); selectivities are the fraction of
+    tuples passing the scan predicates (``Sbld``, ``Sprb``).
+    """
+
+    name: str
+    build_volume_mb: float
+    probe_volume_mb: float
+    build_selectivity: float
+    probe_selectivity: float
+    method: JoinMethod = JoinMethod.SHUFFLE
+    #: bytes per qualifying tuple (affects hash-table sizing only via volume,
+    #: recorded for documentation/functional parity)
+    tuple_bytes: int = tpch.PROJECTED_TUPLE_BYTES
+
+    def __post_init__(self) -> None:
+        if self.build_volume_mb <= 0 or self.probe_volume_mb <= 0:
+            raise WorkloadError(f"{self.name}: table volumes must be > 0")
+        for label, sel in (
+            ("build", self.build_selectivity),
+            ("probe", self.probe_selectivity),
+        ):
+            if not 0.0 < sel <= 1.0:
+                raise WorkloadError(
+                    f"{self.name}: {label} selectivity must be in (0, 1], got {sel}"
+                )
+
+    # ------------------------------------------------------------ derived
+    @property
+    def qualifying_build_mb(self) -> float:
+        """Hash-table payload: build volume after the predicate."""
+        return self.build_volume_mb * self.build_selectivity
+
+    @property
+    def qualifying_probe_mb(self) -> float:
+        return self.probe_volume_mb * self.probe_selectivity
+
+    def hash_table_share_mb(self, num_join_nodes: int) -> float:
+        """Per-node hash-table size when partitioned over ``num_join_nodes``."""
+        if num_join_nodes <= 0:
+            raise WorkloadError(f"num_join_nodes must be > 0, got {num_join_nodes}")
+        return self.qualifying_build_mb / num_join_nodes
+
+    def with_selectivities(
+        self, build: float | None = None, probe: float | None = None
+    ) -> "JoinWorkloadSpec":
+        """Copy with replaced selectivities (used by the sweep experiments)."""
+        changes: dict[str, float] = {}
+        if build is not None:
+            changes["build_selectivity"] = build
+        if probe is not None:
+            changes["probe_selectivity"] = probe
+        return replace(self, **changes)
+
+    def with_method(self, method: JoinMethod) -> "JoinWorkloadSpec":
+        return replace(self, method=method)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: build {self.build_volume_mb:g}MB@"
+            f"{self.build_selectivity:.0%} x probe {self.probe_volume_mb:g}MB@"
+            f"{self.probe_selectivity:.0%} [{self.method.value}]"
+        )
+
+
+def q3_join(
+    scale_factor: float,
+    build_selectivity: float = 0.05,
+    probe_selectivity: float = 0.05,
+    method: JoinMethod = JoinMethod.SHUFFLE,
+) -> JoinWorkloadSpec:
+    """The TPC-H Q3 LINEITEM x ORDERS join of Sections 4.3 and 5.2.
+
+    ORDERS (hash-partitioned on O_CUSTKEY) is the build side, LINEITEM
+    (partitioned on L_SHIPDATE) the probe side; neither matches the
+    ORDERKEY join key, so the join is partition incompatible.  Volumes are
+    the paper's 20-byte four-column projections.
+    """
+    return JoinWorkloadSpec(
+        name=f"tpch-q3-join-sf{scale_factor:g}",
+        build_volume_mb=tpch.projected_size_mb(tpch.ORDERS, scale_factor),
+        probe_volume_mb=tpch.projected_size_mb(tpch.LINEITEM, scale_factor),
+        build_selectivity=build_selectivity,
+        probe_selectivity=probe_selectivity,
+        method=method,
+    )
+
+
+def section54_join(
+    build_selectivity: float = 0.10,
+    probe_selectivity: float = 0.01,
+) -> JoinWorkloadSpec:
+    """Section 5.4's design-space join: 700 GB ORDERS x 2.8 TB LINEITEM.
+
+    The default selectivities are those of Figure 1(b) (ORDERS 10%,
+    LINEITEM 1%); Figures 10 and 11 vary them via
+    :meth:`JoinWorkloadSpec.with_selectivities`.
+    """
+    return JoinWorkloadSpec(
+        name="section5.4-join",
+        build_volume_mb=gb(700.0),
+        probe_volume_mb=tb(2.8),
+        build_selectivity=build_selectivity,
+        probe_selectivity=probe_selectivity,
+    )

@@ -1,0 +1,86 @@
+"""Data skew: the Section 4.1 bottleneck the paper defers to future work.
+
+"Although partitioning tools try to avoid data skew, even a small skew can
+cause an imbalance in the utilization of the cluster nodes, especially as
+the system scales."
+
+This module provides skewed partition-weight generators that plug into both
+P-store executors (``partition_weights``) and a Zipf key generator for the
+functional engine, so the imbalance effect can be studied at both the
+timing/energy level and the real-tuple level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = [
+    "zipf_partition_weights",
+    "hot_node_weights",
+    "zipf_keys",
+    "imbalance",
+]
+
+
+def zipf_partition_weights(num_nodes: int, theta: float) -> list[float]:
+    """Partition weights following a Zipf(theta) popularity law.
+
+    ``theta = 0`` is uniform; larger values concentrate data on the first
+    nodes.  Weights are normalized to sum to ``num_nodes`` so that a weight
+    of 1.0 means "an even share".
+    """
+    if num_nodes <= 0:
+        raise WorkloadError(f"num_nodes must be > 0, got {num_nodes}")
+    if theta < 0:
+        raise WorkloadError(f"theta must be >= 0, got {theta}")
+    raw = np.array([1.0 / (rank**theta) for rank in range(1, num_nodes + 1)])
+    weights = raw / raw.sum() * num_nodes
+    return [float(w) for w in weights]
+
+
+def hot_node_weights(num_nodes: int, hot_fraction: float) -> list[float]:
+    """One node holds ``hot_fraction`` of the data, the rest share evenly.
+
+    The classic "hot partition" scenario: ``hot_fraction = 1/num_nodes``
+    is uniform.
+    """
+    if num_nodes <= 1:
+        raise WorkloadError("hot-node skew needs at least 2 nodes")
+    if not 0.0 < hot_fraction < 1.0:
+        raise WorkloadError(f"hot_fraction must be in (0, 1), got {hot_fraction}")
+    cold = (1.0 - hot_fraction) / (num_nodes - 1)
+    weights = [hot_fraction] + [cold] * (num_nodes - 1)
+    return [w * num_nodes for w in weights]
+
+
+def zipf_keys(
+    num_rows: int, num_distinct: int, theta: float, seed: int = 0
+) -> np.ndarray:
+    """Zipf-distributed join keys for functional skew studies.
+
+    ``theta = 0`` draws uniformly over ``num_distinct`` keys; larger values
+    make low-numbered keys proportionally hotter.
+    """
+    if num_rows <= 0 or num_distinct <= 0:
+        raise WorkloadError("num_rows and num_distinct must be > 0")
+    if theta < 0:
+        raise WorkloadError(f"theta must be >= 0, got {theta}")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, num_distinct + 1, dtype=np.float64)
+    probabilities = ranks**-theta
+    probabilities /= probabilities.sum()
+    return rng.choice(
+        np.arange(1, num_distinct + 1, dtype=np.int64), size=num_rows, p=probabilities
+    )
+
+
+def imbalance(weights: list[float]) -> float:
+    """Max weight over mean weight (1.0 = perfectly balanced)."""
+    if not weights:
+        raise WorkloadError("no weights")
+    mean = sum(weights) / len(weights)
+    if mean <= 0:
+        raise WorkloadError("weights must have positive mean")
+    return max(weights) / mean

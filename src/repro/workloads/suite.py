@@ -1,0 +1,168 @@
+"""Multi-query workload suites (the paper's Section 7 future-work item).
+
+"We acknowledge that to make these results more meaningful, we need to
+expand the study to include entire workloads."
+
+A :class:`WorkloadSuite` is a weighted mix of join workloads (weights are
+relative execution frequencies).  :func:`evaluate_suite` prices the whole
+suite on one cluster design with the analytical model, and
+:func:`suite_tradeoff_curve` sweeps Beefy/Wimpy mixes so the Section 6
+selection rules apply to workloads, not just single queries.  Execution
+mode is resolved *per query* (a suite can mix homogeneous- and
+heterogeneous-mode joins on the same cluster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.design_space import DesignPoint, DesignSpaceExplorer, TradeoffCurve
+from repro.core.model import ModelParameters, PStoreModel
+from repro.errors import ModelError, WorkloadError
+from repro.workloads.queries import JoinWorkloadSpec
+
+__all__ = ["SuiteEntry", "WorkloadSuite", "evaluate_suite", "suite_tradeoff_curve"]
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One query in a suite with its relative frequency."""
+
+    workload: JoinWorkloadSpec
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise WorkloadError(
+                f"{self.workload.name}: suite weight must be > 0, got {self.weight}"
+            )
+
+
+@dataclass(frozen=True)
+class WorkloadSuite:
+    """A named, weighted mix of join workloads."""
+
+    name: str
+    entries: tuple[SuiteEntry, ...]
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise WorkloadError(f"suite {self.name!r} has no entries")
+        specs = [entry.workload for entry in self.entries]
+        if len(set(specs)) != len(specs):
+            raise WorkloadError(
+                f"suite {self.name!r} contains the same workload twice; "
+                "adjust the entry's weight instead"
+            )
+
+    @classmethod
+    def of(cls, name: str, *workloads: JoinWorkloadSpec) -> "WorkloadSuite":
+        """Equal-weight suite."""
+        return cls(name=name, entries=tuple(SuiteEntry(w) for w in workloads))
+
+    @property
+    def total_weight(self) -> float:
+        return sum(entry.weight for entry in self.entries)
+
+
+@dataclass(frozen=True)
+class SuiteEvaluation:
+    """Suite-level totals for one cluster design."""
+
+    suite: WorkloadSuite
+    time_s: float  # weighted total busy time (sum of weight * response time)
+    energy_j: float  # weighted total energy
+
+    @property
+    def mean_response_time_s(self) -> float:
+        return self.time_s / self.suite.total_weight
+
+    @property
+    def mean_energy_j(self) -> float:
+        return self.energy_j / self.suite.total_weight
+
+
+def evaluate_suite(
+    suite: WorkloadSuite,
+    params: ModelParameters,
+    warm_cache: bool = False,
+    pipeline_cpu_cost: float = 1.0,
+) -> SuiteEvaluation:
+    """Price every query in the suite on one design and aggregate.
+
+    Raises :class:`ModelError` if *any* query is infeasible on the design —
+    a suite-level design must run its whole workload.
+    """
+    model = PStoreModel(
+        params, warm_cache=warm_cache, pipeline_cpu_cost=pipeline_cpu_cost
+    )
+    total_time = 0.0
+    total_energy = 0.0
+    for entry in suite.entries:
+        prediction = model.predict(entry.workload)
+        total_time += entry.weight * prediction.time_s
+        total_energy += entry.weight * prediction.energy_j
+    return SuiteEvaluation(suite=suite, time_s=total_time, energy_j=total_energy)
+
+
+def suite_tradeoff_curve(
+    suite: WorkloadSuite,
+    explorer: DesignSpaceExplorer,
+) -> TradeoffCurve:
+    """Sweep the explorer's mixes, pricing the whole suite at each design.
+
+    Designs that cannot run every suite query are skipped, mirroring the
+    single-query sweep's feasibility rule.
+    """
+    points: list[DesignPoint] = []
+    for cluster in explorer.mixes():
+        params = ModelParameters.from_specs(
+            explorer.beefy, cluster.num_beefy, explorer.wimpy, cluster.num_wimpy
+        )
+        try:
+            evaluation = evaluate_suite(suite, params, warm_cache=explorer.warm_cache)
+        except ModelError:
+            continue
+        points.append(
+            DesignPoint(
+                label=cluster.name,
+                cluster=cluster,
+                time_s=evaluation.time_s,
+                energy_j=evaluation.energy_j,
+            )
+        )
+    if not points:
+        raise ModelError(f"no feasible design for suite {suite.name!r}")
+    return TradeoffCurve(points)
+
+
+def suite_from_selectivity_mix(
+    name: str,
+    base: JoinWorkloadSpec,
+    probe_selectivities: Sequence[float],
+    weights: Sequence[float] | None = None,
+) -> WorkloadSuite:
+    """Convenience: one base join at several probe selectivities.
+
+    This captures the common analytics pattern of the same report running
+    with different date-range predicates.
+    """
+    if weights is not None and len(weights) != len(probe_selectivities):
+        raise WorkloadError("weights must match probe_selectivities in length")
+    entries = []
+    for index, selectivity in enumerate(probe_selectivities):
+        workload = base.with_selectivities(probe=selectivity)
+        workload = type(base)(
+            **{
+                **workload.__dict__,
+                "name": f"{base.name}@L{selectivity:.0%}",
+            }
+        )
+        entries.append(
+            SuiteEntry(
+                workload=workload,
+                weight=1.0 if weights is None else weights[index],
+            )
+        )
+    return WorkloadSuite(name=name, entries=tuple(entries))

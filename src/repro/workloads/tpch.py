@@ -1,0 +1,269 @@
+"""TPC-H schema metadata and sizing.
+
+Row counts scale linearly with the scale factor (except the fixed NATION and
+REGION tables).  Two size notions matter for the paper:
+
+* **full size** — the complete table, used when reasoning about replication
+  and repartitioning volumes in the Vertica experiments;
+* **projected size** — the paper's P-store experiments store only the four
+  join-relevant columns of LINEITEM and ORDERS as 20-byte tuples
+  (Section 4.3), giving the published working sets of 48 GB LINEITEM and
+  12 GB ORDERS at scale factor 400.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+__all__ = [
+    "Column",
+    "TableSchema",
+    "LINEITEM",
+    "ORDERS",
+    "CUSTOMER",
+    "SUPPLIER",
+    "PART",
+    "PARTSUPP",
+    "NATION",
+    "REGION",
+    "TPCH_TABLES",
+    "LINEITEM_JOIN_PROJECTION",
+    "ORDERS_JOIN_PROJECTION",
+    "rows_at_scale",
+    "full_size_mb",
+    "projected_size_mb",
+]
+
+_BYTES_PER_MB = 1_000_000.0
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: name and stored width in bytes."""
+
+    name: str
+    bytes: int
+
+    def __post_init__(self) -> None:
+        if self.bytes <= 0:
+            raise WorkloadError(f"column {self.name!r}: width must be > 0")
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """A TPC-H table: columns and cardinality scaling."""
+
+    name: str
+    rows_per_sf: float
+    columns: tuple[Column, ...]
+    fixed_cardinality: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rows_per_sf <= 0:
+            raise WorkloadError(f"table {self.name!r}: rows_per_sf must be > 0")
+        if not self.columns:
+            raise WorkloadError(f"table {self.name!r}: no columns")
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise WorkloadError(f"table {self.name!r}: duplicate column names")
+
+    @property
+    def row_bytes(self) -> int:
+        """Full row width in bytes."""
+        return sum(column.bytes for column in self.columns)
+
+    def column(self, name: str) -> Column:
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise WorkloadError(f"table {self.name!r} has no column {name!r}")
+
+    def projection_bytes(self, names: tuple[str, ...]) -> int:
+        """Row width of a column subset."""
+        return sum(self.column(name).bytes for name in names)
+
+    def rows(self, scale_factor: float) -> int:
+        if scale_factor <= 0:
+            raise WorkloadError(f"scale factor must be > 0, got {scale_factor}")
+        if self.fixed_cardinality:
+            return int(self.rows_per_sf)
+        return int(round(self.rows_per_sf * scale_factor))
+
+
+# Column widths follow the TPC-H specification's storage estimates
+# (integers/dates 4-8 B, decimals 8 B, fixed char fields at declared length).
+
+LINEITEM = TableSchema(
+    name="lineitem",
+    rows_per_sf=6_000_000,
+    columns=(
+        Column("l_orderkey", 8),
+        Column("l_partkey", 8),
+        Column("l_suppkey", 8),
+        Column("l_linenumber", 4),
+        Column("l_quantity", 8),
+        Column("l_extendedprice", 8),
+        Column("l_discount", 4),
+        Column("l_tax", 8),
+        Column("l_returnflag", 1),
+        Column("l_linestatus", 1),
+        Column("l_shipdate", 4),
+        Column("l_commitdate", 4),
+        Column("l_receiptdate", 4),
+        Column("l_shipinstruct", 25),
+        Column("l_shipmode", 10),
+        Column("l_comment", 27),
+    ),
+)
+
+ORDERS = TableSchema(
+    name="orders",
+    rows_per_sf=1_500_000,
+    columns=(
+        Column("o_orderkey", 8),
+        Column("o_custkey", 8),
+        Column("o_orderstatus", 1),
+        Column("o_totalprice", 8),
+        Column("o_orderdate", 4),
+        Column("o_orderpriority", 15),
+        Column("o_clerk", 15),
+        Column("o_shippriority", 4),
+        Column("o_comment", 49),
+    ),
+)
+
+CUSTOMER = TableSchema(
+    name="customer",
+    rows_per_sf=150_000,
+    columns=(
+        Column("c_custkey", 8),
+        Column("c_name", 25),
+        Column("c_address", 40),
+        Column("c_nationkey", 4),
+        Column("c_phone", 15),
+        Column("c_acctbal", 8),
+        Column("c_mktsegment", 10),
+        Column("c_comment", 117),
+    ),
+)
+
+SUPPLIER = TableSchema(
+    name="supplier",
+    rows_per_sf=10_000,
+    columns=(
+        Column("s_suppkey", 8),
+        Column("s_name", 25),
+        Column("s_address", 40),
+        Column("s_nationkey", 4),
+        Column("s_phone", 15),
+        Column("s_acctbal", 8),
+        Column("s_comment", 101),
+    ),
+)
+
+PART = TableSchema(
+    name="part",
+    rows_per_sf=200_000,
+    columns=(
+        Column("p_partkey", 8),
+        Column("p_name", 55),
+        Column("p_mfgr", 25),
+        Column("p_brand", 10),
+        Column("p_type", 25),
+        Column("p_size", 4),
+        Column("p_container", 10),
+        Column("p_retailprice", 8),
+        Column("p_comment", 23),
+    ),
+)
+
+PARTSUPP = TableSchema(
+    name="partsupp",
+    rows_per_sf=800_000,
+    columns=(
+        Column("ps_partkey", 8),
+        Column("ps_suppkey", 8),
+        Column("ps_availqty", 4),
+        Column("ps_supplycost", 8),
+        Column("ps_comment", 199),
+    ),
+)
+
+NATION = TableSchema(
+    name="nation",
+    rows_per_sf=25,
+    fixed_cardinality=True,
+    columns=(
+        Column("n_nationkey", 4),
+        Column("n_name", 25),
+        Column("n_regionkey", 4),
+        Column("n_comment", 152),
+    ),
+)
+
+REGION = TableSchema(
+    name="region",
+    rows_per_sf=5,
+    fixed_cardinality=True,
+    columns=(
+        Column("r_regionkey", 4),
+        Column("r_name", 25),
+        Column("r_comment", 152),
+    ),
+)
+
+TPCH_TABLES: dict[str, TableSchema] = {
+    table.name: table
+    for table in (LINEITEM, ORDERS, CUSTOMER, SUPPLIER, PART, PARTSUPP, NATION, REGION)
+}
+
+#: Section 4.3's LINEITEM projection, stored as 20-byte tuples.
+LINEITEM_JOIN_PROJECTION: tuple[str, ...] = (
+    "l_orderkey",
+    "l_extendedprice",
+    "l_discount",
+    "l_shipdate",
+)
+
+#: Section 4.3's ORDERS projection, stored as 20-byte tuples.
+ORDERS_JOIN_PROJECTION: tuple[str, ...] = (
+    "o_orderkey",
+    "o_orderdate",
+    "o_shippriority",
+    "o_custkey",
+)
+
+#: The paper's fixed width for the four-column projections ("these four
+#: column projections (20B) were stored as tuples in memory").
+PROJECTED_TUPLE_BYTES = 20
+
+
+def rows_at_scale(table: TableSchema, scale_factor: float) -> int:
+    """Cardinality of ``table`` at a TPC-H scale factor."""
+    return table.rows(scale_factor)
+
+
+def full_size_mb(table: TableSchema, scale_factor: float) -> float:
+    """Full-width stored size in MB."""
+    return table.rows(scale_factor) * table.row_bytes / _BYTES_PER_MB
+
+
+def projected_size_mb(
+    table: TableSchema,
+    scale_factor: float,
+    columns: tuple[str, ...] | None = None,
+) -> float:
+    """Projected size in MB.
+
+    With ``columns=None`` and one of the paper's two join projections in
+    mind, the paper's fixed 20-byte tuple width is used — this reproduces
+    the published working sets (48 GB LINEITEM / 12 GB ORDERS at SF 400,
+    120 GB / 30 GB at SF 1000).
+    """
+    if columns is None:
+        row_bytes: float = PROJECTED_TUPLE_BYTES
+    else:
+        row_bytes = table.projection_bytes(columns)
+    return table.rows(scale_factor) * row_bytes / _BYTES_PER_MB

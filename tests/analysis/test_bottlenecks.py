@@ -1,0 +1,98 @@
+"""Bottleneck attribution from simulator bindings."""
+
+import pytest
+
+from repro.analysis.bottlenecks import (
+    bottleneck_breakdown,
+    derive_query_profile,
+    network_bound_fraction,
+)
+from repro.dbms.vertica_like import VerticaLikeDBMS
+from repro.errors import SimulationError
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.presets import CLUSTER_V_NODE
+from repro.pstore.engine import PStore, PStoreConfig
+from repro.workloads.queries import JoinMethod, q3_join
+
+
+def simulate(workload, nodes=8):
+    engine = PStore(
+        ClusterSpec.homogeneous(CLUSTER_V_NODE, nodes),
+        config=PStoreConfig(warm_cache=True),
+    )
+    return engine.simulate(workload)
+
+
+class TestBreakdown:
+    def test_network_bound_shuffle_blames_the_nic(self):
+        result = simulate(q3_join(1000, 0.05, 0.05))
+        breakdown = bottleneck_breakdown(result)
+        assert network_bound_fraction(result) > 0.9
+        assert breakdown["cpu"] < 0.1
+
+    def test_cpu_bound_local_join_blames_the_cpu(self):
+        result = simulate(q3_join(1000, 0.05, 0.05, method=JoinMethod.LOCAL))
+        breakdown = bottleneck_breakdown(result)
+        assert breakdown["cpu"] == pytest.approx(1.0)
+        assert network_bound_fraction(result) == 0.0
+
+    def test_cold_selective_scan_blames_the_disk(self):
+        engine = PStore(
+            ClusterSpec.homogeneous(CLUSTER_V_NODE.with_overrides(
+                disk_bandwidth_mbps=200.0), 8),
+            config=PStoreConfig(warm_cache=False),
+        )
+        result = engine.simulate(q3_join(100, 0.01, 0.01))
+        breakdown = bottleneck_breakdown(result)
+        assert breakdown["disk"] == pytest.approx(1.0)
+
+    def test_fractions_sum_to_one(self):
+        result = simulate(q3_join(1000, 0.05, 0.05))
+        assert sum(bottleneck_breakdown(result).values()) == pytest.approx(1.0)
+
+    def test_broadcast_probe_shifts_time_to_cpu(self):
+        shuffle = simulate(q3_join(1000, 0.01, 0.05))
+        broadcast = simulate(q3_join(1000, 0.01, 0.05, method=JoinMethod.BROADCAST))
+        assert (
+            bottleneck_breakdown(broadcast)["cpu"]
+            > bottleneck_breakdown(shuffle)["cpu"]
+        )
+
+    def test_requires_intervals(self):
+        engine = PStore(
+            ClusterSpec.homogeneous(CLUSTER_V_NODE, 2),
+            config=PStoreConfig(warm_cache=True),
+            record_intervals=False,
+        )
+        result = engine.simulate(q3_join(10, 0.05, 0.05))
+        with pytest.raises(SimulationError, match="record_intervals"):
+            bottleneck_breakdown(result)
+
+
+class TestDerivedProfiles:
+    def test_profile_from_network_bound_run(self):
+        """A Q12-like P-store run yields a Q12-like profile."""
+        result = simulate(q3_join(1000, 0.05, 0.05))
+        profile = derive_query_profile(result, "derived-shuffle", reference_nodes=8)
+        assert profile.local_fraction < 0.10  # pure exchange workload
+        assert profile.reference_time_s == pytest.approx(result.makespan_s)
+
+    def test_profile_from_local_run_is_scalable(self):
+        result = simulate(q3_join(1000, 0.05, 0.05, method=JoinMethod.LOCAL))
+        profile = derive_query_profile(result, "derived-local", reference_nodes=8)
+        assert profile.local_fraction == pytest.approx(1.0)
+
+    def test_derived_profile_drives_the_size_sweep(self):
+        """End-to-end: simulate once, characterize, sweep like Section 3."""
+        result = simulate(q3_join(1000, 0.05, 0.05, method=JoinMethod.LOCAL))
+        profile = derive_query_profile(result, "derived", reference_nodes=8)
+        curve = VerticaLikeDBMS(CLUSTER_V_NODE).size_sweep(profile, [8, 16])
+        norm = {p.label: p for p in curve.normalized()}
+        # fully local -> ideal speedup, flat energy (the Figure 2a shape)
+        assert norm["8N"].performance == pytest.approx(0.5, abs=0.02)
+        assert norm["8N"].energy == pytest.approx(1.0, abs=0.05)
+
+    def test_validation(self):
+        result = simulate(q3_join(10, 0.05, 0.05))
+        with pytest.raises(SimulationError):
+            derive_query_profile(result, "x", reference_nodes=0)

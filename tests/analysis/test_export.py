@@ -1,0 +1,81 @@
+"""JSON/CSV export of experiment results and curves."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    curve_to_csv,
+    curve_to_rows,
+    experiment_to_dict,
+    experiment_to_json,
+    experiments_summary_csv,
+)
+from repro.core.edp import NormalizedPoint
+from repro.errors import ReproError
+from repro.experiments.base import ExperimentResult, check
+
+POINTS = [
+    NormalizedPoint("8B,0W", 1.0, 1.0),
+    NormalizedPoint("4B,4W", 0.8, 0.6),
+]
+
+
+def sample_result(ok=True):
+    return ExperimentResult(
+        experiment_id="figX",
+        title="sample",
+        text="body",
+        claims=(check("something", ok, "detail"),),
+    )
+
+
+class TestCurveExport:
+    def test_rows_shape(self):
+        rows = curve_to_rows(POINTS)
+        assert rows[0]["label"] == "8B,0W"
+        assert rows[1]["below_edp"] is True
+        assert rows[1]["edp_ratio"] == pytest.approx(0.75)
+
+    def test_csv_roundtrip(self):
+        text = curve_to_csv(POINTS)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 2
+        assert parsed[0]["label"] == "8B,0W"
+        assert float(parsed[1]["energy"]) == pytest.approx(0.6)
+
+    def test_empty_curve_rejected(self):
+        with pytest.raises(ReproError):
+            curve_to_csv([])
+
+
+class TestExperimentExport:
+    def test_dict_fields(self):
+        payload = experiment_to_dict(sample_result())
+        assert payload["id"] == "figX"
+        assert payload["all_claims_hold"] is True
+        assert payload["claims"][0]["description"] == "something"
+
+    def test_json_parses(self):
+        parsed = json.loads(experiment_to_json(sample_result()))
+        assert parsed["title"] == "sample"
+
+    def test_summary_csv(self):
+        text = experiments_summary_csv([sample_result(), sample_result(ok=False)])
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert rows[0]["status"] == "ok"
+        assert rows[1]["status"] == "FAILED"
+        assert rows[0]["claims_passed"] == "1"
+
+    def test_summary_requires_results(self):
+        with pytest.raises(ReproError):
+            experiments_summary_csv([])
+
+    def test_real_experiment_exports(self):
+        from repro.experiments import run
+
+        payload = experiment_to_dict(run("tbl3"))
+        assert payload["all_claims_hold"]
+        assert json.loads(experiment_to_json(run("tbl2")))["id"] == "tbl2"

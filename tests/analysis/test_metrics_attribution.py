@@ -1,0 +1,71 @@
+"""Per-job energy attribution."""
+
+import pytest
+
+from repro.analysis.metrics import attribute_energy_by_job
+from repro.errors import SimulationError
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.presets import CLUSTER_V_NODE
+from repro.pstore.engine import PStore, PStoreConfig
+from repro.workloads.queries import q3_join
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return PStore(
+        ClusterSpec.homogeneous(CLUSTER_V_NODE, 4),
+        config=PStoreConfig(warm_cache=True),
+    )
+
+
+def test_attribution_sums_to_total(engine):
+    result = engine.simulate(q3_join(100, 0.05, 0.05), concurrency=3)
+    attribution = attribute_energy_by_job(result)
+    assert sum(attribution.values()) == pytest.approx(result.energy_j)
+
+
+def test_identical_concurrent_jobs_split_evenly(engine):
+    result = engine.simulate(q3_join(100, 0.05, 0.05), concurrency=2)
+    attribution = attribute_energy_by_job(result)
+    assert attribution["join#0"] == pytest.approx(attribution["join#1"], rel=0.01)
+
+
+def test_sequential_jobs_own_their_intervals(engine):
+    solo = engine.simulate(q3_join(100, 0.05, 0.05))
+    stream = engine.simulate_stream(
+        q3_join(100, 0.05, 0.05), [0.0, solo.makespan_s * 3]
+    )
+    attribution = attribute_energy_by_job(stream)
+    # both queries run in isolation and cost the same; the idle gap between
+    # them is attributed separately
+    assert attribution["join#0"] == pytest.approx(attribution["join#1"], rel=0.01)
+    assert attribution["(idle)"] > 0
+    assert sum(attribution.values()) == pytest.approx(stream.energy_j)
+
+
+def test_requires_intervals():
+    engine = PStore(
+        ClusterSpec.homogeneous(CLUSTER_V_NODE, 2),
+        config=PStoreConfig(warm_cache=True),
+        record_intervals=False,
+    )
+    result = engine.simulate(q3_join(10, 0.05, 0.05))
+    with pytest.raises(SimulationError):
+        attribute_energy_by_job(result)
+
+
+def test_bigger_job_costs_more(engine):
+    """A job with twice the data should be attributed more energy."""
+    from repro.pstore.simulated import build_join_job
+    from repro.simulator.engine import ClusterSimulator
+
+    plan_small = engine.plan(q3_join(50, 0.05, 0.05))
+    plan_big = engine.plan(q3_join(100, 0.05, 0.05))
+    jobs = [
+        build_join_job(plan_small, job_name="small"),
+        build_join_job(plan_big, job_name="big"),
+    ]
+    simulator = ClusterSimulator(engine.cluster)
+    result = simulator.run(jobs)
+    attribution = attribute_energy_by_job(result)
+    assert attribution["big"] > attribution["small"]

@@ -1,0 +1,69 @@
+"""ASCII reports and derived metrics."""
+
+import pytest
+
+from repro.analysis.metrics import energy_summary, joules_per_qualifying_mb
+from repro.analysis.report import (
+    render_normalized_curve,
+    render_series,
+    render_table,
+)
+from repro.core.edp import NormalizedPoint
+from repro.errors import ModelError
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.presets import CLUSTER_V_NODE
+from repro.pstore.engine import PStore, PStoreConfig
+from repro.workloads.queries import q3_join
+
+
+def test_render_table_alignment_and_rule():
+    text = render_table(["name", "value"], [["a", 1.5], ["bb", 22]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1]
+    assert set(lines[2].replace("  ", "")) == {"-"}
+    assert "bb" in lines[4]
+
+
+def test_render_table_formats_floats():
+    text = render_table(["x"], [[1.23456789]])
+    assert "1.235" in text
+
+
+def test_render_series():
+    text = render_series("energy", [("8N", 1.0), ("4N", 0.8)], unit="kJ")
+    assert "8N=1 kJ" in text
+    assert text.startswith("energy:")
+
+
+def test_render_normalized_curve_flags_edp():
+    points = [
+        NormalizedPoint("ref", 1.0, 1.0),
+        NormalizedPoint("good", 0.8, 0.6),
+        NormalizedPoint("bad", 0.5, 0.9),
+    ]
+    text = render_normalized_curve("Fig", points)
+    lines = text.splitlines()
+    assert "Fig" == lines[0]
+    good_line = next(line for line in lines if line.startswith("good"))
+    assert "below" in good_line
+    bad_line = next(line for line in lines if line.startswith("bad"))
+    assert "above" in bad_line
+
+
+def test_energy_summary_from_simulation():
+    engine = PStore(
+        ClusterSpec.homogeneous(CLUSTER_V_NODE, 4),
+        config=PStoreConfig(warm_cache=True),
+    )
+    result = engine.simulate(q3_join(10))
+    summary = energy_summary(result)
+    assert summary.energy_j == pytest.approx(result.energy_j)
+    assert summary.energy_kj == pytest.approx(result.energy_j / 1000.0)
+    assert summary.edp_js == pytest.approx(result.energy_j * result.makespan_s)
+    assert summary.average_power_w == pytest.approx(result.average_power_w)
+
+
+def test_joules_per_qualifying_mb():
+    q = q3_join(10)  # qualifying = (300 + 1200) * 0.05
+    assert joules_per_qualifying_mb(150.0, q) == pytest.approx(150.0 / 75.0)

@@ -1,0 +1,14 @@
+"""Shared pytest configuration."""
+
+from hypothesis import HealthCheck, settings
+
+# CI-friendly hypothesis profile: deterministic, no wall-clock deadline
+# (the fluid simulator's property tests legitimately take a few ms/case).
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+settings.load_profile("repro")

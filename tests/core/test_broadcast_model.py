@@ -1,0 +1,68 @@
+"""Analytic broadcast-join prediction vs the simulator."""
+
+import pytest
+
+from repro.core.model import ModelParameters, PStoreModel
+from repro.errors import ModelError
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.presets import CLUSTER_V_NODE
+from repro.pstore.engine import PStore, PStoreConfig
+from repro.workloads.queries import JoinMethod, q3_join
+
+
+def model(n=8, warm=True):
+    return PStoreModel(
+        ModelParameters.from_specs(CLUSTER_V_NODE, n), warm_cache=warm
+    )
+
+
+def test_build_phase_shows_the_algorithmic_bottleneck():
+    """Build time is nearly size-independent: (N-1)/N of the table per NIC."""
+    q = q3_join(1000, 0.01, 0.05, method=JoinMethod.BROADCAST)
+    t8 = model(8).predict_broadcast(q).build.time_s
+    t16 = model(16).predict_broadcast(q).build.time_s
+    # paper: "(15m/16) vs (31m/32) ... changes by a small amount"
+    assert t16 / t8 == pytest.approx((15 / 16) / (7 / 8), rel=1e-6)
+    assert t16 > 0.9 * t8
+
+
+def test_probe_phase_scales_linearly():
+    q = q3_join(1000, 0.01, 0.05, method=JoinMethod.BROADCAST)
+    p8 = model(8).predict_broadcast(q).probe.time_s
+    p16 = model(16).predict_broadcast(q).probe.time_s
+    assert p16 == pytest.approx(p8 / 2)
+
+
+def test_memory_feasibility_enforced():
+    # 60 GB qualifying table exceeds the 47 GB node memory
+    q = q3_join(2000, 1.0, 0.05, method=JoinMethod.BROADCAST)
+    with pytest.raises(ModelError, match="broadcast"):
+        model(8).predict_broadcast(q)
+
+
+def test_matches_simulator_without_switch_contention():
+    """On an ideal switch the analytic broadcast and the fluid simulator
+    agree closely (the Figure 4 bench then adds contention on top)."""
+    q = q3_join(1000, 0.01, 0.05, method=JoinMethod.BROADCAST)
+    for n in (4, 8):
+        engine = PStore(
+            ClusterSpec.homogeneous(CLUSTER_V_NODE, n),
+            config=PStoreConfig(warm_cache=True),
+            record_intervals=False,
+        )
+        simulated = engine.simulate(q)
+        predicted = model(n).predict_broadcast(q)
+        assert simulated.makespan_s == pytest.approx(predicted.time_s, rel=0.10)
+        assert simulated.energy_j == pytest.approx(predicted.energy_j, rel=0.10)
+
+
+def test_broadcast_edp_shape_from_the_model_alone():
+    """The Figure 4 conclusion derived purely analytically: the 8->4 node
+    trade sits near the constant-EDP line."""
+    q = q3_join(1000, 0.01, 0.05, method=JoinMethod.BROADCAST)
+    p8 = model(8).predict_broadcast(q)
+    p4 = model(4).predict_broadcast(q)
+    perf_ratio = p8.time_s / p4.time_s
+    energy_ratio = p4.energy_j / p8.energy_j
+    assert 0.6 <= perf_ratio <= 0.8
+    assert abs(energy_ratio - perf_ratio) <= 0.10  # on/near the EDP line

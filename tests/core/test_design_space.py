@@ -1,0 +1,139 @@
+"""Design-space exploration: mixes, curves, knees, best designs."""
+
+import pytest
+
+from repro.core.design_space import DesignPoint, DesignSpaceExplorer, TradeoffCurve
+from repro.errors import ModelError
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
+from repro.workloads.queries import section54_join
+
+
+@pytest.fixture(scope="module")
+def explorer():
+    return DesignSpaceExplorer(CLUSTER_V_NODE, WIMPY_LAPTOP_B, cluster_size=8)
+
+
+def make_point(label, time_s, energy_j):
+    return DesignPoint(
+        label=label,
+        cluster=ClusterSpec.homogeneous(CLUSTER_V_NODE, 2, name=label),
+        time_s=time_s,
+        energy_j=energy_j,
+    )
+
+
+class TestExplorer:
+    def test_mixes_enumerate_full_axis(self, explorer):
+        mixes = explorer.mixes()
+        assert len(mixes) == 9
+        assert mixes[0].name == "8B,0W"
+        assert mixes[-1].name == "0B,8W"
+
+    def test_sweep_skips_infeasible_designs(self, explorer):
+        """Figure 10(b)/11: fewer than 2 Beefy nodes cannot hold the table."""
+        curve = explorer.sweep(section54_join(0.10, 0.10))
+        labels = [p.label for p in curve]
+        assert "1B,7W" not in labels
+        assert "0B,8W" not in labels
+        assert labels[0] == "8B,0W"
+        assert labels[-1] == "2B,6W"
+
+    def test_sweep_keeps_all_designs_when_feasible(self, explorer):
+        curve = explorer.sweep(section54_join(0.01, 0.10))
+        assert len(curve) == 9
+
+    def test_evaluate_attaches_prediction(self, explorer):
+        point = explorer.evaluate(explorer.mixes()[0], section54_join())
+        assert point.prediction is not None
+        assert point.time_s == pytest.approx(point.prediction.time_s)
+
+    def test_custom_evaluator(self):
+        explorer = DesignSpaceExplorer(
+            CLUSTER_V_NODE,
+            WIMPY_LAPTOP_B,
+            4,
+            evaluator=lambda cluster, q: (float(cluster.num_beefy), 100.0),
+        )
+        curve = explorer.sweep(section54_join())
+        assert curve.points[0].time_s == 4.0
+
+    def test_sweep_sizes(self, explorer):
+        curve = explorer.sweep_sizes(section54_join(0.10, 0.01), sizes=[8, 6, 4, 2])
+        assert [p.label for p in curve] == ["8B", "6B", "4B", "2B"]
+        assert curve.reference_label == "8B"
+
+    def test_invalid_cluster_size(self):
+        with pytest.raises(ModelError):
+            DesignSpaceExplorer(CLUSTER_V_NODE, WIMPY_LAPTOP_B, 0)
+
+
+class TestTradeoffCurve:
+    def test_normalized_reference(self):
+        curve = TradeoffCurve(
+            [make_point("a", 10.0, 100.0), make_point("b", 20.0, 50.0)]
+        )
+        norm = curve.normalized()
+        assert norm[0].performance == 1.0
+        assert norm[1].energy == pytest.approx(0.5)
+
+    def test_best_design_min_energy_meeting_target(self):
+        curve = TradeoffCurve(
+            [
+                make_point("ref", 10.0, 100.0),
+                make_point("fast-costly", 11.0, 95.0),
+                make_point("slow-cheap", 16.0, 60.0),
+                make_point("too-slow", 40.0, 30.0),
+            ]
+        )
+        best = curve.best_design(target_performance=0.6)
+        assert best.label == "slow-cheap"
+
+    def test_best_design_unreachable_target(self):
+        curve = TradeoffCurve([make_point("ref", 10.0, 100.0), make_point("x", 100.0, 1.0)])
+        with pytest.raises(ModelError, match="target"):
+            curve.best_design(target_performance=2.0)
+
+    def test_below_edp_points(self):
+        curve = TradeoffCurve(
+            [
+                make_point("ref", 10.0, 100.0),
+                make_point("good", 12.5, 60.0),  # perf 0.8, energy 0.6
+                make_point("bad", 20.0, 90.0),  # perf 0.5, energy 0.9
+            ]
+        )
+        below = curve.below_edp_points()
+        assert [p.label for p in below] == ["good"]
+
+    def test_knee_of_elbowed_curve(self):
+        curve = TradeoffCurve(
+            [
+                make_point("a", 10.0, 100.0),
+                make_point("b", 10.5, 70.0),  # big energy drop, tiny perf loss
+                make_point("c", 20.0, 65.0),  # long flat tail
+            ]
+        )
+        assert curve.knee().label == "b"
+
+    def test_energy_span(self):
+        curve = TradeoffCurve(
+            [make_point("a", 10.0, 100.0), make_point("b", 10.0, 50.0)]
+        )
+        assert curve.energy_span() == pytest.approx(2.0)
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ModelError):
+            TradeoffCurve([make_point("a", 1.0, 1.0), make_point("a", 2.0, 2.0)])
+
+    def test_point_lookup(self):
+        curve = TradeoffCurve([make_point("a", 1.0, 1.0)])
+        assert curve.point("a").label == "a"
+        with pytest.raises(ModelError):
+            curve.point("z")
+        with pytest.raises(ModelError):
+            curve.normalized_point("z")
+
+    def test_iteration_and_len(self):
+        curve = TradeoffCurve([make_point("a", 1.0, 1.0), make_point("b", 2.0, 2.0)])
+        assert len(curve) == 2
+        assert [p.label for p in curve] == ["a", "b"]

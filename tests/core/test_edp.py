@@ -1,0 +1,100 @@
+"""EDP metrics and normalized trade-off points."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.edp import (
+    NormalizedPoint,
+    constant_edp_energy,
+    edp,
+    normalized_point,
+    normalized_series,
+)
+from repro.errors import ModelError
+
+
+def test_edp_product():
+    assert edp(1000.0, 10.0) == 10_000.0
+
+
+def test_edp_rejects_negative():
+    with pytest.raises(ModelError):
+        edp(-1.0, 1.0)
+
+
+def test_normalized_point_against_reference():
+    p = normalized_point("8N", time_s=20.0, energy_j=500.0,
+                         reference_time_s=10.0, reference_energy_j=1000.0)
+    assert p.performance == pytest.approx(0.5)
+    assert p.energy == pytest.approx(0.5)
+    assert p.edp_ratio == pytest.approx(1.0)
+
+
+def test_below_edp_classification():
+    below = NormalizedPoint("x", performance=0.8, energy=0.5)
+    above = NormalizedPoint("y", performance=0.5, energy=0.8)
+    on = NormalizedPoint("z", performance=0.7, energy=0.7)
+    assert below.below_edp_curve
+    assert not above.below_edp_curve
+    assert not on.below_edp_curve
+    assert below.edp_margin() == pytest.approx(0.3)
+    assert above.edp_margin() == pytest.approx(-0.3)
+
+
+def test_normalized_series_default_reference_is_first():
+    series = normalized_series(
+        [("16N", 10.0, 1000.0), ("8N", 20.0, 600.0)]
+    )
+    assert series[0].performance == 1.0
+    assert series[0].energy == 1.0
+    assert series[1].performance == pytest.approx(0.5)
+    assert series[1].energy == pytest.approx(0.6)
+
+
+def test_normalized_series_named_reference():
+    series = normalized_series(
+        [("8N", 20.0, 600.0), ("16N", 10.0, 1000.0)], reference_label="16N"
+    )
+    assert series[0].performance == pytest.approx(0.5)
+
+
+def test_normalized_series_unknown_reference():
+    with pytest.raises(ModelError):
+        normalized_series([("a", 1.0, 1.0)], reference_label="b")
+
+
+def test_normalized_series_empty():
+    with pytest.raises(ModelError):
+        normalized_series([])
+
+
+def test_constant_edp_curve_is_identity():
+    assert constant_edp_energy(0.7) == pytest.approx(0.7)
+    with pytest.raises(ModelError):
+        constant_edp_energy(0.0)
+
+
+def test_invalid_point():
+    with pytest.raises(ModelError):
+        NormalizedPoint("bad", performance=0.0, energy=0.5)
+
+
+@given(st.floats(0.05, 1.0), st.floats(0.0, 2.0))
+def test_property_edp_ratio_sign(perf, energy):
+    point = NormalizedPoint("p", performance=perf, energy=energy)
+    assert point.below_edp_curve == (energy / perf < 1.0)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0.1, 100.0), st.floats(1.0, 1e6)),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_property_reference_always_unity(measurements):
+    points = [(f"p{i}", t, e) for i, (t, e) in enumerate(measurements)]
+    series = normalized_series(points)
+    assert series[0].performance == pytest.approx(1.0)
+    assert series[0].energy == pytest.approx(1.0)

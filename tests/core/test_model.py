@@ -1,0 +1,221 @@
+"""The Section 5.3 analytical model."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.core.model import (
+    TABLE3,
+    HashJoinQuery,
+    ModelConstants,
+    ModelParameters,
+    PStoreModel,
+)
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.power import PowerLawModel
+from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
+from repro.pstore.plans import ExecutionMode
+from repro.workloads.queries import JoinWorkloadSpec, section54_join
+
+
+def params(nb=8, nw=0, **overrides):
+    base = dict(
+        num_beefy=nb,
+        num_wimpy=nw,
+        beefy_memory_mb=47_000.0,
+        wimpy_memory_mb=7_000.0,
+        disk_mbps=1200.0,
+        network_mbps=100.0,
+        beefy_cpu_mbps=5037.0,
+        wimpy_cpu_mbps=1129.0,
+        beefy_base_util=0.25,
+        wimpy_base_util=0.13,
+        beefy_power=PowerLawModel(130.03, 0.2369),
+        wimpy_power=PowerLawModel(10.994, 0.2875),
+    )
+    base.update(overrides)
+    return ModelParameters(**base)
+
+
+def query(sb=0.10, sp=0.01):
+    return section54_join(sb, sp)
+
+
+class TestTable3Constants:
+    def test_published_values(self):
+        constants = ModelConstants()
+        assert constants.CB == 5037.0
+        assert constants.CW == 1129.0
+        assert constants.GB == 0.25
+        assert constants.GW == 0.13
+        assert constants.beefy_power_model().power(0.01) == pytest.approx(130.03)
+        assert constants.wimpy_power_model().power(0.01) == pytest.approx(10.994)
+
+    def test_module_singleton(self):
+        assert TABLE3 == ModelConstants()
+
+
+class TestParameters:
+    def test_from_specs_uses_beefy_io_uniformly(self):
+        p = ModelParameters.from_specs(CLUSTER_V_NODE, 0, WIMPY_LAPTOP_B, 8)
+        assert p.disk_mbps == CLUSTER_V_NODE.disk_bandwidth_mbps
+        assert p.network_mbps == CLUSTER_V_NODE.nic_bandwidth_mbps
+
+    def test_from_cluster(self):
+        cluster = ClusterSpec.beefy_wimpy(CLUSTER_V_NODE, 3, WIMPY_LAPTOP_B, 5)
+        p = ModelParameters.from_cluster(cluster)
+        assert (p.num_beefy, p.num_wimpy) == (3, 5)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            params(nb=0, nw=0)
+        with pytest.raises(ModelError):
+            params(disk_mbps=0.0)
+        with pytest.raises(ModelError):
+            ModelParameters(**{**params().__dict__, "num_beefy": -1})
+
+
+class TestHPredicate:
+    def test_h_true_small_hash_table(self):
+        """Figure 10(a): 875 MB share fits 7 GB Wimpy memory."""
+        model = PStoreModel(params(nb=4, nw=4))
+        assert model.hash_table_fits_everywhere(query(sb=0.01))
+
+    def test_h_false_large_hash_table(self):
+        """Figure 10(b): 8.75 GB share exceeds Wimpy memory."""
+        model = PStoreModel(params(nb=4, nw=4))
+        assert not model.hash_table_fits_everywhere(query(sb=0.10))
+
+    def test_resolve_mode_auto(self):
+        model = PStoreModel(params(nb=4, nw=4))
+        assert model.resolve_mode(query(sb=0.01)) is ExecutionMode.HOMOGENEOUS
+        assert model.resolve_mode(query(sb=0.10)) is ExecutionMode.HETEROGENEOUS
+
+    def test_forced_homogeneous_infeasible(self):
+        model = PStoreModel(params(nb=4, nw=4))
+        with pytest.raises(ModelError, match="forced"):
+            model.predict(query(sb=0.10), mode=ExecutionMode.HOMOGENEOUS)
+
+    def test_heterogeneous_infeasible_on_beefy_memory(self):
+        model = PStoreModel(params(nb=1, nw=7))
+        with pytest.raises(ModelError, match="Beefy"):
+            model.predict(query(sb=0.10))
+
+    def test_all_wimpy_infeasible(self):
+        model = PStoreModel(params(nb=0, nw=8))
+        with pytest.raises(ModelError, match="2-pass"):
+            model.predict(query(sb=0.10))
+
+
+class TestHomogeneousEquations:
+    """Closed-form checks of the printed equations."""
+
+    def test_disk_bound_phase(self):
+        """I*S < L: R = I*S, U = I, T = Vol*S/(N*I*S) = Vol/(N*I)."""
+        model = PStoreModel(params(nb=8))
+        p = model.predict(query(sb=0.01, sp=0.01))
+        # build: 700 GB over 8 nodes at I = 1200 MB/s
+        assert p.build.time_s == pytest.approx(700_000.0 / (8 * 1200.0))
+        assert p.build.bottleneck == "disk"
+        # U = I -> util = GB + I/CB
+        assert p.build.beefy_utilization == pytest.approx(0.25 + 1200.0 / 5037.0)
+
+    def test_network_bound_phase(self):
+        """I*S >= L: R = N*L/(N-1), U = R/S."""
+        model = PStoreModel(params(nb=8))
+        p = model.predict(query(sb=0.10, sp=0.10), mode=ExecutionMode.HOMOGENEOUS)
+        rate = 8 * 100.0 / 7  # qualifying MB/s per node
+        assert p.build.time_s == pytest.approx(70_000.0 / (8 * rate))
+        assert p.build.bottleneck == "network"
+        assert p.build.beefy_utilization == pytest.approx(
+            0.25 + (rate / 0.10) / 5037.0
+        )
+
+    def test_energy_formula(self):
+        model = PStoreModel(params(nb=8))
+        p = model.predict(query(sb=0.01, sp=0.01))
+        power = PowerLawModel(130.03, 0.2369).power(p.build.beefy_utilization)
+        assert p.build.energy_j == pytest.approx(p.build.time_s * 8 * power)
+
+    def test_mixed_cluster_wimpy_clamps_at_full_utilization(self):
+        model = PStoreModel(params(nb=4, nw=4))
+        p = model.predict(query(sb=0.01, sp=0.10))
+        # probe network-bound: U = (N L/(N-1))/S = 1142.9 > CW -> clamp
+        assert p.probe.wimpy_utilization == 1.0
+
+    def test_totals_are_sums(self):
+        model = PStoreModel(params(nb=8))
+        p = model.predict(query())
+        assert p.time_s == pytest.approx(p.build.time_s + p.probe.time_s)
+        assert p.energy_j == pytest.approx(p.build.energy_j + p.probe.energy_j)
+        assert p.performance == pytest.approx(1.0 / p.time_s)
+        assert p.edp == pytest.approx(p.energy_j * p.time_s)
+
+    def test_single_node_is_scan_bound(self):
+        """n == 1: no exchange, so the network can never be the bottleneck
+        even at selectivities where I*S >= L."""
+        model = PStoreModel(params(nb=1))
+        small = JoinWorkloadSpec(
+            name="single-node",
+            build_volume_mb=1000.0,
+            probe_volume_mb=4000.0,
+            build_selectivity=0.5,
+            probe_selectivity=0.5,
+        )
+        p = model.predict(small, mode=ExecutionMode.HOMOGENEOUS)
+        assert p.build.bottleneck == "disk"
+        assert p.build.time_s == pytest.approx(1000.0 / 1200.0)
+
+
+class TestHeterogeneousModel:
+    def test_ingest_bound_build(self):
+        """Figure 1(b)'s build phase: Beefy inbound NICs gate it."""
+        model = PStoreModel(params(nb=2, nw=6))
+        p = model.predict(query(sb=0.10, sp=0.01))
+        ingest = 2 * 100.0 * 8 / 7
+        assert p.build.time_s == pytest.approx(70_000.0 / ingest)
+        assert p.build.bottleneck == "ingest"
+
+    def test_supply_bound_probe(self):
+        """At 1% probe selectivity sources cannot saturate Beefy NICs."""
+        model = PStoreModel(params(nb=2, nw=6))
+        p = model.predict(query(sb=0.10, sp=0.01))
+        assert p.probe.bottleneck in ("disk", "cpu")
+        # wimpy supply = min(min(1200, 1129)*0.01, 100) = 11.29 MB/s
+        assert p.probe.time_s == pytest.approx((28_000.0 / 8) / 11.29, rel=1e-3)
+
+    def test_knee_position_matches_supply_ingest_balance(self):
+        """Figure 11: the knee sits where supply == ingest capacity."""
+        # probe S = 0.06: supply = 8*72 = 576; ingest = NB * 114.3
+        # -> balance at NB ~= 5
+        for nb, expected in ((7, "disk"), (3, "ingest")):
+            model = PStoreModel(params(nb=nb, nw=8 - nb))
+            p = model.predict(query(sb=0.10, sp=0.06))
+            assert p.probe.bottleneck == expected, nb
+
+    def test_energy_decreases_with_wimpy_substitution_at_low_selectivity(self):
+        """Figure 1(b): replacing Beefy with Wimpy nodes saves energy."""
+        energies = []
+        for nb in (8, 5, 2):
+            model = PStoreModel(params(nb=nb, nw=8 - nb))
+            mode = None if nb < 8 else ExecutionMode.HOMOGENEOUS
+            energies.append(model.predict(query(sb=0.10, sp=0.01), mode=mode).energy_j)
+        assert energies[0] > energies[1] > energies[2]
+
+
+class TestHashJoinQueryFactory:
+    def test_tpch_factory_volumes(self):
+        q = HashJoinQuery.tpch_orders_lineitem(400, 0.01, 0.5)
+        assert q.build_volume_mb == pytest.approx(12_000.0)
+        assert q.probe_volume_mb == pytest.approx(48_000.0)
+        assert isinstance(q, JoinWorkloadSpec)
+
+    def test_pipeline_cost_validation(self):
+        with pytest.raises(ModelError):
+            PStoreModel(params(), pipeline_cpu_cost=0.0)
+
+    def test_warm_cache_uses_cpu_limits(self):
+        warm = PStoreModel(params(nb=8), warm_cache=True)
+        p = warm.predict(query(sb=0.001, sp=0.001), mode=ExecutionMode.HOMOGENEOUS)
+        # scan at CB: 700 GB over 8 nodes at 5037 MB/s
+        assert p.build.time_s == pytest.approx(700_000.0 / (8 * 5037.0))
+        assert p.build.bottleneck == "cpu"

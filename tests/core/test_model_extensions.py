@@ -1,0 +1,141 @@
+"""Model extensions: per-type I/O bandwidths and property-based invariants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.model import ModelParameters, PStoreModel
+from repro.errors import ModelError
+from repro.hardware.power import PowerLawModel
+from repro.pstore.plans import ExecutionMode
+from repro.workloads.queries import JoinWorkloadSpec, section54_join
+
+
+def params(nb=4, nw=4, **overrides):
+    base = dict(
+        num_beefy=nb,
+        num_wimpy=nw,
+        beefy_memory_mb=47_000.0,
+        wimpy_memory_mb=7_000.0,
+        disk_mbps=1200.0,
+        network_mbps=100.0,
+        beefy_cpu_mbps=5037.0,
+        wimpy_cpu_mbps=1129.0,
+        beefy_base_util=0.25,
+        wimpy_base_util=0.13,
+        beefy_power=PowerLawModel(130.03, 0.2369),
+        wimpy_power=PowerLawModel(10.994, 0.2875),
+    )
+    base.update(overrides)
+    return ModelParameters(**base)
+
+
+class TestPerTypeIO:
+    """'We can easily extend our model to account for separate Wimpy and
+    Beefy I/O bandwidths' — the extension, exercised."""
+
+    def test_defaults_preserve_uniformity(self):
+        p = params()
+        assert p.effective_wimpy_disk_mbps == p.disk_mbps
+        assert p.effective_wimpy_network_mbps == p.network_mbps
+
+    def test_uniform_matches_paper_behaviour(self):
+        q = section54_join(0.01, 0.10)
+        uniform = PStoreModel(params()).predict(q)
+        explicit = PStoreModel(
+            params(wimpy_disk_mbps=1200.0, wimpy_network_mbps=100.0)
+        ).predict(q)
+        assert uniform.time_s == pytest.approx(explicit.time_s)
+        assert uniform.energy_j == pytest.approx(explicit.energy_j)
+
+    def test_slower_wimpy_disk_slows_disk_bound_phases(self):
+        q = section54_join(0.01, 0.01)  # disk bound
+        uniform = PStoreModel(params()).predict(q)
+        slow = PStoreModel(params(wimpy_disk_mbps=300.0)).predict(q)
+        assert slow.time_s > uniform.time_s
+        # the barrier waits for the slow Wimpy scans of the 87.5 GB
+        # per-node partition: 700000/8 MB at 300 MB/s
+        assert slow.build.time_s == pytest.approx(700_000.0 / 8 / 300.0)
+
+    def test_slower_wimpy_nic_binds_network_phases(self):
+        # generous memory keeps the 10% build homogeneous-feasible
+        q = section54_join(0.10, 0.10)  # network bound homogeneous
+        roomy = dict(wimpy_memory_mb=20_000.0)
+        uniform = PStoreModel(params(**roomy)).predict(
+            q, mode=ExecutionMode.HOMOGENEOUS
+        )
+        slow = PStoreModel(params(wimpy_network_mbps=50.0, **roomy)).predict(
+            q, mode=ExecutionMode.HOMOGENEOUS
+        )
+        assert slow.time_s > uniform.time_s
+
+    def test_hetero_supply_uses_wimpy_nic(self):
+        q = section54_join(0.10, 0.01)
+        p = params(nb=2, nw=6, wimpy_network_mbps=10.0)
+        prediction = PStoreModel(p).predict(q)
+        # probe supply per wimpy is capped by its 10 MB/s NIC
+        assert prediction.probe.time_s >= (q.qualifying_probe_mb / 8) / 10.0 * 0.99
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            params(wimpy_disk_mbps=0.0)
+        with pytest.raises(ModelError):
+            params(wimpy_network_mbps=-5.0)
+
+
+class TestModelInvariants:
+    @given(st.floats(0.01, 0.99), st.floats(0.01, 0.99))
+    def test_time_and_energy_positive(self, sb, sp):
+        q = JoinWorkloadSpec(
+            name="prop",
+            build_volume_mb=10_000.0,
+            probe_volume_mb=40_000.0,
+            build_selectivity=sb,
+            probe_selectivity=sp,
+        )
+        prediction = PStoreModel(params(nb=8, nw=0)).predict(
+            q, mode=ExecutionMode.HOMOGENEOUS
+        )
+        assert prediction.time_s > 0
+        assert prediction.energy_j > 0
+
+    @given(st.integers(2, 16))
+    def test_homogeneous_time_weakly_decreases_with_nodes(self, n):
+        q = section54_join(0.01, 0.01)
+        small = PStoreModel(params(nb=n, nw=0)).predict(q, mode=ExecutionMode.HOMOGENEOUS)
+        big = PStoreModel(params(nb=n + 2, nw=0)).predict(
+            q, mode=ExecutionMode.HOMOGENEOUS
+        )
+        assert big.time_s <= small.time_s * (1 + 1e-9)
+
+    @given(st.floats(0.02, 0.99))
+    def test_selectivity_scales_disk_bound_qualifying_linearly(self, sel):
+        """Disk-bound phases take the same time regardless of selectivity
+        (the scan reads everything); energy follows time."""
+        q = section54_join(0.01, 0.01).with_selectivities(build=min(sel, 0.066))
+        # keep I*S below the network rate so the phase stays disk-bound
+        prediction = PStoreModel(params(nb=8, nw=0)).predict(
+            q, mode=ExecutionMode.HOMOGENEOUS
+        )
+        expected = 700_000.0 / (8 * 1200.0)
+        assert prediction.build.time_s == pytest.approx(expected)
+
+    @given(st.integers(0, 6))
+    def test_fig10a_energy_monotone_in_wimpy_count(self, nw):
+        """In the homogeneous, bottleneck-masked regime, every Beefy->Wimpy
+        swap strictly reduces energy."""
+        q = section54_join(0.01, 0.10)
+        fewer = PStoreModel(params(nb=8 - nw, nw=nw)).predict(q)
+        more = PStoreModel(params(nb=8 - nw - 1, nw=nw + 1)).predict(q)
+        assert more.energy_j < fewer.energy_j
+
+    @given(st.floats(0.3, 1.0))
+    def test_pipeline_cost_never_speeds_things_up(self, cost_scale):
+        q = section54_join(0.05, 0.05)
+        base = PStoreModel(params(nb=8, nw=0), warm_cache=True, pipeline_cpu_cost=1.0)
+        heavy = PStoreModel(
+            params(nb=8, nw=0), warm_cache=True, pipeline_cpu_cost=1.0 / cost_scale
+        )
+        assert heavy.predict(q, mode=ExecutionMode.HOMOGENEOUS).time_s >= (
+            base.predict(q, mode=ExecutionMode.HOMOGENEOUS).time_s * (1 - 1e-9)
+        )

@@ -1,0 +1,106 @@
+"""The Section 6 design-principles advisor (Figure 12)."""
+
+import pytest
+
+from repro.core.design_space import DesignPoint, TradeoffCurve
+from repro.core.principles import (
+    Principle,
+    classify_scalability,
+    recommend_design,
+)
+from repro.errors import ModelError
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.presets import CLUSTER_V_NODE
+
+
+def point(label, time_s, energy_j):
+    return DesignPoint(
+        label=label,
+        cluster=ClusterSpec.homogeneous(CLUSTER_V_NODE, 2, name=label),
+        time_s=time_s,
+        energy_j=energy_j,
+    )
+
+
+def scalable_curve():
+    """Figure 12(a): linear speedup, flat energy."""
+    return TradeoffCurve(
+        [point("8N", 10.0, 800.0), point("6N", 13.3, 798.0),
+         point("4N", 20.0, 802.0), point("2N", 40.0, 800.0)]
+    )
+
+
+def bottlenecked_curve():
+    """Figure 12(b): sub-linear speedup, energy drops with size."""
+    return TradeoffCurve(
+        [point("8N", 10.0, 1000.0), point("6N", 12.0, 880.0),
+         point("4N", 16.0, 760.0), point("2N", 28.0, 640.0)]
+    )
+
+
+def heterogeneous_curve():
+    """Figure 12(c): mixes that go below the EDP curve."""
+    return TradeoffCurve(
+        [point("8B,0W", 10.0, 1000.0), point("6B,2W", 11.5, 750.0),
+         point("4B,4W", 13.5, 560.0), point("2B,6W", 16.0, 420.0)]
+    )
+
+
+def test_classify_scalable():
+    assert classify_scalability(scalable_curve())
+    assert not classify_scalability(bottlenecked_curve())
+
+
+def test_principle_a_scalable_uses_all_nodes():
+    rec = recommend_design(scalable_curve(), target_performance=0.6)
+    assert rec.principle is Principle.SCALABLE_USE_ALL_NODES
+    assert rec.design.label == "8N"
+    assert rec.normalized_performance == pytest.approx(1.0)
+
+
+def test_principle_b_bottlenecked_downsizes():
+    """Figure 12(b): with a 0.6 target, 4N (perf 0.625) is the pick."""
+    rec = recommend_design(bottlenecked_curve(), target_performance=0.6)
+    assert rec.principle is Principle.BOTTLENECKED_DOWNSIZE
+    assert rec.design.label == "4N"
+    assert rec.normalized_performance >= 0.6
+
+
+def test_principle_c_heterogeneous_wins():
+    """Figure 12(c): the 2B,6W mix beats the best homogeneous design."""
+    rec = recommend_design(
+        bottlenecked_curve(),
+        target_performance=0.6,
+        heterogeneous_curve=heterogeneous_curve(),
+    )
+    assert rec.principle is Principle.HETEROGENEOUS_SUBSTITUTION
+    assert rec.design.label == "2B,6W"
+    assert rec.normalized_energy < 0.76  # beats 4N's 0.76
+    assert "less" in rec.rationale
+
+
+def test_heterogeneous_ignored_when_worse():
+    worse_hetero = TradeoffCurve(
+        [point("8B,0W", 10.0, 1000.0), point("2B,6W", 15.0, 950.0)]
+    )
+    rec = recommend_design(
+        bottlenecked_curve(), target_performance=0.6, heterogeneous_curve=worse_hetero
+    )
+    assert rec.principle is Principle.BOTTLENECKED_DOWNSIZE
+
+
+def test_heterogeneous_ignored_when_misses_target():
+    slow_hetero = TradeoffCurve(
+        [point("8B,0W", 10.0, 1000.0), point("2B,6W", 100.0, 100.0)]
+    )
+    rec = recommend_design(
+        bottlenecked_curve(), target_performance=0.6, heterogeneous_curve=slow_hetero
+    )
+    assert rec.principle is Principle.BOTTLENECKED_DOWNSIZE
+
+
+def test_invalid_target():
+    with pytest.raises(ModelError):
+        recommend_design(scalable_curve(), target_performance=0.0)
+    with pytest.raises(ModelError):
+        recommend_design(scalable_curve(), target_performance=1.5)

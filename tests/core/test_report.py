@@ -1,0 +1,72 @@
+"""The one-call design report."""
+
+import pytest
+
+from repro.core.principles import Principle
+from repro.core.report import design_report
+from repro.errors import ReproError
+from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
+from repro.workloads.queries import section54_join
+
+
+@pytest.fixture(scope="module")
+def bottlenecked_report():
+    return design_report(
+        section54_join(0.10, 0.02),
+        CLUSTER_V_NODE,
+        WIMPY_LAPTOP_B,
+        cluster_size=8,
+        target_performance=0.6,
+    )
+
+
+def test_report_sections_present(bottlenecked_report):
+    text = bottlenecked_report.text
+    for heading in (
+        "DESIGN REPORT",
+        "execution plan",
+        "bottleneck profile",
+        "homogeneous size sweep",
+        "Beefy/Wimpy mixes",
+        "recommendation",
+        "network-trend check",
+    ):
+        assert heading in text, heading
+    assert str(bottlenecked_report) == text
+
+
+def test_bottlenecked_workload_recommends_heterogeneous(bottlenecked_report):
+    rec = bottlenecked_report.recommendation
+    assert rec.principle is Principle.HETEROGENEOUS_SUBSTITUTION
+    assert rec.design.num_wimpy > 0
+    assert rec.normalized_performance >= 0.6
+
+
+def test_bottleneck_profile_consistent(bottlenecked_report):
+    shares = bottlenecked_report.bottlenecks
+    assert sum(shares.values()) == pytest.approx(1.0)
+    # ORDERS 10% build shuffles hard; LINEITEM 2% probe is disk bound
+    assert shares["disk"] > 0.5
+
+
+def test_scalable_workload_recommends_full_cluster():
+    report = design_report(
+        section54_join(0.01, 0.01),
+        CLUSTER_V_NODE,
+        WIMPY_LAPTOP_B,
+        cluster_size=8,
+    )
+    assert report.recommendation.principle is Principle.SCALABLE_USE_ALL_NODES
+    assert report.recommendation.design.cluster.num_nodes == 8
+
+
+def test_sensitivity_included(bottlenecked_report):
+    assert len(bottlenecked_report.network_sensitivity) == 2
+    assert bottlenecked_report.network_sensitivity[0].parameter == "network_mbps"
+
+
+def test_validation():
+    with pytest.raises(ReproError):
+        design_report(
+            section54_join(0.10, 0.02), CLUSTER_V_NODE, WIMPY_LAPTOP_B, cluster_size=1
+        )

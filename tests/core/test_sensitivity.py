@@ -1,0 +1,89 @@
+"""Hardware sensitivity sweeps."""
+
+import pytest
+
+from repro.core.sensitivity import PARAMETERS, sweep_parameter
+from repro.errors import ModelError
+from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
+from repro.workloads.queries import section54_join
+
+
+def sweep(parameter, values, query=None, target=0.6):
+    return sweep_parameter(
+        query or section54_join(0.10, 0.10),
+        CLUSTER_V_NODE,
+        WIMPY_LAPTOP_B,
+        parameter,
+        values,
+        target_performance=target,
+    )
+
+
+class TestValidation:
+    def test_unknown_parameter(self):
+        with pytest.raises(ModelError, match="unknown parameter"):
+            sweep("magic", [1.0])
+
+    def test_empty_values(self):
+        with pytest.raises(ModelError):
+            sweep("network_mbps", [])
+
+    def test_nonpositive_value(self):
+        with pytest.raises(ModelError):
+            sweep("network_mbps", [0.0])
+
+    def test_registry_contents(self):
+        assert set(PARAMETERS) == {
+            "network_mbps",
+            "disk_mbps",
+            "wimpy_cpu_mbps",
+            "wimpy_memory_mb",
+        }
+
+
+class TestNetworkTrend:
+    def test_fast_network_unlocks_wimpy_substitution(self):
+        """At the paper's 100 MB/s the O10/L10 join punishes Wimpy-heavy
+        designs (Figure 10b); with a 10x faster interconnect the ingest
+        bottleneck vanishes and the Wimpy-heavy design wins."""
+        points = sweep("network_mbps", [100.0, 1000.0])
+        slow, fast = points
+        assert slow.best_label in ("8B,0W", "7B,1W")
+        assert fast.best_label == "2B,6W"
+        assert fast.best_energy < 0.6
+        assert fast.best_performance >= 0.6
+
+    def test_points_record_parameter(self):
+        points = sweep("network_mbps", [100.0])
+        assert points[0].parameter == "network_mbps"
+        assert points[0].value == 100.0
+        assert "network_mbps" in str(points[0])
+
+
+class TestMemoryTrend:
+    def test_bigger_wimpy_memory_enables_homogeneous_execution(self):
+        """Give the Wimpy nodes server-class memory and the O10 join goes
+        homogeneous, making the all-Wimpy-ish designs feasible."""
+        query = section54_join(0.10, 0.01)
+        small = sweep("wimpy_memory_mb", [7_000.0], query=query)[0]
+        big = sweep("wimpy_memory_mb", [47_000.0], query=query)[0]
+        assert len(big.curve) > len(small.curve)  # more feasible designs
+        assert big.best_energy <= small.best_energy
+
+
+class TestCpuTrend:
+    def test_wimpy_cpu_hardly_matters_when_network_bound(self):
+        """Figure 10(a)'s masking effect as a sensitivity statement: a
+        3.5x faster Wimpy CPU changes neither the chosen design nor its
+        performance (only its utilization, hence a modest energy delta)."""
+        query = section54_join(0.01, 0.10)
+        slow, fast = sweep("wimpy_cpu_mbps", [1129.0, 4000.0], query=query, target=0.9)
+        assert slow.best_label == fast.best_label == "0B,8W"
+        assert slow.best_performance == pytest.approx(fast.best_performance, abs=0.05)
+        assert slow.best_energy < 0.2 and fast.best_energy < 0.2
+
+
+class TestDiskTrend:
+    def test_slower_disks_still_pick_a_design(self):
+        points = sweep("disk_mbps", [300.0, 1200.0])
+        assert all(p.best_performance >= 0.6 for p in points)

@@ -1,0 +1,74 @@
+"""Model-vs-observation comparison (Figure 8/9 methodology)."""
+
+import pytest
+
+from repro.core.validation import ValidationRow, compare_normalized, normalize_by
+from repro.errors import ModelError
+
+
+def test_normalize_by():
+    out = normalize_by({"a": 2.0, "b": 4.0}, reference="a")
+    assert out == {"a": 1.0, "b": 2.0}
+
+
+def test_normalize_by_missing_reference():
+    with pytest.raises(ModelError):
+        normalize_by({"a": 1.0}, reference="z")
+
+
+def test_normalize_by_zero_reference():
+    with pytest.raises(ModelError):
+        normalize_by({"a": 0.0}, reference="a")
+
+
+def test_compare_normalized_perfect_match():
+    report = compare_normalized(
+        "rt",
+        observed={"L1": 5.0, "L100": 50.0},
+        modeled={"L1": 10.0, "L100": 100.0},  # same ratios
+        reference="L100",
+    )
+    assert report.max_error == pytest.approx(0.0)
+    assert report.within(0.05)
+
+
+def test_compare_normalized_error_metric():
+    report = compare_normalized(
+        "rt",
+        observed={"L1": 4.0, "L100": 10.0},  # 0.4
+        modeled={"L1": 5.0, "L100": 10.0},  # 0.5
+        reference="L100",
+    )
+    assert report.max_error == pytest.approx(0.1)
+    assert not report.within(0.05)
+    assert report.within(0.10)
+
+
+def test_compare_normalized_label_mismatch():
+    with pytest.raises(ModelError):
+        compare_normalized("rt", {"a": 1.0}, {"b": 1.0}, reference="a")
+
+
+def test_row_ordering():
+    report = compare_normalized(
+        "e",
+        observed={"x": 1.0, "y": 2.0, "ref": 4.0},
+        modeled={"x": 1.0, "y": 2.0, "ref": 4.0},
+        reference="ref",
+        order=["ref", "y", "x"],
+    )
+    assert [row.label for row in report.rows] == ["ref", "y", "x"]
+
+
+def test_report_str():
+    report = compare_normalized(
+        "energy", {"a": 1.0, "b": 2.0}, {"a": 1.0, "b": 2.0}, reference="a"
+    )
+    text = str(report)
+    assert "energy" in text
+    assert "max error" in text
+
+
+def test_validation_row_error():
+    row = ValidationRow(label="x", observed=0.5, modeled=0.45)
+    assert row.error == pytest.approx(0.05)

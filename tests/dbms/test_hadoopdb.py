@@ -1,0 +1,66 @@
+"""The HadoopDB-like coordination-overhead model (Section 3.2)."""
+
+import pytest
+
+from repro.dbms.calibration import Q1_PROFILE, Q12_PROFILE
+from repro.dbms.hadoopdb_like import HadoopDBLike, HadoopOverheads
+from repro.dbms.vertica_like import VerticaLikeDBMS
+from repro.errors import ConfigurationError
+
+
+def test_overhead_time_grows_with_nodes():
+    o = HadoopOverheads(job_startup_s=15.0, per_node_s=1.0)
+    assert o.time_s(8) == pytest.approx(23.0)
+    assert o.time_s(16) == pytest.approx(31.0)
+
+
+def test_overhead_validation():
+    with pytest.raises(ConfigurationError):
+        HadoopOverheads(job_startup_s=-1.0)
+    with pytest.raises(ConfigurationError):
+        HadoopOverheads(coordination_utilization=0.0)
+
+
+def test_hadoopdb_slower_than_vertica_like():
+    """'The performance of HadoopDB was limited by the Hadoop bottleneck.'"""
+    vertica = VerticaLikeDBMS()
+    hadoop = HadoopDBLike()
+    for n in (8, 12, 16):
+        assert hadoop.run(Q12_PROFILE, n).time_s > vertica.run(Q12_PROFILE, n).time_s
+
+
+def test_overhead_energy_charged_to_all_nodes():
+    hadoop = HadoopDBLike()
+    vertica = VerticaLikeDBMS()
+    assert hadoop.run(Q1_PROFILE, 8).energy_j > vertica.run(Q1_PROFILE, 8).energy_j
+
+
+def test_best_performing_not_most_energy_efficient():
+    """Section 3.2's (omitted-figure) finding reproduced: the largest
+    cluster is fastest but not the energy minimum."""
+    hadoop = HadoopDBLike()
+    curve = hadoop.size_sweep(Q12_PROFILE, [4, 8, 12, 16])
+    norm = curve.normalized()
+    fastest = max(norm, key=lambda p: p.performance)
+    cheapest = min(norm, key=lambda p: p.energy)
+    assert fastest.label == "16N"
+    assert cheapest.label != "16N"
+
+
+def test_even_scalable_queries_lose_efficiency_at_scale():
+    """Per-node overhead makes energy grow with cluster size for Q1."""
+    hadoop = HadoopDBLike()
+    curve = hadoop.size_sweep(Q1_PROFILE, [4, 16])
+    norm = {p.label: p for p in curve.normalized()}
+    assert norm["4N"].energy < 1.0
+
+
+def test_size_sweep_reference_is_largest(monkeypatch):
+    hadoop = HadoopDBLike()
+    curve = hadoop.size_sweep(Q12_PROFILE, [8, 16, 12])
+    assert curve.reference_label == "16N"
+
+
+def test_sweep_requires_sizes():
+    with pytest.raises(ConfigurationError):
+        HadoopDBLike().size_sweep(Q1_PROFILE, [])

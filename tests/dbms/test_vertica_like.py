@@ -1,0 +1,94 @@
+"""The Vertica-like stage model and the published query profiles."""
+
+import pytest
+
+from repro.dbms.calibration import Q1_PROFILE, Q12_PROFILE, Q21_PROFILE
+from repro.dbms.vertica_like import QueryProfile, VerticaLikeDBMS
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def dbms():
+    return VerticaLikeDBMS()
+
+
+class TestProfiles:
+    def test_published_splits(self):
+        assert Q1_PROFILE.local_fraction == 1.0
+        assert Q21_PROFILE.local_fraction == pytest.approx(0.945)
+        assert Q12_PROFILE.local_fraction == pytest.approx(0.52)
+
+    def test_profile_validation(self):
+        with pytest.raises(ConfigurationError):
+            QueryProfile("bad", local_fraction=1.5, reference_nodes=8,
+                         reference_time_s=10.0, shuffle_scaling=0.3)
+        with pytest.raises(ConfigurationError):
+            QueryProfile("bad", local_fraction=0.5, reference_nodes=0,
+                         reference_time_s=10.0, shuffle_scaling=0.3)
+        with pytest.raises(ConfigurationError):
+            QueryProfile("bad", local_fraction=0.5, reference_nodes=8,
+                         reference_time_s=10.0, shuffle_scaling=2.0)
+        with pytest.raises(ConfigurationError):
+            QueryProfile("bad", local_fraction=0.5, reference_nodes=8,
+                         reference_time_s=10.0, shuffle_scaling=0.3,
+                         local_utilization=0.0)
+
+
+class TestRun:
+    def test_reference_time_reproduced(self, dbms):
+        result = dbms.run(Q12_PROFILE, Q12_PROFILE.reference_nodes)
+        assert result.time_s == pytest.approx(Q12_PROFILE.reference_time_s)
+
+    def test_local_stage_scales_linearly(self, dbms):
+        r8 = dbms.run(Q1_PROFILE, 8)
+        r16 = dbms.run(Q1_PROFILE, 16)
+        assert r16.local_time_s == pytest.approx(r8.local_time_s / 2)
+
+    def test_invalid_size(self, dbms):
+        with pytest.raises(ConfigurationError):
+            dbms.run(Q1_PROFILE, 0)
+
+    def test_average_power_positive(self, dbms):
+        assert dbms.run(Q12_PROFILE, 8).average_power_w > 0
+
+
+class TestPaperShapes:
+    def test_q1_linear_speedup_flat_energy(self, dbms):
+        """Figure 2(a): perf(8N) ~ 0.5, energy ratio ~ 1.0 throughout."""
+        curve = dbms.size_sweep(Q1_PROFILE, [8, 10, 12, 14, 16])
+        norm = {p.label: p for p in curve.normalized()}
+        assert norm["8N"].performance == pytest.approx(0.5, abs=0.02)
+        for p in norm.values():
+            assert p.energy == pytest.approx(1.0, abs=0.02)
+
+    def test_q21_nearly_linear(self, dbms):
+        """Figure 2(b): 94.5% local -> almost ideal speedup."""
+        curve = dbms.size_sweep(Q21_PROFILE, [8, 16])
+        norm = {p.label: p for p in curve.normalized()}
+        assert norm["8N"].performance == pytest.approx(0.52, abs=0.03)
+        assert norm["8N"].energy == pytest.approx(1.0, abs=0.05)
+
+    def test_q12_sublinear_with_energy_savings(self, dbms):
+        """Figure 1(a): 8N at ~0.64 performance and lower energy."""
+        curve = dbms.size_sweep(Q12_PROFILE, [8, 10, 12, 14, 16])
+        norm = {p.label: p for p in curve.normalized()}
+        assert norm["8N"].performance == pytest.approx(0.64, abs=0.03)
+        assert norm["8N"].energy < 0.85
+        # the paper's 10N quote: ~24% perf penalty for ~16% energy saving
+        assert norm["10N"].performance == pytest.approx(0.76, abs=0.04)
+        assert norm["10N"].energy == pytest.approx(0.84, abs=0.04)
+
+    def test_q12_all_points_above_edp(self, dbms):
+        """Figure 1(a): homogeneous downsizing never beats constant EDP."""
+        curve = dbms.size_sweep(Q12_PROFILE, [8, 10, 12, 14, 16])
+        for p in curve.normalized()[1:]:
+            assert p.edp_ratio > 1.0
+
+    def test_energy_monotone_decreasing_for_q12(self, dbms):
+        curve = dbms.size_sweep(Q12_PROFILE, [8, 10, 12, 14, 16])
+        energies = [p.energy for p in curve.normalized()]
+        assert energies == sorted(energies, reverse=True)
+
+    def test_sweep_requires_sizes(self, dbms):
+        with pytest.raises(ConfigurationError):
+            dbms.size_sweep(Q1_PROFILE, [])

@@ -1,0 +1,108 @@
+"""Regression fitting: the Section 3.1 calibration procedure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError
+from repro.hardware.calibration import (
+    fit_best_model,
+    fit_exponential,
+    fit_logarithmic,
+    fit_power_law,
+    r_squared,
+)
+from repro.hardware.power import (
+    ExponentialModel,
+    LogarithmicModel,
+    PowerLawModel,
+)
+
+UTILS = [0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 1.00]
+
+
+def samples_from(model, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        (u, model.power(u) * (1.0 + rng.uniform(-noise, noise))) for u in UTILS
+    ]
+
+
+def test_power_law_exact_recovery():
+    truth = PowerLawModel(130.03, 0.2369)
+    result = fit_power_law(samples_from(truth))
+    assert result.model.coefficient == pytest.approx(130.03, rel=1e-6)
+    assert result.model.exponent == pytest.approx(0.2369, rel=1e-6)
+    assert result.r2 == pytest.approx(1.0)
+
+
+def test_exponential_exact_recovery():
+    truth = ExponentialModel(60.0, 0.008)
+    result = fit_exponential(samples_from(truth))
+    assert result.model.coefficient == pytest.approx(60.0, rel=1e-6)
+    assert result.model.rate == pytest.approx(0.008, rel=1e-6)
+
+
+def test_logarithmic_exact_recovery():
+    truth = LogarithmicModel(80.0, 25.0)
+    result = fit_logarithmic(samples_from(truth))
+    assert result.model.offset == pytest.approx(80.0, rel=1e-6)
+    assert result.model.slope == pytest.approx(25.0, rel=1e-6)
+
+
+def test_best_model_selects_power_law_for_power_law_data():
+    truth = PowerLawModel(130.03, 0.2369)
+    best = fit_best_model(samples_from(truth, noise=0.01, seed=3))
+    assert best.family == "power"
+    assert best.r2 > 0.98
+
+
+def test_best_model_selects_logarithmic_for_logarithmic_data():
+    truth = LogarithmicModel(90.0, 30.0)
+    best = fit_best_model(samples_from(truth, noise=0.002, seed=4))
+    assert best.family == "logarithmic"
+
+
+def test_noisy_power_law_recovery_within_tolerance():
+    truth = PowerLawModel(130.03, 0.2369)
+    result = fit_power_law(samples_from(truth, noise=0.015, seed=7))
+    assert result.model.coefficient == pytest.approx(130.03, rel=0.05)
+    assert result.model.exponent == pytest.approx(0.2369, rel=0.15)
+
+
+def test_r_squared_perfect_and_mean():
+    y = [1.0, 2.0, 3.0]
+    assert r_squared(y, y) == pytest.approx(1.0)
+    assert r_squared(y, [2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+
+def test_r_squared_constant_observations():
+    assert r_squared([5.0, 5.0], [5.0, 5.0]) == 1.0
+    assert r_squared([5.0, 5.0], [4.0, 6.0]) == 0.0
+
+
+def test_r_squared_shape_mismatch():
+    with pytest.raises(CalibrationError):
+        r_squared([1.0], [1.0, 2.0])
+
+
+def test_too_few_samples():
+    with pytest.raises(CalibrationError, match="at least"):
+        fit_power_law([(0.5, 100.0), (0.6, 110.0)])
+
+
+def test_invalid_utilization():
+    with pytest.raises(CalibrationError):
+        fit_power_law([(0.0, 10.0), (0.5, 100.0), (1.0, 120.0)])
+    with pytest.raises(CalibrationError):
+        fit_power_law([(1.5, 10.0), (0.5, 100.0), (1.0, 120.0)])
+
+
+def test_invalid_watts():
+    with pytest.raises(CalibrationError):
+        fit_power_law([(0.1, -5.0), (0.5, 100.0), (1.0, 120.0)])
+
+
+def test_calibration_result_str():
+    result = fit_power_law(samples_from(PowerLawModel(100.0, 0.3)))
+    assert "power" in str(result)
+    assert "R²" in str(result)

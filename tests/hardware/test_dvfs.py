@@ -1,0 +1,97 @@
+"""DVFS frequency scaling of node specs."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.dvfs import DVFSPowerModel, dvfs_variant
+from repro.hardware.power import MIN_UTILIZATION
+from repro.hardware.presets import CLUSTER_V_NODE
+
+
+class TestDVFSPowerModel:
+    def test_full_frequency_is_identity(self):
+        model = DVFSPowerModel(CLUSTER_V_NODE.power_model, 1.0)
+        for util in (0.1, 0.5, 1.0):
+            assert model.power(util) == pytest.approx(
+                CLUSTER_V_NODE.power_model.power(util)
+            )
+
+    def test_idle_power_unchanged(self):
+        model = DVFSPowerModel(CLUSTER_V_NODE.power_model, 0.5)
+        assert model.power(MIN_UTILIZATION) == pytest.approx(
+            CLUSTER_V_NODE.power_model.power(MIN_UTILIZATION)
+        )
+
+    def test_dynamic_power_scales_cubically(self):
+        base = CLUSTER_V_NODE.power_model
+        model = DVFSPowerModel(base, 0.5)
+        idle = base.power(MIN_UTILIZATION)
+        expected = idle + (base.power(1.0) - idle) * 0.125
+        assert model.power(1.0) == pytest.approx(expected)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ConfigurationError):
+            DVFSPowerModel(CLUSTER_V_NODE.power_model, 0.0)
+        with pytest.raises(ConfigurationError):
+            DVFSPowerModel(CLUSTER_V_NODE.power_model, 1.5)
+
+    def test_formula_mentions_factor(self):
+        assert "0.6" in DVFSPowerModel(CLUSTER_V_NODE.power_model, 0.6).formula()
+
+
+class TestDVFSVariant:
+    def test_cpu_bandwidth_scales_linearly(self):
+        slow = dvfs_variant(CLUSTER_V_NODE, 0.6)
+        assert slow.cpu_bandwidth_mbps == pytest.approx(5037.0 * 0.6)
+
+    def test_io_untouched(self):
+        slow = dvfs_variant(CLUSTER_V_NODE, 0.6)
+        assert slow.disk_bandwidth_mbps == CLUSTER_V_NODE.disk_bandwidth_mbps
+        assert slow.nic_bandwidth_mbps == CLUSTER_V_NODE.nic_bandwidth_mbps
+        assert slow.memory_mb == CLUSTER_V_NODE.memory_mb
+
+    def test_name_records_frequency(self):
+        assert "60%" in dvfs_variant(CLUSTER_V_NODE, 0.6).name
+
+    def test_invalid_factor(self):
+        with pytest.raises(ConfigurationError):
+            dvfs_variant(CLUSTER_V_NODE, 0.0)
+
+
+class TestDVFSOnWorkloads:
+    def test_network_bound_join_keeps_performance_sheds_watts(self):
+        """For a network-bound shuffle, DVFS is (near) free performance-wise
+        but cuts energy — the 'slow down to win the race' effect."""
+        from repro.hardware.cluster import ClusterSpec
+        from repro.pstore.engine import PStore, PStoreConfig
+        from repro.workloads.queries import q3_join
+
+        workload = q3_join(1000, 0.05, 0.05)  # network-bound at 8 nodes
+        config = PStoreConfig(warm_cache=True)
+        nominal = PStore(
+            ClusterSpec.homogeneous(CLUSTER_V_NODE, 8),
+            config=config, record_intervals=False,
+        ).simulate(workload)
+        scaled = PStore(
+            ClusterSpec.homogeneous(dvfs_variant(CLUSTER_V_NODE, 0.6), 8),
+            config=config, record_intervals=False,
+        ).simulate(workload)
+        assert scaled.makespan_s == pytest.approx(nominal.makespan_s, rel=0.02)
+        assert scaled.energy_j < 0.75 * nominal.energy_j
+
+    def test_cpu_bound_join_slows_proportionally(self):
+        from repro.hardware.cluster import ClusterSpec
+        from repro.pstore.engine import PStore, PStoreConfig
+        from repro.workloads.queries import q3_join
+
+        workload = q3_join(1000, 0.005, 0.005)  # CPU-bound
+        config = PStoreConfig(warm_cache=True)
+        nominal = PStore(
+            ClusterSpec.homogeneous(CLUSTER_V_NODE, 8),
+            config=config, record_intervals=False,
+        ).simulate(workload)
+        scaled = PStore(
+            ClusterSpec.homogeneous(dvfs_variant(CLUSTER_V_NODE, 0.5), 8),
+            config=config, record_intervals=False,
+        ).simulate(workload)
+        assert scaled.makespan_s == pytest.approx(2.0 * nominal.makespan_s, rel=0.02)

@@ -1,0 +1,108 @@
+"""Simulated WattsUp and iLO2 meters."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.calibration import fit_best_model
+from repro.hardware.meter import ILO2Interface, WattsUpMeter
+from repro.hardware.power import PowerLawModel
+
+
+def constant_power(watts):
+    return lambda _t: watts
+
+
+class TestWattsUpMeter:
+    def test_sample_count_at_1hz(self):
+        meter = WattsUpMeter(seed=1)
+        samples = meter.sample(constant_power(100.0), duration_s=10.0)
+        assert len(samples) == 10
+
+    def test_sample_count_other_rate(self):
+        meter = WattsUpMeter(sample_hz=2.0, seed=1)
+        assert len(meter.sample(constant_power(50.0), duration_s=5.0)) == 10
+
+    def test_accuracy_bound_respected(self):
+        meter = WattsUpMeter(accuracy=0.015, seed=42)
+        samples = meter.sample(constant_power(200.0), duration_s=100.0)
+        for s in samples:
+            assert 200.0 * 0.985 <= s.watts <= 200.0 * 1.015
+
+    def test_zero_accuracy_is_exact(self):
+        meter = WattsUpMeter(accuracy=0.0, seed=0)
+        samples = meter.sample(constant_power(123.0), duration_s=5.0)
+        assert all(s.watts == pytest.approx(123.0) for s in samples)
+
+    def test_energy_integration_constant_power(self):
+        meter = WattsUpMeter(accuracy=0.0, seed=0)
+        samples = meter.sample(constant_power(100.0), duration_s=60.0)
+        # 59 trapezoid intervals of 1 s at 100 W
+        assert WattsUpMeter.energy_joules(samples) == pytest.approx(5900.0)
+
+    def test_energy_needs_two_samples(self):
+        with pytest.raises(ConfigurationError):
+            WattsUpMeter.energy_joules([])
+
+    def test_average_watts(self):
+        meter = WattsUpMeter(accuracy=0.0, seed=0)
+        samples = meter.sample(constant_power(77.0), duration_s=3.0)
+        assert WattsUpMeter.average_watts(samples) == pytest.approx(77.0)
+
+    def test_negative_power_rejected(self):
+        meter = WattsUpMeter(seed=0)
+        with pytest.raises(ConfigurationError):
+            meter.sample(constant_power(-1.0), duration_s=2.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            WattsUpMeter(sample_hz=0.0)
+        with pytest.raises(ConfigurationError):
+            WattsUpMeter(accuracy=-0.1)
+
+    def test_invalid_duration(self):
+        with pytest.raises(ConfigurationError):
+            WattsUpMeter(seed=0).sample(constant_power(1.0), duration_s=0.0)
+
+    def test_deterministic_with_seed(self):
+        a = WattsUpMeter(seed=9).sample(constant_power(100.0), 5.0)
+        b = WattsUpMeter(seed=9).sample(constant_power(100.0), 5.0)
+        assert [s.watts for s in a] == [s.watts for s in b]
+
+
+class TestILO2Interface:
+    def test_measure_constant_power(self):
+        ilo = ILO2Interface(accuracy=0.0, seed=0)
+        assert ilo.measure(constant_power(150.0)) == pytest.approx(150.0)
+
+    def test_measure_respects_accuracy(self):
+        ilo = ILO2Interface(accuracy=0.01, seed=5)
+        value = ilo.measure(constant_power(150.0), windows=3)
+        assert 150.0 * 0.99 <= value <= 150.0 * 1.01
+
+    def test_invalid_windows(self):
+        with pytest.raises(ConfigurationError):
+            ILO2Interface(seed=0).measure(constant_power(1.0), windows=0)
+
+    def test_utilization_sweep_shape(self):
+        ilo = ILO2Interface(accuracy=0.0, seed=0)
+        model = PowerLawModel(130.03, 0.2369)
+        readings = ilo.utilization_sweep(model.power, [0.1, 0.5, 1.0])
+        assert [u for u, _ in readings] == [0.1, 0.5, 1.0]
+        assert readings[-1][1] == pytest.approx(model.power(1.0))
+
+    def test_utilization_sweep_invalid_level(self):
+        ilo = ILO2Interface(seed=0)
+        with pytest.raises(ConfigurationError):
+            ilo.utilization_sweep(lambda u: 100.0, [0.0])
+
+    def test_end_to_end_calibration_recovers_table1_model(self):
+        """The Table 1 workflow: iLO2 sweep -> regression -> SysPower."""
+        truth = PowerLawModel(130.03, 0.2369)
+        ilo = ILO2Interface(accuracy=0.01, seed=11)
+        readings = ilo.utilization_sweep(
+            truth.power, [0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0]
+        )
+        best = fit_best_model(readings)
+        assert best.family == "power"
+        assert best.model.coefficient == pytest.approx(130.03, rel=0.05)
+        assert best.model.exponent == pytest.approx(0.2369, rel=0.10)

@@ -1,0 +1,138 @@
+"""NodeSpec and ClusterSpec behaviour."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.cluster import ClusterSpec, NodeGroup
+from repro.hardware.node import NodeSpec
+from repro.hardware.power import PowerLawModel
+from repro.hardware.presets import BEEFY_L5630, CLUSTER_V_NODE, WIMPY_LAPTOP_B
+
+
+def make_node(**overrides):
+    base = dict(
+        name="test",
+        cpu_bandwidth_mbps=1000.0,
+        memory_mb=8000.0,
+        disk_bandwidth_mbps=200.0,
+        nic_bandwidth_mbps=100.0,
+        power_model=PowerLawModel(50.0, 0.25),
+        engine_base_utilization=0.10,
+    )
+    base.update(overrides)
+    return NodeSpec(**base)
+
+
+class TestNodeSpec:
+    def test_utilization_includes_engine_base(self):
+        node = make_node()
+        assert node.utilization(0.0) == pytest.approx(0.10)
+        assert node.utilization(500.0) == pytest.approx(0.60)
+
+    def test_utilization_clamps_at_one(self):
+        assert make_node().utilization(5000.0) == 1.0
+
+    def test_utilization_rejects_negative_rate(self):
+        with pytest.raises(ConfigurationError):
+            make_node().utilization(-1.0)
+
+    def test_power_at_rate(self):
+        node = make_node()
+        assert node.power_at_rate(500.0) == pytest.approx(
+            node.power_model.power(0.60)
+        )
+
+    def test_idle_and_peak_power(self):
+        node = make_node()
+        assert node.idle_power_w == pytest.approx(node.power_model.power(0.10))
+        assert node.peak_power_w == pytest.approx(node.power_model.power(1.0))
+
+    def test_invalid_fields(self):
+        with pytest.raises(ConfigurationError):
+            make_node(cpu_bandwidth_mbps=0.0)
+        with pytest.raises(ConfigurationError):
+            make_node(memory_mb=-1.0)
+        with pytest.raises(ConfigurationError):
+            make_node(engine_base_utilization=1.0)
+        with pytest.raises(ConfigurationError):
+            make_node(cores=0)
+
+    def test_with_overrides(self):
+        node = make_node().with_overrides(disk_bandwidth_mbps=1200.0)
+        assert node.disk_bandwidth_mbps == 1200.0
+        assert node.cpu_bandwidth_mbps == 1000.0  # unchanged
+
+    def test_str(self):
+        assert "test" in str(make_node())
+
+
+class TestClusterSpec:
+    def test_homogeneous_builder(self):
+        cluster = ClusterSpec.homogeneous(CLUSTER_V_NODE, 8)
+        assert cluster.num_nodes == 8
+        assert cluster.num_beefy == 8
+        assert cluster.num_wimpy == 0
+        assert cluster.is_homogeneous
+
+    def test_homogeneous_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec.homogeneous(CLUSTER_V_NODE, 0)
+
+    def test_beefy_wimpy_builder(self):
+        cluster = ClusterSpec.beefy_wimpy(BEEFY_L5630, 2, WIMPY_LAPTOP_B, 6)
+        assert cluster.name == "2B,6W"
+        assert cluster.num_beefy == 2
+        assert cluster.num_wimpy == 6
+        assert not cluster.is_homogeneous
+
+    def test_beefy_wimpy_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec.beefy_wimpy(BEEFY_L5630, 0, WIMPY_LAPTOP_B, 0)
+
+    def test_all_wimpy_mix_is_valid(self):
+        cluster = ClusterSpec.beefy_wimpy(BEEFY_L5630, 0, WIMPY_LAPTOP_B, 8)
+        assert cluster.num_nodes == 8
+        with pytest.raises(ConfigurationError):
+            _ = cluster.beefy_spec
+
+    def test_nodes_order_beefy_first(self):
+        cluster = ClusterSpec.beefy_wimpy(BEEFY_L5630, 2, WIMPY_LAPTOP_B, 2)
+        roles = [role for _, role in cluster.nodes()]
+        assert roles == ["beefy", "beefy", "wimpy", "wimpy"]
+
+    def test_total_memory(self):
+        cluster = ClusterSpec.beefy_wimpy(BEEFY_L5630, 1, WIMPY_LAPTOP_B, 1)
+        assert cluster.total_memory_mb == pytest.approx(
+            BEEFY_L5630.memory_mb + WIMPY_LAPTOP_B.memory_mb
+        )
+
+    def test_idle_power_sums_nodes(self):
+        cluster = ClusterSpec.homogeneous(WIMPY_LAPTOP_B, 3)
+        assert cluster.idle_power_w == pytest.approx(3 * WIMPY_LAPTOP_B.idle_power_w)
+
+    def test_subset(self):
+        cluster = ClusterSpec.homogeneous(CLUSTER_V_NODE, 16)
+        sub = cluster.subset(10)
+        assert sub.num_nodes == 10
+
+    def test_subset_across_groups(self):
+        cluster = ClusterSpec.beefy_wimpy(BEEFY_L5630, 2, WIMPY_LAPTOP_B, 2)
+        sub = cluster.subset(3)
+        assert sub.num_beefy == 2
+        assert sub.num_wimpy == 1
+
+    def test_subset_invalid(self):
+        cluster = ClusterSpec.homogeneous(CLUSTER_V_NODE, 4)
+        with pytest.raises(ConfigurationError):
+            cluster.subset(5)
+        with pytest.raises(ConfigurationError):
+            cluster.subset(0)
+
+    def test_node_group_validation(self):
+        with pytest.raises(ConfigurationError):
+            NodeGroup(spec=CLUSTER_V_NODE, count=-1)
+        with pytest.raises(ConfigurationError):
+            NodeGroup(spec=CLUSTER_V_NODE, count=1, role="mystery")
+
+    def test_str(self):
+        assert "2B,6W" in str(ClusterSpec.beefy_wimpy(BEEFY_L5630, 2, WIMPY_LAPTOP_B, 6))

@@ -1,0 +1,126 @@
+"""Power models: the paper's SysPower regressions and alternatives."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hardware.power import (
+    MIN_UTILIZATION,
+    ExponentialModel,
+    IdlePeakModel,
+    LogarithmicModel,
+    PowerLawModel,
+)
+
+CLUSTER_V = PowerLawModel(130.03, 0.2369)
+LAPTOP_B = PowerLawModel(10.994, 0.2875)
+
+
+def test_cluster_v_power_at_full_utilization():
+    # 130.03 * 100^0.2369
+    assert CLUSTER_V.power(1.0) == pytest.approx(130.03 * 100**0.2369)
+
+
+def test_cluster_v_power_at_one_percent():
+    # (100 * 0.01)^b == 1 -> exactly the coefficient
+    assert CLUSTER_V.power(0.01) == pytest.approx(130.03)
+
+
+def test_laptop_b_full_load_near_published_average():
+    # Section 5.2 reports ~37 W average laptop power; the model peaks ~41 W.
+    assert 35.0 < LAPTOP_B.power(1.0) < 45.0
+
+
+def test_clamping_below_minimum():
+    assert CLUSTER_V.power(0.0) == CLUSTER_V.power(MIN_UTILIZATION)
+    assert CLUSTER_V.power(-5.0) == CLUSTER_V.power(MIN_UTILIZATION)
+
+
+def test_clamping_above_one():
+    assert CLUSTER_V.power(3.0) == CLUSTER_V.power(1.0)
+
+
+def test_nan_utilization_rejected():
+    with pytest.raises(ConfigurationError):
+        CLUSTER_V.power(float("nan"))
+
+
+def test_energy():
+    assert CLUSTER_V.energy(1.0, 10.0) == pytest.approx(10.0 * CLUSTER_V.power(1.0))
+
+
+def test_energy_negative_duration():
+    with pytest.raises(ConfigurationError):
+        CLUSTER_V.energy(0.5, -1.0)
+
+
+def test_idle_and_peak_properties():
+    assert CLUSTER_V.idle_power == CLUSTER_V.power(MIN_UTILIZATION)
+    assert CLUSTER_V.peak_power == CLUSTER_V.power(1.0)
+    assert CLUSTER_V.idle_power < CLUSTER_V.peak_power
+
+
+def test_power_law_requires_positive_coefficient():
+    with pytest.raises(ConfigurationError):
+        PowerLawModel(-1.0, 0.2)
+
+
+def test_exponential_model():
+    model = ExponentialModel(coefficient=50.0, rate=0.01)
+    assert model.power(0.5) == pytest.approx(50.0 * math.exp(0.01 * 50.0))
+    with pytest.raises(ConfigurationError):
+        ExponentialModel(0.0, 0.01)
+
+
+def test_logarithmic_model():
+    model = LogarithmicModel(offset=100.0, slope=20.0)
+    assert model.power(0.01) == pytest.approx(100.0)  # ln(1) == 0
+    assert model.power(1.0) == pytest.approx(100.0 + 20.0 * math.log(100.0))
+
+
+def test_logarithmic_never_negative():
+    model = LogarithmicModel(offset=0.5, slope=-10.0)
+    assert model.power(1.0) == 0.0
+
+
+def test_idle_peak_model_bounds():
+    model = IdlePeakModel(idle_w=11.0, peak_w=20.0)
+    assert model.power(1.0) == pytest.approx(20.0)
+    assert model.idle_power == pytest.approx(11.0)
+    assert 11.0 < model.power(0.5) < 20.0
+
+
+def test_idle_peak_model_validation():
+    with pytest.raises(ConfigurationError):
+        IdlePeakModel(idle_w=-1.0, peak_w=20.0)
+    with pytest.raises(ConfigurationError):
+        IdlePeakModel(idle_w=30.0, peak_w=20.0)
+    with pytest.raises(ConfigurationError):
+        IdlePeakModel(idle_w=10.0, peak_w=20.0, exponent=0.0)
+
+
+def test_formula_strings():
+    assert "130.03" in CLUSTER_V.formula()
+    assert "ln" in LogarithmicModel(1.0, 2.0).formula()
+    assert "e^" in ExponentialModel(1.0, 0.1).formula()
+
+
+@given(st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+def test_power_law_monotone(u1, u2):
+    """More utilization never draws less power."""
+    lo, hi = sorted((u1, u2))
+    assert CLUSTER_V.power(lo) <= CLUSTER_V.power(hi) + 1e-9
+
+
+@given(st.floats(0.0, 1.0))
+def test_all_models_positive(util):
+    for model in (
+        CLUSTER_V,
+        LAPTOP_B,
+        ExponentialModel(50.0, 0.005),
+        IdlePeakModel(10.0, 30.0),
+    ):
+        assert model.power(util) > 0.0

@@ -1,0 +1,86 @@
+"""Published hardware presets (Tables 1, 2 and 3)."""
+
+import pytest
+
+from repro.hardware.presets import (
+    BEEFY_L5630,
+    CLUSTER_V_NODE,
+    DESKTOP_ATOM,
+    LAPTOP_A,
+    LAPTOP_B,
+    TABLE2_SYSTEMS,
+    WIMPY_LAPTOP_B,
+    WORKSTATION_A,
+    WORKSTATION_B,
+)
+
+
+def test_cluster_v_table3_constants():
+    assert CLUSTER_V_NODE.cpu_bandwidth_mbps == 5037.0  # CB
+    assert CLUSTER_V_NODE.engine_base_utilization == 0.25  # GB
+    assert CLUSTER_V_NODE.power_model.coefficient == 130.03
+    assert CLUSTER_V_NODE.power_model.exponent == 0.2369
+
+
+def test_cluster_v_section54_parameters():
+    assert CLUSTER_V_NODE.memory_mb == 47_000.0  # MB
+    assert CLUSTER_V_NODE.disk_bandwidth_mbps == 1200.0  # I
+    assert CLUSTER_V_NODE.nic_bandwidth_mbps == 100.0  # L
+
+
+def test_wimpy_table3_constants():
+    assert WIMPY_LAPTOP_B.cpu_bandwidth_mbps == 1129.0  # CW
+    assert WIMPY_LAPTOP_B.engine_base_utilization == 0.13  # GW
+    assert WIMPY_LAPTOP_B.memory_mb == 7_000.0  # MW
+    assert WIMPY_LAPTOP_B.power_model.coefficient == 10.994
+    assert WIMPY_LAPTOP_B.power_model.exponent == 0.2875
+
+
+def test_beefy_l5630_section531_constants():
+    assert BEEFY_L5630.cpu_bandwidth_mbps == 4034.0
+    assert BEEFY_L5630.memory_mb == 31_000.0
+    assert BEEFY_L5630.disk_bandwidth_mbps == 270.0
+    assert BEEFY_L5630.nic_bandwidth_mbps == 95.0
+    assert BEEFY_L5630.power_model.coefficient == 79.006
+    assert BEEFY_L5630.power_model.exponent == 0.2451
+
+
+def test_table2_idle_powers_as_published():
+    expected = {
+        "workstation-A": 93.0,
+        "workstation-B": 69.0,
+        "desktop-atom": 28.0,
+        "laptop-A": 12.0,
+        "laptop-B": 11.0,
+    }
+    for system in TABLE2_SYSTEMS:
+        assert system.power_model.idle_power == pytest.approx(expected[system.name])
+
+
+def test_table2_order_matches_paper():
+    assert [s.name for s in TABLE2_SYSTEMS] == [
+        "workstation-A",
+        "workstation-B",
+        "desktop-atom",
+        "laptop-A",
+        "laptop-B",
+    ]
+
+
+def test_table2_memory_sizes():
+    assert WORKSTATION_A.memory_mb == 12_000.0
+    assert WORKSTATION_B.memory_mb == 24_000.0
+    assert DESKTOP_ATOM.memory_mb == 4_000.0
+    assert LAPTOP_A.memory_mb == 4_000.0
+    assert LAPTOP_B.memory_mb == 8_000.0
+
+
+def test_workstations_faster_than_laptops():
+    assert WORKSTATION_A.cpu_bandwidth_mbps > LAPTOP_B.cpu_bandwidth_mbps
+    assert WORKSTATION_B.cpu_bandwidth_mbps > LAPTOP_A.cpu_bandwidth_mbps
+
+
+def test_wimpy_draws_far_less_power_than_cluster_v_beefy():
+    # the premise of the whole design space: ~10x power gap
+    ratio = WIMPY_LAPTOP_B.peak_power_w / CLUSTER_V_NODE.peak_power_w
+    assert ratio < 0.15

@@ -1,0 +1,90 @@
+"""Every paper artifact regenerates and every claim holds."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import EXPERIMENTS, run, run_all
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+def test_experiment_claims_hold(experiment_id):
+    result = run(experiment_id)
+    assert result.experiment_id == experiment_id
+    assert result.text.strip()
+    assert result.claims, "every experiment must check paper claims"
+    assert result.all_claims_hold, "\n" + result.report()
+
+
+def test_registry_covers_every_paper_artifact():
+    from repro.experiments import EXTENSION_EXPERIMENTS, PAPER_EXPERIMENTS
+
+    expected = {
+        "fig1a", "fig1b", "fig2a", "fig2b", "fig3", "fig4", "fig5", "fig6",
+        "fig7a", "fig7b", "fig8", "fig9", "fig10a", "fig10b", "fig11",
+        "fig12", "tbl1", "tbl2", "tbl3",
+    }
+    assert set(PAPER_EXPERIMENTS) == expected
+    assert set(EXTENSION_EXPERIMENTS) == {
+        "ext-trends", "ext-skew", "ext-dvfs", "ext-stream",
+    }
+    assert set(EXPERIMENTS) == expected | set(EXTENSION_EXPERIMENTS)
+
+
+def test_unknown_experiment():
+    with pytest.raises(ReproError, match="unknown experiment"):
+        run("fig99")
+
+
+def test_run_all_returns_everything():
+    results = run_all()
+    assert len(results) == len(EXPERIMENTS)
+
+
+def test_cli_main(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["tbl3", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "tbl3: ok" in out
+
+
+def test_cli_full_report(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["tbl2"]) == 0
+    out = capsys.readouterr().out
+    assert "laptop-B" in out
+    assert "[PASS]" in out
+
+
+def test_cli_list(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert out == list(EXPERIMENTS)
+
+
+def test_cli_json(capsys):
+    import json
+
+    from repro.experiments.__main__ import main
+
+    assert main(["tbl3", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["id"] == "tbl3"
+    assert payload["all_claims_hold"] is True
+
+
+def test_cli_requires_ids():
+    from repro.experiments.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_report_format():
+    result = run("tbl3")
+    report = result.report()
+    assert report.startswith("=== tbl3")
+    assert "[PASS]" in report

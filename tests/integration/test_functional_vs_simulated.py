@@ -1,0 +1,137 @@
+"""Functional execution must move the data volumes the simulator prices.
+
+The simulated executor charges the network `selectivity * volume * (n-1)/n`
+for a shuffle and `selectivity * volume * (n-1)` for a broadcast; here we
+run the *functional* engine on real tuples and check the rows that actually
+crossed node boundaries match those fractions (within hash-placement
+noise).  This ties the two P-store halves together.
+"""
+
+import pytest
+
+from repro.pstore.catalog import PartitionScheme
+from repro.pstore.functional import FunctionalCluster
+from repro.pstore.planner import broadcast_network_mb, shuffle_network_mb
+from repro.pstore.storage import PartitionedStore
+from repro.workloads import datagen
+from repro.workloads.queries import JoinWorkloadSpec
+
+SF = 0.004
+NUM_NODES = 4
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return datagen.generate_join_pair(SF, seed=33)
+
+
+def partitions(batch, key):
+    return PartitionedStore("t", batch, PartitionScheme.hash(key), NUM_NODES).partitions()
+
+
+def predicate(column, selectivity):
+    cutoff = datagen.date_cutoff_for_selectivity(selectivity)
+    return lambda b: b.column(column) < cutoff
+
+
+@pytest.mark.parametrize("build_sel,probe_sel", [(1.0, 1.0), (0.5, 0.25), (0.1, 0.6)])
+def test_shuffle_rows_match_simulated_fraction(tables, build_sel, probe_sel):
+    orders, lineitem = tables
+    cluster = FunctionalCluster(NUM_NODES)
+    result = cluster.shuffle_join(
+        partitions(orders, "o_custkey"),
+        partitions(lineitem, "l_shipdate"),
+        build_key="o_orderkey",
+        probe_key="l_orderkey",
+        build_predicate=predicate("o_orderdate", build_sel),
+        probe_predicate=predicate("l_shipdate", probe_sel),
+    )
+    expected_fraction = (NUM_NODES - 1) / NUM_NODES
+    assert result.build_stats.network_fraction == pytest.approx(
+        expected_fraction, abs=0.05
+    )
+    assert result.probe_stats.network_fraction == pytest.approx(
+        expected_fraction, abs=0.05
+    )
+
+    # Row counts track the workload's qualifying volumes.
+    qualifying_build = result.build_stats.total_rows
+    assert qualifying_build == pytest.approx(orders.num_rows * build_sel, rel=0.15)
+
+
+def test_shuffle_bytes_match_planner_estimate(tables):
+    """ExchangeStats bytes ~= shuffle_network_mb for the same workload."""
+    orders, lineitem = tables
+    row_bytes = 20
+    cluster = FunctionalCluster(NUM_NODES, row_bytes=row_bytes)
+    build_sel, probe_sel = 0.5, 0.5
+    result = cluster.shuffle_join(
+        partitions(orders, "o_custkey"),
+        partitions(lineitem, "l_shipdate"),
+        build_key="o_orderkey",
+        probe_key="l_orderkey",
+        build_predicate=predicate("o_orderdate", build_sel),
+        probe_predicate=predicate("l_shipdate", probe_sel),
+    )
+    workload = JoinWorkloadSpec(
+        name="functional-parity",
+        build_volume_mb=orders.num_rows * row_bytes / 1e6,
+        probe_volume_mb=lineitem.num_rows * row_bytes / 1e6,
+        build_selectivity=build_sel,
+        probe_selectivity=probe_sel,
+    )
+    expected_mb = shuffle_network_mb(workload, NUM_NODES, NUM_NODES)
+    actual_mb = (result.build_stats.bytes_sent + result.probe_stats.bytes_sent) / 1e6
+    assert actual_mb == pytest.approx(expected_mb, rel=0.10)
+
+
+def test_broadcast_bytes_match_planner_estimate(tables):
+    orders, lineitem = tables
+    row_bytes = 20
+    cluster = FunctionalCluster(NUM_NODES, row_bytes=row_bytes)
+    build_sel = 0.2
+    result = cluster.broadcast_join(
+        partitions(orders, "o_custkey"),
+        partitions(lineitem, "l_shipdate"),
+        build_key="o_orderkey",
+        probe_key="l_orderkey",
+        build_predicate=predicate("o_orderdate", build_sel),
+    )
+    workload = JoinWorkloadSpec(
+        name="broadcast-parity",
+        build_volume_mb=orders.num_rows * row_bytes / 1e6,
+        probe_volume_mb=lineitem.num_rows * row_bytes / 1e6,
+        build_selectivity=build_sel,
+        probe_selectivity=1.0,
+    )
+    expected_mb = broadcast_network_mb(workload, NUM_NODES)
+    actual_mb = result.build_stats.bytes_sent / 1e6
+    assert actual_mb == pytest.approx(expected_mb, rel=0.10)
+
+
+def test_heterogeneous_routing_concentrates_on_join_nodes(tables):
+    """With 2 of 4 nodes joining, each join node ingests ~3/8 of qualifying
+    rows (vs 3/16 homogeneous) — the ingest-concentration effect."""
+    orders, lineitem = tables
+    cluster = FunctionalCluster(NUM_NODES)
+    hetero = cluster.shuffle_join(
+        partitions(orders, "o_custkey"),
+        partitions(lineitem, "l_shipdate"),
+        build_key="o_orderkey",
+        probe_key="l_orderkey",
+        join_node_ids=[0, 1],
+    )
+    homo = cluster.shuffle_join(
+        partitions(orders, "o_custkey"),
+        partitions(lineitem, "l_shipdate"),
+        build_key="o_orderkey",
+        probe_key="l_orderkey",
+    )
+    # same total network rows (the invariant the planner encodes)...
+    assert hetero.build_stats.rows_sent == pytest.approx(
+        homo.build_stats.rows_sent, rel=0.10
+    )
+    # ...but concentrated on half as many receivers
+    hetero_per_node = hetero.build_stats.rows_sent / 2
+    homo_per_node = homo.build_stats.rows_sent / 4
+    assert hetero_per_node == pytest.approx(2 * homo_per_node, rel=0.10)

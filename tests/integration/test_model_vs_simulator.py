@@ -1,0 +1,113 @@
+"""The analytical model and the fluid simulator must tell the same story.
+
+These are the library's own "Figure 8/9" checks, run over a wider grid than
+the paper's: absolute agreement for homogeneous clusters (both
+implementations compute the same physics) and normalized agreement for
+mixed clusters (where the model approximates barrier/ingest dynamics).
+"""
+
+import pytest
+
+from repro.core.model import ModelParameters, PStoreModel
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.presets import BEEFY_L5630, CLUSTER_V_NODE, WIMPY_LAPTOP_B
+from repro.pstore.engine import PStore, PStoreConfig
+from repro.pstore.plans import ExecutionMode
+from repro.workloads.queries import q3_join, section54_join
+
+SELECTIVITY_GRID = [(0.01, 0.01), (0.01, 0.10), (0.10, 0.05), (0.25, 0.25)]
+
+
+@pytest.mark.parametrize("sb,sp", SELECTIVITY_GRID)
+@pytest.mark.parametrize("size", [2, 4, 8])
+def test_homogeneous_cold_absolute_agreement(sb, sp, size):
+    cluster = ClusterSpec.homogeneous(CLUSTER_V_NODE, size)
+    engine = PStore(cluster, config=PStoreConfig(warm_cache=False), record_intervals=False)
+    model = PStoreModel(ModelParameters.from_cluster(cluster), warm_cache=False)
+    workload = section54_join(sb, sp)
+    if workload.hash_table_share_mb(size) > CLUSTER_V_NODE.memory_mb:
+        pytest.skip("hash table does not fit at this size (P-store has no 2-pass join)")
+    simulated = engine.simulate(workload, force_mode=ExecutionMode.HOMOGENEOUS)
+    predicted = model.predict(workload, mode=ExecutionMode.HOMOGENEOUS)
+    assert simulated.makespan_s == pytest.approx(predicted.time_s, rel=0.12)
+    assert simulated.energy_j == pytest.approx(predicted.energy_j, rel=0.12)
+
+
+@pytest.mark.parametrize("sb,sp", SELECTIVITY_GRID)
+def test_homogeneous_warm_absolute_agreement(sb, sp):
+    cluster = ClusterSpec.homogeneous(BEEFY_L5630, 4)
+    config = PStoreConfig(warm_cache=True, pipeline_cpu_cost=3.0)
+    engine = PStore(cluster, config=config, record_intervals=False)
+    model = PStoreModel(
+        ModelParameters.from_cluster(cluster), warm_cache=True, pipeline_cpu_cost=3.0
+    )
+    workload = q3_join(400, sb, sp)
+    simulated = engine.simulate(workload, force_mode=ExecutionMode.HOMOGENEOUS)
+    predicted = model.predict(workload, mode=ExecutionMode.HOMOGENEOUS)
+    assert simulated.makespan_s == pytest.approx(predicted.time_s, rel=0.10)
+    assert simulated.energy_j == pytest.approx(predicted.energy_j, rel=0.10)
+
+
+@pytest.mark.parametrize("orders_sel,mode", [
+    (0.01, ExecutionMode.HOMOGENEOUS),
+    (0.10, ExecutionMode.HETEROGENEOUS),
+])
+def test_mixed_cluster_normalized_agreement(orders_sel, mode):
+    """The paper's validation bounds: 5% homogeneous, 10% heterogeneous."""
+    wimpy = WIMPY_LAPTOP_B.with_overrides(nic_bandwidth_mbps=88.0)
+    cluster = ClusterSpec.beefy_wimpy(BEEFY_L5630, 2, wimpy, 2)
+    config = PStoreConfig(warm_cache=True, pipeline_cpu_cost=3.0)
+    engine = PStore(cluster, config=config, record_intervals=False)
+    model = PStoreModel(
+        ModelParameters.from_specs(BEEFY_L5630, 2, wimpy, 2),
+        warm_cache=True,
+        pipeline_cpu_cost=3.0,
+    )
+    tolerance = 0.05 if mode is ExecutionMode.HOMOGENEOUS else 0.10
+
+    observed, predicted = {}, {}
+    for ls in (0.01, 0.10, 0.50, 1.00):
+        workload = q3_join(400, orders_sel, ls)
+        observed[ls] = engine.simulate(workload, force_mode=mode)
+        predicted[ls] = model.predict(workload, mode=mode)
+    for ls in observed:
+        obs_rt = observed[ls].makespan_s / observed[1.00].makespan_s
+        mod_rt = predicted[ls].time_s / predicted[1.00].time_s
+        obs_e = observed[ls].energy_j / observed[1.00].energy_j
+        mod_e = predicted[ls].energy_j / predicted[1.00].energy_j
+        assert abs(obs_rt - mod_rt) <= tolerance, f"RT mismatch at L{ls:.0%}"
+        assert abs(obs_e - mod_e) <= tolerance, f"energy mismatch at L{ls:.0%}"
+
+
+def test_model_and_simulator_rank_designs_identically():
+    """What matters for design decisions: both rank the mixes the same."""
+    workload = section54_join(0.10, 0.02)
+    rankings = {}
+    for evaluator_name in ("model", "simulator"):
+        energies = []
+        for nb in (8, 6, 4, 2):
+            nw = 8 - nb
+            if evaluator_name == "model":
+                model = PStoreModel(
+                    ModelParameters.from_specs(CLUSTER_V_NODE, nb, WIMPY_LAPTOP_B, nw),
+                    warm_cache=False,
+                )
+                energies.append((nb, model.predict(workload).energy_j))
+            else:
+                wimpy = WIMPY_LAPTOP_B.with_overrides(
+                    disk_bandwidth_mbps=CLUSTER_V_NODE.disk_bandwidth_mbps,
+                    nic_bandwidth_mbps=CLUSTER_V_NODE.nic_bandwidth_mbps,
+                )
+                cluster = (
+                    ClusterSpec.homogeneous(CLUSTER_V_NODE, 8)
+                    if nw == 0
+                    else ClusterSpec.beefy_wimpy(CLUSTER_V_NODE, nb, wimpy, nw)
+                )
+                engine = PStore(
+                    cluster, config=PStoreConfig(warm_cache=False), record_intervals=False
+                )
+                energies.append((nb, engine.simulate(workload).energy_j))
+        rankings[evaluator_name] = [
+            nb for nb, _ in sorted(energies, key=lambda pair: pair[1])
+        ]
+    assert rankings["model"] == rankings["simulator"]

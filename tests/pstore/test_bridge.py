@@ -1,0 +1,121 @@
+"""One plan object, two executors: pricing and execution must agree."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
+from repro.pstore.bridge import execute_plan
+from repro.pstore.operators.hashjoin import hash_join_batches
+from repro.pstore.planner import plan_join
+from repro.pstore.plans import ExecutionMode
+from repro.workloads import datagen
+from repro.workloads.queries import JoinMethod, JoinWorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return datagen.generate_join_pair(0.003, seed=55)
+
+
+def workload(method=JoinMethod.SHUFFLE, sb=0.3, sp=0.3):
+    return JoinWorkloadSpec(
+        name="bridge-test",
+        build_volume_mb=100.0,
+        probe_volume_mb=400.0,
+        build_selectivity=sb,
+        probe_selectivity=sp,
+        method=method,
+    )
+
+
+def predicates(sb, sp):
+    build_cut = datagen.date_cutoff_for_selectivity(sb)
+    probe_cut = datagen.date_cutoff_for_selectivity(sp)
+    return (
+        lambda b: b.column("o_orderdate") < build_cut,
+        lambda b: b.column("l_shipdate") < probe_cut,
+    )
+
+
+def reference(tables, sb, sp):
+    orders, lineitem = tables
+    build_pred, probe_pred = predicates(sb, sp)
+    return hash_join_batches(
+        orders.filter(build_pred(orders)),
+        lineitem.filter(probe_pred(lineitem)),
+        key="o_orderkey",
+        probe_key="l_orderkey",
+    )
+
+
+CLUSTER = ClusterSpec.homogeneous(CLUSTER_V_NODE, 4)
+
+
+class TestBridge:
+    def test_shuffle_plan_executes_correctly(self, tables):
+        plan = plan_join(CLUSTER, workload())
+        build_pred, probe_pred = predicates(0.3, 0.3)
+        result = execute_plan(
+            plan, *tables,
+            build_predicate=build_pred, probe_predicate=probe_pred,
+        )
+        assert result.total_rows == reference(tables, 0.3, 0.3).num_rows
+        assert result.build_stats.rows_sent > 0
+
+    def test_broadcast_plan_executes_correctly(self, tables):
+        plan = plan_join(CLUSTER, workload(method=JoinMethod.BROADCAST, sb=0.1))
+        build_pred, probe_pred = predicates(0.1, 0.3)
+        result = execute_plan(
+            plan, *tables,
+            build_predicate=build_pred, probe_predicate=probe_pred,
+        )
+        assert result.total_rows == reference(tables, 0.1, 0.3).num_rows
+        # broadcast: probe stays local
+        assert result.probe_stats.rows_sent == 0
+
+    def test_heterogeneous_plan_uses_join_subset(self, tables):
+        mixed = ClusterSpec.beefy_wimpy(CLUSTER_V_NODE, 2, WIMPY_LAPTOP_B, 2)
+        plan = plan_join(
+            mixed, workload(), force_mode=ExecutionMode.HETEROGENEOUS
+        )
+        assert plan.num_join_nodes == 2
+        build_pred, probe_pred = predicates(0.3, 0.3)
+        result = execute_plan(
+            plan, *tables,
+            build_predicate=build_pred, probe_predicate=probe_pred,
+        )
+        assert result.total_rows == reference(tables, 0.3, 0.3).num_rows
+        assert len(result.per_node_result_rows) == 2
+
+    def test_local_plan_requires_compatible_placement(self, tables):
+        plan = plan_join(CLUSTER, workload(method=JoinMethod.LOCAL))
+        with pytest.raises(PlanError, match="partitioned on"):
+            execute_plan(plan, *tables)  # default Q3 placement: incompatible
+
+    def test_local_plan_with_compatible_placement(self, tables):
+        plan = plan_join(CLUSTER, workload(method=JoinMethod.LOCAL))
+        build_pred, probe_pred = predicates(0.3, 0.3)
+        result = execute_plan(
+            plan, *tables,
+            build_predicate=build_pred, probe_predicate=probe_pred,
+            build_placement=None, probe_placement=None,
+        )
+        assert result.total_rows == reference(tables, 0.3, 0.3).num_rows
+        # partition-compatible: no rows cross the network
+        assert result.build_stats.rows_sent == 0
+        assert result.probe_stats.rows_sent == 0
+
+    def test_all_methods_same_answer(self, tables):
+        """Pricing may differ wildly; answers never do."""
+        build_pred, probe_pred = predicates(0.1, 0.3)
+        counts = set()
+        for method in (JoinMethod.SHUFFLE, JoinMethod.BROADCAST):
+            plan = plan_join(CLUSTER, workload(method=method, sb=0.1))
+            result = execute_plan(
+                plan, *tables,
+                build_predicate=build_pred, probe_predicate=probe_pred,
+            )
+            counts.add(result.total_rows)
+        assert len(counts) == 1

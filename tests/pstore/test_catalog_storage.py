@@ -1,0 +1,105 @@
+"""Catalog placement metadata and functional partitioned storage."""
+
+import numpy as np
+import pytest
+
+from repro.data import RecordBatch
+from repro.errors import ExecutionError, WorkloadError
+from repro.pstore.catalog import Catalog, CatalogTable, PartitionKind, PartitionScheme
+from repro.pstore.operators.exchange import hash_key_to_node
+from repro.pstore.storage import PartitionedStore
+from repro.workloads import tpch
+
+
+def test_scheme_builders():
+    h = PartitionScheme.hash("l_orderkey")
+    assert h.kind is PartitionKind.HASH
+    r = PartitionScheme.replicated()
+    assert r.kind is PartitionKind.REPLICATED
+
+
+def test_scheme_validation():
+    with pytest.raises(WorkloadError):
+        PartitionScheme(kind=PartitionKind.HASH, attribute=None)
+    with pytest.raises(WorkloadError):
+        PartitionScheme(kind=PartitionKind.REPLICATED, attribute="x")
+
+
+def test_compatibility():
+    assert PartitionScheme.hash("a").compatible_with_key("a")
+    assert not PartitionScheme.hash("a").compatible_with_key("b")
+    assert PartitionScheme.replicated().compatible_with_key("anything")
+
+
+def test_paper_layout_compatibility():
+    """Section 3.1's layout decides which joins repartition."""
+    catalog = Catalog.paper_layout()
+    # CUSTOMER x ORDERS on custkey: both hashed on custkey -> compatible.
+    assert catalog.join_is_partition_compatible(
+        "customer", "orders", "c_custkey", "o_custkey"
+    )
+    # ORDERS x LINEITEM on orderkey: ORDERS is on custkey -> incompatible.
+    assert not catalog.join_is_partition_compatible(
+        "orders", "lineitem", "o_orderkey", "l_orderkey"
+    )
+    # replicated NATION joins compatibly with anything
+    assert catalog.join_is_partition_compatible(
+        "nation", "supplier", "n_nationkey", "s_nationkey"
+    ) is PartitionScheme.hash("s_suppkey").compatible_with_key("s_suppkey")
+
+
+def test_catalog_registry():
+    catalog = Catalog()
+    table = CatalogTable(tpch.ORDERS, PartitionScheme.hash("o_custkey"))
+    catalog.register(table)
+    assert "orders" in catalog
+    assert catalog.table("orders") is table
+    with pytest.raises(WorkloadError, match="already registered"):
+        catalog.register(table)
+    with pytest.raises(WorkloadError, match="unknown table"):
+        catalog.table("ghost")
+
+
+def make_batch(n=1000):
+    return RecordBatch(
+        {"key": np.arange(n, dtype=np.int64), "v": np.ones(n)}
+    )
+
+
+class TestPartitionedStore:
+    def test_hash_partitioning_complete_and_disjoint(self):
+        store = PartitionedStore("t", make_batch(), PartitionScheme.hash("key"), 4)
+        assert store.total_rows == 1000
+        seen = np.concatenate([p.column("key") for p in store.partitions()])
+        assert sorted(seen) == list(range(1000))
+
+    def test_placement_matches_exchange_routing(self):
+        """Partition-compatible joins find all rows locally."""
+        data = make_batch(500)
+        store = PartitionedStore("t", data, PartitionScheme.hash("key"), 4)
+        expected = hash_key_to_node(data.column("key"), 4)
+        for node in range(4):
+            keys = store.partition(node).column("key")
+            assert np.array_equal(
+                hash_key_to_node(keys, 4), np.full(len(keys), node)
+            )
+            assert len(keys) == int(np.sum(expected == node))
+
+    def test_replicated(self):
+        store = PartitionedStore("t", make_batch(100), PartitionScheme.replicated(), 3)
+        assert all(p.num_rows == 100 for p in store.partitions())
+        assert store.total_rows == 100
+        assert store.imbalance() == 1.0
+
+    def test_imbalance_near_one_for_uniform_keys(self):
+        store = PartitionedStore("t", make_batch(20_000), PartitionScheme.hash("key"), 4)
+        assert store.imbalance() == pytest.approx(1.0, abs=0.1)
+
+    def test_partition_bounds(self):
+        store = PartitionedStore("t", make_batch(10), PartitionScheme.hash("key"), 2)
+        with pytest.raises(ExecutionError):
+            store.partition(2)
+
+    def test_invalid_num_nodes(self):
+        with pytest.raises(ExecutionError):
+            PartitionedStore("t", make_batch(10), PartitionScheme.hash("key"), 0)

@@ -1,0 +1,90 @@
+"""The PStore facade: plan/simulate/explain wiring."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.presets import BEEFY_L5630, CLUSTER_V_NODE, WIMPY_LAPTOP_B
+from repro.pstore.engine import PStore, PStoreConfig
+from repro.pstore.plans import ExecutionMode, JoinPlan
+from repro.simulator.network import SMC_GS5_SWITCH
+from repro.workloads.queries import JoinMethod, q3_join, section54_join
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return PStore(
+        ClusterSpec.homogeneous(CLUSTER_V_NODE, 4),
+        config=PStoreConfig(warm_cache=True),
+        record_intervals=False,
+    )
+
+
+def test_plan_returns_join_plan(engine):
+    plan = engine.plan(q3_join(100))
+    assert isinstance(plan, JoinPlan)
+    assert plan.cluster is engine.cluster
+
+
+def test_config_propagates_to_plans(engine):
+    config = PStoreConfig(warm_cache=False, pipeline_cpu_cost=2.5, receive_cpu_cost=0.3)
+    cold_engine = PStore(ClusterSpec.homogeneous(CLUSTER_V_NODE, 4), config=config)
+    plan = cold_engine.plan(q3_join(100))
+    assert plan.warm_cache is False
+    assert plan.pipeline_cpu_cost == 2.5
+    assert plan.receive_cpu_cost == 0.3
+
+
+def test_simulate_accepts_workload_or_plan(engine):
+    workload = q3_join(100)
+    via_workload = engine.simulate(workload)
+    via_plan = engine.simulate(engine.plan(workload))
+    assert via_workload.makespan_s == pytest.approx(via_plan.makespan_s)
+    assert via_workload.energy_j == pytest.approx(via_plan.energy_j)
+
+
+def test_force_mode_passes_through():
+    mixed = PStore(
+        ClusterSpec.beefy_wimpy(BEEFY_L5630, 2, WIMPY_LAPTOP_B, 2),
+        config=PStoreConfig(warm_cache=True),
+        record_intervals=False,
+    )
+    plan = mixed.plan(q3_join(400, 0.01, 0.50), force_mode=ExecutionMode.HETEROGENEOUS)
+    assert plan.mode is ExecutionMode.HETEROGENEOUS
+    result = mixed.simulate(
+        q3_join(400, 0.01, 0.50), force_mode=ExecutionMode.HETEROGENEOUS
+    )
+    assert result.makespan_s > 0
+
+
+def test_switch_is_used(engine):
+    contended = PStore(
+        ClusterSpec.homogeneous(CLUSTER_V_NODE, 4),
+        switch=SMC_GS5_SWITCH,
+        config=PStoreConfig(warm_cache=True),
+        record_intervals=False,
+    )
+    workload = q3_join(1000, 0.05, 0.05)  # network-bound
+    assert contended.simulate(workload).makespan_s > engine.simulate(workload).makespan_s
+
+
+def test_explain_returns_text(engine):
+    text = engine.explain(q3_join(100))
+    assert "JoinPlan" in text
+    assert "shuffle" in text
+
+
+def test_plan_errors_surface(engine):
+    huge = section54_join(1.0, 0.01)  # 700 GB hash table: nothing fits
+    with pytest.raises(PlanError):
+        engine.plan(huge)
+
+
+def test_broadcast_plan_through_facade(engine):
+    result = engine.simulate(q3_join(100, 0.01, 0.05, method=JoinMethod.BROADCAST))
+    assert result.makespan_s > 0
+
+
+def test_stream_facade(engine):
+    result = engine.simulate_stream(q3_join(100), [0.0, 100.0])
+    assert result.job_start_s["join#1"] == pytest.approx(100.0)

@@ -1,0 +1,272 @@
+"""Functional P-store operators: scan, filter, project, join, aggregate."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data import RecordBatch
+from repro.errors import ExecutionError
+from repro.pstore.operators.aggregate import HashAggregate, merge_partial_aggregates
+from repro.pstore.operators.base import Operator
+from repro.pstore.operators.exchange import (
+    broadcast_batches,
+    hash_key_to_node,
+    hash_partition,
+)
+from repro.pstore.operators.filter import Filter, column_between, column_less_than
+from repro.pstore.operators.hashjoin import HashJoin, hash_join_batches
+from repro.pstore.operators.project import Project
+from repro.pstore.operators.scan import MemoryScan
+
+
+def batch(**cols):
+    return RecordBatch({k: np.asarray(v) for k, v in cols.items()})
+
+
+SAMPLE = batch(k=[1, 2, 3, 4, 5, 6], v=[10.0, 20.0, 30.0, 40.0, 50.0, 60.0])
+
+
+class TestScan:
+    def test_passthrough(self):
+        out = MemoryScan([SAMPLE]).collect()
+        assert out.num_rows == 6
+
+    def test_reblocking(self):
+        blocks = list(MemoryScan([SAMPLE], batch_rows=4))
+        assert [b.num_rows for b in blocks] == [4, 2]
+
+    def test_multiple_partitions(self):
+        out = MemoryScan([SAMPLE, SAMPLE]).collect()
+        assert out.num_rows == 12
+
+    def test_skips_empty_partitions(self):
+        empty = SAMPLE.take(np.arange(0))
+        assert list(MemoryScan([empty])) == []
+
+    def test_invalid_batch_rows(self):
+        with pytest.raises(ExecutionError):
+            MemoryScan([SAMPLE], batch_rows=0)
+
+
+class TestFilter:
+    def test_predicate_filters_rows(self):
+        out = Filter(MemoryScan([SAMPLE]), column_less_than("k", 4)).collect()
+        assert list(out.column("k")) == [1, 2, 3]
+
+    def test_between(self):
+        out = Filter(MemoryScan([SAMPLE]), column_between("k", 2, 5)).collect()
+        assert list(out.column("k")) == [2, 3, 4]
+
+    def test_empty_batches_suppressed(self):
+        op = Filter(MemoryScan([SAMPLE]), column_less_than("k", -1))
+        assert list(op) == []
+
+    def test_non_bool_mask_rejected(self):
+        op = Filter(MemoryScan([SAMPLE]), lambda b: b.column("k"))
+        with pytest.raises(ExecutionError, match="dtype"):
+            list(op)
+
+    def test_wrong_shape_mask_rejected(self):
+        op = Filter(MemoryScan([SAMPLE]), lambda b: np.array([True]))
+        with pytest.raises(ExecutionError, match="shape"):
+            list(op)
+
+
+class TestProject:
+    def test_column_subset(self):
+        out = Project(MemoryScan([SAMPLE]), ["v"]).collect()
+        assert out.column_names == ("v",)
+
+    def test_rename(self):
+        out = Project(MemoryScan([SAMPLE]), ["k"], rename={"k": "key"}).collect()
+        assert out.column_names == ("key",)
+
+
+class TestHashJoin:
+    def test_one_to_one(self):
+        build = batch(k=[1, 2, 3], b=[100, 200, 300])
+        probe = batch(k=[2, 3, 4], p=[20, 30, 40])
+        out = hash_join_batches(build, probe, key="k")
+        assert sorted(out.column("k")) == [2, 3]
+        assert sorted(out.column("b")) == [200, 300]
+        assert sorted(out.column("p")) == [20, 30]
+
+    def test_duplicates_on_both_sides(self):
+        build = batch(k=[1, 1, 2], b=[10, 11, 20])
+        probe = batch(k=[1, 1], p=[5, 6])
+        out = hash_join_batches(build, probe, key="k")
+        assert out.num_rows == 4  # 2 build x 2 probe matches for key 1
+
+    def test_no_matches_preserves_schema(self):
+        build = batch(k=[1], b=[10])
+        probe = batch(k=[99], p=[5])
+        out = hash_join_batches(build, probe, key="k")
+        assert out.num_rows == 0
+        assert set(out.column_names) == {"k", "b", "p"}
+
+    def test_matches_numpy_reference(self):
+        rng = np.random.default_rng(0)
+        build = batch(k=rng.integers(0, 50, 200), b=rng.integers(0, 1000, 200))
+        probe = batch(k=rng.integers(0, 50, 300), p=rng.integers(0, 1000, 300))
+        out = hash_join_batches(build, probe, key="k")
+        expected = sum(
+            int(np.sum(build.column("k") == key)) for key in probe.column("k")
+        )
+        assert out.num_rows == expected
+
+    def test_join_values_are_consistent(self):
+        """Every output row must pair a real build row with a real probe row."""
+        build = batch(k=[1, 2, 3], b=[10, 20, 30])
+        probe = batch(k=[1, 2, 2, 3], p=[100, 200, 201, 300])
+        out = hash_join_batches(build, probe, key="k")
+        build_map = dict(zip(build.column("k"), build.column("b")))
+        for key, b_val in zip(out.column("k"), out.column("b")):
+            assert build_map[key] == b_val
+
+    def test_streaming_operator(self):
+        build = MemoryScan([batch(k=[1, 2], b=[10, 20])])
+        probe = MemoryScan([batch(k=[1], p=[5]), batch(k=[2], p=[6])], batch_rows=1)
+        out = HashJoin(build, probe, "k", "k").collect()
+        assert out.num_rows == 2
+
+    def test_memory_limit_enforced(self):
+        build = MemoryScan([batch(k=np.arange(1000), b=np.arange(1000))])
+        probe = MemoryScan([batch(k=[1], p=[5])])
+        join = HashJoin(build, probe, "k", "k", memory_limit_mb=1e-6)
+        with pytest.raises(ExecutionError, match="2-pass"):
+            list(join)
+
+    def test_different_key_names(self):
+        build = batch(bk=[1, 2], b=[10, 20])
+        probe = batch(pk=[2], p=[7])
+        out = hash_join_batches(build, probe, key="bk", probe_key="pk")
+        assert out.num_rows == 1
+        assert 7 in out.column("p")
+
+    def test_non_integer_key_rejected(self):
+        build = batch(k=[1.5, 2.5], b=[1, 2])
+        probe = batch(k=[1, 2], p=[1, 2])
+        with pytest.raises(ExecutionError, match="integer"):
+            hash_join_batches(build, probe, key="k")
+
+    @given(
+        st.lists(st.integers(0, 20), min_size=0, max_size=50),
+        st.lists(st.integers(0, 20), min_size=0, max_size=50),
+    )
+    def test_property_match_count(self, build_keys, probe_keys):
+        if not build_keys or not probe_keys:
+            return
+        build = batch(k=np.asarray(build_keys, dtype=np.int64))
+        probe = batch(
+            k=np.asarray(probe_keys, dtype=np.int64),
+            p=np.arange(len(probe_keys)),
+        )
+        out = hash_join_batches(build, probe, key="k")
+        expected = sum(build_keys.count(key) for key in probe_keys)
+        assert out.num_rows == expected
+
+
+class TestExchange:
+    def test_partitions_are_disjoint_and_complete(self):
+        parts = hash_partition(SAMPLE, key="k", num_nodes=3)
+        assert sum(p.num_rows for p in parts) == SAMPLE.num_rows
+        all_keys = sorted(k for p in parts for k in p.column("k"))
+        assert all_keys == sorted(SAMPLE.column("k"))
+
+    def test_routing_is_deterministic(self):
+        a = hash_key_to_node(np.arange(100, dtype=np.int64), 4)
+        b = hash_key_to_node(np.arange(100, dtype=np.int64), 4)
+        assert np.array_equal(a, b)
+
+    def test_same_key_same_node(self):
+        keys = np.asarray([7, 7, 7, 7], dtype=np.int64)
+        assert len(np.unique(hash_key_to_node(keys, 8))) == 1
+
+    def test_routing_roughly_balanced(self):
+        keys = np.arange(10_000, dtype=np.int64)
+        assignment = hash_key_to_node(keys, 4)
+        counts = np.bincount(assignment, minlength=4)
+        assert counts.min() > 0.8 * counts.mean()
+
+    def test_broadcast(self):
+        copies = broadcast_batches(SAMPLE, 3)
+        assert len(copies) == 3
+        assert all(c.num_rows == SAMPLE.num_rows for c in copies)
+
+    def test_invalid_num_nodes(self):
+        with pytest.raises(ExecutionError):
+            hash_key_to_node(np.arange(3), 0)
+        with pytest.raises(ExecutionError):
+            broadcast_batches(SAMPLE, 0)
+
+    @given(st.integers(1, 16))
+    def test_property_partition_count(self, n):
+        parts = hash_partition(SAMPLE, key="k", num_nodes=n)
+        assert len(parts) == n
+        assert sum(p.num_rows for p in parts) == SAMPLE.num_rows
+
+
+class TestAggregate:
+    def test_group_by_sum_and_count(self):
+        data = batch(g=[1, 1, 2, 2, 2], x=[1.0, 2.0, 3.0, 4.0, 5.0])
+        out = HashAggregate(
+            MemoryScan([data]),
+            group_by=["g"],
+            aggregates={"total": ("sum", "x"), "n": ("count", "x")},
+        ).collect()
+        by_group = dict(zip(out.column("g"), out.column("total")))
+        assert by_group == {1: 3.0, 2: 12.0}
+        counts = dict(zip(out.column("g"), out.column("n")))
+        assert counts == {1: 2, 2: 3}
+
+    def test_min_max_mean(self):
+        data = batch(g=[1, 1, 1], x=[5.0, 1.0, 3.0])
+        out = HashAggregate(
+            MemoryScan([data]),
+            group_by=["g"],
+            aggregates={
+                "lo": ("min", "x"),
+                "hi": ("max", "x"),
+                "avg": ("mean", "x"),
+            },
+        ).collect()
+        assert out.column("lo")[0] == 1.0
+        assert out.column("hi")[0] == 5.0
+        assert out.column("avg")[0] == pytest.approx(3.0)
+
+    def test_multi_column_group_by(self):
+        data = batch(a=[1, 1, 2], b=[1, 2, 1], x=[1.0, 1.0, 1.0])
+        out = HashAggregate(
+            MemoryScan([data]), group_by=["a", "b"], aggregates={"n": ("count", "x")}
+        ).collect()
+        assert out.num_rows == 3
+
+    def test_unsupported_function(self):
+        with pytest.raises(ExecutionError, match="unsupported"):
+            HashAggregate(
+                MemoryScan([SAMPLE]), group_by=["k"], aggregates={"z": ("median", "v")}
+            )
+
+    def test_requires_group_and_aggregates(self):
+        with pytest.raises(ExecutionError):
+            HashAggregate(MemoryScan([SAMPLE]), group_by=[], aggregates={"n": ("count", "v")})
+        with pytest.raises(ExecutionError):
+            HashAggregate(MemoryScan([SAMPLE]), group_by=["k"], aggregates={})
+
+    def test_merge_partial_aggregates(self):
+        """Parallel Q1: local partial sums merge to the global answer."""
+        p1 = batch(g=[1, 2], total=[3.0, 4.0])
+        p2 = batch(g=[1, 3], total=[2.0, 9.0])
+        merged = merge_partial_aggregates([p1, p2], group_by=["g"], sum_columns=["total"])
+        result = dict(zip(merged.column("g"), merged.column("total")))
+        assert result == {1: 5.0, 2: 4.0, 3: 9.0}
+
+
+class TestOperatorBase:
+    def test_total_rows(self):
+        assert MemoryScan([SAMPLE]).total_rows() == 6
+
+    def test_operator_is_abstract(self):
+        with pytest.raises(TypeError):
+            Operator()  # type: ignore[abstract]

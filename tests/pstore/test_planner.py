@@ -1,0 +1,175 @@
+"""The P-store planner: execution-mode and join-method resolution."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.presets import BEEFY_L5630, CLUSTER_V_NODE, WIMPY_LAPTOP_B
+from repro.pstore.planner import broadcast_network_mb, plan_join, shuffle_network_mb
+from repro.pstore.plans import ExecutionMode
+from repro.workloads.queries import JoinMethod, JoinWorkloadSpec, q3_join, section54_join
+
+
+def workload(build_mb, sel=0.1, probe_mb=None, method=JoinMethod.SHUFFLE):
+    return JoinWorkloadSpec(
+        name="w",
+        build_volume_mb=build_mb,
+        probe_volume_mb=probe_mb or build_mb * 4,
+        build_selectivity=sel,
+        probe_selectivity=0.05,
+        method=method,
+    )
+
+
+BW = ClusterSpec.beefy_wimpy(CLUSTER_V_NODE, 2, WIMPY_LAPTOP_B, 6)
+AB = ClusterSpec.homogeneous(CLUSTER_V_NODE, 8)
+
+
+class TestModeSelection:
+    def test_homogeneous_when_hash_table_fits(self):
+        """Figure 10(a)'s case: 875 MB/node fits the 7 GB Wimpy memory."""
+        plan = plan_join(BW, section54_join(0.01, 0.10))
+        assert plan.mode is ExecutionMode.HOMOGENEOUS
+        assert plan.num_join_nodes == 8
+
+    def test_heterogeneous_when_wimpy_memory_insufficient(self):
+        """Figure 10(b)'s case: 8.75 GB/node exceeds Wimpy's 7 GB."""
+        plan = plan_join(BW, section54_join(0.10, 0.10))
+        assert plan.mode is ExecutionMode.HETEROGENEOUS
+        assert plan.num_join_nodes == 2  # beefy nodes only
+
+    def test_infeasible_when_beefy_memory_insufficient(self):
+        """'1 Beefy node cannot build the entire hash table.'"""
+        one_beefy = ClusterSpec.beefy_wimpy(CLUSTER_V_NODE, 1, WIMPY_LAPTOP_B, 7)
+        with pytest.raises(PlanError, match="heterogeneous"):
+            plan_join(one_beefy, section54_join(0.10, 0.10))
+
+    def test_infeasible_all_wimpy(self):
+        all_wimpy = ClusterSpec.beefy_wimpy(CLUSTER_V_NODE, 0, WIMPY_LAPTOP_B, 8)
+        with pytest.raises(PlanError, match="2-pass"):
+            plan_join(all_wimpy, section54_join(0.10, 0.10))
+
+    def test_homogeneous_cluster_out_of_memory(self):
+        tiny = ClusterSpec.homogeneous(
+            CLUSTER_V_NODE.with_overrides(memory_mb=100.0), 4
+        )
+        with pytest.raises(PlanError):
+            plan_join(tiny, section54_join(0.10, 0.10))
+
+    def test_force_heterogeneous(self):
+        """Section 5.2's SF400 runs: hetero despite tiny hash shares."""
+        cluster = ClusterSpec.beefy_wimpy(BEEFY_L5630, 2, WIMPY_LAPTOP_B, 2)
+        plan = plan_join(
+            cluster, q3_join(400, 0.10, 0.50), force_mode=ExecutionMode.HETEROGENEOUS
+        )
+        assert plan.mode is ExecutionMode.HETEROGENEOUS
+        assert plan.num_join_nodes == 2
+
+    def test_force_homogeneous_fails_when_impossible(self):
+        with pytest.raises(PlanError, match="forced"):
+            plan_join(
+                BW, section54_join(0.10, 0.10), force_mode=ExecutionMode.HOMOGENEOUS
+            )
+
+
+class TestMethodSelection:
+    def test_explicit_shuffle(self):
+        plan = plan_join(AB, q3_join(1000))
+        assert plan.method is JoinMethod.SHUFFLE
+
+    def test_local_method(self):
+        plan = plan_join(AB, workload(1000.0, method=JoinMethod.LOCAL))
+        assert plan.method is JoinMethod.LOCAL
+        assert plan.mode is ExecutionMode.HOMOGENEOUS
+
+    def test_broadcast_feasible(self):
+        plan = plan_join(AB, q3_join(1000, 0.01, 0.05, method=JoinMethod.BROADCAST))
+        assert plan.method is JoinMethod.BROADCAST
+        # full qualifying table on every node
+        assert plan.hash_table_share_mb() == pytest.approx(300.0)
+
+    def test_broadcast_infeasible_memory(self):
+        big = workload(CLUSTER_V_NODE.memory_mb * 2, sel=1.0, method=JoinMethod.BROADCAST)
+        with pytest.raises(PlanError, match="broadcast"):
+            plan_join(AB, big)
+
+    def test_broadcast_infeasible_heterogeneous(self):
+        with pytest.raises(PlanError):
+            plan_join(
+                BW,
+                section54_join(0.10, 0.10).with_method(JoinMethod.BROADCAST),
+            )
+
+    def test_auto_picks_broadcast_for_tiny_build(self):
+        """A 1%-selective small build table is cheaper to broadcast."""
+        q = workload(100.0, sel=0.01, probe_mb=100_000.0, method=JoinMethod.AUTO)
+        plan = plan_join(AB, q)
+        assert plan.method is JoinMethod.BROADCAST
+        assert any("auto-chose" in note for note in plan.notes)
+
+    def test_auto_picks_shuffle_for_large_build(self):
+        q = workload(50_000.0, sel=1.0, probe_mb=50_000.0, method=JoinMethod.AUTO)
+        plan = plan_join(AB, q)
+        assert plan.method is JoinMethod.SHUFFLE
+
+
+class TestNetworkVolumes:
+    def test_shuffle_homogeneous_fraction(self):
+        q = workload(8000.0, sel=0.5, probe_mb=8000.0)
+        # qualifying = 4000 + 400; each node keeps 1/8
+        expected = (4000.0 + 400.0) * 7 / 8
+        assert shuffle_network_mb(q, 8, 8) == pytest.approx(expected)
+
+    def test_shuffle_total_traffic_independent_of_join_nodes(self):
+        """Total shuffle bytes are (n-1)/n * qualifying regardless of how many
+        nodes build hash tables — heterogeneity *concentrates* ingestion on
+        the Beefy NICs (Section 5.4's bottleneck) without adding bytes."""
+        q = workload(8000.0, sel=0.5)
+        assert shuffle_network_mb(q, 8, 2) == pytest.approx(
+            shuffle_network_mb(q, 8, 8)
+        )
+        # but per-receiver ingest doubles going from 8 to 2 join nodes
+        per_receiver_m2 = shuffle_network_mb(q, 8, 2) / 2
+        per_receiver_m8 = shuffle_network_mb(q, 8, 8) / 8
+        assert per_receiver_m2 == pytest.approx(4 * per_receiver_m8)
+
+    def test_broadcast_scales_with_nodes(self):
+        """The algorithmic bottleneck: volume grows ~linearly with n."""
+        q = workload(1000.0, sel=0.1)
+        assert broadcast_network_mb(q, 16) == pytest.approx(100.0 * 15)
+        assert broadcast_network_mb(q, 32) == pytest.approx(100.0 * 31)
+
+    def test_shuffle_invalid_join_nodes(self):
+        with pytest.raises(PlanError):
+            shuffle_network_mb(workload(10.0), 4, 0)
+
+
+class TestPlanObject:
+    def test_explain_mentions_key_facts(self):
+        plan = plan_join(BW, section54_join(0.10, 0.10))
+        text = plan.explain()
+        assert "heterogeneous" in text
+        assert "shuffle" in text
+        assert "hash table/node" in text
+
+    def test_plan_validation(self):
+        plan = plan_join(AB, q3_join(1000))
+        with pytest.raises(PlanError):
+            type(plan)(
+                workload=plan.workload,
+                cluster=plan.cluster,
+                method=JoinMethod.AUTO,  # unresolved
+                mode=plan.mode,
+                join_node_ids=plan.join_node_ids,
+            )
+
+    def test_join_node_ids_validated(self):
+        plan = plan_join(AB, q3_join(1000))
+        with pytest.raises(PlanError, match="out of range"):
+            type(plan)(
+                workload=plan.workload,
+                cluster=plan.cluster,
+                method=plan.method,
+                mode=plan.mode,
+                join_node_ids=(99,),
+            )

@@ -1,0 +1,114 @@
+"""The functional parallel Q1 pipeline (scan -> filter -> extend -> aggregate)."""
+
+import numpy as np
+import pytest
+
+from repro.data import RecordBatch
+from repro.errors import ExecutionError
+from repro.pstore.catalog import PartitionScheme
+from repro.pstore.operators.extend import Extend
+from repro.pstore.operators.scan import MemoryScan
+from repro.pstore.queries import parallel_q1, q1_local_aggregate, single_node_q1
+from repro.pstore.storage import PartitionedStore
+from repro.workloads import datagen
+
+CUTOFF = datagen.date_cutoff_for_selectivity(0.95)
+
+
+@pytest.fixture(scope="module")
+def lineitem():
+    return datagen.generate_lineitem(0.005, seed=17)
+
+
+def partitions(batch, n=4):
+    return PartitionedStore(
+        "lineitem", batch, PartitionScheme.hash("l_orderkey"), n
+    ).partitions()
+
+
+class TestExtendOperator:
+    def test_appends_column(self):
+        batch = RecordBatch({"x": np.array([1.0, 2.0])})
+        out = Extend(MemoryScan([batch]), "y", lambda b: b.column("x") * 2).collect()
+        assert list(out.column("y")) == [2.0, 4.0]
+        assert out.column_names == ("x", "y")
+
+    def test_duplicate_column_rejected(self):
+        batch = RecordBatch({"x": np.array([1.0])})
+        op = Extend(MemoryScan([batch]), "x", lambda b: b.column("x"))
+        with pytest.raises(ExecutionError, match="already exists"):
+            list(op)
+
+    def test_wrong_shape_rejected(self):
+        batch = RecordBatch({"x": np.array([1.0, 2.0])})
+        op = Extend(MemoryScan([batch]), "y", lambda b: np.array([1.0]))
+        with pytest.raises(ExecutionError, match="shape"):
+            list(op)
+
+
+class TestParallelQ1:
+    def test_matches_single_node_reference(self, lineitem):
+        parallel = parallel_q1(partitions(lineitem), CUTOFF)
+        reference = single_node_q1(lineitem, CUTOFF)
+        assert parallel.num_rows == reference.num_rows
+        for column in ("sum_qty", "sum_base_price", "sum_disc_price", "count_order"):
+            assert np.allclose(parallel.column(column), reference.column(column))
+
+    def test_six_groups(self, lineitem):
+        """3 returnflags x 2 linestatuses."""
+        result = parallel_q1(partitions(lineitem), CUTOFF)
+        assert result.num_rows == 6
+
+    def test_counts_cover_qualifying_rows(self, lineitem):
+        result = parallel_q1(partitions(lineitem), CUTOFF)
+        qualifying = int(np.sum(lineitem.column("l_shipdate") <= CUTOFF))
+        assert int(result.column("count_order").sum()) == qualifying
+
+    def test_averages_consistent(self, lineitem):
+        result = parallel_q1(partitions(lineitem), CUTOFF)
+        assert np.allclose(
+            result.column("avg_qty"),
+            result.column("sum_qty") / result.column("count_order"),
+        )
+
+    def test_disc_price_expression(self, lineitem):
+        """sum_disc_price must equal sum of price*(1-discount) per group."""
+        result = parallel_q1(partitions(lineitem), CUTOFF)
+        mask = lineitem.column("l_shipdate") <= CUTOFF
+        flags = lineitem.column("l_returnflag")[mask]
+        statuses = lineitem.column("l_linestatus")[mask]
+        disc_price = (
+            lineitem.column("l_extendedprice")[mask]
+            * (1.0 - lineitem.column("l_discount")[mask])
+        )
+        for row in range(result.num_rows):
+            flag = result.column("l_returnflag")[row]
+            status = result.column("l_linestatus")[row]
+            expected = disc_price[(flags == flag) & (statuses == status)].sum()
+            assert result.column("sum_disc_price")[row] == pytest.approx(expected)
+
+    def test_output_sorted_by_group(self, lineitem):
+        result = parallel_q1(partitions(lineitem), CUTOFF)
+        keys = list(zip(result.column("l_returnflag"), result.column("l_linestatus")))
+        assert keys == sorted(keys)
+
+    def test_partition_count_invariance(self, lineitem):
+        """Q1 is perfectly partitionable: any node count, same answer."""
+        two = parallel_q1(partitions(lineitem, 2), CUTOFF)
+        eight = parallel_q1(partitions(lineitem, 8), CUTOFF)
+        assert np.allclose(two.column("sum_qty"), eight.column("sum_qty"))
+
+    def test_local_aggregate_is_small(self, lineitem):
+        """The reason Q1 scales: partials are tiny (<= 6 rows/node)."""
+        for partition in partitions(lineitem):
+            partial = q1_local_aggregate(partition, CUTOFF)
+            assert partial is not None
+            assert partial.num_rows <= 6
+
+    def test_empty_selection_raises(self, lineitem):
+        with pytest.raises(ExecutionError, match="no rows"):
+            parallel_q1(partitions(lineitem), date_cutoff=-1)
+
+    def test_needs_partitions(self):
+        with pytest.raises(ExecutionError):
+            parallel_q1([], CUTOFF)

@@ -1,0 +1,156 @@
+"""Functional TPC-H Q3 (join + revenue aggregation + top-k) and TopK operator."""
+
+import numpy as np
+import pytest
+
+from repro.data import RecordBatch
+from repro.errors import ExecutionError
+from repro.pstore.catalog import PartitionScheme
+from repro.pstore.operators.scan import MemoryScan
+from repro.pstore.operators.topk import TopK, merge_top_k
+from repro.pstore.queries import parallel_q3, single_node_q3
+from repro.pstore.storage import PartitionedStore
+from repro.workloads import datagen
+
+ORDER_CUTOFF = datagen.date_cutoff_for_selectivity(0.6)
+SHIP_CUTOFF = datagen.date_cutoff_for_selectivity(0.4)
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return datagen.generate_join_pair(0.004, seed=91)
+
+
+def partitioned(batch, key, n=4):
+    return PartitionedStore("t", batch, PartitionScheme.hash(key), n).partitions()
+
+
+class TestTopKOperator:
+    def test_keeps_k_largest(self):
+        batch = RecordBatch({"v": np.array([5.0, 1.0, 9.0, 3.0, 7.0])})
+        out = TopK(MemoryScan([batch]), by="v", k=2).collect()
+        assert list(out.column("v")) == [9.0, 7.0]
+
+    def test_ascending(self):
+        batch = RecordBatch({"v": np.array([5.0, 1.0, 9.0])})
+        out = TopK(MemoryScan([batch]), by="v", k=2, ascending=True).collect()
+        assert list(out.column("v")) == [1.0, 5.0]
+
+    def test_k_larger_than_input(self):
+        batch = RecordBatch({"v": np.array([2.0, 1.0])})
+        out = TopK(MemoryScan([batch]), by="v", k=10).collect()
+        assert list(out.column("v")) == [2.0, 1.0]
+
+    def test_streaming_across_batches(self):
+        batches = [
+            RecordBatch({"v": np.array([1.0, 8.0])}),
+            RecordBatch({"v": np.array([9.0, 2.0])}),
+            RecordBatch({"v": np.array([7.0, 3.0])}),
+        ]
+        out = TopK(MemoryScan(batches), by="v", k=3).collect()
+        assert list(out.column("v")) == [9.0, 8.0, 7.0]
+
+    def test_invalid_k(self):
+        with pytest.raises(ExecutionError):
+            TopK(MemoryScan([]), by="v", k=0)
+
+    def test_merge_top_k(self):
+        partial_a = RecordBatch({"v": np.array([9.0, 5.0])})
+        partial_b = RecordBatch({"v": np.array([8.0, 7.0])})
+        merged = merge_top_k([partial_a, partial_b], by="v", k=3)
+        assert list(merged.column("v")) == [9.0, 8.0, 7.0]
+
+    def test_merge_requires_data(self):
+        with pytest.raises(ExecutionError):
+            merge_top_k([], by="v", k=2)
+
+    def test_top_k_matches_full_sort(self):
+        rng = np.random.default_rng(4)
+        values = rng.uniform(0.0, 1e6, size=500)
+        batch = RecordBatch({"v": values})
+        out = TopK(MemoryScan([batch], batch_rows=64), by="v", k=25).collect()
+        expected = np.sort(values)[::-1][:25]
+        assert np.allclose(out.column("v"), expected)
+
+
+class TestParallelQ3:
+    def test_matches_single_node_reference(self, tables):
+        orders, lineitem = tables
+        parallel = parallel_q3(
+            partitioned(orders, "o_custkey"),
+            partitioned(lineitem, "l_shipdate"),
+            ORDER_CUTOFF,
+            SHIP_CUTOFF,
+            k=10,
+        )
+        reference = single_node_q3(orders, lineitem, ORDER_CUTOFF, SHIP_CUTOFF, k=10)
+        assert parallel.num_rows == reference.num_rows
+        assert np.allclose(parallel.column("revenue"), reference.column("revenue"))
+        assert np.array_equal(
+            parallel.column("o_orderkey"), reference.column("o_orderkey")
+        )
+
+    def test_revenue_sorted_descending(self, tables):
+        orders, lineitem = tables
+        result = parallel_q3(
+            partitioned(orders, "o_custkey"),
+            partitioned(lineitem, "l_shipdate"),
+            ORDER_CUTOFF,
+            SHIP_CUTOFF,
+        )
+        revenue = result.column("revenue")
+        assert np.all(revenue[:-1] >= revenue[1:])
+
+    def test_heterogeneous_join_nodes_same_answer(self, tables):
+        orders, lineitem = tables
+        hetero = parallel_q3(
+            partitioned(orders, "o_custkey"),
+            partitioned(lineitem, "l_shipdate"),
+            ORDER_CUTOFF,
+            SHIP_CUTOFF,
+            join_node_ids=[0, 1],
+        )
+        reference = single_node_q3(orders, lineitem, ORDER_CUTOFF, SHIP_CUTOFF)
+        assert np.allclose(hetero.column("revenue"), reference.column("revenue"))
+
+    def test_revenue_values_verified_independently(self, tables):
+        """Check the top revenue against a hand-rolled computation."""
+        orders, lineitem = tables
+        result = parallel_q3(
+            partitioned(orders, "o_custkey"),
+            partitioned(lineitem, "l_shipdate"),
+            ORDER_CUTOFF,
+            SHIP_CUTOFF,
+            k=1,
+        )
+        top_key = result.column("o_orderkey")[0]
+        odate = orders.column("o_orderdate")[orders.column("o_orderkey") == top_key][0]
+        assert odate < ORDER_CUTOFF
+        mask = (lineitem.column("l_orderkey") == top_key) & (
+            lineitem.column("l_shipdate") > SHIP_CUTOFF
+        )
+        expected = np.sum(
+            lineitem.column("l_extendedprice")[mask]
+            * (1.0 - lineitem.column("l_discount")[mask])
+        )
+        assert result.column("revenue")[0] == pytest.approx(expected)
+
+    def test_mismatched_partition_counts(self, tables):
+        orders, lineitem = tables
+        with pytest.raises(ExecutionError, match="partition counts"):
+            parallel_q3(
+                partitioned(orders, "o_custkey", 3),
+                partitioned(lineitem, "l_shipdate", 4),
+                ORDER_CUTOFF,
+                SHIP_CUTOFF,
+            )
+
+    def test_empty_join_raises(self, tables):
+        orders, lineitem = tables
+        with pytest.raises(ExecutionError, match="no rows"):
+            parallel_q3(
+                partitioned(orders, "o_custkey"),
+                partitioned(lineitem, "l_shipdate"),
+                order_date_cutoff=-1,  # nothing qualifies
+                ship_date_cutoff=SHIP_CUTOFF,
+            )

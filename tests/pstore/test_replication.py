@@ -1,0 +1,165 @@
+"""Replication-based dynamic cluster sizing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.pstore.replication import ReplicatedLayout
+
+
+def layout(n=8, partitions=16, r=2):
+    return ReplicatedLayout(num_nodes=n, num_partitions=partitions, replication_factor=r)
+
+
+class TestPlacement:
+    def test_replica_nodes_consecutive(self):
+        lay = layout()
+        assert lay.replica_nodes(0) == (0, 1)
+        assert lay.replica_nodes(7) == (7, 0)  # wraps around the ring
+        assert lay.replica_nodes(9) == (1, 2)  # partition 9 -> node 1
+
+    def test_replication_factor_one_is_primary_only(self):
+        lay = layout(r=1)
+        assert lay.replica_nodes(3) == (3,)
+
+    def test_partitions_on_node(self):
+        lay = layout()
+        on_zero = lay.partitions_on(0)
+        # primaries 0 and 8, plus replicas of partitions whose primary is 7
+        assert set(on_zero) == {0, 8, 7, 15}
+
+    def test_storage_blowup(self):
+        assert layout(r=3).storage_blowup == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReplicatedLayout(num_nodes=0, num_partitions=4)
+        with pytest.raises(ConfigurationError):
+            ReplicatedLayout(num_nodes=8, num_partitions=4)  # fewer parts than nodes
+        with pytest.raises(ConfigurationError):
+            ReplicatedLayout(num_nodes=4, num_partitions=8, replication_factor=5)
+        with pytest.raises(ConfigurationError):
+            layout().replica_nodes(99)
+        with pytest.raises(ConfigurationError):
+            layout().partitions_on(99)
+
+
+class TestCoverage:
+    def test_full_set_always_covers(self):
+        lay = layout()
+        assert lay.covers(range(8))
+
+    def test_alternating_half_covers_at_r2(self):
+        lay = layout()
+        assert lay.covers([0, 2, 4, 6])
+
+    def test_consecutive_gap_of_r_loses_coverage(self):
+        lay = layout()
+        # nodes 0 and 1 both off -> partitions with primary 0 are lost
+        assert not lay.covers([2, 3, 4, 5, 6, 7][:5] + [7])
+        assert not lay.covers([2, 3, 4, 5, 6, 7])
+
+    def test_minimum_active_nodes(self):
+        assert layout(n=8, r=2).minimum_active_nodes() == 4
+        assert layout(n=8, r=4).minimum_active_nodes() == 2
+        assert layout(n=8, r=1).minimum_active_nodes() == 8
+
+    def test_choose_active_nodes_covers(self):
+        lay = layout()
+        for count in (4, 5, 6, 7, 8):
+            active = lay.choose_active_nodes(count)
+            assert len(active) == count
+            assert lay.covers(active)
+
+    def test_choose_below_minimum_rejected(self):
+        with pytest.raises(ConfigurationError, match="cannot cover"):
+            layout().choose_active_nodes(3)
+
+    def test_choose_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            layout().choose_active_nodes(0)
+        with pytest.raises(ConfigurationError):
+            layout().choose_active_nodes(9)
+
+
+class TestAssignment:
+    def test_every_partition_assigned_exactly_once(self):
+        lay = layout()
+        assignment = lay.assignment([0, 2, 4, 6])
+        assigned = sorted(p for parts in assignment.values() for p in parts)
+        assert assigned == list(range(16))
+
+    def test_assignment_respects_placement(self):
+        lay = layout()
+        assignment = lay.assignment([0, 2, 4, 6])
+        for node, parts in assignment.items():
+            for partition in parts:
+                assert node in lay.replica_nodes(partition)
+
+    def test_balanced_when_divisible(self):
+        lay = layout()
+        weights = lay.load_weights([0, 2, 4, 6])
+        assert weights == pytest.approx([1.0, 1.0, 1.0, 1.0])
+
+    def test_imbalance_when_not_divisible(self):
+        lay = ReplicatedLayout(num_nodes=8, num_partitions=16, replication_factor=2)
+        weights = lay.load_weights(lay.choose_active_nodes(5))
+        assert len(weights) == 5
+        assert sum(weights) == pytest.approx(5.0)
+        assert max(weights) > 1.0  # someone carries an extra partition
+
+    def test_uncovering_set_rejected(self):
+        with pytest.raises(ConfigurationError, match="does not cover"):
+            layout().assignment([0, 1])
+
+    def test_empty_active_set_rejected(self):
+        with pytest.raises(ConfigurationError):
+            layout().assignment([])
+
+
+@given(
+    st.integers(2, 12),
+    st.integers(1, 4),
+    st.integers(1, 3),
+)
+def test_property_chosen_sets_always_cover(n, r_raw, parts_per_node):
+    r = min(r_raw, n)
+    lay = ReplicatedLayout(
+        num_nodes=n, num_partitions=n * parts_per_node, replication_factor=r
+    )
+    for count in range(lay.minimum_active_nodes(), n + 1):
+        active = lay.choose_active_nodes(count)
+        assert lay.covers(active)
+        weights = lay.load_weights(active)
+        assert sum(weights) == pytest.approx(len(active))
+
+
+class TestEndToEnd:
+    def test_replica_downsizing_saves_energy(self):
+        """Run the Figure 3 workload on 8-node data with only 4 active
+        nodes via replicas: the energy drops, as the cited replication work
+        promises, without repartitioning the tables."""
+        from repro.hardware.cluster import ClusterSpec
+        from repro.hardware.presets import CLUSTER_V_NODE
+        from repro.pstore.engine import PStore, PStoreConfig
+        from repro.workloads.queries import q3_join
+
+        lay = layout()
+        workload = q3_join(1000, 0.05, 0.05)
+        config = PStoreConfig(warm_cache=True)
+
+        full = PStore(
+            ClusterSpec.homogeneous(CLUSTER_V_NODE, 8),
+            config=config, record_intervals=False,
+        ).simulate(workload)
+
+        active = lay.choose_active_nodes(4)
+        weights = lay.load_weights(active)
+        half = PStore(
+            ClusterSpec.homogeneous(CLUSTER_V_NODE, 4),
+            config=config, record_intervals=False,
+        ).simulate(workload, partition_weights=weights)
+
+        assert half.energy_j < full.energy_j
+        assert half.makespan_s > full.makespan_s

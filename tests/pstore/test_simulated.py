@@ -1,0 +1,186 @@
+"""Simulated P-store executor: flow construction and closed-form timings."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.node import NodeSpec
+from repro.hardware.power import PowerLawModel
+from repro.pstore.engine import PStore, PStoreConfig
+from repro.pstore.planner import plan_join
+from repro.pstore.simulated import build_join_job
+from repro.simulator.resources import cpu, disk, nic_in, nic_out
+from repro.workloads.queries import JoinMethod, JoinWorkloadSpec
+
+# A deliberately simple node so timings are hand-computable.
+NODE = NodeSpec(
+    name="simple",
+    cpu_bandwidth_mbps=1000.0,
+    memory_mb=100_000.0,
+    disk_bandwidth_mbps=200.0,
+    nic_bandwidth_mbps=100.0,
+    power_model=PowerLawModel(100.0, 0.25),
+    engine_base_utilization=0.0,
+)
+
+
+def make_workload(method=JoinMethod.SHUFFLE, sb=0.5, sp=0.5):
+    return JoinWorkloadSpec(
+        name="w",
+        build_volume_mb=800.0,
+        probe_volume_mb=1600.0,
+        build_selectivity=sb,
+        probe_selectivity=sp,
+        method=method,
+    )
+
+
+def cluster(n=4):
+    return ClusterSpec.homogeneous(NODE, n)
+
+
+class TestFlowConstruction:
+    def test_shuffle_flow_demands(self):
+        plan = plan_join(cluster(4), make_workload(), warm_cache=True)
+        job = build_join_job(plan)
+        build_flow = job.phases[0].flows[0]
+        assert build_flow.volume_mb == pytest.approx(200.0)  # 800 / 4
+        # sender keeps 1/4: outbound = S * 3/4
+        assert build_flow.demands[nic_out(0)] == pytest.approx(0.5 * 0.75)
+        # per-destination inbound = S / 4 on each other join node
+        assert build_flow.demands[nic_in(1)] == pytest.approx(0.5 / 4)
+        assert nic_in(0) not in build_flow.demands
+        assert build_flow.demands[cpu(0)] == pytest.approx(1.0)
+        assert disk(0) not in build_flow.demands  # warm cache
+
+    def test_cold_cache_adds_disk(self):
+        plan = plan_join(cluster(4), make_workload(), warm_cache=False)
+        job = build_join_job(plan)
+        assert job.phases[0].flows[0].demands[disk(0)] == pytest.approx(1.0)
+
+    def test_broadcast_build_demands(self):
+        plan = plan_join(
+            cluster(4), make_workload(method=JoinMethod.BROADCAST, sb=0.1)
+        )
+        job = build_join_job(plan)
+        flow = job.phases[0].flows[0]
+        # every qualifying byte goes to all 3 peers
+        assert flow.demands[nic_out(0)] == pytest.approx(0.1 * 3)
+        assert flow.demands[nic_in(2)] == pytest.approx(0.1)
+
+    def test_broadcast_probe_is_local(self):
+        plan = plan_join(cluster(4), make_workload(method=JoinMethod.BROADCAST, sb=0.1))
+        job = build_join_job(plan)
+        probe_flow = job.phases[1].flows[0]
+        assert set(probe_flow.demands) == {cpu(0)}
+
+    def test_local_join_has_no_network(self):
+        plan = plan_join(cluster(4), make_workload(method=JoinMethod.LOCAL))
+        job = build_join_job(plan)
+        for phase in job.phases:
+            for flow in phase.flows:
+                assert all(not r.startswith("nic") for r in flow.demands)
+
+    def test_heterogeneous_feeders_send_everything(self):
+        wimpy = NODE.with_overrides(memory_mb=1.0)
+        mixed = ClusterSpec.beefy_wimpy(NODE, 2, wimpy, 2)
+        plan = plan_join(mixed, make_workload(sb=0.5))
+        assert plan.num_join_nodes == 2
+        job = build_join_job(plan)
+        feeder = job.phases[0].flows[3]  # a wimpy node
+        # all qualifying tuples leave the feeder
+        assert feeder.demands[nic_out(3)] == pytest.approx(0.5)
+        # split across the two beefy nodes
+        assert feeder.demands[nic_in(0)] == pytest.approx(0.25)
+        assert feeder.demands[nic_in(1)] == pytest.approx(0.25)
+
+    def test_receive_cpu_cost(self):
+        plan = plan_join(cluster(2), make_workload(sb=0.5), receive_cpu_cost=0.8)
+        job = build_join_job(plan)
+        flow = job.phases[0].flows[0]
+        # destination node 1 is charged receive cost: 0.8 * S/m = 0.8 * 0.25
+        assert flow.demands[cpu(1)] == pytest.approx(0.8 * 0.5 / 2)
+
+    def test_partition_weights_skew_volumes(self):
+        plan = plan_join(cluster(2), make_workload())
+        job = build_join_job(plan, partition_weights=[3.0, 1.0])
+        volumes = [f.volume_mb for f in job.phases[0].flows]
+        assert volumes == [pytest.approx(600.0), pytest.approx(200.0)]
+
+    def test_partition_weights_validated(self):
+        plan = plan_join(cluster(2), make_workload())
+        with pytest.raises(PlanError):
+            build_join_job(plan, partition_weights=[1.0])
+        with pytest.raises(PlanError):
+            build_join_job(plan, partition_weights=[-1.0, 1.0])
+
+
+class TestClosedFormTimings:
+    def test_network_bound_shuffle(self):
+        """Outbound NIC binds: rate = L / (S * (n-1)/n)."""
+        engine = PStore(cluster(4), config=PStoreConfig(warm_cache=True))
+        result = engine.simulate(make_workload(sb=0.5, sp=0.5))
+        rate = 100.0 / (0.5 * 0.75)  # 266.7 MB/s pre-filter
+        expected = 200.0 / rate + 400.0 / rate
+        assert result.makespan_s == pytest.approx(expected, rel=1e-6)
+
+    def test_cpu_bound_shuffle(self):
+        """At 1% selectivity the network is idle; CPU 1000 MB/s binds."""
+        engine = PStore(cluster(4), config=PStoreConfig(warm_cache=True))
+        result = engine.simulate(make_workload(sb=0.01, sp=0.01))
+        expected = 200.0 / 1000.0 + 400.0 / 1000.0
+        assert result.makespan_s == pytest.approx(expected, rel=1e-6)
+
+    def test_disk_bound_cold_cache(self):
+        engine = PStore(
+            cluster(4), config=PStoreConfig(warm_cache=False, pipeline_cpu_cost=1.0)
+        )
+        result = engine.simulate(make_workload(sb=0.01, sp=0.01))
+        expected = 200.0 / 200.0 + 400.0 / 200.0  # disk 200 MB/s
+        assert result.makespan_s == pytest.approx(expected, rel=1e-6)
+
+    def test_pipeline_cpu_cost_slows_scan(self):
+        engine = PStore(
+            cluster(4),
+            config=PStoreConfig(warm_cache=True, pipeline_cpu_cost=2.0),
+        )
+        result = engine.simulate(make_workload(sb=0.01, sp=0.01))
+        expected = (200.0 + 400.0) / (1000.0 / 2.0)
+        assert result.makespan_s == pytest.approx(expected, rel=1e-6)
+
+    def test_broadcast_build_ingest_bound(self):
+        """Each node must receive (n-1)/n of the qualifying build table."""
+        engine = PStore(cluster(4), config=PStoreConfig(warm_cache=True))
+        result = engine.simulate(make_workload(method=JoinMethod.BROADCAST, sb=0.1, sp=0.5))
+        # build: outbound coef 0.3 -> rate 333.3; 200 MB -> 0.6 s
+        # probe: local cpu-bound: 400/1000 = 0.4 s
+        assert result.makespan_s == pytest.approx(200.0 / (100.0 / 0.3) + 0.4, rel=1e-6)
+
+    def test_heterogeneous_ingest_bound(self):
+        """Beefy inbound NICs gate the phase (Section 5.4's bottleneck)."""
+        wimpy = NODE.with_overrides(memory_mb=1.0)
+        mixed = ClusterSpec.beefy_wimpy(NODE, 2, wimpy, 6)
+        engine = PStore(mixed, config=PStoreConfig(warm_cache=True))
+        result = engine.simulate(make_workload(sb=1.0, sp=1.0))
+        # Every node ships its full partition to 2 beefy nodes.
+        # Beefy inbound: from 6 wimpies (r/2 each) + 1 beefy (r/2) = 3.5r <= 100
+        rate = 100.0 / 3.5
+        expected = (100.0 + 200.0) / rate  # per-node volumes: 100 build, 200 probe
+        assert result.makespan_s == pytest.approx(expected, rel=1e-6)
+
+
+class TestConcurrency:
+    def test_concurrent_joins_share_cluster(self):
+        engine = PStore(cluster(4), config=PStoreConfig(warm_cache=True))
+        one = engine.simulate(make_workload(), concurrency=1)
+        four = engine.simulate(make_workload(), concurrency=4)
+        assert four.makespan_s == pytest.approx(4 * one.makespan_s, rel=0.01)
+
+    def test_concurrency_validated(self):
+        engine = PStore(cluster(2))
+        with pytest.raises(PlanError):
+            engine.simulate(make_workload(), concurrency=0)
+
+    def test_explain(self):
+        engine = PStore(cluster(2))
+        assert "JoinPlan" in engine.explain(make_workload())

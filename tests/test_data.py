@@ -1,0 +1,125 @@
+"""RecordBatch: the columnar tuple container."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data import RecordBatch
+from repro.errors import ExecutionError
+
+
+def make_batch(n=5):
+    return RecordBatch(
+        {"k": np.arange(n, dtype=np.int64), "v": np.arange(n, dtype=np.float64) * 2.0}
+    )
+
+
+def test_basic_properties():
+    batch = make_batch(5)
+    assert batch.num_rows == 5
+    assert len(batch) == 5
+    assert batch.column_names == ("k", "v")
+    assert "k" in batch and "missing" not in batch
+
+
+def test_ragged_columns_rejected():
+    with pytest.raises(ExecutionError, match="ragged"):
+        RecordBatch({"a": np.arange(3), "b": np.arange(4)})
+
+
+def test_empty_columns_rejected():
+    with pytest.raises(ExecutionError):
+        RecordBatch({})
+
+
+def test_unknown_column():
+    with pytest.raises(ExecutionError, match="no column"):
+        make_batch().column("zzz")
+
+
+def test_take_reorders():
+    batch = make_batch(4)
+    taken = batch.take(np.array([3, 0]))
+    assert list(taken.column("k")) == [3, 0]
+
+
+def test_filter_mask():
+    batch = make_batch(6)
+    kept = batch.filter(batch.column("k") % 2 == 0)
+    assert list(kept.column("k")) == [0, 2, 4]
+
+
+def test_filter_bad_mask_length():
+    with pytest.raises(ExecutionError, match="mask length"):
+        make_batch(3).filter(np.array([True]))
+
+
+def test_project_subset_and_order():
+    batch = make_batch()
+    proj = batch.project(["v"])
+    assert proj.column_names == ("v",)
+
+
+def test_project_empty_rejected():
+    with pytest.raises(ExecutionError):
+        make_batch().project([])
+
+
+def test_rename():
+    renamed = make_batch().rename({"k": "key"})
+    assert renamed.column_names == ("key", "v")
+
+
+def test_slices_cover_all_rows():
+    batch = make_batch(10)
+    chunks = list(batch.slices(3))
+    assert [c.num_rows for c in chunks] == [3, 3, 3, 1]
+    assert list(RecordBatch.concat(chunks).column("k")) == list(range(10))
+
+
+def test_slices_invalid():
+    with pytest.raises(ExecutionError):
+        list(make_batch().slices(0))
+
+
+def test_concat_schema_mismatch():
+    a = make_batch()
+    b = RecordBatch({"x": np.arange(2)})
+    with pytest.raises(ExecutionError, match="column mismatch"):
+        RecordBatch.concat([a, b])
+
+
+def test_concat_empty_list():
+    with pytest.raises(ExecutionError):
+        RecordBatch.concat([])
+
+
+def test_nbytes_positive():
+    assert make_batch().nbytes() > 0
+
+
+def test_empty_like():
+    empty = RecordBatch.empty_like(make_batch())
+    assert empty.num_rows == 0
+    assert empty.column_names == ("k", "v")
+
+
+@given(st.lists(st.integers(-(2**31), 2**31), min_size=1, max_size=50))
+def test_filter_then_concat_roundtrip(values):
+    """Splitting by a predicate and concatenating preserves multiset."""
+    arr = np.asarray(values, dtype=np.int64)
+    batch = RecordBatch({"k": arr})
+    mask = arr % 2 == 0
+    evens, odds = batch.filter(mask), batch.filter(~mask)
+    assert evens.num_rows + odds.num_rows == batch.num_rows
+    merged = sorted(list(evens.column("k")) + list(odds.column("k")))
+    assert merged == sorted(values)
+
+
+@given(st.integers(1, 40), st.integers(1, 15))
+def test_slices_total_rows(n, block):
+    batch = RecordBatch({"k": np.arange(n)})
+    chunks = list(batch.slices(block))
+    assert sum(c.num_rows for c in chunks) == n
+    assert all(c.num_rows <= block for c in chunks)

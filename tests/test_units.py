@@ -1,0 +1,53 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_gb_to_mb():
+    assert units.gb(1) == 1000.0
+    assert units.gb(2.8) == pytest.approx(2800.0)
+
+
+def test_tb_to_mb():
+    assert units.tb(2.8) == pytest.approx(2_800_000.0)
+
+
+def test_kb_to_mb():
+    assert units.kb(500) == pytest.approx(0.5)
+
+
+def test_gbps_roundtrip():
+    assert units.mbps_to_gbps(units.gbps(1.0)) == pytest.approx(1.0)
+
+
+def test_gbps_line_rate():
+    assert units.gbps(1.0) == 125.0
+
+
+def test_joules_to_kilojoules():
+    assert units.joules_to_kilojoules(2500.0) == pytest.approx(2.5)
+
+
+def test_watt_hours():
+    assert units.watt_hours(3600.0) == pytest.approx(1.0)
+
+
+def test_clamp_inside():
+    assert units.clamp(0.5, 0.0, 1.0) == 0.5
+
+
+def test_clamp_below_and_above():
+    assert units.clamp(-3.0, 0.0, 1.0) == 0.0
+    assert units.clamp(7.0, 0.0, 1.0) == 1.0
+
+
+def test_clamp_invalid_interval():
+    with pytest.raises(ValueError):
+        units.clamp(0.5, 2.0, 1.0)
+
+
+def test_approx_equal():
+    assert units.approx_equal(1.0, 1.0 + 1e-12)
+    assert not units.approx_equal(1.0, 1.1)

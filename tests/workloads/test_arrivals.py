@@ -1,0 +1,105 @@
+"""Arrival schedules and streamed query execution."""
+
+import pytest
+
+from repro.errors import PlanError, WorkloadError
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.presets import CLUSTER_V_NODE
+from repro.pstore.engine import PStore, PStoreConfig
+from repro.workloads.arrivals import batched_arrivals, periodic_arrivals, poisson_arrivals
+from repro.workloads.queries import q3_join
+
+
+class TestGenerators:
+    def test_periodic(self):
+        assert periodic_arrivals(3, 10.0) == [0.0, 10.0, 20.0]
+        assert periodic_arrivals(2, 5.0, start_s=1.0) == [1.0, 6.0]
+
+    def test_periodic_validation(self):
+        with pytest.raises(WorkloadError):
+            periodic_arrivals(0, 1.0)
+        with pytest.raises(WorkloadError):
+            periodic_arrivals(2, -1.0)
+
+    def test_poisson_monotone_and_deterministic(self):
+        a = poisson_arrivals(10, rate_per_s=0.5, seed=3)
+        b = poisson_arrivals(10, rate_per_s=0.5, seed=3)
+        assert a == b
+        assert a[0] == 0.0
+        assert all(x <= y for x, y in zip(a, a[1:]))
+
+    def test_poisson_rate_controls_spacing(self):
+        fast = poisson_arrivals(200, rate_per_s=1.0, seed=1)
+        slow = poisson_arrivals(200, rate_per_s=0.1, seed=1)
+        assert slow[-1] > fast[-1]
+
+    def test_poisson_validation(self):
+        with pytest.raises(WorkloadError):
+            poisson_arrivals(0, 1.0)
+        with pytest.raises(WorkloadError):
+            poisson_arrivals(5, 0.0)
+
+    def test_batched(self):
+        assert batched_arrivals(3) == [0.0, 0.0, 0.0]
+        with pytest.raises(WorkloadError):
+            batched_arrivals(0)
+
+
+class TestStreamedExecution:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return PStore(
+            ClusterSpec.homogeneous(CLUSTER_V_NODE, 4),
+            config=PStoreConfig(warm_cache=True),
+            record_intervals=False,
+        )
+
+    def test_spaced_arrivals_run_in_isolation(self, engine):
+        """Wide spacing: every query sees an empty cluster."""
+        workload = q3_join(100, 0.05, 0.05)
+        solo = engine.simulate(workload)
+        stream = engine.simulate_stream(
+            workload, periodic_arrivals(3, interval_s=solo.makespan_s * 2)
+        )
+        for index in range(3):
+            assert stream.response_time_s(f"join#{index}") == pytest.approx(
+                solo.makespan_s, rel=1e-6
+            )
+
+    def test_overlapping_arrivals_contend(self, engine):
+        """Tight spacing: later queries are slowed by earlier ones."""
+        workload = q3_join(100, 0.05, 0.05)
+        solo = engine.simulate(workload)
+        stream = engine.simulate_stream(
+            workload, periodic_arrivals(3, interval_s=solo.makespan_s * 0.25)
+        )
+        assert stream.response_time_s("join#1") > solo.makespan_s * 1.1
+
+    def test_batched_stream_equals_concurrency_mode(self, engine):
+        workload = q3_join(100, 0.05, 0.05)
+        stream = engine.simulate_stream(workload, batched_arrivals(3))
+        concurrent = engine.simulate(workload, concurrency=3)
+        assert stream.makespan_s == pytest.approx(concurrent.makespan_s)
+        assert stream.energy_j == pytest.approx(concurrent.energy_j)
+
+    def test_stream_validation(self, engine):
+        workload = q3_join(100, 0.05, 0.05)
+        with pytest.raises(PlanError):
+            engine.simulate_stream(workload, [])
+        with pytest.raises(PlanError):
+            engine.simulate_stream(workload, [-1.0])
+
+    def test_delayed_execution_energy_tradeoff(self, engine):
+        """The [20, 23] idea: spreading queries over time on a small cluster
+        instead of bursting lowers peak contention; total energy per query
+        stays comparable while individual latency improves."""
+        workload = q3_join(100, 0.05, 0.05)
+        burst = engine.simulate_stream(workload, batched_arrivals(4))
+        solo_time = engine.simulate(workload).makespan_s
+        spaced = engine.simulate_stream(
+            workload, periodic_arrivals(4, interval_s=solo_time)
+        )
+        # spaced queries finish individually faster than the burst's average
+        burst_rt = max(burst.response_time_s(f"join#{i}") for i in range(4))
+        spaced_rt = max(spaced.response_time_s(f"join#{i}") for i in range(4))
+        assert spaced_rt < burst_rt

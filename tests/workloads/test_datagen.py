@@ -1,0 +1,93 @@
+"""Synthetic data generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import datagen
+
+
+SF = 0.002  # 3000 orders, ~12000 lineitems: fast but statistically useful
+
+
+def test_orders_schema_and_cardinality():
+    orders = datagen.generate_orders(SF, seed=1)
+    assert orders.num_rows == 3000
+    assert set(orders.column_names) == {
+        "o_orderkey",
+        "o_custkey",
+        "o_orderdate",
+        "o_shippriority",
+    }
+
+
+def test_orders_keys_are_dense_and_unique():
+    orders = datagen.generate_orders(SF, seed=1)
+    keys = orders.column("o_orderkey")
+    assert keys.min() == 1
+    assert keys.max() == orders.num_rows
+    assert len(np.unique(keys)) == orders.num_rows
+
+
+def test_lineitem_references_orders():
+    orders, lineitem = datagen.generate_join_pair(SF, seed=2)
+    assert set(np.unique(lineitem.column("l_orderkey"))).issubset(
+        set(orders.column("o_orderkey"))
+    )
+
+
+def test_lineitem_fanout_in_tpch_range():
+    orders, lineitem = datagen.generate_join_pair(SF, seed=3)
+    fanout = lineitem.num_rows / orders.num_rows
+    assert 3.0 < fanout < 5.0  # uniform 1..7 -> mean 4
+
+
+def test_determinism():
+    a = datagen.generate_orders(SF, seed=5)
+    b = datagen.generate_orders(SF, seed=5)
+    assert np.array_equal(a.column("o_custkey"), b.column("o_custkey"))
+
+
+def test_different_seeds_differ():
+    a = datagen.generate_orders(SF, seed=5)
+    b = datagen.generate_orders(SF, seed=6)
+    assert not np.array_equal(a.column("o_custkey"), b.column("o_custkey"))
+
+
+def test_dates_within_domain():
+    orders = datagen.generate_orders(SF, seed=7)
+    dates = orders.column("o_orderdate")
+    assert dates.min() >= datagen.DATE_MIN
+    assert dates.max() <= datagen.DATE_MAX
+
+
+@pytest.mark.parametrize("selectivity", [0.01, 0.10, 0.50, 1.00])
+def test_date_cutoff_achieves_selectivity(selectivity):
+    _, lineitem = datagen.generate_join_pair(0.01, seed=11)
+    cutoff = datagen.date_cutoff_for_selectivity(selectivity)
+    actual = float(np.mean(lineitem.column("l_shipdate") < cutoff))
+    assert actual == pytest.approx(selectivity, abs=0.03)
+
+
+def test_date_cutoff_extremes():
+    assert datagen.date_cutoff_for_selectivity(0.0) == datagen.DATE_MIN
+    cutoff = datagen.date_cutoff_for_selectivity(1.0)
+    assert cutoff > datagen.DATE_MAX  # everything qualifies
+
+
+def test_date_cutoff_invalid():
+    with pytest.raises(WorkloadError):
+        datagen.date_cutoff_for_selectivity(1.5)
+
+
+def test_invalid_scale():
+    with pytest.raises(WorkloadError):
+        datagen.generate_orders(0.0)
+    with pytest.raises(WorkloadError):
+        datagen.generate_lineitem(-1.0)
+
+
+def test_lineitem_standalone_generation():
+    lineitem = datagen.generate_lineitem(SF, seed=13)
+    assert lineitem.num_rows > 0
+    assert lineitem.column("l_discount").max() <= 0.10

@@ -1,0 +1,67 @@
+"""The Figure 6 single-node microbenchmark."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.hardware.presets import LAPTOP_B, TABLE2_SYSTEMS, WORKSTATION_A
+from repro.workloads.microbench import (
+    FIGURE6_JOIN,
+    MicroJoinSpec,
+    run_functional_microbench,
+    simulate_microbench,
+)
+
+
+def test_figure6_join_shape():
+    assert FIGURE6_JOIN.build_mb == pytest.approx(10.0)
+    assert FIGURE6_JOIN.probe_mb == pytest.approx(2000.0)
+
+
+def test_invalid_spec():
+    with pytest.raises(WorkloadError):
+        MicroJoinSpec(build_rows=0, probe_rows=10, row_bytes=100)
+
+
+def test_laptop_b_lowest_energy():
+    """The paper's headline: Laptop B wins on energy despite being slower."""
+    results = {s.name: simulate_microbench(s) for s in TABLE2_SYSTEMS}
+    best = min(results.values(), key=lambda r: r.energy_j)
+    assert best.system == "laptop-B"
+
+
+def test_workstations_fastest():
+    results = {s.name: simulate_microbench(s) for s in TABLE2_SYSTEMS}
+    fastest = min(results.values(), key=lambda r: r.response_time_s)
+    assert fastest.system.startswith("workstation")
+
+
+def test_paper_energy_magnitudes():
+    """Laptop B ~800 J, Workstation A ~1300 J (Figure 6's y-axis)."""
+    laptop = simulate_microbench(LAPTOP_B)
+    workstation = simulate_microbench(WORKSTATION_A)
+    assert laptop.energy_j == pytest.approx(800.0, rel=0.10)
+    assert workstation.energy_j == pytest.approx(1300.0, rel=0.10)
+
+
+def test_laptop_slower_but_cheaper():
+    laptop = simulate_microbench(LAPTOP_B)
+    workstation = simulate_microbench(WORKSTATION_A)
+    assert laptop.response_time_s > workstation.response_time_s
+    assert laptop.energy_j < workstation.energy_j
+
+
+def test_average_power():
+    r = simulate_microbench(LAPTOP_B)
+    assert r.average_power_w == pytest.approx(r.energy_j / r.response_time_s)
+
+
+def test_functional_microbench_join_is_correct():
+    expected, joined = run_functional_microbench(scale=0.002, seed=3)
+    assert joined.num_rows == expected
+    assert "build_payload" in joined
+    assert "probe_payload" in joined
+
+
+def test_functional_microbench_invalid_scale():
+    with pytest.raises(WorkloadError):
+        run_functional_microbench(scale=0.0)

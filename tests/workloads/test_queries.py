@@ -1,0 +1,83 @@
+"""Join workload specifications."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.queries import (
+    JoinMethod,
+    JoinWorkloadSpec,
+    q3_join,
+    section54_join,
+)
+
+
+def test_q3_join_volumes_sf1000():
+    q = q3_join(1000)
+    assert q.build_volume_mb == pytest.approx(30_000.0)  # ORDERS projected
+    assert q.probe_volume_mb == pytest.approx(120_000.0)  # LINEITEM projected
+    assert q.build_selectivity == 0.05
+    assert q.probe_selectivity == 0.05
+
+
+def test_section54_volumes():
+    q = section54_join()
+    assert q.build_volume_mb == pytest.approx(700_000.0)  # 700 GB
+    assert q.probe_volume_mb == pytest.approx(2_800_000.0)  # 2.8 TB
+    assert q.build_selectivity == 0.10
+    assert q.probe_selectivity == 0.01
+
+
+def test_qualifying_volumes():
+    q = section54_join(0.10, 0.01)
+    assert q.qualifying_build_mb == pytest.approx(70_000.0)
+    assert q.qualifying_probe_mb == pytest.approx(28_000.0)
+
+
+def test_hash_table_share_paper_example():
+    """Figure 10(a): 1% ORDERS selectivity -> 875 MB per node on 8 nodes."""
+    q = section54_join(0.01, 0.10)
+    assert q.hash_table_share_mb(8) == pytest.approx(875.0)
+
+
+def test_hash_table_share_invalid_nodes():
+    with pytest.raises(WorkloadError):
+        section54_join().hash_table_share_mb(0)
+
+
+def test_with_selectivities():
+    q = section54_join(0.10, 0.10).with_selectivities(probe=0.02)
+    assert q.build_selectivity == 0.10
+    assert q.probe_selectivity == 0.02
+
+
+def test_with_method():
+    q = q3_join(100).with_method(JoinMethod.BROADCAST)
+    assert q.method is JoinMethod.BROADCAST
+
+
+def test_invalid_selectivity():
+    with pytest.raises(WorkloadError):
+        JoinWorkloadSpec(
+            name="bad",
+            build_volume_mb=10.0,
+            probe_volume_mb=10.0,
+            build_selectivity=0.0,
+            probe_selectivity=0.5,
+        )
+    with pytest.raises(WorkloadError):
+        section54_join(1.5, 0.1)
+
+
+def test_invalid_volume():
+    with pytest.raises(WorkloadError):
+        JoinWorkloadSpec(
+            name="bad",
+            build_volume_mb=0.0,
+            probe_volume_mb=10.0,
+            build_selectivity=0.5,
+            probe_selectivity=0.5,
+        )
+
+
+def test_str_mentions_method():
+    assert "shuffle" in str(q3_join(1))

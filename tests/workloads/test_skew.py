@@ -1,0 +1,128 @@
+"""Skew generators (the Section 4.1 future-work bottleneck)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.skew import (
+    hot_node_weights,
+    imbalance,
+    zipf_keys,
+    zipf_partition_weights,
+)
+
+
+class TestZipfWeights:
+    def test_theta_zero_is_uniform(self):
+        weights = zipf_partition_weights(4, theta=0.0)
+        assert weights == pytest.approx([1.0, 1.0, 1.0, 1.0])
+
+    def test_weights_normalized_to_node_count(self):
+        weights = zipf_partition_weights(8, theta=1.0)
+        assert sum(weights) == pytest.approx(8.0)
+
+    def test_weights_decreasing(self):
+        weights = zipf_partition_weights(6, theta=0.8)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_higher_theta_more_skew(self):
+        mild = imbalance(zipf_partition_weights(8, theta=0.3))
+        heavy = imbalance(zipf_partition_weights(8, theta=1.2))
+        assert heavy > mild > 1.0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            zipf_partition_weights(0, 0.5)
+        with pytest.raises(WorkloadError):
+            zipf_partition_weights(4, -0.1)
+
+    @given(st.integers(1, 16), st.floats(0.0, 2.0))
+    def test_property_positive_and_normalized(self, n, theta):
+        weights = zipf_partition_weights(n, theta)
+        assert all(w > 0 for w in weights)
+        assert sum(weights) == pytest.approx(n)
+
+
+class TestHotNode:
+    def test_hot_fraction(self):
+        weights = hot_node_weights(4, hot_fraction=0.55)
+        assert weights[0] == pytest.approx(0.55 * 4)
+        assert sum(weights) == pytest.approx(4.0)
+
+    def test_uniform_special_case(self):
+        weights = hot_node_weights(4, hot_fraction=0.25)
+        assert weights == pytest.approx([1.0] * 4)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            hot_node_weights(1, 0.5)
+        with pytest.raises(WorkloadError):
+            hot_node_weights(4, 1.0)
+
+
+class TestZipfKeys:
+    def test_uniform_theta_zero(self):
+        keys = zipf_keys(50_000, 100, theta=0.0, seed=1)
+        counts = np.bincount(keys, minlength=101)[1:]
+        assert counts.max() / counts.mean() < 1.3
+
+    def test_skewed_keys_concentrate(self):
+        keys = zipf_keys(50_000, 100, theta=1.5, seed=1)
+        hottest = np.sum(keys == 1) / len(keys)
+        assert hottest > 0.15  # key 1 dominates
+
+    def test_keys_in_domain(self):
+        keys = zipf_keys(1000, 10, theta=1.0, seed=2)
+        assert keys.min() >= 1
+        assert keys.max() <= 10
+
+    def test_deterministic(self):
+        a = zipf_keys(100, 10, 1.0, seed=5)
+        b = zipf_keys(100, 10, 1.0, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            zipf_keys(0, 10, 1.0)
+        with pytest.raises(WorkloadError):
+            zipf_keys(10, 10, -1.0)
+
+
+class TestImbalance:
+    def test_balanced(self):
+        assert imbalance([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_skewed(self):
+        assert imbalance([3.0, 1.0]) == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            imbalance([])
+
+
+class TestSkewInSimulator:
+    def test_skew_slows_the_join(self):
+        """The hot node gates the barrier, stretching response time."""
+        from repro.hardware.cluster import ClusterSpec
+        from repro.hardware.presets import CLUSTER_V_NODE
+        from repro.pstore.engine import PStore, PStoreConfig
+        from repro.workloads.queries import q3_join
+
+        engine = PStore(
+            ClusterSpec.homogeneous(CLUSTER_V_NODE, 4),
+            config=PStoreConfig(warm_cache=True),
+            record_intervals=False,
+        )
+        workload = q3_join(100, 0.01, 0.01)  # CPU-bound: barrier fully visible
+        uniform = engine.simulate(workload)
+        skewed = engine.simulate(
+            workload, partition_weights=zipf_partition_weights(4, theta=1.0)
+        )
+        assert skewed.makespan_s > uniform.makespan_s
+        # the hot node holds ~48% of data vs 25% uniform -> ~1.9x slower
+        expected = zipf_partition_weights(4, theta=1.0)[0]
+        assert skewed.makespan_s == pytest.approx(
+            uniform.makespan_s * expected, rel=0.05
+        )

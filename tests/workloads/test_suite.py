@@ -1,0 +1,104 @@
+"""Multi-query workload suites."""
+
+import pytest
+
+from repro.core.design_space import DesignSpaceExplorer
+from repro.core.model import ModelParameters
+from repro.errors import ModelError, WorkloadError
+from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
+from repro.workloads.queries import section54_join
+from repro.workloads.suite import (
+    SuiteEntry,
+    WorkloadSuite,
+    evaluate_suite,
+    suite_from_selectivity_mix,
+    suite_tradeoff_curve,
+)
+
+
+def explorer():
+    return DesignSpaceExplorer(CLUSTER_V_NODE, WIMPY_LAPTOP_B, cluster_size=8)
+
+
+def mixed_suite():
+    return WorkloadSuite(
+        name="nightly",
+        entries=(
+            SuiteEntry(section54_join(0.01, 0.10), weight=3.0),  # homogeneous-mode
+            SuiteEntry(section54_join(0.10, 0.02), weight=1.0),  # heterogeneous-mode
+        ),
+    )
+
+
+class TestSuiteConstruction:
+    def test_of_builder_equal_weights(self):
+        suite = WorkloadSuite.of("s", section54_join(0.01, 0.10))
+        assert suite.total_weight == 1.0
+
+    def test_duplicate_workloads_rejected(self):
+        q = section54_join(0.01, 0.10)
+        with pytest.raises(WorkloadError, match="same workload twice"):
+            WorkloadSuite.of("s", q, q)
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSuite(name="empty", entries=())
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(WorkloadError):
+            SuiteEntry(section54_join(0.01, 0.10), weight=0.0)
+
+    def test_selectivity_mix_builder(self):
+        suite = suite_from_selectivity_mix(
+            "mix", section54_join(0.10, 0.10), [0.02, 0.06, 0.10]
+        )
+        assert len(suite.entries) == 3
+        names = [entry.workload.name for entry in suite.entries]
+        assert len(set(names)) == 3
+        sels = [entry.workload.probe_selectivity for entry in suite.entries]
+        assert sels == [0.02, 0.06, 0.10]
+
+    def test_selectivity_mix_weights_length(self):
+        with pytest.raises(WorkloadError):
+            suite_from_selectivity_mix(
+                "mix", section54_join(0.10, 0.10), [0.02, 0.10], weights=[1.0]
+            )
+
+
+class TestEvaluation:
+    def test_totals_are_weighted_sums(self):
+        suite = mixed_suite()
+        params = ModelParameters.from_specs(CLUSTER_V_NODE, 8)
+        evaluation = evaluate_suite(suite, params)
+        from repro.core.model import PStoreModel
+
+        model = PStoreModel(params)
+        expected_time = 3.0 * model.predict(suite.entries[0].workload).time_s
+        expected_time += 1.0 * model.predict(suite.entries[1].workload).time_s
+        assert evaluation.time_s == pytest.approx(expected_time)
+        assert evaluation.mean_response_time_s == pytest.approx(expected_time / 4.0)
+
+    def test_infeasible_query_fails_the_suite(self):
+        suite = WorkloadSuite.of("s", section54_join(0.10, 0.10))
+        params = ModelParameters.from_specs(CLUSTER_V_NODE, 1)  # 1 node: no fit
+        with pytest.raises(ModelError):
+            evaluate_suite(suite, params)
+
+
+class TestSuiteCurve:
+    def test_curve_skips_designs_infeasible_for_any_query(self):
+        curve = suite_tradeoff_curve(mixed_suite(), explorer())
+        labels = [p.label for p in curve]
+        # the heterogeneous-mode query needs >= 2 beefy nodes
+        assert "1B,7W" not in labels
+        assert "0B,8W" not in labels
+        assert labels[0] == "8B,0W"
+
+    def test_suite_level_design_selection(self):
+        curve = suite_tradeoff_curve(mixed_suite(), explorer())
+        best = curve.best_design(target_performance=0.6)
+        norm = curve.normalized_point(best.label)
+        assert norm.performance >= 0.6
+        # mixing in the scalable query still leaves wimpy substitution a win
+        assert best.num_wimpy > 0
+        assert norm.energy < 1.0

@@ -1,0 +1,84 @@
+"""TPC-H schema metadata and sizing."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import tpch
+
+
+def test_row_counts_at_sf1():
+    assert tpch.LINEITEM.rows(1) == 6_000_000
+    assert tpch.ORDERS.rows(1) == 1_500_000
+    assert tpch.CUSTOMER.rows(1) == 150_000
+    assert tpch.SUPPLIER.rows(1) == 10_000
+
+
+def test_fixed_cardinality_tables_ignore_scale():
+    assert tpch.NATION.rows(1000) == 25
+    assert tpch.REGION.rows(1000) == 5
+
+
+def test_row_counts_scale_linearly():
+    assert tpch.LINEITEM.rows(400) == 2_400_000_000
+
+
+def test_fractional_scale_factor():
+    assert tpch.ORDERS.rows(0.001) == 1_500
+
+
+def test_invalid_scale_factor():
+    with pytest.raises(WorkloadError):
+        tpch.LINEITEM.rows(0)
+
+
+def test_projected_sizes_match_paper_working_sets():
+    """Section 5.2: 48 GB LINEITEM and 12 GB ORDERS at SF 400."""
+    assert tpch.projected_size_mb(tpch.LINEITEM, 400) == pytest.approx(48_000.0)
+    assert tpch.projected_size_mb(tpch.ORDERS, 400) == pytest.approx(12_000.0)
+
+
+def test_projected_sizes_at_sf1000():
+    """Section 4.3's in-memory projections at scale 1000."""
+    assert tpch.projected_size_mb(tpch.LINEITEM, 1000) == pytest.approx(120_000.0)
+    assert tpch.projected_size_mb(tpch.ORDERS, 1000) == pytest.approx(30_000.0)
+
+
+def test_projection_bytes_explicit_columns():
+    width = tpch.LINEITEM.projection_bytes(tpch.LINEITEM_JOIN_PROJECTION)
+    assert width == 8 + 8 + 4 + 4  # orderkey, extendedprice, discount, shipdate
+
+
+def test_full_size_uses_row_bytes():
+    mb = tpch.full_size_mb(tpch.ORDERS, 1)
+    assert mb == pytest.approx(1_500_000 * tpch.ORDERS.row_bytes / 1e6)
+
+
+def test_full_lineitem_larger_than_orders():
+    assert tpch.full_size_mb(tpch.LINEITEM, 1) > tpch.full_size_mb(tpch.ORDERS, 1)
+
+
+def test_unknown_column():
+    with pytest.raises(WorkloadError):
+        tpch.LINEITEM.column("nope")
+
+
+def test_registry_contains_all_eight_tables():
+    assert set(tpch.TPCH_TABLES) == {
+        "lineitem",
+        "orders",
+        "customer",
+        "supplier",
+        "part",
+        "partsupp",
+        "nation",
+        "region",
+    }
+
+
+def test_duplicate_columns_rejected():
+    with pytest.raises(WorkloadError):
+        tpch.TableSchema(
+            name="bad",
+            rows_per_sf=10,
+            columns=(tpch.Column("x", 4), tpch.Column("x", 8)),
+        )
