@@ -1,0 +1,19 @@
+# Developer entry points.  The repo is import-run from src/ (no install
+# step), so every target exports PYTHONPATH=src.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench search-demo
+
+# Tier-1 verification: the unit/integration suite (benchmarks are opt-in).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Paper-reproduction + performance benchmarks (regenerates every figure).
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+# Sweep a 216-point design grid and print its Pareto frontier.
+search-demo:
+	$(PYTHON) examples/design_space_search.py

@@ -1,0 +1,61 @@
+"""Search-engine bench: serial vs parallel sweep, and cached re-sweep.
+
+Measures the three performance claims of :mod:`repro.search`:
+
+* a simulator-backed grid sweep parallelizes across a process pool,
+* the parallel path returns exactly the serial path's results,
+* a repeated sweep is served entirely from the evaluation cache.
+
+Run with ``pytest benchmarks/test_search.py -q`` (or ``make bench``); the
+printed per-test timings give the serial/parallel ratio on this machine.
+"""
+
+from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
+from repro.search import (
+    DesignGrid,
+    DesignSpaceSearch,
+    EvaluationCache,
+    SimulatorEvaluator,
+)
+from repro.workloads.queries import section54_join
+
+QUERY = section54_join()
+
+#: simulator-backed sweep: heavy enough per point for fan-out to pay off
+GRID = DesignGrid(
+    node_pairs=((CLUSTER_V_NODE, WIMPY_LAPTOP_B),),
+    cluster_sizes=(6, 8, 10),
+    frequency_factors=(1.0, 0.8),
+)
+
+
+def run_search(workers: int):
+    search = DesignSpaceSearch(
+        evaluator=SimulatorEvaluator(),
+        workers=workers,
+        cache=EvaluationCache(),  # fresh cache: measure evaluation, not lookup
+    )
+    return search.search(GRID, QUERY)
+
+
+def test_search_serial(benchmark):
+    result = benchmark(run_search, 1)
+    assert result.evaluations == len(GRID)
+
+
+def test_search_parallel(benchmark):
+    result = benchmark(run_search, 4)
+    assert result.evaluations == len(GRID)
+
+
+def test_parallel_matches_serial():
+    assert run_search(4).points == run_search(1).points
+
+
+def test_cached_resweep(benchmark):
+    search = DesignSpaceSearch(evaluator=SimulatorEvaluator(), workers=1)
+    search.search(GRID, QUERY)  # warm the cache once
+
+    result = benchmark(search.search, GRID, QUERY)
+    assert result.evaluations == 0
+    assert result.cache_hits == len(GRID)

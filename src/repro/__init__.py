@@ -13,6 +13,8 @@ The library provides:
   parallel DBMSs;
 * :mod:`repro.core` — the paper's analytical model, design-space explorer,
   EDP analysis, and cluster design principles;
+* :mod:`repro.search` — parallel, memoized Pareto search over
+  multi-dimensional cluster design grids;
 * :mod:`repro.analysis` — metrics, normalized curves, ASCII reports;
 * :mod:`repro.experiments` — one driver per paper table/figure.
 
@@ -61,6 +63,17 @@ from repro.hardware.presets import (
 )
 from repro.pstore.engine import PStore, PStoreConfig
 from repro.pstore.replication import ReplicatedLayout
+from repro.search import (
+    CallableEvaluator,
+    DesignCandidate,
+    DesignGrid,
+    DesignSpaceSearch,
+    EvaluatedDesign,
+    EvaluationCache,
+    ModelEvaluator,
+    SearchResult,
+    SimulatorEvaluator,
+)
 from repro.workloads.queries import JoinMethod, JoinWorkloadSpec, q3_join, section54_join
 from repro.workloads.suite import WorkloadSuite
 
@@ -96,6 +109,16 @@ __all__ = [
     "normalized_series",
     "DesignRecommendation",
     "recommend_design",
+    # design-space search
+    "DesignCandidate",
+    "DesignGrid",
+    "DesignSpaceSearch",
+    "SearchResult",
+    "EvaluatedDesign",
+    "EvaluationCache",
+    "ModelEvaluator",
+    "SimulatorEvaluator",
+    "CallableEvaluator",
     # engine & workloads
     "PStore",
     "PStoreConfig",

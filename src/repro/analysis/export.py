@@ -16,6 +16,8 @@ from typing import Any, Sequence
 from repro.core.edp import NormalizedPoint
 from repro.errors import ReproError
 from repro.experiments.base import ExperimentResult
+from repro.search.engine import SearchResult
+from repro.search.pareto import knee_point
 
 __all__ = [
     "curve_to_rows",
@@ -23,6 +25,9 @@ __all__ = [
     "experiment_to_dict",
     "experiment_to_json",
     "experiments_summary_csv",
+    "search_to_rows",
+    "frontier_to_csv",
+    "search_to_json",
 ]
 
 
@@ -53,6 +58,92 @@ def curve_to_csv(points: Sequence[NormalizedPoint]) -> str:
     for row in curve_to_rows(points):
         writer.writerow(row)
     return buffer.getvalue()
+
+
+_SEARCH_FIELDS = [
+    "label",
+    "num_beefy",
+    "num_wimpy",
+    "num_nodes",
+    "frequency_factor",
+    "mode",
+    "time_s",
+    "energy_j",
+    "edp",
+    "feasible",
+    "on_frontier",
+]
+
+
+def search_to_rows(
+    result: SearchResult, frontier_labels: set[str] | None = None
+) -> list[dict[str, Any]]:
+    """One plain dict per searched design point (grid order).
+
+    Infeasible points are included with null time/energy so coverage is
+    visible downstream; frontier membership is flagged per row.  Callers
+    that already extracted the frontier can pass its labels to avoid
+    recomputing it.
+    """
+    if frontier_labels is None:
+        frontier_labels = {point.label for point in result.pareto_frontier()}
+    rows = []
+    for point in result.points:
+        candidate = point.candidate
+        rows.append(
+            {
+                "label": point.label,
+                "num_beefy": candidate.num_beefy,
+                "num_wimpy": candidate.num_wimpy,
+                "num_nodes": candidate.num_nodes,
+                "frequency_factor": candidate.frequency_factor,
+                "mode": candidate.mode.value if candidate.mode is not None else "",
+                "time_s": point.time_s if point.feasible else None,
+                "energy_j": point.energy_j if point.feasible else None,
+                "edp": point.edp if point.feasible else None,
+                "feasible": point.feasible,
+                "on_frontier": point.label in frontier_labels,
+            }
+        )
+    return rows
+
+
+def frontier_to_csv(result: SearchResult, frontier_only: bool = True) -> str:
+    """Search results as CSV text (by default just the Pareto frontier)."""
+    rows = search_to_rows(result)
+    if frontier_only:
+        rows = [row for row in rows if row["on_frontier"]]
+    if not rows:
+        raise ReproError("no design points to export")
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_SEARCH_FIELDS)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def search_to_json(result: SearchResult, indent: int | None = 2) -> str:
+    """Full search outcome — points, frontier, selections — as JSON."""
+    feasible = result.feasible_points
+    frontier = result.pareto_frontier()
+    frontier_labels = {point.label for point in frontier}
+    payload: dict[str, Any] = {
+        "query": result.query.name,
+        "num_points": len(result.points),
+        "num_feasible": len(feasible),
+        "evaluations": result.evaluations,
+        "cache_hits": result.cache_hits,
+        "workers_used": result.workers_used,
+        "points": search_to_rows(result, frontier_labels),
+        "frontier": [point.label for point in frontier],
+    }
+    if feasible:
+        # knee_point over the frontier avoids re-deriving it from scratch
+        # (a frontier is its own Pareto set).
+        payload["knee"] = knee_point(frontier).label
+        payload["edp_optimal"] = result.edp_optimal().label
+    return json.dumps(payload, indent=indent)
 
 
 def experiment_to_dict(result: ExperimentResult) -> dict[str, Any]:

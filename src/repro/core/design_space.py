@@ -6,6 +6,11 @@ design with the analytical model (or any caller-supplied evaluator), and
 returns a :class:`TradeoffCurve` supporting the paper's analyses: EDP
 comparison, knee location, and best-design selection under a performance
 target.
+
+The explorer's sweeps delegate to the :mod:`repro.search` engine: results
+are memoized per explorer (re-sweeping the same query costs zero model
+evaluations), and the paper's one-axis space is just the degenerate grid
+of the engine's multi-dimensional search.
 """
 
 from __future__ import annotations
@@ -19,6 +24,10 @@ from repro.errors import ModelError
 from repro.hardware.cluster import ClusterSpec
 from repro.hardware.node import NodeSpec
 from repro.pstore.plans import ExecutionMode
+from repro.search.cache import EvaluationCache
+from repro.search.engine import DesignSpaceSearch
+from repro.search.evaluators import CallableEvaluator, EvaluatedDesign, ModelEvaluator
+from repro.search.grid import DesignCandidate
 from repro.workloads.queries import JoinWorkloadSpec
 
 __all__ = ["DesignPoint", "TradeoffCurve", "DesignSpaceExplorer"]
@@ -166,6 +175,7 @@ class DesignSpaceExplorer:
         self.warm_cache = warm_cache
         self.strict_paper_conditions = strict_paper_conditions
         self._evaluator = evaluator
+        self._cache = EvaluationCache()
 
     def mixes(self) -> list[ClusterSpec]:
         """All designs from all-Beefy to all-Wimpy (paper's ``xB,yW`` axis)."""
@@ -224,13 +234,19 @@ class DesignSpaceExplorer:
         """
         if not sizes:
             raise ModelError("no cluster sizes given")
-        points = []
-        for size in sorted(set(sizes), reverse=True):
-            cluster = ClusterSpec.homogeneous(self.beefy, size, name=f"{size}B")
-            try:
-                points.append(self.evaluate(cluster, query, mode=mode))
-            except ModelError:
-                continue
+        candidates = [
+            DesignCandidate(
+                label=f"{size}B",
+                beefy=self.beefy,
+                wimpy=self.wimpy,
+                num_beefy=size,
+                num_wimpy=0,
+                mode=mode,
+                homogeneous=True,
+            )
+            for size in sorted(set(sizes), reverse=True)
+        ]
+        points = self._run_search(candidates, query)
         if not points:
             raise ModelError(f"no feasible size for {query.name}")
         return TradeoffCurve(points, reference_label=points[0].label)
@@ -247,12 +263,46 @@ class DesignSpaceExplorer:
         nodes because 1 Beefy node cannot build the entire hash table"):
         designs whose hash table cannot fit are dropped from the curve.
         """
-        points = []
-        for cluster in self.mixes():
-            try:
-                points.append(self.evaluate(cluster, query, mode=mode))
-            except ModelError:
-                continue
+        candidates = [
+            DesignCandidate(
+                label=f"{num_beefy}B,{self.cluster_size - num_beefy}W",
+                beefy=self.beefy,
+                wimpy=self.wimpy,
+                num_beefy=num_beefy,
+                num_wimpy=self.cluster_size - num_beefy,
+                mode=mode,
+            )
+            for num_beefy in range(self.cluster_size, -1, -1)
+        ]
+        points = self._run_search(candidates, query)
         if not points:
             raise ModelError(f"no feasible design for {query.name}")
         return TradeoffCurve(points, reference_label=reference_label)
+
+    # ------------------------------------------------------------- delegation
+    def _search_engine(self) -> DesignSpaceSearch:
+        """The :mod:`repro.search` engine backing this explorer's sweeps."""
+        if self._evaluator is not None:
+            evaluator = CallableEvaluator(self._evaluator)
+        else:
+            evaluator = ModelEvaluator(
+                warm_cache=self.warm_cache,
+                strict_paper_conditions=self.strict_paper_conditions,
+            )
+        return DesignSpaceSearch(evaluator=evaluator, workers=1, cache=self._cache)
+
+    def _run_search(
+        self, candidates: Sequence[DesignCandidate], query: JoinWorkloadSpec
+    ) -> list[DesignPoint]:
+        """Search the candidates and keep the feasible points, grid order."""
+        result = self._search_engine().search(candidates, query)
+        return [
+            DesignPoint(
+                label=evaluated.label,
+                cluster=evaluated.candidate.cluster(),
+                time_s=evaluated.time_s,
+                energy_j=evaluated.energy_j,
+                prediction=evaluated.prediction,
+            )
+            for evaluated in result.feasible_points
+        ]

@@ -1,0 +1,68 @@
+"""Parallel Pareto search over cluster design spaces (Sections 5.4-5.5).
+
+The paper's design-space exercise (Section 5.4) sweeps the Beefy/Wimpy
+mixes of an 8-node cluster with the analytical model and reads the
+resulting energy-vs-performance trade-off curves (Section 5.5 and
+Figures 1b/10/11): which designs are worth considering at all, where the
+knee sits, and which design is cheapest under a performance target.
+
+This subsystem scales that exercise beyond the paper's single axis:
+
+* :mod:`repro.search.grid` — multi-dimensional design grids: node-type
+  pair x cluster size x Beefy/Wimpy split x DVFS state x execution mode
+  (:class:`DesignGrid`, :class:`DesignCandidate`);
+* :mod:`repro.search.evaluators` — pluggable point evaluators: the
+  Section 5.3 analytical model (:class:`ModelEvaluator`), the fluid
+  simulator (:class:`SimulatorEvaluator`), or any legacy callable
+  (:class:`CallableEvaluator`);
+* :mod:`repro.search.cache` — keyed memoization of evaluations
+  (:class:`EvaluationCache`): repeated sweeps are near-free;
+* :mod:`repro.search.engine` — :class:`DesignSpaceSearch`, which fans
+  cache misses out over a ``multiprocessing`` pool with chunked dispatch
+  and returns a :class:`SearchResult`;
+* :mod:`repro.search.pareto` — frontier extraction, knee location,
+  EDP-optimal and SLA-constrained selection (the Section 5.5/6 reading
+  rules applied to raw (time, energy) points).
+
+The classic :class:`~repro.core.design_space.DesignSpaceExplorer`
+delegates its sweeps here, so the paper's figures and the extended grids
+run on the same engine.
+
+>>> from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
+>>> from repro.search import DesignGrid, DesignSpaceSearch
+>>> from repro.workloads.queries import section54_join
+>>> grid = DesignGrid.paper_axis(CLUSTER_V_NODE, WIMPY_LAPTOP_B, 8)
+>>> result = DesignSpaceSearch().search(grid, section54_join())
+>>> len(result.pareto_frontier()) >= 1
+True
+"""
+
+from repro.search.cache import CacheStats, EvaluationCache
+from repro.search.engine import DesignSpaceSearch, SearchResult
+from repro.search.evaluators import (
+    CallableEvaluator,
+    EvaluatedDesign,
+    ModelEvaluator,
+    SearchEvaluator,
+    SimulatorEvaluator,
+)
+from repro.search.grid import DesignCandidate, DesignGrid
+from repro.search.pareto import best_under_sla, edp_optimal, knee_point, pareto_frontier
+
+__all__ = [
+    "CacheStats",
+    "CallableEvaluator",
+    "DesignCandidate",
+    "DesignGrid",
+    "DesignSpaceSearch",
+    "EvaluatedDesign",
+    "EvaluationCache",
+    "ModelEvaluator",
+    "SearchEvaluator",
+    "SearchResult",
+    "SimulatorEvaluator",
+    "best_under_sla",
+    "edp_optimal",
+    "knee_point",
+    "pareto_frontier",
+]

@@ -1,0 +1,78 @@
+"""Keyed memoization of design-point evaluations.
+
+Sweeping a large grid repeatedly — with different SLAs, different
+reference points, or after widening one axis — re-evaluates mostly the
+same designs.  :class:`EvaluationCache` keys each
+:class:`~repro.search.evaluators.EvaluatedDesign` by (evaluator
+fingerprint, workload identity, candidate identity) so a repeated sweep
+performs zero new model evaluations.
+
+The cache is a plain in-memory dict; a disk-backed variant is a ROADMAP
+follow-on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.search.evaluators import EvaluatedDesign
+
+__all__ = ["CacheStats", "EvaluationCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Cumulative hit/miss counters of one cache."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class EvaluationCache:
+    """In-memory map from evaluation keys to evaluated designs.
+
+    Infeasible results are cached too: re-sweeping a grid with infeasible
+    corners must not retry them.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple, EvaluatedDesign] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> EvaluatedDesign | None:
+        """Look up one key, counting the hit or miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, key: tuple, value: EvaluatedDesign) -> None:
+        self._entries[key] = value
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(hits=self.hits, misses=self.misses, entries=len(self._entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        """Membership test without touching the hit/miss counters."""
+        return key in self._entries

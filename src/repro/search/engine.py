@@ -1,0 +1,210 @@
+"""The parallel, memoized design-space search engine.
+
+:class:`DesignSpaceSearch` evaluates every point of a
+:class:`~repro.search.grid.DesignGrid` (or an explicit candidate list)
+through a pluggable evaluator, with two performance levers:
+
+* **memoization** — every result, including infeasible points, lands in a
+  keyed :class:`~repro.search.cache.EvaluationCache`; a repeated sweep
+  performs zero new evaluations;
+* **parallelism** — cache misses fan out over a ``multiprocessing`` pool
+  in deterministic chunks.  Serial and parallel runs funnel through the
+  same :func:`~repro.search.evaluators.evaluate_design`, so their results
+  are identical point for point.
+
+The resulting :class:`SearchResult` carries the evaluated points in grid
+order plus the paper's selection rules (Pareto frontier, knee, EDP
+optimum, SLA-constrained best).
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import pickle
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError, ModelError
+from repro.search.cache import EvaluationCache
+from repro.search.evaluators import (
+    EvaluatedDesign,
+    ModelEvaluator,
+    SearchEvaluator,
+    evaluate_chunk,
+    evaluate_design,
+)
+from repro.search.grid import DesignCandidate, DesignGrid, query_key, unique_labels
+from repro.search.pareto import best_under_sla, edp_optimal, knee_point, pareto_frontier
+from repro.workloads.queries import JoinWorkloadSpec
+
+__all__ = ["DesignSpaceSearch", "SearchResult"]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one :meth:`DesignSpaceSearch.search` call."""
+
+    query: JoinWorkloadSpec
+    points: list[EvaluatedDesign] = field(repr=False)
+    #: fresh evaluator calls performed by this search (0 on a cached re-sweep)
+    evaluations: int = 0
+    #: points served from the evaluation cache
+    cache_hits: int = 0
+    #: worker processes actually used (1 = serial path)
+    workers_used: int = 1
+
+    # ------------------------------------------------------------ selection
+    @property
+    def feasible_points(self) -> list[EvaluatedDesign]:
+        return [p for p in self.points if p.feasible]
+
+    @property
+    def infeasible_points(self) -> list[EvaluatedDesign]:
+        return [p for p in self.points if not p.feasible]
+
+    def pareto_frontier(self) -> list[EvaluatedDesign]:
+        """Non-dominated (time, energy) points, fastest first."""
+        return pareto_frontier(self.points)
+
+    def knee(self) -> EvaluatedDesign:
+        """The frontier's knee (max distance from the endpoint chord)."""
+        return knee_point(self.points)
+
+    def edp_optimal(self) -> EvaluatedDesign:
+        """The minimum energy-delay-product design."""
+        return edp_optimal(self.points)
+
+    def best_under_sla(self, max_time_s: float) -> EvaluatedDesign:
+        """Minimum-energy design meeting a response-time SLA."""
+        return best_under_sla(self.points, max_time_s)
+
+    def point(self, label: str) -> EvaluatedDesign:
+        for p in self.points:
+            if p.label == label:
+                return p
+        raise ModelError(f"no design point {label!r}")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+
+class DesignSpaceSearch:
+    """Enumerate, memoize, and (optionally in parallel) evaluate a grid.
+
+    ``workers=1`` evaluates serially in-process; ``workers=n`` fans cache
+    misses out over ``n`` processes in chunks of ``chunk_size`` candidates
+    (default: enough chunks to give each worker about four).  Unpicklable
+    evaluators (e.g. lambda-backed :class:`CallableEvaluator`) degrade to
+    the serial path automatically.
+    """
+
+    def __init__(
+        self,
+        evaluator: SearchEvaluator | None = None,
+        workers: int = 1,
+        chunk_size: int | None = None,
+        cache: EvaluationCache | None = None,
+    ):
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.evaluator = evaluator if evaluator is not None else ModelEvaluator()
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.cache = cache if cache is not None else EvaluationCache()
+
+    # ---------------------------------------------------------------- public
+    def search(
+        self,
+        space: DesignGrid | Iterable[DesignCandidate],
+        query: JoinWorkloadSpec,
+    ) -> SearchResult:
+        """Evaluate every point of ``space`` for ``query``.
+
+        Points come back in enumeration order; infeasible designs are kept
+        (with ``feasible=False``) so callers can report coverage.
+        """
+        candidates = (
+            space.candidate_list() if isinstance(space, DesignGrid) else list(space)
+        )
+        if not candidates:
+            raise ConfigurationError("the design space is empty")
+        unique_labels(candidates)
+
+        fingerprint = self.evaluator.fingerprint()
+        workload = query_key(query)
+        keys = [(fingerprint, workload, c.key()) for c in candidates]
+
+        resolved: dict[int, EvaluatedDesign] = {}
+        missing: list[int] = []
+        for index, key in enumerate(keys):
+            cached = self.cache.get(key)
+            if cached is None:
+                missing.append(index)
+            else:
+                # Rebind the requested candidate: cache keys deliberately
+                # ignore display labels, so a hit may carry the label of
+                # the grid that populated it.
+                if cached.candidate is not candidates[index]:
+                    cached = replace(cached, candidate=candidates[index])
+                resolved[index] = cached
+        cache_hits = len(resolved)
+
+        workers_used = 1
+        if missing:
+            to_evaluate = [candidates[i] for i in missing]
+            fresh, workers_used = self._evaluate(to_evaluate, query)
+            for index, point in zip(missing, fresh):
+                resolved[index] = point
+                self.cache.put(keys[index], point)
+
+        return SearchResult(
+            query=query,
+            points=[resolved[i] for i in range(len(candidates))],
+            evaluations=len(missing),
+            cache_hits=cache_hits,
+            workers_used=workers_used,
+        )
+
+    # --------------------------------------------------------------- internal
+    def _evaluate(
+        self, candidates: Sequence[DesignCandidate], query: JoinWorkloadSpec
+    ) -> tuple[list[EvaluatedDesign], int]:
+        """Evaluate uncached candidates; returns (points, workers used)."""
+        workers = min(self.workers, len(candidates))
+        if workers > 1 and not self._picklable(query, candidates[0]):
+            workers = 1
+        if workers <= 1:
+            return (
+                [evaluate_design(self.evaluator, c, query) for c in candidates],
+                1,
+            )
+
+        chunk = self.chunk_size or max(1, math.ceil(len(candidates) / (workers * 4)))
+        payloads = [
+            (self.evaluator, query, candidates[start : start + chunk])
+            for start in range(0, len(candidates), chunk)
+        ]
+        context = self._context()
+        with context.Pool(processes=workers) as pool:
+            chunked = pool.map(evaluate_chunk, payloads)
+        return [point for batch in chunked for point in batch], workers
+
+    def _picklable(self, query: JoinWorkloadSpec, candidate: DesignCandidate) -> bool:
+        try:
+            pickle.dumps((self.evaluator, query, candidate))
+            return True
+        except Exception:
+            return False
+
+    @staticmethod
+    def _context():
+        # fork is cheapest and keeps worker imports identical to the parent;
+        # fall back to the platform default where fork is unavailable.
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context("fork" if "fork" in methods else None)

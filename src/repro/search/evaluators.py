@@ -1,0 +1,228 @@
+"""Pluggable design-point evaluators for the search engine.
+
+An evaluator turns a :class:`~repro.search.grid.DesignCandidate` plus a
+workload into an :class:`EvaluatedDesign` — response time, cluster energy,
+and (for the analytical path) the full model prediction.  Three evaluators
+cover the repo's estimation stacks:
+
+* :class:`ModelEvaluator` — the Section 5.3 analytical
+  :class:`~repro.core.model.PStoreModel` (microseconds per point; the
+  default);
+* :class:`SimulatorEvaluator` — the fluid
+  :class:`~repro.pstore.simulated.SimulatedPStore` executor (milliseconds
+  per point, captures contention the closed-form model cannot);
+* :class:`CallableEvaluator` — adapts a legacy
+  ``(ClusterSpec, JoinWorkloadSpec) -> (time_s, energy_j)`` callable (the
+  :class:`~repro.core.design_space.DesignSpaceExplorer` extension point).
+
+Evaluators are plain picklable objects so the engine can ship them to
+``multiprocessing`` workers; an infeasible design raises
+:class:`~repro.errors.ReproError`, which :func:`evaluate_design` converts
+into an infeasible :class:`EvaluatedDesign` record (identically on the
+serial and parallel paths).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.model import ModelParameters, Prediction, PStoreModel
+from repro.errors import ModelError, ReproError
+from repro.hardware.cluster import ClusterSpec
+from repro.pstore.planner import plan_join
+from repro.pstore.simulated import SimulatedPStore
+from repro.search.grid import DesignCandidate
+from repro.workloads.queries import JoinWorkloadSpec
+
+__all__ = [
+    "EvaluatedDesign",
+    "SearchEvaluator",
+    "ModelEvaluator",
+    "SimulatorEvaluator",
+    "CallableEvaluator",
+    "evaluate_design",
+]
+
+
+@dataclass(frozen=True)
+class EvaluatedDesign:
+    """One evaluated (or infeasible) design point."""
+
+    candidate: DesignCandidate
+    time_s: float
+    energy_j: float
+    feasible: bool = True
+    infeasible_reason: str = ""
+    prediction: Prediction | None = None
+
+    @property
+    def label(self) -> str:
+        return self.candidate.label
+
+    @property
+    def performance(self) -> float:
+        """The paper's performance metric: inverse response time."""
+        if self.time_s <= 0:
+            raise ModelError(f"{self.label}: zero-duration point has no performance")
+        return 1.0 / self.time_s
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product in joule-seconds."""
+        return self.energy_j * self.time_s
+
+
+class SearchEvaluator(abc.ABC):
+    """Maps one candidate + workload to time/energy."""
+
+    @abc.abstractmethod
+    def evaluate(
+        self, candidate: DesignCandidate, query: JoinWorkloadSpec
+    ) -> EvaluatedDesign:
+        """Evaluate one design; raise :class:`ReproError` if infeasible."""
+
+    @abc.abstractmethod
+    def fingerprint(self) -> tuple:
+        """Deterministic identity used to partition the evaluation cache."""
+
+
+@dataclass(frozen=True)
+class ModelEvaluator(SearchEvaluator):
+    """Analytical evaluation with the Section 5.3 closed-form model.
+
+    Parameter semantics match :class:`DesignSpaceExplorer`: disk and NIC
+    bandwidths come from the candidate's Beefy spec even for all-Wimpy
+    designs (the paper's Section 5.4 uniformity assumption).
+    """
+
+    warm_cache: bool = False
+    strict_paper_conditions: bool = False
+    pipeline_cpu_cost: float = 1.0
+
+    def evaluate(
+        self, candidate: DesignCandidate, query: JoinWorkloadSpec
+    ) -> EvaluatedDesign:
+        params = ModelParameters.from_specs(
+            candidate.effective_beefy,
+            candidate.num_beefy,
+            candidate.effective_wimpy,
+            candidate.num_wimpy,
+        )
+        model = PStoreModel(
+            params,
+            warm_cache=self.warm_cache,
+            pipeline_cpu_cost=self.pipeline_cpu_cost,
+            strict_paper_conditions=self.strict_paper_conditions,
+        )
+        prediction = model.predict(query, mode=candidate.mode)
+        return EvaluatedDesign(
+            candidate=candidate,
+            time_s=prediction.time_s,
+            energy_j=prediction.energy_j,
+            prediction=prediction,
+        )
+
+    def fingerprint(self) -> tuple:
+        return (
+            "model",
+            self.warm_cache,
+            self.strict_paper_conditions,
+            self.pipeline_cpu_cost,
+        )
+
+
+@dataclass(frozen=True)
+class SimulatorEvaluator(SearchEvaluator):
+    """Fluid-simulator evaluation through the simulated P-store executor."""
+
+    warm_cache: bool = True
+    pipeline_cpu_cost: float = 1.0
+    receive_cpu_cost: float = 0.0
+    concurrency: int = 1
+
+    def evaluate(
+        self, candidate: DesignCandidate, query: JoinWorkloadSpec
+    ) -> EvaluatedDesign:
+        cluster = candidate.cluster()
+        plan = plan_join(
+            cluster,
+            query,
+            warm_cache=self.warm_cache,
+            pipeline_cpu_cost=self.pipeline_cpu_cost,
+            receive_cpu_cost=self.receive_cpu_cost,
+            force_mode=candidate.mode,
+        )
+        result = SimulatedPStore(cluster, record_intervals=False).run(
+            plan, concurrency=self.concurrency
+        )
+        return EvaluatedDesign(
+            candidate=candidate,
+            time_s=result.makespan_s,
+            energy_j=result.energy_j,
+        )
+
+    def fingerprint(self) -> tuple:
+        return (
+            "simulator",
+            self.warm_cache,
+            self.pipeline_cpu_cost,
+            self.receive_cpu_cost,
+            self.concurrency,
+        )
+
+
+class CallableEvaluator(SearchEvaluator):
+    """Adapts a legacy ``(cluster, query) -> (time_s, energy_j)`` callable.
+
+    Closures are not generally picklable, so searches driven by a
+    :class:`CallableEvaluator` should stay on the serial path (the engine
+    enforces this by refusing to fan out unpicklable evaluators).
+    """
+
+    def __init__(self, fn: Callable[[ClusterSpec, JoinWorkloadSpec], tuple[float, float]]):
+        self._fn = fn
+
+    def evaluate(
+        self, candidate: DesignCandidate, query: JoinWorkloadSpec
+    ) -> EvaluatedDesign:
+        time_s, energy_j = self._fn(candidate.cluster(), query)
+        return EvaluatedDesign(candidate=candidate, time_s=time_s, energy_j=energy_j)
+
+    def fingerprint(self) -> tuple:
+        # The callable itself (functions hash by identity): cache keys
+        # hold a strong reference, so a recycled id() can never alias two
+        # different callables in a shared cache.
+        return ("callable", self._fn)
+
+
+def evaluate_design(
+    evaluator: SearchEvaluator,
+    candidate: DesignCandidate,
+    query: JoinWorkloadSpec,
+) -> EvaluatedDesign:
+    """Evaluate one candidate, mapping infeasibility to a record.
+
+    Both the serial loop and the worker processes funnel through this
+    function, so the parallel path is guaranteed to produce identical
+    results to the serial one.
+    """
+    try:
+        return evaluator.evaluate(candidate, query)
+    except ReproError as exc:
+        return EvaluatedDesign(
+            candidate=candidate,
+            time_s=float("inf"),
+            energy_j=float("inf"),
+            feasible=False,
+            infeasible_reason=str(exc),
+        )
+
+
+def evaluate_chunk(
+    payload: tuple[SearchEvaluator, JoinWorkloadSpec, Sequence[DesignCandidate]],
+) -> list[EvaluatedDesign]:
+    """Worker entry point: evaluate one dispatch chunk."""
+    evaluator, query, candidates = payload
+    return [evaluate_design(evaluator, candidate, query) for candidate in candidates]

@@ -1,0 +1,244 @@
+"""Multi-dimensional design grids for the search engine.
+
+The paper's design space (Section 5.4) is one axis — Beefy/Wimpy mixes of
+a fixed-size cluster.  :class:`DesignGrid` generalizes it to the cross
+product of
+
+* node-type pairs (which Beefy and which Wimpy hardware),
+* cluster sizes,
+* Beefy/Wimpy splits of each size (the paper's ``xB,yW`` axis),
+* cluster-wide DVFS states (frequency factors, Section 1's "dynamically
+  control their power/performance trade-offs"),
+* execution modes (homogeneous / heterogeneous / model-chosen).
+
+Each point of the grid is a :class:`DesignCandidate` — a frozen, picklable
+record carrying everything an evaluator needs, plus a deterministic
+:meth:`DesignCandidate.key` used by the evaluation cache.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import ConfigurationError
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.dvfs import dvfs_variant
+from repro.hardware.node import NodeSpec
+from repro.pstore.plans import ExecutionMode
+from repro.workloads.queries import JoinWorkloadSpec
+
+__all__ = ["DesignCandidate", "DesignGrid", "query_key", "unique_labels"]
+
+
+def _spec_key(spec: NodeSpec) -> tuple:
+    """Deterministic identity of a node spec for cache keys.
+
+    Covers every field an evaluator can read — the power model enters via
+    its formula string, which encodes the model class and parameters.
+    """
+    return (
+        spec.name,
+        spec.cpu_bandwidth_mbps,
+        spec.memory_mb,
+        spec.disk_bandwidth_mbps,
+        spec.nic_bandwidth_mbps,
+        spec.engine_base_utilization,
+        spec.cores,
+        spec.threads,
+        spec.power_model.formula(),
+    )
+
+
+def query_key(query: JoinWorkloadSpec) -> tuple:
+    """Deterministic identity of a workload for cache keys."""
+    return (
+        query.name,
+        query.build_volume_mb,
+        query.probe_volume_mb,
+        query.build_selectivity,
+        query.probe_selectivity,
+        query.method.value,
+    )
+
+
+@dataclass(frozen=True)
+class DesignCandidate:
+    """One point of the design space, ready for evaluation.
+
+    ``frequency_factor`` applies cluster-wide DVFS: both node types are
+    scaled with :func:`~repro.hardware.dvfs.dvfs_variant` before being
+    handed to the evaluator.  ``homogeneous`` marks size-sweep points whose
+    cluster should be a plain homogeneous spec (no empty Wimpy group).
+    """
+
+    label: str
+    beefy: NodeSpec
+    wimpy: NodeSpec
+    num_beefy: int
+    num_wimpy: int
+    frequency_factor: float = 1.0
+    mode: ExecutionMode | None = None
+    homogeneous: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_beefy < 0 or self.num_wimpy < 0:
+            raise ConfigurationError("node counts must be >= 0")
+        if self.num_beefy + self.num_wimpy == 0:
+            raise ConfigurationError(f"candidate {self.label!r} has no nodes")
+        if not 0.0 < self.frequency_factor <= 1.0:
+            raise ConfigurationError(
+                f"frequency factor must be in (0, 1], got {self.frequency_factor}"
+            )
+        if self.homogeneous and self.num_wimpy:
+            raise ConfigurationError(
+                f"candidate {self.label!r}: homogeneous designs cannot have Wimpies"
+            )
+
+    # ------------------------------------------------------------- derived
+    @property
+    def num_nodes(self) -> int:
+        return self.num_beefy + self.num_wimpy
+
+    @property
+    def effective_beefy(self) -> NodeSpec:
+        """The Beefy spec with the candidate's DVFS state applied."""
+        if self.frequency_factor == 1.0:
+            return self.beefy
+        return dvfs_variant(self.beefy, self.frequency_factor)
+
+    @property
+    def effective_wimpy(self) -> NodeSpec:
+        """The Wimpy spec with the candidate's DVFS state applied."""
+        if self.frequency_factor == 1.0:
+            return self.wimpy
+        return dvfs_variant(self.wimpy, self.frequency_factor)
+
+    def cluster(self) -> ClusterSpec:
+        """The candidate as a concrete cluster specification."""
+        if self.homogeneous:
+            return ClusterSpec.homogeneous(
+                self.effective_beefy, self.num_beefy, name=self.label
+            )
+        return ClusterSpec.beefy_wimpy(
+            self.effective_beefy,
+            self.num_beefy,
+            self.effective_wimpy,
+            self.num_wimpy,
+            name=self.label,
+        )
+
+    def key(self) -> tuple:
+        """Deterministic cache key (independent of the display label)."""
+        return (
+            _spec_key(self.beefy),
+            _spec_key(self.wimpy),
+            self.num_beefy,
+            self.num_wimpy,
+            self.frequency_factor,
+            self.mode.value if self.mode is not None else None,
+            self.homogeneous,
+        )
+
+
+@dataclass(frozen=True)
+class DesignGrid:
+    """The cross product of the search dimensions.
+
+    ``mix_step`` thins the Beefy/Wimpy axis (a step of 2 on a 16-node
+    cluster enumerates 16B, 14B, ... 0B); both endpoints — all-Beefy and
+    all-Wimpy — are always included.
+    """
+
+    node_pairs: tuple[tuple[NodeSpec, NodeSpec], ...]
+    cluster_sizes: tuple[int, ...]
+    frequency_factors: tuple[float, ...] = (1.0,)
+    modes: tuple[ExecutionMode | None, ...] = (None,)
+    mix_step: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.node_pairs:
+            raise ConfigurationError("a design grid needs at least one node pair")
+        if not self.cluster_sizes:
+            raise ConfigurationError("a design grid needs at least one cluster size")
+        if any(size <= 0 for size in self.cluster_sizes):
+            raise ConfigurationError(f"cluster sizes must be > 0: {self.cluster_sizes}")
+        if len(set(self.cluster_sizes)) != len(self.cluster_sizes):
+            raise ConfigurationError(f"duplicate cluster sizes: {self.cluster_sizes}")
+        if not self.frequency_factors:
+            raise ConfigurationError("a design grid needs at least one frequency factor")
+        for factor in self.frequency_factors:
+            if not 0.0 < factor <= 1.0:
+                raise ConfigurationError(
+                    f"frequency factors must be in (0, 1], got {factor}"
+                )
+        if not self.modes:
+            raise ConfigurationError("a design grid needs at least one mode entry")
+        if self.mix_step < 1:
+            raise ConfigurationError(f"mix_step must be >= 1, got {self.mix_step}")
+
+    # ------------------------------------------------------------- builders
+    @classmethod
+    def paper_axis(
+        cls, beefy: NodeSpec, wimpy: NodeSpec, cluster_size: int
+    ) -> "DesignGrid":
+        """The paper's single-row space: ``8B,0W ... 0B,8W`` at one size."""
+        return cls(node_pairs=((beefy, wimpy),), cluster_sizes=(cluster_size,))
+
+    # ---------------------------------------------------------- enumeration
+    def _beefy_counts(self, size: int) -> list[int]:
+        counts = set(range(size, -1, -self.mix_step))
+        counts.add(0)  # all-Wimpy endpoint even when the step skips it
+        return sorted(counts, reverse=True)
+
+    def __len__(self) -> int:
+        mixes = sum(len(self._beefy_counts(size)) for size in self.cluster_sizes)
+        return (
+            len(self.node_pairs)
+            * mixes
+            * len(self.frequency_factors)
+            * len(self.modes)
+        )
+
+    def candidates(self) -> Iterator[DesignCandidate]:
+        """Yield every grid point in deterministic order with unique labels."""
+        multi_pair = len(self.node_pairs) > 1
+        multi_size = len(self.cluster_sizes) > 1
+        multi_freq = len(self.frequency_factors) > 1
+        multi_mode = len(self.modes) > 1
+        for beefy, wimpy in self.node_pairs:
+            for size in self.cluster_sizes:
+                for num_beefy in self._beefy_counts(size):
+                    num_wimpy = size - num_beefy
+                    for factor in self.frequency_factors:
+                        for mode in self.modes:
+                            parts = [f"{num_beefy}B,{num_wimpy}W"]
+                            if multi_pair:
+                                parts.append(f"{beefy.name}+{wimpy.name}")
+                            if multi_size:
+                                parts.append(f"n{size}")
+                            if multi_freq or factor != 1.0:
+                                parts.append(f"phi{factor:g}")
+                            if multi_mode and mode is not None:
+                                parts.append(mode.value)
+                            yield DesignCandidate(
+                                label="|".join(parts),
+                                beefy=beefy,
+                                wimpy=wimpy,
+                                num_beefy=num_beefy,
+                                num_wimpy=num_wimpy,
+                                frequency_factor=factor,
+                                mode=mode,
+                            )
+
+    def candidate_list(self) -> list[DesignCandidate]:
+        return list(self.candidates())
+
+
+def unique_labels(candidates: Sequence[DesignCandidate]) -> None:
+    """Raise if two candidates share a display label."""
+    counts = Counter(candidate.label for candidate in candidates)
+    duplicates = sorted(label for label, count in counts.items() if count > 1)
+    if duplicates:
+        raise ConfigurationError(f"duplicate candidate labels: {duplicates}")

@@ -1,0 +1,116 @@
+"""Pareto analysis of evaluated design points.
+
+The paper reads its trade-off curves three ways, all supported here on raw
+(time, energy) points rather than normalized curves:
+
+* the **Pareto frontier** — designs not dominated in both response time
+  and energy (the "interesting" designs of Figures 1b/10/11);
+* the **knee** — the frontier point of maximum perpendicular distance
+  from the chord between the frontier's endpoints (Figure 11's bottleneck
+  flip);
+* **EDP-optimal** — the minimum energy-delay-product design (Section 6's
+  balanced pick);
+* **SLA-constrained** — the minimum-energy design whose response time
+  meets a target (Section 6: "fix an acceptable performance loss, then
+  choose the least-energy design still meeting it").
+
+All selectors break ties deterministically (lower time, then label) so
+repeated sweeps — serial or parallel — pick the same design.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ModelError
+from repro.search.evaluators import EvaluatedDesign
+
+__all__ = ["pareto_frontier", "knee_point", "edp_optimal", "best_under_sla"]
+
+
+def _feasible(points: Sequence[EvaluatedDesign]) -> list[EvaluatedDesign]:
+    return [p for p in points if p.feasible]
+
+
+def pareto_frontier(points: Sequence[EvaluatedDesign]) -> list[EvaluatedDesign]:
+    """Non-dominated points, sorted by ascending response time.
+
+    A point dominates another when it is no worse on both axes and
+    strictly better on at least one.  Exact (time, energy) duplicates keep
+    only their first representative (by label order) so the frontier stays
+    a function of the design space, not of enumeration order.
+    """
+    feasible = _feasible(points)
+    if not feasible:
+        return []
+    ordered = sorted(feasible, key=lambda p: (p.time_s, p.energy_j, p.label))
+    frontier: list[EvaluatedDesign] = []
+    best_energy = float("inf")
+    for point in ordered:
+        if point.energy_j < best_energy:
+            frontier.append(point)
+            best_energy = point.energy_j
+    return frontier
+
+
+def edp_optimal(points: Sequence[EvaluatedDesign]) -> EvaluatedDesign:
+    """The minimum energy-delay-product design."""
+    feasible = _feasible(points)
+    if not feasible:
+        raise ModelError("no feasible design to pick an EDP optimum from")
+    return min(feasible, key=lambda p: (p.edp, p.time_s, p.label))
+
+
+def knee_point(points: Sequence[EvaluatedDesign]) -> EvaluatedDesign:
+    """The frontier point farthest from the endpoint chord.
+
+    Both axes are normalized to [0, 1] over the frontier's span first so
+    seconds and joules weigh equally.  Degenerate frontiers (fewer than
+    three points, or zero span) fall back to the EDP optimum.
+    """
+    frontier = pareto_frontier(points)
+    if not frontier:
+        raise ModelError("no feasible design to locate a knee on")
+    if len(frontier) < 3:
+        return edp_optimal(frontier)
+    t_low, t_high = frontier[0].time_s, frontier[-1].time_s
+    e_low = min(p.energy_j for p in frontier)
+    e_high = max(p.energy_j for p in frontier)
+    t_span = t_high - t_low
+    e_span = e_high - e_low
+    if t_span <= 0 or e_span <= 0:
+        return edp_optimal(frontier)
+
+    def normalized(p: EvaluatedDesign) -> tuple[float, float]:
+        return (p.time_s - t_low) / t_span, (p.energy_j - e_low) / e_span
+
+    x0, y0 = normalized(frontier[0])
+    x1, y1 = normalized(frontier[-1])
+    dx, dy = x1 - x0, y1 - y0
+    length = (dx * dx + dy * dy) ** 0.5
+    best, best_distance = frontier[0], -1.0
+    for point in frontier:
+        x, y = normalized(point)
+        distance = abs(dx * (y0 - y) - (x0 - x) * dy) / length
+        if distance > best_distance:
+            best, best_distance = point, distance
+    return best
+
+
+def best_under_sla(
+    points: Sequence[EvaluatedDesign], max_time_s: float
+) -> EvaluatedDesign:
+    """Minimum-energy design with response time within the SLA.
+
+    Raises :class:`ModelError` when the SLA is invalid or no feasible
+    design meets it; ties on energy resolve to the faster design, then to
+    label order.
+    """
+    if max_time_s <= 0:
+        raise ModelError(f"SLA must be > 0 seconds, got {max_time_s}")
+    eligible = [p for p in _feasible(points) if p.time_s <= max_time_s]
+    if not eligible:
+        raise ModelError(
+            f"no feasible design meets the {max_time_s:g}s response-time SLA"
+        )
+    return min(eligible, key=lambda p: (p.energy_j, p.time_s, p.label))

@@ -12,10 +12,16 @@ from repro.analysis.export import (
     experiment_to_dict,
     experiment_to_json,
     experiments_summary_csv,
+    frontier_to_csv,
+    search_to_json,
+    search_to_rows,
 )
 from repro.core.edp import NormalizedPoint
 from repro.errors import ReproError
 from repro.experiments.base import ExperimentResult, check
+from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
+from repro.search import DesignGrid, DesignSpaceSearch, SearchResult
+from repro.workloads.queries import section54_join
 
 POINTS = [
     NormalizedPoint("8B,0W", 1.0, 1.0),
@@ -79,3 +85,50 @@ class TestExperimentExport:
         payload = experiment_to_dict(run("tbl3"))
         assert payload["all_claims_hold"]
         assert json.loads(experiment_to_json(run("tbl2")))["id"] == "tbl2"
+
+
+@pytest.fixture(scope="module")
+def search_result():
+    grid = DesignGrid.paper_axis(CLUSTER_V_NODE, WIMPY_LAPTOP_B, 8)
+    return DesignSpaceSearch().search(grid, section54_join(0.10, 0.10))
+
+
+class TestSearchExport:
+    def test_rows_cover_the_whole_grid(self, search_result):
+        rows = search_to_rows(search_result)
+        assert len(rows) == 9
+        assert rows[0]["label"] == "8B,0W"
+        assert rows[0]["num_beefy"] == 8
+        assert rows[0]["feasible"] is True
+
+    def test_infeasible_rows_have_null_metrics(self, search_result):
+        by_label = {row["label"]: row for row in search_to_rows(search_result)}
+        assert by_label["0B,8W"]["feasible"] is False
+        assert by_label["0B,8W"]["time_s"] is None
+        assert by_label["0B,8W"]["on_frontier"] is False
+
+    def test_frontier_csv_contains_only_frontier_rows(self, search_result):
+        parsed = list(csv.DictReader(io.StringIO(frontier_to_csv(search_result))))
+        frontier_labels = [p.label for p in search_result.pareto_frontier()]
+        assert [row["label"] for row in parsed] == frontier_labels
+        assert all(row["on_frontier"] == "True" for row in parsed)
+
+    def test_full_csv_includes_dominated_rows(self, search_result):
+        parsed = list(
+            csv.DictReader(io.StringIO(frontier_to_csv(search_result, frontier_only=False)))
+        )
+        assert len(parsed) == 9
+
+    def test_json_payload(self, search_result):
+        payload = json.loads(search_to_json(search_result))
+        assert payload["query"] == search_result.query.name
+        assert payload["num_points"] == 9
+        assert payload["num_feasible"] == 7
+        assert payload["frontier"]
+        assert payload["knee"] in {p.label for p in search_result.pareto_frontier()}
+        assert len(payload["points"]) == 9
+
+    def test_empty_export_rejected(self):
+        empty = SearchResult(query=section54_join(), points=[])
+        with pytest.raises(ReproError):
+            frontier_to_csv(empty)

@@ -1,0 +1,133 @@
+"""Evaluation-cache behavior: hits, misses, stats, key partitioning."""
+
+from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
+from repro.search.cache import EvaluationCache
+from repro.search.engine import DesignSpaceSearch
+from repro.search.evaluators import EvaluatedDesign, ModelEvaluator
+from repro.search.grid import DesignCandidate, DesignGrid
+from repro.workloads.queries import section54_join
+
+
+def make_point(label="2B,0W"):
+    candidate = DesignCandidate(
+        label=label, beefy=CLUSTER_V_NODE, wimpy=WIMPY_LAPTOP_B,
+        num_beefy=2, num_wimpy=0,
+    )
+    return EvaluatedDesign(candidate=candidate, time_s=1.0, energy_j=2.0)
+
+
+class TestEvaluationCache:
+    def test_miss_then_hit(self):
+        cache = EvaluationCache()
+        assert cache.get(("k",)) is None
+        cache.put(("k",), make_point())
+        assert cache.get(("k",)).time_s == 1.0
+        assert (cache.hits, cache.misses, len(cache)) == (1, 1, 1)
+
+    def test_contains_does_not_touch_counters(self):
+        cache = EvaluationCache()
+        cache.put(("k",), make_point())
+        assert ("k",) in cache and ("other",) not in cache
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_clear_resets_everything(self):
+        cache = EvaluationCache()
+        cache.put(("k",), make_point())
+        cache.get(("k",))
+        cache.clear()
+        assert (cache.hits, cache.misses, len(cache)) == (0, 0, 0)
+
+    def test_stats_hit_rate(self):
+        cache = EvaluationCache()
+        assert cache.stats.hit_rate == 0.0
+        cache.put(("k",), make_point())
+        cache.get(("k",))
+        cache.get(("missing",))
+        assert cache.stats.hit_rate == 0.5
+        assert cache.stats.lookups == 2
+
+
+class TestCacheThroughEngine:
+    def test_resweep_performs_zero_evaluations(self):
+        grid = DesignGrid.paper_axis(CLUSTER_V_NODE, WIMPY_LAPTOP_B, 8)
+        search = DesignSpaceSearch()
+        first = search.search(grid, section54_join())
+        second = search.search(grid, section54_join())
+        assert first.evaluations == len(grid)
+        assert second.evaluations == 0
+        assert second.cache_hits == len(grid)
+        assert second.points == first.points
+
+    def test_infeasible_points_are_cached_too(self):
+        grid = DesignGrid.paper_axis(CLUSTER_V_NODE, WIMPY_LAPTOP_B, 8)
+        search = DesignSpaceSearch()
+        first = search.search(grid, section54_join(0.10, 0.10))
+        assert first.infeasible_points  # 1B,7W and 0B,8W cannot hold the table
+        second = search.search(grid, section54_join(0.10, 0.10))
+        assert second.evaluations == 0
+
+    def test_cache_partitioned_by_query(self):
+        grid = DesignGrid.paper_axis(CLUSTER_V_NODE, WIMPY_LAPTOP_B, 8)
+        search = DesignSpaceSearch()
+        search.search(grid, section54_join(0.10))
+        other = search.search(grid, section54_join(0.05))
+        assert other.evaluations == len(grid)  # different workload: no reuse
+
+    def test_cache_partitioned_by_evaluator_settings(self):
+        grid = DesignGrid.paper_axis(CLUSTER_V_NODE, WIMPY_LAPTOP_B, 8)
+        shared = EvaluationCache()
+        DesignSpaceSearch(evaluator=ModelEvaluator(), cache=shared).search(
+            grid, section54_join()
+        )
+        warm = DesignSpaceSearch(
+            evaluator=ModelEvaluator(warm_cache=True), cache=shared
+        ).search(grid, section54_join())
+        assert warm.evaluations == len(grid)  # different fingerprint: no reuse
+
+    def test_shared_cache_reused_across_engines(self):
+        grid = DesignGrid.paper_axis(CLUSTER_V_NODE, WIMPY_LAPTOP_B, 8)
+        shared = EvaluationCache()
+        DesignSpaceSearch(cache=shared).search(grid, section54_join())
+        result = DesignSpaceSearch(cache=shared).search(grid, section54_join())
+        assert result.evaluations == 0
+
+    def test_cache_partitioned_by_power_model(self):
+        """Specs differing only in power model must not collide (regression)."""
+        from repro.hardware.power import PowerLawModel
+
+        hot = CLUSTER_V_NODE.with_overrides(
+            power_model=PowerLawModel(coefficient=260.06, exponent=0.2369)
+        )
+        shared = EvaluationCache()
+        query = section54_join()
+        base = DesignSpaceSearch(cache=shared).search(
+            DesignGrid.paper_axis(CLUSTER_V_NODE, WIMPY_LAPTOP_B, 8), query
+        )
+        doubled = DesignSpaceSearch(cache=shared).search(
+            DesignGrid.paper_axis(hot, WIMPY_LAPTOP_B, 8), query
+        )
+        assert doubled.evaluations == 9  # no false cache hits
+        assert doubled.point("8B,0W").energy_j > base.point("8B,0W").energy_j
+
+    def test_cache_hits_carry_the_requested_labels(self):
+        """A hit from a differently-labeled grid is relabeled (regression)."""
+        query = section54_join()
+        search = DesignSpaceSearch()
+        multi = DesignGrid(
+            node_pairs=((CLUSTER_V_NODE, WIMPY_LAPTOP_B),), cluster_sizes=(8, 4)
+        )
+        search.search(multi, query)  # labels like '8B,0W|n8'
+        axis = search.search(DesignGrid.paper_axis(CLUSTER_V_NODE, WIMPY_LAPTOP_B, 8), query)
+        assert axis.evaluations == 0  # same geometry: fully cached
+        assert [p.label for p in axis.points][:2] == ["8B,0W", "7B,1W"]
+        assert axis.point("8B,0W").candidate.label == "8B,0W"
+
+    def test_callable_fingerprints_hold_the_function(self):
+        """id() reuse cannot alias two callables in a shared cache."""
+        from repro.search.evaluators import CallableEvaluator
+
+        fn_a = lambda cluster, query: (1.0, 1.0)  # noqa: E731
+        fn_b = lambda cluster, query: (2.0, 2.0)  # noqa: E731
+        a, b = CallableEvaluator(fn_a), CallableEvaluator(fn_b)
+        assert a.fingerprint() != b.fingerprint()
+        assert a.fingerprint()[1] is fn_a  # strong reference, not a bare id

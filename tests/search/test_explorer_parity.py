@@ -1,0 +1,103 @@
+"""The old explorer API and the new search API agree on the paper's axis."""
+
+import pytest
+
+from repro.core.design_space import DesignSpaceExplorer
+from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
+from repro.pstore.plans import ExecutionMode
+from repro.search import DesignGrid, DesignSpaceSearch, ModelEvaluator
+from repro.workloads.queries import section54_join
+
+
+@pytest.fixture(scope="module")
+def explorer():
+    return DesignSpaceExplorer(CLUSTER_V_NODE, WIMPY_LAPTOP_B, cluster_size=8)
+
+
+def search_axis(query, **evaluator_kwargs):
+    grid = DesignGrid.paper_axis(CLUSTER_V_NODE, WIMPY_LAPTOP_B, 8)
+    engine = DesignSpaceSearch(evaluator=ModelEvaluator(**evaluator_kwargs))
+    return engine.search(grid, query)
+
+
+@pytest.mark.parametrize(
+    "build_selectivity,probe_selectivity",
+    [(0.10, 0.01), (0.10, 0.10), (0.01, 0.10), (0.25, 0.01)],
+)
+def test_sweep_matches_search_exactly(explorer, build_selectivity, probe_selectivity):
+    """Same labels, same times, same energies — bit-for-bit."""
+    query = section54_join(build_selectivity, probe_selectivity)
+    curve = explorer.sweep(query)
+    result = search_axis(query)
+    feasible = result.feasible_points
+    assert [p.label for p in curve] == [p.label for p in feasible]
+    for old, new in zip(curve, feasible):
+        assert old.time_s == new.time_s
+        assert old.energy_j == new.energy_j
+        assert old.prediction.mode is new.prediction.mode
+
+
+def test_infeasibility_agrees(explorer):
+    """Designs the explorer drops are exactly the search's infeasible set."""
+    query = section54_join(0.10, 0.10)
+    curve_labels = {p.label for p in explorer.sweep(query)}
+    result = search_axis(query)
+    assert {p.label for p in result.feasible_points} == curve_labels
+    assert {p.label for p in result.infeasible_points} == {"1B,7W", "0B,8W"}
+
+
+def test_forced_mode_parity(explorer):
+    query = section54_join(0.01, 0.01)
+    curve = explorer.sweep(query, mode=ExecutionMode.HOMOGENEOUS)
+    grid = DesignGrid(
+        node_pairs=((CLUSTER_V_NODE, WIMPY_LAPTOP_B),),
+        cluster_sizes=(8,),
+        modes=(ExecutionMode.HOMOGENEOUS,),
+    )
+    result = DesignSpaceSearch().search(grid, query)
+    for old, new in zip(curve, result.feasible_points):
+        assert old.time_s == new.time_s
+        assert old.energy_j == new.energy_j
+
+
+def test_warm_cache_and_strict_flags_propagate():
+    explorer = DesignSpaceExplorer(
+        CLUSTER_V_NODE, WIMPY_LAPTOP_B, 8, warm_cache=True, strict_paper_conditions=True
+    )
+    query = section54_join()
+    curve = explorer.sweep(query)
+    result = search_axis(query, warm_cache=True, strict_paper_conditions=True)
+    for old, new in zip(curve, result.feasible_points):
+        assert old.time_s == new.time_s
+        assert old.energy_j == new.energy_j
+
+
+def test_explorer_evaluate_matches_search_single_point(explorer):
+    """The explorer's point API and the engine price a design identically."""
+    query = section54_join()
+    cluster = explorer.mixes()[2]  # 6B,2W
+    old = explorer.evaluate(cluster, query)
+    new = search_axis(query).point("6B,2W")
+    assert old.time_s == new.time_s
+    assert old.energy_j == new.energy_j
+
+
+def test_explorer_resweep_is_cached(explorer):
+    """Delegation gives the old API free memoization."""
+    query = section54_join(0.05, 0.05)
+    explorer.sweep(query)
+    hits_before = explorer._cache.hits
+    explorer.sweep(query)
+    assert explorer._cache.hits == hits_before + 9
+
+
+def test_sweep_sizes_parity():
+    explorer = DesignSpaceExplorer(CLUSTER_V_NODE, WIMPY_LAPTOP_B, 8)
+    query = section54_join(0.10, 0.01)
+    curve = explorer.sweep_sizes(query, sizes=[8, 6, 4])
+    assert [p.label for p in curve] == ["8B", "6B", "4B"]
+    # Homogeneous size-sweep points carry single-group clusters (no empty
+    # Wimpy group), exactly as the pre-delegation explorer built them.
+    for point in curve:
+        assert len(point.cluster.groups) == 1
+        assert point.cluster.num_wimpy == 0

@@ -1,0 +1,96 @@
+"""The parallel search path returns byte-identical results to serial."""
+
+import struct
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.presets import BEEFY_L5630, CLUSTER_V_NODE, WIMPY_LAPTOP_B
+from repro.search import (
+    CallableEvaluator,
+    DesignGrid,
+    DesignSpaceSearch,
+    EvaluationCache,
+    ModelEvaluator,
+)
+from repro.workloads.queries import section54_join
+
+
+def run(grid, query, workers, **kwargs):
+    search = DesignSpaceSearch(workers=workers, cache=EvaluationCache(), **kwargs)
+    return search.search(grid, query)
+
+
+def test_parallel_matches_serial_on_the_reference_grid():
+    grid = DesignGrid(
+        node_pairs=((CLUSTER_V_NODE, WIMPY_LAPTOP_B),),
+        cluster_sizes=(6, 8, 10),
+        frequency_factors=(1.0, 0.7),
+    )
+    query = section54_join()
+    serial = run(grid, query, workers=1)
+    parallel = run(grid, query, workers=3)
+    assert parallel.workers_used == 3
+    # Byte-identical results: every float agrees bit for bit (== would
+    # already reject differing values, but packing to IEEE-754 bytes also
+    # pins down 0.0 vs -0.0 and rules out any NaN sneaking through).
+    assert serial.points == parallel.points
+    for ours, theirs in zip(serial.points, parallel.points):
+        assert float_bytes(ours) == float_bytes(theirs)
+
+
+def float_bytes(point):
+    """The point's numeric payload as exact IEEE-754 bytes."""
+    fields = [point.time_s, point.energy_j]
+    if point.prediction is not None:
+        for phase in (point.prediction.build, point.prediction.probe):
+            fields += [
+                phase.time_s,
+                phase.energy_j,
+                phase.beefy_utilization,
+                phase.wimpy_utilization,
+            ]
+    return struct.pack(f"{len(fields)}d", *fields)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    build_selectivity=st.sampled_from([0.01, 0.05, 0.10, 0.25]),
+    probe_selectivity=st.sampled_from([0.01, 0.10]),
+    cluster_size=st.integers(min_value=2, max_value=10),
+    workers=st.integers(min_value=2, max_value=4),
+    chunk_size=st.one_of(st.none(), st.integers(min_value=1, max_value=5)),
+    warm_cache=st.booleans(),
+)
+def test_parallel_matches_serial_property(
+    build_selectivity, probe_selectivity, cluster_size, workers, chunk_size, warm_cache
+):
+    """Seeded grids: every parallel configuration equals the serial sweep."""
+    grid = DesignGrid.paper_axis(BEEFY_L5630, WIMPY_LAPTOP_B, cluster_size)
+    query = section54_join(build_selectivity, probe_selectivity)
+    evaluator = ModelEvaluator(warm_cache=warm_cache)
+    serial = run(grid, query, workers=1, evaluator=evaluator)
+    parallel = run(
+        grid, query, workers=workers, chunk_size=chunk_size, evaluator=evaluator
+    )
+    assert serial.points == parallel.points
+    assert [p.feasible for p in serial.points] == [p.feasible for p in parallel.points]
+
+
+def test_unpicklable_evaluator_degrades_to_serial():
+    grid = DesignGrid.paper_axis(CLUSTER_V_NODE, WIMPY_LAPTOP_B, 4)
+    evaluator = CallableEvaluator(lambda cluster, query: (1.0, 2.0))
+    result = run(grid, section54_join(), workers=4, evaluator=evaluator)
+    assert result.workers_used == 1  # lambda cannot cross a process boundary
+    assert all(p.time_s == 1.0 for p in result.points)
+
+
+def test_parallel_resweep_is_served_from_cache():
+    grid = DesignGrid.paper_axis(CLUSTER_V_NODE, WIMPY_LAPTOP_B, 8)
+    search = DesignSpaceSearch(workers=2)
+    first = search.search(grid, section54_join())
+    second = search.search(grid, section54_join())
+    assert first.evaluations == len(grid)
+    assert second.evaluations == 0
+    assert second.workers_used == 1  # nothing left to fan out
+    assert second.points == first.points
