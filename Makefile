@@ -4,11 +4,24 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench search-demo
+.PHONY: test lint pytest bench search-demo
 
-# Tier-1 verification: the unit/integration suite (benchmarks are opt-in).
-test:
+# Tier-1 verification: lint (when available) + the unit/integration
+# suite (benchmarks are opt-in).
+test: lint pytest
+
+pytest:
 	$(PYTHON) -m pytest -x -q
+
+# Static checks (ruff, configured in pyproject.toml).  The container may
+# not ship ruff; the target degrades to a no-op notice instead of
+# failing the test flow.
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks examples; \
+	else \
+		echo "lint: ruff not installed, skipping (pip install ruff to enable)"; \
+	fi
 
 # Paper-reproduction + performance benchmarks (regenerates every figure).
 bench:

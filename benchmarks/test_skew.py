@@ -7,7 +7,6 @@ node) and erode the energy savings that downsizing a bottlenecked cluster
 would otherwise deliver.
 """
 
-import pytest
 
 from repro.hardware.cluster import ClusterSpec
 from repro.hardware.presets import CLUSTER_V_NODE

@@ -3,14 +3,14 @@
 This walks the paper's core loop in ~40 lines:
 
 1. describe a parallel hash-join workload (tables, selectivities),
-2. enumerate Beefy/Wimpy cluster designs with the analytical model,
+2. run a Study over the Beefy/Wimpy designs with the analytical model,
 3. look at the normalized energy-vs-performance curve and the EDP line,
 4. pick the best design for a performance target.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import CLUSTER_V_NODE, WIMPY_LAPTOP_B, DesignSpaceExplorer, HashJoinQuery
+from repro import CLUSTER_V_NODE, WIMPY_LAPTOP_B, DesignSpaceExplorer, HashJoinQuery, Study
 from repro.analysis.report import render_normalized_curve
 
 # The Section 5.4 join: a 700 GB ORDERS table (10% of tuples pass the
@@ -29,7 +29,9 @@ explorer = DesignSpaceExplorer(
     beefy=CLUSTER_V_NODE, wimpy=WIMPY_LAPTOP_B, cluster_size=8
 )
 
-curve = explorer.sweep(query)
+# A Study is the one entry point: the same two lines price a single join,
+# a weighted WorkloadSuite, or an arrival-trace mix over the space.
+curve = Study(explorer).with_workload(query).run().curve()
 print(render_normalized_curve("8-node designs, normalized to all-Beefy", curve.normalized()))
 print()
 

@@ -3,17 +3,19 @@
 The paper's future-work: "expand the study to include entire workloads".
 This example prices a weighted mix of three reports — a scalable scan, a
 moderately bottlenecked join, and a heavily repartitioning join — across
-all Beefy/Wimpy designs of an 8-node cluster, and picks a design for a 30%
+all Beefy/Wimpy designs of an 8-node cluster through the ``Study`` facade
+(so the suite gets the memoized search engine, the Pareto selections,
+*and* the normalized-curve analyses), and picks a design for a 30%
 acceptable slowdown.
 
 Run:  python examples/workload_suite_study.py
 """
 
-from repro import CLUSTER_V_NODE, WIMPY_LAPTOP_B
+from repro import CLUSTER_V_NODE, WIMPY_LAPTOP_B, Study
 from repro.analysis.report import render_normalized_curve
 from repro.core.design_space import DesignSpaceExplorer
 from repro.workloads.queries import JoinWorkloadSpec
-from repro.workloads.suite import SuiteEntry, WorkloadSuite, suite_tradeoff_curve
+from repro.workloads.suite import SuiteEntry, WorkloadSuite
 
 
 def report(name, build_sel, probe_sel, weight):
@@ -39,7 +41,8 @@ SUITE = WorkloadSuite(
 )
 
 explorer = DesignSpaceExplorer(CLUSTER_V_NODE, WIMPY_LAPTOP_B, cluster_size=8)
-curve = suite_tradeoff_curve(SUITE, explorer)
+result = Study(explorer).with_workload(SUITE).run()
+curve = result.curve()
 
 print(
     render_normalized_curve(
@@ -47,6 +50,14 @@ print(
         curve.normalized(),
     )
 )
+print()
+
+# Suites now run through the search engine, so the raw-frontier selections
+# apply to whole workloads too.
+frontier = result.pareto_frontier()
+print(f"Pareto frontier: {[p.label for p in frontier]}")
+print(f"Knee of the frontier: {result.knee().label}")
+print(f"EDP-optimal design:   {result.edp_optimal().label}")
 print()
 
 for target in (0.9, 0.7, 0.5):

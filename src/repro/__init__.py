@@ -15,22 +15,39 @@ The library provides:
   EDP analysis, and cluster design principles;
 * :mod:`repro.search` — parallel, memoized Pareto search over
   multi-dimensional cluster design grids;
+* :mod:`repro.study` — the fluent :class:`Study` facade, the single entry
+  point for design-space studies over any workload;
 * :mod:`repro.analysis` — metrics, normalized curves, ASCII reports;
 * :mod:`repro.experiments` — one driver per paper table/figure.
 
-Quickstart::
+Quickstart — a :class:`Study` prices any workload (a single join, a
+weighted :class:`WorkloadSuite`, an arrival-trace mix) over a design
+space, with memoization, optional multiprocessing, and the paper's
+selection rules::
 
     from repro import (
-        ClusterSpec, CLUSTER_V_NODE, WIMPY_LAPTOP_B,
-        HashJoinQuery, PStoreModel, DesignSpaceExplorer,
+        CLUSTER_V_NODE, WIMPY_LAPTOP_B,
+        DesignSpaceExplorer, HashJoinQuery, Study, WorkloadSuite,
     )
 
     query = HashJoinQuery.tpch_orders_lineitem(
         scale_factor=1000, build_selectivity=0.10, probe_selectivity=0.01)
     explorer = DesignSpaceExplorer(
         beefy=CLUSTER_V_NODE, wimpy=WIMPY_LAPTOP_B, cluster_size=8)
-    curve = explorer.sweep(query)
-    print(curve.best_design(target_performance=0.6))
+
+    result = Study(explorer).with_workload(query).run()
+    print(result.pareto_frontier())                   # raw (time, energy) frontier
+    print(result.curve().best_design(0.6))            # Section 6 selection rule
+
+    nightly = WorkloadSuite.of("nightly", query, query.with_selectivities(probe=0.10))
+    print(Study(explorer).with_workload(nightly).run().knee().label)
+
+The space can also be a multi-dimensional :class:`DesignGrid` (node pairs
+x sizes x Beefy/Wimpy mixes x DVFS states x modes), and ``.with_workers(n)``
+fans evaluations out over processes.  The classic
+:class:`DesignSpaceExplorer` sweep API remains and returns bit-identical
+results — it shares its evaluation cache with studies over the same
+explorer.
 """
 
 from repro.core.design_space import DesignPoint, DesignSpaceExplorer, TradeoffCurve
@@ -74,8 +91,16 @@ from repro.search import (
     SearchResult,
     SimulatorEvaluator,
 )
+from repro.study import Study, StudyResult
+from repro.workloads.protocol import (
+    ArrivalMix,
+    SingleJoin,
+    WeightedQuery,
+    Workload,
+    as_workload,
+)
 from repro.workloads.queries import JoinMethod, JoinWorkloadSpec, q3_join, section54_join
-from repro.workloads.suite import WorkloadSuite
+from repro.workloads.suite import SuiteEntry, WorkloadSuite
 
 __version__ = "1.0.0"
 
@@ -119,6 +144,9 @@ __all__ = [
     "ModelEvaluator",
     "SimulatorEvaluator",
     "CallableEvaluator",
+    # studies
+    "Study",
+    "StudyResult",
     # engine & workloads
     "PStore",
     "PStoreConfig",
@@ -126,6 +154,12 @@ __all__ = [
     "JoinWorkloadSpec",
     "q3_join",
     "section54_join",
+    "Workload",
+    "WeightedQuery",
+    "SingleJoin",
+    "ArrivalMix",
+    "as_workload",
+    "SuiteEntry",
     "WorkloadSuite",
     "ReplicatedLayout",
     "dvfs_variant",

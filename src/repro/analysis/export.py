@@ -65,7 +65,8 @@ _SEARCH_FIELDS = [
     "num_beefy",
     "num_wimpy",
     "num_nodes",
-    "frequency_factor",
+    "beefy_frequency_factor",
+    "wimpy_frequency_factor",
     "mode",
     "time_s",
     "energy_j",
@@ -96,7 +97,10 @@ def search_to_rows(
                 "num_beefy": candidate.num_beefy,
                 "num_wimpy": candidate.num_wimpy,
                 "num_nodes": candidate.num_nodes,
-                "frequency_factor": candidate.frequency_factor,
+                # resolved per-type DVFS states (what the evaluator priced),
+                # not the raw cluster-wide field a per-type override hides
+                "beefy_frequency_factor": candidate.effective_beefy_frequency,
+                "wimpy_frequency_factor": candidate.effective_wimpy_frequency,
                 "mode": candidate.mode.value if candidate.mode is not None else "",
                 "time_s": point.time_s if point.feasible else None,
                 "energy_j": point.energy_j if point.feasible else None,
@@ -129,7 +133,10 @@ def search_to_json(result: SearchResult, indent: int | None = 2) -> str:
     frontier = result.pareto_frontier()
     frontier_labels = {point.label for point in frontier}
     payload: dict[str, Any] = {
-        "query": result.query.name,
+        # the "query" key predates the Workload protocol; it now carries
+        # the workload's name (identical for single-join searches)
+        "query": result.workload.name,
+        "workload": result.workload.name,
         "num_points": len(result.points),
         "num_feasible": len(feasible),
         "evaluations": result.evaluations,

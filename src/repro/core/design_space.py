@@ -19,15 +19,16 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.core.edp import NormalizedPoint, normalized_series
-from repro.core.model import ModelParameters, Prediction, PStoreModel
+from repro.core.model import Prediction
 from repro.errors import ModelError
 from repro.hardware.cluster import ClusterSpec
 from repro.hardware.node import NodeSpec
 from repro.pstore.plans import ExecutionMode
 from repro.search.cache import EvaluationCache
 from repro.search.engine import DesignSpaceSearch
-from repro.search.evaluators import CallableEvaluator, EvaluatedDesign, ModelEvaluator
+from repro.search.evaluators import CallableEvaluator, ModelEvaluator
 from repro.search.grid import DesignCandidate
+from repro.workloads.protocol import Workload, as_workload
 from repro.workloads.queries import JoinWorkloadSpec
 
 __all__ = ["DesignPoint", "TradeoffCurve", "DesignSpaceExplorer"]
@@ -177,6 +178,12 @@ class DesignSpaceExplorer:
         self._evaluator = evaluator
         self._cache = EvaluationCache()
 
+    @property
+    def cache(self) -> EvaluationCache:
+        """The evaluation memo backing this explorer's sweeps and any
+        :class:`~repro.study.Study` built over it."""
+        return self._cache
+
     def mixes(self) -> list[ClusterSpec]:
         """All designs from all-Beefy to all-Wimpy (paper's ``xB,yW`` axis)."""
         designs = []
@@ -187,42 +194,80 @@ class DesignSpaceExplorer:
             )
         return designs
 
+    def mix_candidates(
+        self, mode: ExecutionMode | None = None
+    ) -> list[DesignCandidate]:
+        """The mix axis as search candidates (shared by sweeps and studies)."""
+        return [
+            DesignCandidate(
+                label=f"{num_beefy}B,{self.cluster_size - num_beefy}W",
+                beefy=self.beefy,
+                wimpy=self.wimpy,
+                num_beefy=num_beefy,
+                num_wimpy=self.cluster_size - num_beefy,
+                mode=mode,
+            )
+            for num_beefy in range(self.cluster_size, -1, -1)
+        ]
+
     def evaluate(
         self,
         cluster: ClusterSpec,
-        query: JoinWorkloadSpec,
+        workload: Workload | JoinWorkloadSpec,
         mode: ExecutionMode | None = None,
     ) -> DesignPoint:
         """Evaluate one design (analytical model unless a custom evaluator
-        was supplied)."""
-        if self._evaluator is not None:
-            time_s, energy_j = self._evaluator(cluster, query)
+        was supplied).
+
+        The single-point path runs through the same evaluator and
+        evaluation cache as :meth:`sweep`, so one-off evaluations warm the
+        sweep memo (and vice versa).  Candidate parameters come from the
+        explorer's node types directly — all-Wimpy designs keep the Beefy
+        disk/NIC bandwidths (the paper's Section 5.4 uniformity
+        assumption) — exactly as the sweeps build them.
+
+        Exception: a custom evaluator is a function of the *actual*
+        cluster object, so when the caller's cluster is not one the
+        explorer's specs can rebuild (foreign node types), it is priced
+        directly and never cached — a foreign cluster must not collide
+        with same-shaped sweep entries.
+        """
+        candidate = DesignCandidate(
+            label=cluster.name,
+            beefy=self.beefy,
+            wimpy=self.wimpy,
+            num_beefy=cluster.num_beefy,
+            num_wimpy=cluster.num_wimpy,
+            mode=mode,
+        )
+        if self._evaluator is not None and candidate.cluster() != cluster:
+            total_time = 0.0
+            total_energy = 0.0
+            for query, weight in as_workload(workload).weighted_queries():
+                time_s, energy_j = self._evaluator(cluster, query)
+                total_time += weight * time_s
+                total_energy += weight * energy_j
             return DesignPoint(
-                label=cluster.name, cluster=cluster, time_s=time_s, energy_j=energy_j
+                label=cluster.name,
+                cluster=cluster,
+                time_s=total_time,
+                energy_j=total_energy,
             )
-        # Build parameters from the explorer's node types directly so that
-        # all-Wimpy designs keep the Beefy disk/NIC bandwidths (the paper's
-        # Section 5.4 uniformity assumption).
-        params = ModelParameters.from_specs(
-            self.beefy, cluster.num_beefy, self.wimpy, cluster.num_wimpy
-        )
-        model = PStoreModel(
-            params,
-            warm_cache=self.warm_cache,
-            strict_paper_conditions=self.strict_paper_conditions,
-        )
-        prediction = model.predict(query, mode=mode)
+        result = self._search_engine().search([candidate], workload)
+        evaluated = result.points[0]
+        if not evaluated.feasible:
+            raise ModelError(evaluated.infeasible_reason)
         return DesignPoint(
             label=cluster.name,
             cluster=cluster,
-            time_s=prediction.time_s,
-            energy_j=prediction.energy_j,
-            prediction=prediction,
+            time_s=evaluated.time_s,
+            energy_j=evaluated.energy_j,
+            prediction=evaluated.prediction,
         )
 
     def sweep_sizes(
         self,
-        query: JoinWorkloadSpec,
+        workload: Workload | JoinWorkloadSpec,
         sizes: Sequence[int],
         mode: ExecutionMode | None = None,
     ) -> TradeoffCurve:
@@ -246,56 +291,54 @@ class DesignSpaceExplorer:
             )
             for size in sorted(set(sizes), reverse=True)
         ]
-        points = self._run_search(candidates, query)
+        points = self._run_search(candidates, workload)
         if not points:
-            raise ModelError(f"no feasible size for {query.name}")
+            raise ModelError(f"no feasible size for {as_workload(workload).name}")
         return TradeoffCurve(points, reference_label=points[0].label)
 
     def sweep(
         self,
-        query: JoinWorkloadSpec,
+        workload: Workload | JoinWorkloadSpec,
         mode: ExecutionMode | None = None,
         reference_label: str | None = None,
     ) -> TradeoffCurve:
         """Evaluate every feasible mix; infeasible designs are skipped.
 
+        ``workload`` is anything satisfying the
+        :class:`~repro.workloads.protocol.Workload` protocol; a suite's
+        cost at each design is the weight-summed cost of its queries.
         Infeasibility mirrors the paper ("we do not use fewer than 2 Beefy
         nodes because 1 Beefy node cannot build the entire hash table"):
-        designs whose hash table cannot fit are dropped from the curve.
+        designs that cannot run the whole workload are dropped from the
+        curve.
         """
-        candidates = [
-            DesignCandidate(
-                label=f"{num_beefy}B,{self.cluster_size - num_beefy}W",
-                beefy=self.beefy,
-                wimpy=self.wimpy,
-                num_beefy=num_beefy,
-                num_wimpy=self.cluster_size - num_beefy,
-                mode=mode,
-            )
-            for num_beefy in range(self.cluster_size, -1, -1)
-        ]
-        points = self._run_search(candidates, query)
+        points = self._run_search(self.mix_candidates(mode), workload)
         if not points:
-            raise ModelError(f"no feasible design for {query.name}")
+            raise ModelError(f"no feasible design for {as_workload(workload).name}")
         return TradeoffCurve(points, reference_label=reference_label)
 
     # ------------------------------------------------------------- delegation
+    def search_evaluator(self) -> "CallableEvaluator | ModelEvaluator":
+        """This explorer's configuration as a search-engine evaluator
+        (shared by sweeps and studies)."""
+        if self._evaluator is not None:
+            return CallableEvaluator(self._evaluator)
+        return ModelEvaluator(
+            warm_cache=self.warm_cache,
+            strict_paper_conditions=self.strict_paper_conditions,
+        )
+
     def _search_engine(self) -> DesignSpaceSearch:
         """The :mod:`repro.search` engine backing this explorer's sweeps."""
-        if self._evaluator is not None:
-            evaluator = CallableEvaluator(self._evaluator)
-        else:
-            evaluator = ModelEvaluator(
-                warm_cache=self.warm_cache,
-                strict_paper_conditions=self.strict_paper_conditions,
-            )
-        return DesignSpaceSearch(evaluator=evaluator, workers=1, cache=self._cache)
+        return DesignSpaceSearch(
+            evaluator=self.search_evaluator(), workers=1, cache=self._cache
+        )
 
     def _run_search(
-        self, candidates: Sequence[DesignCandidate], query: JoinWorkloadSpec
+        self, candidates: Sequence[DesignCandidate], workload: Workload | JoinWorkloadSpec
     ) -> list[DesignPoint]:
         """Search the candidates and keep the feasible points, grid order."""
-        result = self._search_engine().search(candidates, query)
+        result = self._search_engine().search(candidates, workload)
         return [
             DesignPoint(
                 label=evaluated.label,

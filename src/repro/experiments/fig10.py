@@ -14,9 +14,10 @@ from repro.analysis.report import render_normalized_curve
 from repro.core.design_space import DesignSpaceExplorer
 from repro.experiments.base import ExperimentResult, check
 from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
+from repro.study import Study
 from repro.workloads.queries import section54_join
 
-__all__ = ["fig10a", "fig10b", "section54_explorer"]
+__all__ = ["fig10a", "fig10b", "section54_explorer", "section54_study"]
 
 
 def section54_explorer() -> DesignSpaceExplorer:
@@ -24,8 +25,13 @@ def section54_explorer() -> DesignSpaceExplorer:
     return DesignSpaceExplorer(CLUSTER_V_NODE, WIMPY_LAPTOP_B, cluster_size=8)
 
 
+def section54_study() -> Study:
+    """The same parameterization as a workload-ready :class:`Study`."""
+    return Study(section54_explorer())
+
+
 def fig10a() -> ExperimentResult:
-    curve = section54_explorer().sweep(section54_join(0.01, 0.10))
+    curve = section54_study().with_workload(section54_join(0.01, 0.10)).run().curve()
     norm = {p.label: p for p in curve.normalized()}
     claims = (
         check(
@@ -61,7 +67,7 @@ def fig10a() -> ExperimentResult:
 
 
 def fig10b() -> ExperimentResult:
-    curve = section54_explorer().sweep(section54_join(0.10, 0.10))
+    curve = section54_study().with_workload(section54_join(0.10, 0.10)).run().curve()
     norm = {p.label: p for p in curve.normalized()}
     claims = (
         check(

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.analysis.report import render_table
 from repro.experiments.base import ExperimentResult, check
-from repro.experiments.fig10 import section54_explorer
+from repro.experiments.fig10 import section54_study
 from repro.workloads.queries import section54_join
 
 __all__ = ["fig11", "ingest_bound_knee"]
@@ -34,13 +34,15 @@ def ingest_bound_knee(curve) -> int:
 
 
 def fig11() -> ExperimentResult:
-    explorer = section54_explorer()
+    # All five per-selectivity studies fork one base study and therefore
+    # share its explorer's evaluation cache.
+    study = section54_study()
     rows = []
     below_counts: dict[float, int] = {}
     knees: dict[float, int] = {}
     curves = {}
     for ls in LINEITEM_SELECTIVITIES:
-        curve = explorer.sweep(section54_join(0.10, ls))
+        curve = study.with_workload(section54_join(0.10, ls)).run().curve()
         curves[ls] = curve
         below = curve.below_edp_points()
         below_counts[ls] = len(below)

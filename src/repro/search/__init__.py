@@ -24,9 +24,13 @@ This subsystem scales that exercise beyond the paper's single axis:
   EDP-optimal and SLA-constrained selection (the Section 5.5/6 reading
   rules applied to raw (time, energy) points).
 
-The classic :class:`~repro.core.design_space.DesignSpaceExplorer`
-delegates its sweeps here, so the paper's figures and the extended grids
-run on the same engine.
+Every entry point accepts any :class:`~repro.workloads.protocol.Workload`
+— a bare join spec, a weighted :class:`~repro.workloads.suite
+.WorkloadSuite`, an arrival-trace mix — and the classic
+:class:`~repro.core.design_space.DesignSpaceExplorer` delegates its
+sweeps here, so the paper's figures, workload-level studies, and the
+extended grids all run on the same engine.  The fluent
+:class:`~repro.study.Study` facade is the friendly front door.
 
 >>> from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
 >>> from repro.search import DesignGrid, DesignSpaceSearch

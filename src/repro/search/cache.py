@@ -7,13 +7,21 @@ same designs.  :class:`EvaluationCache` keys each
 fingerprint, workload identity, candidate identity) so a repeated sweep
 performs zero new model evaluations.
 
-The cache is a plain in-memory dict; a disk-backed variant is a ROADMAP
-follow-on.
+The cache is an in-memory dict by default; passing ``cache_path=``
+persists every entry to a sqlite database under the same keys, so sweeps
+survive process restarts and CI runs share a warm cache.  Entries whose
+keys cannot be serialized (e.g. lambda-backed
+:class:`~repro.search.evaluators.CallableEvaluator` fingerprints) stay
+memory-only — persistence degrades gracefully instead of failing the
+sweep.
 """
 
 from __future__ import annotations
 
+import pickle
+import sqlite3
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.search.evaluators import EvaluatedDesign
 
@@ -38,20 +46,71 @@ class CacheStats:
 
 
 class EvaluationCache:
-    """In-memory map from evaluation keys to evaluated designs.
+    """Map from evaluation keys to evaluated designs, optionally on disk.
 
     Infeasible results are cached too: re-sweeping a grid with infeasible
-    corners must not retry them.
+    corners must not retry them.  With ``cache_path`` set, every
+    serializable entry is also written to (and read back from) a sqlite
+    table, so a fresh process starts warm.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, cache_path: str | Path | None = None) -> None:
         self._entries: dict[tuple, EvaluatedDesign] = {}
         self.hits = 0
         self.misses = 0
+        self._db: sqlite3.Connection | None = None
+        if cache_path is not None:
+            self._db = sqlite3.connect(str(cache_path))
+            # WAL + NORMAL keeps the per-put commits cheap (no full-journal
+            # fsync per design point on large sweeps) while staying durable
+            # across clean process exits.
+            self._db.execute("PRAGMA journal_mode=WAL")
+            self._db.execute("PRAGMA synchronous=NORMAL")
+            self._db.execute(
+                "CREATE TABLE IF NOT EXISTS evaluations "
+                "(key BLOB PRIMARY KEY, value BLOB NOT NULL)"
+            )
+            self._db.execute(
+                "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)"
+            )
+            self._reconcile_version()
+            self._db.commit()
+
+    def _reconcile_version(self) -> None:
+        """Drop persisted entries written by a different package version.
+
+        Evaluator fingerprints identify *parameters*, not implementations;
+        a model-code change inside one version is invisible to the keys.
+        Stamping the package version bounds that staleness window to a
+        release: bump ``repro.__version__`` (or delete the cache file) to
+        invalidate every persisted entry.
+        """
+        import repro
+
+        row = self._db.execute(
+            "SELECT value FROM meta WHERE key = 'repro_version'"
+        ).fetchone()
+        if row is not None and row[0] == repro.__version__:
+            return
+        if row is not None:
+            self._db.execute("DELETE FROM evaluations")
+        self._db.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES ('repro_version', ?)",
+            (repro.__version__,),
+        )
+
+    @property
+    def persistent(self) -> bool:
+        """Whether entries survive this process (a disk store is attached)."""
+        return self._db is not None
 
     def get(self, key: tuple) -> EvaluatedDesign | None:
         """Look up one key, counting the hit or miss."""
         entry = self._entries.get(key)
+        if entry is None and self._db is not None:
+            entry = self._disk_get(key)
+            if entry is not None:
+                self._entries[key] = entry  # promote: later hits skip sqlite
         if entry is None:
             self.misses += 1
         else:
@@ -60,19 +119,108 @@ class EvaluationCache:
 
     def put(self, key: tuple, value: EvaluatedDesign) -> None:
         self._entries[key] = value
+        if self._db is not None:
+            self._disk_put(key, value)
 
     def clear(self) -> None:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        if self._db is not None:
+            self._db.execute("DELETE FROM evaluations")
+            self._db.commit()
+
+    def close(self) -> None:
+        """Release the sqlite handle (no-op for memory-only caches)."""
+        if self._db is not None:
+            self._db.close()
+            self._db = None
 
     @property
     def stats(self) -> CacheStats:
-        return CacheStats(hits=self.hits, misses=self.misses, entries=len(self._entries))
+        return CacheStats(hits=self.hits, misses=self.misses, entries=len(self))
 
     def __len__(self) -> int:
+        if self._db is not None:
+            row = self._db.execute("SELECT COUNT(*) FROM evaluations").fetchone()
+            # Every serializable-key entry is also on disk (put writes both
+            # tiers), so the distinct count is the disk rows plus the
+            # memory-only entries whose keys could never persist.  The
+            # value-identity check alone decides that — pickling a tuple of
+            # primitives cannot fail, so no need to serialize just to count.
+            memory_only = sum(
+                1 for key in self._entries if not self._value_identity(key)
+            )
+            return int(row[0]) + memory_only
         return len(self._entries)
 
     def __contains__(self, key: tuple) -> bool:
         """Membership test without touching the hit/miss counters."""
-        return key in self._entries
+        if key in self._entries:
+            return True
+        if self._db is None:
+            return False
+        entry = self._disk_get(key)
+        if entry is None:
+            return False
+        self._entries[key] = entry  # promote: the likely follow-up get() is free
+        return True
+
+    # ------------------------------------------------------------ disk tier
+    def _disk_get(self, key: tuple) -> EvaluatedDesign | None:
+        blob = self._serialize_key(key)
+        if blob is None:
+            return None
+        row = self._db.execute(
+            "SELECT value FROM evaluations WHERE key = ?", (blob,)
+        ).fetchone()
+        if row is None:
+            return None
+        try:
+            return pickle.loads(row[0])
+        except Exception:
+            # A corrupt or version-incompatible row is a miss, not a crash:
+            # drop it so the slot is re-evaluated and rewritten.
+            self._db.execute("DELETE FROM evaluations WHERE key = ?", (blob,))
+            self._db.commit()
+            return None
+
+    def _disk_put(self, key: tuple, value: EvaluatedDesign) -> None:
+        blob = self._serialize_key(key)
+        if blob is None:
+            return
+        try:
+            payload = pickle.dumps(value)
+        except Exception:
+            return  # unpicklable result (custom evaluator payloads): memory only
+        self._db.execute(
+            "INSERT OR REPLACE INTO evaluations (key, value) VALUES (?, ?)",
+            (blob, payload),
+        )
+        self._db.commit()
+
+    @classmethod
+    def _serialize_key(cls, key: tuple) -> bytes | None:
+        """Pickle a key tuple, or None for keys that cannot leave memory.
+
+        Only keys built entirely from value-identity primitives (names,
+        counts, factors, formula strings) may persist.  Object-identity
+        components — above all the function inside a
+        :class:`~repro.search.evaluators.CallableEvaluator` fingerprint —
+        are rejected even when picklable: a module-level function pickles
+        by qualified *name*, so a persisted entry would silently survive
+        edits to the function's body and serve stale results.
+        """
+        if not cls._value_identity(key):
+            return None
+        try:
+            return pickle.dumps(key)
+        except Exception:
+            return None
+
+    @classmethod
+    def _value_identity(cls, part) -> bool:
+        """True iff every leaf is a primitive whose equality is its value."""
+        if isinstance(part, tuple):
+            return all(cls._value_identity(item) for item in part)
+        return part is None or isinstance(part, (str, int, float, bool, bytes))

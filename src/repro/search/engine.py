@@ -12,9 +12,13 @@ through a pluggable evaluator, with two performance levers:
   same :func:`~repro.search.evaluators.evaluate_design`, so their results
   are identical point for point.
 
-The resulting :class:`SearchResult` carries the evaluated points in grid
-order plus the paper's selection rules (Pareto frontier, knee, EDP
-optimum, SLA-constrained best).
+Searches accept any :class:`~repro.workloads.protocol.Workload` — a bare
+join spec, a :class:`~repro.workloads.suite.WorkloadSuite`, an
+arrival-trace mix — keyed into the cache by the workload's own
+``cache_key()``, so multi-query mixes are memoized and fanned out exactly
+like single joins.  The resulting :class:`SearchResult` carries the
+evaluated points in grid order plus the paper's selection rules (Pareto
+frontier, knee, EDP optimum, SLA-constrained best).
 """
 
 from __future__ import annotations
@@ -34,8 +38,9 @@ from repro.search.evaluators import (
     evaluate_chunk,
     evaluate_design,
 )
-from repro.search.grid import DesignCandidate, DesignGrid, query_key, unique_labels
+from repro.search.grid import DesignCandidate, DesignGrid, unique_labels
 from repro.search.pareto import best_under_sla, edp_optimal, knee_point, pareto_frontier
+from repro.workloads.protocol import Workload, as_workload
 from repro.workloads.queries import JoinWorkloadSpec
 
 __all__ = ["DesignSpaceSearch", "SearchResult"]
@@ -45,7 +50,7 @@ __all__ = ["DesignSpaceSearch", "SearchResult"]
 class SearchResult:
     """Outcome of one :meth:`DesignSpaceSearch.search` call."""
 
-    query: JoinWorkloadSpec
+    workload: Workload
     points: list[EvaluatedDesign] = field(repr=False)
     #: fresh evaluator calls performed by this search (0 on a cached re-sweep)
     evaluations: int = 0
@@ -53,6 +58,20 @@ class SearchResult:
     cache_hits: int = 0
     #: worker processes actually used (1 = serial path)
     workers_used: int = 1
+
+    def __post_init__(self) -> None:
+        self.workload = as_workload(self.workload)
+
+    @property
+    def query(self) -> JoinWorkloadSpec:
+        """The sole underlying join of a single-query search (legacy API)."""
+        entries = self.workload.weighted_queries()
+        if len(entries) == 1:
+            return entries[0].query
+        raise ModelError(
+            f"workload {self.workload.name!r} has {len(entries)} queries; "
+            "use .workload instead of .query"
+        )
 
     # ------------------------------------------------------------ selection
     @property
@@ -122,13 +141,19 @@ class DesignSpaceSearch:
     def search(
         self,
         space: DesignGrid | Iterable[DesignCandidate],
-        query: JoinWorkloadSpec,
+        workload: Workload | JoinWorkloadSpec,
     ) -> SearchResult:
-        """Evaluate every point of ``space`` for ``query``.
+        """Evaluate every point of ``space`` for ``workload``.
 
-        Points come back in enumeration order; infeasible designs are kept
-        (with ``feasible=False``) so callers can report coverage.
+        ``workload`` is anything satisfying the
+        :class:`~repro.workloads.protocol.Workload` protocol — a bare
+        :class:`JoinWorkloadSpec`, a :class:`~repro.workloads.suite
+        .WorkloadSuite`, an arrival-trace mix — so multi-query mixes get
+        memoization and fan-out identically to single joins.  Points come
+        back in enumeration order; infeasible designs are kept (with
+        ``feasible=False``) so callers can report coverage.
         """
+        workload = as_workload(workload)
         candidates = (
             space.candidate_list() if isinstance(space, DesignGrid) else list(space)
         )
@@ -137,8 +162,8 @@ class DesignSpaceSearch:
         unique_labels(candidates)
 
         fingerprint = self.evaluator.fingerprint()
-        workload = query_key(query)
-        keys = [(fingerprint, workload, c.key()) for c in candidates]
+        workload_key = workload.cache_key()
+        keys = [(fingerprint, workload_key, c.key()) for c in candidates]
 
         resolved: dict[int, EvaluatedDesign] = {}
         missing: list[int] = []
@@ -158,13 +183,13 @@ class DesignSpaceSearch:
         workers_used = 1
         if missing:
             to_evaluate = [candidates[i] for i in missing]
-            fresh, workers_used = self._evaluate(to_evaluate, query)
+            fresh, workers_used = self._evaluate(to_evaluate, workload)
             for index, point in zip(missing, fresh):
                 resolved[index] = point
                 self.cache.put(keys[index], point)
 
         return SearchResult(
-            query=query,
+            workload=workload,
             points=[resolved[i] for i in range(len(candidates))],
             evaluations=len(missing),
             cache_hits=cache_hits,
@@ -173,21 +198,21 @@ class DesignSpaceSearch:
 
     # --------------------------------------------------------------- internal
     def _evaluate(
-        self, candidates: Sequence[DesignCandidate], query: JoinWorkloadSpec
+        self, candidates: Sequence[DesignCandidate], workload: Workload
     ) -> tuple[list[EvaluatedDesign], int]:
         """Evaluate uncached candidates; returns (points, workers used)."""
         workers = min(self.workers, len(candidates))
-        if workers > 1 and not self._picklable(query, candidates[0]):
+        if workers > 1 and not self._picklable(workload, candidates[0]):
             workers = 1
         if workers <= 1:
             return (
-                [evaluate_design(self.evaluator, c, query) for c in candidates],
+                [evaluate_design(self.evaluator, c, workload) for c in candidates],
                 1,
             )
 
         chunk = self.chunk_size or max(1, math.ceil(len(candidates) / (workers * 4)))
         payloads = [
-            (self.evaluator, query, candidates[start : start + chunk])
+            (self.evaluator, workload, candidates[start : start + chunk])
             for start in range(0, len(candidates), chunk)
         ]
         context = self._context()
@@ -195,9 +220,9 @@ class DesignSpaceSearch:
             chunked = pool.map(evaluate_chunk, payloads)
         return [point for batch in chunked for point in batch], workers
 
-    def _picklable(self, query: JoinWorkloadSpec, candidate: DesignCandidate) -> bool:
+    def _picklable(self, workload: Workload, candidate: DesignCandidate) -> bool:
         try:
-            pickle.dumps((self.evaluator, query, candidate))
+            pickle.dumps((self.evaluator, workload, candidate))
             return True
         except Exception:
             return False

@@ -1,9 +1,10 @@
 """Pluggable design-point evaluators for the search engine.
 
 An evaluator turns a :class:`~repro.search.grid.DesignCandidate` plus a
-workload into an :class:`EvaluatedDesign` — response time, cluster energy,
-and (for the analytical path) the full model prediction.  Three evaluators
-cover the repo's estimation stacks:
+:class:`~repro.workloads.protocol.Workload` into an
+:class:`EvaluatedDesign` — response time, cluster energy, and (for
+single-join analytical evaluations) the full model prediction.  Three
+evaluators cover the repo's estimation stacks:
 
 * :class:`ModelEvaluator` — the Section 5.3 analytical
   :class:`~repro.core.model.PStoreModel` (microseconds per point; the
@@ -15,11 +16,18 @@ cover the repo's estimation stacks:
   ``(ClusterSpec, JoinWorkloadSpec) -> (time_s, energy_j)`` callable (the
   :class:`~repro.core.design_space.DesignSpaceExplorer` extension point).
 
+Subclasses implement :meth:`SearchEvaluator.evaluate_query` for one join;
+the shared :meth:`SearchEvaluator.evaluate` prices any workload — single
+joins, :class:`~repro.workloads.suite.WorkloadSuite` mixes, arrival-trace
+mixes — as the weight-summed cost of its entries, so suites inherit every
+evaluator (and the engine's memoization and fan-out) for free.
+
 Evaluators are plain picklable objects so the engine can ship them to
 ``multiprocessing`` workers; an infeasible design raises
 :class:`~repro.errors.ReproError`, which :func:`evaluate_design` converts
 into an infeasible :class:`EvaluatedDesign` record (identically on the
-serial and parallel paths).
+serial and parallel paths).  A workload is infeasible on a design as soon
+as *any* of its entries is — a design must run its whole workload.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from repro.hardware.cluster import ClusterSpec
 from repro.pstore.planner import plan_join
 from repro.pstore.simulated import SimulatedPStore
 from repro.search.grid import DesignCandidate
+from repro.workloads.protocol import Workload, as_workload
 from repro.workloads.queries import JoinWorkloadSpec
 
 __all__ = [
@@ -77,11 +86,37 @@ class EvaluatedDesign:
 class SearchEvaluator(abc.ABC):
     """Maps one candidate + workload to time/energy."""
 
-    @abc.abstractmethod
     def evaluate(
+        self, candidate: DesignCandidate, workload: Workload | JoinWorkloadSpec
+    ) -> EvaluatedDesign:
+        """Evaluate one design for any workload.
+
+        A workload's cost is the weight-summed cost of its entries (the
+        :func:`~repro.workloads.suite.evaluate_suite` aggregation rule);
+        single-entry unit-weight workloads keep the per-query record —
+        prediction attached — so the pre-redesign behaviour is preserved
+        bit for bit.  Raises :class:`ReproError` if any entry is
+        infeasible.
+        """
+        entries = as_workload(workload).weighted_queries()
+        if len(entries) == 1 and entries[0].weight == 1.0:
+            return self.evaluate_query(candidate, entries[0].query)
+        total_time = 0.0
+        total_energy = 0.0
+        for query, weight in entries:
+            point = self.evaluate_query(candidate, query)
+            total_time += weight * point.time_s
+            total_energy += weight * point.energy_j
+        return EvaluatedDesign(
+            candidate=candidate, time_s=total_time, energy_j=total_energy
+        )
+
+    @abc.abstractmethod
+    def evaluate_query(
         self, candidate: DesignCandidate, query: JoinWorkloadSpec
     ) -> EvaluatedDesign:
-        """Evaluate one design; raise :class:`ReproError` if infeasible."""
+        """Evaluate one design for one join; raise :class:`ReproError` if
+        infeasible."""
 
     @abc.abstractmethod
     def fingerprint(self) -> tuple:
@@ -101,7 +136,7 @@ class ModelEvaluator(SearchEvaluator):
     strict_paper_conditions: bool = False
     pipeline_cpu_cost: float = 1.0
 
-    def evaluate(
+    def evaluate_query(
         self, candidate: DesignCandidate, query: JoinWorkloadSpec
     ) -> EvaluatedDesign:
         params = ModelParameters.from_specs(
@@ -142,7 +177,7 @@ class SimulatorEvaluator(SearchEvaluator):
     receive_cpu_cost: float = 0.0
     concurrency: int = 1
 
-    def evaluate(
+    def evaluate_query(
         self, candidate: DesignCandidate, query: JoinWorkloadSpec
     ) -> EvaluatedDesign:
         cluster = candidate.cluster()
@@ -184,7 +219,7 @@ class CallableEvaluator(SearchEvaluator):
     def __init__(self, fn: Callable[[ClusterSpec, JoinWorkloadSpec], tuple[float, float]]):
         self._fn = fn
 
-    def evaluate(
+    def evaluate_query(
         self, candidate: DesignCandidate, query: JoinWorkloadSpec
     ) -> EvaluatedDesign:
         time_s, energy_j = self._fn(candidate.cluster(), query)
@@ -200,7 +235,7 @@ class CallableEvaluator(SearchEvaluator):
 def evaluate_design(
     evaluator: SearchEvaluator,
     candidate: DesignCandidate,
-    query: JoinWorkloadSpec,
+    workload: Workload | JoinWorkloadSpec,
 ) -> EvaluatedDesign:
     """Evaluate one candidate, mapping infeasibility to a record.
 
@@ -209,7 +244,7 @@ def evaluate_design(
     results to the serial one.
     """
     try:
-        return evaluator.evaluate(candidate, query)
+        return evaluator.evaluate(candidate, workload)
     except ReproError as exc:
         return EvaluatedDesign(
             candidate=candidate,
@@ -221,8 +256,8 @@ def evaluate_design(
 
 
 def evaluate_chunk(
-    payload: tuple[SearchEvaluator, JoinWorkloadSpec, Sequence[DesignCandidate]],
+    payload: tuple[SearchEvaluator, Workload, Sequence[DesignCandidate]],
 ) -> list[EvaluatedDesign]:
     """Worker entry point: evaluate one dispatch chunk."""
-    evaluator, query, candidates = payload
-    return [evaluate_design(evaluator, candidate, query) for candidate in candidates]
+    evaluator, workload, candidates = payload
+    return [evaluate_design(evaluator, candidate, workload) for candidate in candidates]

@@ -27,6 +27,7 @@ from repro.hardware.cluster import ClusterSpec
 from repro.hardware.dvfs import dvfs_variant
 from repro.hardware.node import NodeSpec
 from repro.pstore.plans import ExecutionMode
+from repro.workloads.protocol import join_cache_key
 from repro.workloads.queries import JoinWorkloadSpec
 
 __all__ = ["DesignCandidate", "DesignGrid", "query_key", "unique_labels"]
@@ -52,15 +53,13 @@ def _spec_key(spec: NodeSpec) -> tuple:
 
 
 def query_key(query: JoinWorkloadSpec) -> tuple:
-    """Deterministic identity of a workload for cache keys."""
-    return (
-        query.name,
-        query.build_volume_mb,
-        query.probe_volume_mb,
-        query.build_selectivity,
-        query.probe_selectivity,
-        query.method.value,
-    )
+    """Deterministic identity of one join spec for cache keys.
+
+    Kept as a re-export shim; the canonical definition lives with the
+    :class:`~repro.workloads.protocol.Workload` protocol
+    (:func:`~repro.workloads.protocol.join_cache_key`).
+    """
+    return join_cache_key(query)
 
 
 @dataclass(frozen=True)
@@ -69,8 +68,11 @@ class DesignCandidate:
 
     ``frequency_factor`` applies cluster-wide DVFS: both node types are
     scaled with :func:`~repro.hardware.dvfs.dvfs_variant` before being
-    handed to the evaluator.  ``homogeneous`` marks size-sweep points whose
-    cluster should be a plain homogeneous spec (no empty Wimpy group).
+    handed to the evaluator.  ``beefy_frequency_factor`` and
+    ``wimpy_frequency_factor`` override it per node type (e.g. Beefies at
+    0.8 with Wimpies at nominal clock); each defaults to the cluster-wide
+    factor.  ``homogeneous`` marks size-sweep points whose cluster should
+    be a plain homogeneous spec (no empty Wimpy group).
     """
 
     label: str
@@ -81,16 +83,23 @@ class DesignCandidate:
     frequency_factor: float = 1.0
     mode: ExecutionMode | None = None
     homogeneous: bool = False
+    beefy_frequency_factor: float | None = None
+    wimpy_frequency_factor: float | None = None
 
     def __post_init__(self) -> None:
         if self.num_beefy < 0 or self.num_wimpy < 0:
             raise ConfigurationError("node counts must be >= 0")
         if self.num_beefy + self.num_wimpy == 0:
             raise ConfigurationError(f"candidate {self.label!r} has no nodes")
-        if not 0.0 < self.frequency_factor <= 1.0:
-            raise ConfigurationError(
-                f"frequency factor must be in (0, 1], got {self.frequency_factor}"
-            )
+        for factor in (
+            self.frequency_factor,
+            self.effective_beefy_frequency,
+            self.effective_wimpy_frequency,
+        ):
+            if not 0.0 < factor <= 1.0:
+                raise ConfigurationError(
+                    f"frequency factor must be in (0, 1], got {factor}"
+                )
         if self.homogeneous and self.num_wimpy:
             raise ConfigurationError(
                 f"candidate {self.label!r}: homogeneous designs cannot have Wimpies"
@@ -102,18 +111,32 @@ class DesignCandidate:
         return self.num_beefy + self.num_wimpy
 
     @property
+    def effective_beefy_frequency(self) -> float:
+        """The Beefy DVFS state: per-type override or the cluster factor."""
+        if self.beefy_frequency_factor is not None:
+            return self.beefy_frequency_factor
+        return self.frequency_factor
+
+    @property
+    def effective_wimpy_frequency(self) -> float:
+        """The Wimpy DVFS state: per-type override or the cluster factor."""
+        if self.wimpy_frequency_factor is not None:
+            return self.wimpy_frequency_factor
+        return self.frequency_factor
+
+    @property
     def effective_beefy(self) -> NodeSpec:
         """The Beefy spec with the candidate's DVFS state applied."""
-        if self.frequency_factor == 1.0:
+        if self.effective_beefy_frequency == 1.0:
             return self.beefy
-        return dvfs_variant(self.beefy, self.frequency_factor)
+        return dvfs_variant(self.beefy, self.effective_beefy_frequency)
 
     @property
     def effective_wimpy(self) -> NodeSpec:
         """The Wimpy spec with the candidate's DVFS state applied."""
-        if self.frequency_factor == 1.0:
+        if self.effective_wimpy_frequency == 1.0:
             return self.wimpy
-        return dvfs_variant(self.wimpy, self.frequency_factor)
+        return dvfs_variant(self.wimpy, self.effective_wimpy_frequency)
 
     def cluster(self) -> ClusterSpec:
         """The candidate as a concrete cluster specification."""
@@ -130,13 +153,19 @@ class DesignCandidate:
         )
 
     def key(self) -> tuple:
-        """Deterministic cache key (independent of the display label)."""
+        """Deterministic cache key (independent of the display label).
+
+        DVFS enters via the *resolved* per-type frequencies, so a
+        cluster-wide factor and the equivalent pair of per-type overrides
+        share one cache entry — they describe the same hardware.
+        """
         return (
             _spec_key(self.beefy),
             _spec_key(self.wimpy),
             self.num_beefy,
             self.num_wimpy,
-            self.frequency_factor,
+            self.effective_beefy_frequency,
+            self.effective_wimpy_frequency,
             self.mode.value if self.mode is not None else None,
             self.homogeneous,
         )

@@ -1,0 +1,305 @@
+"""The ``Study`` facade: one fluent entry point for design-space studies.
+
+Pre-redesign, evaluating a workload over a design space meant choosing
+between three parallel APIs: :class:`~repro.core.design_space
+.DesignSpaceExplorer` sweeps (single joins, one axis),
+:func:`~repro.workloads.suite.suite_tradeoff_curve` (suites, no
+memoization, no parallelism, no Pareto selection), and the raw
+:class:`~repro.search.engine.DesignSpaceSearch` engine (grids, no
+normalized-curve analyses).  A :class:`Study` unifies them::
+
+    from repro import CLUSTER_V_NODE, WIMPY_LAPTOP_B, Study, DesignSpaceExplorer
+    from repro.workloads.suite import WorkloadSuite
+
+    explorer = DesignSpaceExplorer(CLUSTER_V_NODE, WIMPY_LAPTOP_B, cluster_size=8)
+    result = (
+        Study(explorer)
+        .with_workload(WorkloadSuite.of("nightly", q1, q2))
+        .with_workers(4)
+        .run()
+    )
+    result.pareto_frontier()          # SearchResult selections ...
+    result.best_under_sla(30.0)
+    result.curve().best_design(0.6)   # ... and TradeoffCurve analyses
+    result.to_json()                  # analysis/export hooks
+
+The space can be a :class:`~repro.search.grid.DesignGrid`, an explicit
+candidate sequence, or a :class:`DesignSpaceExplorer` — in the explorer
+case the study adopts its evaluator configuration *and its evaluation
+cache*, so studies, sweeps, and single-point evaluations all warm one
+memo and legacy sweeps stay bit-identical.  The workload is anything
+satisfying the :class:`~repro.workloads.protocol.Workload` protocol:
+single joins, weighted suites, arrival-trace mixes.
+
+Studies are immutable: every ``with_*`` step returns a new study, so
+partially-configured studies can be shared and forked freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterable
+
+from repro.core.design_space import DesignPoint, DesignSpaceExplorer, TradeoffCurve
+from repro.errors import ConfigurationError, ModelError
+from repro.pstore.plans import ExecutionMode
+from repro.search.cache import EvaluationCache
+from repro.search.engine import DesignSpaceSearch, SearchResult
+from repro.search.evaluators import (
+    CallableEvaluator,
+    EvaluatedDesign,
+    ModelEvaluator,
+    SearchEvaluator,
+)
+from repro.search.grid import DesignCandidate, DesignGrid
+from repro.workloads.protocol import Workload, as_workload
+from repro.workloads.queries import JoinWorkloadSpec
+
+__all__ = ["Study", "StudyResult"]
+
+
+class Study:
+    """A fluent, immutable description of one design-space study."""
+
+    def __init__(
+        self,
+        space: DesignGrid | DesignSpaceExplorer | Iterable[DesignCandidate],
+        *,
+        workload: Workload | None = None,
+        evaluator: SearchEvaluator | None = None,
+        workers: int = 1,
+        chunk_size: int | None = None,
+        cache: EvaluationCache | None = None,
+        mode: ExecutionMode | None = None,
+        reference_label: str | None = None,
+    ):
+        if isinstance(space, (DesignGrid, DesignSpaceExplorer)):
+            self._space: DesignGrid | DesignSpaceExplorer | tuple[DesignCandidate, ...] = space
+        else:
+            self._space = tuple(space)
+            if not self._space:
+                raise ConfigurationError("the design space is empty")
+        self._workload = workload
+        self._evaluator = evaluator
+        self._workers = workers
+        self._chunk_size = chunk_size
+        self._cache = cache
+        self._mode = mode
+        self._reference_label = reference_label
+
+    # ------------------------------------------------------------- fluent API
+    def _with(self, **overrides) -> "Study":
+        settings = {
+            "workload": self._workload,
+            "evaluator": self._evaluator,
+            "workers": self._workers,
+            "chunk_size": self._chunk_size,
+            "cache": self._cache,
+            "mode": self._mode,
+            "reference_label": self._reference_label,
+        }
+        settings.update(overrides)
+        return Study(self._space, **settings)
+
+    def with_workload(self, workload: Workload | JoinWorkloadSpec) -> "Study":
+        """Set the workload: a join spec, suite, trace mix, or any Workload."""
+        return self._with(workload=as_workload(workload))
+
+    def with_evaluator(
+        self,
+        evaluator: SearchEvaluator | Callable[..., tuple[float, float]],
+    ) -> "Study":
+        """Set the evaluator; bare ``(cluster, query)`` callables are adapted."""
+        if not isinstance(evaluator, SearchEvaluator):
+            if not callable(evaluator):
+                raise ConfigurationError(
+                    f"not an evaluator: {evaluator!r} (expected a SearchEvaluator "
+                    "or a (cluster, query) -> (time_s, energy_j) callable)"
+                )
+            evaluator = CallableEvaluator(evaluator)
+        return self._with(evaluator=evaluator)
+
+    def with_workers(self, workers: int, chunk_size: int | None = None) -> "Study":
+        """Fan cache misses out over ``workers`` processes."""
+        return self._with(workers=workers, chunk_size=chunk_size)
+
+    def with_cache(self, cache: "EvaluationCache | str") -> "Study":
+        """Use an explicit cache, or a path for a disk-backed one."""
+        if not isinstance(cache, EvaluationCache):
+            cache = EvaluationCache(cache_path=cache)
+        return self._with(cache=cache)
+
+    def with_mode(self, mode: ExecutionMode | None) -> "Study":
+        """Force one execution mode on every candidate built from an explorer."""
+        return self._with(mode=mode)
+
+    def with_reference(self, reference_label: str) -> "Study":
+        """Pick the normalization reference of the result's trade-off curve."""
+        return self._with(reference_label=reference_label)
+
+    # -------------------------------------------------------------- execution
+    def candidates(self) -> list[DesignCandidate]:
+        """The design points this study will evaluate, in order.
+
+        A forced execution mode (:meth:`with_mode`) applies to every
+        candidate regardless of the space kind — grid- and list-provided
+        candidates are rebound to it, explorer axes are built with it.
+        """
+        if isinstance(self._space, DesignSpaceExplorer):
+            return self._space.mix_candidates(self._mode)
+        if isinstance(self._space, DesignGrid):
+            candidates = self._space.candidate_list()
+        else:
+            candidates = list(self._space)
+        if self._mode is not None:
+            candidates = [replace(c, mode=self._mode) for c in candidates]
+        return candidates
+
+    def _resolve_evaluator(self) -> SearchEvaluator:
+        if self._evaluator is not None:
+            return self._evaluator
+        if isinstance(self._space, DesignSpaceExplorer):
+            return self._space.search_evaluator()
+        return ModelEvaluator()
+
+    def _resolve_cache(self) -> EvaluationCache | None:
+        if self._cache is not None:
+            return self._cache
+        if isinstance(self._space, DesignSpaceExplorer):
+            # Share the explorer's memo: studies warm sweeps and vice versa.
+            return self._space.cache
+        return None
+
+    def run(self) -> "StudyResult":
+        """Search the space for the workload and wrap the analyses."""
+        if self._workload is None:
+            raise ConfigurationError(
+                "this study has no workload; call .with_workload(...) first"
+            )
+        engine = DesignSpaceSearch(
+            evaluator=self._resolve_evaluator(),
+            workers=self._workers,
+            chunk_size=self._chunk_size,
+            cache=self._resolve_cache(),
+        )
+        result = engine.search(self.candidates(), self._workload)
+        return StudyResult(result, reference_label=self._reference_label)
+
+
+class StudyResult:
+    """Unified outcome of one study: raw search + trade-off analyses.
+
+    Exposes the :class:`~repro.search.engine.SearchResult` selections
+    (Pareto frontier, knee, EDP optimum, SLA-constrained best) directly,
+    the normalized :class:`~repro.core.design_space.TradeoffCurve`
+    analyses via :meth:`curve`, and the :mod:`repro.analysis.export`
+    serializers as methods.
+    """
+
+    def __init__(self, search: SearchResult, reference_label: str | None = None):
+        self.search = search
+        self.reference_label = reference_label
+
+    # -------------------------------------------------------- search surface
+    @property
+    def workload(self) -> Workload:
+        return self.search.workload
+
+    @property
+    def points(self) -> list[EvaluatedDesign]:
+        return self.search.points
+
+    @property
+    def feasible_points(self) -> list[EvaluatedDesign]:
+        return self.search.feasible_points
+
+    @property
+    def infeasible_points(self) -> list[EvaluatedDesign]:
+        return self.search.infeasible_points
+
+    @property
+    def evaluations(self) -> int:
+        return self.search.evaluations
+
+    @property
+    def cache_hits(self) -> int:
+        return self.search.cache_hits
+
+    def pareto_frontier(self) -> list[EvaluatedDesign]:
+        return self.search.pareto_frontier()
+
+    def knee(self) -> EvaluatedDesign:
+        return self.search.knee()
+
+    def edp_optimal(self) -> EvaluatedDesign:
+        return self.search.edp_optimal()
+
+    def best_under_sla(self, max_time_s: float) -> EvaluatedDesign:
+        return self.search.best_under_sla(max_time_s)
+
+    def point(self, label: str) -> EvaluatedDesign:
+        return self.search.point(label)
+
+    def __len__(self) -> int:
+        return len(self.search)
+
+    def __iter__(self):
+        return iter(self.search)
+
+    # --------------------------------------------------------- curve surface
+    def curve(self, reference_label: str | None = None) -> TradeoffCurve:
+        """The feasible points as a normalized trade-off curve.
+
+        Bit-identical to the legacy sweep outputs: same labels, same
+        times, same energies, in the same (enumeration) order.
+        """
+        points = [
+            DesignPoint(
+                label=evaluated.label,
+                cluster=evaluated.candidate.cluster(),
+                time_s=evaluated.time_s,
+                energy_j=evaluated.energy_j,
+                prediction=evaluated.prediction,
+            )
+            for evaluated in self.feasible_points
+        ]
+        if not points:
+            raise ModelError(
+                f"no feasible design for {self.workload.name!r}"
+            )
+        return TradeoffCurve(
+            points, reference_label=reference_label or self.reference_label
+        )
+
+    def normalized(self):
+        """The paper's normalized (performance, energy) series."""
+        return self.curve().normalized()
+
+    def best_design(self, target_performance: float) -> DesignPoint:
+        """Section 6 selection: least energy meeting a performance target."""
+        return self.curve().best_design(target_performance)
+
+    # ---------------------------------------------------------- export hooks
+    def to_rows(self) -> list[dict]:
+        """One plain dict per searched point (:func:`search_to_rows`)."""
+        from repro.analysis.export import search_to_rows
+
+        return search_to_rows(self.search)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Full outcome — points, frontier, selections — as JSON."""
+        from repro.analysis.export import search_to_json
+
+        return search_to_json(self.search, indent=indent)
+
+    def frontier_csv(self, frontier_only: bool = True) -> str:
+        """The searched points as CSV (by default just the frontier)."""
+        from repro.analysis.export import frontier_to_csv
+
+        return frontier_to_csv(self.search, frontier_only=frontier_only)
+
+    def curve_csv(self) -> str:
+        """The normalized trade-off curve as CSV."""
+        from repro.analysis.export import curve_to_csv
+
+        return curve_to_csv(self.normalized())

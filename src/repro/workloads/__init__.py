@@ -9,11 +9,22 @@
 * :mod:`repro.workloads.queries` — the join workload specifications used in
   the experiments (TPC-H Q3's LINEITEM x ORDERS join at configurable
   selectivities, the Section 5.4 700 GB x 2.8 TB join...).
+* :mod:`repro.workloads.protocol` — the :class:`Workload` protocol every
+  evaluation layer accepts: single joins (:class:`SingleJoin`), weighted
+  suites (:class:`~repro.workloads.suite.WorkloadSuite`), and
+  arrival-trace mixes (:class:`ArrivalMix`).
 * :mod:`repro.workloads.microbench` — the Figure 6 single-node in-memory
   hash join microbenchmark.
 """
 
 from repro.workloads.microbench import MicrobenchResult, MicroJoinSpec, simulate_microbench
+from repro.workloads.protocol import (
+    ArrivalMix,
+    SingleJoin,
+    WeightedQuery,
+    Workload,
+    as_workload,
+)
 from repro.workloads.queries import (
     JoinMethod,
     JoinWorkloadSpec,
@@ -46,6 +57,11 @@ __all__ = [
     "JoinWorkloadSpec",
     "q3_join",
     "section54_join",
+    "Workload",
+    "WeightedQuery",
+    "SingleJoin",
+    "ArrivalMix",
+    "as_workload",
     "MicroJoinSpec",
     "MicrobenchResult",
     "simulate_microbench",

@@ -1,0 +1,216 @@
+"""The first-class ``Workload`` protocol unifying single joins and mixes.
+
+The paper's Section 7 concedes that its single-join results must "expand
+the study to include entire workloads".  This module defines the one
+interface every evaluation layer — :class:`~repro.search.evaluators
+.SearchEvaluator`, :class:`~repro.search.engine.DesignSpaceSearch`,
+:class:`~repro.core.design_space.DesignSpaceExplorer`, and the
+:class:`~repro.study.Study` facade — accepts:
+
+* ``name`` — a display name;
+* ``cache_key()`` — a deterministic, hashable identity used to partition
+  the evaluation cache (workload *types* carry distinct tags, so a join,
+  a suite, and a trace mix sharing a name can never collide);
+* ``weighted_queries()`` / iteration — the workload as weighted
+  :class:`WeightedQuery` entries (weights are relative execution
+  frequencies; a design's cost is the weight-summed cost of its entries).
+
+Three implementations ship here and in :mod:`repro.workloads.suite`:
+
+* :class:`SingleJoin` — one :class:`~repro.workloads.queries
+  .JoinWorkloadSpec` at weight 1 (what every pre-redesign API took);
+* :class:`~repro.workloads.suite.WorkloadSuite` — a named, weighted mix;
+* :class:`ArrivalMix` — a mix derived from an arrival trace: each
+  occurrence of a query in the trace adds one to its weight, so the
+  schedules of :mod:`repro.workloads.arrivals` become searchable
+  workloads.
+
+Plain :class:`JoinWorkloadSpec` objects are accepted everywhere via
+:func:`as_workload`, which wraps them in :class:`SingleJoin` — existing
+call sites keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Protocol, Sequence, runtime_checkable
+
+from repro.errors import WorkloadError
+from repro.workloads.queries import JoinWorkloadSpec
+
+__all__ = [
+    "ArrivalMix",
+    "SingleJoin",
+    "WeightedQuery",
+    "Workload",
+    "as_workload",
+    "join_cache_key",
+]
+
+
+def join_cache_key(query: JoinWorkloadSpec) -> tuple:
+    """Deterministic identity of one join spec (the cache-key atom).
+
+    Covers every spec field an evaluator can read — including
+    ``tuple_bytes``, which custom evaluators may price even though the
+    analytical model only reads volumes.
+    """
+    return (
+        query.name,
+        query.build_volume_mb,
+        query.probe_volume_mb,
+        query.build_selectivity,
+        query.probe_selectivity,
+        query.method.value,
+        query.tuple_bytes,
+    )
+
+
+@dataclass(frozen=True)
+class WeightedQuery:
+    """One join of a workload with its relative execution frequency."""
+
+    query: JoinWorkloadSpec
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise WorkloadError(
+                f"{self.query.name}: workload weight must be > 0, got {self.weight}"
+            )
+
+    def __iter__(self) -> Iterator:
+        """Unpack as the ``(spec, weight)`` pair the protocol promises."""
+        return iter((self.query, self.weight))
+
+
+@runtime_checkable
+class Workload(Protocol):
+    """Anything the evaluation stack can price on a cluster design.
+
+    Structural: any object with ``name``, ``cache_key()`` and
+    ``weighted_queries()`` qualifies — :func:`as_workload` checks for
+    exactly these three members.
+    """
+
+    @property
+    def name(self) -> str: ...
+
+    def cache_key(self) -> tuple:
+        """Deterministic hashable identity, unique across workload types."""
+        ...
+
+    def weighted_queries(self) -> tuple[WeightedQuery, ...]:
+        """The workload as weighted join entries, in evaluation order."""
+        ...
+
+
+@dataclass(frozen=True)
+class SingleJoin:
+    """A lone join as a :class:`Workload` (the pre-redesign default)."""
+
+    query: JoinWorkloadSpec
+
+    @property
+    def name(self) -> str:
+        return self.query.name
+
+    def cache_key(self) -> tuple:
+        return ("join", *join_cache_key(self.query))
+
+    def weighted_queries(self) -> tuple[WeightedQuery, ...]:
+        return (WeightedQuery(self.query, 1.0),)
+
+    def __iter__(self) -> Iterator[WeightedQuery]:
+        return iter(self.weighted_queries())
+
+
+@dataclass(frozen=True)
+class ArrivalMix:
+    """A workload mix derived from a query arrival trace.
+
+    Each arrival contributes one unit of weight to its query, so a trace
+    where a daily report fires five times as often as a weekly rollup
+    yields a 5:1 mix.  Build one with :meth:`from_trace` from the
+    ``(query, arrival_time_s)`` events an arrival schedule produces
+    (:mod:`repro.workloads.arrivals`).
+    """
+
+    name: str
+    entries: tuple[WeightedQuery, ...]
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise WorkloadError(f"arrival mix {self.name!r} has no entries")
+        specs = [entry.query for entry in self.entries]
+        if len(set(specs)) != len(specs):
+            raise WorkloadError(
+                f"arrival mix {self.name!r} lists the same query twice"
+            )
+
+    @classmethod
+    def from_trace(
+        cls,
+        name: str,
+        events: Sequence[tuple[JoinWorkloadSpec, float]],
+    ) -> "ArrivalMix":
+        """Derive the mix from ``(query, arrival_time_s)`` trace events.
+
+        Queries keep first-appearance order; each event adds weight 1 to
+        its query.  Arrival times must be non-negative (they order the
+        trace but do not affect the weights).
+        """
+        if not events:
+            raise WorkloadError(f"arrival mix {name!r} needs at least one event")
+        counts: dict[JoinWorkloadSpec, int] = {}
+        for query, arrival_s in events:
+            if arrival_s < 0:
+                raise WorkloadError(
+                    f"arrival mix {name!r}: arrival times must be >= 0, "
+                    f"got {arrival_s}"
+                )
+            counts[query] = counts.get(query, 0) + 1
+        return cls(
+            name=name,
+            entries=tuple(
+                WeightedQuery(query, float(count)) for query, count in counts.items()
+            ),
+        )
+
+    @property
+    def total_weight(self) -> float:
+        return sum(entry.weight for entry in self.entries)
+
+    def cache_key(self) -> tuple:
+        return (
+            "trace",
+            self.name,
+            tuple((join_cache_key(e.query), e.weight) for e in self.entries),
+        )
+
+    def weighted_queries(self) -> tuple[WeightedQuery, ...]:
+        return self.entries
+
+    def __iter__(self) -> Iterator[WeightedQuery]:
+        return iter(self.entries)
+
+
+def as_workload(workload: "Workload | JoinWorkloadSpec") -> "Workload":
+    """Coerce a bare join spec (or pass through any :class:`Workload`).
+
+    The check is structural, not nominal: suites, trace mixes, and any
+    user type exposing ``name``/``cache_key``/``weighted_queries``
+    qualify without importing this module.
+    """
+    if isinstance(workload, JoinWorkloadSpec):
+        return SingleJoin(workload)
+    if (
+        hasattr(workload, "name")
+        and callable(getattr(workload, "cache_key", None))
+        and callable(getattr(workload, "weighted_queries", None))
+    ):
+        return workload
+    raise WorkloadError(
+        f"not a workload: {workload!r} (expected a JoinWorkloadSpec or an "
+        "object with name, cache_key() and weighted_queries())"
+    )

@@ -4,22 +4,30 @@
 expand the study to include entire workloads."
 
 A :class:`WorkloadSuite` is a weighted mix of join workloads (weights are
-relative execution frequencies).  :func:`evaluate_suite` prices the whole
-suite on one cluster design with the analytical model, and
-:func:`suite_tradeoff_curve` sweeps Beefy/Wimpy mixes so the Section 6
-selection rules apply to workloads, not just single queries.  Execution
-mode is resolved *per query* (a suite can mix homogeneous- and
+relative execution frequencies).  It implements the
+:class:`~repro.workloads.protocol.Workload` protocol, so every evaluation
+layer — :class:`~repro.search.engine.DesignSpaceSearch`,
+:class:`~repro.core.design_space.DesignSpaceExplorer` sweeps, and the
+:class:`~repro.study.Study` facade — prices suites directly, with
+memoization, multiprocessing fan-out, and Pareto/knee/SLA selection.
+Execution mode is resolved *per query* (a suite can mix homogeneous- and
 heterogeneous-mode joins on the same cluster).
+
+:func:`evaluate_suite` prices the whole suite on one cluster design with
+the analytical model; :func:`suite_tradeoff_curve` is the legacy sweep
+entry point, now a thin shim over :class:`~repro.study.Study` that
+returns bit-identical results to the pre-redesign implementation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterator, Sequence
 
-from repro.core.design_space import DesignPoint, DesignSpaceExplorer, TradeoffCurve
+from repro.core.design_space import DesignSpaceExplorer, TradeoffCurve
 from repro.core.model import ModelParameters, PStoreModel
-from repro.errors import ModelError, WorkloadError
+from repro.errors import WorkloadError
+from repro.workloads.protocol import WeightedQuery, join_cache_key
 from repro.workloads.queries import JoinWorkloadSpec
 
 __all__ = ["SuiteEntry", "WorkloadSuite", "evaluate_suite", "suite_tradeoff_curve"]
@@ -64,6 +72,25 @@ class WorkloadSuite:
     @property
     def total_weight(self) -> float:
         return sum(entry.weight for entry in self.entries)
+
+    # ------------------------------------------------- Workload protocol
+    def cache_key(self) -> tuple:
+        return (
+            "suite",
+            self.name,
+            tuple(
+                (join_cache_key(entry.workload), entry.weight)
+                for entry in self.entries
+            ),
+        )
+
+    def weighted_queries(self) -> tuple[WeightedQuery, ...]:
+        return tuple(
+            WeightedQuery(entry.workload, entry.weight) for entry in self.entries
+        )
+
+    def __iter__(self) -> Iterator[WeightedQuery]:
+        return iter(self.weighted_queries())
 
 
 @dataclass(frozen=True)
@@ -112,29 +139,26 @@ def suite_tradeoff_curve(
 ) -> TradeoffCurve:
     """Sweep the explorer's mixes, pricing the whole suite at each design.
 
-    Designs that cannot run every suite query are skipped, mirroring the
-    single-query sweep's feasibility rule.
+    Legacy shim: delegates to ``Study(explorer).with_workload(suite)`` —
+    the suite now runs through the memoized search engine — and returns
+    the same :class:`TradeoffCurve` (bit-identical times, energies, and
+    labels) as the pre-redesign per-mix loop.  That loop always priced
+    suites with the plain analytical model (``warm_cache`` only — never
+    the explorer's ``strict_paper_conditions`` flag or custom evaluator),
+    so the shim pins exactly that evaluator rather than adopting the
+    explorer's.  Designs that cannot run every suite query are skipped,
+    mirroring the single-query sweep's feasibility rule.
     """
-    points: list[DesignPoint] = []
-    for cluster in explorer.mixes():
-        params = ModelParameters.from_specs(
-            explorer.beefy, cluster.num_beefy, explorer.wimpy, cluster.num_wimpy
-        )
-        try:
-            evaluation = evaluate_suite(suite, params, warm_cache=explorer.warm_cache)
-        except ModelError:
-            continue
-        points.append(
-            DesignPoint(
-                label=cluster.name,
-                cluster=cluster,
-                time_s=evaluation.time_s,
-                energy_j=evaluation.energy_j,
-            )
-        )
-    if not points:
-        raise ModelError(f"no feasible design for suite {suite.name!r}")
-    return TradeoffCurve(points)
+    from repro.search.evaluators import ModelEvaluator
+    from repro.study import Study
+
+    return (
+        Study(explorer)
+        .with_workload(suite)
+        .with_evaluator(ModelEvaluator(warm_cache=explorer.warm_cache))
+        .run()
+        .curve()
+    )
 
 
 def suite_from_selectivity_mix(

@@ -129,6 +129,6 @@ class TestSearchExport:
         assert len(payload["points"]) == 9
 
     def test_empty_export_rejected(self):
-        empty = SearchResult(query=section54_join(), points=[])
+        empty = SearchResult(workload=section54_join(), points=[])
         with pytest.raises(ReproError):
             frontier_to_csv(empty)

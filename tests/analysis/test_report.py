@@ -9,7 +9,6 @@ from repro.analysis.report import (
     render_table,
 )
 from repro.core.edp import NormalizedPoint
-from repro.errors import ModelError
 from repro.hardware.cluster import ClusterSpec
 from repro.hardware.presets import CLUSTER_V_NODE
 from repro.pstore.engine import PStore, PStoreConfig

@@ -1,6 +1,5 @@
 """One plan object, two executors: pricing and execution must agree."""
 
-import numpy as np
 import pytest
 
 from repro.errors import PlanError

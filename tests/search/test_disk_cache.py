@@ -1,0 +1,174 @@
+"""Disk-backed evaluation cache: persistence across processes/instances."""
+
+from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
+from repro.search import (
+    CallableEvaluator,
+    DesignGrid,
+    DesignSpaceSearch,
+    EvaluationCache,
+)
+from repro.workloads.queries import section54_join
+from repro.workloads.suite import WorkloadSuite
+
+
+def paper_grid():
+    return DesignGrid.paper_axis(CLUSTER_V_NODE, WIMPY_LAPTOP_B, 8)
+
+
+def _module_level_cost(cluster, query):
+    return (float(cluster.num_beefy), 1.0)
+
+
+class TestDiskBackedCache:
+    def test_memory_cache_is_not_persistent(self):
+        assert not EvaluationCache().persistent
+
+    def test_entries_survive_a_new_cache_instance(self, tmp_path):
+        """Simulates a process restart: a fresh cache reads the old rows."""
+        path = tmp_path / "evals.sqlite"
+        first = EvaluationCache(cache_path=path)
+        assert first.persistent
+        result = DesignSpaceSearch(cache=first).search(paper_grid(), section54_join())
+        assert result.evaluations == 9
+        first.close()
+
+        warm = EvaluationCache(cache_path=path)
+        assert len(warm) == 9
+        resumed = DesignSpaceSearch(cache=warm).search(paper_grid(), section54_join())
+        assert resumed.evaluations == 0
+        assert resumed.cache_hits == 9
+        assert resumed.points == result.points
+
+    def test_infeasible_results_are_persisted_too(self, tmp_path):
+        path = tmp_path / "evals.sqlite"
+        query = section54_join(0.10, 0.10)  # 1B,7W / 0B,8W cannot hold the table
+        first = DesignSpaceSearch(cache=EvaluationCache(cache_path=path)).search(
+            paper_grid(), query
+        )
+        assert first.infeasible_points
+        resumed = DesignSpaceSearch(cache=EvaluationCache(cache_path=path)).search(
+            paper_grid(), query
+        )
+        assert resumed.evaluations == 0
+        assert {p.label for p in resumed.infeasible_points} == {
+            p.label for p in first.infeasible_points
+        }
+
+    def test_suite_workloads_share_the_disk_store(self, tmp_path):
+        path = tmp_path / "evals.sqlite"
+        suite = WorkloadSuite.of("s", section54_join(0.01, 0.10))
+        DesignSpaceSearch(cache=EvaluationCache(cache_path=path)).search(
+            paper_grid(), suite
+        )
+        resumed = DesignSpaceSearch(cache=EvaluationCache(cache_path=path)).search(
+            paper_grid(), suite
+        )
+        assert resumed.evaluations == 0
+
+    def test_clear_empties_the_disk_store(self, tmp_path):
+        path = tmp_path / "evals.sqlite"
+        cache = EvaluationCache(cache_path=path)
+        DesignSpaceSearch(cache=cache).search(paper_grid(), section54_join())
+        cache.clear()
+        assert len(cache) == 0
+        assert len(EvaluationCache(cache_path=path)) == 0
+
+    def test_contains_reads_the_disk_tier_without_counting(self, tmp_path):
+        path = tmp_path / "evals.sqlite"
+        cache = EvaluationCache(cache_path=path)
+        DesignSpaceSearch(cache=cache).search(paper_grid(), section54_join())
+        key = next(iter(cache._entries))
+        fresh = EvaluationCache(cache_path=path)
+        assert key in fresh
+        assert (fresh.hits, fresh.misses) == (0, 0)
+        # the probed entry was promoted: the follow-up get() is a dict hit
+        assert key in fresh._entries
+
+    def test_corrupt_rows_degrade_to_misses(self, tmp_path):
+        """A truncated/garbage row must re-evaluate, not crash the sweep."""
+        path = tmp_path / "evals.sqlite"
+        cache = EvaluationCache(cache_path=path)
+        DesignSpaceSearch(cache=cache).search(paper_grid(), section54_join())
+        cache.close()
+
+        import sqlite3
+
+        db = sqlite3.connect(str(path))
+        db.execute("UPDATE evaluations SET value = ?", (b"garbage",))
+        db.commit()
+        db.close()
+
+        resumed = DesignSpaceSearch(cache=EvaluationCache(cache_path=path)).search(
+            paper_grid(), section54_join()
+        )
+        assert resumed.evaluations == 9  # all rows dropped and re-evaluated
+        assert all(p.feasible for p in resumed.points[:2])
+
+    def test_version_bump_invalidates_persisted_entries(self, tmp_path):
+        """Entries written by another package version are dropped, bounding
+        the silent-staleness window of unchanged evaluator fingerprints."""
+        path = tmp_path / "evals.sqlite"
+        cache = EvaluationCache(cache_path=path)
+        DesignSpaceSearch(cache=cache).search(paper_grid(), section54_join())
+        cache.close()
+
+        import sqlite3
+
+        db = sqlite3.connect(str(path))
+        db.execute("UPDATE meta SET value = '0.0.0' WHERE key = 'repro_version'")
+        db.commit()
+        db.close()
+
+        stale = EvaluationCache(cache_path=path)
+        assert len(stale) == 0
+        resumed = DesignSpaceSearch(cache=stale).search(paper_grid(), section54_join())
+        assert resumed.evaluations == 9
+
+    def test_len_counts_disk_and_memory_only_entries(self, tmp_path):
+        path = tmp_path / "evals.sqlite"
+        cache = EvaluationCache(cache_path=path)
+        DesignSpaceSearch(cache=cache).search(paper_grid(), section54_join())
+        cache.close()
+
+        fresh = EvaluationCache(cache_path=path)
+        evaluator = CallableEvaluator(lambda cluster, query: (1.0, 2.0))
+        DesignSpaceSearch(evaluator=evaluator, cache=fresh).search(
+            paper_grid(), section54_join()
+        )
+        assert len(fresh) == 18  # 9 persisted + 9 memory-only (lambda key)
+
+    def test_unpicklable_keys_degrade_to_memory_only(self, tmp_path):
+        """Lambda-backed evaluators cannot persist; sweeps must still work."""
+        path = tmp_path / "evals.sqlite"
+        evaluator = CallableEvaluator(lambda cluster, query: (1.0, 2.0))
+        cache = EvaluationCache(cache_path=path)
+        search = DesignSpaceSearch(evaluator=evaluator, cache=cache)
+        first = search.search(paper_grid(), section54_join())
+        assert all(p.time_s == 1.0 for p in first.points)
+        # in-memory memoization still applies within the process ...
+        again = search.search(paper_grid(), section54_join())
+        assert again.evaluations == 0
+        # ... but nothing landed on disk
+        fresh = EvaluationCache(cache_path=path)
+        rows = fresh._db.execute("SELECT COUNT(*) FROM evaluations").fetchone()[0]
+        assert rows == 0
+
+    def test_module_level_callables_are_not_persisted_either(self, tmp_path):
+        """A module-level function pickles by *name*, so persisting its
+        entries would survive edits to the function body and serve stale
+        numbers; callable fingerprints always stay memory-only."""
+        path = tmp_path / "evals.sqlite"
+        evaluator = CallableEvaluator(_module_level_cost)
+        cache = EvaluationCache(cache_path=path)
+        DesignSpaceSearch(evaluator=evaluator, cache=cache).search(
+            paper_grid(), section54_join()
+        )
+        rows = cache._db.execute("SELECT COUNT(*) FROM evaluations").fetchone()[0]
+        assert rows == 0
+        assert len(cache._entries) == 9  # memory tier still memoizes
+
+    def test_disk_and_memory_tiers_agree_on_stats_entries(self, tmp_path):
+        path = tmp_path / "evals.sqlite"
+        cache = EvaluationCache(cache_path=path)
+        DesignSpaceSearch(cache=cache).search(paper_grid(), section54_join())
+        assert cache.stats.entries == 9

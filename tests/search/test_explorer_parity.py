@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.design_space import DesignSpaceExplorer
+from repro.errors import ModelError
 from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
 from repro.pstore.plans import ExecutionMode
 from repro.search import DesignGrid, DesignSpaceSearch, ModelEvaluator
@@ -89,6 +90,72 @@ def test_explorer_resweep_is_cached(explorer):
     hits_before = explorer._cache.hits
     explorer.sweep(query)
     assert explorer._cache.hits == hits_before + 9
+
+
+def test_explorer_evaluate_warms_the_sweep_memo():
+    """Single-point evaluations go through the shared evaluator + cache."""
+    from repro.hardware.presets import CLUSTER_V_NODE as beefy
+    from repro.hardware.presets import WIMPY_LAPTOP_B as wimpy
+
+    fresh = DesignSpaceExplorer(beefy, wimpy, cluster_size=8)
+    query = section54_join()
+    fresh.evaluate(fresh.mixes()[2], query)  # 6B,2W
+    assert len(fresh._cache) == 1
+    curve = fresh.sweep(query)
+    # the sweep re-used the single-point entry: 9 designs, 8 fresh evals
+    assert len(fresh._cache) == 9
+    assert fresh._cache.hits >= 1
+    assert curve.point("6B,2W")
+
+
+def test_explorer_evaluate_reads_the_sweep_memo():
+    from repro.hardware.presets import CLUSTER_V_NODE as beefy
+    from repro.hardware.presets import WIMPY_LAPTOP_B as wimpy
+
+    fresh = DesignSpaceExplorer(beefy, wimpy, cluster_size=8)
+    query = section54_join()
+    fresh.sweep(query)
+    misses_before = fresh._cache.misses
+    point = fresh.evaluate(fresh.mixes()[0], query)  # 8B,0W: already priced
+    assert fresh._cache.misses == misses_before
+    assert point.label == "8B,0W"
+
+
+def test_explorer_evaluate_raises_for_infeasible_designs():
+    from repro.hardware.presets import CLUSTER_V_NODE as beefy
+    from repro.hardware.presets import WIMPY_LAPTOP_B as wimpy
+
+    fresh = DesignSpaceExplorer(beefy, wimpy, cluster_size=8)
+    query = section54_join(0.10, 0.10)
+    with pytest.raises(ModelError):
+        fresh.evaluate(fresh.mixes()[-1], query)  # 0B,8W cannot hold the table
+
+
+def test_explorer_evaluate_foreign_cluster_reaches_the_callable():
+    """A custom evaluator receives the caller's actual cluster — even one
+    the explorer's specs cannot rebuild — and the result never lands in
+    the sweep cache under a same-shaped key (regression)."""
+    from repro.hardware.cluster import ClusterSpec
+
+    seen = []
+
+    def spy(cluster, query):
+        seen.append(cluster)
+        return (1.0, 2.0)
+
+    fresh = DesignSpaceExplorer(
+        CLUSTER_V_NODE, WIMPY_LAPTOP_B, cluster_size=8, evaluator=spy
+    )
+    all_wimpy = ClusterSpec.beefy_wimpy(WIMPY_LAPTOP_B, 4, WIMPY_LAPTOP_B, 4)
+    point = fresh.evaluate(all_wimpy, section54_join())
+    assert seen[0] is all_wimpy  # the callable saw the foreign hardware
+    assert point.cluster is all_wimpy
+    assert len(fresh._cache) == 0  # foreign clusters must not pollute the memo
+
+    # a matching cluster still routes through the engine and is cached
+    fresh.evaluate(fresh.mixes()[2], section54_join())
+    assert len(fresh._cache) == 1
+    assert seen[1].num_beefy == 6
 
 
 def test_sweep_sizes_parity():

@@ -1,0 +1,109 @@
+"""Per-node-type DVFS factors on design candidates (ROADMAP item)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
+from repro.search import DesignSpaceSearch, EvaluationCache
+from repro.search.grid import DesignCandidate
+from repro.workloads.queries import section54_join
+
+
+def candidate(**kwargs):
+    defaults = dict(
+        label="4B,4W",
+        beefy=CLUSTER_V_NODE,
+        wimpy=WIMPY_LAPTOP_B,
+        num_beefy=4,
+        num_wimpy=4,
+    )
+    defaults.update(kwargs)
+    return DesignCandidate(**defaults)
+
+
+class TestPerNodeFactors:
+    def test_defaults_follow_the_cluster_wide_factor(self):
+        point = candidate(frequency_factor=0.8)
+        assert point.effective_beefy_frequency == 0.8
+        assert point.effective_wimpy_frequency == 0.8
+        assert point.effective_beefy.cpu_bandwidth_mbps == pytest.approx(
+            0.8 * CLUSTER_V_NODE.cpu_bandwidth_mbps
+        )
+
+    def test_per_type_overrides_apply_independently(self):
+        point = candidate(beefy_frequency_factor=0.8)  # Wimpies at nominal
+        assert point.effective_beefy_frequency == 0.8
+        assert point.effective_wimpy_frequency == 1.0
+        assert point.effective_beefy.cpu_bandwidth_mbps == pytest.approx(
+            0.8 * CLUSTER_V_NODE.cpu_bandwidth_mbps
+        )
+        assert point.effective_wimpy is WIMPY_LAPTOP_B
+
+    def test_out_of_range_overrides_rejected(self):
+        with pytest.raises(ConfigurationError):
+            candidate(beefy_frequency_factor=0.0)
+        with pytest.raises(ConfigurationError):
+            candidate(wimpy_frequency_factor=1.5)
+
+    def test_cache_key_uses_resolved_frequencies(self):
+        """A cluster-wide factor and the equivalent per-type pair describe
+        the same hardware and must share one cache entry."""
+        cluster_wide = candidate(frequency_factor=0.8)
+        per_type = candidate(
+            beefy_frequency_factor=0.8, wimpy_frequency_factor=0.8
+        )
+        assert cluster_wide.key() == per_type.key()
+
+    def test_distinct_per_type_states_get_distinct_keys(self):
+        nominal = candidate()
+        beefy_only = candidate(beefy_frequency_factor=0.8)
+        wimpy_only = candidate(wimpy_frequency_factor=0.8)
+        keys = {nominal.key(), beefy_only.key(), wimpy_only.key()}
+        assert len(keys) == 3
+
+
+class TestPerNodeFactorsThroughEngine:
+    def test_beefy_downclock_differs_from_cluster_downclock(self):
+        query = section54_join(0.01, 0.10)
+        engine = DesignSpaceSearch(cache=EvaluationCache())
+        both = engine.search(
+            [candidate(label="both@80", frequency_factor=0.8)], query
+        ).points[0]
+        beefy_only = engine.search(
+            [candidate(label="beefy@80", beefy_frequency_factor=0.8)], query
+        ).points[0]
+        assert engine.cache.stats.entries == 2  # no key collision
+        assert beefy_only.energy_j != both.energy_j
+
+    def test_exports_carry_resolved_per_type_frequencies(self):
+        """CSV/JSON rows must state the DVFS state the evaluator actually
+        priced, not the cluster-wide field an override hides (regression)."""
+        from repro.analysis.export import search_to_rows
+
+        result = DesignSpaceSearch().search(
+            [candidate(label="asym", beefy_frequency_factor=0.8)],
+            section54_join(0.01, 0.10),
+        )
+        row = search_to_rows(result)[0]
+        assert row["beefy_frequency_factor"] == 0.8
+        assert row["wimpy_frequency_factor"] == 1.0
+
+    def test_mixed_dvfs_states_search_cleanly(self):
+        """The paper's ROADMAP example: Beefies at 0.8, Wimpies at 1.0."""
+        query = section54_join(0.01, 0.10)
+        candidates = [
+            candidate(label="nominal"),
+            candidate(label="beefy-throttled", beefy_frequency_factor=0.8),
+            candidate(
+                label="inverse",
+                beefy_frequency_factor=1.0,
+                wimpy_frequency_factor=0.8,
+            ),
+        ]
+        result = DesignSpaceSearch().search(candidates, query)
+        assert [p.label for p in result.points] == [
+            "nominal",
+            "beefy-throttled",
+            "inverse",
+        ]
+        assert all(p.feasible for p in result.points)

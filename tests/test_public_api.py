@@ -45,7 +45,9 @@ def test_quickstart_docstring_workflow():
         "repro.simulator.allocation",
         "repro.simulator.network",
         "repro.simulator.trace",
+        "repro.study",
         "repro.workloads",
+        "repro.workloads.protocol",
         "repro.workloads.tpch",
         "repro.workloads.datagen",
         "repro.workloads.queries",

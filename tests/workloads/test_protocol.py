@@ -1,0 +1,154 @@
+"""The Workload protocol: adapters, trace mixes, coercion, cache keys."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.protocol import (
+    ArrivalMix,
+    SingleJoin,
+    WeightedQuery,
+    Workload,
+    as_workload,
+    join_cache_key,
+)
+from repro.workloads.queries import section54_join
+from repro.workloads.suite import SuiteEntry, WorkloadSuite
+
+
+class TestWeightedQuery:
+    def test_unpacks_as_spec_weight_pair(self):
+        query = section54_join()
+        spec, weight = WeightedQuery(query, 2.5)
+        assert spec is query
+        assert weight == 2.5
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(WorkloadError):
+            WeightedQuery(section54_join(), 0.0)
+
+
+class TestSingleJoin:
+    def test_name_and_entries(self):
+        query = section54_join()
+        single = SingleJoin(query)
+        assert single.name == query.name
+        assert [tuple(e) for e in single.weighted_queries()] == [(query, 1.0)]
+        assert [e.query for e in single] == [query]
+
+    def test_cache_key_extends_join_key(self):
+        query = section54_join()
+        assert SingleJoin(query).cache_key() == ("join", *join_cache_key(query))
+
+
+class TestArrivalMix:
+    def test_from_trace_counts_arrivals(self):
+        daily = section54_join(0.01, 0.01)
+        weekly = section54_join(0.01, 0.10)
+        events = [(daily, 0.0), (weekly, 5.0), (daily, 10.0), (daily, 60.0)]
+        mix = ArrivalMix.from_trace("day", events)
+        assert [tuple(e) for e in mix.weighted_queries()] == [
+            (daily, 3.0),
+            (weekly, 1.0),
+        ]
+        assert mix.total_weight == 4.0
+
+    def test_first_appearance_order_is_kept(self):
+        a, b = section54_join(0.01, 0.10), section54_join(0.10, 0.02)
+        mix = ArrivalMix.from_trace("t", [(b, 0.0), (a, 1.0), (b, 2.0)])
+        assert [entry.query for entry in mix.entries] == [b, a]
+
+    def test_negative_arrival_time_rejected(self):
+        with pytest.raises(WorkloadError, match=">= 0"):
+            ArrivalMix.from_trace("t", [(section54_join(), -1.0)])
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(WorkloadError):
+            ArrivalMix.from_trace("t", [])
+
+    def test_duplicate_entries_rejected(self):
+        query = section54_join()
+        with pytest.raises(WorkloadError, match="twice"):
+            ArrivalMix(
+                name="t",
+                entries=(WeightedQuery(query, 1.0), WeightedQuery(query, 2.0)),
+            )
+
+    def test_arrival_schedules_feed_traces(self):
+        """The arrivals module's schedules zip directly into a mix."""
+        from repro.workloads.arrivals import periodic_arrivals
+
+        query = section54_join()
+        times = periodic_arrivals(4, interval_s=30.0)
+        mix = ArrivalMix.from_trace("periodic", [(query, t) for t in times])
+        assert mix.weighted_queries()[0].weight == 4.0
+
+
+class TestAsWorkload:
+    def test_join_spec_is_wrapped(self):
+        query = section54_join()
+        workload = as_workload(query)
+        assert isinstance(workload, SingleJoin)
+        assert workload.query is query
+
+    def test_protocol_objects_pass_through(self):
+        suite = WorkloadSuite.of("s", section54_join())
+        mix = ArrivalMix.from_trace("t", [(section54_join(), 0.0)])
+        single = SingleJoin(section54_join())
+        for workload in (suite, mix, single):
+            assert as_workload(workload) is workload
+
+    def test_structural_duck_typing(self):
+        """Any object with the three protocol members qualifies."""
+
+        class Custom:
+            name = "custom"
+
+            def cache_key(self):
+                return ("custom",)
+
+            def weighted_queries(self):
+                return (WeightedQuery(section54_join(), 1.0),)
+
+        custom = Custom()
+        assert as_workload(custom) is custom
+        assert isinstance(custom, Workload)
+
+    def test_non_workloads_rejected(self):
+        with pytest.raises(WorkloadError, match="not a workload"):
+            as_workload(42)
+        with pytest.raises(WorkloadError, match="not a workload"):
+            as_workload("section5.4-join")
+
+
+class TestCacheKeyNonCollision:
+    """A join, a suite, and a trace sharing one name must never collide."""
+
+    def test_types_are_tagged(self):
+        query = section54_join()  # name: section5.4-join
+        single = SingleJoin(query)
+        suite = WorkloadSuite(
+            name=query.name, entries=(SuiteEntry(query, 1.0),)
+        )
+        mix = ArrivalMix.from_trace(query.name, [(query, 0.0)])
+        keys = {single.cache_key(), suite.cache_key(), mix.cache_key()}
+        assert len(keys) == 3
+
+    def test_suite_keys_cover_weights(self):
+        query = section54_join()
+        light = WorkloadSuite(name="s", entries=(SuiteEntry(query, 1.0),))
+        heavy = WorkloadSuite(name="s", entries=(SuiteEntry(query, 2.0),))
+        assert light.cache_key() != heavy.cache_key()
+
+    def test_suite_keys_cover_entry_parameters(self):
+        a = WorkloadSuite.of("s", section54_join(0.01, 0.10))
+        b = WorkloadSuite.of("s", section54_join(0.10, 0.10))
+        assert a.cache_key() != b.cache_key()
+
+    def test_join_keys_cover_tuple_bytes(self):
+        """Joins differing only in tuple_bytes must not collide: custom
+        evaluators may price per-tuple costs (regression)."""
+        from dataclasses import replace
+
+        base = section54_join()
+        fat = replace(base, tuple_bytes=base.tuple_bytes * 10)
+        assert join_cache_key(base) != join_cache_key(fat)
