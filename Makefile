@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint pytest bench search-demo
+.PHONY: test lint pytest bench bench-json search-demo
 
 # Tier-1 verification: lint (when available) + the unit/integration
 # suite (benchmarks are opt-in).
@@ -26,6 +26,11 @@ lint:
 # Paper-reproduction + performance benchmarks (regenerates every figure).
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+# Search-engine perf trajectory: times old vs new dispatch on the
+# 216-design suite-sweep campaign and records it for future PRs.
+bench-json:
+	$(PYTHON) benchmarks/test_query_fanout.py --json BENCH_search.json
 
 # Sweep a 216-point design grid and print its Pareto frontier.
 search-demo:

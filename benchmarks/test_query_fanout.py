@@ -1,0 +1,157 @@
+"""Query-fanout bench: old workload-granular vs new per-entry dispatch.
+
+The scenario is the redesign's target regime — a *campaign* of suite
+searches over a 216-design grid, where the suites overlap heavily in
+member joins (the nightly-report pattern: mixes share most queries).
+
+* **legacy** replays the pre-redesign engine faithfully: one evaluation
+  per (candidate, workload), workload-level dispatch chunks, and a fresh
+  ``multiprocessing`` pool spun up per ``search()`` call (via the
+  preserved :func:`~repro.search.evaluators.evaluate_chunk` entry point);
+* **fanout** is the shipped engine: flatten to (candidate x entry) tasks,
+  dedupe and memoize per entry, dispatch over one persistent pool shared
+  by the whole campaign.
+
+``pytest benchmarks/test_query_fanout.py -q`` runs a compact campaign
+through pytest-benchmark and asserts the two paths agree point for
+point.  ``make bench-json`` (``python benchmarks/test_query_fanout.py
+--json BENCH_search.json``) times the full 216-design campaign and
+records the wall-clock win so future PRs can track the speedup.
+"""
+
+import json
+import math
+import sys
+import time
+
+from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
+from repro.search import (
+    DesignGrid,
+    DesignSpaceSearch,
+    EvaluationCache,
+    SimulatorEvaluator,
+)
+from repro.search.evaluators import evaluate_chunk
+from repro.workloads.queries import q3_join
+from repro.workloads.suite import WorkloadSuite
+
+WORKERS = 2
+
+#: the acceptance-criteria space: 216 designs (>= 200)
+FULL_GRID = DesignGrid(
+    node_pairs=((CLUSTER_V_NODE, WIMPY_LAPTOP_B),),
+    cluster_sizes=(6, 8, 10, 12, 14, 16),
+    frequency_factors=(1.0, 0.8, 0.6),
+)
+
+#: compact variant so the pytest-benchmark rounds stay quick
+SMALL_GRID = DesignGrid(
+    node_pairs=((CLUSTER_V_NODE, WIMPY_LAPTOP_B),),
+    cluster_sizes=(6, 8, 10),
+)
+
+
+def campaign_suites(members: int = 4, pool: int = 6) -> list[WorkloadSuite]:
+    """Sliding-window suites over a shared query pool (heavy overlap)."""
+    queries = [q3_join(100, 0.01 * (i + 1), 0.05) for i in range(pool)]
+    return [
+        WorkloadSuite.of(f"mix-{start}", *queries[start : start + members])
+        for start in range(0, pool - members + 1)
+    ]
+
+
+def legacy_campaign(candidates, suites, workers=WORKERS):
+    """The pre-redesign dispatch: (candidate x workload) granularity and
+    one pool per search call."""
+    evaluator = SimulatorEvaluator()
+    context = DesignSpaceSearch._context()
+    results = []
+    for suite in suites:
+        chunk = max(1, math.ceil(len(candidates) / (workers * 4)))
+        payloads = [
+            (evaluator, suite, candidates[start : start + chunk])
+            for start in range(0, len(candidates), chunk)
+        ]
+        with context.Pool(processes=workers) as pool:
+            chunked = pool.map(evaluate_chunk, payloads)
+        results.append([point for batch in chunked for point in batch])
+    return results
+
+
+def fanout_campaign(candidates, suites, workers=WORKERS):
+    """The shipped engine: per-entry dedupe/memoization + persistent pool."""
+    engine = DesignSpaceSearch(
+        evaluator=SimulatorEvaluator(), workers=workers, cache=EvaluationCache()
+    )
+    with engine:
+        return [engine.search(candidates, suite).points for suite in suites]
+
+
+def test_fanout_matches_legacy():
+    """The redesigned dispatch returns the legacy results bit for bit."""
+    candidates = SMALL_GRID.candidate_list()
+    suites = campaign_suites()
+    legacy = legacy_campaign(candidates, suites)
+    fanout = fanout_campaign(candidates, suites)
+    for old_points, new_points in zip(legacy, fanout):
+        assert [(p.time_s, p.energy_j, p.feasible) for p in old_points] == [
+            (p.time_s, p.energy_j, p.feasible) for p in new_points
+        ]
+
+
+def test_legacy_campaign(benchmark):
+    candidates = SMALL_GRID.candidate_list()
+    results = benchmark(legacy_campaign, candidates, campaign_suites())
+    assert len(results) == 3
+
+
+def test_fanout_campaign(benchmark):
+    candidates = SMALL_GRID.candidate_list()
+    results = benchmark(fanout_campaign, candidates, campaign_suites())
+    assert len(results) == 3
+
+
+def run_comparison(grid=FULL_GRID, workers=WORKERS) -> dict:
+    """Time both dispatch strategies on the full campaign."""
+    candidates = grid.candidate_list()
+    suites = campaign_suites()
+
+    start = time.perf_counter()
+    legacy = legacy_campaign(candidates, suites, workers)
+    legacy_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fanout = fanout_campaign(candidates, suites, workers)
+    fanout_s = time.perf_counter() - start
+
+    agree = all(
+        [(p.time_s, p.energy_j, p.feasible) for p in old_points]
+        == [(p.time_s, p.energy_j, p.feasible) for p in new_points]
+        for old_points, new_points in zip(legacy, fanout)
+    )
+    unique_queries = len({query for suite in suites for query, _weight in suite})
+    members = len(suites[0].entries)
+    return {
+        "benchmark": "query-fanout suite-sweep campaign",
+        "designs": len(candidates),
+        "suites": len(suites),
+        "members_per_suite": members,
+        "unique_queries": unique_queries,
+        "workers": workers,
+        "legacy_query_evaluations": len(candidates) * len(suites) * members,
+        "fanout_query_evaluations": len(candidates) * unique_queries,
+        "legacy_wall_s": round(legacy_s, 4),
+        "fanout_wall_s": round(fanout_s, 4),
+        "speedup": round(legacy_s / fanout_s, 3),
+        "results_identical": agree,
+    }
+
+
+if __name__ == "__main__":
+    out = sys.argv[sys.argv.index("--json") + 1] if "--json" in sys.argv else None
+    payload = run_comparison()
+    text = json.dumps(payload, indent=2) + "\n"
+    if out:
+        with open(out, "w") as handle:
+            handle.write(text)
+    sys.stdout.write(text)

@@ -142,6 +142,7 @@ def search_to_json(result: SearchResult, indent: int | None = 2) -> str:
         "evaluations": result.evaluations,
         "cache_hits": result.cache_hits,
         "workers_used": result.workers_used,
+        "query_evaluations": result.query_evaluations,
         "points": search_to_rows(result, frontier_labels),
         "frontier": [point.label for point in frontier],
     }

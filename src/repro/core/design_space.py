@@ -157,7 +157,12 @@ class TradeoffCurve:
 
 
 class DesignSpaceExplorer:
-    """Enumerates and evaluates Beefy/Wimpy mixes of a fixed-size cluster."""
+    """Enumerates and evaluates Beefy/Wimpy mixes of a fixed-size cluster.
+
+    ``workers > 1`` fans sweep evaluations out over the search engine's
+    persistent worker pool (release it with :meth:`close` when done);
+    results are identical to the serial path.
+    """
 
     def __init__(
         self,
@@ -167,6 +172,7 @@ class DesignSpaceExplorer:
         warm_cache: bool = False,
         evaluator: Evaluator | None = None,
         strict_paper_conditions: bool = False,
+        workers: int = 1,
     ):
         if cluster_size <= 0:
             raise ModelError(f"cluster_size must be > 0, got {cluster_size}")
@@ -175,8 +181,10 @@ class DesignSpaceExplorer:
         self.cluster_size = cluster_size
         self.warm_cache = warm_cache
         self.strict_paper_conditions = strict_paper_conditions
+        self.workers = workers
         self._evaluator = evaluator
         self._cache = EvaluationCache()
+        self._engine: DesignSpaceSearch | None = None
 
     @property
     def cache(self) -> EvaluationCache:
@@ -329,10 +337,24 @@ class DesignSpaceExplorer:
         )
 
     def _search_engine(self) -> DesignSpaceSearch:
-        """The :mod:`repro.search` engine backing this explorer's sweeps."""
-        return DesignSpaceSearch(
-            evaluator=self.search_evaluator(), workers=1, cache=self._cache
-        )
+        """The :mod:`repro.search` engine backing this explorer's sweeps.
+
+        Created once per explorer: sweeps, size sweeps, and single-point
+        evaluations all share one engine, so its per-entry memo and (for
+        ``workers > 1``) its persistent worker pool carry across calls.
+        """
+        if self._engine is None:
+            self._engine = DesignSpaceSearch(
+                evaluator=self.search_evaluator(),
+                workers=self.workers,
+                cache=self._cache,
+            )
+        return self._engine
+
+    def close(self) -> None:
+        """Release the engine's persistent worker pool (if any)."""
+        if self._engine is not None:
+            self._engine.close()
 
     def _run_search(
         self, candidates: Sequence[DesignCandidate], workload: Workload | JoinWorkloadSpec

@@ -18,11 +18,39 @@ This subsystem scales that exercise beyond the paper's single axis:
 * :mod:`repro.search.cache` — keyed memoization of evaluations
   (:class:`EvaluationCache`): repeated sweeps are near-free;
 * :mod:`repro.search.engine` — :class:`DesignSpaceSearch`, which fans
-  cache misses out over a ``multiprocessing`` pool with chunked dispatch
-  and returns a :class:`SearchResult`;
+  cache misses out over a persistent ``multiprocessing`` pool with
+  chunked dispatch and returns a :class:`SearchResult`;
 * :mod:`repro.search.pareto` — frontier extraction, knee location,
   EDP-optimal and SLA-constrained selection (the Section 5.5/6 reading
   rules applied to raw (time, energy) points).
+
+How a search executes
+---------------------
+
+One :meth:`DesignSpaceSearch.search` call runs a five-stage pipeline at
+**(candidate x query entry)** granularity:
+
+1. **flatten** — the workload is expanded into its weighted
+   ``weighted_queries()`` entries, so a suite of K joins over N
+   candidates is at most N x K entry tasks, never N opaque suite
+   evaluations;
+2. **dedupe** — tasks are keyed by (evaluator fingerprint, entry key,
+   candidate key); identical tasks collapse to a single evaluation
+   across candidates and workloads;
+3. **cache** — surviving tasks consult the :class:`EvaluationCache`
+   per entry (the workload-level aggregate key remains a derived fast
+   path, so a fully warm sweep costs one lookup per design), and two
+   mixes sharing member joins share their cached computation;
+4. **dispatch** — cache misses run serially, or in deterministic chunks
+   over the engine's persistent worker pool (created lazily, reused
+   across searches, released via :meth:`DesignSpaceSearch.close` or the
+   context-manager protocol); tasks ship grouped by candidate so
+   evaluators like :class:`SimulatorEvaluator` amortize per-candidate
+   setup across a batch;
+5. **aggregate** — per-entry records are weight-summed back into
+   :class:`EvaluatedDesign` records in entry order, bit-identically to
+   the workload-granular rule (any infeasible entry makes the design
+   infeasible with the first such entry's reason).
 
 Every entry point accepts any :class:`~repro.workloads.protocol.Workload`
 — a bare join spec, a weighted :class:`~repro.workloads.suite

@@ -5,7 +5,11 @@ reference points, or after widening one axis — re-evaluates mostly the
 same designs.  :class:`EvaluationCache` keys each
 :class:`~repro.search.evaluators.EvaluatedDesign` by (evaluator
 fingerprint, workload identity, candidate identity) so a repeated sweep
-performs zero new model evaluations.
+performs zero new model evaluations.  The engine stores two tiers under
+one keyspace: per-entry records keyed by
+:func:`~repro.workloads.protocol.entry_cache_key` (shared across every
+workload containing that join) and workload-level aggregates keyed by the
+workload's ``cache_key()`` (the warm-sweep fast path).
 
 The cache is an in-memory dict by default; passing ``cache_path=``
 persists every entry to a sqlite database under the same keys, so sweeps
@@ -13,19 +17,51 @@ survive process restarts and CI runs share a warm cache.  Entries whose
 keys cannot be serialized (e.g. lambda-backed
 :class:`~repro.search.evaluators.CallableEvaluator` fingerprints) stay
 memory-only — persistence degrades gracefully instead of failing the
-sweep.
+sweep.  Concurrent writers (parallel CI shards on one cache file) are
+ridden out with a short retry-with-backoff on ``database is locked``, and
+:meth:`EvaluationCache.merge` folds another shard's cache file into this
+one.
 """
 
 from __future__ import annotations
 
 import pickle
 import sqlite3
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.errors import ConfigurationError
 from repro.search.evaluators import EvaluatedDesign
 
 __all__ = ["CacheStats", "EvaluationCache"]
+
+#: retry schedule for a locked sqlite store: total worst-case wait ~1.6 s
+_LOCK_RETRIES = 6
+_LOCK_BACKOFF_S = 0.025
+
+
+def _is_locked(error: sqlite3.OperationalError) -> bool:
+    message = str(error).lower()
+    return "database is locked" in message or "database is busy" in message
+
+
+def _with_lock_retry(operation):
+    """Run ``operation`` (a no-arg callable), retrying on a locked store.
+
+    WAL mode keeps readers and one writer concurrent, but two writers —
+    parallel CI shards sharing a cache file — still collide.  A short
+    exponential backoff rides out the other writer's commit instead of
+    failing the sweep; a store that stays locked past the schedule is a
+    real deadlock and the error propagates.
+    """
+    for attempt in range(_LOCK_RETRIES):
+        try:
+            return operation()
+        except sqlite3.OperationalError as error:
+            if not _is_locked(error) or attempt == _LOCK_RETRIES - 1:
+                raise
+            time.sleep(_LOCK_BACKOFF_S * (2**attempt))
 
 
 @dataclass(frozen=True)
@@ -61,20 +97,23 @@ class EvaluationCache:
         self._db: sqlite3.Connection | None = None
         if cache_path is not None:
             self._db = sqlite3.connect(str(cache_path))
-            # WAL + NORMAL keeps the per-put commits cheap (no full-journal
-            # fsync per design point on large sweeps) while staying durable
-            # across clean process exits.
-            self._db.execute("PRAGMA journal_mode=WAL")
-            self._db.execute("PRAGMA synchronous=NORMAL")
-            self._db.execute(
-                "CREATE TABLE IF NOT EXISTS evaluations "
-                "(key BLOB PRIMARY KEY, value BLOB NOT NULL)"
-            )
-            self._db.execute(
-                "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)"
-            )
-            self._reconcile_version()
-            self._db.commit()
+            _with_lock_retry(self._initialize_store)
+
+    def _initialize_store(self) -> None:
+        # WAL + NORMAL keeps the per-put commits cheap (no full-journal
+        # fsync per design point on large sweeps) while staying durable
+        # across clean process exits.
+        self._db.execute("PRAGMA journal_mode=WAL")
+        self._db.execute("PRAGMA synchronous=NORMAL")
+        self._db.execute(
+            "CREATE TABLE IF NOT EXISTS evaluations "
+            "(key BLOB PRIMARY KEY, value BLOB NOT NULL)"
+        )
+        self._db.execute(
+            "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)"
+        )
+        self._reconcile_version()
+        self._db.commit()
 
     def _reconcile_version(self) -> None:
         """Drop persisted entries written by a different package version.
@@ -127,8 +166,77 @@ class EvaluationCache:
         self.hits = 0
         self.misses = 0
         if self._db is not None:
-            self._db.execute("DELETE FROM evaluations")
+
+            def wipe():
+                self._db.execute("DELETE FROM evaluations")
+                self._db.commit()
+
+            _with_lock_retry(wipe)
+
+    def merge(self, other_path: str | Path) -> int:
+        """Import the persisted entries of another cache file.
+
+        Parallel CI shards each warm their own cache file; merging folds
+        them into one shared store.  Existing rows win (the stores hold
+        the same deterministic evaluations, so either copy is correct);
+        returns the number of newly imported rows.  The source must be a
+        disk cache written by the same ``repro`` version — merging a
+        stale store would smuggle version-invalidated entries past
+        :meth:`_reconcile_version`.
+        """
+        if self._db is None:
+            raise ConfigurationError(
+                "merge() needs a disk-backed cache; pass cache_path= when "
+                "constructing the EvaluationCache"
+            )
+        import repro
+
+        def read_source() -> tuple:
+            other = sqlite3.connect(str(other_path))
+            try:
+                version = other.execute(
+                    "SELECT value FROM meta WHERE key = 'repro_version'"
+                ).fetchone()
+                entries = other.execute(
+                    "SELECT key, value FROM evaluations"
+                ).fetchall()
+            finally:
+                other.close()
+            return version, entries
+
+        try:
+            row, rows = _with_lock_retry(read_source)
+        except sqlite3.OperationalError as error:
+            if _is_locked(error):
+                raise  # a genuinely stuck shard, not a malformed file
+            raise ConfigurationError(
+                f"{other_path} is not an evaluation cache: {error}"
+            ) from error
+        if row is None or row[0] != repro.__version__:
+            raise ConfigurationError(
+                f"cannot merge {other_path}: written by repro version "
+                f"{row[0] if row else 'unknown'}, this is {repro.__version__}"
+            )
+
+        def fold() -> int:
+            # A retried fold may re-enter with the previous attempt's
+            # transaction still open (commit was what failed); roll it
+            # back so the before-count never sees uncommitted inserts.
+            self._db.rollback()
+            before = self._db.execute(
+                "SELECT COUNT(*) FROM evaluations"
+            ).fetchone()[0]
+            self._db.executemany(
+                "INSERT OR IGNORE INTO evaluations (key, value) VALUES (?, ?)",
+                rows,
+            )
             self._db.commit()
+            after = self._db.execute(
+                "SELECT COUNT(*) FROM evaluations"
+            ).fetchone()[0]
+            return after - before
+
+        return _with_lock_retry(fold)
 
     def close(self) -> None:
         """Release the sqlite handle (no-op for memory-only caches)."""
@@ -181,8 +289,11 @@ class EvaluationCache:
         except Exception:
             # A corrupt or version-incompatible row is a miss, not a crash:
             # drop it so the slot is re-evaluated and rewritten.
-            self._db.execute("DELETE FROM evaluations WHERE key = ?", (blob,))
-            self._db.commit()
+            def drop():
+                self._db.execute("DELETE FROM evaluations WHERE key = ?", (blob,))
+                self._db.commit()
+
+            _with_lock_retry(drop)
             return None
 
     def _disk_put(self, key: tuple, value: EvaluatedDesign) -> None:
@@ -193,11 +304,15 @@ class EvaluationCache:
             payload = pickle.dumps(value)
         except Exception:
             return  # unpicklable result (custom evaluator payloads): memory only
-        self._db.execute(
-            "INSERT OR REPLACE INTO evaluations (key, value) VALUES (?, ?)",
-            (blob, payload),
-        )
-        self._db.commit()
+
+        def write():
+            self._db.execute(
+                "INSERT OR REPLACE INTO evaluations (key, value) VALUES (?, ?)",
+                (blob, payload),
+            )
+            self._db.commit()
+
+        _with_lock_retry(write)
 
     @classmethod
     def _serialize_key(cls, key: tuple) -> bytes | None:

@@ -2,21 +2,41 @@
 
 :class:`DesignSpaceSearch` evaluates every point of a
 :class:`~repro.search.grid.DesignGrid` (or an explicit candidate list)
-through a pluggable evaluator, with two performance levers:
+through a pluggable evaluator.  Since the query-granularity redesign the
+unit of evaluation, memoization, and parallel dispatch is **(candidate x
+query entry)**, not (candidate x workload); one search executes as a
+five-stage pipeline:
 
-* **memoization** — every result, including infeasible points, lands in a
-  keyed :class:`~repro.search.cache.EvaluationCache`; a repeated sweep
-  performs zero new evaluations;
-* **parallelism** — cache misses fan out over a ``multiprocessing`` pool
-  in deterministic chunks.  Serial and parallel runs funnel through the
-  same :func:`~repro.search.evaluators.evaluate_design`, so their results
-  are identical point for point.
+1. **flatten** — the workload is expanded into its ``weighted_queries()``
+   entries; a suite of K joins over N candidates becomes at most N x K
+   entry tasks;
+2. **dedupe** — tasks are keyed by (evaluator fingerprint, entry key,
+   candidate key) and identical tasks collapse to one evaluation, across
+   candidates and across workloads;
+3. **cache** — each surviving task consults the
+   :class:`~repro.search.cache.EvaluationCache`; the workload-level
+   aggregate key is kept as a derived fast path, so a fully warm design
+   costs one lookup and pre-redesign caches stay valid;
+4. **dispatch** — cache misses run serially or fan out in deterministic
+   chunks over a persistent ``multiprocessing`` pool owned by the engine
+   (lazily created, reused across ``search()`` calls, released by
+   :meth:`DesignSpaceSearch.close` or the context-manager protocol);
+   tasks ship grouped by candidate so evaluators can amortize
+   per-candidate setup (:meth:`~repro.search.evaluators.SearchEvaluator
+   .evaluate_query_batch`);
+5. **aggregate** — per-entry records are weight-summed back into
+   :class:`~repro.search.evaluators.EvaluatedDesign` records in entry
+   order, bit-identically to the workload-granular rule (any infeasible
+   entry makes the design infeasible, with the first entry's reason).
+
+Because entries are cached under workload-independent keys
+(:func:`~repro.workloads.protocol.entry_cache_key`), two mixes sharing
+member joins share their computation: a suite sweep after a single-join
+search performs zero fresh evaluations for the shared entry.
 
 Searches accept any :class:`~repro.workloads.protocol.Workload` — a bare
 join spec, a :class:`~repro.workloads.suite.WorkloadSuite`, an
-arrival-trace mix — keyed into the cache by the workload's own
-``cache_key()``, so multi-query mixes are memoized and fanned out exactly
-like single joins.  The resulting :class:`SearchResult` carries the
+arrival-trace mix.  The resulting :class:`SearchResult` carries the
 evaluated points in grid order plus the paper's selection rules (Pareto
 frontier, knee, EDP optimum, SLA-constrained best).
 """
@@ -35,12 +55,16 @@ from repro.search.evaluators import (
     EvaluatedDesign,
     ModelEvaluator,
     SearchEvaluator,
-    evaluate_chunk,
-    evaluate_design,
+    evaluate_entry_chunk,
 )
 from repro.search.grid import DesignCandidate, DesignGrid, unique_labels
 from repro.search.pareto import best_under_sla, edp_optimal, knee_point, pareto_frontier
-from repro.workloads.protocol import Workload, as_workload
+from repro.workloads.protocol import (
+    WeightedQuery,
+    Workload,
+    as_workload,
+    entry_cache_key,
+)
 from repro.workloads.queries import JoinWorkloadSpec
 
 __all__ = ["DesignSpaceSearch", "SearchResult"]
@@ -52,12 +76,14 @@ class SearchResult:
 
     workload: Workload
     points: list[EvaluatedDesign] = field(repr=False)
-    #: fresh evaluator calls performed by this search (0 on a cached re-sweep)
+    #: designs that needed fresh evaluator work (0 on a cached re-sweep)
     evaluations: int = 0
-    #: points served from the evaluation cache
+    #: designs served entirely from the evaluation cache
     cache_hits: int = 0
     #: worker processes actually used (1 = serial path)
     workers_used: int = 1
+    #: fresh per-entry ``evaluate_query`` tasks dispatched, after dedupe
+    query_evaluations: int = 0
 
     def __post_init__(self) -> None:
         self.workload = as_workload(self.workload)
@@ -111,14 +137,80 @@ class SearchResult:
         return iter(self.points)
 
 
+def _aggregate_entries(
+    candidate: DesignCandidate,
+    entries: Sequence[WeightedQuery],
+    records: Sequence[EvaluatedDesign],
+) -> EvaluatedDesign:
+    """Weight-sum per-entry records into one design record.
+
+    Bit-identical to the workload-granular rule this replaced: a
+    single-entry unit-weight workload keeps its per-query record
+    (prediction attached); otherwise times and energies accumulate in
+    entry order, and the first infeasible entry makes the whole design
+    infeasible with that entry's reason.
+    """
+    if len(entries) == 1 and entries[0].weight == 1.0:
+        record = records[0]
+        if record.candidate is not candidate:
+            record = replace(record, candidate=candidate)
+        return record
+    for record in records:
+        if not record.feasible:
+            return EvaluatedDesign(
+                candidate=candidate,
+                time_s=float("inf"),
+                energy_j=float("inf"),
+                feasible=False,
+                infeasible_reason=record.infeasible_reason,
+            )
+    total_time = 0.0
+    total_energy = 0.0
+    for entry, record in zip(entries, records):
+        total_time += entry.weight * record.time_s
+        total_energy += entry.weight * record.energy_j
+    return EvaluatedDesign(
+        candidate=candidate, time_s=total_time, energy_j=total_energy
+    )
+
+
+def _batch_tasks(
+    tasks: Sequence[tuple[DesignCandidate, JoinWorkloadSpec]],
+) -> list[tuple[DesignCandidate, list[JoinWorkloadSpec]]]:
+    """Group consecutive same-candidate tasks into (candidate, queries).
+
+    The task list is built candidate-major, so grouping runs of the same
+    candidate preserves task order while letting evaluators amortize
+    per-candidate setup across a whole batch.
+    """
+    batches: list[tuple[DesignCandidate, list[JoinWorkloadSpec]]] = []
+    for candidate, query in tasks:
+        if batches and batches[-1][0] is candidate:
+            batches[-1][1].append(query)
+        else:
+            batches.append((candidate, [query]))
+    return batches
+
+
 class DesignSpaceSearch:
     """Enumerate, memoize, and (optionally in parallel) evaluate a grid.
 
     ``workers=1`` evaluates serially in-process; ``workers=n`` fans cache
-    misses out over ``n`` processes in chunks of ``chunk_size`` candidates
-    (default: enough chunks to give each worker about four).  Unpicklable
-    evaluators (e.g. lambda-backed :class:`CallableEvaluator`) degrade to
-    the serial path automatically.
+    misses out over a persistent ``n``-process pool in chunks of
+    ``chunk_size`` entry tasks (default: enough chunks to give each worker
+    about four).  The pool is created lazily on the first parallel
+    dispatch and reused across ``search()`` calls — a
+    :class:`~repro.study.Study` issuing many searches pays the spin-up
+    once.  Release it with :meth:`close` or use the engine as a context
+    manager::
+
+        with DesignSpaceSearch(workers=4) as engine:
+            engine.search(grid, suite_a)
+            engine.search(grid, suite_b)  # same pool, shared entry memo
+
+    Unpicklable evaluators (e.g. lambda-backed :class:`CallableEvaluator`)
+    degrade to the serial path automatically; the pickling verdict is
+    probed once and cached per engine.
     """
 
     def __init__(
@@ -136,6 +228,8 @@ class DesignSpaceSearch:
         self.workers = workers
         self.chunk_size = chunk_size
         self.cache = cache if cache is not None else EvaluationCache()
+        self._pool = None
+        self._evaluator_picklable: bool | None = None
 
     # ---------------------------------------------------------------- public
     def search(
@@ -148,10 +242,12 @@ class DesignSpaceSearch:
         ``workload`` is anything satisfying the
         :class:`~repro.workloads.protocol.Workload` protocol — a bare
         :class:`JoinWorkloadSpec`, a :class:`~repro.workloads.suite
-        .WorkloadSuite`, an arrival-trace mix — so multi-query mixes get
-        memoization and fan-out identically to single joins.  Points come
-        back in enumeration order; infeasible designs are kept (with
-        ``feasible=False``) so callers can report coverage.
+        .WorkloadSuite`, an arrival-trace mix.  Evaluation runs at
+        (candidate x entry) granularity: member joins are deduped,
+        memoized, and dispatched individually, then weight-summed back
+        into design records (see the module docstring for the pipeline).
+        Points come back in enumeration order; infeasible designs are
+        kept (with ``feasible=False``) so callers can report coverage.
         """
         workload = as_workload(workload)
         candidates = (
@@ -163,14 +259,21 @@ class DesignSpaceSearch:
 
         fingerprint = self.evaluator.fingerprint()
         workload_key = workload.cache_key()
-        keys = [(fingerprint, workload_key, c.key()) for c in candidates]
+        entries = workload.weighted_queries()
+        entry_keys = [entry_cache_key(entry.query) for entry in entries]
+        candidate_keys = [c.key() for c in candidates]
+        aggregate_keys = [(fingerprint, workload_key, ck) for ck in candidate_keys]
+        # For a single join the aggregate key IS the entry key; skip the
+        # redundant second lookup on that tier.
+        entry_is_aggregate = len(entry_keys) == 1 and entry_keys[0] == workload_key
 
+        # ------------------------------------------- aggregate fast path
         resolved: dict[int, EvaluatedDesign] = {}
-        missing: list[int] = []
-        for index, key in enumerate(keys):
+        pending: list[int] = []
+        for index, key in enumerate(aggregate_keys):
             cached = self.cache.get(key)
             if cached is None:
-                missing.append(index)
+                pending.append(index)
             else:
                 # Rebind the requested candidate: cache keys deliberately
                 # ignore display labels, so a hit may carry the label of
@@ -178,51 +281,150 @@ class DesignSpaceSearch:
                 if cached.candidate is not candidates[index]:
                     cached = replace(cached, candidate=candidates[index])
                 resolved[index] = cached
-        cache_hits = len(resolved)
 
+        # ------------------------- flatten + dedupe + per-entry lookup
+        entry_records: dict[tuple, EvaluatedDesign | None] = {}
+        tasks: list[tuple[tuple, DesignCandidate, JoinWorkloadSpec]] = []
+        for index in pending:
+            for position, entry_key in enumerate(entry_keys):
+                task_key = (fingerprint, entry_key, candidate_keys[index])
+                if task_key in entry_records:
+                    continue  # deduped: another candidate/entry owns it
+                cached = (
+                    None if entry_is_aggregate else self.cache.get(task_key)
+                )
+                entry_records[task_key] = cached
+                if cached is None:
+                    tasks.append(
+                        (task_key, candidates[index], entries[position].query)
+                    )
+
+        # ------------------------------------------------------ dispatch
         workers_used = 1
-        if missing:
-            to_evaluate = [candidates[i] for i in missing]
-            fresh, workers_used = self._evaluate(to_evaluate, workload)
-            for index, point in zip(missing, fresh):
-                resolved[index] = point
-                self.cache.put(keys[index], point)
+        if tasks:
+            fresh, workers_used = self._evaluate(
+                [(candidate, query) for _, candidate, query in tasks]
+            )
+            for (task_key, _, _), record in zip(tasks, fresh):
+                entry_records[task_key] = record
+                self.cache.put(task_key, record)
+        fresh_keys = {task_key for task_key, _, _ in tasks}
+
+        # ----------------------------------------------------- aggregate
+        evaluations = 0
+        for index in pending:
+            task_keys = [
+                (fingerprint, entry_key, candidate_keys[index])
+                for entry_key in entry_keys
+            ]
+            point = _aggregate_entries(
+                candidates[index],
+                entries,
+                [entry_records[key] for key in task_keys],
+            )
+            resolved[index] = point
+            if any(key in fresh_keys for key in task_keys):
+                evaluations += 1
+            if not entry_is_aggregate:
+                self.cache.put(aggregate_keys[index], point)
 
         return SearchResult(
             workload=workload,
             points=[resolved[i] for i in range(len(candidates))],
-            evaluations=len(missing),
-            cache_hits=cache_hits,
+            evaluations=evaluations,
+            cache_hits=len(candidates) - evaluations,
             workers_used=workers_used,
+            query_evaluations=len(tasks),
         )
+
+    # ------------------------------------------------------- pool lifecycle
+    def close(self) -> None:
+        """Release the persistent worker pool (no-op if never created).
+
+        The engine stays usable: the next parallel dispatch lazily
+        creates a fresh pool.
+        """
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            pool.close()
+            pool.join()
+
+    @property
+    def pool_active(self) -> bool:
+        """Whether the persistent worker pool is currently alive."""
+        return self._pool is not None
+
+    def __enter__(self) -> "DesignSpaceSearch":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass  # interpreter shutdown: the daemon workers die anyway
 
     # --------------------------------------------------------------- internal
     def _evaluate(
-        self, candidates: Sequence[DesignCandidate], workload: Workload
+        self, tasks: Sequence[tuple[DesignCandidate, JoinWorkloadSpec]]
     ) -> tuple[list[EvaluatedDesign], int]:
-        """Evaluate uncached candidates; returns (points, workers used)."""
-        workers = min(self.workers, len(candidates))
-        if workers > 1 and not self._picklable(workload, candidates[0]):
+        """Evaluate uncached entry tasks; returns (records, workers used)."""
+        workers = min(self.workers, len(tasks))
+        if workers > 1 and not self._dispatchable(tasks[0]):
             workers = 1
         if workers <= 1:
-            return (
-                [evaluate_design(self.evaluator, c, workload) for c in candidates],
-                1,
-            )
+            records: list[EvaluatedDesign] = []
+            for candidate, queries in _batch_tasks(tasks):
+                records.extend(
+                    self.evaluator.evaluate_query_batch(candidate, queries)
+                )
+            return records, 1
 
-        chunk = self.chunk_size or max(1, math.ceil(len(candidates) / (workers * 4)))
-        payloads = [
-            (self.evaluator, workload, candidates[start : start + chunk])
-            for start in range(0, len(candidates), chunk)
-        ]
-        context = self._context()
-        with context.Pool(processes=workers) as pool:
-            chunked = pool.map(evaluate_chunk, payloads)
-        return [point for batch in chunked for point in batch], workers
+        # Chunk over whole (candidate, queries) batches — never through
+        # one — so a candidate's per-batch setup amortization survives
+        # chunk boundaries; chunk_size counts tasks, rounded up to the
+        # enclosing batch.
+        chunk = self.chunk_size or max(1, math.ceil(len(tasks) / (workers * 4)))
+        payloads = []
+        current: list = []
+        current_tasks = 0
+        for batch in _batch_tasks(tasks):
+            current.append(batch)
+            current_tasks += len(batch[1])
+            if current_tasks >= chunk:
+                payloads.append((self.evaluator, current))
+                current, current_tasks = [], 0
+        if current:
+            payloads.append((self.evaluator, current))
+        chunked = self._get_pool().map(evaluate_entry_chunk, payloads)
+        return [record for batch in chunked for record in batch], workers
 
-    def _picklable(self, workload: Workload, candidate: DesignCandidate) -> bool:
+    def _get_pool(self):
+        """The persistent worker pool, created on first parallel dispatch."""
+        if self._pool is None:
+            self._pool = self._context().Pool(processes=self.workers)
+        return self._pool
+
+    def _dispatchable(self, task: tuple[DesignCandidate, JoinWorkloadSpec]) -> bool:
+        """Whether tasks can cross a process boundary.
+
+        The evaluator's verdict is probed once and cached per engine
+        (evaluators are fixed at construction); the first task — a frozen
+        candidate/query pair — is probed per search, which is cheap and
+        guards exotic custom specs.
+        """
+        if self._evaluator_picklable is None:
+            try:
+                pickle.dumps(self.evaluator)
+                self._evaluator_picklable = True
+            except Exception:
+                self._evaluator_picklable = False
+        if not self._evaluator_picklable:
+            return False
         try:
-            pickle.dumps((self.evaluator, workload, candidate))
+            pickle.dumps(task)
             return True
         except Exception:
             return False

@@ -23,11 +23,13 @@ mixes — as the weight-summed cost of its entries, so suites inherit every
 evaluator (and the engine's memoization and fan-out) for free.
 
 Evaluators are plain picklable objects so the engine can ship them to
-``multiprocessing`` workers; an infeasible design raises
-:class:`~repro.errors.ReproError`, which :func:`evaluate_design` converts
-into an infeasible :class:`EvaluatedDesign` record (identically on the
-serial and parallel paths).  A workload is infeasible on a design as soon
-as *any* of its entries is — a design must run its whole workload.
+``multiprocessing`` workers; an infeasible evaluation raises
+:class:`~repro.errors.ReproError`, which :func:`evaluate_entry` (the
+engine's per-entry unit) and :func:`evaluate_design` (the workload-level
+legacy entry point) convert into an infeasible :class:`EvaluatedDesign`
+record (identically on the serial and parallel paths).  A workload is
+infeasible on a design as soon as *any* of its entries is — a design must
+run its whole workload.
 """
 
 from __future__ import annotations
@@ -52,6 +54,8 @@ __all__ = [
     "SimulatorEvaluator",
     "CallableEvaluator",
     "evaluate_design",
+    "evaluate_entry",
+    "evaluate_entry_chunk",
 ]
 
 
@@ -117,6 +121,19 @@ class SearchEvaluator(abc.ABC):
     ) -> EvaluatedDesign:
         """Evaluate one design for one join; raise :class:`ReproError` if
         infeasible."""
+
+    def evaluate_query_batch(
+        self, candidate: DesignCandidate, queries: Sequence[JoinWorkloadSpec]
+    ) -> list[EvaluatedDesign]:
+        """Evaluate several joins on one design, one record per join.
+
+        Infeasible joins come back as infeasible *records* (never an
+        exception), so a batch always yields ``len(queries)`` results.
+        Subclasses whose per-query setup is dominated by per-candidate
+        work (cluster construction, simulator state) override this to
+        amortize it — :class:`SimulatorEvaluator` does.
+        """
+        return [evaluate_entry(self, candidate, query) for query in queries]
 
     @abc.abstractmethod
     def fingerprint(self) -> tuple:
@@ -198,6 +215,42 @@ class SimulatorEvaluator(SearchEvaluator):
             energy_j=result.energy_j,
         )
 
+    def evaluate_query_batch(
+        self, candidate: DesignCandidate, queries: Sequence[JoinWorkloadSpec]
+    ) -> list[EvaluatedDesign]:
+        """Amortized batch: one cluster + simulated store for all joins.
+
+        ``candidate.cluster()`` (DVFS variants, resource capacities) and
+        the :class:`SimulatedPStore` construction are per-candidate work;
+        each ``run()`` starts from fresh simulation state, so sharing the
+        store across the batch returns exactly the per-query results.
+        """
+        cluster = candidate.cluster()
+        store = SimulatedPStore(cluster, record_intervals=False)
+        records = []
+        for query in queries:
+            try:
+                plan = plan_join(
+                    cluster,
+                    query,
+                    warm_cache=self.warm_cache,
+                    pipeline_cpu_cost=self.pipeline_cpu_cost,
+                    receive_cpu_cost=self.receive_cpu_cost,
+                    force_mode=candidate.mode,
+                )
+                result = store.run(plan, concurrency=self.concurrency)
+            except ReproError as exc:
+                records.append(_infeasible_record(candidate, exc))
+                continue
+            records.append(
+                EvaluatedDesign(
+                    candidate=candidate,
+                    time_s=result.makespan_s,
+                    energy_j=result.energy_j,
+                )
+            )
+        return records
+
     def fingerprint(self) -> tuple:
         return (
             "simulator",
@@ -232,6 +285,19 @@ class CallableEvaluator(SearchEvaluator):
         return ("callable", self._fn)
 
 
+def _infeasible_record(
+    candidate: DesignCandidate, exc: ReproError
+) -> EvaluatedDesign:
+    """The canonical infeasible record for one failed evaluation."""
+    return EvaluatedDesign(
+        candidate=candidate,
+        time_s=float("inf"),
+        energy_j=float("inf"),
+        feasible=False,
+        infeasible_reason=str(exc),
+    )
+
+
 def evaluate_design(
     evaluator: SearchEvaluator,
     candidate: DesignCandidate,
@@ -239,25 +305,60 @@ def evaluate_design(
 ) -> EvaluatedDesign:
     """Evaluate one candidate, mapping infeasibility to a record.
 
-    Both the serial loop and the worker processes funnel through this
-    function, so the parallel path is guaranteed to produce identical
-    results to the serial one.
+    Workload-granular legacy entry point (kept for external callers and
+    old-vs-new benchmarking); the engine itself now evaluates per entry
+    through :func:`evaluate_entry` and aggregates in
+    :mod:`repro.search.engine`.
     """
     try:
         return evaluator.evaluate(candidate, workload)
     except ReproError as exc:
-        return EvaluatedDesign(
-            candidate=candidate,
-            time_s=float("inf"),
-            energy_j=float("inf"),
-            feasible=False,
-            infeasible_reason=str(exc),
-        )
+        return _infeasible_record(candidate, exc)
+
+
+def evaluate_entry(
+    evaluator: SearchEvaluator,
+    candidate: DesignCandidate,
+    query: JoinWorkloadSpec,
+) -> EvaluatedDesign:
+    """Evaluate one (candidate, query) task, mapping infeasibility to a
+    record.
+
+    This is the engine's unit of evaluation: both the serial loop and the
+    worker processes funnel every task through here (directly or via
+    :meth:`SearchEvaluator.evaluate_query_batch`), so the parallel path
+    is guaranteed to produce identical per-entry results to the serial
+    one.
+    """
+    try:
+        return evaluator.evaluate_query(candidate, query)
+    except ReproError as exc:
+        return _infeasible_record(candidate, exc)
 
 
 def evaluate_chunk(
     payload: tuple[SearchEvaluator, Workload, Sequence[DesignCandidate]],
 ) -> list[EvaluatedDesign]:
-    """Worker entry point: evaluate one dispatch chunk."""
+    """Worker entry point for workload-granular dispatch (legacy)."""
     evaluator, workload, candidates = payload
     return [evaluate_design(evaluator, candidate, workload) for candidate in candidates]
+
+
+def evaluate_entry_chunk(
+    payload: tuple[
+        SearchEvaluator,
+        Sequence[tuple[DesignCandidate, Sequence[JoinWorkloadSpec]]],
+    ],
+) -> list[EvaluatedDesign]:
+    """Worker entry point: evaluate one chunk of per-entry tasks.
+
+    Tasks arrive grouped by candidate — ``(candidate, queries)`` batches —
+    so evaluators with per-candidate setup cost amortize it via
+    :meth:`SearchEvaluator.evaluate_query_batch`.  Results come back
+    flattened in task order.
+    """
+    evaluator, batches = payload
+    records: list[EvaluatedDesign] = []
+    for candidate, queries in batches:
+        records.extend(evaluator.evaluate_query_batch(candidate, queries))
+    return records

@@ -9,6 +9,8 @@ product of
 * Beefy/Wimpy splits of each size (the paper's ``xB,yW`` axis),
 * cluster-wide DVFS states (frequency factors, Section 1's "dynamically
   control their power/performance trade-offs"),
+* per-node-type DVFS overrides (asymmetric Beefy/Wimpy frequency states,
+  ``beefy_frequency_factors`` / ``wimpy_frequency_factors``),
 * execution modes (homogeneous / heterogeneous / model-chosen).
 
 Each point of the grid is a :class:`DesignCandidate` — a frozen, picklable
@@ -178,6 +180,14 @@ class DesignGrid:
     ``mix_step`` thins the Beefy/Wimpy axis (a step of 2 on a 16-node
     cluster enumerates 16B, 14B, ... 0B); both endpoints — all-Beefy and
     all-Wimpy — are always included.
+
+    ``beefy_frequency_factors`` / ``wimpy_frequency_factors`` add
+    asymmetric DVFS axes: each enumerated value overrides the cluster-wide
+    ``frequency_factors`` state for that node type only (Beefies throttled
+    to 0.8 while Wimpies stay at nominal clock, and so on), so asymmetric
+    states are grid points instead of hand-built candidate lists.  ``None``
+    (the default) leaves the per-type state following the cluster-wide
+    factor.
     """
 
     node_pairs: tuple[tuple[NodeSpec, NodeSpec], ...]
@@ -185,6 +195,8 @@ class DesignGrid:
     frequency_factors: tuple[float, ...] = (1.0,)
     modes: tuple[ExecutionMode | None, ...] = (None,)
     mix_step: int = 1
+    beefy_frequency_factors: tuple[float, ...] | None = None
+    wimpy_frequency_factors: tuple[float, ...] | None = None
 
     def __post_init__(self) -> None:
         if not self.node_pairs:
@@ -206,6 +218,34 @@ class DesignGrid:
             raise ConfigurationError("a design grid needs at least one mode entry")
         if self.mix_step < 1:
             raise ConfigurationError(f"mix_step must be >= 1, got {self.mix_step}")
+        for axis_name, axis in (
+            ("beefy_frequency_factors", self.beefy_frequency_factors),
+            ("wimpy_frequency_factors", self.wimpy_frequency_factors),
+        ):
+            if axis is None:
+                continue
+            if not axis:
+                raise ConfigurationError(
+                    f"{axis_name} must be None or non-empty"
+                )
+            for factor in axis:
+                if not 0.0 < factor <= 1.0:
+                    raise ConfigurationError(
+                        f"{axis_name} must be in (0, 1], got {factor}"
+                    )
+        if (
+            self.beefy_frequency_factors is not None
+            and self.wimpy_frequency_factors is not None
+            and self.frequency_factors != (1.0,)
+        ):
+            # Both per-type overrides present: every candidate ignores the
+            # cluster-wide factor, so a non-trivial frequency_factors axis
+            # would only enumerate duplicate hardware states.
+            raise ConfigurationError(
+                "frequency_factors is shadowed when both "
+                "beefy_frequency_factors and wimpy_frequency_factors are "
+                "set; drop it (the per-type axes define every DVFS state)"
+            )
 
     # ------------------------------------------------------------- builders
     @classmethod
@@ -227,6 +267,8 @@ class DesignGrid:
             len(self.node_pairs)
             * mixes
             * len(self.frequency_factors)
+            * len(self.beefy_frequency_factors or (None,))
+            * len(self.wimpy_frequency_factors or (None,))
             * len(self.modes)
         )
 
@@ -236,30 +278,46 @@ class DesignGrid:
         multi_size = len(self.cluster_sizes) > 1
         multi_freq = len(self.frequency_factors) > 1
         multi_mode = len(self.modes) > 1
+        beefy_axis = self.beefy_frequency_factors or (None,)
+        wimpy_axis = self.wimpy_frequency_factors or (None,)
+        multi_beefy = len(beefy_axis) > 1
+        multi_wimpy = len(wimpy_axis) > 1
         for beefy, wimpy in self.node_pairs:
             for size in self.cluster_sizes:
                 for num_beefy in self._beefy_counts(size):
                     num_wimpy = size - num_beefy
                     for factor in self.frequency_factors:
-                        for mode in self.modes:
-                            parts = [f"{num_beefy}B,{num_wimpy}W"]
-                            if multi_pair:
-                                parts.append(f"{beefy.name}+{wimpy.name}")
-                            if multi_size:
-                                parts.append(f"n{size}")
-                            if multi_freq or factor != 1.0:
-                                parts.append(f"phi{factor:g}")
-                            if multi_mode and mode is not None:
-                                parts.append(mode.value)
-                            yield DesignCandidate(
-                                label="|".join(parts),
-                                beefy=beefy,
-                                wimpy=wimpy,
-                                num_beefy=num_beefy,
-                                num_wimpy=num_wimpy,
-                                frequency_factor=factor,
-                                mode=mode,
-                            )
+                        for beefy_factor in beefy_axis:
+                            for wimpy_factor in wimpy_axis:
+                                for mode in self.modes:
+                                    parts = [f"{num_beefy}B,{num_wimpy}W"]
+                                    if multi_pair:
+                                        parts.append(f"{beefy.name}+{wimpy.name}")
+                                    if multi_size:
+                                        parts.append(f"n{size}")
+                                    if multi_freq or factor != 1.0:
+                                        parts.append(f"phi{factor:g}")
+                                    if beefy_factor is not None and (
+                                        multi_beefy or beefy_factor != 1.0
+                                    ):
+                                        parts.append(f"phiB{beefy_factor:g}")
+                                    if wimpy_factor is not None and (
+                                        multi_wimpy or wimpy_factor != 1.0
+                                    ):
+                                        parts.append(f"phiW{wimpy_factor:g}")
+                                    if multi_mode and mode is not None:
+                                        parts.append(mode.value)
+                                    yield DesignCandidate(
+                                        label="|".join(parts),
+                                        beefy=beefy,
+                                        wimpy=wimpy,
+                                        num_beefy=num_beefy,
+                                        num_wimpy=num_wimpy,
+                                        frequency_factor=factor,
+                                        mode=mode,
+                                        beefy_frequency_factor=beefy_factor,
+                                        wimpy_frequency_factor=wimpy_factor,
+                                    )
 
     def candidate_list(self) -> list[DesignCandidate]:
         return list(self.candidates())

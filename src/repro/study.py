@@ -72,6 +72,7 @@ class Study:
         cache: EvaluationCache | None = None,
         mode: ExecutionMode | None = None,
         reference_label: str | None = None,
+        _engine_cell: list | None = None,
     ):
         if isinstance(space, (DesignGrid, DesignSpaceExplorer)):
             self._space: DesignGrid | DesignSpaceExplorer | tuple[DesignCandidate, ...] = space
@@ -86,8 +87,16 @@ class Study:
         self._cache = cache
         self._mode = mode
         self._reference_label = reference_label
+        # One-slot holder for the lazily built engine, shared between
+        # studies whose engine configuration is identical (see _with), so
+        # workload-swapped studies reuse one pool and one entry memo.
+        self._engine_cell: list = _engine_cell if _engine_cell is not None else [None]
 
     # ------------------------------------------------------------- fluent API
+    #: settings a DesignSpaceSearch is built from; changing any of them
+    #: means a derived study can no longer share this study's engine
+    _ENGINE_SETTINGS = ("evaluator", "workers", "chunk_size", "cache")
+
     def _with(self, **overrides) -> "Study":
         settings = {
             "workload": self._workload,
@@ -98,6 +107,8 @@ class Study:
             "mode": self._mode,
             "reference_label": self._reference_label,
         }
+        if not any(key in overrides for key in self._ENGINE_SETTINGS):
+            settings["_engine_cell"] = self._engine_cell
         settings.update(overrides)
         return Study(self._space, **settings)
 
@@ -170,19 +181,47 @@ class Study:
             return self._space.cache
         return None
 
+    def engine(self) -> DesignSpaceSearch:
+        """This study's search engine, created once and reused.
+
+        The engine is shared across every :meth:`run` of this study *and*
+        of studies derived from it by steps that leave the engine
+        configuration untouched (:meth:`with_workload`, :meth:`with_mode`,
+        :meth:`with_reference`) — so a campaign like
+        ``[base.with_workload(m).run() for m in mixes]`` reuses one
+        persistent worker pool and one per-entry evaluation memo, and
+        overlapping mixes share their member-join computation.  Steps that
+        change the engine configuration (evaluator, workers, chunk size,
+        cache) start a fresh engine.  Release the pool with :meth:`close`
+        or by using the study as a context manager.
+        """
+        if self._engine_cell[0] is None:
+            self._engine_cell[0] = DesignSpaceSearch(
+                evaluator=self._resolve_evaluator(),
+                workers=self._workers,
+                chunk_size=self._chunk_size,
+                cache=self._resolve_cache(),
+            )
+        return self._engine_cell[0]
+
+    def close(self) -> None:
+        """Release the engine's persistent worker pool (if any)."""
+        if self._engine_cell[0] is not None:
+            self._engine_cell[0].close()
+
+    def __enter__(self) -> "Study":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def run(self) -> "StudyResult":
         """Search the space for the workload and wrap the analyses."""
         if self._workload is None:
             raise ConfigurationError(
                 "this study has no workload; call .with_workload(...) first"
             )
-        engine = DesignSpaceSearch(
-            evaluator=self._resolve_evaluator(),
-            workers=self._workers,
-            chunk_size=self._chunk_size,
-            cache=self._resolve_cache(),
-        )
-        result = engine.search(self.candidates(), self._workload)
+        result = self.engine().search(self.candidates(), self._workload)
         return StudyResult(result, reference_label=self._reference_label)
 
 

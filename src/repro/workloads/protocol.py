@@ -44,6 +44,7 @@ __all__ = [
     "WeightedQuery",
     "Workload",
     "as_workload",
+    "entry_cache_key",
     "join_cache_key",
 ]
 
@@ -64,6 +65,20 @@ def join_cache_key(query: JoinWorkloadSpec) -> tuple:
         query.method.value,
         query.tuple_bytes,
     )
+
+
+def entry_cache_key(query: JoinWorkloadSpec) -> tuple:
+    """The per-entry evaluation-cache identity of one member join.
+
+    This is the unit the search engine memoizes and dispatches at: every
+    workload — single join, suite, trace mix — is flattened into its
+    ``weighted_queries()`` entries, and each entry is cached under this
+    key (weights apply at aggregation time, so the same join at weight 1
+    and weight 5 shares one entry).  It deliberately equals
+    :meth:`SingleJoin.cache_key`, so a single-join search and a suite
+    containing that join read and write the same cache row.
+    """
+    return ("join", *join_cache_key(query))
 
 
 @dataclass(frozen=True)
@@ -116,7 +131,7 @@ class SingleJoin:
         return self.query.name
 
     def cache_key(self) -> tuple:
-        return ("join", *join_cache_key(self.query))
+        return entry_cache_key(self.query)
 
     def weighted_queries(self) -> tuple[WeightedQuery, ...]:
         return (WeightedQuery(self.query, 1.0),)

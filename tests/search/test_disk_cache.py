@@ -1,5 +1,7 @@
 """Disk-backed evaluation cache: persistence across processes/instances."""
 
+import pytest
+
 from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
 from repro.search import (
     CallableEvaluator,
@@ -172,3 +174,176 @@ class TestDiskBackedCache:
         cache = EvaluationCache(cache_path=path)
         DesignSpaceSearch(cache=cache).search(paper_grid(), section54_join())
         assert cache.stats.entries == 9
+
+
+class TestLockRetry:
+    def test_locked_store_is_retried_with_backoff(self, monkeypatch):
+        from repro.search import cache as cache_module
+
+        sleeps = []
+        monkeypatch.setattr(cache_module.time, "sleep", sleeps.append)
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise cache_module.sqlite3.OperationalError("database is locked")
+            return "ok"
+
+        assert cache_module._with_lock_retry(flaky) == "ok"
+        assert len(attempts) == 3
+        assert sleeps == sorted(sleeps)  # backoff grows between attempts
+
+    def test_non_lock_errors_propagate_immediately(self, monkeypatch):
+        import sqlite3
+
+        from repro.search import cache as cache_module
+
+        monkeypatch.setattr(cache_module.time, "sleep", lambda _s: None)
+        attempts = []
+
+        def broken():
+            attempts.append(1)
+            raise sqlite3.OperationalError("no such table: evaluations")
+
+        with pytest.raises(sqlite3.OperationalError, match="no such table"):
+            cache_module._with_lock_retry(broken)
+        assert len(attempts) == 1
+
+    def test_persistent_lock_eventually_propagates(self, monkeypatch):
+        import sqlite3
+
+        from repro.search import cache as cache_module
+
+        monkeypatch.setattr(cache_module.time, "sleep", lambda _s: None)
+
+        def always_locked():
+            raise sqlite3.OperationalError("database is locked")
+
+        with pytest.raises(sqlite3.OperationalError, match="locked"):
+            cache_module._with_lock_retry(always_locked)
+
+    def test_sweep_survives_transiently_locked_writes(self, tmp_path, monkeypatch):
+        """End to end: the first insert of every put hits a spurious lock."""
+        import sqlite3
+
+        from repro.search import cache as cache_module
+
+        monkeypatch.setattr(cache_module.time, "sleep", lambda _s: None)
+        cache = EvaluationCache(cache_path=tmp_path / "evals.sqlite")
+
+        class FlakyConnection:
+            """Connection proxy whose INSERTs fail once before succeeding."""
+
+            def __init__(self, real):
+                self._real = real
+                self._locked_once = set()
+
+            def execute(self, sql, *args):
+                if sql.startswith("INSERT OR REPLACE") and args not in self._locked_once:
+                    self._locked_once.add(args)
+                    raise sqlite3.OperationalError("database is locked")
+                return self._real.execute(sql, *args)
+
+            def __getattr__(self, name):
+                return getattr(self._real, name)
+
+        cache._db = FlakyConnection(cache._db)
+        result = DesignSpaceSearch(cache=cache).search(paper_grid(), section54_join())
+        assert result.evaluations == 9
+        assert len(cache) == 9  # every locked write landed on retry
+
+
+class TestCacheMerge:
+    def shard(self, path, query):
+        cache = EvaluationCache(cache_path=path)
+        DesignSpaceSearch(cache=cache).search(paper_grid(), query)
+        cache.close()
+
+    def test_merge_combines_parallel_shards(self, tmp_path):
+        """Two CI shards warm disjoint workloads; the merged store serves
+        both without re-evaluation."""
+        self.shard(tmp_path / "a.sqlite", section54_join(0.01, 0.10))
+        self.shard(tmp_path / "b.sqlite", section54_join(0.10, 0.02))
+
+        combined = EvaluationCache(cache_path=tmp_path / "a.sqlite")
+        assert combined.merge(tmp_path / "b.sqlite") == 9
+        for query in (section54_join(0.01, 0.10), section54_join(0.10, 0.02)):
+            result = DesignSpaceSearch(cache=combined).search(paper_grid(), query)
+            assert result.evaluations == 0
+
+    def test_merge_keeps_existing_rows_and_is_idempotent(self, tmp_path):
+        self.shard(tmp_path / "a.sqlite", section54_join())
+        self.shard(tmp_path / "b.sqlite", section54_join())  # same 9 keys
+
+        combined = EvaluationCache(cache_path=tmp_path / "a.sqlite")
+        assert combined.merge(tmp_path / "b.sqlite") == 0  # nothing new
+        assert len(combined) == 9
+
+    def test_merge_requires_a_disk_backed_cache(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        self.shard(tmp_path / "b.sqlite", section54_join())
+        with pytest.raises(ConfigurationError, match="disk-backed"):
+            EvaluationCache().merge(tmp_path / "b.sqlite")
+
+    def test_merge_rejects_other_versions(self, tmp_path):
+        import sqlite3
+
+        from repro.errors import ConfigurationError
+
+        self.shard(tmp_path / "b.sqlite", section54_join())
+        db = sqlite3.connect(str(tmp_path / "b.sqlite"))
+        db.execute("UPDATE meta SET value = '0.0.0' WHERE key = 'repro_version'")
+        db.commit()
+        db.close()
+
+        combined = EvaluationCache(cache_path=tmp_path / "a.sqlite")
+        with pytest.raises(ConfigurationError, match="0.0.0"):
+            combined.merge(tmp_path / "b.sqlite")
+
+    def test_merge_count_survives_a_locked_commit(self, tmp_path, monkeypatch):
+        """A retried fold must not count its own uncommitted inserts as
+        pre-existing rows (regression: rollback before re-counting)."""
+        import sqlite3
+
+        from repro.search import cache as cache_module
+
+        monkeypatch.setattr(cache_module.time, "sleep", lambda _s: None)
+        self.shard(tmp_path / "a.sqlite", section54_join(0.01, 0.10))
+        self.shard(tmp_path / "b.sqlite", section54_join(0.10, 0.02))
+        combined = EvaluationCache(cache_path=tmp_path / "a.sqlite")
+
+        class FlakyCommit:
+            """Connection proxy whose first commit hits a spurious lock."""
+
+            def __init__(self, real):
+                self._real = real
+                self._failed = False
+
+            def commit(self):
+                if not self._failed:
+                    self._failed = True
+                    raise sqlite3.OperationalError("database is locked")
+                return self._real.commit()
+
+            def __getattr__(self, name):
+                return getattr(self._real, name)
+
+        combined._db = FlakyCommit(combined._db)
+        assert combined.merge(tmp_path / "b.sqlite") == 9
+
+    def test_merge_rejects_non_cache_files(self, tmp_path):
+        import sqlite3
+
+        from repro.errors import ConfigurationError
+
+        stray = tmp_path / "not-a-cache.sqlite"
+        db = sqlite3.connect(str(stray))
+        db.execute("CREATE TABLE misc (x INTEGER)")
+        db.commit()
+        db.close()
+
+        combined = EvaluationCache(cache_path=tmp_path / "a.sqlite")
+        with pytest.raises(ConfigurationError, match="not an evaluation cache"):
+            combined.merge(stray)

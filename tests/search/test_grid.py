@@ -75,11 +75,98 @@ class TestDesignGrid:
             dict(node_pairs=(PAIR,), cluster_sizes=(8,), frequency_factors=()),
             dict(node_pairs=(PAIR,), cluster_sizes=(8,), modes=()),
             dict(node_pairs=(PAIR,), cluster_sizes=(8,), mix_step=0),
+            dict(node_pairs=(PAIR,), cluster_sizes=(8,), beefy_frequency_factors=()),
+            dict(
+                node_pairs=(PAIR,),
+                cluster_sizes=(8,),
+                beefy_frequency_factors=(1.2,),
+            ),
+            dict(
+                node_pairs=(PAIR,),
+                cluster_sizes=(8,),
+                wimpy_frequency_factors=(0.0,),
+            ),
         ],
     )
     def test_invalid_grids_rejected(self, kwargs):
         with pytest.raises(ConfigurationError):
             DesignGrid(**kwargs)
+
+
+class TestPerTypeDvfsAxes:
+    def test_axes_enter_the_cross_product(self):
+        grid = DesignGrid(
+            node_pairs=(PAIR,),
+            cluster_sizes=(4,),
+            beefy_frequency_factors=(1.0, 0.8),
+            wimpy_frequency_factors=(1.0, 0.6),
+        )
+        candidates = grid.candidate_list()
+        assert len(candidates) == len(grid) == 5 * 2 * 2
+        states = {
+            (c.effective_beefy_frequency, c.effective_wimpy_frequency)
+            for c in candidates
+        }
+        assert states == {(1.0, 1.0), (1.0, 0.6), (0.8, 1.0), (0.8, 0.6)}
+
+    def test_asymmetric_states_are_labeled_and_unique(self):
+        grid = DesignGrid(
+            node_pairs=(PAIR,),
+            cluster_sizes=(2,),
+            beefy_frequency_factors=(1.0, 0.8),
+            wimpy_frequency_factors=(0.6,),
+        )
+        labels = [c.label for c in grid.candidates()]
+        unique_labels(grid.candidate_list())  # should not raise
+        assert "2B,0W|phiB0.8|phiW0.6" in labels
+        assert "2B,0W|phiB1|phiW0.6" in labels
+
+    def test_single_unity_override_adds_no_label_noise(self):
+        grid = DesignGrid(
+            node_pairs=(PAIR,),
+            cluster_sizes=(2,),
+            beefy_frequency_factors=(1.0,),
+        )
+        assert [c.label for c in grid.candidates()] == ["2B,0W", "1B,1W", "0B,2W"]
+
+    def test_per_type_override_beats_the_cluster_factor(self):
+        grid = DesignGrid(
+            node_pairs=(PAIR,),
+            cluster_sizes=(2,),
+            frequency_factors=(0.5,),
+            beefy_frequency_factors=(0.9,),
+        )
+        candidate = grid.candidate_list()[0]
+        assert candidate.effective_beefy_frequency == 0.9
+        assert candidate.effective_wimpy_frequency == 0.5  # follows cluster-wide
+
+    def test_shadowed_cluster_axis_rejected(self):
+        """Both per-type axes override the cluster-wide factor on every
+        candidate, so a non-trivial frequency_factors axis would only
+        enumerate duplicate hardware states."""
+        with pytest.raises(ConfigurationError, match="shadowed"):
+            DesignGrid(
+                node_pairs=(PAIR,),
+                cluster_sizes=(4,),
+                frequency_factors=(1.0, 0.8),
+                beefy_frequency_factors=(0.9,),
+                wimpy_frequency_factors=(0.9,),
+            )
+
+    def test_equivalent_states_share_a_cache_key(self):
+        """A cluster-wide factor and the same value as per-type overrides
+        describe the same hardware, so grid points agree on the key."""
+        wide = DesignGrid(
+            node_pairs=(PAIR,), cluster_sizes=(2,), frequency_factors=(0.8,)
+        )
+        split = DesignGrid(
+            node_pairs=(PAIR,),
+            cluster_sizes=(2,),
+            beefy_frequency_factors=(0.8,),
+            wimpy_frequency_factors=(0.8,),
+        )
+        for a, b in zip(wide.candidate_list(), split.candidate_list()):
+            assert a.key() == b.key()
 
 
 class TestDesignCandidate:

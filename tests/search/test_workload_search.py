@@ -81,8 +81,11 @@ class TestSuiteThroughEngine:
             assert ours.time_s == theirs.time_s
             assert ours.energy_j == theirs.energy_j
         assert as_suite.points[0].prediction is not None
-        # ... but under distinct cache keys (distinct workload identity)
-        assert as_join.evaluations == 9
+        # per-entry memoization: the join search reuses the suite's
+        # member-join entries, so it performs zero fresh evaluations
+        assert as_join.evaluations == 0
+        assert as_join.query_evaluations == 0
+        assert as_join.cache_hits == 9
 
     def test_query_property_raises_for_multi_query_workloads(self):
         from repro.errors import ModelError
@@ -111,22 +114,32 @@ class TestTraceMixThroughEngine:
         for ours, theirs in zip(via_trace.points, via_suite.points):
             assert ours.time_s == theirs.time_s
             assert ours.energy_j == theirs.energy_j
-        # same numbers, distinct identities: no cross-type cache hits
-        assert via_suite.evaluations == 9
+        # the suite shares the trace mix's per-entry cache rows: both
+        # flatten to the same (entry key, candidate key) tasks
+        assert via_trace.query_evaluations == 18
+        assert via_suite.evaluations == 0
+        assert via_suite.query_evaluations == 0
 
 
 class TestWorkloadCachePartitioning:
-    def test_join_suite_and_trace_never_share_entries(self):
-        """Same name, same grid — three workload types, three cache rows."""
+    def test_aggregates_partitioned_but_entries_shared(self):
+        """Same name, same grid, three workload types: each keeps its own
+        workload-level aggregate rows (distinct ``cache_key()`` tags), but
+        all three share the per-entry rows of the one member join — only
+        the first search evaluates anything."""
         query = section54_join()
         single = SingleJoin(query)
         suite = WorkloadSuite(name=query.name, entries=(SuiteEntry(query, 1.0),))
         mix = ArrivalMix.from_trace(query.name, [(query, 0.0)])
         cache = EvaluationCache()
         engine = DesignSpaceSearch(cache=cache)
-        for workload in (single, suite, mix):
+        first = engine.search(paper_grid(), single)
+        assert first.query_evaluations == 9
+        for workload in (suite, mix):
             result = engine.search(paper_grid(), workload)
-            assert result.evaluations == 9  # never served from another type
+            assert result.query_evaluations == 0  # entries shared across types
+        # 9 shared entry rows + 9 suite aggregates + 9 trace aggregates
+        # (a single join's aggregate key IS its entry key)
         assert len(cache) == 27
 
 

@@ -200,6 +200,36 @@ class TestSuiteParity:
         assert serial.points == parallel.points
 
 
+class TestStudyEngineSharing:
+    def grid(self):
+        return DesignGrid(
+            node_pairs=((CLUSTER_V_NODE, WIMPY_LAPTOP_B),), cluster_sizes=(8,)
+        )
+
+    def test_workload_swapped_studies_share_engine_and_memo(self):
+        """The campaign pattern reuses one engine: overlapping workloads
+        share per-entry cache rows across derived studies."""
+        base = Study(self.grid())
+        shared = section54_join(0.01, 0.10)
+        first = base.with_workload(shared).run()
+        assert first.search.query_evaluations == 9
+        suite = WorkloadSuite.of("pair", shared, section54_join(0.10, 0.02))
+        second = base.with_workload(suite).run()
+        assert second.search.query_evaluations == 9  # only the new member
+        assert base.engine() is base.with_workload(shared).engine()
+
+    def test_engine_config_changes_start_a_fresh_engine(self):
+        base = Study(self.grid()).with_workload(section54_join())
+        assert base.engine() is not base.with_workers(2).engine()
+        assert base.engine() is not base.with_cache(EvaluationCache()).engine()
+        assert (
+            base.engine()
+            is not base.with_evaluator(ModelEvaluator(warm_cache=True)).engine()
+        )
+        # non-engine steps keep sharing
+        assert base.engine() is base.with_reference("8B,0W").engine()
+
+
 class TestStudySpaces:
     def test_grid_space(self):
         grid = DesignGrid(
