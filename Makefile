@@ -28,9 +28,11 @@ bench:
 	$(PYTHON) -m pytest benchmarks -q
 
 # Search-engine perf trajectory: times old vs new dispatch on the
-# 216-design suite-sweep campaign and records it for future PRs.
+# 216-design suite-sweep campaign, plus evaluations-to-knee for the
+# adaptive optimizers, and records both for future PRs.
 bench-json:
 	$(PYTHON) benchmarks/test_query_fanout.py --json BENCH_search.json
+	$(PYTHON) benchmarks/test_optimize.py --json BENCH_optimize.json
 
 # Sweep a 216-point design grid and print its Pareto frontier.
 search-demo:

@@ -14,7 +14,9 @@ The library provides:
 * :mod:`repro.core` — the paper's analytical model, design-space explorer,
   EDP analysis, and cluster design principles;
 * :mod:`repro.search` — parallel, memoized Pareto search over
-  multi-dimensional cluster design grids;
+  multi-dimensional cluster design grids, plus budgeted adaptive
+  optimizers (random / successive-halving / evolutionary) over design
+  spaces too large to enumerate;
 * :mod:`repro.study` — the fluent :class:`Study` facade, the single entry
   point for design-space studies over any workload;
 * :mod:`repro.analysis` — metrics, normalized curves, ASCII reports;
@@ -82,16 +84,24 @@ from repro.pstore.engine import PStore, PStoreConfig
 from repro.pstore.replication import ReplicatedLayout
 from repro.search import (
     CallableEvaluator,
+    ChoiceAxis,
     DesignCandidate,
     DesignGrid,
     DesignSpaceSearch,
     EvaluatedDesign,
     EvaluationCache,
+    LocalSearch,
     ModelEvaluator,
+    OptimizationLoop,
+    Optimizer,
+    RandomSearch,
+    RangeAxis,
     SearchResult,
+    SearchSpace,
     SimulatorEvaluator,
+    SuccessiveHalving,
 )
-from repro.study import Study, StudyResult
+from repro.study import OptimizationResult, Study, StudyResult
 from repro.workloads.protocol import (
     ArrivalMix,
     SingleJoin,
@@ -144,6 +154,16 @@ __all__ = [
     "ModelEvaluator",
     "SimulatorEvaluator",
     "CallableEvaluator",
+    # adaptive optimization
+    "SearchSpace",
+    "ChoiceAxis",
+    "RangeAxis",
+    "Optimizer",
+    "RandomSearch",
+    "SuccessiveHalving",
+    "LocalSearch",
+    "OptimizationLoop",
+    "OptimizationResult",
     # studies
     "Study",
     "StudyResult",

@@ -25,9 +25,13 @@ __all__ = [
     "experiment_to_dict",
     "experiment_to_json",
     "experiments_summary_csv",
+    "optimization_to_json",
     "search_to_rows",
+    "search_to_dict",
     "frontier_to_csv",
     "search_to_json",
+    "trajectory_to_csv",
+    "trajectory_to_rows",
 ]
 
 
@@ -127,8 +131,8 @@ def frontier_to_csv(result: SearchResult, frontier_only: bool = True) -> str:
     return buffer.getvalue()
 
 
-def search_to_json(result: SearchResult, indent: int | None = 2) -> str:
-    """Full search outcome — points, frontier, selections — as JSON."""
+def search_to_dict(result: SearchResult) -> dict[str, Any]:
+    """Full search outcome — points, frontier, selections — as a dict."""
     feasible = result.feasible_points
     frontier = result.pareto_frontier()
     frontier_labels = {point.label for point in frontier}
@@ -151,6 +155,67 @@ def search_to_json(result: SearchResult, indent: int | None = 2) -> str:
         # (a frontier is its own Pareto set).
         payload["knee"] = knee_point(frontier).label
         payload["edp_optimal"] = result.edp_optimal().label
+    return payload
+
+
+def search_to_json(result: SearchResult, indent: int | None = 2) -> str:
+    """:func:`search_to_dict`, serialized."""
+    return json.dumps(search_to_dict(result), indent=indent)
+
+
+_TRAJECTORY_FIELDS = [
+    "batch",
+    "rung",
+    "fidelity",
+    "candidates",
+    "fresh_query_evaluations",
+    "archive_size",
+    "frontier_size",
+    "best_edp",
+    "knee_label",
+]
+
+
+def trajectory_to_rows(result) -> list[dict[str, Any]]:
+    """An optimization's batches as plain dicts (one per batch).
+
+    ``result`` is an :class:`~repro.study.OptimizationResult` (or
+    anything exposing ``trajectory``); each row is the evaluations-spent
+    vs frontier-quality state after one optimizer batch.
+    """
+    return [
+        {field: getattr(point, field) for field in _TRAJECTORY_FIELDS}
+        for point in result.trajectory
+    ]
+
+
+def trajectory_to_csv(result) -> str:
+    """The evaluations-vs-frontier-quality curve as CSV text."""
+    rows = trajectory_to_rows(result)
+    if not rows:
+        raise ReproError("cannot export an empty optimization trajectory")
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_TRAJECTORY_FIELDS)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def optimization_to_json(result, indent: int | None = 2) -> str:
+    """Full optimization outcome: search payload + optimizer metadata.
+
+    The ``points``/``frontier``/selection keys match
+    :func:`search_to_json` over the archive, so downstream consumers of
+    sweep exports read optimization exports unchanged; ``optimizer``,
+    ``budget``, ``stop_reason``, and ``trajectory`` are added on top.
+    """
+    payload = search_to_dict(result.search)
+    payload["optimizer"] = result.optimizer_name
+    payload["budget"] = result.budget
+    payload["stop_reason"] = result.stop_reason
+    payload["fresh_query_evaluations"] = result.fresh_query_evaluations
+    payload["trajectory"] = trajectory_to_rows(result)
     return json.dumps(payload, indent=indent)
 
 

@@ -22,7 +22,14 @@ This subsystem scales that exercise beyond the paper's single axis:
   chunked dispatch and returns a :class:`SearchResult`;
 * :mod:`repro.search.pareto` — frontier extraction, knee location,
   EDP-optimal and SLA-constrained selection (the Section 5.5/6 reading
-  rules applied to raw (time, energy) points).
+  rules applied to raw (time, energy) points);
+* :mod:`repro.search.space` — sampleable design spaces
+  (:class:`SearchSpace`): discrete :class:`ChoiceAxis` dimensions derived
+  from grids plus open :class:`RangeAxis` dimensions (continuous DVFS
+  ladders, wide size ranges) no grid could enumerate;
+* :mod:`repro.search.optimize` — budgeted adaptive optimizers over those
+  spaces (:class:`RandomSearch`, :class:`SuccessiveHalving`,
+  :class:`LocalSearch`) driven by an :class:`OptimizationLoop`.
 
 How a search executes
 ---------------------
@@ -60,6 +67,41 @@ sweeps here, so the paper's figures, workload-level studies, and the
 extended grids all run on the same engine.  The fluent
 :class:`~repro.study.Study` facade is the friendly front door.
 
+Adaptive search
+---------------
+
+When the space outgrows enumeration, :meth:`Study.optimize
+<repro.study.Study.optimize>` (or a hand-built :class:`OptimizationLoop`)
+searches it adaptively.  One optimization executes as its own loop *on
+top of* the five-stage pipeline above:
+
+1. **propose** — the :class:`Optimizer` asks for a batch: seeded samples
+   (:class:`RandomSearch`), a racing pool with an entry-count rung
+   (:class:`SuccessiveHalving`), or mutants of the current frontier
+   (:class:`LocalSearch`), all drawn from a :class:`SearchSpace` whose
+   axes may be grid-derived choices or open ranges;
+2. **evaluate** — :meth:`DesignSpaceSearch.evaluate_batch` runs the batch
+   through the ordinary search pipeline (dedupe by candidate key, label
+   collisions suffixed), so per-entry memoization, the
+   :class:`EvaluationCache`, and the persistent pool are reused verbatim
+   and every record is bit-identical to a grid sweep of that candidate;
+3. **subsample** — partial-fidelity rungs score candidates on the
+   heaviest-weight prefix of the workload's entries; promotion to a
+   larger rung pays only for the entries it adds, because the per-entry
+   cache rows are workload-independent;
+4. **archive** — full-fidelity records accumulate in the Pareto archive
+   (the eventual :class:`~repro.study.OptimizationResult` points), and
+   each batch appends an evaluations-vs-frontier-quality
+   :class:`TrajectoryPoint`;
+5. **stop** — on the optimizer finishing, the fresh-evaluation budget
+   running out, or ``patience`` batches without a frontier change.
+
+Because optimizer evaluations and grid sweeps share one keyspace, an
+optimization warms a later exhaustive sweep (and vice versa): on the
+216-design reference space, seeded :class:`SuccessiveHalving` recovers
+the exhaustive knee with roughly a third of the grid's fresh
+evaluations.
+
 >>> from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
 >>> from repro.search import DesignGrid, DesignSpaceSearch
 >>> from repro.workloads.queries import section54_join
@@ -70,7 +112,11 @@ True
 """
 
 from repro.search.cache import CacheStats, EvaluationCache
-from repro.search.engine import DesignSpaceSearch, SearchResult
+from repro.search.engine import (
+    DEFAULT_MIN_DISPATCH_TASKS,
+    DesignSpaceSearch,
+    SearchResult,
+)
 from repro.search.evaluators import (
     CallableEvaluator,
     EvaluatedDesign,
@@ -79,21 +125,44 @@ from repro.search.evaluators import (
     SimulatorEvaluator,
 )
 from repro.search.grid import DesignCandidate, DesignGrid
+from repro.search.optimize import (
+    LocalSearch,
+    OptimizationLoop,
+    Optimizer,
+    Proposal,
+    RandomSearch,
+    SuccessiveHalving,
+    TrajectoryPoint,
+    build_optimizer,
+)
 from repro.search.pareto import best_under_sla, edp_optimal, knee_point, pareto_frontier
+from repro.search.space import ChoiceAxis, RangeAxis, SearchSpace
 
 __all__ = [
     "CacheStats",
     "CallableEvaluator",
+    "ChoiceAxis",
+    "DEFAULT_MIN_DISPATCH_TASKS",
     "DesignCandidate",
     "DesignGrid",
     "DesignSpaceSearch",
     "EvaluatedDesign",
     "EvaluationCache",
+    "LocalSearch",
     "ModelEvaluator",
+    "OptimizationLoop",
+    "Optimizer",
+    "Proposal",
+    "RandomSearch",
+    "RangeAxis",
     "SearchEvaluator",
     "SearchResult",
+    "SearchSpace",
     "SimulatorEvaluator",
+    "SuccessiveHalving",
+    "TrajectoryPoint",
     "best_under_sla",
+    "build_optimizer",
     "edp_optimal",
     "knee_point",
     "pareto_frontier",

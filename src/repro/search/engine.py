@@ -46,6 +46,7 @@ from __future__ import annotations
 import math
 import multiprocessing
 import pickle
+import sys
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
@@ -67,7 +68,16 @@ from repro.workloads.protocol import (
 )
 from repro.workloads.queries import JoinWorkloadSpec
 
-__all__ = ["DesignSpaceSearch", "SearchResult"]
+__all__ = ["DEFAULT_MIN_DISPATCH_TASKS", "DesignSpaceSearch", "SearchResult"]
+
+#: Smallest fresh-task batch worth shipping to the worker pool.  Measured
+#: on the ``BENCH_search.json`` container (2 workers, warm pool): one
+#: parallel dispatch costs ~2-10 ms in IPC and chunk bookkeeping, so
+#: batches under ~64 tasks never recover it — a 64-task ModelEvaluator
+#: batch computes in ~3 ms serially (~40 us per point) and even 64
+#: ~1.3 ms SimulatorEvaluator tasks finish faster in-process.  The
+#: 1296-task campaign the benchmark tracks still wins 2.1x parallel.
+DEFAULT_MIN_DISPATCH_TASKS = 64
 
 
 @dataclass
@@ -198,11 +208,16 @@ class DesignSpaceSearch:
     ``workers=1`` evaluates serially in-process; ``workers=n`` fans cache
     misses out over a persistent ``n``-process pool in chunks of
     ``chunk_size`` entry tasks (default: enough chunks to give each worker
-    about four).  The pool is created lazily on the first parallel
-    dispatch and reused across ``search()`` calls — a
-    :class:`~repro.study.Study` issuing many searches pays the spin-up
-    once.  Release it with :meth:`close` or use the engine as a context
-    manager::
+    about four).  Batches smaller than ``min_dispatch_tasks`` stay serial
+    even on a parallel engine: a :class:`~repro.search.evaluators
+    .ModelEvaluator` point costs ~40 us while one pool dispatch costs
+    milliseconds, so tiny batches — warm re-sweeps with a few misses, an
+    optimizer's final rungs — would pay IPC for nothing (pass
+    ``min_dispatch_tasks=1`` to force fan-out regardless).  The pool is
+    created lazily on the first parallel dispatch and reused across
+    ``search()`` calls — a :class:`~repro.study.Study` issuing many
+    searches pays the spin-up once.  Release it with :meth:`close` or use
+    the engine as a context manager::
 
         with DesignSpaceSearch(workers=4) as engine:
             engine.search(grid, suite_a)
@@ -219,14 +234,20 @@ class DesignSpaceSearch:
         workers: int = 1,
         chunk_size: int | None = None,
         cache: EvaluationCache | None = None,
+        min_dispatch_tasks: int = DEFAULT_MIN_DISPATCH_TASKS,
     ):
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         if chunk_size is not None and chunk_size < 1:
             raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        if min_dispatch_tasks < 1:
+            raise ConfigurationError(
+                f"min_dispatch_tasks must be >= 1, got {min_dispatch_tasks}"
+            )
         self.evaluator = evaluator if evaluator is not None else ModelEvaluator()
         self.workers = workers
         self.chunk_size = chunk_size
+        self.min_dispatch_tasks = min_dispatch_tasks
         self.cache = cache if cache is not None else EvaluationCache()
         self._pool = None
         self._evaluator_picklable: bool | None = None
@@ -337,15 +358,53 @@ class DesignSpaceSearch:
             query_evaluations=len(tasks),
         )
 
+    def evaluate_batch(
+        self,
+        candidates: Iterable[DesignCandidate],
+        workload: Workload | JoinWorkloadSpec,
+    ) -> SearchResult:
+        """Evaluate an optimizer-proposed batch of candidates.
+
+        The batch hook behind :class:`~repro.search.optimize
+        .OptimizationLoop`: unlike :meth:`search`, the batch need not be
+        curated — candidates proposed by samplers and mutators may repeat
+        (same :meth:`~repro.search.grid.DesignCandidate.key`) or collide
+        on display labels (two continuous DVFS states rounding to one
+        label).  Duplicates by key collapse to a single point, and label
+        collisions between *distinct* designs are suffixed ``~2``, ``~3``,
+        ... so the underlying search stays well-formed.  Points come back
+        in first-occurrence order; cache keys are exactly :meth:`search`
+        keys, so optimizer evaluations and grid sweeps share one memo.
+        """
+        deduped: list[DesignCandidate] = []
+        seen_keys: set[tuple] = set()
+        label_counts: dict[str, int] = {}
+        for candidate in candidates:
+            key = candidate.key()
+            if key in seen_keys:
+                continue
+            seen_keys.add(key)
+            count = label_counts.get(candidate.label, 0) + 1
+            label_counts[candidate.label] = count
+            if count > 1:
+                candidate = replace(
+                    candidate, label=f"{candidate.label}~{count}"
+                )
+            deduped.append(candidate)
+        return self.search(deduped, workload)
+
     # ------------------------------------------------------- pool lifecycle
     def close(self) -> None:
         """Release the persistent worker pool (no-op if never created).
 
-        The engine stays usable: the next parallel dispatch lazily
-        creates a fresh pool.
+        Idempotent and safe at any point of the engine's life — including
+        a half-constructed engine (``__init__`` raised before ``_pool``
+        existed) and repeated calls.  The engine stays usable: the next
+        parallel dispatch lazily creates a fresh pool.
         """
-        if self._pool is not None:
-            pool, self._pool = self._pool, None
+        pool = getattr(self, "_pool", None)
+        self._pool = None
+        if pool is not None:
             pool.close()
             pool.join()
 
@@ -361,10 +420,22 @@ class DesignSpaceSearch:
         self.close()
 
     def __del__(self):
+        # A pool-owning engine collected at interpreter exit must not spray
+        # ImportError/AttributeError noise: module globals (multiprocessing
+        # internals included) may already be torn down, so joining worker
+        # handshakes is unsafe.  terminate() only signals the daemons —
+        # which die with the interpreter anyway — and everything is wrapped
+        # because even attribute access can fail mid-shutdown.
         try:
-            self.close()
+            if sys.is_finalizing():
+                pool = getattr(self, "_pool", None)
+                self._pool = None
+                if pool is not None:
+                    pool.terminate()
+            else:
+                self.close()
         except Exception:
-            pass  # interpreter shutdown: the daemon workers die anyway
+            pass
 
     # --------------------------------------------------------------- internal
     def _evaluate(
@@ -372,6 +443,8 @@ class DesignSpaceSearch:
     ) -> tuple[list[EvaluatedDesign], int]:
         """Evaluate uncached entry tasks; returns (records, workers used)."""
         workers = min(self.workers, len(tasks))
+        if len(tasks) < self.min_dispatch_tasks:
+            workers = 1  # cheap batch: IPC would cost more than the work
         if workers > 1 and not self._dispatchable(tasks[0]):
             workers = 1
         if workers <= 1:

@@ -54,6 +54,48 @@ def _spec_key(spec: NodeSpec) -> tuple:
     )
 
 
+def candidate_label(
+    beefy: NodeSpec,
+    wimpy: NodeSpec,
+    num_beefy: int,
+    num_wimpy: int,
+    *,
+    multi_pair: bool = False,
+    multi_size: bool = False,
+    multi_freq: bool = False,
+    multi_beefy: bool = False,
+    multi_wimpy: bool = False,
+    multi_mode: bool = False,
+    frequency_factor: float = 1.0,
+    beefy_factor: float | None = None,
+    wimpy_factor: float | None = None,
+    mode=None,
+) -> str:
+    """The canonical display label of one design point.
+
+    Shared by :meth:`DesignGrid.candidates` and
+    :meth:`~repro.search.space.SearchSpace.sample`, so a sampled
+    candidate and the identical grid point always carry the same label:
+    each ``multi_*`` flag says whether that axis varies in the enclosing
+    space (an axis that cannot vary is omitted from labels, like the
+    paper's plain ``xB,yW`` names).
+    """
+    parts = [f"{num_beefy}B,{num_wimpy}W"]
+    if multi_pair:
+        parts.append(f"{beefy.name}+{wimpy.name}")
+    if multi_size:
+        parts.append(f"n{num_beefy + num_wimpy}")
+    if multi_freq or frequency_factor != 1.0:
+        parts.append(f"phi{frequency_factor:g}")
+    if beefy_factor is not None and (multi_beefy or beefy_factor != 1.0):
+        parts.append(f"phiB{beefy_factor:g}")
+    if wimpy_factor is not None and (multi_wimpy or wimpy_factor != 1.0):
+        parts.append(f"phiW{wimpy_factor:g}")
+    if multi_mode and mode is not None:
+        parts.append(mode.value)
+    return "|".join(parts)
+
+
 def query_key(query: JoinWorkloadSpec) -> tuple:
     """Deterministic identity of one join spec for cache keys.
 
@@ -290,25 +332,24 @@ class DesignGrid:
                         for beefy_factor in beefy_axis:
                             for wimpy_factor in wimpy_axis:
                                 for mode in self.modes:
-                                    parts = [f"{num_beefy}B,{num_wimpy}W"]
-                                    if multi_pair:
-                                        parts.append(f"{beefy.name}+{wimpy.name}")
-                                    if multi_size:
-                                        parts.append(f"n{size}")
-                                    if multi_freq or factor != 1.0:
-                                        parts.append(f"phi{factor:g}")
-                                    if beefy_factor is not None and (
-                                        multi_beefy or beefy_factor != 1.0
-                                    ):
-                                        parts.append(f"phiB{beefy_factor:g}")
-                                    if wimpy_factor is not None and (
-                                        multi_wimpy or wimpy_factor != 1.0
-                                    ):
-                                        parts.append(f"phiW{wimpy_factor:g}")
-                                    if multi_mode and mode is not None:
-                                        parts.append(mode.value)
+                                    label = candidate_label(
+                                        beefy,
+                                        wimpy,
+                                        num_beefy,
+                                        num_wimpy,
+                                        multi_pair=multi_pair,
+                                        multi_size=multi_size,
+                                        multi_freq=multi_freq,
+                                        multi_beefy=multi_beefy,
+                                        multi_wimpy=multi_wimpy,
+                                        multi_mode=multi_mode,
+                                        frequency_factor=factor,
+                                        beefy_factor=beefy_factor,
+                                        wimpy_factor=wimpy_factor,
+                                        mode=mode,
+                                    )
                                     yield DesignCandidate(
-                                        label="|".join(parts),
+                                        label=label,
                                         beefy=beefy,
                                         wimpy=wimpy,
                                         num_beefy=num_beefy,

@@ -24,12 +24,36 @@ normalized-curve analyses).  A :class:`Study` unifies them::
     result.to_json()                  # analysis/export hooks
 
 The space can be a :class:`~repro.search.grid.DesignGrid`, an explicit
-candidate sequence, or a :class:`DesignSpaceExplorer` — in the explorer
+candidate sequence, a :class:`DesignSpaceExplorer`, or an (optionally
+open-ended) :class:`~repro.search.space.SearchSpace` — in the explorer
 case the study adopts its evaluator configuration *and its evaluation
 cache*, so studies, sweeps, and single-point evaluations all warm one
 memo and legacy sweeps stay bit-identical.  The workload is anything
 satisfying the :class:`~repro.workloads.protocol.Workload` protocol:
 single joins, weighted suites, arrival-trace mixes.
+
+Besides the exhaustive :meth:`Study.run`, a study drives the adaptive
+optimizers of :mod:`repro.search.optimize` over the same space through
+:meth:`Study.optimize`::
+
+    result = (
+        Study(grid)                       # or a SearchSpace with open axes
+        .with_workload(nightly_suite)
+        .optimize(budget=400, optimizer="successive-halving", seed=7)
+    )
+    result.knee()                         # every StudyResult selection ...
+    result.trajectory                     # ... plus the optimization path
+    result.fresh_query_evaluations       # budget actually spent
+    result.to_json()                      # includes the trajectory
+
+``optimize`` accepts an optimizer name (``"random"``,
+``"successive-halving"``, ``"local"``/``"evolutionary"``) with keyword
+options, or a pre-built :class:`~repro.search.optimize.Optimizer`; it
+shares the study's engine, so optimizer evaluations and later
+:meth:`run` sweeps warm one another's cache (grid-compatible keys).  The
+returned :class:`OptimizationResult` is a :class:`StudyResult` over the
+full-fidelity archive, extended with the evaluations-vs-frontier-quality
+trajectory and the stopping diagnosis.
 
 Studies are immutable: every ``with_*`` step returns a new study, so
 partially-configured studies can be shared and forked freely.
@@ -52,10 +76,17 @@ from repro.search.evaluators import (
     SearchEvaluator,
 )
 from repro.search.grid import DesignCandidate, DesignGrid
+from repro.search.optimize import (
+    OptimizationLoop,
+    Optimizer,
+    TrajectoryPoint,
+    build_optimizer,
+)
+from repro.search.space import SearchSpace
 from repro.workloads.protocol import Workload, as_workload
 from repro.workloads.queries import JoinWorkloadSpec
 
-__all__ = ["Study", "StudyResult"]
+__all__ = ["OptimizationResult", "Study", "StudyResult"]
 
 
 class Study:
@@ -63,19 +94,30 @@ class Study:
 
     def __init__(
         self,
-        space: DesignGrid | DesignSpaceExplorer | Iterable[DesignCandidate],
+        space: (
+            DesignGrid
+            | DesignSpaceExplorer
+            | SearchSpace
+            | Iterable[DesignCandidate]
+        ),
         *,
         workload: Workload | None = None,
         evaluator: SearchEvaluator | None = None,
         workers: int = 1,
         chunk_size: int | None = None,
         cache: EvaluationCache | None = None,
+        min_dispatch_tasks: int | None = None,
         mode: ExecutionMode | None = None,
         reference_label: str | None = None,
         _engine_cell: list | None = None,
     ):
-        if isinstance(space, (DesignGrid, DesignSpaceExplorer)):
-            self._space: DesignGrid | DesignSpaceExplorer | tuple[DesignCandidate, ...] = space
+        if isinstance(space, (DesignGrid, DesignSpaceExplorer, SearchSpace)):
+            self._space: (
+                DesignGrid
+                | DesignSpaceExplorer
+                | SearchSpace
+                | tuple[DesignCandidate, ...]
+            ) = space
         else:
             self._space = tuple(space)
             if not self._space:
@@ -85,6 +127,7 @@ class Study:
         self._workers = workers
         self._chunk_size = chunk_size
         self._cache = cache
+        self._min_dispatch_tasks = min_dispatch_tasks
         self._mode = mode
         self._reference_label = reference_label
         # One-slot holder for the lazily built engine, shared between
@@ -95,7 +138,13 @@ class Study:
     # ------------------------------------------------------------- fluent API
     #: settings a DesignSpaceSearch is built from; changing any of them
     #: means a derived study can no longer share this study's engine
-    _ENGINE_SETTINGS = ("evaluator", "workers", "chunk_size", "cache")
+    _ENGINE_SETTINGS = (
+        "evaluator",
+        "workers",
+        "chunk_size",
+        "cache",
+        "min_dispatch_tasks",
+    )
 
     def _with(self, **overrides) -> "Study":
         settings = {
@@ -104,6 +153,7 @@ class Study:
             "workers": self._workers,
             "chunk_size": self._chunk_size,
             "cache": self._cache,
+            "min_dispatch_tasks": self._min_dispatch_tasks,
             "mode": self._mode,
             "reference_label": self._reference_label,
         }
@@ -130,9 +180,23 @@ class Study:
             evaluator = CallableEvaluator(evaluator)
         return self._with(evaluator=evaluator)
 
-    def with_workers(self, workers: int, chunk_size: int | None = None) -> "Study":
-        """Fan cache misses out over ``workers`` processes."""
-        return self._with(workers=workers, chunk_size=chunk_size)
+    def with_workers(
+        self,
+        workers: int,
+        chunk_size: int | None = None,
+        min_dispatch_tasks: int | None = None,
+    ) -> "Study":
+        """Fan cache misses out over ``workers`` processes.
+
+        ``min_dispatch_tasks`` tunes the engine's cheap-batch threshold
+        (batches below it stay serial; ``1`` forces fan-out, ``None``
+        keeps the engine default).
+        """
+        return self._with(
+            workers=workers,
+            chunk_size=chunk_size,
+            min_dispatch_tasks=min_dispatch_tasks,
+        )
 
     def with_cache(self, cache: "EvaluationCache | str") -> "Study":
         """Use an explicit cache, or a path for a disk-backed one."""
@@ -158,13 +222,41 @@ class Study:
         """
         if isinstance(self._space, DesignSpaceExplorer):
             return self._space.mix_candidates(self._mode)
-        if isinstance(self._space, DesignGrid):
+        if isinstance(self._space, SearchSpace):
+            if not self._space.finite:
+                raise ConfigurationError(
+                    "this study's SearchSpace has open RangeAxis dimensions "
+                    "and cannot be enumerated; use .optimize(...) instead "
+                    "of .run()"
+                )
+            candidates = self._space.candidate_list()
+        elif isinstance(self._space, DesignGrid):
             candidates = self._space.candidate_list()
         else:
             candidates = list(self._space)
         if self._mode is not None:
             candidates = [replace(c, mode=self._mode) for c in candidates]
         return candidates
+
+    def search_space(self) -> SearchSpace:
+        """This study's space as a :class:`SearchSpace` (for optimizers).
+
+        A grid becomes its exact discrete space
+        (:meth:`SearchSpace.from_grid`, so optimizer evaluations share
+        cache keys with grid sweeps); explorer and candidate-list spaces
+        become finite list-backed spaces; a :class:`SearchSpace` passes
+        through.  A forced execution mode (:meth:`with_mode`) applies in
+        every case.
+        """
+        if isinstance(self._space, SearchSpace):
+            space = self._space
+            return space if self._mode is None else space.with_mode(self._mode)
+        if isinstance(self._space, DesignGrid):
+            grid = self._space
+            if self._mode is not None:
+                grid = replace(grid, modes=(self._mode,))
+            return SearchSpace.from_grid(grid)
+        return SearchSpace.from_candidates(self.candidates())
 
     def _resolve_evaluator(self) -> SearchEvaluator:
         if self._evaluator is not None:
@@ -196,12 +288,15 @@ class Study:
         or by using the study as a context manager.
         """
         if self._engine_cell[0] is None:
-            self._engine_cell[0] = DesignSpaceSearch(
+            settings = dict(
                 evaluator=self._resolve_evaluator(),
                 workers=self._workers,
                 chunk_size=self._chunk_size,
                 cache=self._resolve_cache(),
             )
+            if self._min_dispatch_tasks is not None:
+                settings["min_dispatch_tasks"] = self._min_dispatch_tasks
+            self._engine_cell[0] = DesignSpaceSearch(**settings)
         return self._engine_cell[0]
 
     def close(self) -> None:
@@ -223,6 +318,42 @@ class Study:
             )
         result = self.engine().search(self.candidates(), self._workload)
         return StudyResult(result, reference_label=self._reference_label)
+
+    def optimize(
+        self,
+        budget: int | None = None,
+        optimizer: "Optimizer | str" = "successive-halving",
+        *,
+        seed: int = 0,
+        patience: int | None = None,
+        **optimizer_options,
+    ) -> "OptimizationResult":
+        """Search the space adaptively instead of exhaustively.
+
+        ``budget`` caps fresh per-entry evaluations (the same currency as
+        :attr:`~repro.search.engine.SearchResult.query_evaluations`);
+        ``patience`` stops after that many consecutive batches without a
+        frontier change; ``optimizer`` is a name — ``"random"``,
+        ``"successive-halving"`` (default), ``"local"`` — with
+        ``optimizer_options`` forwarded to its constructor, or a
+        pre-built :class:`~repro.search.optimize.Optimizer`.  The study's
+        engine (pool, evaluator, cache) is shared with :meth:`run`, so an
+        optimizer run warms a later exhaustive sweep and vice versa.
+        """
+        if self._workload is None:
+            raise ConfigurationError(
+                "this study has no workload; call .with_workload(...) first"
+            )
+        loop = OptimizationLoop(
+            self.engine(),
+            self.search_space(),
+            self._workload,
+            build_optimizer(optimizer, **optimizer_options),
+            budget=budget,
+            patience=patience,
+            seed=seed,
+        )
+        return loop.run(reference_label=self._reference_label)
 
 
 class StudyResult:
@@ -342,3 +473,58 @@ class StudyResult:
         from repro.analysis.export import curve_to_csv
 
         return curve_to_csv(self.normalized())
+
+
+class OptimizationResult(StudyResult):
+    """A :class:`StudyResult` plus the optimization trajectory.
+
+    Produced by :meth:`Study.optimize` /
+    :meth:`~repro.search.optimize.OptimizationLoop.run`.  The underlying
+    :class:`~repro.search.engine.SearchResult` holds the *archive* — every
+    full-fidelity evaluation in discovery order — so all the selections
+    and exports work unchanged: ``pareto_frontier()``, ``knee()``,
+    ``best_under_sla()``, ``curve()``, ``to_rows()``...  On top of that:
+
+    * :attr:`trajectory` — one
+      :class:`~repro.search.optimize.TrajectoryPoint` per optimizer batch
+      (the evaluations-vs-frontier-quality curve);
+    * :attr:`fresh_query_evaluations` — fresh per-entry evaluator calls
+      the whole optimization performed, rungs included (the budget
+      currency);
+    * :attr:`stop_reason` — ``"optimizer-finished"``,
+      ``"budget-exhausted"``, or ``"converged"``;
+    * :meth:`trajectory_rows` / :meth:`to_json` — exports via
+      :mod:`repro.analysis.export`.
+    """
+
+    def __init__(
+        self,
+        search: SearchResult,
+        trajectory: "tuple[TrajectoryPoint, ...]",
+        optimizer_name: str,
+        budget: int | None,
+        stop_reason: str,
+        reference_label: str | None = None,
+    ):
+        super().__init__(search, reference_label=reference_label)
+        self.trajectory = trajectory
+        self.optimizer_name = optimizer_name
+        self.budget = budget
+        self.stop_reason = stop_reason
+
+    @property
+    def fresh_query_evaluations(self) -> int:
+        """Fresh per-entry evaluator calls spent, rungs included."""
+        return self.search.query_evaluations
+
+    def trajectory_rows(self) -> list[dict]:
+        """The trajectory as plain dicts (:func:`trajectory_to_rows`)."""
+        from repro.analysis.export import trajectory_to_rows
+
+        return trajectory_to_rows(self)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Search payload plus optimizer metadata and the trajectory."""
+        from repro.analysis.export import optimization_to_json
+
+        return optimization_to_json(self, indent=indent)

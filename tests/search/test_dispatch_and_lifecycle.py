@@ -1,0 +1,121 @@
+"""Cheap-task dispatch threshold + shutdown-safe pool lifecycle."""
+
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
+from repro.search import (
+    DEFAULT_MIN_DISPATCH_TASKS,
+    DesignGrid,
+    DesignSpaceSearch,
+    EvaluationCache,
+)
+from repro.study import Study
+from repro.workloads.queries import section54_join
+
+
+def paper_grid(size=8):
+    return DesignGrid.paper_axis(CLUSTER_V_NODE, WIMPY_LAPTOP_B, size)
+
+
+class TestMinDispatchTasks:
+    def test_tiny_batches_stay_serial_by_default(self):
+        """9 model tasks cost ~0.4 ms serially; a pool dispatch costs
+        milliseconds — the default threshold keeps the pool out of it."""
+        engine = DesignSpaceSearch(workers=4, cache=EvaluationCache())
+        result = engine.search(paper_grid(), section54_join())
+        assert len(paper_grid().candidate_list()) < DEFAULT_MIN_DISPATCH_TASKS
+        assert result.workers_used == 1
+        assert not engine.pool_active  # never even spawned
+
+    def test_threshold_boundary(self):
+        """Exactly at the threshold the batch fans out; below it stays
+        serial."""
+        grid = paper_grid(9)  # 10 candidates, single join: 10 tasks
+        at = DesignSpaceSearch(
+            workers=2, cache=EvaluationCache(), min_dispatch_tasks=10
+        )
+        with at:
+            assert at.search(grid, section54_join()).workers_used == 2
+        below = DesignSpaceSearch(
+            workers=2, cache=EvaluationCache(), min_dispatch_tasks=11
+        )
+        assert below.search(grid, section54_join()).workers_used == 1
+        assert not below.pool_active
+
+    def test_serial_fallback_returns_identical_results(self):
+        serial = DesignSpaceSearch(cache=EvaluationCache()).search(
+            paper_grid(), section54_join()
+        )
+        thresholded = DesignSpaceSearch(
+            workers=2, cache=EvaluationCache()
+        ).search(paper_grid(), section54_join())
+        assert serial.points == thresholded.points
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ConfigurationError, match="min_dispatch_tasks"):
+            DesignSpaceSearch(min_dispatch_tasks=0)
+
+    def test_study_passes_the_threshold_through(self):
+        study = (
+            Study(paper_grid())
+            .with_workload(section54_join())
+            .with_workers(3, min_dispatch_tasks=1)
+        )
+        assert study.run().search.workers_used == 3
+        # the knob is an engine setting: changing it starts a fresh engine
+        base = Study(paper_grid()).with_workload(section54_join())
+        assert (
+            base.engine()
+            is not base.with_workers(1, min_dispatch_tasks=5).engine()
+        )
+
+
+class TestShutdownSafety:
+    def test_close_is_idempotent_and_safe_before_first_search(self):
+        engine = DesignSpaceSearch(workers=2, cache=EvaluationCache())
+        engine.close()  # nothing to release yet
+        engine.close()
+        engine.search(paper_grid(), section54_join())  # still usable
+        engine.close()
+        engine.close()
+
+    def test_close_survives_a_half_constructed_engine(self):
+        """__del__ may run on an engine whose __init__ raised before
+        _pool existed; close() must not add an AttributeError on top."""
+        shell = object.__new__(DesignSpaceSearch)
+        shell.close()  # no _pool attribute at all
+        del shell
+
+    def test_pool_owning_engine_collected_at_exit_is_silent(self):
+        """A forgotten engine (no close(), no context manager) must not
+        spray ImportError/AttributeError noise at interpreter shutdown."""
+        script = textwrap.dedent(
+            """
+            from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
+            from repro.search import DesignGrid, DesignSpaceSearch, EvaluationCache
+            from repro.workloads.queries import section54_join
+
+            engine = DesignSpaceSearch(
+                workers=2, cache=EvaluationCache(), min_dispatch_tasks=1
+            )
+            grid = DesignGrid.paper_axis(CLUSTER_V_NODE, WIMPY_LAPTOP_B, 8)
+            result = engine.search(grid, section54_join())
+            assert result.workers_used == 2 and engine.pool_active
+            print("OK", len(result.points))
+            # exit with the pool still alive: __del__ runs during shutdown
+            """
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert completed.stdout.startswith("OK 9")
+        assert completed.stderr.strip() == ""

@@ -17,6 +17,9 @@ from repro.workloads.queries import section54_join
 
 
 def run(grid, query, workers, **kwargs):
+    # These tests pin the parallel path itself, so the cheap-batch
+    # threshold is disabled: tiny grids must still fan out here.
+    kwargs.setdefault("min_dispatch_tasks", 1)
     search = DesignSpaceSearch(workers=workers, cache=EvaluationCache(), **kwargs)
     return search.search(grid, query)
 

@@ -156,9 +156,9 @@ class TestQueryGranularParallelism:
         serial = DesignSpaceSearch(workers=1, cache=EvaluationCache()).search(
             paper_grid(), mix
         )
-        parallel = DesignSpaceSearch(workers=3, cache=EvaluationCache()).search(
-            paper_grid(), mix
-        )
+        parallel = DesignSpaceSearch(
+            workers=3, cache=EvaluationCache(), min_dispatch_tasks=1
+        ).search(paper_grid(), mix)
         assert parallel.workers_used == 3
         assert parallel.query_evaluations == serial.query_evaluations == 18
         assert serial.points == parallel.points
@@ -170,9 +170,9 @@ class TestQueryGranularParallelism:
         suite = WorkloadSuite.of(
             "wide", *[q3_join(100, 0.01 * (i + 1), 0.05) for i in range(4)]
         )
-        result = DesignSpaceSearch(workers=4, cache=EvaluationCache()).search(
-            candidates, suite
-        )
+        result = DesignSpaceSearch(
+            workers=4, cache=EvaluationCache(), min_dispatch_tasks=1
+        ).search(candidates, suite)
         assert result.query_evaluations == 8
         assert result.workers_used == 4  # > the 2 candidates
 
@@ -200,7 +200,9 @@ class TestQueryGranularParallelism:
 
 class TestPoolLifecycle:
     def test_pool_is_lazy_and_reused_across_searches(self):
-        engine = DesignSpaceSearch(workers=2, cache=EvaluationCache())
+        engine = DesignSpaceSearch(
+            workers=2, cache=EvaluationCache(), min_dispatch_tasks=1
+        )
         assert not engine.pool_active
         engine.search(paper_grid(), section54_join(0.01, 0.10))
         assert engine.pool_active
@@ -210,7 +212,9 @@ class TestPoolLifecycle:
         engine.close()
 
     def test_close_releases_and_next_search_recreates(self):
-        engine = DesignSpaceSearch(workers=2, cache=EvaluationCache())
+        engine = DesignSpaceSearch(
+            workers=2, cache=EvaluationCache(), min_dispatch_tasks=1
+        )
         engine.search(paper_grid(), section54_join(0.01, 0.10))
         engine.close()
         assert not engine.pool_active
@@ -221,7 +225,9 @@ class TestPoolLifecycle:
         engine.close()
 
     def test_context_manager_closes_the_pool(self):
-        with DesignSpaceSearch(workers=2, cache=EvaluationCache()) as engine:
+        with DesignSpaceSearch(
+            workers=2, cache=EvaluationCache(), min_dispatch_tasks=1
+        ) as engine:
             engine.search(paper_grid(), section54_join(0.01, 0.10))
             assert engine.pool_active
         assert not engine.pool_active
@@ -232,7 +238,9 @@ class TestPoolLifecycle:
         assert not engine.pool_active
 
     def test_cached_resweep_does_not_touch_the_pool(self):
-        engine = DesignSpaceSearch(workers=2, cache=EvaluationCache())
+        engine = DesignSpaceSearch(
+            workers=2, cache=EvaluationCache(), min_dispatch_tasks=1
+        )
         engine.search(paper_grid(), section54_join())
         engine.close()
         again = engine.search(paper_grid(), section54_join())

@@ -153,9 +153,9 @@ class TestSuiteParallelism:
         serial = DesignSpaceSearch(workers=1, cache=EvaluationCache()).search(
             grid, suite
         )
-        parallel = DesignSpaceSearch(workers=3, cache=EvaluationCache()).search(
-            grid, suite
-        )
+        parallel = DesignSpaceSearch(
+            workers=3, cache=EvaluationCache(), min_dispatch_tasks=1
+        ).search(grid, suite)
         assert parallel.workers_used == 3
         assert serial.points == parallel.points
 
@@ -167,7 +167,10 @@ class TestSuiteParallelism:
             paper_grid(), mix
         )
         parallel = DesignSpaceSearch(
-            workers=2, chunk_size=chunk_size, cache=EvaluationCache()
+            workers=2,
+            chunk_size=chunk_size,
+            cache=EvaluationCache(),
+            min_dispatch_tasks=1,
         ).search(paper_grid(), mix)
         assert parallel.workers_used == 2
         assert serial.points == parallel.points

@@ -195,7 +195,12 @@ class TestSuiteParity:
     def test_suites_gain_parallel_search(self):
         suite = mixed_suite()
         serial = Study(explorer()).with_workload(suite).run()
-        parallel = Study(explorer()).with_workload(suite).with_workers(3).run()
+        parallel = (
+            Study(explorer())
+            .with_workload(suite)
+            .with_workers(3, min_dispatch_tasks=1)
+            .run()
+        )
         assert parallel.search.workers_used == 3
         assert serial.points == parallel.points
 
