@@ -29,10 +29,12 @@ bench:
 
 # Search-engine perf trajectory: times old vs new dispatch on the
 # 216-design suite-sweep campaign, plus evaluations-to-knee for the
-# adaptive optimizers, and records both for future PRs.
+# adaptive optimizers, plus the timed-trace (stream queueing) campaign,
+# and records all three for future PRs.
 bench-json:
 	$(PYTHON) benchmarks/test_query_fanout.py --json BENCH_search.json
 	$(PYTHON) benchmarks/test_optimize.py --json BENCH_optimize.json
+	$(PYTHON) benchmarks/test_stream.py --json BENCH_stream.json
 
 # Sweep a 216-point design grid and print its Pareto frontier.
 search-demo:

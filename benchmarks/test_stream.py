@@ -1,0 +1,151 @@
+"""Stream bench: timed-trace evaluation over the reference design campaign.
+
+The latency-aware path replays a whole arrival trace per design
+(:meth:`SimulatorEvaluator.evaluate_trace` →
+:meth:`SimulatedPStore.run_trace`), so its unit cost is one stream
+simulation of every arrival — much heavier than a weights-only model
+point.  This benchmark tracks that cost on a slice of the repo's
+reference campaign: the 216-design grid of ``BENCH_search.json`` scored
+against a Poisson day of TPC-H Q3 arrivals tuned for real queueing
+(rate ~1.5 queries per solo runtime).
+
+``pytest benchmarks/test_stream.py -q`` runs a compact slice through
+pytest-benchmark and asserts serial and parallel dispatch agree record
+for record.  ``make bench-json`` (``python benchmarks/test_stream.py
+--json BENCH_stream.json``) times the full 216-design campaign — serial,
+parallel, and warm-cache re-sweep — and records throughput plus the
+knee/SLA latency readings so future PRs can track both speed and the
+measured p99.
+"""
+
+import json
+import multiprocessing
+import sys
+import time
+
+from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
+from repro.search import DesignGrid, DesignSpaceSearch, SimulatorEvaluator
+from repro.workloads.arrivals import poisson_arrivals
+from repro.workloads.protocol import TimedTrace
+from repro.workloads.queries import q3_join
+
+WORKERS = 2
+EVENTS = 24
+
+#: the reference campaign space: 216 designs (matches BENCH_search.json)
+FULL_GRID = DesignGrid(
+    node_pairs=((CLUSTER_V_NODE, WIMPY_LAPTOP_B),),
+    cluster_sizes=(6, 8, 10, 12, 14, 16),
+    frequency_factors=(1.0, 0.8, 0.6),
+)
+
+#: compact variant so the pytest-benchmark rounds stay quick
+SMALL_GRID = DesignGrid(
+    node_pairs=((CLUSTER_V_NODE, WIMPY_LAPTOP_B),),
+    cluster_sizes=(6, 8),
+)
+
+
+def reference_trace(events: int = EVENTS) -> TimedTrace:
+    """A Poisson arrival day with genuine queueing on the reference join.
+
+    The rate is calibrated to ~1.5 arrivals per solo runtime on the
+    grid's first design, so a fair share of queries overlap and the p99
+    actually measures contention, not isolated runs.
+    """
+    query = q3_join(100, 0.05, 0.05)
+    solo = SimulatorEvaluator().evaluate_query(
+        FULL_GRID.candidate_list()[0], query
+    ).time_s
+    times = poisson_arrivals(events, rate_per_s=1.5 / solo, seed=11)
+    return TimedTrace.from_schedule("bench-day", query, times)
+
+
+def timed_campaign(grid, trace, workers=1):
+    """One cold timed search over the grid; returns the SearchResult."""
+    engine = DesignSpaceSearch(
+        evaluator=SimulatorEvaluator(), workers=workers, min_dispatch_tasks=1
+    )
+    with engine:
+        return engine.search(grid, trace)
+
+
+def record_view(result):
+    return [
+        (p.label, p.time_s, p.energy_j, p.feasible, p.latency) for p in result.points
+    ]
+
+
+def test_serial_matches_parallel():
+    """Timed dispatch is deterministic across the pool boundary."""
+    trace = reference_trace(events=8)
+    serial = timed_campaign(SMALL_GRID, trace, workers=1)
+    parallel = timed_campaign(SMALL_GRID, trace, workers=WORKERS)
+    assert parallel.workers_used == WORKERS
+    assert record_view(serial) == record_view(parallel)
+
+
+def test_timed_campaign_small(benchmark):
+    trace = reference_trace(events=8)
+    result = benchmark(timed_campaign, SMALL_GRID, trace)
+    assert all(p.latency is not None for p in result.feasible_points)
+
+
+def run_stream_bench(grid=FULL_GRID, workers=WORKERS, events=EVENTS) -> dict:
+    """Time the full timed campaign: serial, parallel, and warm re-sweep."""
+    trace = reference_trace(events)
+    candidates = grid.candidate_list()
+
+    start = time.perf_counter()
+    serial = timed_campaign(grid, trace, workers=1)
+    serial_s = time.perf_counter() - start
+
+    engine = DesignSpaceSearch(
+        evaluator=SimulatorEvaluator(), workers=workers, min_dispatch_tasks=1
+    )
+    with engine:
+        start = time.perf_counter()
+        parallel = engine.search(grid, trace)
+        parallel_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = engine.search(grid, trace)
+        warm_s = time.perf_counter() - start
+
+    knee = serial.knee()
+    sla_s = min(p.latency.max_s for p in serial.feasible_points) * 1.25
+    pick = serial.best_under_latency_sla(sla_s)
+    return {
+        "benchmark": "timed-trace stream campaign",
+        "designs": len(candidates),
+        "arrival_events": events,
+        "simulated_jobs": serial.query_evaluations,
+        "workers": workers,
+        # parallel dispatch cannot beat serial on a single-CPU container;
+        # read speedup alongside this
+        "cpus": multiprocessing.cpu_count(),
+        "serial_wall_s": round(serial_s, 4),
+        "parallel_wall_s": round(parallel_s, 4),
+        "warm_wall_s": round(warm_s, 4),
+        "speedup": round(serial_s / parallel_s, 3),
+        # throughput is reported off the *serial* run so the metric means
+        # the same thing on every machine, core count notwithstanding
+        "designs_per_s": round(len(candidates) / serial_s, 2),
+        "simulated_jobs_per_s": round(serial.query_evaluations / serial_s, 1),
+        "results_identical": record_view(serial) == record_view(parallel),
+        "warm_evaluations": warm.evaluations,
+        "knee_label": knee.label,
+        "knee_p99_s": round(knee.latency.p99_s, 3) if knee.latency else None,
+        "latency_sla_s": round(sla_s, 3),
+        "latency_sla_pick": pick.label,
+        "latency_sla_pick_worst_s": round(pick.latency.max_s, 3),
+    }
+
+
+if __name__ == "__main__":
+    out = sys.argv[sys.argv.index("--json") + 1] if "--json" in sys.argv else None
+    payload = run_stream_bench()
+    text = json.dumps(payload, indent=2) + "\n"
+    if out:
+        with open(out, "w") as handle:
+            handle.write(text)
+    sys.stdout.write(text)

@@ -19,7 +19,9 @@ from repro import (
     ArrivalMix,
     DesignGrid,
     JoinWorkloadSpec,
+    SimulatorEvaluator,
     Study,
+    TimedTrace,
 )
 from repro.workloads.arrivals import periodic_arrivals, poisson_arrivals
 
@@ -86,3 +88,44 @@ print(f"EDP-optimal: {result.edp_optimal().label}")
 # Normalized Section 6 selection over the same result.
 best = result.curve(reference_label=result.feasible_points[0].label).best_design(0.7)
 print(f"Best design within 30% of the reference: {best.label}")
+
+# ---------------------------------------------------------------- latency SLA
+# The weighted mix above prices the day's *total* cost; it cannot say how
+# long any one report waited.  A TimedTrace keeps the arrival times, and a
+# stream-capable evaluator replays them under queueing — so the same study
+# also answers "which design keeps every query under an SLA, cheapest?"
+trace = TimedTrace.from_trace("one-day-timed", events)
+latency_grid = DesignGrid(
+    node_pairs=((CLUSTER_V_NODE, WIMPY_LAPTOP_B),),
+    cluster_sizes=(8,),
+)
+# Same disk cache as the weights-only study: timed records persist under
+# their own time-inclusive keys, so re-running replays zero streams too.
+timed = (
+    Study(latency_grid)
+    .with_workload(trace)
+    .with_evaluator(SimulatorEvaluator())
+    .with_cache(str(cache_path))
+    .run()
+)
+print(
+    f"\nReplayed the timed trace on {timed.evaluations} designs "
+    f"({timed.cache_hits} served from the cache)"
+)
+
+print("\nResponse times under queueing (per design, simulator):")
+for point in timed.feasible_points[:6]:
+    profile = point.latency
+    print(
+        f"  {point.label:8s}  p99 {profile.p99_s:9.1f} s  "
+        f"worst {profile.max_s:9.1f} s  {point.energy_j / 1e6:8.2f} MJ"
+    )
+
+# Least-energy design whose worst-case response time meets the SLA.
+sla_s = min(p.latency.max_s for p in timed.feasible_points) * 1.25
+pick = timed.best_under_latency_sla(sla_s)
+print(
+    f"\nCheapest design with worst-case response <= {sla_s:.0f} s: "
+    f"{pick.label} ({pick.energy_j / 1e6:.2f} MJ, "
+    f"worst {pick.latency.max_s:.1f} s)"
+)

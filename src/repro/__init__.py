@@ -90,6 +90,7 @@ from repro.search import (
     DesignSpaceSearch,
     EvaluatedDesign,
     EvaluationCache,
+    LatencyProfile,
     LocalSearch,
     ModelEvaluator,
     OptimizationLoop,
@@ -105,6 +106,7 @@ from repro.study import OptimizationResult, Study, StudyResult
 from repro.workloads.protocol import (
     ArrivalMix,
     SingleJoin,
+    TimedTrace,
     WeightedQuery,
     Workload,
     as_workload,
@@ -112,7 +114,10 @@ from repro.workloads.protocol import (
 from repro.workloads.queries import JoinMethod, JoinWorkloadSpec, q3_join, section54_join
 from repro.workloads.suite import SuiteEntry, WorkloadSuite
 
-__version__ = "1.0.0"
+# 1.1.0: EvaluatedDesign gained the `latency` field (timed-trace
+# evaluation), so persisted evaluation caches written by 1.0.0 hold
+# records of the old pickle shape; the version stamp invalidates them.
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -151,6 +156,7 @@ __all__ = [
     "SearchResult",
     "EvaluatedDesign",
     "EvaluationCache",
+    "LatencyProfile",
     "ModelEvaluator",
     "SimulatorEvaluator",
     "CallableEvaluator",
@@ -178,6 +184,7 @@ __all__ = [
     "WeightedQuery",
     "SingleJoin",
     "ArrivalMix",
+    "TimedTrace",
     "as_workload",
     "SuiteEntry",
     "WorkloadSuite",

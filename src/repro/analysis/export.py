@@ -77,6 +77,12 @@ _SEARCH_FIELDS = [
     "edp",
     "feasible",
     "on_frontier",
+    # queueing response times of timed-trace evaluations (null on the
+    # weights-only path, which never simulates arrival times)
+    "response_mean_s",
+    "response_p95_s",
+    "response_p99_s",
+    "response_max_s",
 ]
 
 
@@ -95,6 +101,7 @@ def search_to_rows(
     rows = []
     for point in result.points:
         candidate = point.candidate
+        latency = point.latency
         rows.append(
             {
                 "label": point.label,
@@ -111,6 +118,10 @@ def search_to_rows(
                 "edp": point.edp if point.feasible else None,
                 "feasible": point.feasible,
                 "on_frontier": point.label in frontier_labels,
+                "response_mean_s": latency.mean_s if latency else None,
+                "response_p95_s": latency.p95_s if latency else None,
+                "response_p99_s": latency.p99_s if latency else None,
+                "response_max_s": latency.max_s if latency else None,
             }
         )
     return rows

@@ -224,19 +224,46 @@ class SimulatedPStore:
 
         Queries arriving while earlier ones still run share the cluster;
         the result's per-job response times expose queueing/contention
-        delay (``result.response_time_s("join#3")``).
+        delay (``result.response_time_s("join#3")``).  ``start_times_s``
+        is any float sequence — numpy arrays straight out of the
+        :mod:`repro.workloads.arrivals` generators included.
         """
-        if not start_times_s:
+        return self.run_trace(
+            [(plan, start) for start in start_times_s],
+            partition_weights=partition_weights,
+            job_label="join",
+        )
+
+    def run_trace(
+        self,
+        schedule: Sequence[tuple[JoinPlan, float]],
+        partition_weights: Sequence[float] | None = None,
+        job_label: str | None = None,
+    ) -> SimulationResult:
+        """Execute a timed trace of (possibly different) joins.
+
+        ``schedule`` pairs each join plan with its arrival time, so one
+        simulation replays a whole heterogeneous query trace — a daily
+        report interleaved with rollups — under queueing.  Jobs are named
+        ``{query}#{index}`` in schedule order (``{job_label}#{index}``
+        when ``job_label`` is given), and the result's per-job response
+        times include each query's contention delay.
+        """
+        # len() (not truthiness) and per-element float() coercion: numpy
+        # arrays are ambiguous under `not` / `any(t < 0)`.
+        if len(schedule) == 0:
             raise PlanError("need at least one arrival time")
-        if any(t < 0 for t in start_times_s):
-            raise PlanError(f"negative arrival time in {start_times_s}")
-        jobs = [
-            build_join_job(
-                plan,
-                job_name=f"join#{index}",
-                start_time_s=float(start),
-                partition_weights=partition_weights,
+        jobs = []
+        for index, (plan, start) in enumerate(schedule):
+            start = float(start)
+            if start < 0:
+                raise PlanError(f"negative arrival time {start} at event {index}")
+            jobs.append(
+                build_join_job(
+                    plan,
+                    job_name=f"{job_label or plan.workload.name}#{index}",
+                    start_time_s=start,
+                    partition_weights=partition_weights,
+                )
             )
-            for index, start in enumerate(start_times_s)
-        ]
         return self._simulator.run(jobs)

@@ -67,6 +67,39 @@ sweeps here, so the paper's figures, workload-level studies, and the
 extended grids all run on the same engine.  The fluent
 :class:`~repro.study.Study` facade is the friendly front door.
 
+The timed path
+--------------
+
+A *timed* workload (:class:`~repro.workloads.protocol.TimedTrace`,
+recognized structurally by :func:`~repro.workloads.protocol.is_timed`
+via its ``schedule()`` accessor) short-circuits the per-entry pipeline
+above: arrival times couple a trace's queries — a query's response time
+depends on what else is in flight — so flattening to independent entry
+tasks would erase exactly the queueing the trace exists to measure.
+Instead the unit of evaluation, memoization, and dispatch is
+**(candidate x whole trace)**:
+
+1. **gate** — the evaluator must be stream-capable
+   (``supports_timed``); only :class:`SimulatorEvaluator` ships it, and
+   the engine raises rather than silently degrading to weights;
+2. **cache** — records are keyed by (evaluator fingerprint, the trace's
+   *time-inclusive* ``cache_key()``, candidate key), so timed rows never
+   collide with — and are never served from — weights-only rows, and the
+   weights-only path keeps its existing keys bit for bit;
+3. **dispatch** — cache misses replay the trace once per candidate
+   (:meth:`SimulatorEvaluator.evaluate_trace
+   <repro.search.evaluators.SimulatorEvaluator.evaluate_trace>` →
+   :meth:`~repro.pstore.simulated.SimulatedPStore.run_trace`), serially
+   or chunked over the persistent pool (the cheap-batch threshold counts
+   candidates x arrival events, since each replay simulates every
+   arrival);
+4. **score** — each record's ``time_s`` is the stream's makespan,
+   ``energy_j`` the total including idle gaps between arrivals, and
+   ``latency`` a :class:`~repro.search.evaluators.LatencyProfile`
+   (mean/p50/p95/p99/worst-case response time under queueing), which
+   :meth:`SearchResult.best_under_latency_sla` and the
+   ``response_*_s`` export columns read.
+
 Adaptive search
 ---------------
 
@@ -120,6 +153,7 @@ from repro.search.engine import (
 from repro.search.evaluators import (
     CallableEvaluator,
     EvaluatedDesign,
+    LatencyProfile,
     ModelEvaluator,
     SearchEvaluator,
     SimulatorEvaluator,
@@ -135,7 +169,13 @@ from repro.search.optimize import (
     TrajectoryPoint,
     build_optimizer,
 )
-from repro.search.pareto import best_under_sla, edp_optimal, knee_point, pareto_frontier
+from repro.search.pareto import (
+    best_under_latency_sla,
+    best_under_sla,
+    edp_optimal,
+    knee_point,
+    pareto_frontier,
+)
 from repro.search.space import ChoiceAxis, RangeAxis, SearchSpace
 
 __all__ = [
@@ -148,6 +188,7 @@ __all__ = [
     "DesignSpaceSearch",
     "EvaluatedDesign",
     "EvaluationCache",
+    "LatencyProfile",
     "LocalSearch",
     "ModelEvaluator",
     "OptimizationLoop",
@@ -161,6 +202,7 @@ __all__ = [
     "SimulatorEvaluator",
     "SuccessiveHalving",
     "TrajectoryPoint",
+    "best_under_latency_sla",
     "best_under_sla",
     "build_optimizer",
     "edp_optimal",

@@ -36,9 +36,15 @@ search performs zero fresh evaluations for the shared entry.
 
 Searches accept any :class:`~repro.workloads.protocol.Workload` — a bare
 join spec, a :class:`~repro.workloads.suite.WorkloadSuite`, an
-arrival-trace mix.  The resulting :class:`SearchResult` carries the
+arrival-trace mix.  *Timed* workloads
+(:class:`~repro.workloads.protocol.TimedTrace`) bypass the per-entry
+pipeline: arrival times couple a trace's queries, so those evaluate at
+(candidate x whole trace) granularity under time-inclusive cache keys
+(see :meth:`DesignSpaceSearch._search_timed`), and their records carry
+response-time profiles.  The resulting :class:`SearchResult` carries the
 evaluated points in grid order plus the paper's selection rules (Pareto
-frontier, knee, EDP optimum, SLA-constrained best).
+frontier, knee, EDP optimum, SLA-constrained best — including the
+latency-SLA variant over timed records).
 """
 
 from __future__ import annotations
@@ -57,14 +63,23 @@ from repro.search.evaluators import (
     ModelEvaluator,
     SearchEvaluator,
     evaluate_entry_chunk,
+    evaluate_timed_design,
+    evaluate_trace_chunk,
 )
 from repro.search.grid import DesignCandidate, DesignGrid, unique_labels
-from repro.search.pareto import best_under_sla, edp_optimal, knee_point, pareto_frontier
+from repro.search.pareto import (
+    best_under_latency_sla,
+    best_under_sla,
+    edp_optimal,
+    knee_point,
+    pareto_frontier,
+)
 from repro.workloads.protocol import (
     WeightedQuery,
     Workload,
     as_workload,
     entry_cache_key,
+    is_timed,
 )
 from repro.workloads.queries import JoinWorkloadSpec
 
@@ -93,6 +108,8 @@ class SearchResult:
     #: worker processes actually used (1 = serial path)
     workers_used: int = 1
     #: fresh per-entry ``evaluate_query`` tasks dispatched, after dedupe
+    #: (timed searches count the arrival events each fresh trace replay
+    #: simulated, so the budget currency stays "query executions")
     query_evaluations: int = 0
 
     def __post_init__(self) -> None:
@@ -133,6 +150,19 @@ class SearchResult:
     def best_under_sla(self, max_time_s: float) -> EvaluatedDesign:
         """Minimum-energy design meeting a response-time SLA."""
         return best_under_sla(self.points, max_time_s)
+
+    def best_under_latency_sla(
+        self, max_response_s: float, metric: str = "max"
+    ) -> EvaluatedDesign:
+        """Minimum-energy design meeting a per-query response-time SLA.
+
+        Reads the :class:`~repro.search.evaluators.LatencyProfile` a
+        timed-trace evaluation attached to each record — ``metric``
+        selects which statistic binds (``"max"`` = worst case, the
+        default; ``"p99"``, ``"p95"``, ``"p50"``, ``"mean"``).  Only
+        available on searches of timed workloads.
+        """
+        return best_under_latency_sla(self.points, max_response_s, metric=metric)
 
     def point(self, label: str) -> EvaluatedDesign:
         for p in self.points:
@@ -277,6 +307,8 @@ class DesignSpaceSearch:
         if not candidates:
             raise ConfigurationError("the design space is empty")
         unique_labels(candidates)
+        if is_timed(workload):
+            return self._search_timed(candidates, workload)
 
         fingerprint = self.evaluator.fingerprint()
         workload_key = workload.cache_key()
@@ -392,6 +424,104 @@ class DesignSpaceSearch:
                 )
             deduped.append(candidate)
         return self.search(deduped, workload)
+
+    # ------------------------------------------------------------ timed path
+    def _search_timed(
+        self, candidates: list[DesignCandidate], workload: Workload
+    ) -> SearchResult:
+        """Evaluate a timed workload: whole-trace replay per candidate.
+
+        Arrival times couple a trace's queries (a query's response time
+        depends on what else is in flight), so the unit of evaluation,
+        memoization, and dispatch is **(candidate x trace)** — there is
+        no per-entry tier.  Records are cached under
+        ``(fingerprint, trace cache_key, candidate key)``; the trace's
+        time-inclusive ``cache_key()`` keeps timed rows disjoint from
+        every weights-only key, so the untimed path is untouched.
+        """
+        if not getattr(self.evaluator, "supports_timed", False):
+            raise ConfigurationError(
+                f"evaluator {type(self.evaluator).__name__} cannot simulate "
+                f"arrival times, so the timed workload {workload.name!r} "
+                "cannot be scored on response time under queueing.  Use a "
+                "stream-capable evaluator (e.g. SimulatorEvaluator), or "
+                "evaluate the weights-only projection "
+                "(trace.weights_only())."
+            )
+        fingerprint = self.evaluator.fingerprint()
+        workload_key = workload.cache_key()
+        keys = [(fingerprint, workload_key, c.key()) for c in candidates]
+
+        resolved: dict[int, EvaluatedDesign] = {}
+        tasks: list[tuple[tuple, DesignCandidate]] = []
+        task_keys: set[tuple] = set()
+        pending: list[int] = []
+        for index, key in enumerate(keys):
+            cached = self.cache.get(key)
+            if cached is not None:
+                if cached.candidate is not candidates[index]:
+                    cached = replace(cached, candidate=candidates[index])
+                resolved[index] = cached
+                continue
+            pending.append(index)
+            if key not in task_keys:  # dedupe: equal-key candidates share one replay
+                task_keys.add(key)
+                tasks.append((key, candidates[index]))
+
+        fresh: dict[tuple, EvaluatedDesign] = {}
+        workers_used = 1
+        if tasks:
+            records, workers_used = self._evaluate_timed(
+                workload, [candidate for _, candidate in tasks]
+            )
+            for (key, _), record in zip(tasks, records):
+                fresh[key] = record
+                self.cache.put(key, record)
+        for index in pending:
+            record = fresh[keys[index]]
+            if record.candidate is not candidates[index]:
+                record = replace(record, candidate=candidates[index])
+            resolved[index] = record
+
+        num_events = len(workload.schedule())
+        return SearchResult(
+            workload=workload,
+            points=[resolved[i] for i in range(len(candidates))],
+            evaluations=len(pending),
+            cache_hits=len(candidates) - len(pending),
+            workers_used=workers_used,
+            query_evaluations=len(tasks) * num_events,
+        )
+
+    def _evaluate_timed(
+        self, workload: Workload, candidates: Sequence[DesignCandidate]
+    ) -> tuple[list[EvaluatedDesign], int]:
+        """Replay the trace on uncached candidates; (records, workers).
+
+        The cheap-batch threshold counts *simulated jobs* (candidates x
+        arrival events), not candidates: one trace replay costs roughly
+        one simulator run per event, so a 4-candidate x 32-event batch is
+        real work worth shipping to the pool.
+        """
+        num_events = len(workload.schedule())
+        workers = min(self.workers, len(candidates))
+        if len(candidates) * num_events < self.min_dispatch_tasks:
+            workers = 1
+        if workers > 1 and not self._dispatchable((candidates[0], workload)):
+            workers = 1
+        if workers <= 1:
+            return [
+                evaluate_timed_design(self.evaluator, candidate, workload)
+                for candidate in candidates
+            ], 1
+
+        chunk = self.chunk_size or max(1, math.ceil(len(candidates) / (workers * 4)))
+        payloads = [
+            (self.evaluator, workload, list(candidates[start : start + chunk]))
+            for start in range(0, len(candidates), chunk)
+        ]
+        chunked = self._get_pool().map(evaluate_trace_chunk, payloads)
+        return [record for batch in chunked for record in batch], workers
 
     # ------------------------------------------------------- pool lifecycle
     def close(self) -> None:

@@ -35,20 +35,22 @@ run its whole workload.
 from __future__ import annotations
 
 import abc
+import math
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.core.model import ModelParameters, Prediction, PStoreModel
-from repro.errors import ModelError, ReproError
+from repro.errors import ConfigurationError, ModelError, ReproError
 from repro.hardware.cluster import ClusterSpec
 from repro.pstore.planner import plan_join
 from repro.pstore.simulated import SimulatedPStore
 from repro.search.grid import DesignCandidate
-from repro.workloads.protocol import Workload, as_workload
+from repro.workloads.protocol import TimedTrace, Workload, as_workload
 from repro.workloads.queries import JoinWorkloadSpec
 
 __all__ = [
     "EvaluatedDesign",
+    "LatencyProfile",
     "SearchEvaluator",
     "ModelEvaluator",
     "SimulatorEvaluator",
@@ -56,12 +58,68 @@ __all__ = [
     "evaluate_design",
     "evaluate_entry",
     "evaluate_entry_chunk",
+    "evaluate_timed_design",
+    "evaluate_trace_chunk",
 ]
 
 
 @dataclass(frozen=True)
+class LatencyProfile:
+    """Response-time distribution of one timed-trace evaluation.
+
+    Summarizes the per-job response times (completion minus arrival,
+    queueing delay included) that a stream simulation produced: the
+    latency half of the latency/energy trade the paper's Section 2
+    citations motivate.  Percentiles use the nearest-rank method over the
+    sorted samples, so every reported value is an actually observed
+    response time.
+    """
+
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    max_s: float
+    count: int
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencyProfile":
+        if not len(samples):
+            raise ModelError("a latency profile needs at least one sample")
+        ordered = sorted(float(sample) for sample in samples)
+
+        def rank(q: float) -> float:
+            return ordered[min(len(ordered) - 1, math.ceil(q * len(ordered)) - 1)]
+
+        return cls(
+            mean_s=sum(ordered) / len(ordered),
+            p50_s=rank(0.50),
+            p95_s=rank(0.95),
+            p99_s=rank(0.99),
+            max_s=ordered[-1],
+            count=len(ordered),
+        )
+
+    def value(self, metric: str) -> float:
+        """One summary statistic by name: mean, p50, p95, p99, or max."""
+        try:
+            return getattr(self, f"{metric}_s")
+        except AttributeError:
+            raise ModelError(
+                f"unknown latency metric {metric!r} "
+                "(expected mean, p50, p95, p99, or max)"
+            ) from None
+
+
+@dataclass(frozen=True)
 class EvaluatedDesign:
-    """One evaluated (or infeasible) design point."""
+    """One evaluated (or infeasible) design point.
+
+    ``latency`` is populated only by timed-trace evaluations (the design
+    was scored by replaying an arrival schedule under queueing); on the
+    weights-only path it stays ``None`` and records are bit-identical to
+    the pre-latency ones.
+    """
 
     candidate: DesignCandidate
     time_s: float
@@ -69,6 +127,7 @@ class EvaluatedDesign:
     feasible: bool = True
     infeasible_reason: str = ""
     prediction: Prediction | None = None
+    latency: LatencyProfile | None = None
 
     @property
     def label(self) -> str:
@@ -89,6 +148,29 @@ class EvaluatedDesign:
 
 class SearchEvaluator(abc.ABC):
     """Maps one candidate + workload to time/energy."""
+
+    #: whether :meth:`evaluate_trace` replays real arrival times.  Only
+    #: stream-capable evaluators (the simulator) can price queueing; the
+    #: engine refuses timed workloads on evaluators that cannot, instead
+    #: of silently degrading to the weights-only aggregate.
+    supports_timed: bool = False
+
+    def evaluate_trace(
+        self, candidate: DesignCandidate, trace: TimedTrace
+    ) -> EvaluatedDesign:
+        """Evaluate one design by replaying a timed arrival trace.
+
+        Stream-capable subclasses override this to simulate the trace's
+        ``schedule()`` under queueing and attach a :class:`LatencyProfile`
+        to the record; raise :class:`ReproError` if the trace is
+        infeasible on the design.
+        """
+        raise ConfigurationError(
+            f"{type(self).__name__} cannot simulate arrival times; evaluate "
+            "timed traces with a stream-capable evaluator "
+            "(e.g. SimulatorEvaluator), or reduce the trace to weights with "
+            ".weights_only()"
+        )
 
     def evaluate(
         self, candidate: DesignCandidate, workload: Workload | JoinWorkloadSpec
@@ -187,12 +269,21 @@ class ModelEvaluator(SearchEvaluator):
 
 @dataclass(frozen=True)
 class SimulatorEvaluator(SearchEvaluator):
-    """Fluid-simulator evaluation through the simulated P-store executor."""
+    """Fluid-simulator evaluation through the simulated P-store executor.
+
+    The only shipped evaluator that can price *timed* workloads: a
+    :class:`~repro.workloads.protocol.TimedTrace` is replayed through
+    :meth:`~repro.pstore.simulated.SimulatedPStore.run_trace`, so queries
+    arriving while earlier ones still run contend for the cluster, and
+    the record carries the resulting :class:`LatencyProfile`.
+    """
 
     warm_cache: bool = True
     pipeline_cpu_cost: float = 1.0
     receive_cpu_cost: float = 0.0
     concurrency: int = 1
+
+    supports_timed = True
 
     def evaluate_query(
         self, candidate: DesignCandidate, query: JoinWorkloadSpec
@@ -250,6 +341,46 @@ class SimulatorEvaluator(SearchEvaluator):
                 )
             )
         return records
+
+    def evaluate_trace(
+        self, candidate: DesignCandidate, trace: TimedTrace
+    ) -> EvaluatedDesign:
+        """Replay the trace's arrival schedule on this design, once.
+
+        One simulation runs every event at its arrival time: the cluster
+        and each distinct query's plan are built once, queries arriving
+        mid-flight share the cluster (max-min fairly), and idle gaps
+        between arrivals still draw engine-idle power.  The record's
+        ``time_s`` is the stream's makespan, ``energy_j`` the total
+        energy including idle stretches, and ``latency`` the distribution
+        of per-job response times (completion minus arrival — queueing
+        delay included).  ``concurrency`` does not apply here: the trace
+        itself dictates how many queries are in flight.
+        """
+        cluster = candidate.cluster()
+        store = SimulatedPStore(cluster, record_intervals=False)
+        plans: dict[JoinWorkloadSpec, object] = {}
+        schedule = []
+        for query, start_s in trace.schedule():
+            plan = plans.get(query)
+            if plan is None:
+                plan = plans[query] = plan_join(
+                    cluster,
+                    query,
+                    warm_cache=self.warm_cache,
+                    pipeline_cpu_cost=self.pipeline_cpu_cost,
+                    receive_cpu_cost=self.receive_cpu_cost,
+                    force_mode=candidate.mode,
+                )
+            schedule.append((plan, start_s))
+        result = store.run_trace(schedule)
+        responses = [result.response_time_s(name) for name in result.job_completion_s]
+        return EvaluatedDesign(
+            candidate=candidate,
+            time_s=result.makespan_s,
+            energy_j=result.energy_j,
+            latency=LatencyProfile.from_samples(responses),
+        )
 
     def fingerprint(self) -> tuple:
         return (
@@ -342,6 +473,44 @@ def evaluate_chunk(
     """Worker entry point for workload-granular dispatch (legacy)."""
     evaluator, workload, candidates = payload
     return [evaluate_design(evaluator, candidate, workload) for candidate in candidates]
+
+
+def evaluate_timed_design(
+    evaluator: SearchEvaluator,
+    candidate: DesignCandidate,
+    trace: TimedTrace,
+) -> EvaluatedDesign:
+    """Evaluate one (candidate, timed trace) task, mapping infeasibility
+    to a record.
+
+    The timed counterpart of :func:`evaluate_entry`: the unit both the
+    serial loop and the worker processes funnel timed tasks through, so
+    the parallel path is guaranteed identical to the serial one.  An
+    evaluator that cannot replay arrival times at all is a configuration
+    error, not an infeasible design — that propagates.
+    """
+    try:
+        return evaluator.evaluate_trace(candidate, trace)
+    except ConfigurationError:
+        raise
+    except ReproError as exc:
+        return _infeasible_record(candidate, exc)
+
+
+def evaluate_trace_chunk(
+    payload: tuple[SearchEvaluator, TimedTrace, Sequence[DesignCandidate]],
+) -> list[EvaluatedDesign]:
+    """Worker entry point: replay one timed trace on a chunk of designs.
+
+    Timed evaluation cannot flatten to per-entry tasks (queueing couples
+    a trace's queries), so the dispatch unit is the whole trace per
+    candidate; chunks group candidates.
+    """
+    evaluator, trace, candidates = payload
+    return [
+        evaluate_timed_design(evaluator, candidate, trace)
+        for candidate in candidates
+    ]
 
 
 def evaluate_entry_chunk(

@@ -12,7 +12,12 @@ The paper reads its trade-off curves three ways, all supported here on raw
   balanced pick);
 * **SLA-constrained** — the minimum-energy design whose response time
   meets a target (Section 6: "fix an acceptable performance loss, then
-  choose the least-energy design still meeting it").
+  choose the least-energy design still meeting it");
+* **latency-SLA-constrained** — the timed-trace variant: the
+  minimum-energy design whose *per-query* response time under queueing
+  (worst case by default, or a percentile) meets a target — the binding
+  constraint for interactive service sizing (Section 2's delayed-
+  analytics citations).
 
 All selectors break ties deterministically (lower time, then label) so
 repeated sweeps — serial or parallel — pick the same design.
@@ -25,7 +30,13 @@ from typing import Sequence
 from repro.errors import ModelError
 from repro.search.evaluators import EvaluatedDesign
 
-__all__ = ["pareto_frontier", "knee_point", "edp_optimal", "best_under_sla"]
+__all__ = [
+    "pareto_frontier",
+    "knee_point",
+    "edp_optimal",
+    "best_under_sla",
+    "best_under_latency_sla",
+]
 
 
 def _feasible(points: Sequence[EvaluatedDesign]) -> list[EvaluatedDesign]:
@@ -112,5 +123,39 @@ def best_under_sla(
     if not eligible:
         raise ModelError(
             f"no feasible design meets the {max_time_s:g}s response-time SLA"
+        )
+    return min(eligible, key=lambda p: (p.energy_j, p.time_s, p.label))
+
+
+def best_under_latency_sla(
+    points: Sequence[EvaluatedDesign], max_response_s: float, metric: str = "max"
+) -> EvaluatedDesign:
+    """Minimum-energy design whose per-query response time meets the SLA.
+
+    Where :func:`best_under_sla` constrains the aggregate ``time_s`` (the
+    whole workload's weighted cost), this constrains the *queueing*
+    response times a timed-trace evaluation measured: ``metric`` picks
+    the binding statistic from each point's
+    :class:`~repro.search.evaluators.LatencyProfile` — ``"max"`` (worst
+    case, the default), ``"p99"``, ``"p95"``, ``"p50"``, or ``"mean"``.
+    Points without a latency profile (weights-only evaluations) are never
+    eligible; if *no* point has one, that is an error pointing at the
+    missing timed evaluation rather than an empty-SLA error.  Ties on
+    energy resolve to the faster design, then to label order.
+    """
+    if max_response_s <= 0:
+        raise ModelError(f"latency SLA must be > 0 seconds, got {max_response_s}")
+    profiled = [p for p in _feasible(points) if p.latency is not None]
+    if not profiled:
+        raise ModelError(
+            "no design point carries a latency profile; evaluate a timed "
+            "trace (TimedTrace) through a stream-capable evaluator to get "
+            "response times under queueing"
+        )
+    eligible = [p for p in profiled if p.latency.value(metric) <= max_response_s]
+    if not eligible:
+        raise ModelError(
+            f"no feasible design meets the {max_response_s:g}s {metric} "
+            "response-time SLA"
         )
     return min(eligible, key=lambda p: (p.energy_j, p.time_s, p.label))

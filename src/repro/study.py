@@ -30,7 +30,19 @@ case the study adopts its evaluator configuration *and its evaluation
 cache*, so studies, sweeps, and single-point evaluations all warm one
 memo and legacy sweeps stay bit-identical.  The workload is anything
 satisfying the :class:`~repro.workloads.protocol.Workload` protocol:
-single joins, weighted suites, arrival-trace mixes.
+single joins, weighted suites, arrival-trace mixes — and *timed* traces
+(:class:`~repro.workloads.protocol.TimedTrace`), which a stream-capable
+evaluator replays under queueing so the result also answers latency
+questions::
+
+    result = (
+        Study(grid)
+        .with_workload(TimedTrace.from_trace("one-day", events))
+        .with_evaluator(SimulatorEvaluator())
+        .run()
+    )
+    result.points[0].latency.p99_s             # response times under queueing
+    result.best_under_latency_sla(120.0)       # least energy, worst case <= 2 min
 
 Besides the exhaustive :meth:`Study.run`, a study drives the adaptive
 optimizers of :mod:`repro.search.optimize` over the same space through
@@ -406,6 +418,19 @@ class StudyResult:
 
     def best_under_sla(self, max_time_s: float) -> EvaluatedDesign:
         return self.search.best_under_sla(max_time_s)
+
+    def best_under_latency_sla(
+        self, max_response_s: float, metric: str = "max"
+    ) -> EvaluatedDesign:
+        """Minimum-energy design meeting a per-query response-time SLA.
+
+        Available when the study's workload was a timed trace evaluated
+        through a stream-capable evaluator: each point then carries a
+        :class:`~repro.search.evaluators.LatencyProfile` and ``metric``
+        picks the binding statistic (``"max"`` worst case by default,
+        or ``"p99"`` / ``"p95"`` / ``"p50"`` / ``"mean"``).
+        """
+        return self.search.best_under_latency_sla(max_response_s, metric=metric)
 
     def point(self, label: str) -> EvaluatedDesign:
         return self.search.point(label)

@@ -21,9 +21,11 @@ from repro.workloads.microbench import MicrobenchResult, MicroJoinSpec, simulate
 from repro.workloads.protocol import (
     ArrivalMix,
     SingleJoin,
+    TimedTrace,
     WeightedQuery,
     Workload,
     as_workload,
+    is_timed,
 )
 from repro.workloads.queries import (
     JoinMethod,
@@ -61,7 +63,9 @@ __all__ = [
     "WeightedQuery",
     "SingleJoin",
     "ArrivalMix",
+    "TimedTrace",
     "as_workload",
+    "is_timed",
     "MicroJoinSpec",
     "MicrobenchResult",
     "simulate_microbench",

@@ -35,10 +35,14 @@ def poisson_arrivals(
         raise WorkloadError(f"rate must be > 0, got {rate_per_s}")
     if start_s < 0:
         raise WorkloadError(f"start must be >= 0, got {start_s}")
+    # The first query arrives at the stream start; only the count - 1
+    # spacings after it are exponential draws.  (Drawing `count` gaps and
+    # overwriting times[0] = start_s after the cumsum — the old
+    # implementation — made the first *spacing* the sum of two draws, so
+    # the realized rate was biased low.)
     rng = np.random.default_rng(seed)
-    gaps = rng.exponential(scale=1.0 / rate_per_s, size=count)
-    times = start_s + np.cumsum(gaps)
-    times[0] = start_s  # first query arrives at the stream start
+    gaps = rng.exponential(scale=1.0 / rate_per_s, size=count - 1)
+    times = np.concatenate(([start_s], start_s + np.cumsum(gaps)))
     return [float(t) for t in times]
 
 

@@ -15,7 +15,7 @@ interface every evaluation layer — :class:`~repro.search.evaluators
   :class:`WeightedQuery` entries (weights are relative execution
   frequencies; a design's cost is the weight-summed cost of its entries).
 
-Three implementations ship here and in :mod:`repro.workloads.suite`:
+Four implementations ship here and in :mod:`repro.workloads.suite`:
 
 * :class:`SingleJoin` — one :class:`~repro.workloads.queries
   .JoinWorkloadSpec` at weight 1 (what every pre-redesign API took);
@@ -23,7 +23,14 @@ Three implementations ship here and in :mod:`repro.workloads.suite`:
 * :class:`ArrivalMix` — a mix derived from an arrival trace: each
   occurrence of a query in the trace adds one to its weight, so the
   schedules of :mod:`repro.workloads.arrivals` become searchable
-  workloads.
+  workloads;
+* :class:`TimedTrace` — the *timed* sibling of :class:`ArrivalMix`: it
+  keeps the ``(query, arrival_time_s)`` events instead of reducing them
+  to weights, so stream-capable evaluators can replay the trace through
+  :meth:`~repro.pstore.simulated.SimulatedPStore.run_stream`-style
+  queueing simulation and score designs on response time, not just total
+  cost.  :func:`is_timed` is how the evaluation stack tells the two
+  apart.
 
 Plain :class:`JoinWorkloadSpec` objects are accepted everywhere via
 :func:`as_workload`, which wraps them in :class:`SingleJoin` — existing
@@ -41,10 +48,12 @@ from repro.workloads.queries import JoinWorkloadSpec
 __all__ = [
     "ArrivalMix",
     "SingleJoin",
+    "TimedTrace",
     "WeightedQuery",
     "Workload",
     "as_workload",
     "entry_cache_key",
+    "is_timed",
     "join_cache_key",
 ]
 
@@ -140,6 +149,32 @@ class SingleJoin:
         return iter(self.weighted_queries())
 
 
+def _normalized_events(
+    name: str,
+    events: Sequence[tuple[JoinWorkloadSpec, float]],
+    kind: str,
+) -> tuple[tuple[JoinWorkloadSpec, float], ...]:
+    """Validate and time-sort one trace's ``(query, arrival_time_s)`` events.
+
+    Shared by :meth:`ArrivalMix.from_trace` and :class:`TimedTrace`, so
+    the weights-only and the timed view of one trace agree on ordering:
+    events sort stably by arrival time (simultaneous arrivals keep their
+    given order), and negative times are rejected.
+    """
+    if not len(events):
+        raise WorkloadError(f"{kind} {name!r} needs at least one event")
+    normalized = []
+    for query, arrival_s in events:
+        arrival_s = float(arrival_s)
+        if arrival_s < 0:
+            raise WorkloadError(
+                f"{kind} {name!r}: arrival times must be >= 0, got {arrival_s}"
+            )
+        normalized.append((query, arrival_s))
+    normalized.sort(key=lambda event: event[1])
+    return tuple(normalized)
+
+
 @dataclass(frozen=True)
 class ArrivalMix:
     """A workload mix derived from a query arrival trace.
@@ -171,19 +206,17 @@ class ArrivalMix:
     ) -> "ArrivalMix":
         """Derive the mix from ``(query, arrival_time_s)`` trace events.
 
-        Queries keep first-appearance order; each event adds weight 1 to
-        its query.  Arrival times must be non-negative (they order the
-        trace but do not affect the weights).
+        Events are sorted by arrival time first (stably, so simultaneous
+        arrivals keep their given order), then each event adds weight 1
+        to its query.  Queries therefore keep *first-arrival* order —
+        handing the same events in a different list order yields the
+        identical mix.  Arrival times must be non-negative; they fix the
+        trace's order but do not affect the weights (use
+        :class:`TimedTrace` to keep them for queueing simulation).
         """
-        if not events:
-            raise WorkloadError(f"arrival mix {name!r} needs at least one event")
+        ordered = _normalized_events(name, events, kind="arrival mix")
         counts: dict[JoinWorkloadSpec, int] = {}
-        for query, arrival_s in events:
-            if arrival_s < 0:
-                raise WorkloadError(
-                    f"arrival mix {name!r}: arrival times must be >= 0, "
-                    f"got {arrival_s}"
-                )
+        for query, _arrival_s in ordered:
             counts[query] = counts.get(query, 0) + 1
         return cls(
             name=name,
@@ -208,6 +241,122 @@ class ArrivalMix:
 
     def __iter__(self) -> Iterator[WeightedQuery]:
         return iter(self.entries)
+
+
+@dataclass(frozen=True)
+class TimedTrace:
+    """An arrival trace that *keeps* its times: the timed Workload.
+
+    Where :class:`ArrivalMix` reduces ``(query, arrival_time_s)`` events
+    to relative weights, a :class:`TimedTrace` carries the full schedule,
+    so a stream-capable evaluator (:class:`~repro.search.evaluators
+    .SimulatorEvaluator`) can replay it under queueing — queries arriving
+    while earlier ones still run share the cluster, and each job's
+    response time includes its contention delay.  Evaluated records then
+    carry a :class:`~repro.search.evaluators.LatencyProfile`
+    (mean/p95/p99/worst-case response time) next to the usual
+    time/energy totals.
+
+    A timed trace still satisfies the plain :class:`Workload` protocol —
+    ``weighted_queries()`` derives the same weights its
+    :meth:`weights_only` mix would — so optimizer rungs and any
+    weights-based consumer keep working.  Its :meth:`cache_key` includes
+    the arrival times, so timed evaluations can never collide with (or be
+    served from) weights-only cache rows.
+
+    Events sort stably by arrival time at construction; build one with
+    :meth:`from_trace` (mixed queries) or :meth:`from_schedule` (one
+    query over an arrival-generator schedule).
+    """
+
+    name: str
+    events: tuple[tuple[JoinWorkloadSpec, float], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "events", _normalized_events(self.name, self.events, "timed trace")
+        )
+
+    @classmethod
+    def from_trace(
+        cls,
+        name: str,
+        events: Sequence[tuple[JoinWorkloadSpec, float]],
+    ) -> "TimedTrace":
+        """Build the trace from ``(query, arrival_time_s)`` events."""
+        return cls(name=name, events=tuple(events))
+
+    @classmethod
+    def from_schedule(
+        cls,
+        name: str,
+        query: JoinWorkloadSpec,
+        arrival_times_s: Sequence[float],
+    ) -> "TimedTrace":
+        """One query repeated over an arrival schedule.
+
+        Zips directly with the generators of
+        :mod:`repro.workloads.arrivals`::
+
+            TimedTrace.from_schedule("burst", q, poisson_arrivals(20, 0.1))
+        """
+        return cls(name=name, events=tuple((query, t) for t in arrival_times_s))
+
+    def schedule(self) -> tuple[tuple[JoinWorkloadSpec, float], ...]:
+        """The ``(query, arrival_time_s)`` events, sorted by arrival time.
+
+        The presence of this accessor is what marks a workload as timed
+        (:func:`is_timed`); stream evaluators replay exactly this
+        schedule.
+        """
+        return self.events
+
+    @property
+    def span_s(self) -> float:
+        """Time of the last arrival (the trace's scheduling horizon)."""
+        return self.events[-1][1]
+
+    @property
+    def total_weight(self) -> float:
+        return float(len(self.events))
+
+    def weights_only(self) -> ArrivalMix:
+        """This trace as a weights-only :class:`ArrivalMix`.
+
+        The untimed projection: same queries, same relative frequencies,
+        no arrival times — evaluated through the ordinary per-entry
+        weighted-aggregation path (and its cache keys).  Built through
+        :meth:`ArrivalMix.from_trace` so there is exactly one
+        event-counting rule, and the two views can never drift apart.
+        """
+        return ArrivalMix.from_trace(self.name, self.events)
+
+    def cache_key(self) -> tuple:
+        return (
+            "timed-trace",
+            self.name,
+            tuple((join_cache_key(query), time_s) for query, time_s in self.events),
+        )
+
+    def weighted_queries(self) -> tuple[WeightedQuery, ...]:
+        return self.weights_only().entries
+
+    def __iter__(self) -> Iterator[tuple[JoinWorkloadSpec, float]]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def is_timed(workload) -> bool:
+    """Whether a workload carries an arrival schedule (structural check).
+
+    Timed workloads expose a ``schedule()`` accessor returning
+    ``(query, arrival_time_s)`` events; the search engine routes them
+    through whole-trace stream simulation instead of per-entry weighted
+    aggregation.
+    """
+    return callable(getattr(workload, "schedule", None))
 
 
 def as_workload(workload: "Workload | JoinWorkloadSpec") -> "Workload":

@@ -132,3 +132,49 @@ class TestSearchExport:
         empty = SearchResult(workload=section54_join(), points=[])
         with pytest.raises(ReproError):
             frontier_to_csv(empty)
+
+    def test_weights_only_rows_have_null_latency_columns(self, search_result):
+        row = search_to_rows(search_result)[0]
+        for column in (
+            "response_mean_s",
+            "response_p95_s",
+            "response_p99_s",
+            "response_max_s",
+        ):
+            assert column in row
+            assert row[column] is None
+
+
+class TestTimedSearchExport:
+    """Latency columns of timed-trace evaluations reach CSV and JSON."""
+
+    @pytest.fixture(scope="class")
+    def timed_result(self):
+        from repro.search import SimulatorEvaluator
+        from repro.workloads.protocol import TimedTrace
+        from repro.workloads.queries import q3_join
+
+        grid = DesignGrid(
+            node_pairs=((CLUSTER_V_NODE, WIMPY_LAPTOP_B),), cluster_sizes=(4,)
+        )
+        trace = TimedTrace.from_schedule(
+            "t", q3_join(100, 0.05, 0.05), [0.0, 0.5, 1.0]
+        )
+        return DesignSpaceSearch(evaluator=SimulatorEvaluator()).search(grid, trace)
+
+    def test_rows_carry_response_times(self, timed_result):
+        rows = search_to_rows(timed_result)
+        point = timed_result.points[0]
+        assert rows[0]["response_p99_s"] == point.latency.p99_s
+        assert rows[0]["response_max_s"] == point.latency.max_s
+        assert rows[0]["response_mean_s"] <= rows[0]["response_max_s"]
+
+    def test_csv_and_json_roundtrip(self, timed_result):
+        parsed = list(
+            csv.DictReader(
+                io.StringIO(frontier_to_csv(timed_result, frontier_only=False))
+            )
+        )
+        assert float(parsed[0]["response_max_s"]) > 0
+        payload = json.loads(search_to_json(timed_result))
+        assert payload["points"][0]["response_p99_s"] > 0

@@ -184,3 +184,43 @@ class TestConcurrency:
     def test_explain(self):
         engine = PStore(cluster(2))
         assert "JoinPlan" in engine.explain(make_workload())
+
+
+class TestRunTrace:
+    """Heterogeneous timed traces through SimulatedPStore.run_trace."""
+
+    def store_and_plans(self):
+        from repro.pstore.simulated import SimulatedPStore
+
+        spec = cluster(4)
+        store = SimulatedPStore(spec, record_intervals=False)
+        light = plan_join(spec, make_workload(sb=0.1, sp=0.1), warm_cache=True)
+        heavy = plan_join(spec, make_workload(sb=0.5, sp=0.5), warm_cache=True)
+        return store, light, heavy
+
+    def test_mixed_queries_and_job_names(self):
+        store, light, heavy = self.store_and_plans()
+        result = store.run_trace([(light, 0.0), (heavy, 1.0), (light, 2.0)])
+        assert set(result.job_completion_s) == {"w#0", "w#1", "w#2"}
+        assert all(result.response_time_s(name) > 0 for name in result.job_completion_s)
+
+    def test_spaced_trace_runs_in_isolation(self):
+        store, light, heavy = self.store_and_plans()
+        solo_light = store.run(light).makespan_s
+        solo_heavy = store.run(heavy).makespan_s
+        spacing = 4 * max(solo_light, solo_heavy)
+        result = store.run_trace([(light, 0.0), (heavy, spacing)])
+        assert result.response_time_s("w#0") == pytest.approx(solo_light, rel=1e-6)
+        assert result.response_time_s("w#1") == pytest.approx(solo_heavy, rel=1e-6)
+
+    def test_job_label_override(self):
+        store, light, _ = self.store_and_plans()
+        result = store.run_trace([(light, 0.0)], job_label="join")
+        assert "join#0" in result.job_completion_s
+
+    def test_validation(self):
+        store, light, _ = self.store_and_plans()
+        with pytest.raises(PlanError):
+            store.run_trace([])
+        with pytest.raises(PlanError):
+            store.run_trace([(light, -0.5)])

@@ -1,5 +1,6 @@
 """Arrival schedules and streamed query execution."""
 
+import numpy as np
 import pytest
 
 from repro.errors import PlanError, WorkloadError
@@ -32,6 +33,35 @@ class TestGenerators:
         fast = poisson_arrivals(200, rate_per_s=1.0, seed=1)
         slow = poisson_arrivals(200, rate_per_s=0.1, seed=1)
         assert slow[-1] > fast[-1]
+
+    def test_poisson_single_arrival_is_the_start(self):
+        assert poisson_arrivals(1, rate_per_s=0.5, seed=9, start_s=3.0) == [3.0]
+
+    def test_poisson_realized_rate_is_unbiased(self):
+        """Regression: the old implementation drew ``count`` gaps and then
+        overwrote ``times[0] = start_s`` *after* the cumsum, making the
+        first spacing the sum of two exponential draws — the realized
+        rate was biased low.  The mean inter-arrival of a long trace must
+        match 1/rate within sampling tolerance."""
+        rate = 2.0
+        times = np.asarray(poisson_arrivals(20_001, rate_per_s=rate, seed=7))
+        gaps = np.diff(times)
+        # 20k exponential gaps: the sample mean is within ~3 std errors
+        assert gaps.mean() == pytest.approx(1.0 / rate, rel=0.03)
+
+    def test_poisson_first_gap_is_one_draw(self):
+        """The first spacing follows the same exponential as the rest:
+        averaged over many seeds, it matches 1/rate (the old bias doubled
+        it)."""
+        rate = 0.5
+        first_gaps = [
+            poisson_arrivals(2, rate_per_s=rate, seed=seed)[1]
+            for seed in range(400)
+        ]
+        mean = sum(first_gaps) / len(first_gaps)
+        # 400 samples of Exp(1/rate): std error = (1/rate)/20 = 0.1; the
+        # old two-draw bug would put the mean near 2/rate = 4.0
+        assert mean == pytest.approx(1.0 / rate, rel=0.2)
 
     def test_poisson_validation(self):
         with pytest.raises(WorkloadError):
@@ -88,6 +118,41 @@ class TestStreamedExecution:
             engine.simulate_stream(workload, [])
         with pytest.raises(PlanError):
             engine.simulate_stream(workload, [-1.0])
+
+    def test_stream_accepts_numpy_schedules(self, engine):
+        """Regression: ``if not start_times_s`` / ``any(t < 0 ...)`` raised
+        ``ValueError: truth value of an array is ambiguous`` on the numpy
+        arrays that cumsum-based generators naturally produce."""
+        workload = q3_join(100, 0.05, 0.05)
+        times = np.cumsum(np.asarray([0.0, 50.0, 50.0]))
+        result = engine.simulate_stream(workload, times)
+        assert result.response_time_s("join#2") > 0
+        listed = engine.simulate_stream(workload, [float(t) for t in times])
+        assert result.makespan_s == pytest.approx(listed.makespan_s)
+        with pytest.raises(PlanError):
+            engine.simulate_stream(workload, np.asarray([]))
+        with pytest.raises(PlanError):
+            engine.simulate_stream(workload, np.asarray([-1.0, 0.0]))
+
+    def test_compressing_arrivals_never_improves_response(self, engine):
+        """Queueing semantics: shrinking the inter-arrival interval can
+        only add contention, so the worst response time is monotonically
+        non-improving, and interval -> 0 approaches the batched
+        (all-at-once concurrency) result."""
+        workload = q3_join(100, 0.05, 0.05)
+        solo = engine.simulate(workload).makespan_s
+        worsts = []
+        for interval in (2.0 * solo, solo, 0.5 * solo, 0.1 * solo, 0.0):
+            stream = engine.simulate_stream(
+                workload, periodic_arrivals(3, interval_s=interval)
+            )
+            worsts.append(
+                max(stream.response_time_s(f"join#{i}") for i in range(3))
+            )
+        for looser, tighter in zip(worsts, worsts[1:]):
+            assert tighter >= looser * (1 - 1e-9)
+        batched = engine.simulate(workload, concurrency=3)
+        assert worsts[-1] == pytest.approx(batched.makespan_s)
 
     def test_delayed_execution_energy_tradeoff(self, engine):
         """The [20, 23] idea: spreading queries over time on a small cluster

@@ -6,9 +6,11 @@ from repro.errors import WorkloadError
 from repro.workloads.protocol import (
     ArrivalMix,
     SingleJoin,
+    TimedTrace,
     WeightedQuery,
     Workload,
     as_workload,
+    is_timed,
     join_cache_key,
 )
 from repro.workloads.queries import section54_join
@@ -81,6 +83,80 @@ class TestArrivalMix:
         times = periodic_arrivals(4, interval_s=30.0)
         mix = ArrivalMix.from_trace("periodic", [(query, t) for t in times])
         assert mix.weighted_queries()[0].weight == 4.0
+
+    def test_out_of_order_events_are_time_sorted(self):
+        """Regression: the docstring claimed times 'do not affect the
+        weights' yet unsorted events silently changed entry order.  The
+        enforced behavior: events sort by arrival time, so any list order
+        of the same events yields the identical mix."""
+        a, b = section54_join(0.01, 0.10), section54_join(0.10, 0.02)
+        shuffled = ArrivalMix.from_trace("t", [(a, 9.0), (b, 0.0), (a, 4.0)])
+        sorted_events = ArrivalMix.from_trace("t", [(b, 0.0), (a, 4.0), (a, 9.0)])
+        assert shuffled == sorted_events
+        # entry order is first-*arrival* order, not list order
+        assert [entry.query for entry in shuffled.entries] == [b, a]
+        assert shuffled.cache_key() == sorted_events.cache_key()
+
+
+class TestTimedTrace:
+    def test_schedule_is_time_sorted(self):
+        a, b = section54_join(0.01, 0.10), section54_join(0.10, 0.02)
+        trace = TimedTrace.from_trace("t", [(a, 9.0), (b, 0.0), (a, 4.0)])
+        assert trace.schedule() == ((b, 0.0), (a, 4.0), (a, 9.0))
+        assert trace.span_s == 9.0
+        assert len(trace) == 3
+
+    def test_weights_match_the_arrival_mix(self):
+        """The untimed projection agrees with ArrivalMix.from_trace."""
+        a, b = section54_join(0.01, 0.10), section54_join(0.10, 0.02)
+        events = [(a, 5.0), (b, 1.0), (a, 3.0)]
+        trace = TimedTrace.from_trace("t", events)
+        mix = ArrivalMix.from_trace("t", events)
+        assert trace.weighted_queries() == mix.weighted_queries()
+        assert trace.weights_only() == mix
+        assert trace.total_weight == 3.0
+
+    def test_from_schedule_zips_with_generators(self):
+        from repro.workloads.arrivals import poisson_arrivals
+
+        query = section54_join()
+        times = poisson_arrivals(5, rate_per_s=0.1, seed=2)
+        trace = TimedTrace.from_schedule("poisson", query, times)
+        assert [t for _, t in trace.schedule()] == times
+
+    def test_cache_key_includes_times(self):
+        """Two traces with identical weights but different schedules must
+        never share cache rows — queueing depends on the times."""
+        query = section54_join()
+        burst = TimedTrace.from_schedule("t", query, [0.0, 0.0, 0.0])
+        spread = TimedTrace.from_schedule("t", query, [0.0, 60.0, 120.0])
+        assert burst.weighted_queries() == spread.weighted_queries()
+        assert burst.cache_key() != spread.cache_key()
+
+    def test_cache_key_disjoint_from_weights_only_key(self):
+        query = section54_join()
+        trace = TimedTrace.from_schedule("t", query, [0.0, 60.0])
+        assert trace.cache_key() != trace.weights_only().cache_key()
+
+    def test_validation(self):
+        query = section54_join()
+        with pytest.raises(WorkloadError):
+            TimedTrace.from_trace("t", [])
+        with pytest.raises(WorkloadError, match=">= 0"):
+            TimedTrace.from_trace("t", [(query, -1.0)])
+
+    def test_is_timed_is_structural(self):
+        query = section54_join()
+        trace = TimedTrace.from_schedule("t", query, [0.0])
+        assert is_timed(trace)
+        assert not is_timed(trace.weights_only())
+        assert not is_timed(SingleJoin(query))
+        assert not is_timed(query)
+
+    def test_satisfies_the_workload_protocol(self):
+        trace = TimedTrace.from_schedule("t", section54_join(), [0.0, 1.0])
+        assert as_workload(trace) is trace
+        assert isinstance(trace, Workload)
 
 
 class TestAsWorkload:
