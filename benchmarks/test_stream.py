@@ -1,21 +1,23 @@
 """Stream bench: timed-trace evaluation over the reference design campaign.
 
-The latency-aware path replays a whole arrival trace per design
-(:meth:`SimulatorEvaluator.evaluate_trace` →
-:meth:`SimulatedPStore.run_trace`), so its unit cost is one stream
-simulation of every arrival — much heavier than a weights-only model
-point.  This benchmark tracks that cost on a slice of the repo's
-reference campaign: the 216-design grid of ``BENCH_search.json`` scored
-against a Poisson day of TPC-H Q3 arrivals tuned for real queueing
-(rate ~1.5 queries per solo runtime).
+The latency-aware path replays a whole arrival trace per design, and
+since the event-multiplexed engine landed
+(:func:`repro.simulator.multiplex.run_multiplexed`) the campaign advances
+every design's replay together on one event loop.  This benchmark tracks
+that speedup honestly: the *oracle* run replays the trace design by
+design through the scalar engine
+(:func:`~repro.search.evaluators.evaluate_timed_design`), the measured
+run is the multiplexed campaign (``DesignSpaceSearch.search`` →
+``evaluate_trace_batch``), and the two must agree record for record —
+the engine's contract is bit-identical results, not "close enough".
 
-``pytest benchmarks/test_stream.py -q`` runs a compact slice through
-pytest-benchmark and asserts serial and parallel dispatch agree record
-for record.  ``make bench-json`` (``python benchmarks/test_stream.py
---json BENCH_stream.json``) times the full 216-design campaign — serial,
-parallel, and warm-cache re-sweep — and records throughput plus the
-knee/SLA latency readings so future PRs can track both speed and the
-measured p99.
+``pytest benchmarks/test_stream.py -q`` runs compact slices through
+pytest-benchmark and asserts the multiplexed campaign matches both the
+serial oracle and parallel dispatch record for record.  ``make
+bench-json`` (``python benchmarks/test_stream.py --json
+BENCH_stream.json``) times the full 216-design campaign and *fails* if
+the records diverge or the multiplexed speedup drops below
+``MIN_SPEEDUP`` — a perf regression gate, not just a report.
 """
 
 import json
@@ -25,12 +27,16 @@ import time
 
 from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
 from repro.search import DesignGrid, DesignSpaceSearch, SimulatorEvaluator
+from repro.search.evaluators import evaluate_timed_design
 from repro.workloads.arrivals import poisson_arrivals
 from repro.workloads.protocol import TimedTrace
 from repro.workloads.queries import q3_join
 
 WORKERS = 2
 EVENTS = 24
+
+#: the bench fails outright below this multiplexed-over-serial speedup
+MIN_SPEEDUP = 5.0
 
 #: the reference campaign space: 216 designs (matches BENCH_search.json)
 FULL_GRID = DesignGrid(
@@ -70,10 +76,28 @@ def timed_campaign(grid, trace, workers=1):
         return engine.search(grid, trace)
 
 
-def record_view(result):
+def serial_oracle(grid, trace):
+    """The pre-multiplexing path: one scalar trace replay per design."""
+    evaluator = SimulatorEvaluator()
     return [
-        (p.label, p.time_s, p.energy_j, p.feasible, p.latency) for p in result.points
+        evaluate_timed_design(evaluator, candidate, trace)
+        for candidate in grid.candidate_list()
     ]
+
+
+def record_view(points):
+    return [
+        (p.label, p.time_s, p.energy_j, p.feasible, p.latency) for p in points
+    ]
+
+
+def test_multiplexed_matches_serial_oracle():
+    """The multiplexed campaign is bit-identical to design-by-design replay."""
+    trace = reference_trace(events=8)
+    campaign = timed_campaign(SMALL_GRID, trace)
+    assert record_view(campaign.points) == record_view(
+        serial_oracle(SMALL_GRID, trace)
+    )
 
 
 def test_serial_matches_parallel():
@@ -82,7 +106,7 @@ def test_serial_matches_parallel():
     serial = timed_campaign(SMALL_GRID, trace, workers=1)
     parallel = timed_campaign(SMALL_GRID, trace, workers=WORKERS)
     assert parallel.workers_used == WORKERS
-    assert record_view(serial) == record_view(parallel)
+    assert record_view(serial.points) == record_view(parallel.points)
 
 
 def test_timed_campaign_small(benchmark):
@@ -91,47 +115,53 @@ def test_timed_campaign_small(benchmark):
     assert all(p.latency is not None for p in result.feasible_points)
 
 
-def run_stream_bench(grid=FULL_GRID, workers=WORKERS, events=EVENTS) -> dict:
-    """Time the full timed campaign: serial, parallel, and warm re-sweep."""
+def run_stream_bench(grid=FULL_GRID, events=EVENTS) -> dict:
+    """Time the full timed campaign: multiplexed, serial oracle, warm.
+
+    Raises ``SystemExit`` if the multiplexed records diverge from the
+    oracle's or the speedup falls under :data:`MIN_SPEEDUP`.
+    """
     trace = reference_trace(events)
     candidates = grid.candidate_list()
 
-    start = time.perf_counter()
-    serial = timed_campaign(grid, trace, workers=1)
-    serial_s = time.perf_counter() - start
-
     engine = DesignSpaceSearch(
-        evaluator=SimulatorEvaluator(), workers=workers, min_dispatch_tasks=1
+        evaluator=SimulatorEvaluator(), workers=1, min_dispatch_tasks=1
     )
     with engine:
         start = time.perf_counter()
-        parallel = engine.search(grid, trace)
-        parallel_s = time.perf_counter() - start
+        campaign = engine.search(grid, trace)
+        multiplexed_s = time.perf_counter() - start
         start = time.perf_counter()
         warm = engine.search(grid, trace)
         warm_s = time.perf_counter() - start
 
-    knee = serial.knee()
-    sla_s = min(p.latency.max_s for p in serial.feasible_points) * 1.25
-    pick = serial.best_under_latency_sla(sla_s)
-    return {
-        "benchmark": "timed-trace stream campaign",
+    start = time.perf_counter()
+    oracle = serial_oracle(grid, trace)
+    serial_s = time.perf_counter() - start
+
+    identical = record_view(campaign.points) == record_view(oracle)
+    speedup = serial_s / multiplexed_s
+
+    knee = campaign.knee()
+    sla_s = min(p.latency.max_s for p in campaign.feasible_points) * 1.25
+    pick = campaign.best_under_latency_sla(sla_s)
+    payload = {
+        "benchmark": "timed-trace stream campaign (event-multiplexed)",
         "designs": len(candidates),
         "arrival_events": events,
-        "simulated_jobs": serial.query_evaluations,
-        "workers": workers,
-        # parallel dispatch cannot beat serial on a single-CPU container;
-        # read speedup alongside this
+        "simulated_jobs": campaign.query_evaluations,
         "cpus": multiprocessing.cpu_count(),
+        "multiplexed_wall_s": round(multiplexed_s, 4),
         "serial_wall_s": round(serial_s, 4),
-        "parallel_wall_s": round(parallel_s, 4),
         "warm_wall_s": round(warm_s, 4),
-        "speedup": round(serial_s / parallel_s, 3),
-        # throughput is reported off the *serial* run so the metric means
-        # the same thing on every machine, core count notwithstanding
-        "designs_per_s": round(len(candidates) / serial_s, 2),
-        "simulated_jobs_per_s": round(serial.query_evaluations / serial_s, 1),
-        "results_identical": record_view(serial) == record_view(parallel),
+        "speedup": round(speedup, 3),
+        # throughput of the shipping path (the multiplexed campaign)
+        "designs_per_s": round(len(candidates) / multiplexed_s, 2),
+        "simulated_jobs_per_s": round(
+            campaign.query_evaluations / multiplexed_s, 1
+        ),
+        "results_identical": identical,
+        "min_speedup": MIN_SPEEDUP,
         "warm_evaluations": warm.evaluations,
         "knee_label": knee.label,
         "knee_p99_s": round(knee.latency.p99_s, 3) if knee.latency else None,
@@ -139,6 +169,17 @@ def run_stream_bench(grid=FULL_GRID, workers=WORKERS, events=EVENTS) -> dict:
         "latency_sla_pick": pick.label,
         "latency_sla_pick_worst_s": round(pick.latency.max_s, 3),
     }
+    if not identical:
+        raise SystemExit(
+            "stream bench FAILED: multiplexed campaign diverged from the "
+            "serial oracle"
+        )
+    if speedup < MIN_SPEEDUP:
+        raise SystemExit(
+            f"stream bench FAILED: multiplexed speedup {speedup:.2f}x is "
+            f"under the {MIN_SPEEDUP}x floor"
+        )
+    return payload
 
 
 if __name__ == "__main__":

@@ -20,6 +20,7 @@ the LINEITEM table is repartitioned", Section 4.3.1).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Sequence
 
 from repro.errors import PlanError
@@ -31,7 +32,7 @@ from repro.simulator.network import IDEAL_SWITCH, SwitchModel
 from repro.simulator.resources import cpu, disk, nic_in, nic_out
 from repro.workloads.queries import JoinMethod
 
-__all__ = ["build_join_job", "SimulatedPStore"]
+__all__ = ["build_join_job", "trace_jobs", "SimulatedPStore"]
 
 
 def _partition_volumes(total_mb: float, weights: Sequence[float] | None, n: int) -> list[float]:
@@ -175,6 +176,49 @@ def build_join_job(
     )
 
 
+def trace_jobs(
+    schedule: Sequence[tuple[JoinPlan, float]],
+    partition_weights: Sequence[float] | None = None,
+    job_label: str | None = None,
+) -> list[Job]:
+    """Simulator jobs for a timed trace, sharing flow templates.
+
+    A trace repeats a handful of distinct plans across many arrivals, so
+    each distinct plan (by identity) is expanded into flows once and every
+    arrival gets a renamed, re-timed copy of that template job — the
+    phases and :class:`~repro.simulator.jobs.FlowSpec` objects are
+    *shared*.  The simulator only reads flow values, so results are
+    identical to building every job from scratch, while long traces skip
+    the per-arrival plan expansion and downstream consumers (the
+    event-multiplexed engine's template interning, most prominently) can
+    recognize repeated flows by identity.
+
+    Naming matches :meth:`SimulatedPStore.run_trace`:
+    ``{query}#{index}`` in schedule order, or ``{job_label}#{index}``.
+    """
+    if len(schedule) == 0:
+        raise PlanError("need at least one arrival time")
+    templates: dict[int, Job] = {}
+    jobs = []
+    for index, (plan, start) in enumerate(schedule):
+        start = float(start)
+        if start < 0:
+            raise PlanError(f"negative arrival time {start} at event {index}")
+        template = templates.get(id(plan))
+        if template is None:
+            template = templates[id(plan)] = build_join_job(
+                plan, partition_weights=partition_weights
+            )
+        jobs.append(
+            replace(
+                template,
+                name=f"{job_label or plan.workload.name}#{index}",
+                start_time_s=start,
+            )
+        )
+    return jobs
+
+
 class SimulatedPStore:
     """Runs join plans on the fluid simulator, one or many at a time."""
 
@@ -189,6 +233,11 @@ class SimulatedPStore:
         self._simulator = ClusterSimulator(
             cluster, switch=switch, record_intervals=record_intervals
         )
+
+    @property
+    def simulator(self) -> ClusterSimulator:
+        """The underlying engine (for batch runners that multiplex stores)."""
+        return self._simulator
 
     def run(
         self,
@@ -248,22 +297,15 @@ class SimulatedPStore:
         ``{query}#{index}`` in schedule order (``{job_label}#{index}``
         when ``job_label`` is given), and the result's per-job response
         times include each query's contention delay.
+
+        This serial replay is the *oracle* for the event-multiplexed
+        batch path (:func:`~repro.simulator.multiplex.run_multiplexed`):
+        multiplexing the same trace across many designs must reproduce
+        this method's result bit for bit, and
+        ``tests/simulator/test_multiplex.py`` holds it to that.
         """
-        # len() (not truthiness) and per-element float() coercion: numpy
-        # arrays are ambiguous under `not` / `any(t < 0)`.
-        if len(schedule) == 0:
-            raise PlanError("need at least one arrival time")
-        jobs = []
-        for index, (plan, start) in enumerate(schedule):
-            start = float(start)
-            if start < 0:
-                raise PlanError(f"negative arrival time {start} at event {index}")
-            jobs.append(
-                build_join_job(
-                    plan,
-                    job_name=f"{job_label or plan.workload.name}#{index}",
-                    start_time_s=start,
-                    partition_weights=partition_weights,
-                )
+        return self._simulator.run(
+            trace_jobs(
+                schedule, partition_weights=partition_weights, job_label=job_label
             )
-        return self._simulator.run(jobs)
+        )

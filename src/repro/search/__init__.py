@@ -86,13 +86,23 @@ Instead the unit of evaluation, memoization, and dispatch is
    *time-inclusive* ``cache_key()``, candidate key), so timed rows never
    collide with — and are never served from — weights-only rows, and the
    weights-only path keeps its existing keys bit for bit;
-3. **dispatch** — cache misses replay the trace once per candidate
-   (:meth:`SimulatorEvaluator.evaluate_trace
-   <repro.search.evaluators.SimulatorEvaluator.evaluate_trace>` →
-   :meth:`~repro.pstore.simulated.SimulatedPStore.run_trace`), serially
-   or chunked over the persistent pool (the cheap-batch threshold counts
-   candidates x arrival events, since each replay simulates every
-   arrival);
+3. **dispatch** — cache misses are evaluated as a *batch*
+   (:meth:`SimulatorEvaluator.evaluate_trace_batch
+   <repro.search.evaluators.SimulatorEvaluator.evaluate_trace_batch>`):
+   every candidate's trace replay advances together on one
+   event-multiplexed loop
+   (:func:`~repro.simulator.multiplex.run_multiplexed`), which batches
+   the per-event simulator math — max-min fair allocation, volume
+   decrements, utilization → power → energy integration — into numpy
+   kernels across candidates while reproducing the serial
+   :meth:`~repro.pstore.simulated.SimulatedPStore.run_trace` oracle bit
+   for bit (~15× on `BENCH_stream.json`; property-tested in
+   ``tests/simulator/test_multiplex.py``).  Parallel dispatch chunks
+   candidates over the persistent pool and multiplexes within each
+   chunk (the cheap-batch threshold counts candidates x arrival events,
+   since each replay simulates every arrival); a candidate whose replay
+   fails falls back to its own serial replay, so error isolation
+   matches the one-at-a-time path;
 4. **score** — each record's ``time_s`` is the stream's makespan,
    ``energy_j`` the total including idle gaps between arrivals, and
    ``latency`` a :class:`~repro.search.evaluators.LatencyProfile`

@@ -63,7 +63,6 @@ from repro.search.evaluators import (
     ModelEvaluator,
     SearchEvaluator,
     evaluate_entry_chunk,
-    evaluate_timed_design,
     evaluate_trace_chunk,
 )
 from repro.search.grid import DesignCandidate, DesignGrid, unique_labels
@@ -502,6 +501,14 @@ class DesignSpaceSearch:
         arrival events), not candidates: one trace replay costs roughly
         one simulator run per event, so a 4-candidate x 32-event batch is
         real work worth shipping to the pool.
+
+        Both paths funnel through
+        :meth:`~repro.search.evaluators.SearchEvaluator
+        .evaluate_trace_batch` (serially as one batch, in parallel as one
+        batch per chunk), so a stream-capable evaluator advances the
+        whole batch on one multiplexed event loop instead of replaying
+        designs one by one — with records guaranteed identical to the
+        per-candidate serial loop.
         """
         num_events = len(workload.schedule())
         workers = min(self.workers, len(candidates))
@@ -510,10 +517,9 @@ class DesignSpaceSearch:
         if workers > 1 and not self._dispatchable((candidates[0], workload)):
             workers = 1
         if workers <= 1:
-            return [
-                evaluate_timed_design(self.evaluator, candidate, workload)
-                for candidate in candidates
-            ], 1
+            return self.evaluator.evaluate_trace_batch(
+                workload, list(candidates)
+            ), 1
 
         chunk = self.chunk_size or max(1, math.ceil(len(candidates) / (workers * 4)))
         payloads = [

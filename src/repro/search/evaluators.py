@@ -43,8 +43,10 @@ from repro.core.model import ModelParameters, Prediction, PStoreModel
 from repro.errors import ConfigurationError, ModelError, ReproError
 from repro.hardware.cluster import ClusterSpec
 from repro.pstore.planner import plan_join
-from repro.pstore.simulated import SimulatedPStore
+from repro.pstore.simulated import SimulatedPStore, trace_jobs
 from repro.search.grid import DesignCandidate
+from repro.simulator.engine import SimulationResult
+from repro.simulator.multiplex import run_multiplexed
 from repro.workloads.protocol import TimedTrace, Workload, as_workload
 from repro.workloads.queries import JoinWorkloadSpec
 
@@ -171,6 +173,24 @@ class SearchEvaluator(abc.ABC):
             "(e.g. SimulatorEvaluator), or reduce the trace to weights with "
             ".weights_only()"
         )
+
+    def evaluate_trace_batch(
+        self, trace: TimedTrace, candidates: Sequence[DesignCandidate]
+    ) -> list[EvaluatedDesign]:
+        """Replay one timed trace on several designs, one record each.
+
+        Infeasible designs come back as infeasible *records* (never an
+        exception), so a batch always yields ``len(candidates)`` results
+        — the timed counterpart of :meth:`evaluate_query_batch`.  The
+        default just loops :func:`evaluate_timed_design`; evaluators that
+        can advance many independent simulations together override this
+        (:class:`SimulatorEvaluator` multiplexes the whole batch onto one
+        event loop) while producing bit-identical records.
+        """
+        return [
+            evaluate_timed_design(self, candidate, trace)
+            for candidate in candidates
+        ]
 
     def evaluate(
         self, candidate: DesignCandidate, workload: Workload | JoinWorkloadSpec
@@ -359,6 +379,14 @@ class SimulatorEvaluator(SearchEvaluator):
         """
         cluster = candidate.cluster()
         store = SimulatedPStore(cluster, record_intervals=False)
+        result = store.run_trace(self._trace_schedule(cluster, candidate, trace))
+        return self._trace_record(candidate, result)
+
+    def _trace_schedule(
+        self, cluster: ClusterSpec, candidate: DesignCandidate, trace: TimedTrace
+    ) -> list[tuple[object, float]]:
+        """The trace's (plan, arrival) schedule on one design; each
+        distinct query is planned once."""
         plans: dict[JoinWorkloadSpec, object] = {}
         schedule = []
         for query, start_s in trace.schedule():
@@ -373,7 +401,13 @@ class SimulatorEvaluator(SearchEvaluator):
                     force_mode=candidate.mode,
                 )
             schedule.append((plan, start_s))
-        result = store.run_trace(schedule)
+        return schedule
+
+    @staticmethod
+    def _trace_record(
+        candidate: DesignCandidate, result: SimulationResult
+    ) -> EvaluatedDesign:
+        """One stream simulation -> one timed design record."""
         responses = [result.response_time_s(name) for name in result.job_completion_s]
         return EvaluatedDesign(
             candidate=candidate,
@@ -381,6 +415,54 @@ class SimulatorEvaluator(SearchEvaluator):
             energy_j=result.energy_j,
             latency=LatencyProfile.from_samples(responses),
         )
+
+    def evaluate_trace_batch(
+        self, trace: TimedTrace, candidates: Sequence[DesignCandidate]
+    ) -> list[EvaluatedDesign]:
+        """Replay the trace on every design via one multiplexed event loop.
+
+        Each candidate's cluster, plans, and jobs are built as in
+        :meth:`evaluate_trace`; the simulations themselves then advance
+        *together* through
+        :func:`~repro.simulator.multiplex.run_multiplexed`, which batches
+        the per-event allocation and energy arithmetic across designs and
+        returns results bit-identical to serial replay — so the records
+        (latency profiles included) match :func:`evaluate_timed_design`
+        exactly.
+
+        Error isolation matches the serial loop: a design whose plans
+        cannot be built becomes an infeasible record, and if any lane
+        fails *mid-simulation* (the multiplexed loop aborts as a whole)
+        the batch falls back to serial per-candidate replay so one broken
+        design cannot poison its batchmates.
+        """
+        records: list[EvaluatedDesign | None] = [None] * len(candidates)
+        runs: list[tuple[int, DesignCandidate, object, list]] = []
+        for position, candidate in enumerate(candidates):
+            try:
+                cluster = candidate.cluster()
+                store = SimulatedPStore(cluster, record_intervals=False)
+                jobs = trace_jobs(self._trace_schedule(cluster, candidate, trace))
+            except ConfigurationError:
+                raise
+            except ReproError as exc:
+                records[position] = _infeasible_record(candidate, exc)
+                continue
+            runs.append((position, candidate, store.simulator, jobs))
+        if runs:
+            try:
+                results = run_multiplexed(
+                    [(simulator, jobs) for _, _, simulator, jobs in runs]
+                )
+            except ReproError:
+                for position, candidate, _, _ in runs:
+                    records[position] = evaluate_timed_design(
+                        self, candidate, trace
+                    )
+            else:
+                for (position, candidate, _, _), result in zip(runs, results):
+                    records[position] = self._trace_record(candidate, result)
+        return records
 
     def fingerprint(self) -> tuple:
         return (
@@ -504,13 +586,13 @@ def evaluate_trace_chunk(
 
     Timed evaluation cannot flatten to per-entry tasks (queueing couples
     a trace's queries), so the dispatch unit is the whole trace per
-    candidate; chunks group candidates.
+    candidate; chunks group candidates.  The chunk funnels through
+    :meth:`SearchEvaluator.evaluate_trace_batch` — the same unit as the
+    serial path — so stream-capable evaluators multiplex each chunk and
+    parallel records stay identical to serial ones.
     """
     evaluator, trace, candidates = payload
-    return [
-        evaluate_timed_design(evaluator, candidate, trace)
-        for candidate in candidates
-    ]
+    return evaluator.evaluate_trace_batch(trace, list(candidates))
 
 
 def evaluate_entry_chunk(

@@ -17,11 +17,13 @@ and heterogeneous Beefy/Wimpy clusters (Figure 7).
 from repro.simulator.allocation import max_min_fair_rates
 from repro.simulator.engine import ClusterSimulator, Interval, SimulationResult
 from repro.simulator.jobs import FlowSpec, Job, Phase
+from repro.simulator.multiplex import run_multiplexed
 from repro.simulator.network import IDEAL_SWITCH, SwitchModel
 from repro.simulator.resources import Resource, ResourcePool
 
 __all__ = [
     "max_min_fair_rates",
+    "run_multiplexed",
     "ClusterSimulator",
     "SimulationResult",
     "Interval",

@@ -87,17 +87,27 @@ class SimulationResult:
             raise SimulationError("zero-makespan run has no performance")
         return 1.0 / self.makespan_s
 
+    def _require_intervals(self, accessor: str) -> None:
+        if not self.intervals:
+            raise SimulationError(
+                f"{accessor} needs the piecewise interval trace, but this "
+                "result has none (the simulator ran with "
+                "record_intervals=False)"
+            )
+
     def power_at(self, time_s: float) -> float:
         """Cluster power draw at an instant (step function over intervals)."""
+        self._require_intervals("power_at")
         for interval in self.intervals:
             if interval.start_s <= time_s < interval.end_s:
                 return interval.cluster_power_w
-        if self.intervals and time_s >= self.intervals[-1].end_s:
+        if time_s >= self.intervals[-1].end_s:
             return self.intervals[-1].cluster_power_w
         raise SimulationError(f"time {time_s} precedes the simulation")
 
     def mean_utilization(self, node_id: int) -> float:
         """Time-weighted mean CPU utilization of one node."""
+        self._require_intervals("mean_utilization")
         total = sum(i.node_utilization[node_id] * i.duration_s for i in self.intervals)
         duration = sum(i.duration_s for i in self.intervals)
         if duration <= 0:
@@ -156,7 +166,10 @@ class ClusterSimulator:
         phase_live_count = [0] * len(jobs)
         job_start: dict[str, float] = {}
         job_completion: dict[str, float] = {}
-        pending = sorted(range(len(jobs)), key=lambda i: jobs[i].start_time_s)
+        # Arrival order over a cursor: pop(0) on a list is O(n) per
+        # admission, which turns long traces quadratic.
+        order = sorted(range(len(jobs)), key=lambda i: jobs[i].start_time_s)
+        cursor = 0
         live: list[_LiveFlow] = []
 
         num_nodes = self.pool.num_nodes
@@ -164,28 +177,36 @@ class ClusterSimulator:
         intervals: list[Interval] = []
         events = 0
 
-        while pending or live:
+        while cursor < len(order) or live:
             events += 1
             if events > max_events:
                 raise SimulationError(f"exceeded {max_events} events; simulation stalled?")
 
             # Admit every job whose start time has arrived.
-            while pending and jobs[pending[0]].start_time_s <= time_s + _COMPLETION_EPS:
-                index = pending.pop(0)
-                job_start[jobs[index].name] = time_s
+            while (
+                cursor < len(order)
+                and jobs[order[cursor]].start_time_s <= time_s + _COMPLETION_EPS
+            ):
+                index = order[cursor]
+                cursor += 1
+                # The admission window extends _COMPLETION_EPS past now, so
+                # clamp: a job must never be recorded as starting before it
+                # arrived (that would bias queueing delay negative).
+                job_start[jobs[index].name] = max(time_s, jobs[index].start_time_s)
                 self._advance_job(
                     jobs, index, 0, live, phase_live_count, job_phase,
                     time_s, job_completion,
                 )
 
             if not live:
-                if pending:
+                if cursor < len(order):
                     # Idle gap until the next arrival: the cluster still
                     # draws engine-idle power (relevant for the delayed-
                     # execution studies of Section 2's citations).
-                    gap = jobs[pending[0]].start_time_s - time_s
+                    next_start = jobs[order[cursor]].start_time_s
+                    gap = next_start - time_s
                     self._integrate([], [], [], time_s, gap, node_energy, intervals)
-                    time_s = jobs[pending[0]].start_time_s
+                    time_s = next_start
                     continue
                 break
 
@@ -196,8 +217,8 @@ class ClusterSimulator:
             for flow, rate in zip(live, rates):
                 if rate > 0:
                     dt = min(dt, flow.remaining_mb / rate)
-            if pending:
-                dt = min(dt, jobs[pending[0]].start_time_s - time_s)
+            if cursor < len(order):
+                dt = min(dt, jobs[order[cursor]].start_time_s - time_s)
             if not math.isfinite(dt) or dt < 0:
                 raise SimulationError(
                     "simulation stalled: live flows have zero rate and no pending events"

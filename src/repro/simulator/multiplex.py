@@ -1,0 +1,1085 @@
+"""Event-multiplexed fluid simulation: N independent runs, one loop.
+
+:func:`run_multiplexed` advances many *lanes* — each a full
+(:class:`~repro.simulator.engine.ClusterSimulator`, jobs) simulation with
+its own cluster — together.  Every global iteration moves each active lane
+to its own next event, so the per-event arithmetic that dominates serial
+replay (max-min fair allocation, remaining-volume decrements, power/energy
+integration) batches into numpy kernels across lanes instead of running
+once per lane per event in Python.
+
+Bit-identity contract
+---------------------
+Each lane's :class:`~repro.simulator.engine.SimulationResult` is
+bit-identical to running its simulator's serial ``run()`` alone: the
+vectorized kernels perform the same elementwise float64 operations in the
+same order as the scalar code (``np.bincount`` accumulates weights in
+input order, matching the scalar load-dict accumulation; ``np.clip``
+equals the scalar ``clamp``; power-model evaluation stays scalar Python,
+where exponentiation is bit-exact), and the per-lane control flow —
+admission, idle gaps, phase barriers, flow retirement — replicates the
+scalar event loop statement for statement.  The serial engine is the
+*oracle*; ``tests/simulator/test_multiplex.py`` property-tests the
+equivalence.
+
+Two further consequences of lane independence: results do not depend on
+how lanes are grouped into batches (multiplexing ``[a, b, c]`` equals
+``[a]`` then ``[b, c]``), and a lane that records intervals can ride the
+same entry point (it is routed to a per-lane loop that obtains bottleneck
+bindings from the scalar allocator).
+
+Flat state layout
+-----------------
+Interval-free lanes — the design-search workload — keep *no* per-lane
+flow objects at all.  Every live flow of every lane lives in global flat
+arrays, lane-contiguous and in the scalar engine's live-list order
+(survivors first, admissions appended): per-flow remaining volume,
+completion floor, owning lane/job, and per-demand-entry (resource,
+coefficient) rows whose resource ids are pre-offset into one global
+block-diagonal id space.  One allocator call
+(:func:`~repro.simulator.allocation.max_min_fair_rates_flat`), one
+per-node CPU-rate ``bincount``, one vectorized utilization pass, and one
+retirement gather then serve *all* lanes per iteration; only admissions,
+idle gaps, phase barriers, and the (memoized) utilization->watts map
+remain scalar, and each touches a handful of lanes or nodes per event.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.hardware.power import MIN_UTILIZATION
+from repro.simulator.allocation import (
+    _EPSILON,
+    max_min_fair_allocation,
+    max_min_fair_rates_flat,
+)
+from repro.simulator.engine import (
+    _COMPLETION_EPS,
+    ClusterSimulator,
+    Interval,
+    SimulationResult,
+)
+from repro.simulator.jobs import FlowSpec, Job
+from repro.simulator.resources import CPU, DISK, NETWORK_KINDS, NIC_IN, NIC_OUT
+
+__all__ = ["run_multiplexed"]
+
+#: local resource id = node_id * 4 + offset — the insertion order of
+#: :meth:`~repro.simulator.resources.ResourcePool.capacities`.
+_KIND_OFFSET = {CPU: 0, DISK: 1, NIC_IN: 2, NIC_OUT: 3}
+
+_EMPTY_I64 = np.zeros(0, dtype=np.int64)
+_EMPTY_F64 = np.zeros(0)
+_EMPTY_BOOL = np.zeros(0, dtype=bool)
+
+
+class _Template:
+    """Precomputed array form of one distinct :class:`FlowSpec`."""
+
+    __slots__ = ("spec", "volume_mb", "floor", "res_idx", "coef", "has_network")
+
+    def __init__(self, spec: FlowSpec):
+        self.spec = spec
+        self.volume_mb = spec.volume_mb
+        self.floor = _COMPLETION_EPS * max(1.0, spec.volume_mb)
+        res_idx: list[int] = []
+        coef: list[float] = []
+        has_network = False
+        for resource, c in spec.demands.items():
+            kind, _, node = resource.partition(":")
+            res_idx.append(int(node) * 4 + _KIND_OFFSET[kind])
+            coef.append(c)
+            if kind in NETWORK_KINDS:
+                has_network = True
+        self.res_idx = np.array(res_idx, dtype=np.int64)
+        self.coef = np.array(coef)
+        self.has_network = has_network
+
+
+class _State:
+    """Memoized allocation outcome for one live-template composition."""
+
+    __slots__ = ("rates", "powers", "utils", "bindings")
+
+    def __init__(self, rates, powers, utils, bindings=None):
+        self.rates = rates
+        self.powers = powers
+        self.utils = utils
+        self.bindings = bindings
+
+
+class _Lane:
+    """Per-run simulation state, mirroring the scalar engine's locals.
+
+    Interval-free lanes use only the scalar-control-flow half (admission
+    order, phase barriers, job bookkeeping, template interning) — their
+    flow state lives in :func:`_run_flat`'s global arrays.  Recording
+    lanes additionally keep per-lane live arrays for the interval path.
+    """
+
+    __slots__ = (
+        "index",
+        "sim",
+        "pool",
+        "jobs",
+        "record",
+        "n_nodes",
+        "base_caps",
+        "net_mask",
+        "node_specs",
+        "order",
+        "starts",
+        "cursor",
+        "job_phase",
+        "phase_live_count",
+        "job_start",
+        "job_completion",
+        "live_tid",
+        "live_job",
+        "entry_idx",
+        "entry_counts",
+        "pend_tids",
+        "pend_jobs",
+        "keep",
+        "appended",
+        "n_net",
+        "events",
+        "intervals",
+        "eview",
+        "state_memo",
+        "power_memo",
+        "caps_memo",
+        "eff_memo",
+        "_intern_by_id",
+        "_intern_by_value",
+        "_phase_memo",
+        "templates",
+        "_uni_size",
+        "_uni_res",
+        "_uni_coef",
+        "_uni_is_cpu",
+        "_entry_ranges",
+        "_tpl_entry_counts",
+        "_tpl_volume",
+        "_tpl_floor",
+        "_tpl_has_net",
+        "state",
+        "dirty",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        simulator: ClusterSimulator,
+        jobs: Sequence[Job],
+        template_cache: dict | None = None,
+    ):
+        self._validate(simulator, jobs)
+        self.index = index
+        self.sim = simulator
+        self.pool = simulator.pool
+        self.jobs = list(jobs)
+        self.record = simulator.record_intervals
+        self.n_nodes = self.pool.num_nodes
+        self.base_caps = np.array(list(self.pool.capacities().values()))
+        net = np.zeros(self.base_caps.shape[0], dtype=bool)
+        net[_KIND_OFFSET[NIC_IN] :: 4] = True
+        net[_KIND_OFFSET[NIC_OUT] :: 4] = True
+        self.net_mask = net
+        self.node_specs = [self.pool.node_spec(n) for n in self.pool.node_ids()]
+        self.order = sorted(
+            range(len(self.jobs)), key=lambda i: self.jobs[i].start_time_s
+        )
+        self.starts = [self.jobs[i].start_time_s for i in self.order]
+        self.cursor = 0
+        self.job_phase: list = [0] * len(self.jobs)
+        self.phase_live_count = [0] * len(self.jobs)
+        self.job_start: dict[str, float] = {}
+        self.job_completion: dict[str, float] = {}
+        self.live_tid = _EMPTY_I64
+        self.live_job = _EMPTY_I64
+        self.entry_idx = _EMPTY_I64
+        self.entry_counts = _EMPTY_I64
+        #: admissions not yet merged into the live arrays (flushed before
+        #: the next allocation)
+        self.pend_tids: list[int] = []
+        self.pend_jobs: list[int] = []
+        #: surviving positions of the last retirement, relative to the
+        #: matrix row laid down by the previous rebuild (None = no
+        #: retirement since then)
+        self.keep: np.ndarray | None = None
+        #: template ids appended by the last flush (for row initialisation)
+        self.appended: np.ndarray | None = None
+        self.n_net = 0
+        self.events = 0
+        self.intervals: list[Interval] = []
+        #: flat lanes: view into the global node-energy array
+        self.eview: np.ndarray | None = None
+        self.state_memo: dict[bytes, _State] = {}
+        self.power_memo: dict = {}
+        self.caps_memo: dict[int, np.ndarray] = {}
+        self.eff_memo: dict[int, float] = {}
+        self._intern_by_id: dict[int, tuple[_Template, int]] = {}
+        #: value-keyed template cache, shared across one batch's lanes
+        #: (candidates of the same cluster size expand a trace into
+        #: value-identical FlowSpecs)
+        self._intern_by_value: dict[tuple, _Template] = (
+            {} if template_cache is None else template_cache
+        )
+        self._phase_memo: dict[int, tuple[list[int], int]] = {}
+        self.templates: list[_Template] = []
+        self._uni_size = 0
+        self.state: _State | None = None
+        self.dirty = True
+
+    @staticmethod
+    def _validate(simulator: ClusterSimulator, jobs: Sequence[Job]) -> None:
+        """The scalar engine's job validation, deduplicated by spec.
+
+        Jobs replayed from a trace share :class:`FlowSpec` objects, so
+        each distinct spec is checked against the pool once instead of
+        once per job — same verdicts as ``ClusterSimulator._validate``.
+        """
+        if not jobs:
+            raise SimulationError("no jobs to run")
+        names = [job.name for job in jobs]
+        if len(set(names)) != len(names):
+            raise SimulationError(f"duplicate job names: {names}")
+        seen: set[int] = set()
+        for job in jobs:
+            for phase in job.phases:
+                for flow in phase.flows:
+                    if id(flow) in seen:
+                        continue
+                    seen.add(id(flow))
+                    for resource in flow.demands:
+                        if resource not in simulator.pool:
+                            raise SimulationError(
+                                f"job {job.name!r} flow {flow.name!r} references "
+                                f"unknown resource {resource!r}"
+                            )
+
+    # ------------------------------------------------------------- templates
+    def _intern(self, spec: FlowSpec) -> tuple[_Template, int]:
+        hit = self._intern_by_id.get(id(spec))
+        if hit is not None:
+            return hit
+        value_key = (spec.name, spec.volume_mb, tuple(spec.demands.items()))
+        template = self._intern_by_value.get(value_key)
+        if template is None:
+            template = self._intern_by_value[value_key] = _Template(spec)
+        hit = (template, len(self.templates))
+        self.templates.append(template)
+        self._intern_by_id[id(spec)] = hit
+        return hit
+
+    def _ensure_universe(self) -> None:
+        """(Re)build the per-lane concatenation of all template entries.
+
+        Gathering a live set's demand system out of these flat arrays
+        replaces per-flow array construction; rebuilt only when a new
+        template appears (a handful of times per lane)."""
+        if self._uni_size == len(self.templates):
+            return
+        self._uni_res = np.concatenate([t.res_idx for t in self.templates])
+        self._uni_coef = np.concatenate([t.coef for t in self.templates])
+        self._uni_is_cpu = self._uni_res % 4 == _KIND_OFFSET[CPU]
+        counts = [t.res_idx.shape[0] for t in self.templates]
+        offsets = np.zeros(len(counts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        self._entry_ranges = [
+            np.arange(offsets[i], offsets[i + 1], dtype=np.int64)
+            for i in range(len(counts))
+        ]
+        self._tpl_entry_counts = np.array(counts, dtype=np.int64)
+        self._tpl_volume = np.array([t.volume_mb for t in self.templates])
+        self._tpl_floor = np.array([t.floor for t in self.templates])
+        self._tpl_has_net = np.array(
+            [t.has_network for t in self.templates], dtype=bool
+        )
+        self._uni_size = len(self.templates)
+
+    # ---------------------------------------------------- scalar control flow
+    def _advance_job(self, job_index: int, start_phase: int, t) -> None:
+        phase_index = start_phase
+        while True:
+            if phase_index >= len(self.jobs[job_index].phases):
+                self.job_completion[self.jobs[job_index].name] = float(t)
+                self.job_phase[job_index] = None
+                return
+            self._admit_phase(job_index, phase_index)
+            if self.phase_live_count[job_index] > 0:
+                return
+            phase_index += 1
+
+    def _admit_phase(self, job_index: int, phase_index: int) -> None:
+        self.job_phase[job_index] = phase_index
+        phase = self.jobs[job_index].phases[phase_index]
+        memo = self._phase_memo.get(id(phase))
+        if memo is None:
+            tids: list[int] = []
+            net = 0
+            for flow in phase.flows:
+                if flow.volume_mb > 0:
+                    template, tid = self._intern(flow)
+                    tids.append(tid)
+                    if template.has_network:
+                        net += 1
+            memo = (tids, net)
+            self._phase_memo[id(phase)] = memo
+        tids, net = memo
+        self.pend_tids.extend(tids)
+        self.pend_jobs.extend([job_index] * len(tids))
+        self.n_net += net
+        self.phase_live_count[job_index] = len(tids)
+        self.dirty = True
+
+    def has_live(self) -> bool:
+        return bool(self.live_tid.size) or bool(self.pend_tids)
+
+    def advance_flat(
+        self, t: float, events: int, live_count: int, max_events: int
+    ) -> tuple[float, int, bool]:
+        """The scalar loop's head for flat-batch lanes.
+
+        Admissions, idle gaps, and event counting, mirroring the serial
+        engine's per-iteration order; flow state lives in the caller's
+        global arrays, so liveness arrives as ``live_count``.  Returns
+        ``(time, events, alive)`` — ``alive`` False once the lane has no
+        live flows and no arrivals left.
+        """
+        starts = self.starts
+        n_jobs = len(starts)
+        while True:
+            if live_count == 0 and not self.pend_tids and self.cursor >= n_jobs:
+                return t, events, False
+            events += 1
+            if events > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; simulation stalled?"
+                )
+            while self.cursor < n_jobs and starts[self.cursor] <= t + _COMPLETION_EPS:
+                index = self.order[self.cursor]
+                self.cursor += 1
+                job = self.jobs[index]
+                self.job_start[job.name] = max(t, job.start_time_s)
+                self._advance_job(index, 0, t)
+            if live_count or self.pend_tids:
+                return t, events, True
+            if self.cursor < n_jobs:
+                next_start = starts[self.cursor]
+                gap = next_start - t
+                if gap > 0:
+                    self.eview += self._idle_state().powers * gap
+                t = next_start
+            # else: no live flows, nothing pending — finished (top of loop)
+
+    def advance(self, time_arr, e_matrix, max_events: int) -> bool:
+        """The scalar loop's head for recording lanes (matrix path)."""
+        lane_id = self.index
+        while True:
+            if not self.has_live() and self.cursor >= len(self.order):
+                return False
+            self.events += 1
+            if self.events > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; simulation stalled?"
+                )
+            t = time_arr[lane_id]
+            while (
+                self.cursor < len(self.order)
+                and self.starts[self.cursor] <= t + _COMPLETION_EPS
+            ):
+                index = self.order[self.cursor]
+                self.cursor += 1
+                job = self.jobs[index]
+                self.job_start[job.name] = max(float(t), job.start_time_s)
+                self._advance_job(index, 0, t)
+            if self.has_live():
+                return True
+            if self.cursor < len(self.order):
+                next_start = self.starts[self.cursor]
+                gap = next_start - t
+                self._integrate_idle(t, gap, e_matrix)
+                time_arr[lane_id] = next_start
+                continue
+            # no live flows, nothing pending: finished (detected at the top)
+
+    # ------------------------------------------------------------ allocation
+    def _idle_state(self) -> _State:
+        state = self.state_memo.get(b"")
+        if state is None:
+            state = self._finish_state(b"", np.zeros(0), bindings=())
+        return state
+
+    def _integrate_idle(self, t, gap, e_matrix) -> None:
+        if gap <= 0:
+            return
+        state = self._idle_state()
+        e_matrix[self.index, : self.n_nodes] += state.powers * gap
+        if self.record:
+            self.intervals.append(
+                Interval(
+                    start_s=float(t),
+                    end_s=float(t + gap),
+                    node_utilization=tuple(state.utils),
+                    node_power_w=tuple(state.powers.tolist()),
+                    flow_names=(),
+                    flow_bindings=(),
+                    flow_jobs=(),
+                )
+            )
+
+    def flush(self) -> None:
+        """Merge buffered admissions into the live arrays (append order)."""
+        if not self.pend_tids:
+            self.appended = None
+            return
+        self._ensure_universe()
+        new = np.array(self.pend_tids, dtype=np.int64)
+        self.live_tid = np.concatenate([self.live_tid, new])
+        self.live_job = np.concatenate(
+            [self.live_job, np.array(self.pend_jobs, dtype=np.int64)]
+        )
+        self.entry_idx = np.concatenate(
+            [self.entry_idx] + [self._entry_ranges[t] for t in self.pend_tids]
+        )
+        self.entry_counts = np.concatenate(
+            [self.entry_counts, self._tpl_entry_counts[new]]
+        )
+        self.appended = new
+        self.pend_tids = []
+        self.pend_jobs = []
+
+    def state_key(self) -> bytes:
+        return self.live_tid.tobytes()
+
+    def allocate_scalar(self) -> _State:
+        """Scalar-allocator path (interval-recording lanes need bindings)."""
+        capacities = self.pool.capacities()
+        efficiency = self.sim.switch.efficiency(self.n_net)
+        if efficiency < 1.0:
+            for name in capacities:
+                if self.pool.is_network(name):
+                    capacities[name] *= efficiency
+        rates, bindings = max_min_fair_allocation(
+            [self.templates[t].spec.demands for t in self.live_tid.tolist()],
+            capacities,
+        )
+        return self._finish_state(
+            self.state_key(), np.array(rates), bindings=bindings
+        )
+
+    def _finish_state(self, key: bytes, rates, bindings=None) -> _State:
+        """Derive per-node powers from rates, memoize, and return."""
+        cpu_rates = self._cpu_rates(rates)
+        n = self.n_nodes
+        utils = [0.0] * n
+        powers = np.empty(n)
+        memo = self.power_memo
+        specs = self.node_specs
+        for node_id, cpu_rate in enumerate(cpu_rates):
+            hit = memo.get((node_id, cpu_rate))
+            if hit is None:
+                spec = specs[node_id]
+                util = spec.utilization(cpu_rate)
+                watts = spec.power_model.power(util)
+                hit = (util, watts)
+                memo[(node_id, cpu_rate)] = hit
+            utils[node_id] = hit[0]
+            powers[node_id] = hit[1]
+        state = _State(
+            rates=np.asarray(rates),
+            powers=powers,
+            utils=utils,
+            bindings=bindings,
+        )
+        self.state_memo[key] = state
+        return state
+
+    def _cpu_rates(self, rates) -> list[float]:
+        """Per-node CPU demand, accumulated in the scalar engine's order
+        (flow-major, demand-insertion order within each flow)."""
+        idx = self.entry_idx
+        if idx.size == 0:
+            return [0.0] * self.n_nodes
+        mask = self._uni_is_cpu[idx]
+        cpu_idx = idx[mask]
+        if cpu_idx.size == 0:
+            return [0.0] * self.n_nodes
+        rate_rep = np.repeat(np.asarray(rates), self.entry_counts)
+        weights = self._uni_coef[cpu_idx] * rate_rep[mask]
+        return np.bincount(
+            self._uni_res[cpu_idx] >> 2, weights=weights, minlength=self.n_nodes
+        ).tolist()
+
+    # ------------------------------------------------------------ transitions
+    def after_step(self, dt, pre_t, now_t, done_row) -> None:
+        """The scalar loop's tail: record the interval, retire finished
+        flows, release phase barriers."""
+        if self.record and dt > 0:
+            state = self.state
+            tids = self.live_tid.tolist()
+            self.intervals.append(
+                Interval(
+                    start_s=float(pre_t),
+                    end_s=float(pre_t + dt),
+                    node_utilization=tuple(state.utils),
+                    node_power_w=tuple(state.powers.tolist()),
+                    flow_names=tuple(self.templates[t].spec.name for t in tids),
+                    flow_bindings=tuple(state.bindings),
+                    flow_jobs=tuple(
+                        self.jobs[j].name for j in self.live_job.tolist()
+                    ),
+                )
+            )
+        done_k = done_row[: self.live_tid.size]
+        if not done_k.any():
+            return
+        keep = ~done_k
+        finished_jobs = self.live_job[done_k].tolist()
+        self.n_net -= int(self._tpl_has_net[self.live_tid[done_k]].sum())
+        self.live_tid = self.live_tid[keep]
+        self.live_job = self.live_job[keep]
+        self.entry_idx = self.entry_idx[np.repeat(keep, self.entry_counts)]
+        self.entry_counts = self.entry_counts[keep]
+        self.keep = keep
+        self.dirty = True
+        for index in finished_jobs:
+            self.phase_live_count[index] -= 1
+        for index in sorted(set(finished_jobs)):
+            if self.phase_live_count[index] == 0 and self.job_phase[index] is not None:
+                self._advance_job(index, self.job_phase[index] + 1, now_t)
+
+    def rebuild_row(self, rate_m, rem_m, floor_m, power_m) -> None:
+        """Refresh this lane's matrix rows after a live-set change.
+
+        Surviving flows carry their decremented volumes over from the old
+        row (gathered by position); appended flows start at their
+        template volume."""
+        row = self.index
+        k = self.live_tid.size
+        n_new = 0 if self.appended is None else self.appended.size
+        survivors = k - n_new
+        if self.keep is not None:
+            old_rem = rem_m[row, : self.keep.size][self.keep]
+            old_floor = floor_m[row, : self.keep.size][self.keep]
+        else:
+            old_rem = rem_m[row, :survivors].copy()
+            old_floor = floor_m[row, :survivors].copy()
+        rem_m[row] = np.inf
+        rem_m[row, :survivors] = old_rem
+        floor_m[row] = -np.inf
+        floor_m[row, :survivors] = old_floor
+        if n_new:
+            rem_m[row, survivors:k] = self._tpl_volume[self.appended]
+            floor_m[row, survivors:k] = self._tpl_floor[self.appended]
+        rate_m[row] = 0.0
+        rate_m[row, :k] = self.state.rates
+        power_m[row, : self.n_nodes] = self.state.powers
+        self.keep = None
+        self.appended = None
+        self.dirty = False
+
+    def finalize(self, time_arr, e_matrix) -> SimulationResult:
+        node_energy = e_matrix[self.index, : self.n_nodes].tolist()
+        return SimulationResult(
+            makespan_s=float(time_arr[self.index]),
+            energy_j=sum(node_energy),
+            node_energy_j=tuple(node_energy),
+            job_start_s=self.job_start,
+            job_completion_s=self.job_completion,
+            intervals=self.intervals,
+        )
+
+
+def run_multiplexed(
+    runs: Sequence[tuple[ClusterSimulator, Sequence[Job]]],
+    max_events: int = 1_000_000,
+) -> list[SimulationResult]:
+    """Advance every (simulator, jobs) run on one multiplexed event loop.
+
+    Returns one :class:`SimulationResult` per run, in order, each
+    bit-identical to ``simulator.run(jobs, max_events=max_events)`` run
+    serially (see the module docstring for why).  Raises
+    :class:`~repro.errors.SimulationError` as soon as *any* lane would —
+    callers needing per-run error isolation should fall back to serial
+    replay of the offending runs.
+
+    Interval-free runs take the flat-array fast path; runs whose
+    simulator records intervals take a per-lane loop (the scalar
+    allocator supplies their bottleneck bindings).  Lane independence
+    makes the partition invisible in the results.
+    """
+    if not runs:
+        return []
+    template_cache: dict = {}
+    flat: list[tuple[int, _Lane]] = []
+    recorded: list[tuple[int, _Lane]] = []
+    for position, (sim, jobs) in enumerate(runs):
+        group = recorded if sim.record_intervals else flat
+        group.append(
+            (position, _Lane(len(group), sim, jobs, template_cache))
+        )
+    results: list[SimulationResult | None] = [None] * len(runs)
+    if flat:
+        for (position, _), result in zip(
+            flat, _run_flat([lane for _, lane in flat], max_events)
+        ):
+            results[position] = result
+    if recorded:
+        for (position, _), result in zip(
+            recorded, _run_recorded([lane for _, lane in recorded], max_events)
+        ):
+            results[position] = result
+    return results  # type: ignore[return-value]
+
+
+def _run_flat(
+    lanes: list[_Lane], max_events: int
+) -> list[SimulationResult]:
+    """Flat-array event loop for interval-free lanes.
+
+    All per-flow and per-demand-entry state is global (lane-contiguous,
+    scalar live-list order within each lane); every iteration performs a
+    fixed number of whole-array operations plus scalar work proportional
+    to the handful of lanes admitting jobs or flows retiring.
+    """
+    n_lanes = len(lanes)
+    n_nodes_arr = np.array([lane.n_nodes for lane in lanes], dtype=np.int64)
+    node_off = np.zeros(n_lanes + 1, dtype=np.int64)
+    np.cumsum(n_nodes_arr, out=node_off[1:])
+    total_nodes = int(node_off[-1])
+    res_counts = np.array(
+        [lane.base_caps.shape[0] for lane in lanes], dtype=np.int64
+    )
+    res_off = np.zeros(n_lanes + 1, dtype=np.int64)
+    np.cumsum(res_counts, out=res_off[1:])
+    lane_of_res = np.repeat(np.arange(n_lanes), res_counts)
+    #: global resource id = lane block offset + node*4 + kind; node id
+    #: recovery via ``>> 2`` needs every block offset to be a node multiple
+    caps = np.concatenate([lane.base_caps for lane in lanes])
+    sat = _EPSILON * np.maximum(1.0, caps)
+
+    node_energy = np.zeros(total_nodes)
+    node_power = np.zeros(total_nodes)
+    node_util = np.full(total_nodes, np.nan)
+    node_cpu_prev = np.full(total_nodes, np.nan)
+
+    # per-node power-model dispatch: one memo dict per distinct model
+    node_models = []
+    node_memo: list[dict] = []
+    model_dicts: dict[int, dict] = {}
+    util_groups: dict[tuple, list[int]] = {}
+    for lane in lanes:
+        for spec in lane.node_specs:
+            model = spec.power_model
+            memo = model_dicts.get(id(model))
+            if memo is None:
+                memo = model_dicts[id(model)] = {}
+            node_models.append(model)
+            node_memo.append(memo)
+            util_groups.setdefault(
+                (spec.engine_base_utilization, spec.cpu_bandwidth_mbps), []
+            ).append(len(node_models) - 1)
+    u_groups = [
+        (np.array(idxs, dtype=np.int64), base, bw)
+        for (base, bw), idxs in util_groups.items()
+    ]
+
+    for l, lane in enumerate(lanes):
+        lane.eview = node_energy[node_off[l] : node_off[l + 1]]
+
+    nnet = [0] * n_lanes
+    eff = [1.0] * n_lanes
+
+    def update_eff(l: int, n: int) -> None:
+        lane = lanes[l]
+        e = lane.eff_memo.get(n)
+        if e is None:
+            e = lane.eff_memo[n] = lane.sim.switch.efficiency(n)
+        if e != eff[l]:
+            eff[l] = e
+            block = lane.base_caps
+            if e < 1.0:
+                block = block.copy()
+                block[lane.net_mask] *= e
+            caps[res_off[l] : res_off[l + 1]] = block
+            sat[res_off[l] : res_off[l + 1]] = _EPSILON * np.maximum(1.0, block)
+
+    for l in range(n_lanes):
+        update_eff(l, 0)
+
+    # global flow/entry state (lane-contiguous, scalar live-list order)
+    f_lane = _EMPTY_I64
+    f_job = _EMPTY_I64
+    f_net = _EMPTY_BOOL
+    f_rem = _EMPTY_F64
+    f_floor = _EMPTY_F64
+    f_ecount = _EMPTY_I64
+    e_res = _EMPTY_I64
+    e_coef = _EMPTY_F64
+    e_iscpu = _EMPTY_BOOL
+
+    time_arr = np.zeros(n_lanes)
+    events = np.zeros(n_lanes, dtype=np.int64)
+    flow_count = np.zeros(n_lanes, dtype=np.int64)
+    entry_total = np.zeros(n_lanes, dtype=np.int64)
+    next_start = np.full(n_lanes, np.inf)
+    has_pend = np.zeros(n_lanes, dtype=bool)
+    active = np.ones(n_lanes, dtype=bool)
+    attention = np.ones(n_lanes, dtype=bool)
+    lane_ids = np.arange(n_lanes)
+
+    while True:
+        # -- phase A: admissions, idle gaps, completion (scalar loop head)
+        att = np.nonzero(attention & active)[0]
+        for l in att.tolist():
+            lane = lanes[l]
+            t, ev, alive = lane.advance_flat(
+                float(time_arr[l]), int(events[l]), int(flow_count[l]), max_events
+            )
+            time_arr[l] = t
+            events[l] = ev
+            if alive:
+                if lane.pend_tids:
+                    has_pend[l] = True
+            else:
+                active[l] = False
+            next_start[l] = (
+                lane.starts[lane.cursor]
+                if lane.cursor < len(lane.starts)
+                else np.inf
+            )
+        if not active.any():
+            break
+
+        # -- phase B: merge buffered admissions into the global arrays
+        if has_pend.any():
+            adds: list[tuple] = []
+            add_flows = np.zeros(n_lanes, dtype=np.int64)
+            add_entries = np.zeros(n_lanes, dtype=np.int64)
+            for l in np.nonzero(has_pend)[0].tolist():
+                lane = lanes[l]
+                lane._ensure_universe()
+                tids = np.array(lane.pend_tids, dtype=np.int64)
+                entry_sel = np.concatenate(
+                    [lane._entry_ranges[t] for t in lane.pend_tids]
+                )
+                adds.append(
+                    (
+                        l,
+                        np.array(lane.pend_jobs, dtype=np.int64),
+                        lane._tpl_has_net[tids],
+                        lane._tpl_volume[tids],
+                        lane._tpl_floor[tids],
+                        lane._tpl_entry_counts[tids],
+                        lane._uni_res[entry_sel] + res_off[l],
+                        lane._uni_coef[entry_sel],
+                        lane._uni_is_cpu[entry_sel],
+                    )
+                )
+                add_flows[l] = tids.size
+                add_entries[l] = entry_sel.size
+                if lane.n_net:
+                    nnet[l] += lane.n_net
+                    lane.n_net = 0
+                    update_eff(l, nnet[l])
+                lane.pend_tids = []
+                lane.pend_jobs = []
+            old_foff = np.zeros(n_lanes + 1, dtype=np.int64)
+            np.cumsum(flow_count, out=old_foff[1:])
+            old_eoff = np.zeros(n_lanes + 1, dtype=np.int64)
+            np.cumsum(entry_total, out=old_eoff[1:])
+            flow_count += add_flows
+            entry_total += add_entries
+            new_foff = np.zeros(n_lanes + 1, dtype=np.int64)
+            np.cumsum(flow_count, out=new_foff[1:])
+            new_eoff = np.zeros(n_lanes + 1, dtype=np.int64)
+            np.cumsum(entry_total, out=new_eoff[1:])
+            # surviving flows shift right by the admissions of lanes
+            # before them; appended flows land at their lane's tail
+            dst_old_f = np.arange(old_foff[-1]) + np.repeat(
+                new_foff[:-1] - old_foff[:-1], old_foff[1:] - old_foff[:-1]
+            )
+            dst_old_e = np.arange(old_eoff[-1]) + np.repeat(
+                new_eoff[:-1] - old_eoff[:-1], old_eoff[1:] - old_eoff[:-1]
+            )
+            dst_new_f = np.concatenate(
+                [
+                    new_foff[a[0]] + old_foff[a[0] + 1] - old_foff[a[0]]
+                    + np.arange(a[1].size)
+                    for a in adds
+                ]
+            )
+            dst_new_e = np.concatenate(
+                [
+                    new_eoff[a[0]] + old_eoff[a[0] + 1] - old_eoff[a[0]]
+                    + np.arange(a[6].size)
+                    for a in adds
+                ]
+            )
+
+            def _splice(old, pieces, dst_old, dst_new, total, dtype):
+                out = np.empty(total, dtype=dtype)
+                out[dst_old] = old
+                out[dst_new] = np.concatenate(pieces)
+                return out
+
+            nf = int(new_foff[-1])
+            ne = int(new_eoff[-1])
+            f_lane = np.repeat(lane_ids, flow_count)
+            f_job = _splice(f_job, [a[1] for a in adds], dst_old_f, dst_new_f, nf, np.int64)
+            f_net = _splice(f_net, [a[2] for a in adds], dst_old_f, dst_new_f, nf, bool)
+            f_rem = _splice(f_rem, [a[3] for a in adds], dst_old_f, dst_new_f, nf, np.float64)
+            f_floor = _splice(f_floor, [a[4] for a in adds], dst_old_f, dst_new_f, nf, np.float64)
+            f_ecount = _splice(f_ecount, [a[5] for a in adds], dst_old_f, dst_new_f, nf, np.int64)
+            e_res = _splice(e_res, [a[6] for a in adds], dst_old_e, dst_new_e, ne, np.int64)
+            e_coef = _splice(e_coef, [a[7] for a in adds], dst_old_e, dst_new_e, ne, np.float64)
+            e_iscpu = _splice(e_iscpu, [a[8] for a in adds], dst_old_e, dst_new_e, ne, bool)
+            has_pend[:] = False
+
+        # -- event accounting (attention lanes counted in advance_flat)
+        sl = np.nonzero(flow_count)[0]
+        bump = np.zeros(n_lanes, dtype=bool)
+        bump[sl] = True
+        bump &= ~attention
+        events[bump] += 1
+        if (events[sl] > max_events).any():
+            raise SimulationError(
+                f"exceeded {max_events} events; simulation stalled?"
+            )
+        attention[:] = False
+
+        # -- phase C: one max-min fair allocation across every lane
+        n_flows = f_rem.shape[0]
+        entry_flow = np.repeat(np.arange(n_flows, dtype=np.int64), f_ecount)
+        rates = max_min_fair_rates_flat(
+            entry_flow,
+            e_res,
+            e_coef,
+            f_lane,
+            lane_of_res,
+            res_off,
+            caps,
+            sat,
+            n_flows,
+            n_lanes,
+        )
+
+        # -- phase D: per-node CPU rates -> utilization -> watts
+        entry_rate = rates[entry_flow]
+        node_cpu = np.bincount(
+            e_res[e_iscpu] >> 2,
+            weights=e_coef[e_iscpu] * entry_rate[e_iscpu],
+            minlength=total_nodes,
+        )
+        cpu_changed = node_cpu != node_cpu_prev
+        if cpu_changed.any():
+            util = node_util.copy()
+            for idxs, base, bw in u_groups:
+                util[idxs] = np.clip(
+                    base + node_cpu[idxs] / bw, MIN_UTILIZATION, 1.0
+                )
+            changed = util != node_util
+            if changed.any():
+                watt_idx = np.nonzero(changed)[0].tolist()
+                watt_vals = util[changed].tolist()
+                watts = [0.0] * len(watt_idx)
+                for k, (i, u) in enumerate(zip(watt_idx, watt_vals)):
+                    memo = node_memo[i]
+                    w = memo.get(u)
+                    if w is None:
+                        w = memo[u] = node_models[i].power(u)
+                    watts[k] = w
+                node_power[changed] = watts
+                node_util = util
+            node_cpu_prev = node_cpu
+
+        # -- phase E: advance every lane to its own next event
+        flow_off = np.zeros(n_lanes + 1, dtype=np.int64)
+        np.cumsum(flow_count, out=flow_off[1:])
+        ratio = np.divide(
+            f_rem, rates, out=np.full(n_flows, np.inf), where=rates > 0
+        )
+        dt = np.minimum.reduceat(ratio, flow_off[sl])
+        dt = np.minimum(dt, next_start[sl] - time_arr[sl])
+        if (~np.isfinite(dt) | (dt < 0)).any():
+            raise SimulationError(
+                "simulation stalled: live flows have zero rate and no "
+                "pending events"
+            )
+        time_arr[sl] += dt
+        if sl.size == n_lanes:
+            node_energy += node_power * np.repeat(dt, n_nodes_arr)
+        else:
+            lmask = np.zeros(n_lanes, dtype=bool)
+            lmask[sl] = True
+            nmask = np.repeat(lmask, n_nodes_arr)
+            node_energy[nmask] += node_power[nmask] * np.repeat(
+                dt, n_nodes_arr[sl]
+            )
+        f_rem = f_rem - rates * np.repeat(dt, flow_count[sl])
+        done = f_rem <= f_floor
+
+        # -- phase F: retirement and phase barriers (scalar tail)
+        if done.any():
+            ret_lane = f_lane[done]
+            ret_job = f_job[done]
+            net_dec = np.bincount(f_lane[done & f_net], minlength=n_lanes)
+            entry_total = entry_total - np.bincount(
+                ret_lane, weights=f_ecount[done].astype(np.float64),
+                minlength=n_lanes,
+            ).astype(np.int64)
+            flow_count = flow_count - np.bincount(ret_lane, minlength=n_lanes)
+            keep = ~done
+            ekeep = np.repeat(keep, f_ecount)
+            f_lane = f_lane[keep]
+            f_job = f_job[keep]
+            f_net = f_net[keep]
+            f_rem = f_rem[keep]
+            f_floor = f_floor[keep]
+            f_ecount = f_ecount[keep]
+            e_res = e_res[ekeep]
+            e_coef = e_coef[ekeep]
+            e_iscpu = e_iscpu[ekeep]
+            if net_dec.any():
+                for l in np.nonzero(net_dec)[0].tolist():
+                    nnet[l] -= int(net_dec[l])
+                    update_eff(l, nnet[l])
+            by_lane: dict[int, set] = {}
+            for l, j in zip(ret_lane.tolist(), ret_job.tolist()):
+                lanes[l].phase_live_count[j] -= 1
+                jobs_done = by_lane.get(l)
+                if jobs_done is None:
+                    by_lane[l] = jobs_done = set()
+                jobs_done.add(j)
+            for l, jobs_done in by_lane.items():
+                lane = lanes[l]
+                t = float(time_arr[l])
+                for j in sorted(jobs_done):
+                    if (
+                        lane.phase_live_count[j] == 0
+                        and lane.job_phase[j] is not None
+                    ):
+                        lane._advance_job(j, lane.job_phase[j] + 1, t)
+                if lane.pend_tids:
+                    has_pend[l] = True
+
+        attention = active & (
+            ((flow_count == 0) & ~has_pend)
+            | (next_start <= time_arr + _COMPLETION_EPS)
+        )
+
+    return [
+        SimulationResult(
+            makespan_s=float(time_arr[l]),
+            energy_j=sum(energy_slice),
+            node_energy_j=tuple(energy_slice),
+            job_start_s=lane.job_start,
+            job_completion_s=lane.job_completion,
+            intervals=lane.intervals,
+        )
+        for l, lane in enumerate(lanes)
+        for energy_slice in [node_energy[node_off[l] : node_off[l + 1]].tolist()]
+    ]
+
+
+def _run_recorded(
+    lanes: list[_Lane], max_events: int
+) -> list[SimulationResult]:
+    """Per-lane event loop for interval-recording lanes.
+
+    Time/energy stepping is still vectorized across lanes, but each
+    lane's allocation goes through the scalar allocator (intervals need
+    bottleneck bindings) and is memoized per live-template composition.
+    """
+    n_lanes = len(lanes)
+    width = 8
+    n_max = max(lane.n_nodes for lane in lanes)
+    rate_m = np.zeros((n_lanes, width))
+    rem_m = np.full((n_lanes, width), np.inf)
+    floor_m = np.full((n_lanes, width), -np.inf)
+    power_m = np.zeros((n_lanes, n_max))
+    energy_m = np.zeros((n_lanes, n_max))
+    time_arr = np.zeros(n_lanes)
+
+    active = list(lanes)
+    while active:
+        # -- phase A: per-lane admissions and idle gaps (scalar loop head)
+        proceed = []
+        for lane in active:
+            if lane.advance(time_arr, energy_m, max_events):
+                proceed.append(lane)
+        active = proceed
+        if not active:
+            break
+
+        # -- phase B: allocation states (scalar allocator, memoized)
+        for lane in active:
+            if not lane.dirty:
+                continue
+            lane.flush()
+            state = lane.state_memo.get(lane.state_key())
+            lane.state = state if state is not None else lane.allocate_scalar()
+
+        # -- rebuild matrix rows for lanes whose live set changed
+        need = max(lane.live_tid.size for lane in active)
+        if need > width:
+            while width < need:
+                width *= 2
+            rate_m = _grow(rate_m, width, 0.0)
+            rem_m = _grow(rem_m, width, np.inf)
+            floor_m = _grow(floor_m, width, -np.inf)
+        for lane in active:
+            if lane.dirty:
+                lane.rebuild_row(rate_m, rem_m, floor_m, power_m)
+
+        # -- phase C: vectorized step across lanes
+        act = np.array([lane.index for lane in active], dtype=np.int64)
+        sub_rate = rate_m[act]
+        sub_rem = rem_m[act]
+        ratio = np.divide(
+            sub_rem,
+            sub_rate,
+            out=np.full_like(sub_rem, np.inf),
+            where=sub_rate > 0,
+        )
+        dt = ratio.min(axis=1)
+        gaps = np.array(
+            [
+                lane.starts[lane.cursor] - time_arr[lane.index]
+                if lane.cursor < len(lane.order)
+                else np.inf
+                for lane in active
+            ]
+        )
+        dt = np.minimum(dt, gaps)
+        bad = ~np.isfinite(dt) | (dt < 0)
+        if bad.any():
+            raise SimulationError(
+                "simulation stalled: live flows have zero rate and no "
+                "pending events"
+            )
+        pre_t = time_arr[act].copy()
+        energy_m[act] += power_m[act] * dt[:, None]
+        new_rem = sub_rem - sub_rate * dt[:, None]
+        rem_m[act] = new_rem
+        time_arr[act] += dt
+        done = new_rem <= floor_m[act]
+
+        # -- phase D: per-lane retirement and phase barriers (scalar tail)
+        for j, lane in enumerate(active):
+            lane.after_step(dt[j], pre_t[j], time_arr[lane.index], done[j])
+
+    return [lane.finalize(time_arr, energy_m) for lane in lanes]
+
+
+def _grow(matrix: np.ndarray, width: int, fill: float) -> np.ndarray:
+    grown = np.full((matrix.shape[0], width), fill)
+    grown[:, : matrix.shape[1]] = matrix
+    return grown

@@ -243,3 +243,50 @@ class TestTrace:
     def test_mean_utilization(self):
         result = ClusterSimulator(cluster(1)).run([single_flow_job()])
         assert result.mean_utilization(0) == pytest.approx(NODE.utilization(200.0))
+
+
+class TestRegressions:
+    def test_early_admission_does_not_backdate_job_start(self):
+        """A job admitted within the completion epsilon of its arrival must
+        record its true arrival time, not the (earlier) event time —
+        otherwise its queueing delay goes negative."""
+        # 200 MB on a 200 MB/s disk: the first event lands at exactly 1.0 s,
+        # within epsilon of the second job's arrival
+        late = 1.0 + 5e-10
+        rider = Job(
+            name="rider",
+            phases=(Phase("p", (FlowSpec("f2", 100.0, {disk(0): 1.0}),)),),
+            start_time_s=late,
+        )
+        result = ClusterSimulator(cluster(1)).run(
+            [single_flow_job(volume=200.0, name="first"), rider]
+        )
+        assert result.job_start_s["rider"] == late
+        assert result.job_start_s["rider"] - rider.start_time_s >= 0.0
+
+    def test_queueing_delay_never_negative(self):
+        jobs = [
+            Job(
+                name=f"j{i}",
+                phases=(
+                    Phase("p", (FlowSpec(f"f{i}", 150.0, {disk(0): 1.0}),)),
+                ),
+                start_time_s=start,
+            )
+            for i, start in enumerate([0.0, 0.3, 0.7, 0.7, 2.5])
+        ]
+        result = ClusterSimulator(cluster(1)).run(jobs)
+        for job in jobs:
+            assert result.job_start_s[job.name] >= job.start_time_s
+
+    def test_power_at_requires_intervals(self):
+        sim = ClusterSimulator(cluster(1), record_intervals=False)
+        result = sim.run([single_flow_job()])
+        with pytest.raises(SimulationError, match="record_intervals"):
+            result.power_at(0.5)
+
+    def test_mean_utilization_requires_intervals(self):
+        sim = ClusterSimulator(cluster(1), record_intervals=False)
+        result = sim.run([single_flow_job()])
+        with pytest.raises(SimulationError, match="record_intervals"):
+            result.mean_utilization(0)
