@@ -35,6 +35,7 @@ bench-json:
 	$(PYTHON) benchmarks/test_query_fanout.py --json BENCH_search.json
 	$(PYTHON) benchmarks/test_optimize.py --json BENCH_optimize.json
 	$(PYTHON) benchmarks/test_stream.py --json BENCH_stream.json
+	$(PYTHON) benchmarks/test_policy.py --json BENCH_policy.json
 
 # Sweep a 216-point design grid and print its Pareto frontier.
 search-demo:

@@ -17,6 +17,8 @@ The library provides:
   multi-dimensional cluster design grids, plus budgeted adaptive
   optimizers (random / successive-halving / evolutionary) over design
   spaces too large to enumerate;
+* :mod:`repro.policy` — dynamic cluster control (power gating, DVFS
+  ladders) as searchable (design x policy) candidates;
 * :mod:`repro.study` — the fluent :class:`Study` facade, the single entry
   point for design-space studies over any workload;
 * :mod:`repro.analysis` — metrics, normalized curves, ASCII reports;
@@ -73,12 +75,21 @@ from repro.hardware.power import (
     PowerLawModel,
     PowerModel,
 )
+from repro.hardware.powerstate import TRADITIONAL_SERVER, PowerStateModel
 from repro.hardware.presets import (
     BEEFY_L5630,
     CLUSTER_V_NODE,
     LAPTOP_B,
     TABLE2_SYSTEMS,
     WIMPY_LAPTOP_B,
+)
+from repro.policy import (
+    ControlPolicy,
+    DvfsLadderPolicy,
+    PolicyCandidate,
+    PolicyChain,
+    PowerGatePolicy,
+    StaticPolicy,
 )
 from repro.pstore.engine import PStore, PStoreConfig
 from repro.pstore.replication import ReplicatedLayout
@@ -117,7 +128,10 @@ from repro.workloads.suite import SuiteEntry, WorkloadSuite
 # 1.1.0: EvaluatedDesign gained the `latency` field (timed-trace
 # evaluation), so persisted evaluation caches written by 1.0.0 hold
 # records of the old pickle shape; the version stamp invalidates them.
-__version__ = "1.1.0"
+# 1.2.0: dynamic cluster control — EvaluatedDesign gained the `policy`,
+# `gated_node_seconds`, and `energy_saved_j` fields and SimulationResult
+# the matching totals, so older persisted caches are invalidated again.
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -160,6 +174,15 @@ __all__ = [
     "ModelEvaluator",
     "SimulatorEvaluator",
     "CallableEvaluator",
+    # dynamic cluster control
+    "PowerStateModel",
+    "TRADITIONAL_SERVER",
+    "ControlPolicy",
+    "StaticPolicy",
+    "PowerGatePolicy",
+    "DvfsLadderPolicy",
+    "PolicyChain",
+    "PolicyCandidate",
     # adaptive optimization
     "SearchSpace",
     "ChoiceAxis",

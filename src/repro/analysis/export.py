@@ -83,6 +83,11 @@ _SEARCH_FIELDS = [
     "response_p95_s",
     "response_p99_s",
     "response_max_s",
+    # dynamic cluster control (null for bare design candidates): the
+    # policy label and the replay's gating/energy-saving totals
+    "policy",
+    "gated_node_seconds",
+    "energy_saved_j",
 ]
 
 
@@ -122,6 +127,9 @@ def search_to_rows(
                 "response_p95_s": latency.p95_s if latency else None,
                 "response_p99_s": latency.p99_s if latency else None,
                 "response_max_s": latency.max_s if latency else None,
+                "policy": getattr(point, "policy", None),
+                "gated_node_seconds": getattr(point, "gated_node_seconds", None),
+                "energy_saved_j": getattr(point, "energy_saved_j", None),
             }
         )
     return rows

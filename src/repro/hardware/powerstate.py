@@ -33,6 +33,9 @@ class PowerStateModel:
     boot_s: float = 120.0
     #: fraction of the node's peak power drawn during transitions
     transition_power_fraction: float = 0.8
+    #: fraction of the node's *idle* power still drawn while gated (standby
+    #: leakage, BMC, wake-on-LAN circuitry; 0 means a hard power-off)
+    gated_power_fraction: float = 0.1
 
     def __post_init__(self) -> None:
         if self.shutdown_s < 0 or self.boot_s < 0:
@@ -42,6 +45,11 @@ class PowerStateModel:
                 "transition power fraction must be in (0, 1], got "
                 f"{self.transition_power_fraction}"
             )
+        if not 0.0 <= self.gated_power_fraction < 1.0:
+            raise ConfigurationError(
+                "gated power fraction must be in [0, 1), got "
+                f"{self.gated_power_fraction}"
+            )
 
     @property
     def cycle_s(self) -> float:
@@ -50,6 +58,10 @@ class PowerStateModel:
     def cycle_energy_j(self, node: NodeSpec) -> float:
         """Energy of one full off/on cycle of ``node``."""
         return self.cycle_s * self.transition_power_fraction * node.peak_power_w
+
+    def gated_power_w(self, node: NodeSpec) -> float:
+        """Watts ``node`` draws while gated (standby residual)."""
+        return self.gated_power_fraction * node.idle_power_w
 
 
 #: typical enterprise rack server (order-of-minutes boot)

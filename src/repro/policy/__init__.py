@@ -1,0 +1,62 @@
+"""Dynamic cluster control: policies acting on the cluster mid-trace.
+
+The paper's design-space story treats every cluster as static for the
+whole workload; the strongest related results (Schall & Härder's wimpy
+clusters, *Dynamic Physiological Partitioning*) come from powering nodes
+up and down *with* load.  This package supplies the control plane for
+that:
+
+* :mod:`repro.policy.policies` — the :class:`ControlPolicy` protocol
+  (``observe(ClusterState) -> [Action]``) and the shipped policies:
+  :class:`StaticPolicy` (always-on baseline), :class:`PowerGatePolicy`
+  (gate a node role during idle stretches, wake on held arrivals),
+  :class:`DvfsLadderPolicy` (frequency ladder against queue depth), and
+  the composable :class:`PolicyChain`;
+* :mod:`repro.policy.candidate` — :class:`PolicyCandidate`, the
+  (design x policy) pair the search stack evaluates, caches, and ranks
+  like any design point.
+
+The simulator honors policies through
+:meth:`~repro.simulator.engine.ClusterSimulator.run` /
+:meth:`~repro.pstore.simulated.SimulatedPStore.run_trace` (``policy=``,
+``control_interval_s=``); the search surface is
+``SearchSpace(policies=...)`` and the ``policy`` /
+``gated_node_seconds`` / ``energy_saved_j`` fields on
+:class:`~repro.search.evaluators.EvaluatedDesign`.
+"""
+
+from repro.policy.candidate import PolicyCandidate
+from repro.policy.policies import (
+    ACTIVE,
+    GATED,
+    GATING,
+    WAKING,
+    Action,
+    ClusterState,
+    ControlPolicy,
+    DvfsLadderPolicy,
+    GateNode,
+    PolicyChain,
+    PowerGatePolicy,
+    SetFrequency,
+    StaticPolicy,
+    UngateNode,
+)
+
+__all__ = [
+    "ACTIVE",
+    "GATED",
+    "GATING",
+    "WAKING",
+    "Action",
+    "ClusterState",
+    "ControlPolicy",
+    "DvfsLadderPolicy",
+    "GateNode",
+    "PolicyCandidate",
+    "PolicyChain",
+    "PowerGatePolicy",
+    "SetFrequency",
+    "StaticPolicy",
+    "UngateNode",
+]

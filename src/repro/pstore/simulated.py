@@ -20,10 +20,11 @@ the LINEITEM table is repartitioned", Section 4.3.1).
 
 from __future__ import annotations
 
+import math
 from dataclasses import replace
 from typing import Sequence
 
-from repro.errors import PlanError
+from repro.errors import PlanError, SimulationError
 from repro.hardware.cluster import ClusterSpec
 from repro.pstore.plans import JoinPlan
 from repro.simulator.engine import ClusterSimulator, SimulationResult
@@ -219,6 +220,32 @@ def trace_jobs(
     return jobs
 
 
+def _validate_schedule(schedule: Sequence[tuple[JoinPlan, float]]) -> None:
+    """Reject malformed timed schedules before any job is built.
+
+    A trace generator bug (a NaN from a bad rate function, a negative
+    arrival from careless offset arithmetic) should fail loudly at
+    submission, not as a stall or a silently-wrong queueing result deep
+    in the simulator.
+    """
+    for index, entry in enumerate(schedule):
+        _, start = entry
+        try:
+            start = float(start)
+        except (TypeError, ValueError):
+            raise SimulationError(
+                f"arrival time at event {index} is not a number: {start!r}"
+            ) from None
+        if not math.isfinite(start):
+            raise SimulationError(
+                f"non-finite arrival time {start} at event {index}"
+            )
+        if start < 0:
+            raise SimulationError(
+                f"negative arrival time {start} at event {index}"
+            )
+
+
 class SimulatedPStore:
     """Runs join plans on the fluid simulator, one or many at a time."""
 
@@ -268,6 +295,8 @@ class SimulatedPStore:
         plan: JoinPlan,
         start_times_s: Sequence[float],
         partition_weights: Sequence[float] | None = None,
+        policy=None,
+        control_interval_s: float = 1.0,
     ) -> SimulationResult:
         """Execute one copy of the join per arrival time.
 
@@ -281,6 +310,8 @@ class SimulatedPStore:
             [(plan, start) for start in start_times_s],
             partition_weights=partition_weights,
             job_label="join",
+            policy=policy,
+            control_interval_s=control_interval_s,
         )
 
     def run_trace(
@@ -288,6 +319,8 @@ class SimulatedPStore:
         schedule: Sequence[tuple[JoinPlan, float]],
         partition_weights: Sequence[float] | None = None,
         job_label: str | None = None,
+        policy=None,
+        control_interval_s: float = 1.0,
     ) -> SimulationResult:
         """Execute a timed trace of (possibly different) joins.
 
@@ -303,9 +336,17 @@ class SimulatedPStore:
         multiplexing the same trace across many designs must reproduce
         this method's result bit for bit, and
         ``tests/simulator/test_multiplex.py`` holds it to that.
+
+        ``policy`` hands node power states and per-node DVFS to a
+        :class:`~repro.policy.policies.ControlPolicy`, consulted every
+        ``control_interval_s`` simulated seconds (``None`` and static
+        policies replay exactly as before).
         """
+        _validate_schedule(schedule)
         return self._simulator.run(
             trace_jobs(
                 schedule, partition_weights=partition_weights, job_label=job_label
-            )
+            ),
+            policy=policy,
+            control_interval_s=control_interval_s,
         )

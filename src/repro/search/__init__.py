@@ -145,6 +145,28 @@ optimization warms a later exhaustive sweep (and vice versa): on the
 the exhaustive knee with roughly a third of the grid's fresh
 evaluations.
 
+Dynamic control policies
+------------------------
+
+``SearchSpace(..., policies=(...))`` (or
+:meth:`SearchSpace.from_grid(grid, policies=...)
+<repro.search.space.SearchSpace.from_grid>`) crosses every design with a
+:class:`~repro.policy.policies.ControlPolicy`, making **(design x
+policy)** the searched object: each point is a
+:class:`~repro.policy.candidate.PolicyCandidate` that quacks like a
+design candidate (label, namespaced ``key()``, cluster accessors), so
+enumeration, memoization, Pareto ranking, SLA selection, and export all
+apply unchanged.  On timed traces the evaluator replays policy-bearing
+candidates with the policy in charge of node power states and per-node
+DVFS (control ticks every ``control_interval_s``); dynamic policies
+cannot share the event-multiplexed loop — control ticks are
+per-candidate events — so they fall back to serial replay automatically
+while static policies and bare designs stay on the fast path.  Records
+gain ``policy`` / ``gated_node_seconds`` / ``energy_saved_j``
+annotations, and policy keys are disjoint from design-only keys in both
+directions, so a cached design row can never masquerade as a policy run
+(nor vice versa).
+
 >>> from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
 >>> from repro.search import DesignGrid, DesignSpaceSearch
 >>> from repro.workloads.queries import section54_join

@@ -121,6 +121,12 @@ class EvaluatedDesign:
     was scored by replaying an arrival schedule under queueing); on the
     weights-only path it stays ``None`` and records are bit-identical to
     the pre-latency ones.
+
+    The last three fields describe dynamic cluster control: for a
+    :class:`~repro.policy.candidate.PolicyCandidate` they carry the
+    policy's label and the run's gated node-seconds and energy saved
+    versus keeping every node active-idle; for a bare design candidate
+    all three stay ``None``.
     """
 
     candidate: DesignCandidate
@@ -130,6 +136,9 @@ class EvaluatedDesign:
     infeasible_reason: str = ""
     prediction: Prediction | None = None
     latency: LatencyProfile | None = None
+    policy: str | None = None
+    gated_node_seconds: float | None = None
+    energy_saved_j: float | None = None
 
     @property
     def label(self) -> str:
@@ -376,10 +385,20 @@ class SimulatorEvaluator(SearchEvaluator):
         of per-job response times (completion minus arrival — queueing
         delay included).  ``concurrency`` does not apply here: the trace
         itself dictates how many queries are in flight.
+
+        A :class:`~repro.policy.candidate.PolicyCandidate` replays with
+        its control policy in charge of node power states (the ``policy``
+        attribute is the only thing this evaluator inspects beyond the
+        design-candidate surface); anything without one replays exactly
+        as before.
         """
         cluster = candidate.cluster()
         store = SimulatedPStore(cluster, record_intervals=False)
-        result = store.run_trace(self._trace_schedule(cluster, candidate, trace))
+        result = store.run_trace(
+            self._trace_schedule(cluster, candidate, trace),
+            policy=getattr(candidate, "policy", None),
+            control_interval_s=getattr(candidate, "control_interval_s", 1.0),
+        )
         return self._trace_record(candidate, result)
 
     def _trace_schedule(
@@ -407,13 +426,24 @@ class SimulatorEvaluator(SearchEvaluator):
     def _trace_record(
         candidate: DesignCandidate, result: SimulationResult
     ) -> EvaluatedDesign:
-        """One stream simulation -> one timed design record."""
+        """One stream simulation -> one timed design record.
+
+        Policy-bearing candidates get the control annotations (policy
+        label, gated node-seconds, energy saved); for a bare design those
+        fields stay ``None`` and the record is bit-identical to before.
+        """
         responses = [result.response_time_s(name) for name in result.job_completion_s]
+        policy = getattr(candidate, "policy", None)
         return EvaluatedDesign(
             candidate=candidate,
             time_s=result.makespan_s,
             energy_j=result.energy_j,
             latency=LatencyProfile.from_samples(responses),
+            policy=policy.label if policy is not None else None,
+            gated_node_seconds=(
+                result.gated_node_seconds if policy is not None else None
+            ),
+            energy_saved_j=result.energy_saved_j if policy is not None else None,
         )
 
     def evaluate_trace_batch(
@@ -435,10 +465,20 @@ class SimulatorEvaluator(SearchEvaluator):
         fails *mid-simulation* (the multiplexed loop aborts as a whole)
         the batch falls back to serial per-candidate replay so one broken
         design cannot poison its batchmates.
+
+        Candidates carrying a *dynamic* control policy cannot share the
+        multiplexed event loop (control ticks and power-state transitions
+        are per-candidate events); they fall back to serial
+        :func:`evaluate_timed_design` automatically.  Static policies and
+        bare designs stay on the fast path.
         """
         records: list[EvaluatedDesign | None] = [None] * len(candidates)
         runs: list[tuple[int, DesignCandidate, object, list]] = []
         for position, candidate in enumerate(candidates):
+            policy = getattr(candidate, "policy", None)
+            if policy is not None and not policy.is_static:
+                records[position] = evaluate_timed_design(self, candidate, trace)
+                continue
             try:
                 cluster = candidate.cluster()
                 store = SimulatedPStore(cluster, record_intervals=False)
@@ -502,12 +542,14 @@ def _infeasible_record(
     candidate: DesignCandidate, exc: ReproError
 ) -> EvaluatedDesign:
     """The canonical infeasible record for one failed evaluation."""
+    policy = getattr(candidate, "policy", None)
     return EvaluatedDesign(
         candidate=candidate,
         time_s=float("inf"),
         energy_j=float("inf"),
         feasible=False,
         infeasible_reason=str(exc),
+        policy=policy.label if policy is not None else None,
     )
 
 

@@ -162,6 +162,11 @@ class SearchSpace:
     that are Beefy, mapped to a whole node count per sampled size);
     grid-backed spaces instead reproduce the grid's exact per-size split
     enumeration so every sampled candidate is a grid point.
+
+    ``policies`` adds a control-policy dimension: every enumerated,
+    sampled, or mutated design is wrapped into a (design x policy)
+    :class:`~repro.policy.candidate.PolicyCandidate`, making autoscaling
+    thresholds part of the searched object alongside node mix and DVFS.
     """
 
     def __init__(
@@ -176,6 +181,8 @@ class SearchSpace:
         modes: Sequence[ExecutionMode | None] = (None,),
         grid: DesignGrid | None = None,
         candidates: Sequence[DesignCandidate] | None = None,
+        policies=None,
+        control_interval_s: float = 1.0,
     ):
         self.node_pairs = tuple(node_pairs)
         if not self.node_pairs:
@@ -211,19 +218,54 @@ class SearchSpace:
         self._candidates = None if candidates is None else list(candidates)
         if self._candidates is not None and not self._candidates:
             raise ConfigurationError("the candidate list is empty")
+        self.policy_axis = self._policy_axis(policies)
+        if control_interval_s <= 0:
+            raise ConfigurationError(
+                f"control interval must be > 0, got {control_interval_s}"
+            )
+        self.control_interval_s = control_interval_s
         self._enumerated: list[DesignCandidate] | None = None
+
+    @staticmethod
+    def _policy_axis(policies) -> ChoiceAxis | None:
+        """Validated policy dimension (``None`` for design-only spaces)."""
+        if policies is None:
+            return None
+        # Deferred import: repro.policy wraps design candidates from this
+        # package, so a module-level import would be circular.
+        from repro.policy.policies import ControlPolicy
+
+        values = tuple(policies)
+        for policy in values:
+            if not isinstance(policy, ControlPolicy):
+                raise ConfigurationError(f"not a control policy: {policy!r}")
+        labels = [policy.label for policy in values]
+        if len(set(labels)) != len(labels):
+            raise ConfigurationError(f"duplicate policy labels: {labels}")
+        return ChoiceAxis("policy", values)
 
     # -------------------------------------------------------------- builders
     @classmethod
-    def from_grid(cls, grid: DesignGrid) -> "SearchSpace":
+    def from_grid(
+        cls,
+        grid: DesignGrid,
+        policies=None,
+        control_interval_s: float = 1.0,
+    ) -> "SearchSpace":
         """The discrete space of exactly one grid's points.
 
         Samples and mutants are grid points — same values, same
         :meth:`~repro.search.grid.DesignCandidate.key`, same labels — so
         an optimizer run over this space warms the evaluation cache for a
         later exhaustive sweep of ``grid`` (and vice versa).
+
+        ``policies`` crosses the grid with a policy dimension: every
+        point becomes a (design x policy)
+        :class:`~repro.policy.candidate.PolicyCandidate`.
         """
         return cls(
+            policies=policies,
+            control_interval_s=control_interval_s,
             node_pairs=grid.node_pairs,
             cluster_sizes=ChoiceAxis("cluster_size", grid.cluster_sizes),
             frequency_factors=ChoiceAxis("frequency_factor", grid.frequency_factors),
@@ -293,6 +335,18 @@ class SearchSpace:
         return len(self.candidate_list())
 
     def _enumerate(self) -> list[DesignCandidate]:
+        designs = self._enumerate_designs()
+        if self.policy_axis is None:
+            return designs
+        # Design-major order: all policies of one design are adjacent, so
+        # policy effects read off consecutive rows of an exported sweep.
+        return [
+            self._wrap(design, policy)
+            for design in designs
+            for policy in self.policy_axis.values
+        ]
+
+    def _enumerate_designs(self) -> list[DesignCandidate]:
         if self._candidates is not None:
             return list(self._candidates)
         if self._grid is not None:
@@ -341,7 +395,19 @@ class SearchSpace:
 
     # -------------------------------------------------------------- sampling
     def sample(self, rng: random.Random) -> DesignCandidate:
-        """Draw one candidate uniformly along each axis."""
+        """Draw one candidate uniformly along each axis.
+
+        The policy (when the space has that dimension) is drawn *after*
+        the design axes, so design-only spaces consume the rng exactly as
+        before — seeded optimizer runs without policies reproduce their
+        historical trajectories bit for bit.
+        """
+        design = self._sample_design(rng)
+        if self.policy_axis is None:
+            return design
+        return self._wrap(design, self.policy_axis.sample(rng))
+
+    def _sample_design(self, rng: random.Random) -> DesignCandidate:
         if self._candidates is not None:
             return self._candidates[rng.randrange(len(self._candidates))]
         pair_index = rng.randrange(len(self.node_pairs))
@@ -375,10 +441,26 @@ class SearchSpace:
         """
         if self._candidates is not None:
             return self.sample(rng)
-        dimensions = self._mutable_dimensions(candidate)
+        design = getattr(candidate, "design", candidate)
+        dimensions = self._mutable_dimensions(design)
+        if self.policy_axis is not None and self.policy_axis.is_varied:
+            dimensions.append("policy")
         if not dimensions:
-            return candidate
+            return self._rewrap(design, candidate)
         dimension = dimensions[rng.randrange(len(dimensions))]
+        if dimension == "policy":
+            current = getattr(candidate, "policy", None)
+            if current is None:  # a bare design entering a policy space
+                current = self.policy_axis.values[0]
+            return self._wrap(design, self.policy_axis.mutate(current, rng))
+        return self._rewrap(
+            self._mutate_design(design, dimension, rng), candidate
+        )
+
+    def _mutate_design(
+        self, candidate: DesignCandidate, dimension: str, rng: random.Random
+    ) -> DesignCandidate:
+        """Step one design axis of a bare design candidate."""
         pair_index = self._pair_index(candidate)
         size = candidate.num_nodes
         num_beefy = candidate.num_beefy
@@ -506,6 +588,30 @@ class SearchSpace:
             wimpy_frequency_factor=wphi,
         )
 
+    def _wrap(self, design: DesignCandidate, policy):
+        """One (design x policy) candidate at this space's tick interval."""
+        from repro.policy.candidate import PolicyCandidate
+
+        if getattr(design, "policy", None) is not None:
+            raise ConfigurationError(
+                f"candidate {design.label!r} already carries a policy; a "
+                "space with a policy axis needs bare design candidates"
+            )
+        return PolicyCandidate(
+            design=design,
+            policy=policy,
+            control_interval_s=self.control_interval_s,
+        )
+
+    def _rewrap(self, design: DesignCandidate, original):
+        """Re-attach ``original``'s policy after a design-axis move."""
+        if self.policy_axis is None:
+            return design
+        policy = getattr(original, "policy", None)
+        if policy is None:  # a bare design entering a policy space
+            policy = self.policy_axis.values[0]
+        return self._wrap(design, policy)
+
     def with_mode(self, mode: ExecutionMode | None) -> "SearchSpace":
         """This space with one execution mode forced on every candidate."""
         space = SearchSpace(
@@ -520,8 +626,15 @@ class SearchSpace:
             candidates=(
                 None
                 if self._candidates is None
-                else [replace(c, mode=mode) for c in self._candidates]
+                else [
+                    c.with_mode(mode)
+                    if hasattr(c, "with_mode")
+                    else replace(c, mode=mode)
+                    for c in self._candidates
+                ]
             ),
+            policies=None if self.policy_axis is None else self.policy_axis.values,
+            control_interval_s=self.control_interval_s,
         )
         return space
 

@@ -7,6 +7,18 @@ is piecewise constant and energy integrates exactly.
 
 Events are: a job becoming ready (its start time), a flow completing, and a
 phase barrier releasing the next phase of a job.
+
+With a dynamic :class:`~repro.policy.policies.ControlPolicy` attached
+(``run(jobs, policy=...)``), two more event kinds interleave: periodic
+*control ticks*, at which the policy observes the cluster and may gate or
+wake nodes or step their DVFS factors, and *power-state transitions*
+(gating -> gated, waking -> active) completing.  Nodes then carry a power
+state — ``active`` (normal), ``gating``/``waking`` (transitioning: no
+capacity, near-peak transition power), ``gated`` (off: no capacity,
+standby residual power) — and a job whose flows demand an inactive node is
+*held* at arrival until every node it needs is active again, so wake-up
+latency shows up in its response time exactly where a production cluster
+would pay it.
 """
 
 from __future__ import annotations
@@ -22,9 +34,23 @@ from repro.simulator.jobs import FlowSpec, Job
 from repro.simulator.network import IDEAL_SWITCH, SwitchModel
 from repro.simulator.resources import CPU, ResourcePool
 
-__all__ = ["ClusterSimulator", "SimulationResult", "Interval"]
+__all__ = [
+    "ClusterSimulator",
+    "SimulationResult",
+    "Interval",
+    "ACTIVE",
+    "GATING",
+    "GATED",
+    "WAKING",
+]
 
 _COMPLETION_EPS = 1e-9
+
+#: node power states (re-exported by :mod:`repro.policy.policies`)
+ACTIVE = "active"
+GATING = "gating"
+GATED = "gated"
+WAKING = "waking"
 
 
 @dataclass(frozen=True)
@@ -65,6 +91,12 @@ class SimulationResult:
     job_start_s: dict[str, float]
     job_completion_s: dict[str, float]
     intervals: list[Interval] = field(repr=False, default_factory=list)
+    #: total node-seconds spent gated (0.0 unless a dynamic policy ran)
+    gated_node_seconds: float = 0.0
+    #: energy saved vs keeping every node active-idle: the integral of
+    #: (idle power - actual power) over every non-active node interval —
+    #: transition stretches *subtract* (they draw more than idle)
+    energy_saved_j: float = 0.0
 
     def response_time_s(self, job_name: str) -> float:
         """Wall-clock duration of one job."""
@@ -157,9 +189,29 @@ class ClusterSimulator:
         self.record_intervals = record_intervals
 
     # ------------------------------------------------------------------ public
-    def run(self, jobs: Sequence[Job], max_events: int = 1_000_000) -> SimulationResult:
-        """Run ``jobs`` to completion and return timing and energy."""
+    def run(
+        self,
+        jobs: Sequence[Job],
+        max_events: int = 1_000_000,
+        policy=None,
+        control_interval_s: float = 1.0,
+    ) -> SimulationResult:
+        """Run ``jobs`` to completion and return timing and energy.
+
+        ``policy`` optionally puts a
+        :class:`~repro.policy.policies.ControlPolicy` in charge of node
+        power states and per-node DVFS, consulted every
+        ``control_interval_s`` simulated seconds.  ``None`` and *static*
+        policies (``policy.is_static``) take the exact uncontrolled loop
+        below — no tick events, no interval splits — so their results are
+        bit-identical to the historical ones; dynamic policies dispatch
+        to :meth:`_run_controlled`.
+        """
         self._validate(jobs)
+        if policy is not None and not policy.is_static:
+            return self._run_controlled(
+                jobs, policy, control_interval_s, max_events
+            )
 
         time_s = 0.0
         job_phase = [0] * len(jobs)
@@ -254,6 +306,342 @@ class ClusterSimulator:
             intervals=intervals,
         )
 
+    # ------------------------------------------------------- controlled loop
+    def _run_controlled(
+        self,
+        jobs: Sequence[Job],
+        policy,
+        control_interval_s: float,
+        max_events: int,
+    ) -> SimulationResult:
+        """The policy-driven event loop: ticks, power states, held jobs.
+
+        Differences from :meth:`run`: a control tick fires every
+        ``control_interval_s`` (the policy observes and acts); nodes move
+        through the active/gating/gated/waking state machine priced by the
+        policy's :class:`~repro.hardware.powerstate.PowerStateModel`; and
+        an arriving job is *held* — ``job_start_s`` stays its arrival —
+        until every node its flows demand is active, so wake-up latency
+        lands in its response time.  A policy that never wakes the nodes a
+        held job needs stalls the run into the ``max_events`` guard.
+        """
+        # Imported here, not at module top: repro.policy.candidate pulls
+        # in the search package, which transitively imports this module.
+        from repro.policy.policies import (
+            ClusterState,
+            GateNode,
+            SetFrequency,
+            UngateNode,
+        )
+
+        if control_interval_s <= 0:
+            raise SimulationError(
+                f"control interval must be > 0, got {control_interval_s}"
+            )
+        model = policy.power_state_model()
+
+        num_nodes = self.pool.num_nodes
+        roles = tuple(self.pool.node_role(n) for n in self.pool.node_ids())
+        node_state = [ACTIVE] * num_nodes
+        transition_end = [math.inf] * num_nodes
+        factors = [1.0] * num_nodes
+        node_energy = [0.0] * num_nodes
+        gated_seconds = 0.0
+        energy_saved = 0.0
+        intervals: list[Interval] = []
+
+        time_s = 0.0
+        job_phase = [0] * len(jobs)
+        phase_live_count = [0] * len(jobs)
+        job_start: dict[str, float] = {}
+        job_completion: dict[str, float] = {}
+        order = sorted(range(len(jobs)), key=lambda i: jobs[i].start_time_s)
+        cursor = 0
+        live: list[_LiveFlow] = []
+        held: list[int] = []
+        # Trace jobs share phase tuples (template interning), so the
+        # demanded-node set is computed once per distinct template.
+        node_sets: dict[int, frozenset[int]] = {}
+
+        def needed_nodes(index: int) -> frozenset[int]:
+            key = id(jobs[index].phases)
+            nodes = node_sets.get(key)
+            if nodes is None:
+                nodes = node_sets[key] = self._job_nodes(jobs[index])
+            return nodes
+
+        def integrate(rates: Sequence[float], dt: float) -> None:
+            """Per-state energy over one piecewise-constant stretch."""
+            nonlocal gated_seconds, energy_saved
+            if dt <= 0:
+                return
+            cpu_rates = [0.0] * num_nodes
+            for flow, rate in zip(live, rates):
+                for resource, coef in flow.spec.demands.items():
+                    kind, _, node = resource.partition(":")
+                    if kind == CPU:
+                        cpu_rates[int(node)] += coef * rate
+            utils = []
+            powers = []
+            for node_id in range(num_nodes):
+                spec = self.pool.node_spec(node_id)
+                state = node_state[node_id]
+                if state == ACTIVE:
+                    effective = self._dvfs_spec(node_id, factors[node_id])
+                    util = effective.utilization(cpu_rates[node_id])
+                    watts = effective.power_model.power(util)
+                else:
+                    util = 0.0
+                    if state == GATED:
+                        watts = model.gated_power_w(spec)
+                        gated_seconds += dt
+                    else:  # gating or waking
+                        watts = (
+                            model.transition_power_fraction * spec.peak_power_w
+                        )
+                    energy_saved += (spec.idle_power_w - watts) * dt
+                utils.append(util)
+                powers.append(watts)
+                node_energy[node_id] += watts * dt
+            if self.record_intervals:
+                intervals.append(
+                    Interval(
+                        start_s=time_s,
+                        end_s=time_s + dt,
+                        node_utilization=tuple(utils),
+                        node_power_w=tuple(powers),
+                        flow_names=tuple(flow.spec.name for flow in live),
+                        flow_bindings=tuple(bindings),
+                        flow_jobs=tuple(flow.job_name for flow in live),
+                    )
+                )
+
+        last_busy_s = 0.0
+        next_tick_s = control_interval_s
+        bindings: Sequence[str] = []
+        events = 0
+
+        while cursor < len(order) or live or held:
+            events += 1
+            if events > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; simulation stalled?"
+                )
+
+            # Complete power-state transitions that are due.
+            for node_id in range(num_nodes):
+                if transition_end[node_id] <= time_s + _COMPLETION_EPS:
+                    node_state[node_id] = (
+                        GATED if node_state[node_id] == GATING else ACTIVE
+                    )
+                    transition_end[node_id] = math.inf
+
+            # Take arrivals into the held queue; a job "starts" when it
+            # arrives, so time spent waiting for nodes to wake is queueing
+            # delay, not erased.
+            while (
+                cursor < len(order)
+                and jobs[order[cursor]].start_time_s <= time_s + _COMPLETION_EPS
+            ):
+                index = order[cursor]
+                cursor += 1
+                job_start[jobs[index].name] = max(
+                    time_s, jobs[index].start_time_s
+                )
+                held.append(index)
+
+            # Release held jobs whose nodes are all active, arrival order.
+            if held:
+                still_held: list[int] = []
+                for index in held:
+                    if all(
+                        node_state[n] == ACTIVE for n in needed_nodes(index)
+                    ):
+                        self._advance_job(
+                            jobs, index, 0, live, phase_live_count,
+                            job_phase, time_s, job_completion,
+                        )
+                    else:
+                        still_held.append(index)
+                held = still_held
+
+            if live or held:
+                last_busy_s = time_s
+
+            # Control tick: the policy observes and acts.  Invalid actions
+            # (gating a node that live flows demand, waking a node that is
+            # not gated) are dropped — the controller races the cluster.
+            if next_tick_s <= time_s + _COMPLETION_EPS:
+                if live:
+                    rates, bindings = self._allocate(live, factors)
+                else:
+                    rates, bindings = [], []
+                cpu_rates = [0.0] * num_nodes
+                for flow, rate in zip(live, rates):
+                    for resource, coef in flow.spec.demands.items():
+                        kind, _, node = resource.partition(":")
+                        if kind == CPU:
+                            cpu_rates[int(node)] += coef * rate
+                loads = tuple(
+                    min(
+                        1.0,
+                        cpu_rates[n]
+                        / (
+                            self.pool.node_spec(n).cpu_bandwidth_mbps
+                            * factors[n]
+                        ),
+                    )
+                    if node_state[n] == ACTIVE
+                    else 0.0
+                    for n in range(num_nodes)
+                )
+                snapshot = ClusterState(
+                    time_s=time_s,
+                    node_roles=roles,
+                    node_states=tuple(node_state),
+                    node_utilization=loads,
+                    frequency_factors=tuple(factors),
+                    queue_depth=len({flow.job_index for flow in live})
+                    + len(held),
+                    held_jobs=len(held),
+                    idle_s=time_s - last_busy_s,
+                )
+                # A running job owns every node any of its phases demands —
+                # gating one mid-job would strand a later phase.
+                demanded = frozenset(
+                    node
+                    for flow in live
+                    for node in needed_nodes(flow.job_index)
+                )
+                for action in policy.observe(snapshot):
+                    if isinstance(action, GateNode):
+                        node_id = action.node_id
+                        if (
+                            0 <= node_id < num_nodes
+                            and node_state[node_id] == ACTIVE
+                            and node_id not in demanded
+                        ):
+                            if model.shutdown_s > 0:
+                                node_state[node_id] = GATING
+                                transition_end[node_id] = (
+                                    time_s + model.shutdown_s
+                                )
+                            else:
+                                node_state[node_id] = GATED
+                    elif isinstance(action, UngateNode):
+                        node_id = action.node_id
+                        if (
+                            0 <= node_id < num_nodes
+                            and node_state[node_id] == GATED
+                        ):
+                            if model.boot_s > 0:
+                                node_state[node_id] = WAKING
+                                transition_end[node_id] = time_s + model.boot_s
+                            else:
+                                node_state[node_id] = ACTIVE
+                    elif isinstance(action, SetFrequency):
+                        if 0 <= action.node_id < num_nodes:
+                            factors[action.node_id] = action.frequency_factor
+                    else:
+                        raise SimulationError(
+                            f"unknown control action: {action!r}"
+                        )
+                while next_tick_s <= time_s + _COMPLETION_EPS:
+                    next_tick_s += control_interval_s
+
+            pending = [end for end in transition_end if math.isfinite(end)]
+
+            if not live:
+                if cursor >= len(order) and not held:
+                    break  # transitions in flight don't extend the makespan
+                targets = list(pending)
+                if cursor < len(order):
+                    targets.append(jobs[order[cursor]].start_time_s)
+                # Ticks still fire while idle: that is when gating happens
+                # (and how held jobs get their nodes woken).
+                targets.append(next_tick_s)
+                target = min(targets)
+                bindings = []
+                integrate([], target - time_s)
+                time_s = max(time_s, target)
+                continue
+
+            rates, bindings = self._allocate(live, factors)
+
+            dt = math.inf
+            for flow, rate in zip(live, rates):
+                if rate > 0:
+                    dt = min(dt, flow.remaining_mb / rate)
+            if cursor < len(order):
+                dt = min(dt, jobs[order[cursor]].start_time_s - time_s)
+            dt = min(dt, next_tick_s - time_s)
+            for end in pending:
+                dt = min(dt, end - time_s)
+            if not math.isfinite(dt) or dt < 0:
+                raise SimulationError(
+                    "simulation stalled: live flows have zero rate and no "
+                    "pending events"
+                )
+
+            integrate(rates, dt)
+            for flow, rate in zip(live, rates):
+                flow.remaining_mb -= rate * dt
+            time_s += dt
+
+            finished = [flow for flow in live if flow.done]
+            if finished:
+                live = [flow for flow in live if not flow.done]
+                touched_jobs = set()
+                for flow in finished:
+                    phase_live_count[flow.job_index] -= 1
+                    touched_jobs.add(flow.job_index)
+                for index in touched_jobs:
+                    if phase_live_count[index] == 0 and job_phase[index] is not None:
+                        self._advance_job(
+                            jobs, index, job_phase[index] + 1, live,
+                            phase_live_count, job_phase, time_s, job_completion,
+                        )
+
+        return SimulationResult(
+            makespan_s=time_s,
+            energy_j=sum(node_energy),
+            node_energy_j=tuple(node_energy),
+            job_start_s=job_start,
+            job_completion_s=job_completion,
+            intervals=intervals,
+            gated_node_seconds=gated_seconds,
+            energy_saved_j=energy_saved,
+        )
+
+    def _job_nodes(self, job: Job) -> frozenset[int]:
+        """Every node id any flow of ``job`` demands (any resource kind)."""
+        return frozenset(
+            int(resource.partition(":")[2])
+            for phase in job.phases
+            for flow in phase.flows
+            for resource in flow.demands
+        )
+
+    def _dvfs_spec(self, node_id: int, factor: float):
+        """The node's spec at a policy-set DVFS factor (memoized).
+
+        The factor composes with whatever DVFS state the candidate baked
+        into the spec: linear CPU-bandwidth scaling, cubic dynamic power
+        (:func:`~repro.hardware.dvfs.dvfs_variant`).
+        """
+        if factor == 1.0:
+            return self.pool.node_spec(node_id)
+        cache = getattr(self, "_dvfs_cache", None)
+        if cache is None:
+            cache = self._dvfs_cache = {}
+        key = (node_id, factor)
+        spec = cache.get(key)
+        if spec is None:
+            from repro.hardware.dvfs import dvfs_variant
+
+            spec = cache[key] = dvfs_variant(self.pool.node_spec(node_id), factor)
+        return spec
+
     # ----------------------------------------------------------------- helpers
     def _validate(self, jobs: Sequence[Job]) -> None:
         if not jobs:
@@ -314,9 +702,16 @@ class ClusterSimulator:
         phase_live_count[job_index] = count
 
     def _allocate(
-        self, live: Sequence[_LiveFlow]
+        self,
+        live: Sequence[_LiveFlow],
+        factors: Sequence[float] | None = None,
     ) -> tuple[list[float], list[str]]:
         capacities = self.pool.capacities()
+        if factors is not None:
+            # Policy-set DVFS: CPU capacity scales linearly with the factor.
+            for node_id, factor in enumerate(factors):
+                if factor != 1.0:
+                    capacities[f"{CPU}:{node_id}"] *= factor
         network_flows = sum(
             1
             for flow in live

@@ -247,7 +247,14 @@ class Study:
         else:
             candidates = list(self._space)
         if self._mode is not None:
-            candidates = [replace(c, mode=self._mode) for c in candidates]
+            # PolicyCandidates delegate mode through with_mode (mode is a
+            # property there, not a replace()-able field).
+            candidates = [
+                c.with_mode(self._mode)
+                if hasattr(c, "with_mode")
+                else replace(c, mode=self._mode)
+                for c in candidates
+            ]
         return candidates
 
     def search_space(self) -> SearchSpace:

@@ -13,7 +13,13 @@ import numpy as np
 
 from repro.errors import WorkloadError
 
-__all__ = ["periodic_arrivals", "poisson_arrivals", "batched_arrivals"]
+__all__ = [
+    "periodic_arrivals",
+    "poisson_arrivals",
+    "batched_arrivals",
+    "diurnal_arrivals",
+    "bursty_arrivals",
+]
 
 
 def periodic_arrivals(count: int, interval_s: float, start_s: float = 0.0) -> list[float]:
@@ -51,3 +57,109 @@ def batched_arrivals(count: int) -> list[float]:
     if count <= 0:
         raise WorkloadError(f"count must be > 0, got {count}")
     return [0.0] * count
+
+
+def _thinned_arrivals(
+    count: int,
+    max_rate_per_s: float,
+    rate_at,
+    seed: int,
+    start_s: float,
+) -> list[float]:
+    """``count`` arrivals of an inhomogeneous Poisson process by thinning.
+
+    A homogeneous process at ``max_rate_per_s`` proposes candidate times;
+    each is accepted with probability ``rate_at(t) / max_rate_per_s``
+    (Lewis & Shedler), so accepted arrivals follow the time-varying rate
+    exactly.
+    """
+    rng = np.random.default_rng(seed)
+    times: list[float] = []
+    t = start_s
+    while len(times) < count:
+        t += float(rng.exponential(scale=1.0 / max_rate_per_s))
+        if rng.random() * max_rate_per_s <= rate_at(t):
+            times.append(t)
+    return times
+
+
+def diurnal_arrivals(
+    count: int,
+    base_rate_per_s: float,
+    peak_rate_per_s: float,
+    period_s: float,
+    seed: int = 0,
+    start_s: float = 0.0,
+) -> list[float]:
+    """``count`` arrivals whose rate swings sinusoidally over a day.
+
+    The instantaneous rate is
+
+        rate(t) = base + (peak - base) * (1 - cos(2*pi*(t - start)/period)) / 2
+
+    so the stream opens at the trough (``base_rate_per_s``), crests at
+    ``peak_rate_per_s`` half a period in, and repeats — the
+    diurnal load shape that makes powering nodes down during quiet hours
+    worthwhile at all.  ``base_rate_per_s`` may be 0 (completely quiet
+    troughs).
+    """
+    if count <= 0:
+        raise WorkloadError(f"count must be > 0, got {count}")
+    if peak_rate_per_s <= 0:
+        raise WorkloadError(f"peak rate must be > 0, got {peak_rate_per_s}")
+    if base_rate_per_s < 0 or base_rate_per_s > peak_rate_per_s:
+        raise WorkloadError(
+            f"base rate must be in [0, peak], got {base_rate_per_s}"
+        )
+    if period_s <= 0:
+        raise WorkloadError(f"period must be > 0, got {period_s}")
+    if start_s < 0:
+        raise WorkloadError(f"start must be >= 0, got {start_s}")
+
+    swing = peak_rate_per_s - base_rate_per_s
+
+    def rate_at(t: float) -> float:
+        phase = 2.0 * np.pi * (t - start_s) / period_s
+        return base_rate_per_s + swing * (1.0 - np.cos(phase)) / 2.0
+
+    return _thinned_arrivals(count, peak_rate_per_s, rate_at, seed, start_s)
+
+
+def bursty_arrivals(
+    count: int,
+    burst_rate_per_s: float,
+    burst_s: float,
+    idle_s: float,
+    idle_rate_per_s: float = 0.0,
+    seed: int = 0,
+    start_s: float = 0.0,
+) -> list[float]:
+    """``count`` arrivals from alternating on/off phases (burst first).
+
+    The rate is ``burst_rate_per_s`` for ``burst_s`` seconds, then
+    ``idle_rate_per_s`` (0 by default: total silence) for ``idle_s``
+    seconds, repeating — the on/off load shape of batchy ingest jobs and
+    flash crowds.
+    """
+    if count <= 0:
+        raise WorkloadError(f"count must be > 0, got {count}")
+    if burst_rate_per_s <= 0:
+        raise WorkloadError(f"burst rate must be > 0, got {burst_rate_per_s}")
+    if not 0.0 <= idle_rate_per_s <= burst_rate_per_s:
+        raise WorkloadError(
+            f"idle rate must be in [0, burst rate], got {idle_rate_per_s}"
+        )
+    if burst_s <= 0:
+        raise WorkloadError(f"burst duration must be > 0, got {burst_s}")
+    if idle_s < 0:
+        raise WorkloadError(f"idle duration must be >= 0, got {idle_s}")
+    if start_s < 0:
+        raise WorkloadError(f"start must be >= 0, got {start_s}")
+
+    cycle_s = burst_s + idle_s
+
+    def rate_at(t: float) -> float:
+        position = (t - start_s) % cycle_s
+        return burst_rate_per_s if position < burst_s else idle_rate_per_s
+
+    return _thinned_arrivals(count, burst_rate_per_s, rate_at, seed, start_s)

@@ -178,3 +178,89 @@ class TestTimedSearchExport:
         assert float(parsed[0]["response_max_s"]) > 0
         payload = json.loads(search_to_json(timed_result))
         assert payload["points"][0]["response_p99_s"] > 0
+
+    def test_bare_design_rows_have_null_policy_columns(self, timed_result):
+        row = search_to_rows(timed_result)[0]
+        assert row["policy"] is None
+        assert row["gated_node_seconds"] is None
+        assert row["energy_saved_j"] is None
+
+
+class TestPolicySearchExport:
+    """Policy annotations round-trip through rows, CSV, and JSON."""
+
+    @pytest.fixture(scope="class")
+    def policy_result(self):
+        from repro.hardware.powerstate import PowerStateModel
+        from repro.policy import PowerGatePolicy, StaticPolicy
+        from repro.search import SearchSpace, SimulatorEvaluator
+        from repro.workloads.arrivals import diurnal_arrivals
+        from repro.workloads.protocol import TimedTrace
+        from repro.workloads.queries import q3_join
+
+        grid = DesignGrid(
+            node_pairs=((CLUSTER_V_NODE, WIMPY_LAPTOP_B),), cluster_sizes=(4,)
+        )
+        space = SearchSpace.from_grid(
+            grid,
+            policies=(
+                StaticPolicy(),
+                PowerGatePolicy(
+                    min_idle_s=2.0,
+                    transitions=PowerStateModel(
+                        shutdown_s=0.1, boot_s=0.2, gated_power_fraction=0.05
+                    ),
+                ),
+            ),
+            control_interval_s=0.5,
+        )
+        trace = TimedTrace.from_schedule(
+            "diurnal",
+            q3_join(100, 0.05, 0.05),
+            diurnal_arrivals(
+                6, base_rate_per_s=0.01, peak_rate_per_s=1.0,
+                period_s=60.0, seed=3,
+            ),
+        )
+        return DesignSpaceSearch(evaluator=SimulatorEvaluator()).search(
+            space.candidate_list(), trace
+        )
+
+    def test_rows_carry_policy_annotations(self, policy_result):
+        rows = search_to_rows(policy_result)
+        by_label = {row["label"]: row for row in rows}
+        for point in policy_result.points:
+            row = by_label[point.label]
+            assert row["policy"] == point.policy
+            assert row["gated_node_seconds"] == point.gated_node_seconds
+            assert row["energy_saved_j"] == point.energy_saved_j
+        assert {row["policy"] for row in rows} >= {"static"}
+
+    def test_csv_roundtrip_preserves_policy_columns(self, policy_result):
+        parsed = list(
+            csv.DictReader(
+                io.StringIO(frontier_to_csv(policy_result, frontier_only=False))
+            )
+        )
+        assert len(parsed) == len(policy_result.points)
+        by_label = {row["label"]: row for row in parsed}
+        for point in policy_result.points:
+            row = by_label[point.label]
+            assert row["policy"] == point.policy
+            assert float(row["gated_node_seconds"]) == pytest.approx(
+                point.gated_node_seconds
+            )
+            assert float(row["energy_saved_j"]) == pytest.approx(
+                point.energy_saved_j
+            )
+
+    def test_json_payload_includes_policy_fields(self, policy_result):
+        payload = json.loads(search_to_json(policy_result))
+        assert len(payload["points"]) == len(policy_result.points)
+        for entry in payload["points"]:
+            assert "policy" in entry
+            assert "gated_node_seconds" in entry
+            assert "energy_saved_j" in entry
+        statics = [e for e in payload["points"] if e["policy"] == "static"]
+        assert statics
+        assert all(e["gated_node_seconds"] == 0.0 for e in statics)

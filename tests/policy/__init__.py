@@ -1,0 +1,1 @@
+"""Tests for repro.policy: control policies and (design x policy) candidates."""

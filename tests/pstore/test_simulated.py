@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import PlanError
+from repro.errors import PlanError, SimulationError
 from repro.hardware.cluster import ClusterSpec
 from repro.hardware.node import NodeSpec
 from repro.hardware.power import PowerLawModel
@@ -222,5 +222,12 @@ class TestRunTrace:
         store, light, _ = self.store_and_plans()
         with pytest.raises(PlanError):
             store.run_trace([])
-        with pytest.raises(PlanError):
+        # Schedule defects fail upfront, before any job is built.
+        with pytest.raises(SimulationError, match="negative arrival"):
             store.run_trace([(light, -0.5)])
+        with pytest.raises(SimulationError, match="non-finite"):
+            store.run_trace([(light, 0.0), (light, float("nan"))])
+        with pytest.raises(SimulationError, match="non-finite"):
+            store.run_trace([(light, float("inf"))])
+        with pytest.raises(SimulationError, match="not a number"):
+            store.run_trace([(light, None)])

@@ -8,7 +8,7 @@ import repro
 
 
 def test_version():
-    assert repro.__version__ == "1.1.0"
+    assert repro.__version__ == "1.2.0"
 
 
 def test_all_exports_resolve():
@@ -55,6 +55,9 @@ def test_quickstart_docstring_workflow():
         "repro.workloads.skew",
         "repro.workloads.suite",
         "repro.workloads.arrivals",
+        "repro.policy",
+        "repro.policy.policies",
+        "repro.policy.candidate",
         "repro.pstore",
         "repro.pstore.operators",
         "repro.pstore.planner",

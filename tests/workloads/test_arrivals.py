@@ -3,11 +3,17 @@
 import numpy as np
 import pytest
 
-from repro.errors import PlanError, WorkloadError
+from repro.errors import PlanError, SimulationError, WorkloadError
 from repro.hardware.cluster import ClusterSpec
 from repro.hardware.presets import CLUSTER_V_NODE
 from repro.pstore.engine import PStore, PStoreConfig
-from repro.workloads.arrivals import batched_arrivals, periodic_arrivals, poisson_arrivals
+from repro.workloads.arrivals import (
+    batched_arrivals,
+    bursty_arrivals,
+    diurnal_arrivals,
+    periodic_arrivals,
+    poisson_arrivals,
+)
 from repro.workloads.queries import q3_join
 
 
@@ -75,6 +81,115 @@ class TestGenerators:
             batched_arrivals(0)
 
 
+class TestDiurnalArrivals:
+    def test_deterministic_monotone_and_counted(self):
+        a = diurnal_arrivals(50, 0.1, 1.0, period_s=100.0, seed=4)
+        b = diurnal_arrivals(50, 0.1, 1.0, period_s=100.0, seed=4)
+        assert a == b
+        assert len(a) == 50
+        assert all(x < y for x, y in zip(a, a[1:]))
+        assert a[0] >= 0.0
+
+    def test_seed_changes_schedule(self):
+        a = diurnal_arrivals(20, 0.1, 1.0, period_s=100.0, seed=1)
+        b = diurnal_arrivals(20, 0.1, 1.0, period_s=100.0, seed=2)
+        assert a != b
+
+    def test_peaks_draw_more_arrivals_than_troughs(self):
+        """The raised-cosine rate troughs at phase 0 and crests half a
+        period in: counting arrivals landing in trough quarters vs peak
+        quarters of each cycle must show a clear surplus at the peak."""
+        period = 100.0
+        times = diurnal_arrivals(
+            2000, base_rate_per_s=0.05, peak_rate_per_s=2.0,
+            period_s=period, seed=11,
+        )
+        phases = [(t % period) / period for t in times]
+        trough = sum(1 for p in phases if p < 0.25 or p >= 0.75)
+        peak = sum(1 for p in phases if 0.25 <= p < 0.75)
+        assert peak > 3 * trough
+
+    def test_zero_base_rate_empties_the_trough(self):
+        """base=0: the instantaneous rate vanishes at phase 0, so almost
+        nothing lands in the near-trough band."""
+        period = 100.0
+        times = diurnal_arrivals(
+            1000, base_rate_per_s=0.0, peak_rate_per_s=2.0,
+            period_s=period, seed=11,
+        )
+        phases = [(t % period) / period for t in times]
+        near_trough = sum(1 for p in phases if p < 0.05 or p >= 0.95)
+        assert near_trough < 0.03 * len(times)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            diurnal_arrivals(0, 0.1, 1.0, period_s=10.0)
+        with pytest.raises(WorkloadError):
+            diurnal_arrivals(5, 0.1, 0.0, period_s=10.0)
+        with pytest.raises(WorkloadError):
+            diurnal_arrivals(5, 2.0, 1.0, period_s=10.0)  # base > peak
+        with pytest.raises(WorkloadError):
+            diurnal_arrivals(5, -0.1, 1.0, period_s=10.0)
+        with pytest.raises(WorkloadError):
+            diurnal_arrivals(5, 0.1, 1.0, period_s=0.0)
+        with pytest.raises(WorkloadError):
+            diurnal_arrivals(5, 0.1, 1.0, period_s=10.0, start_s=-1.0)
+
+
+class TestBurstyArrivals:
+    def test_deterministic_monotone_and_counted(self):
+        a = bursty_arrivals(40, 1.0, burst_s=10.0, idle_s=30.0, seed=5)
+        b = bursty_arrivals(40, 1.0, burst_s=10.0, idle_s=30.0, seed=5)
+        assert a == b
+        assert len(a) == 40
+        assert all(x < y for x, y in zip(a, a[1:]))
+
+    def test_silent_idle_confines_arrivals_to_burst_windows(self):
+        """idle_rate=0 is an exact property: every accepted arrival falls
+        inside a burst window of its cycle."""
+        burst, idle = 10.0, 40.0
+        times = bursty_arrivals(
+            500, 2.0, burst_s=burst, idle_s=idle, idle_rate_per_s=0.0, seed=7
+        )
+        cycle = burst + idle
+        assert all(t % cycle < burst for t in times)
+
+    def test_nonzero_idle_rate_populates_idle_windows(self):
+        burst, idle = 10.0, 40.0
+        times = bursty_arrivals(
+            2000, 2.0, burst_s=burst, idle_s=idle,
+            idle_rate_per_s=0.1, seed=7,
+        )
+        cycle = burst + idle
+        in_idle = sum(1 for t in times if t % cycle >= burst)
+        assert in_idle > 0
+        # ...but the bursts still dominate despite the idle window being 4x
+        # longer (rate ratio 20:1 vs duration ratio 1:4)
+        assert in_idle < 0.5 * len(times)
+
+    def test_start_offset_shifts_the_windows(self):
+        burst, idle, start = 10.0, 40.0, 25.0
+        times = bursty_arrivals(
+            100, 2.0, burst_s=burst, idle_s=idle, seed=3, start_s=start
+        )
+        cycle = burst + idle
+        assert times[0] >= start
+        assert all((t - start) % cycle < burst for t in times)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            bursty_arrivals(0, 1.0, burst_s=1.0, idle_s=1.0)
+        with pytest.raises(WorkloadError):
+            bursty_arrivals(5, 0.0, burst_s=1.0, idle_s=1.0)
+        with pytest.raises(WorkloadError):
+            bursty_arrivals(5, 1.0, burst_s=0.0, idle_s=1.0)
+        with pytest.raises(WorkloadError):
+            bursty_arrivals(5, 1.0, burst_s=1.0, idle_s=-1.0)
+        with pytest.raises(WorkloadError):
+            # idle rate may not exceed the burst rate (thinning envelope)
+            bursty_arrivals(5, 1.0, burst_s=1.0, idle_s=1.0, idle_rate_per_s=2.0)
+
+
 class TestStreamedExecution:
     @pytest.fixture(scope="class")
     def engine(self):
@@ -116,8 +231,12 @@ class TestStreamedExecution:
         workload = q3_join(100, 0.05, 0.05)
         with pytest.raises(PlanError):
             engine.simulate_stream(workload, [])
-        with pytest.raises(PlanError):
+        # Malformed schedules fail upfront with a SimulationError (the
+        # schedule is validated before any job is built).
+        with pytest.raises(SimulationError, match="negative arrival"):
             engine.simulate_stream(workload, [-1.0])
+        with pytest.raises(SimulationError, match="non-finite"):
+            engine.simulate_stream(workload, [0.0, float("nan")])
 
     def test_stream_accepts_numpy_schedules(self, engine):
         """Regression: ``if not start_times_s`` / ``any(t < 0 ...)`` raised
@@ -131,7 +250,7 @@ class TestStreamedExecution:
         assert result.makespan_s == pytest.approx(listed.makespan_s)
         with pytest.raises(PlanError):
             engine.simulate_stream(workload, np.asarray([]))
-        with pytest.raises(PlanError):
+        with pytest.raises(SimulationError, match="negative arrival"):
             engine.simulate_stream(workload, np.asarray([-1.0, 0.0]))
 
     def test_compressing_arrivals_never_improves_response(self, engine):
