@@ -30,12 +30,14 @@ bench:
 # Search-engine perf trajectory: times old vs new dispatch on the
 # 216-design suite-sweep campaign, plus evaluations-to-knee for the
 # adaptive optimizers, plus the timed-trace (stream queueing) campaign,
-# and records all three for future PRs.
+# the (design x policy) autoscaling campaign, and the degraded-mode
+# (nemesis fault injection) campaign — all recorded for future PRs.
 bench-json:
 	$(PYTHON) benchmarks/test_query_fanout.py --json BENCH_search.json
 	$(PYTHON) benchmarks/test_optimize.py --json BENCH_optimize.json
 	$(PYTHON) benchmarks/test_stream.py --json BENCH_stream.json
 	$(PYTHON) benchmarks/test_policy.py --json BENCH_policy.json
+	$(PYTHON) benchmarks/test_faults.py --json BENCH_faults.json
 
 # Sweep a 216-point design grid and print its Pareto frontier.
 search-demo:

@@ -19,6 +19,9 @@ The library provides:
   spaces too large to enumerate;
 * :mod:`repro.policy` — dynamic cluster control (power gating, DVFS
   ladders) as searchable (design x policy) candidates;
+* :mod:`repro.faults` — nemesis-style fault injection (crashes,
+  stragglers, network degradation) for scoring candidates in degraded
+  mode, not just at full health;
 * :mod:`repro.study` — the fluent :class:`Study` facade, the single entry
   point for design-space studies over any workload;
 * :mod:`repro.analysis` — metrics, normalized curves, ASCII reports;
@@ -65,6 +68,17 @@ from repro.core.model import (
 )
 from repro.core.principles import DesignRecommendation, recommend_design
 from repro.errors import ReproError
+from repro.faults import (
+    FailurePolicy,
+    FaultSchedule,
+    FaultedTrace,
+    NetworkDegrade,
+    NodeCrash,
+    Straggler,
+    correlated_rack_failure,
+    random_crashes,
+    rolling_restart,
+)
 from repro.hardware.cluster import ClusterSpec, NodeGroup
 from repro.hardware.dvfs import dvfs_variant
 from repro.hardware.node import NodeSpec
@@ -131,7 +145,11 @@ from repro.workloads.suite import SuiteEntry, WorkloadSuite
 # 1.2.0: dynamic cluster control — EvaluatedDesign gained the `policy`,
 # `gated_node_seconds`, and `energy_saved_j` fields and SimulationResult
 # the matching totals, so older persisted caches are invalidated again.
-__version__ = "1.2.0"
+# 1.3.0: fault injection — EvaluatedDesign gained `degraded_latency`,
+# `recovery_energy_j`, `retried_jobs`, `dropped_jobs`, and
+# `faults_survived`, and SimulationResult the matching fields; the bump
+# invalidates persisted caches holding the old record shapes.
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -183,6 +201,16 @@ __all__ = [
     "DvfsLadderPolicy",
     "PolicyChain",
     "PolicyCandidate",
+    # fault injection
+    "FaultSchedule",
+    "FaultedTrace",
+    "FailurePolicy",
+    "NodeCrash",
+    "Straggler",
+    "NetworkDegrade",
+    "random_crashes",
+    "rolling_restart",
+    "correlated_rack_failure",
     # adaptive optimization
     "SearchSpace",
     "ChoiceAxis",

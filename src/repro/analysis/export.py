@@ -88,6 +88,16 @@ _SEARCH_FIELDS = [
     "policy",
     "gated_node_seconds",
     "energy_saved_j",
+    # degraded-mode evaluations (null on healthy paths): response times
+    # measured under fault injection, plus the run's failure accounting
+    "degraded_response_mean_s",
+    "degraded_response_p95_s",
+    "degraded_response_p99_s",
+    "degraded_response_max_s",
+    "recovery_energy_j",
+    "retried_jobs",
+    "dropped_jobs",
+    "faults_survived",
 ]
 
 
@@ -107,6 +117,7 @@ def search_to_rows(
     for point in result.points:
         candidate = point.candidate
         latency = point.latency
+        degraded = getattr(point, "degraded_latency", None)
         rows.append(
             {
                 "label": point.label,
@@ -130,6 +141,14 @@ def search_to_rows(
                 "policy": getattr(point, "policy", None),
                 "gated_node_seconds": getattr(point, "gated_node_seconds", None),
                 "energy_saved_j": getattr(point, "energy_saved_j", None),
+                "degraded_response_mean_s": degraded.mean_s if degraded else None,
+                "degraded_response_p95_s": degraded.p95_s if degraded else None,
+                "degraded_response_p99_s": degraded.p99_s if degraded else None,
+                "degraded_response_max_s": degraded.max_s if degraded else None,
+                "recovery_energy_j": getattr(point, "recovery_energy_j", None),
+                "retried_jobs": getattr(point, "retried_jobs", None),
+                "dropped_jobs": getattr(point, "dropped_jobs", None),
+                "faults_survived": getattr(point, "faults_survived", None),
             }
         )
     return rows

@@ -1,0 +1,128 @@
+"""Seeded scenario generators — the nemesis playbook.
+
+Three canonical degraded-mode scenarios, in the spirit of the ydb
+nemesis stress tooling the ROADMAP names: i.i.d. random node crashes
+(the base-rate reality a large wimpy cluster lives in), a staggered
+rolling restart (planned maintenance), and a correlated rack failure
+(one failure domain going dark at once).  Every generator is a pure
+function of its arguments — the same seed always yields the identical
+:class:`~repro.faults.schedule.FaultSchedule`, so scenario evaluations
+are cacheable and campaigns reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.faults.schedule import FaultSchedule, NodeCrash
+
+__all__ = ["correlated_rack_failure", "random_crashes", "rolling_restart"]
+
+
+def random_crashes(
+    num_nodes: int,
+    horizon_s: float,
+    count: int,
+    mttr_s: float,
+    seed: int = 0,
+    name: str = "",
+) -> FaultSchedule:
+    """``count`` independent crash-and-recover events over ``horizon_s``.
+
+    Each event picks a uniform node and a uniform onset in
+    ``[0, horizon_s)``; time-to-recover is ``mttr_s`` stretched uniformly
+    in ``[0.5, 1.5]`` (a fixed MTTR with spread, not an exponential tail,
+    so short scenarios stay representative).  Deterministic per
+    ``seed``.
+    """
+    if num_nodes <= 0:
+        raise ConfigurationError(f"num_nodes must be > 0, got {num_nodes}")
+    if count < 0:
+        raise ConfigurationError(f"count must be >= 0, got {count}")
+    if not (math.isfinite(horizon_s) and horizon_s > 0):
+        raise ConfigurationError(f"horizon_s must be > 0, got {horizon_s}")
+    if not (math.isfinite(mttr_s) and mttr_s > 0):
+        raise ConfigurationError(f"mttr_s must be > 0, got {mttr_s}")
+    rng = random.Random(seed)
+    events = []
+    for _ in range(count):
+        at_s = rng.uniform(0.0, horizon_s)
+        events.append(
+            NodeCrash(
+                node=rng.randrange(num_nodes),
+                at_s=at_s,
+                recover_at_s=at_s + mttr_s * rng.uniform(0.5, 1.5),
+            )
+        )
+    return FaultSchedule(
+        events=tuple(events),
+        name=name or f"random-crashes-{count}x-seed{seed}",
+    )
+
+
+def rolling_restart(
+    num_nodes: int,
+    downtime_s: float,
+    stagger_s: float,
+    start_s: float = 0.0,
+    name: str = "",
+) -> FaultSchedule:
+    """Restart every node in turn: node ``i`` goes down at
+    ``start_s + i * stagger_s`` for ``downtime_s``.
+
+    The planned-maintenance scenario: with ``stagger_s > downtime_s`` at
+    most one node is ever down, so a replicated layout should stay
+    covered throughout.  Fully deterministic — no seed.
+    """
+    if num_nodes <= 0:
+        raise ConfigurationError(f"num_nodes must be > 0, got {num_nodes}")
+    if not (math.isfinite(downtime_s) and downtime_s > 0):
+        raise ConfigurationError(f"downtime_s must be > 0, got {downtime_s}")
+    if not (math.isfinite(stagger_s) and stagger_s > 0):
+        raise ConfigurationError(f"stagger_s must be > 0, got {stagger_s}")
+    if start_s < 0:
+        raise ConfigurationError(f"start_s must be >= 0, got {start_s}")
+    events = tuple(
+        NodeCrash(
+            node=node,
+            at_s=start_s + node * stagger_s,
+            recover_at_s=start_s + node * stagger_s + downtime_s,
+        )
+        for node in range(num_nodes)
+    )
+    return FaultSchedule(events=events, name=name or f"rolling-restart-{num_nodes}")
+
+
+def correlated_rack_failure(
+    nodes: Sequence[int],
+    at_s: float,
+    downtime_s: float = math.inf,
+    name: str = "",
+) -> FaultSchedule:
+    """One failure domain dies at once: every node in ``nodes`` crashes
+    at ``at_s`` and recovers ``downtime_s`` later (``inf`` = never — the
+    rack stays dark and the trace must survive on replicas or die).
+
+    The scenario chained declustering is weakest against: consecutive
+    node indices share replica chains, so a rack of neighbours can take
+    every copy of a partition with it.
+    """
+    nodes = tuple(nodes)
+    if not nodes:
+        raise ConfigurationError("a rack failure needs at least one node")
+    if len(set(nodes)) != len(nodes):
+        raise ConfigurationError(f"duplicate nodes in rack: {nodes}")
+    if not (math.isfinite(at_s) and at_s >= 0):
+        raise ConfigurationError(f"at_s must be >= 0, got {at_s}")
+    if not downtime_s > 0:
+        raise ConfigurationError(f"downtime_s must be > 0, got {downtime_s}")
+    events = tuple(
+        NodeCrash(node=node, at_s=at_s, recover_at_s=at_s + downtime_s)
+        for node in nodes
+    )
+    return FaultSchedule(
+        events=events, name=name or f"rack-failure-{len(nodes)}@{at_s:g}s"
+    )

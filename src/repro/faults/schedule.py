@@ -1,0 +1,340 @@
+"""Typed, seeded fault events and the schedule that injects them.
+
+The beefy-vs-wimpy frontier of the paper assumes every node stays
+healthy for the whole trace — exactly where its conclusion is weakest: a
+wimpy cluster has *more* nodes, so at equal per-node reliability it sees
+more failures, and losing one of many small nodes mid-trace costs
+rebalancing, retries, and SLA misses that a six-node beefy cluster never
+pays.  This module supplies the vocabulary for injecting that reality:
+
+* :class:`NodeCrash` — a node fail-stops at ``at_s`` and (optionally)
+  reboots at ``recover_at_s``.  In the simulator a crash is a *forced
+  gated transition with zero notice*: the node drops to standby residual
+  power instantly, every in-flight job that owns it is killed, and the
+  reboot is priced as a real waking transition
+  (:class:`~repro.hardware.powerstate.PowerStateModel`).
+* :class:`Straggler` — a node runs at a fraction of its speed for a
+  window (thermal throttling, a sick disk, a noisy neighbour).  Applied
+  through the same DVFS factor-scaling the control policies use, so a
+  straggling node is slower *and* cheaper exactly as a down-clocked one
+  would be.
+* :class:`NetworkDegrade` — the interconnect loses a fraction of its
+  capacity for a window (a flapping uplink, cross-traffic).  Scales the
+  network resource capacities in max-min fair allocation, composing with
+  the switch contention model.
+
+A :class:`FaultSchedule` is an ordered, deterministic bag of such events
+with a stable :meth:`~FaultSchedule.cache_key`, so evaluations under a
+scenario are memoized separately from healthy ones.  Node indices are
+interpreted *modulo the cluster size* at injection time (ring semantics,
+matching chained declustering), so one scenario spans a whole campaign
+of heterogeneous cluster sizes: "crash node 3 at noon" means something
+on the 6-node design and the 16-node design alike.
+
+:class:`FailurePolicy` decides what happens to the jobs a crash kills:
+``abort_and_retry`` re-queues them with capped exponential backoff
+(deterministically jittered, so reruns are bit-reproducible), ``drop``
+sheds them — an SLA miss the degraded selectors can refuse to forgive.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.hardware.powerstate import TRADITIONAL_SERVER, PowerStateModel
+
+__all__ = [
+    "FaultSchedule",
+    "FailurePolicy",
+    "NetworkDegrade",
+    "NodeCrash",
+    "Straggler",
+]
+
+
+def _finite(name: str, value: float) -> float:
+    value = float(value)
+    if not math.isfinite(value):
+        raise ConfigurationError(f"{name} must be finite, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Node ``node`` fail-stops at ``at_s``; reboots at ``recover_at_s``.
+
+    ``recover_at_s`` defaults to ``inf``: a fail-stop crash the trace
+    must survive without that node ever returning.
+    """
+
+    node: int
+    at_s: float
+    recover_at_s: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ConfigurationError(f"crash node must be >= 0, got {self.node}")
+        if _finite("crash at_s", self.at_s) < 0:
+            raise ConfigurationError(f"crash at_s must be >= 0, got {self.at_s}")
+        if not self.recover_at_s > self.at_s:
+            raise ConfigurationError(
+                f"recover_at_s ({self.recover_at_s}) must be after "
+                f"at_s ({self.at_s})"
+            )
+
+    def cache_key(self) -> tuple:
+        return ("crash", self.node, self.at_s, self.recover_at_s)
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """Node ``node`` runs at ``slowdown`` x its speed for ``duration_s``.
+
+    ``slowdown`` is the effective frequency multiplier in (0, 1): 0.25
+    means the node delivers a quarter of its CPU bandwidth (and draws the
+    matching down-clocked power) for the window.  Overlapping stragglers
+    on one node compose multiplicatively.
+    """
+
+    node: int
+    at_s: float
+    slowdown: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ConfigurationError(f"straggler node must be >= 0, got {self.node}")
+        if _finite("straggler at_s", self.at_s) < 0:
+            raise ConfigurationError(f"straggler at_s must be >= 0, got {self.at_s}")
+        if not 0.0 < self.slowdown < 1.0:
+            raise ConfigurationError(
+                f"slowdown must be in (0, 1) — the fraction of speed the "
+                f"node retains — got {self.slowdown}"
+            )
+        if _finite("straggler duration_s", self.duration_s) <= 0:
+            raise ConfigurationError(
+                f"straggler duration_s must be > 0, got {self.duration_s}"
+            )
+
+    @property
+    def end_s(self) -> float:
+        return self.at_s + self.duration_s
+
+    def cache_key(self) -> tuple:
+        return ("straggler", self.node, self.at_s, self.slowdown, self.duration_s)
+
+
+@dataclass(frozen=True)
+class NetworkDegrade:
+    """The interconnect keeps ``factor`` of its capacity for a window.
+
+    Applied on top of the switch contention model: every network
+    resource's capacity is multiplied by ``factor`` (in (0, 1)) between
+    ``at_s`` and ``at_s + duration_s``.  Overlapping degrades compose.
+    """
+
+    factor: float
+    at_s: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.factor < 1.0:
+            raise ConfigurationError(
+                f"degrade factor must be in (0, 1) — the fraction of "
+                f"capacity retained — got {self.factor}"
+            )
+        if _finite("degrade at_s", self.at_s) < 0:
+            raise ConfigurationError(f"degrade at_s must be >= 0, got {self.at_s}")
+        if _finite("degrade duration_s", self.duration_s) <= 0:
+            raise ConfigurationError(
+                f"degrade duration_s must be > 0, got {self.duration_s}"
+            )
+
+    @property
+    def end_s(self) -> float:
+        return self.at_s + self.duration_s
+
+    def cache_key(self) -> tuple:
+        return ("net-degrade", self.factor, self.at_s, self.duration_s)
+
+
+#: the event types a :class:`FaultSchedule` accepts
+_EVENT_TYPES = (NodeCrash, Straggler, NetworkDegrade)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered, deterministic set of fault events for one scenario.
+
+    Events sort stably by onset time at construction (simultaneous
+    events keep their given order), mirroring
+    :class:`~repro.workloads.protocol.TimedTrace`.  An empty schedule is
+    the explicit "healthy" scenario: injecting it is guaranteed
+    bit-identical to not injecting anything (property-tested).
+    """
+
+    events: tuple = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        events = tuple(self.events)
+        for event in events:
+            if not isinstance(event, _EVENT_TYPES):
+                raise ConfigurationError(
+                    f"not a fault event: {event!r} (expected NodeCrash, "
+                    "Straggler, or NetworkDegrade)"
+                )
+        object.__setattr__(
+            self, "events", tuple(sorted(events, key=lambda e: e.at_s))
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.events
+
+    @property
+    def span_s(self) -> float:
+        """Onset of the last event (0.0 for an empty schedule)."""
+        return self.events[-1].at_s if self.events else 0.0
+
+    def cache_key(self) -> tuple:
+        return (
+            "faults",
+            self.name,
+            tuple(event.cache_key() for event in self.events),
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __add__(self, other: "FaultSchedule") -> "FaultSchedule":
+        """Merge two scenarios (events re-sort by onset)."""
+        if not isinstance(other, FaultSchedule):
+            return NotImplemented
+        name = self.name or other.name
+        if self.name and other.name and self.name != other.name:
+            name = f"{self.name}+{other.name}"
+        return FaultSchedule(events=self.events + other.events, name=name)
+
+
+def _unit_hash(seed: int, token: str, attempt: int) -> float:
+    """A deterministic pseudo-uniform draw in [0, 1) from (seed, token,
+    attempt) — stable across processes and runs (unlike ``hash()``)."""
+    digest = hashlib.sha256(f"{seed}:{token}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """What the cluster does with the jobs a crash kills.
+
+    ``abort_and_retry`` (the default) loses the killed job's progress and
+    re-queues it after a capped exponential backoff:
+    ``min(backoff_cap_s, backoff_base_s * 2**(attempt-1))``, stretched by
+    a deterministic jitter in ``[0, jitter]`` derived from
+    ``(seed, job name, attempt)`` — the same job retries at the same
+    instants in every run, but distinct jobs do not thundering-herd.
+    After ``max_retries`` kills the job is dropped.  ``drop`` sheds
+    killed jobs immediately.
+
+    ``transitions`` prices the crash itself: a crashed node draws the
+    model's gated residual power while down, and its reboot is a waking
+    transition of ``boot_s`` at transition power — the energy the
+    simulator reports as ``recovery_energy_j``.
+    """
+
+    mode: str = "abort-and-retry"
+    max_retries: int = 3
+    backoff_base_s: float = 1.0
+    backoff_cap_s: float = 60.0
+    jitter: float = 0.0
+    seed: int = 0
+    transitions: PowerStateModel = field(default=TRADITIONAL_SERVER)
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("abort-and-retry", "drop"):
+            raise ConfigurationError(
+                f"failure-policy mode must be 'abort-and-retry' or 'drop', "
+                f"got {self.mode!r}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if _finite("backoff_base_s", self.backoff_base_s) <= 0:
+            raise ConfigurationError(
+                f"backoff_base_s must be > 0, got {self.backoff_base_s}"
+            )
+        if not self.backoff_cap_s >= self.backoff_base_s:
+            raise ConfigurationError(
+                f"backoff_cap_s ({self.backoff_cap_s}) must be >= "
+                f"backoff_base_s ({self.backoff_base_s})"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def abort_and_retry(
+        cls,
+        max_retries: int = 3,
+        backoff_base_s: float = 1.0,
+        backoff_cap_s: float = 60.0,
+        jitter: float = 0.0,
+        seed: int = 0,
+        transitions: PowerStateModel = TRADITIONAL_SERVER,
+    ) -> "FailurePolicy":
+        return cls(
+            mode="abort-and-retry",
+            max_retries=max_retries,
+            backoff_base_s=backoff_base_s,
+            backoff_cap_s=backoff_cap_s,
+            jitter=jitter,
+            seed=seed,
+            transitions=transitions,
+        )
+
+    @classmethod
+    def drop(
+        cls, transitions: PowerStateModel = TRADITIONAL_SERVER
+    ) -> "FailurePolicy":
+        return cls(mode="drop", max_retries=0, transitions=transitions)
+
+    # --------------------------------------------------------------- behaviour
+    @property
+    def retries_enabled(self) -> bool:
+        return self.mode == "abort-and-retry" and self.max_retries > 0
+
+    def backoff_delay_s(self, job_name: str, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
+        delay = min(self.backoff_cap_s, self.backoff_base_s * 2 ** (attempt - 1))
+        if self.jitter:
+            delay *= 1.0 + self.jitter * _unit_hash(self.seed, job_name, attempt)
+        return delay
+
+    def cache_key(self) -> tuple:
+        return (
+            "failure-policy",
+            self.mode,
+            self.max_retries,
+            self.backoff_base_s,
+            self.backoff_cap_s,
+            self.jitter,
+            self.seed,
+            (
+                self.transitions.shutdown_s,
+                self.transitions.boot_s,
+                self.transitions.transition_power_fraction,
+                self.transitions.gated_power_fraction,
+            ),
+        )

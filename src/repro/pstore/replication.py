@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 
 __all__ = ["ReplicatedLayout"]
 
@@ -85,12 +85,54 @@ class ReplicatedLayout:
 
     # -------------------------------------------------------------- coverage
     def covers(self, active_nodes: Sequence[int]) -> bool:
-        """True if the active set holds at least one copy of every partition."""
+        """True if the active set holds at least one copy of every partition.
+
+        Node ids outside ``[0, num_nodes)`` are rejected loudly: an
+        out-of-range id silently covering nothing is exactly the kind of
+        wrong answer a mid-trace failover must not build on.
+        """
+        return not self.uncovered_partitions(active_nodes)
+
+    def uncovered_partitions(self, active_nodes: Sequence[int]) -> tuple[int, ...]:
+        """Partitions with *no* copy on any node of ``active_nodes``.
+
+        Empty means the set covers.  This is the diagnostic behind
+        :meth:`covers` and :meth:`require_coverage`, exposed so failure
+        handling can name what was lost instead of reporting a bare
+        boolean.
+        """
         active = set(active_nodes)
-        return all(
-            any(node in active for node in self.replica_nodes(partition))
+        for node in active:
+            if not 0 <= node < self.num_nodes:
+                raise ConfigurationError(
+                    f"active node {node} out of range [0, {self.num_nodes})"
+                )
+        return tuple(
+            partition
             for partition in range(self.num_partitions)
+            if not any(node in active for node in self.replica_nodes(partition))
         )
+
+    def require_coverage(
+        self, active_nodes: Sequence[int], context: str = ""
+    ) -> None:
+        """Raise :class:`~repro.errors.SimulationError` unless the set covers.
+
+        The mid-trace guard: when failures shrink the surviving node set
+        below coverage, the trace cannot continue — every copy of some
+        partition is on a dead node — and the error names the lost
+        partitions so the scenario is debuggable.
+        """
+        lost = self.uncovered_partitions(active_nodes)
+        if lost:
+            where = f" {context}" if context else ""
+            survivors = sorted(set(active_nodes))
+            raise SimulationError(
+                f"replica coverage lost{where}: partitions {list(lost)} have "
+                f"no copy on the surviving active set {survivors} "
+                f"(replication factor {self.replication_factor} over "
+                f"{self.num_nodes} nodes)"
+            )
 
     def minimum_active_nodes(self) -> int:
         """Smallest active-set size guaranteed to cover all partitions.

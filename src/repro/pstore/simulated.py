@@ -321,6 +321,9 @@ class SimulatedPStore:
         job_label: str | None = None,
         policy=None,
         control_interval_s: float = 1.0,
+        faults=None,
+        failure_policy=None,
+        layout=None,
     ) -> SimulationResult:
         """Execute a timed trace of (possibly different) joins.
 
@@ -341,6 +344,14 @@ class SimulatedPStore:
         :class:`~repro.policy.policies.ControlPolicy`, consulted every
         ``control_interval_s`` simulated seconds (``None`` and static
         policies replay exactly as before).
+
+        ``faults`` injects a
+        :class:`~repro.faults.schedule.FaultSchedule` of crashes,
+        stragglers, and network degradations into the replay, with
+        ``failure_policy`` governing killed queries and ``layout`` (a
+        :class:`~repro.pstore.replication.ReplicatedLayout`) deciding
+        whether a crash is survivable.  An empty or absent schedule
+        replays bit-identically to the healthy path.
         """
         _validate_schedule(schedule)
         return self._simulator.run(
@@ -349,4 +360,7 @@ class SimulatedPStore:
             ),
             policy=policy,
             control_interval_s=control_interval_s,
+            faults=faults,
+            failure_policy=failure_policy,
+            layout=layout,
         )

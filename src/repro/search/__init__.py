@@ -167,6 +167,63 @@ annotations, and policy keys are disjoint from design-only keys in both
 directions, so a cached design row can never masquerade as a policy run
 (nor vice versa).
 
+Evaluating under failure
+------------------------
+
+The frontier above assumes every node stays healthy for the whole
+trace; :mod:`repro.faults` asks what the same candidates cost when they
+do not.  ``trace.with_faults(schedule)`` binds a timed trace to a
+:class:`~repro.faults.schedule.FaultSchedule` of typed, seeded events —
+:class:`~repro.faults.schedule.NodeCrash` (a forced power-gate with
+zero notice, recovery priced as a reboot),
+:class:`~repro.faults.schedule.Straggler` (a DVFS-style frequency
+multiplier), :class:`~repro.faults.schedule.NetworkDegrade` (scaled
+switch capacity) — built by hand or by the canonical generators
+(:func:`~repro.faults.generators.random_crashes`,
+:func:`~repro.faults.generators.rolling_restart`,
+:func:`~repro.faults.generators.correlated_rack_failure`).  The
+resulting :class:`~repro.faults.trace.FaultedTrace` satisfies the timed
+protocol, so ``search(grid, trace.with_faults(...))`` needs no new
+entry point:
+
+1. **routing** — fault events are per-candidate (node indices wrap per
+   cluster size, retry backoffs reschedule per run), so a non-empty
+   schedule routes every candidate down the exact serial replay path —
+   the same rule dynamic policies use.  An *empty* schedule rides the
+   multiplexed fast path and is bit-identical to the bare trace;
+2. **failure semantics** — a crash kills every in-flight job owning the
+   dead node; the :class:`~repro.faults.schedule.FailurePolicy` either
+   re-queues them with capped exponential backoff
+   (:meth:`~repro.faults.schedule.FailurePolicy.abort_and_retry`, the
+   default) or sheds them (:meth:`~repro.faults.schedule.FailurePolicy
+   .drop`).  With ``replication_factor`` set, each candidate gets a
+   chained-declustering :class:`~repro.pstore.replication
+   .ReplicatedLayout` sized to its cluster, and a crash stranding every
+   copy of a partition makes the candidate infeasible-under-fault
+   (a :class:`~repro.errors.SimulationError` naming the lost
+   partitions) instead of silently continuing;
+3. **cache** — ``FaultedTrace.cache_key()`` namespaces the trace's key
+   with the schedule's, the failure policy's, and the replication
+   settings, so degraded rows and healthy rows can never be served for
+   each other;
+4. **score** — degraded records put their response-time profile in
+   ``degraded_latency`` (``latency`` stays ``None``), plus
+   ``recovery_energy_j``, ``retried_jobs``, ``dropped_jobs``, and
+   ``faults_survived``; :meth:`SearchResult.best_under_degraded_sla`
+   (and :func:`~repro.search.pareto.best_under_degraded_sla`) then
+   selects the cheapest design that meets its SLA *while failing*,
+   which is generally not the design
+   :meth:`~SearchResult.best_under_latency_sla` picks at full health —
+   that gap is the resilience premium the study measures.  The
+   ``degraded_response_*_s`` / ``recovery_energy_j`` / ``retried_jobs``
+   / ``dropped_jobs`` / ``faults_survived`` export columns carry all of
+   it to CSV/JSON.
+
+The search engine itself also tolerates faults on the *host* running
+it: a worker-pool chunk that dies (worker crash, unpicklable result)
+is retried once serially in-process, logged to the ``repro.search``
+logger, and counted on :attr:`SearchResult.dispatch_retries`.
+
 >>> from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
 >>> from repro.search import DesignGrid, DesignSpaceSearch
 >>> from repro.workloads.queries import section54_join
@@ -202,6 +259,7 @@ from repro.search.optimize import (
     build_optimizer,
 )
 from repro.search.pareto import (
+    best_under_degraded_sla,
     best_under_latency_sla,
     best_under_sla,
     edp_optimal,
@@ -234,6 +292,7 @@ __all__ = [
     "SimulatorEvaluator",
     "SuccessiveHalving",
     "TrajectoryPoint",
+    "best_under_degraded_sla",
     "best_under_latency_sla",
     "best_under_sla",
     "build_optimizer",

@@ -49,12 +49,13 @@ latency-SLA variant over timed records).
 
 from __future__ import annotations
 
+import logging
 import math
 import multiprocessing
 import pickle
 import sys
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.errors import ConfigurationError, ModelError
 from repro.search.cache import EvaluationCache
@@ -67,6 +68,7 @@ from repro.search.evaluators import (
 )
 from repro.search.grid import DesignCandidate, DesignGrid, unique_labels
 from repro.search.pareto import (
+    best_under_degraded_sla,
     best_under_latency_sla,
     best_under_sla,
     edp_optimal,
@@ -83,6 +85,8 @@ from repro.workloads.protocol import (
 from repro.workloads.queries import JoinWorkloadSpec
 
 __all__ = ["DEFAULT_MIN_DISPATCH_TASKS", "DesignSpaceSearch", "SearchResult"]
+
+_LOG = logging.getLogger("repro.search")
 
 #: Smallest fresh-task batch worth shipping to the worker pool.  Measured
 #: on the ``BENCH_search.json`` container (2 workers, warm pool): one
@@ -110,6 +114,9 @@ class SearchResult:
     #: (timed searches count the arrival events each fresh trace replay
     #: simulated, so the budget currency stays "query executions")
     query_evaluations: int = 0
+    #: worker-pool chunks that died (worker crash, unpicklable result)
+    #: and were recovered by serial in-process retry
+    dispatch_retries: int = 0
 
     def __post_init__(self) -> None:
         self.workload = as_workload(self.workload)
@@ -162,6 +169,23 @@ class SearchResult:
         available on searches of timed workloads.
         """
         return best_under_latency_sla(self.points, max_response_s, metric=metric)
+
+    def best_under_degraded_sla(
+        self,
+        max_response_s: float,
+        metric: str = "max",
+        allow_drops: bool = False,
+    ) -> EvaluatedDesign:
+        """Minimum-energy design meeting the SLA *under fault injection*.
+
+        Reads the ``degraded_latency`` profile a fault-injected trace
+        evaluation (``TimedTrace.with_faults``) attached to each record;
+        designs that shed queries are excluded unless ``allow_drops``.
+        Only available on searches of faulted timed workloads.
+        """
+        return best_under_degraded_sla(
+            self.points, max_response_s, metric=metric, allow_drops=allow_drops
+        )
 
     def point(self, label: str) -> EvaluatedDesign:
         for p in self.points:
@@ -255,6 +279,19 @@ class DesignSpaceSearch:
     Unpicklable evaluators (e.g. lambda-backed :class:`CallableEvaluator`)
     degrade to the serial path automatically; the pickling verdict is
     probed once and cached per engine.
+
+    Parallel dispatch is fault tolerant at chunk granularity: a chunk
+    whose worker dies mid-task or whose result cannot cross the process
+    boundary (unpicklable record, corrupted pipe) is retried **once,
+    serially in-process**, so one bad worker costs latency rather than
+    the whole search.  Retries are logged to the ``repro.search`` logger
+    and counted on :attr:`SearchResult.dispatch_retries`.
+    ``chunk_timeout_s`` optionally bounds how long one chunk may run
+    before it is declared lost and retried — the guard against the
+    ``multiprocessing`` failure mode where a hard-killed worker's task
+    would otherwise be awaited forever (``None``, the default, trusts
+    the pool to report worker death, which it does for ordinary
+    crashes).
     """
 
     def __init__(
@@ -264,6 +301,7 @@ class DesignSpaceSearch:
         chunk_size: int | None = None,
         cache: EvaluationCache | None = None,
         min_dispatch_tasks: int = DEFAULT_MIN_DISPATCH_TASKS,
+        chunk_timeout_s: float | None = None,
     ):
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -273,10 +311,15 @@ class DesignSpaceSearch:
             raise ConfigurationError(
                 f"min_dispatch_tasks must be >= 1, got {min_dispatch_tasks}"
             )
+        if chunk_timeout_s is not None and chunk_timeout_s <= 0:
+            raise ConfigurationError(
+                f"chunk_timeout_s must be > 0, got {chunk_timeout_s}"
+            )
         self.evaluator = evaluator if evaluator is not None else ModelEvaluator()
         self.workers = workers
         self.chunk_size = chunk_size
         self.min_dispatch_tasks = min_dispatch_tasks
+        self.chunk_timeout_s = chunk_timeout_s
         self.cache = cache if cache is not None else EvaluationCache()
         self._pool = None
         self._evaluator_picklable: bool | None = None
@@ -353,8 +396,9 @@ class DesignSpaceSearch:
 
         # ------------------------------------------------------ dispatch
         workers_used = 1
+        dispatch_retries = 0
         if tasks:
-            fresh, workers_used = self._evaluate(
+            fresh, workers_used, dispatch_retries = self._evaluate(
                 [(candidate, query) for _, candidate, query in tasks]
             )
             for (task_key, _, _), record in zip(tasks, fresh):
@@ -387,6 +431,7 @@ class DesignSpaceSearch:
             cache_hits=len(candidates) - evaluations,
             workers_used=workers_used,
             query_evaluations=len(tasks),
+            dispatch_retries=dispatch_retries,
         )
 
     def evaluate_batch(
@@ -469,8 +514,9 @@ class DesignSpaceSearch:
 
         fresh: dict[tuple, EvaluatedDesign] = {}
         workers_used = 1
+        dispatch_retries = 0
         if tasks:
-            records, workers_used = self._evaluate_timed(
+            records, workers_used, dispatch_retries = self._evaluate_timed(
                 workload, [candidate for _, candidate in tasks]
             )
             for (key, _), record in zip(tasks, records):
@@ -490,12 +536,14 @@ class DesignSpaceSearch:
             cache_hits=len(candidates) - len(pending),
             workers_used=workers_used,
             query_evaluations=len(tasks) * num_events,
+            dispatch_retries=dispatch_retries,
         )
 
     def _evaluate_timed(
         self, workload: Workload, candidates: Sequence[DesignCandidate]
-    ) -> tuple[list[EvaluatedDesign], int]:
-        """Replay the trace on uncached candidates; (records, workers).
+    ) -> tuple[list[EvaluatedDesign], int, int]:
+        """Replay the trace on uncached candidates; (records, workers,
+        chunk retries).
 
         The cheap-batch threshold counts *simulated jobs* (candidates x
         arrival events), not candidates: one trace replay costs roughly
@@ -519,15 +567,15 @@ class DesignSpaceSearch:
         if workers <= 1:
             return self.evaluator.evaluate_trace_batch(
                 workload, list(candidates)
-            ), 1
+            ), 1, 0
 
         chunk = self.chunk_size or max(1, math.ceil(len(candidates) / (workers * 4)))
         payloads = [
             (self.evaluator, workload, list(candidates[start : start + chunk]))
             for start in range(0, len(candidates), chunk)
         ]
-        chunked = self._get_pool().map(evaluate_trace_chunk, payloads)
-        return [record for batch in chunked for record in batch], workers
+        chunked, retries = self._map_with_retry(evaluate_trace_chunk, payloads)
+        return [record for batch in chunked for record in batch], workers, retries
 
     # ------------------------------------------------------- pool lifecycle
     def close(self) -> None:
@@ -576,8 +624,8 @@ class DesignSpaceSearch:
     # --------------------------------------------------------------- internal
     def _evaluate(
         self, tasks: Sequence[tuple[DesignCandidate, JoinWorkloadSpec]]
-    ) -> tuple[list[EvaluatedDesign], int]:
-        """Evaluate uncached entry tasks; returns (records, workers used)."""
+    ) -> tuple[list[EvaluatedDesign], int, int]:
+        """Evaluate uncached entry tasks; (records, workers, chunk retries)."""
         workers = min(self.workers, len(tasks))
         if len(tasks) < self.min_dispatch_tasks:
             workers = 1  # cheap batch: IPC would cost more than the work
@@ -589,7 +637,7 @@ class DesignSpaceSearch:
                 records.extend(
                     self.evaluator.evaluate_query_batch(candidate, queries)
                 )
-            return records, 1
+            return records, 1, 0
 
         # Chunk over whole (candidate, queries) batches — never through
         # one — so a candidate's per-batch setup amortization survives
@@ -607,8 +655,43 @@ class DesignSpaceSearch:
                 current, current_tasks = [], 0
         if current:
             payloads.append((self.evaluator, current))
-        chunked = self._get_pool().map(evaluate_entry_chunk, payloads)
-        return [record for batch in chunked for record in batch], workers
+        chunked, retries = self._map_with_retry(evaluate_entry_chunk, payloads)
+        return [record for batch in chunked for record in batch], workers, retries
+
+    def _map_with_retry(
+        self, fn: Callable, payloads: Sequence[tuple]
+    ) -> tuple[list, int]:
+        """``pool.map`` with per-chunk fault tolerance; (results, retries).
+
+        Chunks dispatch individually (``apply_async``) so one dying chunk
+        does not poison the rest of the batch: a chunk whose worker
+        crashes, whose result cannot be unpickled, or — with
+        ``chunk_timeout_s`` set — whose worker went silent past the
+        deadline is recomputed **once, serially in-process**.  The chunk
+        functions already map per-design infeasibility to records, so
+        anything surfacing here is infrastructure failure; if the serial
+        retry fails too, that error propagates — it is not the pool's
+        fault.
+        """
+        handles = [
+            self._get_pool().apply_async(fn, (payload,)) for payload in payloads
+        ]
+        results: list = []
+        retries = 0
+        for payload, handle in zip(payloads, handles):
+            try:
+                results.append(handle.get(self.chunk_timeout_s))
+            except Exception as exc:
+                retries += 1
+                _LOG.warning(
+                    "worker chunk of %d tasks failed (%s: %s); "
+                    "retrying serially in-process",
+                    len(payload[-1]),
+                    type(exc).__name__,
+                    exc,
+                )
+                results.append(fn(payload))
+        return results, retries
 
     def _get_pool(self):
         """The persistent worker pool, created on first parallel dispatch."""

@@ -122,11 +122,24 @@ class EvaluatedDesign:
     weights-only path it stays ``None`` and records are bit-identical to
     the pre-latency ones.
 
-    The last three fields describe dynamic cluster control: for a
+    The ``policy`` / ``gated_node_seconds`` / ``energy_saved_j`` fields
+    describe dynamic cluster control: for a
     :class:`~repro.policy.candidate.PolicyCandidate` they carry the
     policy's label and the run's gated node-seconds and energy saved
     versus keeping every node active-idle; for a bare design candidate
     all three stay ``None``.
+
+    The fault fields are populated only by degraded-mode evaluations
+    (the trace was a :class:`~repro.faults.trace.FaultedTrace` with a
+    non-empty schedule): ``degraded_latency`` holds the response-time
+    profile of the jobs that survived the scenario — ``latency`` stays
+    ``None`` on those records, so healthy and degraded SLA selectors
+    (:func:`~repro.search.pareto.best_under_latency_sla` vs
+    :func:`~repro.search.pareto.best_under_degraded_sla`) can never pick
+    from each other's population — ``recovery_energy_j`` the energy
+    spent rebooting crashed nodes, ``retried_jobs`` / ``dropped_jobs``
+    the failure policy's retry and shed counts, and ``faults_survived``
+    the number of fault onsets the run absorbed.
     """
 
     candidate: DesignCandidate
@@ -139,6 +152,11 @@ class EvaluatedDesign:
     policy: str | None = None
     gated_node_seconds: float | None = None
     energy_saved_j: float | None = None
+    degraded_latency: LatencyProfile | None = None
+    recovery_energy_j: float | None = None
+    retried_jobs: int | None = None
+    dropped_jobs: int | None = None
+    faults_survived: int | None = None
 
     @property
     def label(self) -> str:
@@ -391,9 +409,28 @@ class SimulatorEvaluator(SearchEvaluator):
         attribute is the only thing this evaluator inspects beyond the
         design-candidate surface); anything without one replays exactly
         as before.
+
+        A :class:`~repro.faults.trace.FaultedTrace` with a non-empty
+        schedule replays under fault injection and yields a *degraded*
+        record: the latency profile lands in ``degraded_latency`` (with
+        ``latency`` left ``None``), alongside the recovery energy and
+        retry/drop counts.  A fault schedule the candidate cannot
+        survive (replica coverage lost, or every job dropped) raises
+        :class:`ReproError` like any other infeasibility.
         """
         cluster = candidate.cluster()
         store = SimulatedPStore(cluster, record_intervals=False)
+        faults = getattr(trace, "faults", None)
+        if faults is not None and getattr(faults, "events", ()):
+            result = store.run_trace(
+                self._trace_schedule(cluster, candidate, trace),
+                policy=getattr(candidate, "policy", None),
+                control_interval_s=getattr(candidate, "control_interval_s", 1.0),
+                faults=faults,
+                failure_policy=trace.failure_policy,
+                layout=trace.layout_for(candidate.num_nodes),
+            )
+            return self._degraded_record(candidate, result)
         result = store.run_trace(
             self._trace_schedule(cluster, candidate, trace),
             policy=getattr(candidate, "policy", None),
@@ -446,6 +483,34 @@ class SimulatorEvaluator(SearchEvaluator):
             energy_saved_j=result.energy_saved_j if policy is not None else None,
         )
 
+    @staticmethod
+    def _degraded_record(
+        candidate: DesignCandidate, result: SimulationResult
+    ) -> EvaluatedDesign:
+        """One fault-injected stream simulation -> one degraded record.
+
+        The response-time profile of the surviving jobs goes to
+        ``degraded_latency`` — never ``latency`` — so degraded records
+        are invisible to healthy-SLA selection and vice versa.
+        """
+        responses = [result.response_time_s(name) for name in result.job_completion_s]
+        policy = getattr(candidate, "policy", None)
+        return EvaluatedDesign(
+            candidate=candidate,
+            time_s=result.makespan_s,
+            energy_j=result.energy_j,
+            degraded_latency=LatencyProfile.from_samples(responses),
+            policy=policy.label if policy is not None else None,
+            gated_node_seconds=(
+                result.gated_node_seconds if policy is not None else None
+            ),
+            energy_saved_j=result.energy_saved_j if policy is not None else None,
+            recovery_energy_j=result.recovery_energy_j,
+            retried_jobs=result.retried_jobs,
+            dropped_jobs=result.dropped_jobs,
+            faults_survived=result.faults_survived,
+        )
+
     def evaluate_trace_batch(
         self, trace: TimedTrace, candidates: Sequence[DesignCandidate]
     ) -> list[EvaluatedDesign]:
@@ -471,12 +536,22 @@ class SimulatorEvaluator(SearchEvaluator):
         are per-candidate events); they fall back to serial
         :func:`evaluate_timed_design` automatically.  Static policies and
         bare designs stay on the fast path.
+
+        Fault-injected traces follow the same rule: fault events are
+        per-candidate (node indices wrap per cluster size, retries
+        reschedule per run), so a
+        :class:`~repro.faults.trace.FaultedTrace` with a non-empty
+        schedule routes every candidate down the exact serial path.  An
+        *empty* schedule rides the multiplexed loop and is bit-identical
+        to the bare trace.
         """
+        faults = getattr(trace, "faults", None)
+        faulted = faults is not None and bool(getattr(faults, "events", ()))
         records: list[EvaluatedDesign | None] = [None] * len(candidates)
         runs: list[tuple[int, DesignCandidate, object, list]] = []
         for position, candidate in enumerate(candidates):
             policy = getattr(candidate, "policy", None)
-            if policy is not None and not policy.is_static:
+            if faulted or (policy is not None and not policy.is_static):
                 records[position] = evaluate_timed_design(self, candidate, trace)
                 continue
             try:

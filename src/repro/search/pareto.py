@@ -36,6 +36,7 @@ __all__ = [
     "edp_optimal",
     "best_under_sla",
     "best_under_latency_sla",
+    "best_under_degraded_sla",
 ]
 
 
@@ -157,5 +158,58 @@ def best_under_latency_sla(
         raise ModelError(
             f"no feasible design meets the {max_response_s:g}s {metric} "
             "response-time SLA"
+        )
+    return min(eligible, key=lambda p: (p.energy_j, p.time_s, p.label))
+
+
+def best_under_degraded_sla(
+    points: Sequence[EvaluatedDesign],
+    max_response_s: float,
+    metric: str = "max",
+    allow_drops: bool = False,
+) -> EvaluatedDesign:
+    """Minimum-energy design meeting the SLA *under fault injection*.
+
+    The degraded counterpart of :func:`best_under_latency_sla`: it
+    constrains each point's ``degraded_latency`` — the response-time
+    profile a fault-injected trace evaluation measured — so the two
+    selectors draw from disjoint populations (healthy records carry
+    ``latency``, degraded ones ``degraded_latency``, never both).  A
+    design that only meets its SLA while every node stays healthy fails
+    here; that divergence is the degraded-mode knee this selector
+    exists to find.
+
+    By default a point that *shed* queries (``dropped_jobs > 0``) is not
+    eligible no matter how fast the survivors finished — an SLA met by
+    not running the work is not met.  Pass ``allow_drops=True`` to relax
+    that for drop-policy studies where shedding is the point.  Points
+    whose fault schedule was outright unsurvivable (coverage lost, all
+    jobs dropped) arrive as infeasible records and are excluded with the
+    rest of the infeasible set.  Ties on energy resolve to the faster
+    design, then to label order.
+    """
+    if max_response_s <= 0:
+        raise ModelError(f"latency SLA must be > 0 seconds, got {max_response_s}")
+    profiled = [p for p in _feasible(points) if p.degraded_latency is not None]
+    if not profiled:
+        raise ModelError(
+            "no design point carries a degraded latency profile; evaluate "
+            "a fault-injected trace (TimedTrace.with_faults) through a "
+            "stream-capable evaluator to get response times under failure"
+        )
+    if not allow_drops:
+        profiled = [p for p in profiled if not p.dropped_jobs]
+        if not profiled:
+            raise ModelError(
+                "every degraded design point shed queries; pass "
+                "allow_drops=True to select among them anyway"
+            )
+    eligible = [
+        p for p in profiled if p.degraded_latency.value(metric) <= max_response_s
+    ]
+    if not eligible:
+        raise ModelError(
+            f"no feasible design meets the {max_response_s:g}s {metric} "
+            "response-time SLA under the fault schedule"
         )
     return min(eligible, key=lambda p: (p.energy_j, p.time_s, p.label))

@@ -97,6 +97,18 @@ class SimulationResult:
     #: (idle power - actual power) over every non-active node interval —
     #: transition stretches *subtract* (they draw more than idle)
     energy_saved_j: float = 0.0
+    #: energy drawn by fault-recovery boot transitions (0.0 without faults)
+    recovery_energy_j: float = 0.0
+    #: crash-killed jobs re-queued under abort-and-retry, counted per
+    #: retry attempt (one job killed twice contributes 2)
+    retried_jobs: int = 0
+    #: jobs shed under the failure policy: killed past the retry budget,
+    #: dropped outright, or stranded by a node that never recovers
+    dropped_jobs: int = 0
+    #: names of the shed jobs, in the order they were dropped
+    dropped_job_names: tuple[str, ...] = ()
+    #: fault events whose onset fired before the run completed
+    faults_survived: int = 0
 
     def response_time_s(self, job_name: str) -> float:
         """Wall-clock duration of one job."""
@@ -195,6 +207,9 @@ class ClusterSimulator:
         max_events: int = 1_000_000,
         policy=None,
         control_interval_s: float = 1.0,
+        faults=None,
+        failure_policy=None,
+        layout=None,
     ) -> SimulationResult:
         """Run ``jobs`` to completion and return timing and energy.
 
@@ -206,8 +221,23 @@ class ClusterSimulator:
         below — no tick events, no interval splits — so their results are
         bit-identical to the historical ones; dynamic policies dispatch
         to :meth:`_run_controlled`.
+
+        ``faults`` optionally injects a
+        :class:`~repro.faults.schedule.FaultSchedule` of node crashes,
+        stragglers, and network degrades; ``failure_policy`` governs the
+        jobs a crash kills, and ``layout`` (a
+        :class:`~repro.pstore.replication.ReplicatedLayout`) makes a
+        crash that strands every copy of a partition fatal.  A ``None``
+        or *empty* schedule leaves this method on the exact healthy
+        paths — fault-free runs are bit-identical to historical ones;
+        any scheduled event dispatches to :meth:`_run_faulted`.
         """
         self._validate(jobs)
+        if faults is not None and getattr(faults, "events", ()):
+            return self._run_faulted(
+                jobs, policy, control_interval_s, max_events,
+                faults, failure_policy, layout,
+            )
         if policy is not None and not policy.is_static:
             return self._run_controlled(
                 jobs, policy, control_interval_s, max_events
@@ -613,6 +643,546 @@ class ClusterSimulator:
             energy_saved_j=energy_saved,
         )
 
+    # ---------------------------------------------------------- faulted loop
+    def _run_faulted(
+        self,
+        jobs: Sequence[Job],
+        policy,
+        control_interval_s: float,
+        max_events: int,
+        faults,
+        failure_policy,
+        layout,
+    ) -> SimulationResult:
+        """The nemesis event loop: crashes, stragglers, degraded links.
+
+        A superset of :meth:`_run_controlled` (the control policy is
+        optional here) with a fault timeline interleaved into the event
+        horizon:
+
+        * a :class:`~repro.faults.schedule.NodeCrash` is a *forced gated
+          transition with zero notice* — the node drops to the failure
+          policy's standby residual instantly, and every in-flight job
+          that owns it is killed and re-queued or shed per the
+          :class:`~repro.faults.schedule.FailurePolicy`; recovery is a
+          priced waking transition whose energy lands in
+          ``recovery_energy_j``;
+        * a :class:`~repro.faults.schedule.Straggler` multiplies the
+          node's DVFS factor (capacity *and* power scale, like thermal
+          throttling);
+        * a :class:`~repro.faults.schedule.NetworkDegrade` scales the
+          network capacities in max-min fair allocation.
+
+        Fault node indices wrap modulo the cluster size (ring semantics,
+        matching chained declustering), so one scenario spans designs of
+        different sizes.  With a ``layout``, a crash that strands every
+        copy of a partition raises
+        :class:`~repro.errors.SimulationError` — the candidate is
+        infeasible under the scenario; without one, jobs stranded by a
+        never-recovering node are dropped and the trace continues.
+        """
+        import heapq
+
+        from repro.faults.schedule import (
+            FailurePolicy,
+            NetworkDegrade,
+            NodeCrash,
+            Straggler,
+        )
+        from repro.policy.policies import (
+            ClusterState,
+            GateNode,
+            SetFrequency,
+            UngateNode,
+        )
+
+        if failure_policy is None:
+            failure_policy = FailurePolicy()
+        dynamic = policy is not None and not policy.is_static
+        if dynamic and control_interval_s <= 0:
+            raise SimulationError(
+                f"control interval must be > 0, got {control_interval_s}"
+            )
+        model = policy.power_state_model() if dynamic else None
+        fault_model = failure_policy.transitions
+
+        num_nodes = self.pool.num_nodes
+        roles = tuple(self.pool.node_role(n) for n in self.pool.node_ids())
+        node_state = [ACTIVE] * num_nodes
+        transition_end = [math.inf] * num_nodes
+        factors = [1.0] * num_nodes
+        node_energy = [0.0] * num_nodes
+        gated_seconds = 0.0
+        energy_saved = 0.0
+        recovery_energy = 0.0
+        intervals: list[Interval] = []
+
+        # The fault timeline: every event contributes its onset (and,
+        # where applicable, its offset/recovery) to the event horizon.
+        timeline: list[tuple[float, str, object]] = []
+        for event in faults.events:
+            if isinstance(event, NodeCrash):
+                timeline.append((event.at_s, "crash", event))
+                if math.isfinite(event.recover_at_s):
+                    timeline.append((event.recover_at_s, "recover", event))
+            elif isinstance(event, Straggler):
+                timeline.append((event.at_s, "straggle-on", event))
+                timeline.append((event.end_s, "straggle-off", event))
+            elif isinstance(event, NetworkDegrade):
+                timeline.append((event.at_s, "net-on", event))
+                timeline.append((event.end_s, "net-off", event))
+            else:
+                raise SimulationError(f"unknown fault event: {event!r}")
+        timeline.sort(key=lambda entry: entry[0])
+        fault_cursor = 0
+
+        crashed: dict[int, float] = {}  # node -> scheduled recovery (inf = never)
+        fault_waking: set[int] = set()
+        stragglers: dict[int, list] = {}
+        fault_mult = [1.0] * num_nodes
+        degrades: list = []
+        net_mult = 1.0
+        survived = 0
+        retried = 0
+        dropped: list[str] = []
+        attempts = [0] * len(jobs)
+        retry_ready: list[tuple[float, int]] = []
+
+        time_s = 0.0
+        job_phase = [0] * len(jobs)
+        phase_live_count = [0] * len(jobs)
+        job_start: dict[str, float] = {}
+        job_completion: dict[str, float] = {}
+        order = sorted(range(len(jobs)), key=lambda i: jobs[i].start_time_s)
+        cursor = 0
+        live: list[_LiveFlow] = []
+        held: list[int] = []
+        node_sets: dict[int, frozenset[int]] = {}
+
+        def needed_nodes(index: int) -> frozenset[int]:
+            key = id(jobs[index].phases)
+            nodes = node_sets.get(key)
+            if nodes is None:
+                nodes = node_sets[key] = self._job_nodes(jobs[index])
+            return nodes
+
+        def drop_job(index: int) -> None:
+            dropped.append(jobs[index].name)
+            job_phase[index] = None
+            phase_live_count[index] = 0
+
+        def integrate(rates: Sequence[float], dt: float) -> None:
+            """Per-state energy; crashes and recoveries price separately."""
+            nonlocal gated_seconds, energy_saved, recovery_energy
+            if dt <= 0:
+                return
+            cpu_rates = [0.0] * num_nodes
+            for flow, rate in zip(live, rates):
+                for resource, coef in flow.spec.demands.items():
+                    kind, _, node = resource.partition(":")
+                    if kind == CPU:
+                        cpu_rates[int(node)] += coef * rate
+            utils = []
+            powers = []
+            for node_id in range(num_nodes):
+                spec = self.pool.node_spec(node_id)
+                state = node_state[node_id]
+                if state == ACTIVE:
+                    effective = self._dvfs_spec(
+                        node_id, factors[node_id] * fault_mult[node_id]
+                    )
+                    util = effective.utilization(cpu_rates[node_id])
+                    watts = effective.power_model.power(util)
+                else:
+                    util = 0.0
+                    if node_id in crashed:
+                        # A crashed node draws the failure model's standby
+                        # residual.  No savings credit: a crash is not a
+                        # policy decision.
+                        watts = fault_model.gated_power_w(spec)
+                    elif node_id in fault_waking:
+                        watts = (
+                            fault_model.transition_power_fraction
+                            * spec.peak_power_w
+                        )
+                        recovery_energy += watts * dt
+                    elif state == GATED:
+                        watts = model.gated_power_w(spec)
+                        gated_seconds += dt
+                        energy_saved += (spec.idle_power_w - watts) * dt
+                    else:  # policy-driven gating or waking
+                        watts = (
+                            model.transition_power_fraction * spec.peak_power_w
+                        )
+                        energy_saved += (spec.idle_power_w - watts) * dt
+                utils.append(util)
+                powers.append(watts)
+                node_energy[node_id] += watts * dt
+            if self.record_intervals:
+                intervals.append(
+                    Interval(
+                        start_s=time_s,
+                        end_s=time_s + dt,
+                        node_utilization=tuple(utils),
+                        node_power_w=tuple(powers),
+                        flow_names=tuple(flow.spec.name for flow in live),
+                        flow_bindings=tuple(bindings),
+                        flow_jobs=tuple(flow.job_name for flow in live),
+                    )
+                )
+
+        def apply_due_faults() -> None:
+            nonlocal fault_cursor, net_mult, survived, retried, live
+            while (
+                fault_cursor < len(timeline)
+                and timeline[fault_cursor][0] <= time_s + _COMPLETION_EPS
+            ):
+                _, kind, event = timeline[fault_cursor]
+                fault_cursor += 1
+                if kind == "crash":
+                    survived += 1
+                    node = event.node % num_nodes
+                    prior = crashed.get(node)
+                    crashed[node] = (
+                        event.recover_at_s
+                        if prior is None
+                        else max(prior, event.recover_at_s)
+                    )
+                    # Forced gated transition with zero notice: whatever
+                    # state the node was in, it is off *now*.
+                    node_state[node] = GATED
+                    transition_end[node] = math.inf
+                    fault_waking.discard(node)
+                    if layout is not None:
+                        up = [n for n in range(num_nodes) if n not in crashed]
+                        layout.require_coverage(
+                            up,
+                            context=(
+                                f"after node {node} crashed at "
+                                f"t={time_s:g}s"
+                            ),
+                        )
+                    # Kill every in-flight job that owns the dead node —
+                    # a running job owns every node any of its phases
+                    # demands (the barrier rule).
+                    victims = sorted(
+                        {
+                            flow.job_index
+                            for flow in live
+                            if node in needed_nodes(flow.job_index)
+                        }
+                    )
+                    if victims:
+                        victim_set = set(victims)
+                        live = [
+                            flow
+                            for flow in live
+                            if flow.job_index not in victim_set
+                        ]
+                        for index in victims:
+                            phase_live_count[index] = 0
+                            job_phase[index] = 0  # progress is lost
+                            if (
+                                failure_policy.retries_enabled
+                                and attempts[index] < failure_policy.max_retries
+                            ):
+                                attempts[index] += 1
+                                retried += 1
+                                heapq.heappush(
+                                    retry_ready,
+                                    (
+                                        time_s
+                                        + failure_policy.backoff_delay_s(
+                                            jobs[index].name, attempts[index]
+                                        ),
+                                        index,
+                                    ),
+                                )
+                            else:
+                                drop_job(index)
+                elif kind == "recover":
+                    node = event.node % num_nodes
+                    until = crashed.get(node)
+                    # A later crash may have extended the outage; only the
+                    # recovery that reaches the scheduled time revives.
+                    if until is not None and until <= time_s + _COMPLETION_EPS:
+                        del crashed[node]
+                        if fault_model.boot_s > 0:
+                            node_state[node] = WAKING
+                            transition_end[node] = time_s + fault_model.boot_s
+                            fault_waking.add(node)
+                        else:
+                            node_state[node] = ACTIVE
+                            transition_end[node] = math.inf
+                elif kind == "straggle-on":
+                    survived += 1
+                    node = event.node % num_nodes
+                    stragglers.setdefault(node, []).append(event)
+                    fault_mult[node] = math.prod(
+                        s.slowdown for s in stragglers[node]
+                    )
+                elif kind == "straggle-off":
+                    node = event.node % num_nodes
+                    group = stragglers.get(node, [])
+                    if event in group:
+                        group.remove(event)
+                    fault_mult[node] = (
+                        math.prod(s.slowdown for s in group) if group else 1.0
+                    )
+                elif kind == "net-on":
+                    survived += 1
+                    degrades.append(event)
+                    net_mult = math.prod(d.factor for d in degrades)
+                else:  # net-off
+                    if event in degrades:
+                        degrades.remove(event)
+                    net_mult = (
+                        math.prod(d.factor for d in degrades)
+                        if degrades
+                        else 1.0
+                    )
+
+        last_busy_s = 0.0
+        next_tick_s = control_interval_s if dynamic else math.inf
+        bindings: Sequence[str] = []
+        events = 0
+
+        while cursor < len(order) or live or held or retry_ready:
+            events += 1
+            if events > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; simulation stalled?"
+                )
+
+            # Complete power-state transitions that are due.
+            for node_id in range(num_nodes):
+                if transition_end[node_id] <= time_s + _COMPLETION_EPS:
+                    node_state[node_id] = (
+                        GATED if node_state[node_id] == GATING else ACTIVE
+                    )
+                    transition_end[node_id] = math.inf
+                    fault_waking.discard(node_id)
+
+            apply_due_faults()
+
+            # Retry backoffs that have elapsed re-enter the queue.
+            while (
+                retry_ready
+                and retry_ready[0][0] <= time_s + _COMPLETION_EPS
+            ):
+                _, index = heapq.heappop(retry_ready)
+                held.append(index)
+
+            # Arrivals join the held queue; ``job_start_s`` stays the
+            # arrival, so outage waits land in response times.
+            while (
+                cursor < len(order)
+                and jobs[order[cursor]].start_time_s <= time_s + _COMPLETION_EPS
+            ):
+                index = order[cursor]
+                cursor += 1
+                job_start[jobs[index].name] = max(
+                    time_s, jobs[index].start_time_s
+                )
+                held.append(index)
+
+            # Resolve held jobs: stranded ones (a needed node is down and
+            # will never return) are shed; ready ones admit, arrival order.
+            if held:
+                still_held: list[int] = []
+                for index in held:
+                    needed = needed_nodes(index)
+                    if any(crashed.get(n) == math.inf for n in needed):
+                        drop_job(index)
+                    elif all(node_state[n] == ACTIVE for n in needed):
+                        self._advance_job(
+                            jobs, index, 0, live, phase_live_count,
+                            job_phase, time_s, job_completion,
+                        )
+                    else:
+                        still_held.append(index)
+                held = still_held
+
+            if live or held:
+                last_busy_s = time_s
+
+            # Control tick (dynamic policies only): identical to the
+            # controlled loop, except a crashed node can be neither gated
+            # (it is not active) nor woken (rebooting is the nemesis's
+            # call, not the policy's).
+            if dynamic and next_tick_s <= time_s + _COMPLETION_EPS:
+                effective = [
+                    factors[n] * fault_mult[n] for n in range(num_nodes)
+                ]
+                if live:
+                    rates, bindings = self._allocate(
+                        live, effective, net_factor=net_mult
+                    )
+                else:
+                    rates, bindings = [], []
+                cpu_rates = [0.0] * num_nodes
+                for flow, rate in zip(live, rates):
+                    for resource, coef in flow.spec.demands.items():
+                        kind, _, node = resource.partition(":")
+                        if kind == CPU:
+                            cpu_rates[int(node)] += coef * rate
+                loads = tuple(
+                    min(
+                        1.0,
+                        cpu_rates[n]
+                        / (
+                            self.pool.node_spec(n).cpu_bandwidth_mbps
+                            * effective[n]
+                        ),
+                    )
+                    if node_state[n] == ACTIVE
+                    else 0.0
+                    for n in range(num_nodes)
+                )
+                snapshot = ClusterState(
+                    time_s=time_s,
+                    node_roles=roles,
+                    node_states=tuple(node_state),
+                    node_utilization=loads,
+                    frequency_factors=tuple(factors),
+                    queue_depth=len({flow.job_index for flow in live})
+                    + len(held),
+                    held_jobs=len(held),
+                    idle_s=time_s - last_busy_s,
+                )
+                demanded = frozenset(
+                    node
+                    for flow in live
+                    for node in needed_nodes(flow.job_index)
+                )
+                for action in policy.observe(snapshot):
+                    if isinstance(action, GateNode):
+                        node_id = action.node_id
+                        if (
+                            0 <= node_id < num_nodes
+                            and node_state[node_id] == ACTIVE
+                            and node_id not in demanded
+                        ):
+                            if model.shutdown_s > 0:
+                                node_state[node_id] = GATING
+                                transition_end[node_id] = (
+                                    time_s + model.shutdown_s
+                                )
+                            else:
+                                node_state[node_id] = GATED
+                    elif isinstance(action, UngateNode):
+                        node_id = action.node_id
+                        if (
+                            0 <= node_id < num_nodes
+                            and node_state[node_id] == GATED
+                            and node_id not in crashed
+                        ):
+                            if model.boot_s > 0:
+                                node_state[node_id] = WAKING
+                                transition_end[node_id] = time_s + model.boot_s
+                            else:
+                                node_state[node_id] = ACTIVE
+                    elif isinstance(action, SetFrequency):
+                        if 0 <= action.node_id < num_nodes:
+                            factors[action.node_id] = action.frequency_factor
+                    else:
+                        raise SimulationError(
+                            f"unknown control action: {action!r}"
+                        )
+                while next_tick_s <= time_s + _COMPLETION_EPS:
+                    next_tick_s += control_interval_s
+
+            pending = [end for end in transition_end if math.isfinite(end)]
+
+            if not live:
+                if cursor >= len(order) and not held and not retry_ready:
+                    break  # nothing left; trailing faults don't extend the run
+                targets = list(pending)
+                if cursor < len(order):
+                    targets.append(jobs[order[cursor]].start_time_s)
+                if dynamic:
+                    targets.append(next_tick_s)
+                if fault_cursor < len(timeline):
+                    targets.append(timeline[fault_cursor][0])
+                if retry_ready:
+                    targets.append(retry_ready[0][0])
+                if not targets:
+                    raise SimulationError(
+                        "simulation stalled: jobs are waiting on nodes "
+                        "that will never become active"
+                    )
+                target = min(targets)
+                bindings = []
+                integrate([], target - time_s)
+                time_s = max(time_s, target)
+                continue
+
+            rates, bindings = self._allocate(
+                live,
+                [factors[n] * fault_mult[n] for n in range(num_nodes)],
+                net_factor=net_mult,
+            )
+
+            dt = math.inf
+            for flow, rate in zip(live, rates):
+                if rate > 0:
+                    dt = min(dt, flow.remaining_mb / rate)
+            if cursor < len(order):
+                dt = min(dt, jobs[order[cursor]].start_time_s - time_s)
+            if dynamic:
+                dt = min(dt, next_tick_s - time_s)
+            for end in pending:
+                dt = min(dt, end - time_s)
+            if fault_cursor < len(timeline):
+                dt = min(dt, timeline[fault_cursor][0] - time_s)
+            if retry_ready:
+                dt = min(dt, retry_ready[0][0] - time_s)
+            if not math.isfinite(dt) or dt < 0:
+                raise SimulationError(
+                    "simulation stalled: live flows have zero rate and no "
+                    "pending events"
+                )
+
+            integrate(rates, dt)
+            for flow, rate in zip(live, rates):
+                flow.remaining_mb -= rate * dt
+            time_s += dt
+
+            finished = [flow for flow in live if flow.done]
+            if finished:
+                live = [flow for flow in live if not flow.done]
+                touched_jobs = set()
+                for flow in finished:
+                    phase_live_count[flow.job_index] -= 1
+                    touched_jobs.add(flow.job_index)
+                for index in touched_jobs:
+                    if phase_live_count[index] == 0 and job_phase[index] is not None:
+                        self._advance_job(
+                            jobs, index, job_phase[index] + 1, live,
+                            phase_live_count, job_phase, time_s, job_completion,
+                        )
+
+        if not job_completion:
+            raise SimulationError(
+                "no job survived the fault schedule: all "
+                f"{len(dropped)} submitted jobs were dropped"
+            )
+        return SimulationResult(
+            makespan_s=time_s,
+            energy_j=sum(node_energy),
+            node_energy_j=tuple(node_energy),
+            job_start_s=job_start,
+            job_completion_s=job_completion,
+            intervals=intervals,
+            gated_node_seconds=gated_seconds,
+            energy_saved_j=energy_saved,
+            recovery_energy_j=recovery_energy,
+            retried_jobs=retried,
+            dropped_jobs=len(dropped),
+            dropped_job_names=tuple(dropped),
+            faults_survived=survived,
+        )
+
     def _job_nodes(self, job: Job) -> frozenset[int]:
         """Every node id any flow of ``job`` demands (any resource kind)."""
         return frozenset(
@@ -705,6 +1275,7 @@ class ClusterSimulator:
         self,
         live: Sequence[_LiveFlow],
         factors: Sequence[float] | None = None,
+        net_factor: float = 1.0,
     ) -> tuple[list[float], list[str]]:
         capacities = self.pool.capacities()
         if factors is not None:
@@ -717,7 +1288,8 @@ class ClusterSimulator:
             for flow in live
             if any(self.pool.is_network(r) for r in flow.spec.demands)
         )
-        efficiency = self.switch.efficiency(network_flows)
+        # Fault-injected degradation composes with switch contention.
+        efficiency = self.switch.efficiency(network_flows) * net_factor
         if efficiency < 1.0:
             for name in capacities:
                 if self.pool.is_network(name):

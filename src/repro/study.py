@@ -439,6 +439,24 @@ class StudyResult:
         """
         return self.search.best_under_latency_sla(max_response_s, metric=metric)
 
+    def best_under_degraded_sla(
+        self,
+        max_response_s: float,
+        metric: str = "max",
+        allow_drops: bool = False,
+    ) -> EvaluatedDesign:
+        """Minimum-energy design meeting the SLA *under fault injection*.
+
+        Available when the study's workload was a fault-injected trace
+        (``TimedTrace.with_faults``): each point then carries a
+        ``degraded_latency`` profile measured while nodes crashed,
+        straggled, or lost network capacity.  Designs that shed queries
+        are excluded unless ``allow_drops``.
+        """
+        return self.search.best_under_degraded_sla(
+            max_response_s, metric=metric, allow_drops=allow_drops
+        )
+
     def point(self, label: str) -> EvaluatedDesign:
         return self.search.point(label)
 

@@ -338,6 +338,40 @@ class TimedTrace:
             tuple((join_cache_key(query), time_s) for query, time_s in self.events),
         )
 
+    def with_faults(
+        self,
+        faults,
+        failure_policy=None,
+        replication_factor: int | None = None,
+        partitions_per_node: int = 2,
+    ):
+        """This trace under a fault scenario: a
+        :class:`~repro.faults.trace.FaultedTrace`.
+
+        ``faults`` is a :class:`~repro.faults.schedule.FaultSchedule`;
+        ``failure_policy`` governs jobs a crash kills (default:
+        abort-and-retry with capped exponential backoff); a
+        ``replication_factor`` additionally sizes a chained-declustering
+        layout per candidate, so a crash stranding every copy of a
+        partition makes that design infeasible-under-fault.  The result
+        stays a timed workload, but its cache key is namespaced by the
+        scenario, so degraded evaluations never collide with healthy
+        rows.  An empty schedule replays bit-identically to this trace.
+        """
+        # Deferred: repro.faults imports this module for the type.
+        from repro.faults.schedule import FailurePolicy
+        from repro.faults.trace import FaultedTrace
+
+        return FaultedTrace(
+            trace=self,
+            faults=faults,
+            failure_policy=(
+                failure_policy if failure_policy is not None else FailurePolicy()
+            ),
+            replication_factor=replication_factor,
+            partitions_per_node=partitions_per_node,
+        )
+
     def weighted_queries(self) -> tuple[WeightedQuery, ...]:
         return self.weights_only().entries
 

@@ -1,0 +1,187 @@
+"""Fault-event/schedule validation, determinism, and cache-key hygiene."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    FailurePolicy,
+    FaultSchedule,
+    NetworkDegrade,
+    NodeCrash,
+    Straggler,
+    correlated_rack_failure,
+    random_crashes,
+    rolling_restart,
+)
+
+
+# ------------------------------------------------------------------- events
+def test_node_crash_validation():
+    with pytest.raises(ConfigurationError):
+        NodeCrash(node=-1, at_s=1.0)
+    with pytest.raises(ConfigurationError):
+        NodeCrash(node=0, at_s=-1.0)
+    with pytest.raises(ConfigurationError):
+        NodeCrash(node=0, at_s=5.0, recover_at_s=5.0)  # must recover later
+    with pytest.raises(ConfigurationError):
+        NodeCrash(node=0, at_s=math.inf)
+
+
+def test_node_crash_defaults_to_fail_stop():
+    crash = NodeCrash(node=2, at_s=10.0)
+    assert crash.recover_at_s == math.inf
+
+
+def test_straggler_validation():
+    with pytest.raises(ConfigurationError):
+        Straggler(node=0, at_s=0.0, slowdown=0.0, duration_s=1.0)
+    with pytest.raises(ConfigurationError):
+        Straggler(node=0, at_s=0.0, slowdown=1.0, duration_s=1.0)
+    with pytest.raises(ConfigurationError):
+        Straggler(node=0, at_s=0.0, slowdown=0.5, duration_s=0.0)
+    s = Straggler(node=0, at_s=2.0, slowdown=0.5, duration_s=3.0)
+    assert s.end_s == 5.0
+
+
+def test_network_degrade_validation():
+    with pytest.raises(ConfigurationError):
+        NetworkDegrade(factor=0.0, at_s=0.0, duration_s=1.0)
+    with pytest.raises(ConfigurationError):
+        NetworkDegrade(factor=1.5, at_s=0.0, duration_s=1.0)
+    d = NetworkDegrade(factor=0.5, at_s=1.0, duration_s=4.0)
+    assert d.end_s == 5.0
+
+
+# ----------------------------------------------------------------- schedule
+def test_schedule_sorts_events_by_onset():
+    a = NodeCrash(node=0, at_s=10.0, recover_at_s=20.0)
+    b = Straggler(node=1, at_s=2.0, slowdown=0.5, duration_s=1.0)
+    schedule = FaultSchedule(events=(a, b))
+    assert schedule.events == (b, a)
+    assert len(schedule) == 2
+    assert list(schedule) == [b, a]
+
+
+def test_schedule_rejects_foreign_event_types():
+    with pytest.raises(ConfigurationError):
+        FaultSchedule(events=("not-an-event",))
+
+
+def test_empty_schedule_properties():
+    empty = FaultSchedule()
+    assert empty.is_empty
+    assert empty.span_s == 0.0
+    assert len(empty) == 0
+
+
+def test_schedule_merge_keeps_both_and_resorts():
+    a = FaultSchedule(events=(NodeCrash(node=0, at_s=10.0),), name="a")
+    b = FaultSchedule(events=(NodeCrash(node=1, at_s=5.0),), name="b")
+    merged = a + b
+    assert [event.at_s for event in merged.events] == [5.0, 10.0]
+
+
+def test_schedule_cache_key_distinguishes_contents_and_name():
+    a = FaultSchedule(events=(NodeCrash(node=0, at_s=1.0),), name="x")
+    b = FaultSchedule(events=(NodeCrash(node=0, at_s=2.0),), name="x")
+    c = FaultSchedule(events=(NodeCrash(node=0, at_s=1.0),), name="y")
+    keys = {a.cache_key(), b.cache_key(), c.cache_key()}
+    assert len(keys) == 3
+
+
+# --------------------------------------------------------------- generators
+def test_random_crashes_deterministic_per_seed():
+    kwargs = dict(num_nodes=8, horizon_s=100.0, count=4, mttr_s=30.0)
+    assert (
+        random_crashes(seed=3, **kwargs).cache_key()
+        == random_crashes(seed=3, **kwargs).cache_key()
+    )
+    assert (
+        random_crashes(seed=3, **kwargs).cache_key()
+        != random_crashes(seed=4, **kwargs).cache_key()
+    )
+
+
+def test_random_crashes_shape():
+    schedule = random_crashes(num_nodes=8, horizon_s=100.0, count=5, mttr_s=30.0, seed=1)
+    assert len(schedule) == 5
+    for event in schedule:
+        assert isinstance(event, NodeCrash)
+        assert 0 <= event.node < 8
+        assert 0 <= event.at_s < 100.0
+        # mttr jitter stays within the documented 0.5x-1.5x band
+        assert 15.0 <= event.recover_at_s - event.at_s <= 45.0
+
+
+def test_rolling_restart_staggers_every_node_once():
+    schedule = rolling_restart(num_nodes=4, downtime_s=10.0, stagger_s=60.0, start_s=5.0)
+    assert len(schedule) == 4
+    assert [event.node for event in schedule] == [0, 1, 2, 3]
+    assert [event.at_s for event in schedule] == [5.0, 65.0, 125.0, 185.0]
+    assert all(event.recover_at_s == event.at_s + 10.0 for event in schedule)
+    # deterministic without any seed
+    assert schedule.cache_key() == rolling_restart(
+        num_nodes=4, downtime_s=10.0, stagger_s=60.0, start_s=5.0
+    ).cache_key()
+
+
+def test_correlated_rack_failure_hits_all_nodes_at_once():
+    schedule = correlated_rack_failure(nodes=(2, 3), at_s=50.0, downtime_s=40.0)
+    assert sorted(event.node for event in schedule) == [2, 3]
+    assert all(event.at_s == 50.0 for event in schedule)
+    assert all(event.recover_at_s == 90.0 for event in schedule)
+
+
+def test_correlated_rack_failure_default_is_fail_stop():
+    schedule = correlated_rack_failure(nodes=(0,), at_s=1.0)
+    assert schedule.events[0].recover_at_s == math.inf
+
+
+def test_correlated_rack_failure_rejects_duplicates_and_empty():
+    with pytest.raises(ConfigurationError):
+        correlated_rack_failure(nodes=(), at_s=1.0)
+    with pytest.raises(ConfigurationError):
+        correlated_rack_failure(nodes=(1, 1), at_s=1.0)
+
+
+# ----------------------------------------------------------- failure policy
+def test_backoff_is_capped_exponential():
+    policy = FailurePolicy.abort_and_retry(
+        max_retries=5, backoff_base_s=1.0, backoff_cap_s=4.0
+    )
+    delays = [policy.backoff_delay_s("job", attempt) for attempt in (1, 2, 3, 4, 5)]
+    assert delays == [1.0, 2.0, 4.0, 4.0, 4.0]
+
+
+def test_backoff_jitter_is_seeded_deterministic():
+    a = FailurePolicy.abort_and_retry(jitter=0.5, seed=11)
+    b = FailurePolicy.abort_and_retry(jitter=0.5, seed=11)
+    c = FailurePolicy.abort_and_retry(jitter=0.5, seed=12)
+    samples_a = [a.backoff_delay_s("q#3", k) for k in range(1, 6)]
+    samples_b = [b.backoff_delay_s("q#3", k) for k in range(1, 6)]
+    samples_c = [c.backoff_delay_s("q#3", k) for k in range(1, 6)]
+    assert samples_a == samples_b
+    assert samples_a != samples_c
+    # different jobs draw different jitter from the same seed
+    assert a.backoff_delay_s("q#3", 1) != a.backoff_delay_s("q#4", 1)
+
+
+def test_backoff_rejects_zeroth_attempt():
+    with pytest.raises(ConfigurationError):
+        FailurePolicy().backoff_delay_s("job", 0)
+
+
+def test_drop_policy_disables_retries():
+    policy = FailurePolicy.drop()
+    assert policy.max_retries == 0
+    assert not policy.retries_enabled
+
+
+def test_failure_policy_cache_key_covers_transitions():
+    from repro.hardware.powerstate import PowerStateModel
+
+    a = FailurePolicy()
+    b = FailurePolicy(transitions=PowerStateModel(shutdown_s=1.0, boot_s=2.0))
+    assert a.cache_key() != b.cache_key()

@@ -83,6 +83,52 @@ class TestCoverage:
             layout().choose_active_nodes(9)
 
 
+class TestCoverageDiagnostics:
+    """Regression: losing coverage must raise a clear error, never return
+    silently wrong answers (the pre-1.3 behavior surfaced only through
+    ``covers`` booleans, which mid-trace fault handling could miss)."""
+
+    def test_uncovered_partitions_names_the_lost_partitions(self):
+        lay = layout()
+        # nodes 0 and 1 both down: partition 0 (primary 0, replica 1)
+        # and partition 8 (same placement) lose every copy
+        lost = lay.uncovered_partitions([2, 3, 4, 5, 6, 7])
+        assert lost == (0, 8)
+
+    def test_uncovered_partitions_empty_when_covered(self):
+        lay = layout()
+        assert lay.uncovered_partitions([0, 2, 4, 6]) == ()
+
+    def test_uncovered_partitions_rejects_out_of_range_nodes(self):
+        with pytest.raises(ConfigurationError):
+            layout().uncovered_partitions([0, 99])
+        with pytest.raises(ConfigurationError):
+            layout().uncovered_partitions([-1])
+
+    def test_require_coverage_raises_simulation_error(self):
+        from repro.errors import SimulationError
+
+        lay = layout()
+        with pytest.raises(SimulationError, match="replica coverage lost"):
+            lay.require_coverage([2, 3, 4, 5, 6, 7])
+
+    def test_require_coverage_error_names_partitions_and_context(self):
+        from repro.errors import SimulationError
+
+        lay = layout()
+        with pytest.raises(SimulationError) as excinfo:
+            lay.require_coverage([2, 3, 4, 5, 6, 7], context="after crash of node 1")
+        message = str(excinfo.value)
+        assert "after crash of node 1" in message
+        assert "[0, 8]" in message
+        assert "replication factor 2" in message
+
+    def test_require_coverage_passes_on_covering_sets(self):
+        lay = layout()
+        lay.require_coverage(range(8))
+        lay.require_coverage([0, 2, 4, 6])
+
+
 class TestAssignment:
     def test_every_partition_assigned_exactly_once(self):
         lay = layout()

@@ -1,0 +1,125 @@
+"""Worker-pool fault tolerance: a chunk that dies is retried serially.
+
+A worker process failing (or its result failing to unpickle) must not
+poison the whole search — the engine re-runs the chunk in-process once,
+logs the incident, and counts it on ``SearchResult.dispatch_retries``.
+"""
+
+import logging
+import os
+
+import pytest
+
+from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
+from repro.search import (
+    DesignGrid,
+    DesignSpaceSearch,
+    EvaluationCache,
+    ModelEvaluator,
+    SimulatorEvaluator,
+)
+from repro.workloads.arrivals import periodic_arrivals
+from repro.workloads.protocol import TimedTrace
+from repro.workloads.queries import q3_join, section54_join
+
+GRID = DesignGrid(
+    node_pairs=((CLUSTER_V_NODE, WIMPY_LAPTOP_B),),
+    cluster_sizes=(6, 8),
+)
+
+
+class WorkerHostileEvaluator(ModelEvaluator):
+    """Fails in every process except the one that built it.
+
+    Picklable (so dispatch itself succeeds), but any evaluation running
+    inside a pool worker raises — simulating a chunk whose worker dies.
+    The serial in-process retry then lands back in the home process and
+    succeeds, so results must match a clean serial search.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._home_pid = os.getpid()
+
+    def evaluate_query_batch(self, candidate, queries):
+        if os.getpid() != self._home_pid:
+            raise RuntimeError("worker went down mid-chunk")
+        return super().evaluate_query_batch(candidate, queries)
+
+
+class WorkerHostileSimulatorEvaluator(SimulatorEvaluator):
+    """Same trick for the timed-trace path."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._home_pid = os.getpid()
+
+    def evaluate_trace_batch(self, trace, candidates):
+        if os.getpid() != self._home_pid:
+            raise RuntimeError("worker went down mid-chunk")
+        return super().evaluate_trace_batch(trace, candidates)
+
+
+def test_dying_chunks_are_retried_serially(caplog):
+    query = section54_join()
+    clean = DesignSpaceSearch(cache=EvaluationCache()).search(GRID, query)
+    with DesignSpaceSearch(
+        evaluator=WorkerHostileEvaluator(),
+        cache=EvaluationCache(),
+        workers=2,
+        min_dispatch_tasks=1,
+    ) as engine:
+        with caplog.at_level(logging.WARNING, logger="repro.search"):
+            result = engine.search(GRID, query)
+    assert result.dispatch_retries >= 1
+    assert [(p.label, p.time_s, p.energy_j) for p in result.points] == [
+        (p.label, p.time_s, p.energy_j) for p in clean.points
+    ]
+    assert any("retrying serially" in record.message for record in caplog.records)
+
+
+def test_timed_path_retries_dying_chunks(caplog):
+    trace = TimedTrace.from_schedule(
+        "t", q3_join(100, 0.05, 0.05), periodic_arrivals(3, interval_s=20.0)
+    )
+    clean = DesignSpaceSearch(
+        evaluator=SimulatorEvaluator(), cache=EvaluationCache()
+    ).search(GRID, trace)
+    with DesignSpaceSearch(
+        evaluator=WorkerHostileSimulatorEvaluator(),
+        cache=EvaluationCache(),
+        workers=2,
+        min_dispatch_tasks=1,
+    ) as engine:
+        with caplog.at_level(logging.WARNING, logger="repro.search"):
+            result = engine.search(GRID, trace)
+    assert result.dispatch_retries >= 1
+    assert [(p.label, p.time_s, p.latency) for p in result.points] == [
+        (p.label, p.time_s, p.latency) for p in clean.points
+    ]
+    assert any("retrying serially" in record.message for record in caplog.records)
+
+
+def test_healthy_pool_never_retries():
+    with DesignSpaceSearch(
+        cache=EvaluationCache(), workers=2, min_dispatch_tasks=1
+    ) as engine:
+        result = engine.search(GRID, section54_join())
+    assert result.dispatch_retries == 0
+    assert result.workers_used == 2
+
+
+def test_serial_search_never_retries():
+    result = DesignSpaceSearch(cache=EvaluationCache()).search(
+        GRID, section54_join()
+    )
+    assert result.dispatch_retries == 0
+
+
+def test_chunk_timeout_must_be_positive():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        DesignSpaceSearch(chunk_timeout_s=0.0)
+    with pytest.raises(ConfigurationError):
+        DesignSpaceSearch(chunk_timeout_s=-1.0)

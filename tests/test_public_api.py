@@ -8,7 +8,7 @@ import repro
 
 
 def test_version():
-    assert repro.__version__ == "1.2.0"
+    assert repro.__version__ == "1.3.0"
 
 
 def test_all_exports_resolve():
