@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint pytest bench bench-json search-demo
+.PHONY: test lint pytest bench bench-json search-demo profile
 
 # Tier-1 verification: lint (when available) + the unit/integration
 # suite (benchmarks are opt-in).
@@ -30,15 +30,22 @@ bench:
 # Search-engine perf trajectory: times old vs new dispatch on the
 # 216-design suite-sweep campaign, plus evaluations-to-knee for the
 # adaptive optimizers, plus the timed-trace (stream queueing) campaign,
-# the (design x policy) autoscaling campaign, and the degraded-mode
-# (nemesis fault injection) campaign — all recorded for future PRs.
+# the (design x policy) autoscaling campaign, the degraded-mode
+# (nemesis fault injection) campaign, and the telemetry overhead gate —
+# all recorded for future PRs.
 bench-json:
 	$(PYTHON) benchmarks/test_query_fanout.py --json BENCH_search.json
 	$(PYTHON) benchmarks/test_optimize.py --json BENCH_optimize.json
 	$(PYTHON) benchmarks/test_stream.py --json BENCH_stream.json
 	$(PYTHON) benchmarks/test_policy.py --json BENCH_policy.json
 	$(PYTHON) benchmarks/test_faults.py --json BENCH_faults.json
+	$(PYTHON) benchmarks/test_telemetry.py --json BENCH_telemetry.json
 
 # Sweep a 216-point design grid and print its Pareto frontier.
 search-demo:
 	$(PYTHON) examples/design_space_search.py
+
+# Where does a campaign's wall time go?  Run the reference 216-design
+# diurnal campaign with telemetry on and print the stage breakdown.
+profile:
+	$(PYTHON) examples/telemetry_report.py

@@ -1,0 +1,219 @@
+"""Telemetry bench: observability must be free when off, cheap when on.
+
+:mod:`repro.telemetry` instruments the hottest paths in the repository —
+the search pipeline, the evaluation cache, the simulator event loops —
+so its cost model is part of its contract: disabled hooks are no-ops,
+and enabled instrumentation stays within ``MAX_OVERHEAD`` of the
+uninstrumented wall time on the reference 216-design diurnal campaign
+(the same space ``BENCH_stream.json`` and ``BENCH_policy.json`` pin).
+
+Three gates, all hard:
+
+* enabled wall time (min of repeats) within ``MAX_OVERHEAD`` of the
+  disabled wall time (min of repeats) on the full campaign;
+* the recorded spans attribute at least ``ATTRIBUTION_FLOOR`` of the
+  campaign's root wall time to named stages (the unattributed remainder
+  is reported, never hidden);
+* counters are exact: two cold runs at the fixed seed record identical
+  counter values and identical span call counts.
+
+``pytest benchmarks/test_telemetry.py -q`` runs compact slices through
+pytest-benchmark; ``make bench-json`` (``python
+benchmarks/test_telemetry.py --json BENCH_telemetry.json``) runs the
+full campaign and embeds the recorded profile in the payload.
+"""
+
+import json
+import multiprocessing
+import sys
+import time
+
+from repro.analysis.export import telemetry_to_dict
+from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
+from repro.search import DesignGrid, DesignSpaceSearch, SimulatorEvaluator
+from repro.telemetry import attribution, capture
+from repro.workloads.arrivals import diurnal_arrivals
+from repro.workloads.protocol import TimedTrace
+from repro.workloads.queries import q3_join
+
+EVENTS = 48
+REPEATS = 3
+
+#: the bench fails outright above this relative enabled-vs-disabled cost
+MAX_OVERHEAD = 0.05
+
+#: minimum fraction of root wall time the named spans must account for
+ATTRIBUTION_FLOOR = 0.95
+
+#: the reference campaign space: 216 designs (matches BENCH_stream.json)
+FULL_GRID = DesignGrid(
+    node_pairs=((CLUSTER_V_NODE, WIMPY_LAPTOP_B),),
+    cluster_sizes=(6, 8, 10, 12, 14, 16),
+    frequency_factors=(1.0, 0.8, 0.6),
+)
+
+#: compact variant so the pytest-benchmark rounds stay quick
+SMALL_GRID = DesignGrid(
+    node_pairs=((CLUSTER_V_NODE, WIMPY_LAPTOP_B),),
+    cluster_sizes=(6, 8),
+)
+
+
+def solo_runtime() -> float:
+    """Solo runtime of the reference join on the grid's first design."""
+    return (
+        SimulatorEvaluator()
+        .evaluate_query(FULL_GRID.candidate_list()[0], q3_join(100, 0.05, 0.05))
+        .time_s
+    )
+
+
+def reference_trace(solo: float, events: int = EVENTS) -> TimedTrace:
+    """The reference diurnal trace (same calibration as the policy bench)."""
+    times = diurnal_arrivals(
+        events,
+        base_rate_per_s=0.005 / solo,
+        peak_rate_per_s=0.5 / solo,
+        period_s=55.0 * solo,
+        seed=11,
+    )
+    return TimedTrace.from_schedule("bench-diurnal", q3_join(100, 0.05, 0.05), times)
+
+
+def campaign(grid, trace, workers: int = 1):
+    """One cold multiplexed trace campaign; returns the SearchResult."""
+    engine = DesignSpaceSearch(
+        evaluator=SimulatorEvaluator(), workers=workers, min_dispatch_tasks=1
+    )
+    with engine:
+        return engine.search(grid.candidate_list(), trace)
+
+
+def _deterministic_view(snapshot):
+    """The reproducible part of a snapshot: counters plus span call counts
+    (wall times are measurements and legitimately vary run to run)."""
+    return (
+        snapshot.counters,
+        {path: calls for path, (calls, _) in snapshot.spans.items()},
+    )
+
+
+def _timed_campaign(grid, trace, enabled: bool):
+    """One cold campaign inside an isolated registry; returns
+    (wall seconds, snapshot)."""
+    with capture(enabled=enabled) as telemetry:
+        start = time.perf_counter()
+        campaign(grid, trace)
+        wall = time.perf_counter() - start
+    return wall, telemetry.snapshot()
+
+
+# ------------------------------------------------------------- pytest slices
+def test_disabled_records_nothing():
+    solo = solo_runtime()
+    trace = reference_trace(solo, events=8)
+    _, snapshot = _timed_campaign(SMALL_GRID, trace, enabled=False)
+    assert snapshot.counters == {}
+    assert snapshot.spans == {}
+
+
+def test_counters_reproduce_exactly():
+    solo = solo_runtime()
+    trace = reference_trace(solo, events=8)
+    _, first = _timed_campaign(SMALL_GRID, trace, enabled=True)
+    _, second = _timed_campaign(SMALL_GRID, trace, enabled=True)
+    assert first.counters  # the campaign actually recorded something
+    assert _deterministic_view(first) == _deterministic_view(second)
+
+
+def test_spans_attribute_the_campaign():
+    solo = solo_runtime()
+    trace = reference_trace(solo, events=8)
+    _, snapshot = _timed_campaign(SMALL_GRID, trace, enabled=True)
+    assert attribution(snapshot)["fraction"] >= ATTRIBUTION_FLOOR
+
+
+def test_telemetry_campaign_small(benchmark):
+    solo = solo_runtime()
+    trace = reference_trace(solo, events=8)
+    result = benchmark(_timed_campaign, SMALL_GRID, trace, True)
+    assert result[1].counters["evaluator.trace_evals"] == len(
+        SMALL_GRID.candidate_list()
+    )
+
+
+# --------------------------------------------------------------- full bench
+def run_telemetry_bench(grid=FULL_GRID, events=EVENTS) -> dict:
+    """Time the campaign with telemetry off and on; gate the overhead.
+
+    Raises ``SystemExit`` if the enabled overhead exceeds
+    :data:`MAX_OVERHEAD`, if span attribution falls under
+    :data:`ATTRIBUTION_FLOOR`, or if two enabled runs disagree on any
+    counter or span call count.
+    """
+    solo = solo_runtime()
+    trace = reference_trace(solo, events)
+
+    disabled_walls = []
+    enabled_walls = []
+    snapshots = []
+    for _ in range(REPEATS):
+        wall, _ = _timed_campaign(grid, trace, enabled=False)
+        disabled_walls.append(wall)
+        wall, snapshot = _timed_campaign(grid, trace, enabled=True)
+        enabled_walls.append(wall)
+        snapshots.append(snapshot)
+
+    disabled_s = min(disabled_walls)
+    enabled_s = min(enabled_walls)
+    overhead = enabled_s / disabled_s - 1.0
+    deterministic = all(
+        _deterministic_view(snapshot) == _deterministic_view(snapshots[0])
+        for snapshot in snapshots[1:]
+    )
+    coverage = attribution(snapshots[0])
+
+    payload = {
+        "benchmark": "telemetry overhead on the 216-design diurnal campaign",
+        "designs": len(grid),
+        "arrival_events": events,
+        "cpus": multiprocessing.cpu_count(),
+        "repeats": REPEATS,
+        "disabled_wall_s": round(disabled_s, 4),
+        "enabled_wall_s": round(enabled_s, 4),
+        "overhead": round(overhead, 4),
+        "max_overhead": MAX_OVERHEAD,
+        "attributed_fraction": round(coverage["fraction"], 4),
+        "attribution_floor": ATTRIBUTION_FLOOR,
+        "unattributed_s": round(coverage["unattributed_s"], 4),
+        "counters_deterministic": deterministic,
+        "telemetry": telemetry_to_dict(snapshots[0]),
+    }
+    if overhead > MAX_OVERHEAD:
+        raise SystemExit(
+            f"telemetry bench FAILED: enabled overhead {overhead:.1%} is "
+            f"over the {MAX_OVERHEAD:.0%} ceiling "
+            f"({enabled_s:.3f}s vs {disabled_s:.3f}s)"
+        )
+    if coverage["fraction"] < ATTRIBUTION_FLOOR:
+        raise SystemExit(
+            f"telemetry bench FAILED: spans attribute only "
+            f"{coverage['fraction']:.1%} of root wall time "
+            f"(floor {ATTRIBUTION_FLOOR:.0%})"
+        )
+    if not deterministic:
+        raise SystemExit(
+            "telemetry bench FAILED: counters diverged between runs at a "
+            "fixed seed"
+        )
+    return payload
+
+
+if __name__ == "__main__":
+    out = sys.argv[sys.argv.index("--json") + 1] if "--json" in sys.argv else None
+    payload = run_telemetry_bench()
+    text = json.dumps(payload, indent=2) + "\n"
+    if out:
+        with open(out, "w") as handle:
+            handle.write(text)
+    sys.stdout.write(text)

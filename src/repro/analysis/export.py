@@ -30,6 +30,8 @@ __all__ = [
     "search_to_dict",
     "frontier_to_csv",
     "search_to_json",
+    "telemetry_to_dict",
+    "telemetry_to_json",
     "trajectory_to_csv",
     "trajectory_to_rows",
 ]
@@ -255,6 +257,44 @@ def optimization_to_json(result, indent: int | None = 2) -> str:
     payload["fresh_query_evaluations"] = result.fresh_query_evaluations
     payload["trajectory"] = trajectory_to_rows(result)
     return json.dumps(payload, indent=indent)
+
+
+def telemetry_to_dict(source=None) -> dict[str, Any]:
+    """A telemetry registry or snapshot as a JSON-safe dict.
+
+    ``source`` is a :class:`~repro.telemetry.Telemetry`, a
+    :class:`~repro.telemetry.TelemetrySnapshot`, or ``None`` for the
+    active registry.  Span tree paths flatten to ``"/"``-joined strings
+    (depth-first order preserved) with per-row call counts, wall time,
+    and derived self time; the :func:`~repro.telemetry.attribution`
+    summary rides along so a dashboard can assert coverage without
+    re-deriving it.
+    """
+    from repro.telemetry import get_telemetry
+    from repro.telemetry.report import attribution, span_rows
+
+    if source is None:
+        source = get_telemetry()
+    snap = source.snapshot() if hasattr(source, "snapshot") else source
+    return {
+        "counters": {name: snap.counters[name] for name in sorted(snap.counters)},
+        "gauges": {name: snap.gauges[name] for name in sorted(snap.gauges)},
+        "spans": [
+            {
+                "path": "/".join(row["path"]),
+                "calls": row["calls"],
+                "total_s": row["total_s"],
+                "self_s": row["self_s"],
+            }
+            for row in span_rows(snap)
+        ],
+        "attribution": attribution(snap),
+    }
+
+
+def telemetry_to_json(source=None, indent: int | None = 2) -> str:
+    """:func:`telemetry_to_dict`, serialized."""
+    return json.dumps(telemetry_to_dict(source), indent=indent)
 
 
 def experiment_to_dict(result: ExperimentResult) -> dict[str, Any]:

@@ -221,8 +221,38 @@ entry point:
 
 The search engine itself also tolerates faults on the *host* running
 it: a worker-pool chunk that dies (worker crash, unpicklable result)
-is retried once serially in-process, logged to the ``repro.search``
-logger, and counted on :attr:`SearchResult.dispatch_retries`.
+is retried once serially in-process, logged to the
+``repro.search.engine`` logger, and counted on
+:attr:`SearchResult.dispatch_retries`.
+
+Observing a search
+------------------
+
+:mod:`repro.telemetry` watches the whole pipeline above from the
+inside.  ``repro.telemetry.enable()`` turns on a process-local registry
+of counters and nested timed spans; every subsequent search records
+
+* a root ``search`` span with one child per pipeline stage
+  (``search.flatten`` / ``search.cache`` / ``search.dedupe`` /
+  ``search.dispatch`` / ``search.aggregate``),
+* ``cache.hit`` / ``cache.miss`` / ``cache.insert`` counters from the
+  :class:`EvaluationCache` (plus ``cache.lock_retries`` when parallel
+  shards contend for one sqlite store),
+* per-chunk ``worker.chunk`` spans measured *inside* each pool worker
+  and merged back under ``search.dispatch`` over the ordinary
+  chunk-result channel, with ``search.dispatch.tasks`` / ``.chunks`` /
+  ``.retries`` counters,
+* simulator-side counters (``sim.events``, ``sim.control.*``,
+  ``sim.faults.*``, ``sim.multiplex.*``) from whichever replay path the
+  evaluation takes.
+
+``Study.report()`` renders the registry as a stage-time breakdown,
+:func:`repro.analysis.export.telemetry_to_json` serializes it, and
+``examples/telemetry_report.py`` walks the reference 216-design
+campaign.  Telemetry changes no result: counts are deterministic at a
+fixed seed, wall times are measurements only (never part of a cache
+key), and with telemetry disabled — the default — every hook is a
+no-op (``benchmarks/test_telemetry.py`` gates the enabled overhead).
 
 >>> from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
 >>> from repro.search import DesignGrid, DesignSpaceSearch

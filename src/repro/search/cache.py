@@ -25,6 +25,7 @@ one.
 
 from __future__ import annotations
 
+import logging
 import pickle
 import sqlite3
 import time
@@ -33,8 +34,11 @@ from pathlib import Path
 
 from repro.errors import ConfigurationError
 from repro.search.evaluators import EvaluatedDesign
+from repro.telemetry import count as _telemetry_count
 
 __all__ = ["CacheStats", "EvaluationCache"]
+
+_LOG = logging.getLogger(__name__)
 
 #: retry schedule for a locked sqlite store: total worst-case wait ~1.6 s
 _LOCK_RETRIES = 6
@@ -53,15 +57,31 @@ def _with_lock_retry(operation):
     parallel CI shards sharing a cache file — still collide.  A short
     exponential backoff rides out the other writer's commit instead of
     failing the sweep; a store that stays locked past the schedule is a
-    real deadlock and the error propagates.
+    real deadlock and the error propagates.  Each backoff warns on the
+    ``repro.search.cache`` logger with the attempt count and cumulative
+    wait, and bumps the ``cache.lock_retries`` telemetry counter —
+    contended shards show up as slow, not silent.
     """
+    waited_s = 0.0
     for attempt in range(_LOCK_RETRIES):
         try:
             return operation()
         except sqlite3.OperationalError as error:
             if not _is_locked(error) or attempt == _LOCK_RETRIES - 1:
                 raise
-            time.sleep(_LOCK_BACKOFF_S * (2**attempt))
+            backoff_s = _LOCK_BACKOFF_S * (2**attempt)
+            waited_s += backoff_s
+            _telemetry_count("cache.lock_retries")
+            _LOG.warning(
+                "evaluation cache store is locked (%s); retrying "
+                "(attempt %d of %d) after %.3fs backoff, %.3fs waited so far",
+                error,
+                attempt + 1,
+                _LOCK_RETRIES - 1,
+                backoff_s,
+                waited_s,
+            )
+            time.sleep(backoff_s)
 
 
 @dataclass(frozen=True)
@@ -152,11 +172,14 @@ class EvaluationCache:
                 self._entries[key] = entry  # promote: later hits skip sqlite
         if entry is None:
             self.misses += 1
+            _telemetry_count("cache.miss")
         else:
             self.hits += 1
+            _telemetry_count("cache.hit")
         return entry
 
     def put(self, key: tuple, value: EvaluatedDesign) -> None:
+        _telemetry_count("cache.insert")
         self._entries[key] = value
         if self._db is not None:
             self._disk_put(key, value)

@@ -64,9 +64,11 @@ from repro.search.evaluators import (
     ModelEvaluator,
     SearchEvaluator,
     evaluate_entry_chunk,
+    evaluate_instrumented_chunk,
     evaluate_trace_chunk,
 )
 from repro.search.grid import DesignCandidate, DesignGrid, unique_labels
+from repro.telemetry import get_telemetry
 from repro.search.pareto import (
     best_under_degraded_sla,
     best_under_latency_sla,
@@ -86,7 +88,9 @@ from repro.workloads.queries import JoinWorkloadSpec
 
 __all__ = ["DEFAULT_MIN_DISPATCH_TASKS", "DesignSpaceSearch", "SearchResult"]
 
-_LOG = logging.getLogger("repro.search")
+#: the module's logger — ``repro.search.engine``, a child of ``repro.search``
+#: (handlers or caplog filters on either name observe these records)
+_LOG = logging.getLogger(__name__)
 
 #: Smallest fresh-task batch worth shipping to the worker pool.  Measured
 #: on the ``BENCH_search.json`` container (2 workers, warm pool): one
@@ -284,8 +288,10 @@ class DesignSpaceSearch:
     whose worker dies mid-task or whose result cannot cross the process
     boundary (unpicklable record, corrupted pipe) is retried **once,
     serially in-process**, so one bad worker costs latency rather than
-    the whole search.  Retries are logged to the ``repro.search`` logger
-    and counted on :attr:`SearchResult.dispatch_retries`.
+    the whole search.  Retries are logged to the ``repro.search.engine``
+    logger (a child of ``repro.search``; see
+    :func:`repro.telemetry.configure_logging`) and counted on
+    :attr:`SearchResult.dispatch_retries`.
     ``chunk_timeout_s`` optionally bounds how long one chunk may run
     before it is declared lost and retried — the guard against the
     ``multiprocessing`` failure mode where a hard-killed worker's task
@@ -349,90 +355,110 @@ class DesignSpaceSearch:
         if not candidates:
             raise ConfigurationError("the design space is empty")
         unique_labels(candidates)
+        telemetry = get_telemetry()
         if is_timed(workload):
-            return self._search_timed(candidates, workload)
+            with telemetry.span("search"):
+                return self._search_timed(candidates, workload)
 
-        fingerprint = self.evaluator.fingerprint()
-        workload_key = workload.cache_key()
-        entries = workload.weighted_queries()
-        entry_keys = [entry_cache_key(entry.query) for entry in entries]
-        candidate_keys = [c.key() for c in candidates]
-        aggregate_keys = [(fingerprint, workload_key, ck) for ck in candidate_keys]
-        # For a single join the aggregate key IS the entry key; skip the
-        # redundant second lookup on that tier.
-        entry_is_aggregate = len(entry_keys) == 1 and entry_keys[0] == workload_key
-
-        # ------------------------------------------- aggregate fast path
-        resolved: dict[int, EvaluatedDesign] = {}
-        pending: list[int] = []
-        for index, key in enumerate(aggregate_keys):
-            cached = self.cache.get(key)
-            if cached is None:
-                pending.append(index)
-            else:
-                # Rebind the requested candidate: cache keys deliberately
-                # ignore display labels, so a hit may carry the label of
-                # the grid that populated it.
-                if cached.candidate is not candidates[index]:
-                    cached = replace(cached, candidate=candidates[index])
-                resolved[index] = cached
-
-        # ------------------------- flatten + dedupe + per-entry lookup
-        entry_records: dict[tuple, EvaluatedDesign | None] = {}
-        tasks: list[tuple[tuple, DesignCandidate, JoinWorkloadSpec]] = []
-        for index in pending:
-            for position, entry_key in enumerate(entry_keys):
-                task_key = (fingerprint, entry_key, candidate_keys[index])
-                if task_key in entry_records:
-                    continue  # deduped: another candidate/entry owns it
-                cached = (
-                    None if entry_is_aggregate else self.cache.get(task_key)
+        with telemetry.span("search"):
+            with telemetry.span("search.flatten"):
+                fingerprint = self.evaluator.fingerprint()
+                workload_key = workload.cache_key()
+                entries = workload.weighted_queries()
+                entry_keys = [entry_cache_key(entry.query) for entry in entries]
+                candidate_keys = [c.key() for c in candidates]
+                aggregate_keys = [
+                    (fingerprint, workload_key, ck) for ck in candidate_keys
+                ]
+                # For a single join the aggregate key IS the entry key; skip
+                # the redundant second lookup on that tier.
+                entry_is_aggregate = (
+                    len(entry_keys) == 1 and entry_keys[0] == workload_key
                 )
-                entry_records[task_key] = cached
-                if cached is None:
-                    tasks.append(
-                        (task_key, candidates[index], entries[position].query)
+
+            # --------------------------------------- aggregate fast path
+            resolved: dict[int, EvaluatedDesign] = {}
+            pending: list[int] = []
+            with telemetry.span("search.cache"):
+                for index, key in enumerate(aggregate_keys):
+                    cached = self.cache.get(key)
+                    if cached is None:
+                        pending.append(index)
+                    else:
+                        # Rebind the requested candidate: cache keys
+                        # deliberately ignore display labels, so a hit may
+                        # carry the label of the grid that populated it.
+                        if cached.candidate is not candidates[index]:
+                            cached = replace(cached, candidate=candidates[index])
+                        resolved[index] = cached
+
+            # --------------------- flatten + dedupe + per-entry lookup
+            entry_records: dict[tuple, EvaluatedDesign | None] = {}
+            tasks: list[tuple[tuple, DesignCandidate, JoinWorkloadSpec]] = []
+            with telemetry.span("search.dedupe"):
+                for index in pending:
+                    for position, entry_key in enumerate(entry_keys):
+                        task_key = (fingerprint, entry_key, candidate_keys[index])
+                        if task_key in entry_records:
+                            continue  # deduped: another candidate/entry owns it
+                        cached = (
+                            None
+                            if entry_is_aggregate
+                            else self.cache.get(task_key)
+                        )
+                        entry_records[task_key] = cached
+                        if cached is None:
+                            tasks.append(
+                                (
+                                    task_key,
+                                    candidates[index],
+                                    entries[position].query,
+                                )
+                            )
+
+            # -------------------------------------------------- dispatch
+            workers_used = 1
+            dispatch_retries = 0
+            with telemetry.span("search.dispatch"):
+                if tasks:
+                    telemetry.count("search.dispatch.tasks", len(tasks))
+                    fresh, workers_used, dispatch_retries = self._evaluate(
+                        [(candidate, query) for _, candidate, query in tasks]
                     )
+                    for (task_key, _, _), record in zip(tasks, fresh):
+                        entry_records[task_key] = record
+                        self.cache.put(task_key, record)
+            fresh_keys = {task_key for task_key, _, _ in tasks}
 
-        # ------------------------------------------------------ dispatch
-        workers_used = 1
-        dispatch_retries = 0
-        if tasks:
-            fresh, workers_used, dispatch_retries = self._evaluate(
-                [(candidate, query) for _, candidate, query in tasks]
+            # ------------------------------------------------- aggregate
+            evaluations = 0
+            with telemetry.span("search.aggregate"):
+                for index in pending:
+                    task_keys = [
+                        (fingerprint, entry_key, candidate_keys[index])
+                        for entry_key in entry_keys
+                    ]
+                    point = _aggregate_entries(
+                        candidates[index],
+                        entries,
+                        [entry_records[key] for key in task_keys],
+                    )
+                    resolved[index] = point
+                    if any(key in fresh_keys for key in task_keys):
+                        evaluations += 1
+                    if not entry_is_aggregate:
+                        self.cache.put(aggregate_keys[index], point)
+
+            telemetry.count("search.runs")
+            return SearchResult(
+                workload=workload,
+                points=[resolved[i] for i in range(len(candidates))],
+                evaluations=evaluations,
+                cache_hits=len(candidates) - evaluations,
+                workers_used=workers_used,
+                query_evaluations=len(tasks),
+                dispatch_retries=dispatch_retries,
             )
-            for (task_key, _, _), record in zip(tasks, fresh):
-                entry_records[task_key] = record
-                self.cache.put(task_key, record)
-        fresh_keys = {task_key for task_key, _, _ in tasks}
-
-        # ----------------------------------------------------- aggregate
-        evaluations = 0
-        for index in pending:
-            task_keys = [
-                (fingerprint, entry_key, candidate_keys[index])
-                for entry_key in entry_keys
-            ]
-            point = _aggregate_entries(
-                candidates[index],
-                entries,
-                [entry_records[key] for key in task_keys],
-            )
-            resolved[index] = point
-            if any(key in fresh_keys for key in task_keys):
-                evaluations += 1
-            if not entry_is_aggregate:
-                self.cache.put(aggregate_keys[index], point)
-
-        return SearchResult(
-            workload=workload,
-            points=[resolved[i] for i in range(len(candidates))],
-            evaluations=evaluations,
-            cache_hits=len(candidates) - evaluations,
-            workers_used=workers_used,
-            query_evaluations=len(tasks),
-            dispatch_retries=dispatch_retries,
-        )
 
     def evaluate_batch(
         self,
@@ -492,6 +518,7 @@ class DesignSpaceSearch:
                 "evaluate the weights-only projection "
                 "(trace.weights_only())."
             )
+        telemetry = get_telemetry()
         fingerprint = self.evaluator.fingerprint()
         workload_key = workload.cache_key()
         keys = [(fingerprint, workload_key, c.key()) for c in candidates]
@@ -500,34 +527,39 @@ class DesignSpaceSearch:
         tasks: list[tuple[tuple, DesignCandidate]] = []
         task_keys: set[tuple] = set()
         pending: list[int] = []
-        for index, key in enumerate(keys):
-            cached = self.cache.get(key)
-            if cached is not None:
-                if cached.candidate is not candidates[index]:
-                    cached = replace(cached, candidate=candidates[index])
-                resolved[index] = cached
-                continue
-            pending.append(index)
-            if key not in task_keys:  # dedupe: equal-key candidates share one replay
-                task_keys.add(key)
-                tasks.append((key, candidates[index]))
+        with telemetry.span("search.cache"):
+            for index, key in enumerate(keys):
+                cached = self.cache.get(key)
+                if cached is not None:
+                    if cached.candidate is not candidates[index]:
+                        cached = replace(cached, candidate=candidates[index])
+                    resolved[index] = cached
+                    continue
+                pending.append(index)
+                if key not in task_keys:  # dedupe: equal-key candidates share one replay
+                    task_keys.add(key)
+                    tasks.append((key, candidates[index]))
 
         fresh: dict[tuple, EvaluatedDesign] = {}
         workers_used = 1
         dispatch_retries = 0
-        if tasks:
-            records, workers_used, dispatch_retries = self._evaluate_timed(
-                workload, [candidate for _, candidate in tasks]
-            )
-            for (key, _), record in zip(tasks, records):
-                fresh[key] = record
-                self.cache.put(key, record)
-        for index in pending:
-            record = fresh[keys[index]]
-            if record.candidate is not candidates[index]:
-                record = replace(record, candidate=candidates[index])
-            resolved[index] = record
+        with telemetry.span("search.dispatch"):
+            if tasks:
+                telemetry.count("search.dispatch.traces", len(tasks))
+                records, workers_used, dispatch_retries = self._evaluate_timed(
+                    workload, [candidate for _, candidate in tasks]
+                )
+                for (key, _), record in zip(tasks, records):
+                    fresh[key] = record
+                    self.cache.put(key, record)
+        with telemetry.span("search.aggregate"):
+            for index in pending:
+                record = fresh[keys[index]]
+                if record.candidate is not candidates[index]:
+                    record = replace(record, candidate=candidates[index])
+                resolved[index] = record
 
+        telemetry.count("search.timed_runs")
         num_events = len(workload.schedule())
         return SearchResult(
             workload=workload,
@@ -672,25 +704,54 @@ class DesignSpaceSearch:
         anything surfacing here is infrastructure failure; if the serial
         retry fails too, that error propagates — it is not the pool's
         fault.
+
+        With telemetry enabled at dispatch time, every chunk ships
+        wrapped in :func:`~repro.search.evaluators
+        .evaluate_instrumented_chunk`: the worker measures the chunk
+        into a captured registry (per-chunk ``worker.chunk`` span,
+        evaluator/simulator counters) and returns ``(records,
+        snapshot)``; the snapshots merge back here, nested under the
+        open ``search.dispatch`` span.  The decision rides in the
+        payload — a pool forked before ``telemetry.enable()`` still
+        measures — and the in-process retry captures too, so it cannot
+        corrupt this registry's span stack.
         """
+        telemetry = get_telemetry()
+        instrumented = telemetry.enabled
+        if instrumented:
+            call = evaluate_instrumented_chunk
+            wrapped: list = [(fn, payload) for payload in payloads]
+        else:
+            call = fn
+            wrapped = list(payloads)
         handles = [
-            self._get_pool().apply_async(fn, (payload,)) for payload in payloads
+            self._get_pool().apply_async(call, (payload,)) for payload in wrapped
         ]
         results: list = []
         retries = 0
-        for payload, handle in zip(payloads, handles):
+        for payload, handle in zip(wrapped, handles):
             try:
                 results.append(handle.get(self.chunk_timeout_s))
             except Exception as exc:
                 retries += 1
+                inner = payload[1] if instrumented else payload
                 _LOG.warning(
                     "worker chunk of %d tasks failed (%s: %s); "
                     "retrying serially in-process",
-                    len(payload[-1]),
+                    len(inner[-1]),
                     type(exc).__name__,
                     exc,
                 )
-                results.append(fn(payload))
+                results.append(call(payload))
+        if instrumented:
+            unwrapped = []
+            for records, snap in results:
+                telemetry.merge(snap)
+                unwrapped.append(records)
+            results = unwrapped
+            telemetry.count("search.dispatch.chunks", len(payloads))
+            if retries:
+                telemetry.count("search.dispatch.retries", retries)
         return results, retries
 
     def _get_pool(self):

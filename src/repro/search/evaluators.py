@@ -47,6 +47,7 @@ from repro.pstore.simulated import SimulatedPStore, trace_jobs
 from repro.search.grid import DesignCandidate
 from repro.simulator.engine import SimulationResult
 from repro.simulator.multiplex import run_multiplexed
+from repro.telemetry import capture, get_telemetry
 from repro.workloads.protocol import TimedTrace, Workload, as_workload
 from repro.workloads.queries import JoinWorkloadSpec
 
@@ -60,6 +61,7 @@ __all__ = [
     "evaluate_design",
     "evaluate_entry",
     "evaluate_entry_chunk",
+    "evaluate_instrumented_chunk",
     "evaluate_timed_design",
     "evaluate_trace_chunk",
 ]
@@ -214,6 +216,7 @@ class SearchEvaluator(abc.ABC):
         (:class:`SimulatorEvaluator` multiplexes the whole batch onto one
         event loop) while producing bit-identical records.
         """
+        get_telemetry().count("evaluator.trace_evals", len(candidates))
         return [
             evaluate_timed_design(self, candidate, trace)
             for candidate in candidates
@@ -262,6 +265,7 @@ class SearchEvaluator(abc.ABC):
         work (cluster construction, simulator state) override this to
         amortize it — :class:`SimulatorEvaluator` does.
         """
+        get_telemetry().count("evaluator.query_evals", len(queries))
         return [evaluate_entry(self, candidate, query) for query in queries]
 
     @abc.abstractmethod
@@ -363,6 +367,7 @@ class SimulatorEvaluator(SearchEvaluator):
         each ``run()`` starts from fresh simulation state, so sharing the
         store across the batch returns exactly the per-query results.
         """
+        get_telemetry().count("evaluator.query_evals", len(queries))
         cluster = candidate.cluster()
         store = SimulatedPStore(cluster, record_intervals=False)
         records = []
@@ -545,6 +550,8 @@ class SimulatorEvaluator(SearchEvaluator):
         *empty* schedule rides the multiplexed loop and is bit-identical
         to the bare trace.
         """
+        telemetry = get_telemetry()
+        telemetry.count("evaluator.trace_evals", len(candidates))
         faults = getattr(trace, "faults", None)
         faulted = faults is not None and bool(getattr(faults, "events", ()))
         records: list[EvaluatedDesign | None] = [None] * len(candidates)
@@ -566,10 +573,12 @@ class SimulatorEvaluator(SearchEvaluator):
             runs.append((position, candidate, store.simulator, jobs))
         if runs:
             try:
-                results = run_multiplexed(
-                    [(simulator, jobs) for _, _, simulator, jobs in runs]
-                )
+                with telemetry.span("sim.multiplexed"):
+                    results = run_multiplexed(
+                        [(simulator, jobs) for _, _, simulator, jobs in runs]
+                    )
             except ReproError:
+                telemetry.count("evaluator.multiplex_fallbacks", len(runs))
                 for position, candidate, _, _ in runs:
                     records[position] = evaluate_timed_design(
                         self, candidate, trace
@@ -710,6 +719,28 @@ def evaluate_trace_chunk(
     """
     evaluator, trace, candidates = payload
     return evaluator.evaluate_trace_batch(trace, list(candidates))
+
+
+def evaluate_instrumented_chunk(payload: tuple[Callable, tuple]):
+    """Worker entry point wrapping another chunk function with telemetry.
+
+    ``payload`` is ``(chunk_fn, chunk_payload)``; the result is
+    ``(records, TelemetrySnapshot)``.  The engine ships this wrapper only
+    when the parent registry is enabled at dispatch time — the decision
+    travels in the payload, never in fork-inherited state, so a pool
+    created before ``telemetry.enable()`` still measures.  The chunk
+    runs inside :func:`repro.telemetry.capture` for two reasons: a
+    worker's inherited registry (usually disabled) stays untouched, and
+    the engine's serial in-process retry of a failed chunk cannot
+    corrupt the parent registry mid-``search.dispatch``.  The per-chunk
+    ``worker.chunk`` span is the dispatch-latency measurement the parent
+    merges beneath its dispatch span.
+    """
+    fn, inner = payload
+    with capture() as telemetry:
+        with telemetry.span("worker.chunk"):
+            records = fn(inner)
+        return records, telemetry.snapshot()
 
 
 def evaluate_entry_chunk(

@@ -33,6 +33,7 @@ from repro.simulator.allocation import max_min_fair_allocation
 from repro.simulator.jobs import FlowSpec, Job
 from repro.simulator.network import IDEAL_SWITCH, SwitchModel
 from repro.simulator.resources import CPU, ResourcePool
+from repro.telemetry import get_telemetry
 
 __all__ = [
     "ClusterSimulator",
@@ -327,6 +328,12 @@ class ClusterSimulator:
                             phase_live_count, job_phase, time_s, job_completion,
                         )
 
+        # Hot-loop accounting stays in the local ``events`` counter and
+        # flushes once per run, so the disabled path costs two calls here.
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.count("sim.runs")
+            telemetry.count("sim.events", events)
         return SimulationResult(
             makespan_s=time_s,
             energy_j=sum(node_energy),
@@ -450,6 +457,12 @@ class ClusterSimulator:
         next_tick_s = control_interval_s
         bindings: Sequence[str] = []
         events = 0
+        # Telemetry accumulates in locals (plain int adds in the hot loop)
+        # and flushes once at the return below.
+        ticks = 0
+        gate_actions = 0
+        ungate_actions = 0
+        freq_actions = 0
 
         while cursor < len(order) or live or held:
             events += 1
@@ -502,6 +515,7 @@ class ClusterSimulator:
             # (gating a node that live flows demand, waking a node that is
             # not gated) are dropped — the controller races the cluster.
             if next_tick_s <= time_s + _COMPLETION_EPS:
+                ticks += 1
                 if live:
                     rates, bindings = self._allocate(live, factors)
                 else:
@@ -551,6 +565,7 @@ class ClusterSimulator:
                             and node_state[node_id] == ACTIVE
                             and node_id not in demanded
                         ):
+                            gate_actions += 1
                             if model.shutdown_s > 0:
                                 node_state[node_id] = GATING
                                 transition_end[node_id] = (
@@ -564,6 +579,7 @@ class ClusterSimulator:
                             0 <= node_id < num_nodes
                             and node_state[node_id] == GATED
                         ):
+                            ungate_actions += 1
                             if model.boot_s > 0:
                                 node_state[node_id] = WAKING
                                 transition_end[node_id] = time_s + model.boot_s
@@ -571,6 +587,7 @@ class ClusterSimulator:
                                 node_state[node_id] = ACTIVE
                     elif isinstance(action, SetFrequency):
                         if 0 <= action.node_id < num_nodes:
+                            freq_actions += 1
                             factors[action.node_id] = action.frequency_factor
                     else:
                         raise SimulationError(
@@ -632,6 +649,14 @@ class ClusterSimulator:
                             phase_live_count, job_phase, time_s, job_completion,
                         )
 
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.count("sim.controlled_runs")
+            telemetry.count("sim.events", events)
+            telemetry.count("sim.control.ticks", ticks)
+            telemetry.count("sim.control.gate_actions", gate_actions)
+            telemetry.count("sim.control.ungate_actions", ungate_actions)
+            telemetry.count("sim.control.freq_actions", freq_actions)
         return SimulationResult(
             makespan_s=time_s,
             energy_j=sum(node_energy),
@@ -946,6 +971,11 @@ class ClusterSimulator:
         next_tick_s = control_interval_s if dynamic else math.inf
         bindings: Sequence[str] = []
         events = 0
+        # Telemetry accumulates in locals and flushes once at the return.
+        ticks = 0
+        gate_actions = 0
+        ungate_actions = 0
+        freq_actions = 0
 
         while cursor < len(order) or live or held or retry_ready:
             events += 1
@@ -1011,6 +1041,7 @@ class ClusterSimulator:
             # (it is not active) nor woken (rebooting is the nemesis's
             # call, not the policy's).
             if dynamic and next_tick_s <= time_s + _COMPLETION_EPS:
+                ticks += 1
                 effective = [
                     factors[n] * fault_mult[n] for n in range(num_nodes)
                 ]
@@ -1063,6 +1094,7 @@ class ClusterSimulator:
                             and node_state[node_id] == ACTIVE
                             and node_id not in demanded
                         ):
+                            gate_actions += 1
                             if model.shutdown_s > 0:
                                 node_state[node_id] = GATING
                                 transition_end[node_id] = (
@@ -1077,6 +1109,7 @@ class ClusterSimulator:
                             and node_state[node_id] == GATED
                             and node_id not in crashed
                         ):
+                            ungate_actions += 1
                             if model.boot_s > 0:
                                 node_state[node_id] = WAKING
                                 transition_end[node_id] = time_s + model.boot_s
@@ -1084,6 +1117,7 @@ class ClusterSimulator:
                                 node_state[node_id] = ACTIVE
                     elif isinstance(action, SetFrequency):
                         if 0 <= action.node_id < num_nodes:
+                            freq_actions += 1
                             factors[action.node_id] = action.frequency_factor
                     else:
                         raise SimulationError(
@@ -1167,6 +1201,18 @@ class ClusterSimulator:
                 "no job survived the fault schedule: all "
                 f"{len(dropped)} submitted jobs were dropped"
             )
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.count("sim.faulted_runs")
+            telemetry.count("sim.events", events)
+            telemetry.count("sim.faults.onsets", survived)
+            telemetry.count("sim.faults.retried_jobs", retried)
+            telemetry.count("sim.faults.dropped_jobs", len(dropped))
+            if dynamic:
+                telemetry.count("sim.control.ticks", ticks)
+                telemetry.count("sim.control.gate_actions", gate_actions)
+                telemetry.count("sim.control.ungate_actions", ungate_actions)
+                telemetry.count("sim.control.freq_actions", freq_actions)
         return SimulationResult(
             makespan_s=time_s,
             energy_j=sum(node_energy),

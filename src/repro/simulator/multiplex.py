@@ -65,6 +65,7 @@ from repro.simulator.engine import (
 )
 from repro.simulator.jobs import FlowSpec, Job
 from repro.simulator.resources import CPU, DISK, NETWORK_KINDS, NIC_IN, NIC_OUT
+from repro.telemetry import get_telemetry
 
 __all__ = ["run_multiplexed"]
 
@@ -636,6 +637,10 @@ def run_multiplexed(
             recorded, _run_recorded([lane for _, lane in recorded], max_events)
         ):
             results[position] = result
+    telemetry = get_telemetry()
+    if telemetry.enabled:
+        telemetry.count("sim.multiplex.runs")
+        telemetry.count("sim.multiplex.lanes", len(runs))
     return results  # type: ignore[return-value]
 
 
@@ -734,6 +739,11 @@ def _run_flat(
     active = np.ones(n_lanes, dtype=bool)
     attention = np.ones(n_lanes, dtype=bool)
     lane_ids = np.arange(n_lanes)
+
+    # Telemetry accumulates in locals (two int adds per global iteration,
+    # nothing per flow) and flushes once after the loop.
+    iterations = 0
+    flow_steps = 0
 
     while True:
         # -- phase A: admissions, idle gaps, completion (scalar loop head)
@@ -857,6 +867,8 @@ def _run_flat(
 
         # -- phase C: one max-min fair allocation across every lane
         n_flows = f_rem.shape[0]
+        iterations += 1
+        flow_steps += n_flows
         entry_flow = np.repeat(np.arange(n_flows, dtype=np.int64), f_ecount)
         rates = max_min_fair_rates_flat(
             entry_flow,
@@ -975,6 +987,11 @@ def _run_flat(
             | (next_start <= time_arr + _COMPLETION_EPS)
         )
 
+    telemetry = get_telemetry()
+    if telemetry.enabled:
+        telemetry.count("sim.multiplex.iterations", iterations)
+        telemetry.count("sim.multiplex.flow_steps", flow_steps)
+        telemetry.count("sim.events", int(events.sum()))
     return [
         SimulationResult(
             makespan_s=float(time_arr[l]),
@@ -1009,6 +1026,8 @@ def _run_recorded(
     time_arr = np.zeros(n_lanes)
 
     active = list(lanes)
+    iterations = 0
+    flow_steps = 0
     while active:
         # -- phase A: per-lane admissions and idle gaps (scalar loop head)
         proceed = []
@@ -1040,6 +1059,8 @@ def _run_recorded(
                 lane.rebuild_row(rate_m, rem_m, floor_m, power_m)
 
         # -- phase C: vectorized step across lanes
+        iterations += 1
+        flow_steps += sum(lane.live_tid.size for lane in active)
         act = np.array([lane.index for lane in active], dtype=np.int64)
         sub_rate = rate_m[act]
         sub_rem = rem_m[act]
@@ -1076,6 +1097,11 @@ def _run_recorded(
         for j, lane in enumerate(active):
             lane.after_step(dt[j], pre_t[j], time_arr[lane.index], done[j])
 
+    telemetry = get_telemetry()
+    if telemetry.enabled:
+        telemetry.count("sim.multiplex.iterations", iterations)
+        telemetry.count("sim.multiplex.flow_steps", flow_steps)
+        telemetry.count("sim.events", sum(lane.events for lane in lanes))
     return [lane.finalize(time_arr, energy_m) for lane in lanes]
 
 

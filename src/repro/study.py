@@ -374,6 +374,25 @@ class Study:
         )
         return loop.run(reference_label=self._reference_label)
 
+    def report(self, title: str | None = None) -> str:
+        """Render the active telemetry registry as a stage-time report.
+
+        Call :func:`repro.telemetry.enable` before :meth:`run` (or
+        :meth:`optimize`) and this returns the recorded breakdown —
+        per-stage search spans, worker chunk times, cache and simulator
+        counters — as printable text.  With telemetry disabled (the
+        default) the report says so instead of being empty.  The registry
+        is cumulative across runs; :func:`repro.telemetry.reset` starts a
+        fresh window.
+        """
+        from repro.telemetry import get_telemetry
+        from repro.telemetry.report import render_report
+
+        return render_report(
+            get_telemetry(),
+            title=title if title is not None else "study telemetry",
+        )
+
 
 class StudyResult:
     """Unified outcome of one study: raw search + trade-off analyses.

@@ -1,0 +1,296 @@
+"""The process-local telemetry registry: counters, gauges, timed spans.
+
+One :class:`Telemetry` object holds everything a run records:
+
+* **counters** — monotonically accumulated numbers (``cache.hit``,
+  ``sim.events``).  Counts are exact and deterministic: at a fixed seed,
+  two runs of the same campaign produce identical counter values.
+* **gauges** — last-write-wins observations (a pool size, a batch width).
+* **spans** — nested timed sections.  ``with telemetry.span("x"):``
+  measures wall time and call count under the *path* formed by the spans
+  currently open on this registry's stack, so ``span("search")`` around
+  ``span("search.dispatch")`` records ``("search",)`` and ``("search",
+  "search.dispatch")`` separately and a report can attribute parent time
+  to children.
+
+The registry is **off-by-default-cheap**: with ``enabled`` false,
+``span()`` returns a shared no-op context manager and ``count()`` /
+``gauge()`` return after one attribute check — no allocation, no clock
+read.  Times never feed back into any computation or cache key; only the
+*content* (counts) is deterministic, the seconds are measurements.
+
+Module-level helpers (:func:`get_telemetry`, :func:`span`,
+:func:`count`, ...) operate on one process-wide *active* registry, so
+instrumented code never threads a registry through its call chain.
+:func:`capture` swaps in a fresh registry for a block — how worker
+processes (and the engine's serial in-process chunk retry) measure into
+an isolated registry whose picklable :meth:`Telemetry.snapshot` is
+merged back into the parent with :meth:`Telemetry.merge`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Iterator
+
+__all__ = [
+    "Telemetry",
+    "TelemetrySnapshot",
+    "capture",
+    "count",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "get_telemetry",
+    "reset",
+    "snapshot",
+    "span",
+]
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """A picklable, mergeable copy of one registry's content.
+
+    ``spans`` maps a span *path* (tuple of span names, outermost first)
+    to ``(calls, total_s)``.  Snapshots cross process boundaries — the
+    worker pool ships one back per instrumented chunk — and fold into
+    another registry via :meth:`Telemetry.merge`.
+    """
+
+    counters: dict[str, int | float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    spans: dict[tuple[str, ...], tuple[int, float]] = field(default_factory=dict)
+
+
+class _NullSpan:
+    """The shared no-op span of every disabled registry."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live timed section; created only when telemetry is enabled."""
+
+    __slots__ = ("_registry", "_name", "_path", "_start")
+
+    def __init__(self, registry: "Telemetry", name: str):
+        self._registry = registry
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        stack = self._registry._stack
+        stack.append(self._name)
+        self._path = tuple(stack)
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        elapsed = perf_counter() - self._start
+        spans = self._registry._spans
+        prev = spans.get(self._path)
+        spans[self._path] = (
+            (1, elapsed) if prev is None else (prev[0] + 1, prev[1] + elapsed)
+        )
+        self._registry._stack.pop()
+        return False
+
+
+class Telemetry:
+    """One registry of counters, gauges, and nested timed spans."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._counters: dict[str, int | float] = {}
+        self._gauges: dict[str, float] = {}
+        self._spans: dict[tuple[str, ...], tuple[int, float]] = {}
+        self._stack: list[str] = []
+
+    # ------------------------------------------------------------- recording
+    def span(self, name: str):
+        """A context manager timing ``name`` under the open span path."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name)
+
+    def count(self, name: str, n: int | float = 1) -> None:
+        """Accumulate ``n`` onto counter ``name`` (no-op when disabled)."""
+        if self.enabled:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the latest observation of ``name`` (no-op when disabled)."""
+        if self.enabled:
+            self._gauges[name] = value
+
+    # --------------------------------------------------------------- reading
+    @property
+    def counters(self) -> dict[str, int | float]:
+        return dict(self._counters)
+
+    @property
+    def gauges(self) -> dict[str, float]:
+        return dict(self._gauges)
+
+    @property
+    def spans(self) -> dict[tuple[str, ...], tuple[int, float]]:
+        return dict(self._spans)
+
+    def counter(self, name: str, default: int | float = 0) -> int | float:
+        """One counter's accumulated value (``default`` if never counted)."""
+        return self._counters.get(name, default)
+
+    def span_stats(self, name: str) -> tuple[int, float]:
+        """Total ``(calls, seconds)`` of every span path ending in ``name``.
+
+        A span recorded under several parents (``worker.chunk`` nested
+        below ``search.dispatch`` of different searches, say) sums across
+        its paths; ``(0, 0.0)`` if the name was never entered.
+        """
+        calls, total = 0, 0.0
+        for path, (c, t) in self._spans.items():
+            if path[-1] == name:
+                calls += c
+                total += t
+        return calls, total
+
+    # ------------------------------------------------------- snapshot / merge
+    def snapshot(self) -> TelemetrySnapshot:
+        """A picklable copy of everything recorded so far."""
+        return TelemetrySnapshot(
+            counters=dict(self._counters),
+            gauges=dict(self._gauges),
+            spans=dict(self._spans),
+        )
+
+    def merge(
+        self,
+        other: "TelemetrySnapshot | Telemetry",
+        at: tuple[str, ...] | None = None,
+    ) -> None:
+        """Fold another registry's content into this one.
+
+        Counters add, gauges last-write-win, and span paths are nested
+        under ``at`` — by default the spans currently open on this
+        registry, so a worker snapshot merged while ``search.dispatch``
+        is open lands its ``worker.chunk`` time *beneath* the dispatch
+        span in the report tree.  Merging is commutative across
+        snapshots (counter sums and span sums are order-independent up
+        to float addition order), so chunk harvest order does not change
+        counter content.  Merge is deliberately unguarded by
+        ``enabled``: it folds explicit data the caller already collected.
+        """
+        if isinstance(other, Telemetry):
+            other = other.snapshot()
+        prefix = tuple(self._stack) if at is None else tuple(at)
+        for name, value in other.counters.items():
+            self._counters[name] = self._counters.get(name, 0) + value
+        self._gauges.update(other.gauges)
+        for path, (calls, total) in other.spans.items():
+            full = prefix + path
+            prev = self._spans.get(full)
+            self._spans[full] = (
+                (calls, total)
+                if prev is None
+                else (prev[0] + calls, prev[1] + total)
+            )
+
+    def reset(self) -> None:
+        """Drop everything recorded; the enabled flag is untouched."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._spans.clear()
+        self._stack.clear()
+
+
+# --------------------------------------------------------- process-wide state
+_ACTIVE = Telemetry()
+
+
+def get_telemetry() -> Telemetry:
+    """The process-wide active registry instrumented code records into."""
+    return _ACTIVE
+
+
+def enable() -> Telemetry:
+    """Turn collection on; returns the active registry.
+
+    Idempotent, and deliberately *not* a reset — call :func:`reset`
+    first for a fresh measurement window.
+    """
+    _ACTIVE.enabled = True
+    return _ACTIVE
+
+
+def disable() -> Telemetry:
+    """Turn collection off (recorded content is kept); returns the registry."""
+    _ACTIVE.enabled = False
+    return _ACTIVE
+
+
+def enabled() -> bool:
+    """Whether the active registry is collecting."""
+    return _ACTIVE.enabled
+
+
+def span(name: str):
+    """``get_telemetry().span(name)`` — module-level convenience."""
+    return _ACTIVE.span(name)
+
+
+def count(name: str, n: int | float = 1) -> None:
+    """``get_telemetry().count(name, n)`` — module-level convenience."""
+    _ACTIVE.count(name, n)
+
+
+def gauge(name: str, value: float) -> None:
+    """``get_telemetry().gauge(name, value)`` — module-level convenience."""
+    _ACTIVE.gauge(name, value)
+
+
+def reset() -> None:
+    """Clear the active registry's recorded content."""
+    _ACTIVE.reset()
+
+
+def snapshot() -> TelemetrySnapshot:
+    """A picklable copy of the active registry's content."""
+    return _ACTIVE.snapshot()
+
+
+@contextmanager
+def capture(enabled: bool = True) -> Iterator[Telemetry]:
+    """Swap a fresh registry in as the active one for the block.
+
+    The two places this isolation matters:
+
+    * **worker processes** — an instrumented chunk measures into a local
+      registry (whatever the fork inherited stays untouched) and ships
+      ``local.snapshot()`` back over the result channel;
+    * **in-process chunk retries** — the engine re-runs a failed chunk's
+      instrumented wrapper in the parent process; without capture the
+      wrapper would record into (and worse, re-enter the span stack of)
+      the registry that is mid-``search.dispatch``.
+
+    The prior registry is restored on exit, exception or not.
+    """
+    global _ACTIVE
+    prior = _ACTIVE
+    local = Telemetry(enabled=enabled)
+    _ACTIVE = local
+    try:
+        yield local
+    finally:
+        _ACTIVE = prior

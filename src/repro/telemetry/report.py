@@ -1,0 +1,157 @@
+"""Rendering a telemetry registry as a human-readable run report.
+
+:func:`span_rows` flattens the span tree into rows with derived *self
+time* (a span's wall time minus its direct children's), :func:`attribution`
+summarizes how much of the root spans' wall time named child spans
+account for — with the unattributed remainder reported explicitly, never
+hidden — and :func:`render_report` draws the whole registry as text:
+span tree with per-row percentages, explicit ``(unattributed)`` lines,
+then counters and gauges.
+
+One caveat the report states inline: children of a parallel stage
+(worker ``worker.chunk`` spans merged under ``search.dispatch``) measure
+*in-worker* seconds, which overlap in wall time — their sum can exceed
+the parent's wall time, and self time clamps at zero in that case.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.telemetry.registry import Telemetry, TelemetrySnapshot
+
+__all__ = ["attribution", "render_report", "span_rows"]
+
+
+def _as_snapshot(source: Telemetry | TelemetrySnapshot) -> TelemetrySnapshot:
+    if isinstance(source, Telemetry):
+        return source.snapshot()
+    return source
+
+
+def span_rows(source: Telemetry | TelemetrySnapshot) -> list[dict[str, Any]]:
+    """The span tree as rows in depth-first path order.
+
+    Each row carries its full ``path``, display ``name`` (the path
+    tail), ``depth``, ``calls``, ``total_s``, the summed wall time of
+    its direct children (``child_s``), and ``self_s = max(0, total_s -
+    child_s)`` — the time the span spent outside any named child.
+    """
+    snap = _as_snapshot(source)
+    spans = snap.spans
+    rows = []
+    for path in sorted(spans):
+        calls, total = spans[path]
+        child_s = sum(
+            t
+            for p, (_, t) in spans.items()
+            if len(p) == len(path) + 1 and p[: len(path)] == path
+        )
+        rows.append(
+            {
+                "path": path,
+                "name": path[-1],
+                "depth": len(path) - 1,
+                "calls": calls,
+                "total_s": total,
+                "child_s": child_s,
+                "self_s": max(0.0, total - child_s),
+            }
+        )
+    return rows
+
+
+def attribution(
+    source: Telemetry | TelemetrySnapshot, root: str | None = None
+) -> dict[str, float]:
+    """How much root-span wall time named child spans account for.
+
+    Considers every depth-0 span (or just ``root`` when given): the
+    unattributed remainder is the roots' *self* time — wall seconds
+    inside a root but outside every named child.  Returns ``total_s``,
+    ``attributed_s``, ``unattributed_s``, and ``fraction`` (attributed
+    over total; 1.0 for an empty registry, so "nothing measured" never
+    reads as "nothing attributed").
+    """
+    rows = [
+        row
+        for row in span_rows(source)
+        if row["depth"] == 0 and (root is None or row["name"] == root)
+    ]
+    total = sum(row["total_s"] for row in rows)
+    unattributed = sum(row["self_s"] for row in rows)
+    return {
+        "total_s": total,
+        "attributed_s": total - unattributed,
+        "unattributed_s": unattributed,
+        "fraction": (total - unattributed) / total if total > 0 else 1.0,
+    }
+
+
+def render_report(
+    source: Telemetry | TelemetrySnapshot, title: str = "telemetry report"
+) -> str:
+    """The registry as a text report: span tree, counters, gauges.
+
+    Percentages are relative to each row's *root* span.  Spans with
+    children get an explicit ``(unattributed)`` row for their self time,
+    so time not covered by any named child is always visible.
+    """
+    snap = _as_snapshot(source)
+    lines = [title, "=" * len(title)]
+    rows = span_rows(snap)
+    if not rows and not snap.counters and not snap.gauges:
+        lines.append("no telemetry recorded (repro.telemetry.enable() first?)")
+        return "\n".join(lines)
+
+    if rows:
+        root_totals = {
+            row["path"][0]: row["total_s"] for row in rows if row["depth"] == 0
+        }
+
+        def pct(path: tuple, seconds: float) -> str:
+            root_total = root_totals.get(path[0], 0.0)
+            if root_total <= 0:
+                return "    -"
+            return f"{100.0 * seconds / root_total:5.1f}"
+
+        lines.append("")
+        lines.append(
+            "spans  (calls, wall seconds, % of root; parallel children "
+            "overlap in wall time):"
+        )
+        for row in rows:
+            indent = "  " * row["depth"]
+            label = f"{indent}{row['name']}"
+            lines.append(
+                f"  {label:<40} {row['calls']:>8}x {row['total_s']:>10.4f}s"
+                f"  {pct(row['path'], row['total_s'])}%"
+            )
+            if row["child_s"] > 0:
+                sub = f"{indent}  (unattributed)"
+                lines.append(
+                    f"  {sub:<40} {'':>9} {row['self_s']:>10.4f}s"
+                    f"  {pct(row['path'], row['self_s'])}%"
+                )
+        summary = attribution(snap)
+        lines.append(
+            f"  attributed to named spans: {summary['fraction']:.1%} of "
+            f"{summary['total_s']:.4f}s root wall time "
+            f"(unattributed {summary['unattributed_s']:.4f}s)"
+        )
+
+    if snap.counters:
+        lines.append("")
+        lines.append("counters:")
+        for name in sorted(snap.counters):
+            value = snap.counters[name]
+            rendered = f"{value:g}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name:<42} {rendered:>12}")
+
+    if snap.gauges:
+        lines.append("")
+        lines.append("gauges:")
+        for name in sorted(snap.gauges):
+            lines.append(f"  {name:<42} {snap.gauges[name]:>12g}")
+
+    return "\n".join(lines)

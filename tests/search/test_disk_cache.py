@@ -194,6 +194,53 @@ class TestLockRetry:
         assert len(attempts) == 3
         assert sleeps == sorted(sleeps)  # backoff grows between attempts
 
+    def test_lock_retries_warn_and_count(self, monkeypatch, caplog):
+        """Each backoff warns with the attempt count and cumulative wait
+        on ``repro.search.cache``, and bumps ``cache.lock_retries``."""
+        import logging
+
+        from repro.search import cache as cache_module
+        from repro.telemetry import capture
+
+        monkeypatch.setattr(cache_module.time, "sleep", lambda _s: None)
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise cache_module.sqlite3.OperationalError("database is locked")
+            return "ok"
+
+        with capture() as telemetry:
+            with caplog.at_level(logging.WARNING, logger="repro.search.cache"):
+                assert cache_module._with_lock_retry(flaky) == "ok"
+        assert telemetry.counter("cache.lock_retries") == 2
+        records = [r for r in caplog.records if r.name == "repro.search.cache"]
+        assert len(records) == 2
+        assert "attempt 1 of 5" in records[0].getMessage()
+        assert "0.025s waited so far" in records[0].getMessage()
+        assert "attempt 2 of 5" in records[1].getMessage()
+        assert "0.075s waited so far" in records[1].getMessage()
+
+    def test_lock_retries_are_silent_when_telemetry_is_disabled(self, monkeypatch):
+        """The counter hook is a no-op by default — the global registry
+        stays empty even while retries happen."""
+        from repro.search import cache as cache_module
+        from repro.telemetry import capture
+
+        monkeypatch.setattr(cache_module.time, "sleep", lambda _s: None)
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 2:
+                raise cache_module.sqlite3.OperationalError("database is locked")
+            return "ok"
+
+        with capture(enabled=False) as telemetry:
+            assert cache_module._with_lock_retry(flaky) == "ok"
+        assert telemetry.counters == {}
+
     def test_non_lock_errors_propagate_immediately(self, monkeypatch):
         import sqlite3
 

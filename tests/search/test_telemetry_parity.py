@@ -1,0 +1,150 @@
+"""Telemetry must observe, never perturb: results are bit-identical with
+instrumentation on or off, and worker-side counters merge back exactly."""
+
+import pytest
+
+from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
+from repro.search import DesignGrid, DesignSpaceSearch
+from repro.study import Study
+from repro.telemetry import capture
+from repro.workloads.queries import section54_join
+from repro.workloads.suite import WorkloadSuite
+
+
+def paper_grid():
+    return DesignGrid.paper_axis(CLUSTER_V_NODE, WIMPY_LAPTOP_B, 8)
+
+
+def nightly_suite():
+    return WorkloadSuite.of(
+        "nightly", section54_join(), section54_join(0.02, 0.02)
+    )
+
+
+def record_view(points):
+    return [
+        (p.label, p.time_s, p.energy_j, p.edp, p.feasible) for p in points
+    ]
+
+
+def run_study(workers: int, enabled: bool):
+    """One cold Study.run inside an isolated registry; returns
+    (record view, counters)."""
+    with capture(enabled=enabled) as telemetry:
+        with Study(
+            paper_grid(),
+            workload=nightly_suite(),
+            workers=workers,
+            min_dispatch_tasks=1,
+        ) as study:
+            result = study.run()
+    return record_view(result.points), telemetry.counters
+
+
+def optimize_study(workers: int, enabled: bool):
+    with capture(enabled=enabled) as telemetry:
+        with Study(
+            paper_grid(),
+            workload=nightly_suite(),
+            workers=workers,
+            min_dispatch_tasks=1,
+        ) as study:
+            result = study.optimize(budget=12, optimizer="random", seed=3)
+    return record_view(result.points), telemetry.counters
+
+
+def engine_counters(k: str) -> bool:
+    """Counters whose location (parent vs worker) depends on dispatch;
+    everything else must merge back to the exact serial totals."""
+    return k.startswith("search.dispatch")
+
+
+class TestResultsUnchanged:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_study_run_is_bit_identical_on_vs_off(self, workers):
+        off, off_counters = run_study(workers, enabled=False)
+        on, on_counters = run_study(workers, enabled=True)
+        assert on == off
+        assert off_counters == {}  # disabled leaves no trace
+        assert on_counters["search.runs"] == 1
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_study_optimize_is_bit_identical_on_vs_off(self, workers):
+        off, _ = optimize_study(workers, enabled=False)
+        on, on_counters = optimize_study(workers, enabled=True)
+        assert on == off
+        assert on_counters["evaluator.query_evals"] > 0
+
+
+class TestWorkerMerge:
+    def test_parallel_counters_equal_serial_counters(self):
+        """Worker-side counts (query evaluations, simulator events) ship
+        back in chunk snapshots and must sum to the serial totals."""
+        serial_view, serial = run_study(workers=1, enabled=True)
+        parallel_view, parallel = run_study(workers=2, enabled=True)
+        assert parallel_view == serial_view
+        assert {k: v for k, v in serial.items() if not engine_counters(k)} == {
+            k: v for k, v in parallel.items() if not engine_counters(k)
+        }
+
+    def test_parallel_dispatch_accounting(self):
+        _, counters = run_study(workers=2, enabled=True)
+        grid_size = len(paper_grid())
+        assert counters["search.dispatch.chunks"] >= 1
+        # a cold 2-entry suite dispatches one task per (candidate, entry)
+        assert counters["search.dispatch.tasks"] == 2 * grid_size
+        # misses: one aggregate lookup plus two entry lookups per candidate
+        assert counters["cache.miss"] == 3 * grid_size
+        assert counters.get("search.dispatch.retries", 0) == 0
+
+    def test_worker_chunk_spans_land_under_dispatch(self):
+        with capture() as telemetry:
+            engine = DesignSpaceSearch(workers=2, min_dispatch_tasks=1)
+            with engine:
+                engine.search(paper_grid(), nightly_suite())
+        paths = telemetry.spans
+        chunk_paths = [p for p in paths if p[-1] == "worker.chunk"]
+        assert chunk_paths == [("search", "search.dispatch", "worker.chunk")]
+        chunks = telemetry.counter("search.dispatch.chunks")
+        assert paths[chunk_paths[0]][0] == chunks
+
+    def test_serial_chunk_retry_keeps_counters_exact(self):
+        """The in-process retry of a failed instrumented chunk records
+        into an isolated registry — no double count, no stack damage."""
+        from repro.search import engine as engine_module
+
+        with capture() as telemetry:
+            engine = DesignSpaceSearch(workers=2, min_dispatch_tasks=1)
+            with engine:
+                original_get_pool = engine._get_pool
+
+                class FailingHandle:
+                    def __init__(self, pool, call, payload):
+                        self._handle = pool.apply_async(call, (payload,))
+
+                    def get(self, timeout=None):
+                        self._handle.get(timeout)  # chunk ran, result dropped
+                        raise RuntimeError("simulated lost chunk result")
+
+                class FlakyPool:
+                    def __init__(self, pool):
+                        self._pool = pool
+                        self.failures = 0
+
+                    def apply_async(self, call, args):
+                        if self.failures == 0:
+                            self.failures += 1
+                            return FailingHandle(self._pool, call, args[0])
+                        return self._pool.apply_async(call, args)
+
+                flaky = FlakyPool(original_get_pool())
+                engine._get_pool = lambda: flaky
+                result = engine.search(paper_grid(), nightly_suite())
+        assert result.dispatch_retries == 1
+        assert telemetry.counter("search.dispatch.retries") == 1
+        # the retried chunk's work is counted once, not twice: every
+        # candidate evaluated exactly one suite (2 entries each)
+        assert telemetry.counter("evaluator.query_evals") == 2 * len(
+            result.points
+        )
+        assert telemetry._stack == []

@@ -1,0 +1,205 @@
+"""Registry semantics: the recording contract everything else builds on."""
+
+import pickle
+
+import pytest
+
+from repro.telemetry import Telemetry, TelemetrySnapshot, capture
+from repro.telemetry.registry import _NULL_SPAN
+
+
+class TestDisabledIsNoop:
+    def test_disabled_records_nothing(self):
+        telemetry = Telemetry(enabled=False)
+        telemetry.count("a", 3)
+        telemetry.gauge("g", 1.5)
+        with telemetry.span("s"):
+            pass
+        assert telemetry.counters == {}
+        assert telemetry.gauges == {}
+        assert telemetry.spans == {}
+
+    def test_disabled_span_is_the_shared_null_singleton(self):
+        """No allocation on the disabled path: every disabled span() is
+        one shared object."""
+        telemetry = Telemetry(enabled=False)
+        assert telemetry.span("a") is _NULL_SPAN
+        assert telemetry.span("b") is _NULL_SPAN
+
+    def test_registries_start_disabled(self):
+        assert not Telemetry().enabled
+
+
+class TestRecording:
+    def test_counters_accumulate(self):
+        telemetry = Telemetry(enabled=True)
+        telemetry.count("hits")
+        telemetry.count("hits", 4)
+        assert telemetry.counter("hits") == 5
+        assert telemetry.counter("never", default=-1) == -1
+
+    def test_gauges_last_write_wins(self):
+        telemetry = Telemetry(enabled=True)
+        telemetry.gauge("width", 8.0)
+        telemetry.gauge("width", 16.0)
+        assert telemetry.gauges == {"width": 16.0}
+
+    def test_nested_spans_record_stack_paths(self):
+        telemetry = Telemetry(enabled=True)
+        with telemetry.span("outer"):
+            with telemetry.span("inner"):
+                pass
+            with telemetry.span("inner"):
+                pass
+        paths = telemetry.spans
+        assert set(paths) == {("outer",), ("outer", "inner")}
+        assert paths[("outer",)][0] == 1
+        assert paths[("outer", "inner")][0] == 2
+        # the parent's wall time covers its children's
+        assert paths[("outer",)][1] >= paths[("outer", "inner")][1]
+
+    def test_span_stats_sums_across_parents(self):
+        telemetry = Telemetry(enabled=True)
+        with telemetry.span("a"):
+            with telemetry.span("leaf"):
+                pass
+        with telemetry.span("b"):
+            with telemetry.span("leaf"):
+                pass
+        calls, total = telemetry.span_stats("leaf")
+        assert calls == 2
+        assert total > 0.0
+        assert telemetry.span_stats("never") == (0, 0.0)
+
+    def test_span_pops_the_stack_on_exception(self):
+        telemetry = Telemetry(enabled=True)
+        with pytest.raises(ValueError):
+            with telemetry.span("outer"):
+                raise ValueError("boom")
+        assert telemetry._stack == []
+        assert telemetry.spans[("outer",)][0] == 1
+
+    def test_reset_keeps_the_enabled_flag(self):
+        telemetry = Telemetry(enabled=True)
+        telemetry.count("a")
+        with telemetry.span("s"):
+            pass
+        telemetry.reset()
+        assert telemetry.enabled
+        assert telemetry.counters == {}
+        assert telemetry.spans == {}
+
+
+class TestSnapshotAndMerge:
+    def test_snapshot_pickles_roundtrip(self):
+        """Snapshots must cross the worker pool's result channel."""
+        telemetry = Telemetry(enabled=True)
+        telemetry.count("n", 7)
+        telemetry.gauge("g", 2.5)
+        with telemetry.span("s"):
+            pass
+        snap = telemetry.snapshot()
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone == snap
+        assert clone.counters == {"n": 7}
+        assert ("s",) in clone.spans
+
+    def test_snapshot_is_a_copy(self):
+        telemetry = Telemetry(enabled=True)
+        telemetry.count("n")
+        snap = telemetry.snapshot()
+        telemetry.count("n")
+        assert snap.counters == {"n": 1}
+
+    def test_merge_adds_counters_and_updates_gauges(self):
+        parent = Telemetry(enabled=True)
+        parent.count("n", 1)
+        parent.gauge("g", 1.0)
+        parent.merge(TelemetrySnapshot(counters={"n": 2, "m": 5}, gauges={"g": 9.0}))
+        assert parent.counters == {"n": 3, "m": 5}
+        assert parent.gauges == {"g": 9.0}
+
+    def test_merge_nests_spans_under_the_open_stack(self):
+        """A worker snapshot merged while search.dispatch is open lands
+        its worker.chunk time beneath dispatch in the tree."""
+        worker = Telemetry(enabled=True)
+        with worker.span("worker.chunk"):
+            pass
+        parent = Telemetry(enabled=True)
+        with parent.span("search"):
+            with parent.span("search.dispatch"):
+                parent.merge(worker.snapshot())
+        assert ("search", "search.dispatch", "worker.chunk") in parent.spans
+
+    def test_merge_with_explicit_prefix(self):
+        parent = Telemetry(enabled=True)
+        child = Telemetry(enabled=True)
+        with child.span("leaf"):
+            pass
+        parent.merge(child.snapshot(), at=("root",))
+        assert set(parent.spans) == {("root", "leaf")}
+
+    def test_merge_accumulates_repeated_span_paths(self):
+        parent = Telemetry(enabled=True)
+        for _ in range(2):
+            child = Telemetry(enabled=True)
+            with child.span("leaf"):
+                pass
+            parent.merge(child.snapshot(), at=())
+        assert parent.spans[("leaf",)][0] == 2
+
+    def test_merge_is_unguarded_by_enabled(self):
+        """Explicitly collected data folds in even if the parent stopped
+        collecting between dispatch and harvest."""
+        parent = Telemetry(enabled=False)
+        parent.merge(TelemetrySnapshot(counters={"n": 1}))
+        assert parent.counters == {"n": 1}
+
+
+class TestModuleLevelState:
+    def test_capture_swaps_and_restores_the_active_registry(self):
+        import repro.telemetry as T
+
+        before = T.get_telemetry()
+        with capture() as local:
+            assert T.get_telemetry() is local
+            assert local.enabled
+            T.count("in-capture")
+        assert T.get_telemetry() is before
+        assert local.counter("in-capture") == 1
+        assert before.counter("in-capture") == 0
+
+    def test_capture_restores_on_exception(self):
+        import repro.telemetry as T
+
+        before = T.get_telemetry()
+        with pytest.raises(RuntimeError):
+            with capture():
+                raise RuntimeError("boom")
+        assert T.get_telemetry() is before
+
+    def test_capture_disabled_registry(self):
+        with capture(enabled=False) as local:
+            import repro.telemetry as T
+
+            T.count("ignored")
+        assert local.counters == {}
+
+    def test_enable_disable_toggle_without_reset(self):
+        import repro.telemetry as T
+
+        with capture(enabled=False):
+            registry = T.enable()
+            assert T.enabled()
+            T.count("kept")
+            T.disable()
+            assert not T.enabled()
+            T.count("dropped")
+            assert registry.counter("kept") == 1
+            assert registry.counter("dropped") == 0
+            # enable again: prior content survives (enable is not a reset)
+            T.enable()
+            assert registry.counter("kept") == 1
+            T.reset()
+            assert registry.counter("kept") == 0
+            assert T.enabled()

@@ -1,0 +1,166 @@
+"""Report rendering, attribution math, logging setup, JSON export."""
+
+import io
+import json
+import logging
+
+from repro.analysis.export import telemetry_to_dict, telemetry_to_json
+from repro.telemetry import (
+    Telemetry,
+    TelemetrySnapshot,
+    attribution,
+    capture,
+    configure_logging,
+    render_report,
+    span_rows,
+)
+
+
+def _registry_with_tree() -> Telemetry:
+    telemetry = Telemetry(enabled=True)
+    with telemetry.span("root"):
+        with telemetry.span("child"):
+            pass
+        with telemetry.span("child"):
+            pass
+    telemetry.count("hits", 3)
+    telemetry.gauge("width", 8.0)
+    return telemetry
+
+
+class TestSpanRows:
+    def test_rows_are_depth_first_with_depths(self):
+        rows = span_rows(_registry_with_tree())
+        assert [(row["name"], row["depth"]) for row in rows] == [
+            ("root", 0),
+            ("child", 1),
+        ]
+        assert rows[1]["calls"] == 2
+
+    def test_self_time_subtracts_direct_children(self):
+        snap = TelemetrySnapshot(
+            spans={("root",): (1, 10.0), ("root", "child"): (2, 4.0)}
+        )
+        rows = {row["name"]: row for row in span_rows(snap)}
+        assert rows["root"]["child_s"] == 4.0
+        assert rows["root"]["self_s"] == 6.0
+        assert rows["child"]["self_s"] == 4.0
+
+    def test_self_time_clamps_when_parallel_children_overlap(self):
+        """Worker chunks measure in-worker seconds, which overlap in wall
+        time — their sum can exceed the parent's."""
+        snap = TelemetrySnapshot(
+            spans={("dispatch",): (1, 1.0), ("dispatch", "worker.chunk"): (4, 3.5)}
+        )
+        (root_row,) = [r for r in span_rows(snap) if r["depth"] == 0]
+        assert root_row["self_s"] == 0.0
+
+    def test_accepts_registry_or_snapshot(self):
+        telemetry = _registry_with_tree()
+        assert span_rows(telemetry) == span_rows(telemetry.snapshot())
+
+
+class TestAttribution:
+    def test_fraction_over_root_spans(self):
+        snap = TelemetrySnapshot(
+            spans={("root",): (1, 10.0), ("root", "child"): (1, 9.5)}
+        )
+        summary = attribution(snap)
+        assert summary["total_s"] == 10.0
+        assert summary["attributed_s"] == 9.5
+        assert summary["unattributed_s"] == 0.5
+        assert summary["fraction"] == 0.95
+
+    def test_empty_registry_is_fully_attributed(self):
+        """Nothing measured must never read as nothing attributed."""
+        assert attribution(TelemetrySnapshot())["fraction"] == 1.0
+
+    def test_root_filter(self):
+        snap = TelemetrySnapshot(
+            spans={
+                ("a",): (1, 10.0),
+                ("a", "x"): (1, 10.0),
+                ("b",): (1, 4.0),
+            }
+        )
+        assert attribution(snap, root="a")["fraction"] == 1.0
+        assert attribution(snap, root="b")["fraction"] == 0.0
+
+
+class TestRenderReport:
+    def test_empty_registry_says_how_to_enable(self):
+        text = render_report(Telemetry())
+        assert "no telemetry recorded" in text
+        assert "repro.telemetry.enable()" in text
+
+    def test_report_shows_tree_counters_and_gauges(self):
+        text = render_report(_registry_with_tree(), title="unit report")
+        assert text.startswith("unit report\n===========")
+        assert "root" in text
+        assert "  child" in text  # indented beneath its parent
+        assert "(unattributed)" in text
+        assert "attributed to named spans:" in text
+        assert "hits" in text and "3" in text
+        assert "width" in text
+
+    def test_percentages_are_relative_to_the_root(self):
+        snap = TelemetrySnapshot(
+            spans={("root",): (1, 2.0), ("root", "half"): (1, 1.0)}
+        )
+        text = render_report(snap)
+        assert "100.0%" in text
+        assert " 50.0%" in text
+
+
+class TestConfigureLogging:
+    def test_attaches_one_handler_and_is_idempotent(self):
+        logger = logging.getLogger("repro")
+        before = list(logger.handlers)
+        stream = io.StringIO()
+        try:
+            configure_logging(level=logging.INFO, stream=stream)
+            configure_logging(level=logging.DEBUG, stream=stream)
+            added = [h for h in logger.handlers if h not in before]
+            assert len(added) == 1
+            assert logger.level == logging.DEBUG
+        finally:
+            for handler in list(logger.handlers):
+                if handler not in before:
+                    logger.removeHandler(handler)
+            logger.setLevel(logging.NOTSET)
+
+    def test_child_module_records_reach_the_repro_handler(self):
+        logger = logging.getLogger("repro")
+        before = list(logger.handlers)
+        stream = io.StringIO()
+        try:
+            configure_logging(level=logging.WARNING, stream=stream)
+            logging.getLogger("repro.search.cache").warning("store is locked")
+            assert "repro.search.cache: store is locked" in stream.getvalue()
+        finally:
+            for handler in list(logger.handlers):
+                if handler not in before:
+                    logger.removeHandler(handler)
+            logger.setLevel(logging.NOTSET)
+
+
+class TestJsonExport:
+    def test_dict_shape_and_path_join(self):
+        payload = telemetry_to_dict(_registry_with_tree())
+        assert payload["counters"] == {"hits": 3}
+        assert payload["gauges"] == {"width": 8.0}
+        assert [row["path"] for row in payload["spans"]] == [
+            "root",
+            "root/child",
+        ]
+        assert payload["attribution"]["fraction"] <= 1.0
+
+    def test_json_is_parseable_and_defaults_to_active_registry(self):
+        with capture() as telemetry:
+            telemetry.count("n", 2)
+            parsed = json.loads(telemetry_to_json())
+        assert parsed["counters"] == {"n": 2}
+
+    def test_accepts_snapshots(self):
+        snap = TelemetrySnapshot(counters={"n": 1})
+        assert telemetry_to_dict(snap)["counters"] == {"n": 1}

@@ -77,6 +77,9 @@ def test_quickstart_docstring_workflow():
         "repro.analysis.report",
         "repro.analysis.export",
         "repro.analysis.bottlenecks",
+        "repro.telemetry",
+        "repro.telemetry.registry",
+        "repro.telemetry.report",
         "repro.experiments",
     ],
 )
