@@ -40,6 +40,7 @@ bench-json:
 	$(PYTHON) benchmarks/test_policy.py --json BENCH_policy.json
 	$(PYTHON) benchmarks/test_faults.py --json BENCH_faults.json
 	$(PYTHON) benchmarks/test_telemetry.py --json BENCH_telemetry.json
+	$(PYTHON) benchmarks/test_cost.py --json BENCH_cost.json
 
 # Sweep a 216-point design grid and print its Pareto frontier.
 search-demo:

@@ -97,6 +97,7 @@ from repro.hardware.presets import (
     TABLE2_SYSTEMS,
     WIMPY_LAPTOP_B,
 )
+from repro.costmodel import CarbonIntensityCurve, CostModel
 from repro.policy import (
     ControlPolicy,
     DvfsLadderPolicy,
@@ -118,6 +119,7 @@ from repro.search import (
     LatencyProfile,
     LocalSearch,
     ModelEvaluator,
+    Objective,
     OptimizationLoop,
     Optimizer,
     RandomSearch,
@@ -126,6 +128,8 @@ from repro.search import (
     SearchSpace,
     SimulatorEvaluator,
     SuccessiveHalving,
+    best_under_budget,
+    best_under_carbon,
 )
 from repro.study import OptimizationResult, Study, StudyResult
 from repro.workloads.protocol import (
@@ -149,7 +153,11 @@ from repro.workloads.suite import SuiteEntry, WorkloadSuite
 # `recovery_energy_j`, `retried_jobs`, `dropped_jobs`, and
 # `faults_survived`, and SimulationResult the matching fields; the bump
 # invalidates persisted caches holding the old record shapes.
-__version__ = "1.3.0"
+# 1.5.0: multi-objective cost model — EvaluatedDesign and
+# SimulationResult gained `carbon_g` / `price_usd`, so persisted caches
+# written by older versions hold records of the old pickle shape; the
+# bump invalidates them.
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -192,6 +200,12 @@ __all__ = [
     "ModelEvaluator",
     "SimulatorEvaluator",
     "CallableEvaluator",
+    # multi-objective cost model
+    "CostModel",
+    "CarbonIntensityCurve",
+    "Objective",
+    "best_under_budget",
+    "best_under_carbon",
     # dynamic cluster control
     "PowerStateModel",
     "TRADITIONAL_SERVER",

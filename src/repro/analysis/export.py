@@ -30,6 +30,7 @@ __all__ = [
     "search_to_dict",
     "frontier_to_csv",
     "search_to_json",
+    "tco_frontier_csv",
     "telemetry_to_dict",
     "telemetry_to_json",
     "trajectory_to_csv",
@@ -77,6 +78,10 @@ _SEARCH_FIELDS = [
     "time_s",
     "energy_j",
     "edp",
+    # TCO pricing of cost-model-configured evaluations (null without a
+    # CostModel attached to the evaluator or study)
+    "carbon_g",
+    "price_usd",
     "feasible",
     "on_frontier",
     # queueing response times of timed-trace evaluations (null on the
@@ -134,6 +139,8 @@ def search_to_rows(
                 "time_s": point.time_s if point.feasible else None,
                 "energy_j": point.energy_j if point.feasible else None,
                 "edp": point.edp if point.feasible else None,
+                "carbon_g": getattr(point, "carbon_g", None),
+                "price_usd": getattr(point, "price_usd", None),
                 "feasible": point.feasible,
                 "on_frontier": point.label in frontier_labels,
                 "response_mean_s": latency.mean_s if latency else None,
@@ -163,6 +170,36 @@ def frontier_to_csv(result: SearchResult, frontier_only: bool = True) -> str:
         rows = [row for row in rows if row["on_frontier"]]
     if not rows:
         raise ReproError("no design points to export")
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_SEARCH_FIELDS)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def tco_frontier_csv(
+    result: SearchResult,
+    objectives: Sequence = ("time_s", "energy_j", "price_usd", "carbon_g"),
+) -> str:
+    """The multi-objective (TCO) frontier as CSV text.
+
+    Exports the Pareto frontier under ``objectives`` — by default the
+    full four-axis time/energy/price/carbon trade — with the same
+    columns as :func:`frontier_to_csv`, so downstream consumers read
+    both exports identically.  Frontier membership (``on_frontier``) is
+    computed under the same objectives.  Requires cost-model-priced
+    points when a cost axis is selected.
+    """
+    frontier = result.pareto_frontier(objectives=objectives)
+    if not frontier:
+        raise ReproError("no design points to export")
+    labels = {point.label for point in frontier}
+    rows = [
+        row
+        for row in search_to_rows(result, frontier_labels=labels)
+        if row["on_frontier"]
+    ]
     buffer = io.StringIO()
     writer = csv.DictWriter(buffer, fieldnames=_SEARCH_FIELDS)
     writer.writeheader()

@@ -1,0 +1,17 @@
+"""Total-cost-of-ownership pricing: dollars and carbon per evaluation.
+
+The package behind multi-objective selection: a
+:class:`~repro.costmodel.model.CostModel` attaches to any evaluator (or
+a :class:`~repro.study.Study` via ``with_cost_model``) and annotates
+every feasible record with ``price_usd`` — per-node-type capex
+amortization plus energy tariff — and ``carbon_g`` — grid carbon
+intensity, flat or a time-of-day
+:class:`~repro.costmodel.carbon.CarbonIntensityCurve` integrated exactly
+against the simulator's per-interval energy.  Records without a model
+keep ``None`` cost fields and stay bit-identical to pre-cost behaviour.
+"""
+
+from repro.costmodel.carbon import CarbonIntensityCurve
+from repro.costmodel.model import JOULES_PER_KWH, CostModel
+
+__all__ = ["CarbonIntensityCurve", "CostModel", "JOULES_PER_KWH"]

@@ -1,0 +1,124 @@
+"""Grid carbon intensity: flat numbers and time-of-day curves.
+
+The paper's Section 1 motivation — energy as a growing fraction of total
+cost — generalizes past joules the moment the grid behind the cluster is
+priced: a kWh drawn at 3 a.m. from a wind-heavy grid emits a fraction of
+the CO₂ the same kWh emits at the evening peak.  A
+:class:`CarbonIntensityCurve` models that as a piecewise-constant
+gCO₂/kWh profile repeating over a period (a day, usually), with an exact
+closed-form time integral so a diurnal gating policy that shifts energy
+into the trough earns its true carbon credit — no sampling error.
+
+A plain ``float`` gCO₂/kWh stands in for a flat grid everywhere a curve
+is accepted (:class:`~repro.costmodel.model.CostModel` normalizes the
+two cases).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CarbonIntensityCurve"]
+
+
+@dataclass(frozen=True)
+class CarbonIntensityCurve:
+    """A repeating piecewise-constant carbon-intensity profile.
+
+    ``slots`` are gCO₂/kWh values covering one ``period_s``-long cycle in
+    equal-width steps (24 slots over 86400 s = one value per hour); the
+    profile repeats forever in both directions, so simulations longer
+    than one period integrate over as many cycles as they span.
+
+    The three accessors are exact, not sampled:
+
+    * :meth:`at` — the intensity in force at an instant;
+    * :meth:`integral` — ∫ intensity dt over ``[start_s, end_s]`` in
+      g·s/kWh, splitting at slot and period boundaries analytically;
+    * :attr:`mean` — the time-weighted cycle average, used wherever an
+      evaluation has no timeline to integrate against (weights-only
+      records).
+    """
+
+    slots: tuple[float, ...]
+    period_s: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "slots", tuple(float(s) for s in self.slots))
+        if not self.slots:
+            raise ConfigurationError("a carbon curve needs at least one slot")
+        if any(s < 0 for s in self.slots):
+            raise ConfigurationError("carbon intensity cannot be negative")
+        if not self.period_s > 0:
+            raise ConfigurationError(
+                f"carbon curve period must be > 0 seconds, got {self.period_s}"
+            )
+
+    @classmethod
+    def diurnal(
+        cls,
+        trough_g_per_kwh: float,
+        peak_g_per_kwh: float,
+        period_s: float = 86400.0,
+        slots: int = 24,
+        phase: float = 0.0,
+    ) -> "CarbonIntensityCurve":
+        """A sinusoidal day: trough at t=0 (+``phase`` cycles), peak half
+        a period later — the canonical wind-at-night / gas-peaker shape."""
+        if slots < 1:
+            raise ConfigurationError(f"slots must be >= 1, got {slots}")
+        mid = (trough_g_per_kwh + peak_g_per_kwh) / 2.0
+        amplitude = (peak_g_per_kwh - trough_g_per_kwh) / 2.0
+        values = tuple(
+            mid - amplitude * math.cos(2.0 * math.pi * ((k + 0.5) / slots + phase))
+            for k in range(slots)
+        )
+        return cls(slots=values, period_s=period_s)
+
+    @property
+    def slot_s(self) -> float:
+        """Width of one slot in seconds."""
+        return self.period_s / len(self.slots)
+
+    @property
+    def mean(self) -> float:
+        """Time-weighted cycle-average intensity (slots are equal-width)."""
+        return sum(self.slots) / len(self.slots)
+
+    def at(self, time_s: float) -> float:
+        """The intensity in force at an instant (right-open slots)."""
+        offset = time_s % self.period_s
+        index = min(int(offset / self.slot_s), len(self.slots) - 1)
+        return self.slots[index]
+
+    def _cumulative(self, offset_s: float) -> float:
+        """∫₀^offset intensity dt for one offset inside a single period."""
+        width = self.slot_s
+        index = min(int(offset_s / width), len(self.slots) - 1)
+        whole = sum(self.slots[:index]) * width
+        return whole + self.slots[index] * (offset_s - index * width)
+
+    def integral(self, start_s: float, end_s: float) -> float:
+        """Exact ∫ intensity dt over ``[start_s, end_s]`` (g·s/kWh).
+
+        Multiplying by a constant power in W and dividing by J-per-kWh
+        gives grams of CO₂ for the stretch; an empty or inverted range
+        integrates to zero.
+        """
+        if end_s <= start_s:
+            return 0.0
+        cycle = sum(self.slots) * self.slot_s
+        start_cycles = math.floor(start_s / self.period_s)
+        end_cycles = math.floor(end_s / self.period_s)
+        return (
+            (end_cycles - start_cycles) * cycle
+            + self._cumulative(end_s - end_cycles * self.period_s)
+            - self._cumulative(start_s - start_cycles * self.period_s)
+        )
+
+    def fingerprint(self) -> tuple:
+        """Value identity for cache keys (primitives only, persistable)."""
+        return ("carbon-curve", self.period_s, *self.slots)

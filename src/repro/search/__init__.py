@@ -225,6 +225,54 @@ is retried once serially in-process, logged to the
 ``repro.search.engine`` logger, and counted on
 :attr:`SearchResult.dispatch_retries`.
 
+Multi-objective selection and TCO
+---------------------------------
+
+The selection rules above read a two-dimensional (time, energy) cloud;
+real procurement decisions also price dollars and grams of CO₂.
+:mod:`repro.costmodel` and :mod:`repro.search.objectives` make those
+first-class objectives through the same stack:
+
+1. **pricing** — a :class:`~repro.costmodel.model.CostModel` (per-node
+   capex $/h, energy tariff $/kWh, grid carbon intensity gCO₂/kWh —
+   flat or a time-of-day
+   :class:`~repro.costmodel.carbon.CarbonIntensityCurve`) attaches to
+   any evaluator (``cost_model=``) or study
+   (:meth:`Study.with_cost_model <repro.study.Study.with_cost_model>`);
+   every feasible record then carries ``carbon_g`` / ``price_usd``.
+   Weights-only evaluations price carbon at the curve's cycle mean; a
+   timed simulator replay integrates the curve *exactly* against its
+   per-interval power timeline, so a diurnal gating policy earns its
+   true trough-time carbon credit.  Cost aggregation is linear in
+   (time, energy), so weight-summed suites price exactly; priced
+   records cache under cost-model-fingerprinted keys, disjoint from
+   unpriced rows;
+2. **objectives** — :func:`pareto_frontier` / :func:`knee_point` (and
+   the :class:`SearchResult` / :class:`~repro.study.StudyResult`
+   methods, and ``Study.optimize(objectives=...)``) accept an
+   ``objectives=`` axis list — names from the
+   :mod:`repro.search.objectives` registry (``time_s``, ``energy_j``,
+   ``edp``, ``price_usd``, ``carbon_g``) or custom
+   :class:`~repro.search.objectives.Objective` instances.  Dominance
+   generalizes componentwise; the knee generalizes from
+   max-chord-distance to max-distance-from-the-endpoint-simplex (the
+   hyperplane through the frontier's per-axis minimizers, which in two
+   dimensions *is* the chord);
+3. **budgeted picks** — :func:`~repro.search.objectives
+   .best_under_budget` / :func:`~repro.search.objectives
+   .best_under_carbon` select the fastest design under a dollar or
+   carbon cap, the TCO counterparts of the SLA selectors;
+4. **compatibility** — with no cost model and no ``objectives=``
+   argument, every record, frontier, knee, and SLA pick is
+   bit-identical to the classic behaviour (property-tested:
+   the 2-objective configuration reproduces the legacy sweep exactly,
+   and adding an objective never shrinks the frontier).
+
+``examples/tco_study.py`` walks the 216-design diurnal campaign where
+the energy-, price-, and carbon-optimal picks diverge;
+``benchmarks/test_cost.py`` gates default-path parity and the exact
+time-of-day integration.
+
 Observing a search
 ------------------
 
@@ -278,6 +326,17 @@ from repro.search.evaluators import (
     SimulatorEvaluator,
 )
 from repro.search.grid import DesignCandidate, DesignGrid
+from repro.search.objectives import (
+    DEFAULT_OBJECTIVES,
+    Objective,
+    best_under_budget,
+    best_under_carbon,
+    dominates,
+    frontier_nd,
+    knee_nd,
+    register_objective,
+    resolve_objectives,
+)
 from repro.search.optimize import (
     LocalSearch,
     OptimizationLoop,
@@ -303,6 +362,7 @@ __all__ = [
     "CallableEvaluator",
     "ChoiceAxis",
     "DEFAULT_MIN_DISPATCH_TASKS",
+    "DEFAULT_OBJECTIVES",
     "DesignCandidate",
     "DesignGrid",
     "DesignSpaceSearch",
@@ -311,6 +371,7 @@ __all__ = [
     "LatencyProfile",
     "LocalSearch",
     "ModelEvaluator",
+    "Objective",
     "OptimizationLoop",
     "Optimizer",
     "Proposal",
@@ -322,11 +383,18 @@ __all__ = [
     "SimulatorEvaluator",
     "SuccessiveHalving",
     "TrajectoryPoint",
+    "best_under_budget",
+    "best_under_carbon",
     "best_under_degraded_sla",
     "best_under_latency_sla",
     "best_under_sla",
     "build_optimizer",
+    "dominates",
     "edp_optimal",
+    "frontier_nd",
+    "knee_nd",
     "knee_point",
     "pareto_frontier",
+    "register_objective",
+    "resolve_objectives",
 ]

@@ -68,6 +68,7 @@ from repro.search.evaluators import (
     evaluate_trace_chunk,
 )
 from repro.search.grid import DesignCandidate, DesignGrid, unique_labels
+from repro.search.objectives import best_under_budget, best_under_carbon
 from repro.telemetry import get_telemetry
 from repro.search.pareto import (
     best_under_degraded_sla,
@@ -145,13 +146,41 @@ class SearchResult:
     def infeasible_points(self) -> list[EvaluatedDesign]:
         return [p for p in self.points if not p.feasible]
 
-    def pareto_frontier(self) -> list[EvaluatedDesign]:
-        """Non-dominated (time, energy) points, fastest first."""
-        return pareto_frontier(self.points)
+    def pareto_frontier(
+        self, objectives: Sequence | None = None
+    ) -> list[EvaluatedDesign]:
+        """Non-dominated (time, energy) points, fastest first.
 
-    def knee(self) -> EvaluatedDesign:
-        """The frontier's knee (max distance from the endpoint chord)."""
-        return knee_point(self.points)
+        ``objectives`` — names or :class:`~repro.search.objectives
+        .Objective` instances, e.g. ``("time_s", "energy_j",
+        "price_usd")`` — selects the frontier in those dimensions
+        instead; ``None`` keeps the classic (time, energy) pair.
+        """
+        return pareto_frontier(self.points, objectives=objectives)
+
+    def knee(self, objectives: Sequence | None = None) -> EvaluatedDesign:
+        """The frontier's knee (max distance from the endpoint chord).
+
+        With ``objectives`` the chord generalizes to the endpoint
+        simplex through the frontier's per-axis minimizers.
+        """
+        return knee_point(self.points, objectives=objectives)
+
+    def best_under_budget(self, max_usd: float) -> EvaluatedDesign:
+        """Fastest design whose ``price_usd`` fits the dollar budget.
+
+        Requires cost-model-priced points (a
+        :class:`~repro.costmodel.model.CostModel` on the evaluator or
+        study); raises :class:`ModelError` otherwise.
+        """
+        return best_under_budget(self.points, max_usd)
+
+    def best_under_carbon(self, max_g: float) -> EvaluatedDesign:
+        """Fastest design whose ``carbon_g`` fits the emission cap.
+
+        Requires cost-model-priced points, like :meth:`best_under_budget`.
+        """
+        return best_under_carbon(self.points, max_g)
 
     def edp_optimal(self) -> EvaluatedDesign:
         """The minimum energy-delay-product design."""
@@ -216,6 +245,13 @@ def _aggregate_entries(
     (prediction attached); otherwise times and energies accumulate in
     entry order, and the first infeasible entry makes the whole design
     infeasible with that entry's reason.
+
+    Cost-model annotations weight-sum the same way — pricing is linear
+    in (time, energy), so summed per-entry costs equal the cost of the
+    summed totals exactly.  They aggregate only when *every* entry
+    carries them (a mixed cache — some entries priced before the cost
+    model was attached — must not fabricate a partial total); unpriced
+    records keep ``None`` and the aggregate is bit-identical to before.
     """
     if len(entries) == 1 and entries[0].weight == 1.0:
         record = records[0]
@@ -233,11 +269,23 @@ def _aggregate_entries(
             )
     total_time = 0.0
     total_energy = 0.0
+    total_carbon = 0.0
+    total_price = 0.0
+    priced = bool(records)
     for entry, record in zip(entries, records):
         total_time += entry.weight * record.time_s
         total_energy += entry.weight * record.energy_j
+        if record.carbon_g is None or record.price_usd is None:
+            priced = False
+        elif priced:
+            total_carbon += entry.weight * record.carbon_g
+            total_price += entry.weight * record.price_usd
     return EvaluatedDesign(
-        candidate=candidate, time_s=total_time, energy_j=total_energy
+        candidate=candidate,
+        time_s=total_time,
+        energy_j=total_energy,
+        carbon_g=total_carbon if priced else None,
+        price_usd=total_price if priced else None,
     )
 
 

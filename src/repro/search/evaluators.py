@@ -36,10 +36,11 @@ from __future__ import annotations
 
 import abc
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
 from repro.core.model import ModelParameters, Prediction, PStoreModel
+from repro.costmodel.model import CostModel
 from repro.errors import ConfigurationError, ModelError, ReproError
 from repro.hardware.cluster import ClusterSpec
 from repro.pstore.planner import plan_join
@@ -142,6 +143,13 @@ class EvaluatedDesign:
     spent rebooting crashed nodes, ``retried_jobs`` / ``dropped_jobs``
     the failure policy's retry and shed counts, and ``faults_survived``
     the number of fault onsets the run absorbed.
+
+    ``carbon_g`` / ``price_usd`` are populated only when the evaluator
+    carries a :class:`~repro.costmodel.model.CostModel`: grams of CO₂
+    (grid intensity — time-of-day-integrated on timed simulator runs)
+    and dollars (capex amortization plus energy tariff).  Without a cost
+    model both stay ``None`` and records are bit-identical to the
+    pre-cost ones.
     """
 
     candidate: DesignCandidate
@@ -159,6 +167,8 @@ class EvaluatedDesign:
     retried_jobs: int | None = None
     dropped_jobs: int | None = None
     faults_survived: int | None = None
+    carbon_g: float | None = None
+    price_usd: float | None = None
 
     @property
     def label(self) -> str:
@@ -185,6 +195,33 @@ class SearchEvaluator(abc.ABC):
     #: engine refuses timed workloads on evaluators that cannot, instead
     #: of silently degrading to the weights-only aggregate.
     supports_timed: bool = False
+
+    #: optional :class:`~repro.costmodel.model.CostModel` annotating
+    #: feasible records with ``carbon_g`` / ``price_usd``.  ``None`` (the
+    #: default) leaves every record bit-identical to pre-cost behaviour;
+    #: dataclass evaluators override this with an instance field.
+    cost_model: CostModel | None = None
+
+    def _priced(self, record: EvaluatedDesign) -> EvaluatedDesign:
+        """Annotate one feasible record with flat-rate cost fields.
+
+        The weights-only pricing rule: carbon at the flat intensity (or
+        a curve's cycle mean — there is no timeline to integrate), price
+        from capex over ``time_s`` plus the tariff.  Both are linear in
+        (time, energy), so pricing per entry and weight-summing equals
+        pricing the weight-summed aggregate.  A ``None`` model is the
+        identity.
+        """
+        model = self.cost_model
+        if model is None or not record.feasible:
+            return record
+        return replace(
+            record,
+            carbon_g=model.carbon_g(record.energy_j),
+            price_usd=model.price_usd(
+                record.candidate, record.time_s, record.energy_j
+            ),
+        )
 
     def evaluate_trace(
         self, candidate: DesignCandidate, trace: TimedTrace
@@ -243,8 +280,10 @@ class SearchEvaluator(abc.ABC):
             point = self.evaluate_query(candidate, query)
             total_time += weight * point.time_s
             total_energy += weight * point.energy_j
-        return EvaluatedDesign(
-            candidate=candidate, time_s=total_time, energy_j=total_energy
+        return self._priced(
+            EvaluatedDesign(
+                candidate=candidate, time_s=total_time, energy_j=total_energy
+            )
         )
 
     @abc.abstractmethod
@@ -285,6 +324,7 @@ class ModelEvaluator(SearchEvaluator):
     warm_cache: bool = False
     strict_paper_conditions: bool = False
     pipeline_cpu_cost: float = 1.0
+    cost_model: CostModel | None = None
 
     def evaluate_query(
         self, candidate: DesignCandidate, query: JoinWorkloadSpec
@@ -302,20 +342,27 @@ class ModelEvaluator(SearchEvaluator):
             strict_paper_conditions=self.strict_paper_conditions,
         )
         prediction = model.predict(query, mode=candidate.mode)
-        return EvaluatedDesign(
-            candidate=candidate,
-            time_s=prediction.time_s,
-            energy_j=prediction.energy_j,
-            prediction=prediction,
+        return self._priced(
+            EvaluatedDesign(
+                candidate=candidate,
+                time_s=prediction.time_s,
+                energy_j=prediction.energy_j,
+                prediction=prediction,
+            )
         )
 
     def fingerprint(self) -> tuple:
-        return (
+        base = (
             "model",
             self.warm_cache,
             self.strict_paper_conditions,
             self.pipeline_cpu_cost,
         )
+        # cost-model identity appended ONLY when a model is attached, so
+        # default cache keys (and persisted caches) stay bit-identical
+        if self.cost_model is not None:
+            return base + (self.cost_model.fingerprint(),)
+        return base
 
 
 @dataclass(frozen=True)
@@ -333,6 +380,7 @@ class SimulatorEvaluator(SearchEvaluator):
     pipeline_cpu_cost: float = 1.0
     receive_cpu_cost: float = 0.0
     concurrency: int = 1
+    cost_model: CostModel | None = None
 
     supports_timed = True
 
@@ -351,10 +399,12 @@ class SimulatorEvaluator(SearchEvaluator):
         result = SimulatedPStore(cluster, record_intervals=False).run(
             plan, concurrency=self.concurrency
         )
-        return EvaluatedDesign(
-            candidate=candidate,
-            time_s=result.makespan_s,
-            energy_j=result.energy_j,
+        return self._priced(
+            EvaluatedDesign(
+                candidate=candidate,
+                time_s=result.makespan_s,
+                energy_j=result.energy_j,
+            )
         )
 
     def evaluate_query_batch(
@@ -386,10 +436,12 @@ class SimulatorEvaluator(SearchEvaluator):
                 records.append(_infeasible_record(candidate, exc))
                 continue
             records.append(
-                EvaluatedDesign(
-                    candidate=candidate,
-                    time_s=result.makespan_s,
-                    energy_j=result.energy_j,
+                self._priced(
+                    EvaluatedDesign(
+                        candidate=candidate,
+                        time_s=result.makespan_s,
+                        energy_j=result.energy_j,
+                    )
                 )
             )
         return records
@@ -424,7 +476,10 @@ class SimulatorEvaluator(SearchEvaluator):
         :class:`ReproError` like any other infeasibility.
         """
         cluster = candidate.cluster()
-        store = SimulatedPStore(cluster, record_intervals=False)
+        # a time-of-day carbon curve integrates against the per-interval
+        # power timeline; flat (or no) pricing keeps recording off
+        record = self.cost_model is not None and self.cost_model.time_varying
+        store = SimulatedPStore(cluster, record_intervals=record)
         faults = getattr(trace, "faults", None)
         if faults is not None and getattr(faults, "events", ()):
             result = store.run_trace(
@@ -464,9 +519,32 @@ class SimulatorEvaluator(SearchEvaluator):
             schedule.append((plan, start_s))
         return schedule
 
-    @staticmethod
+    def _price_timed(
+        self, record: EvaluatedDesign, result: SimulationResult
+    ) -> EvaluatedDesign:
+        """Price one timed record against the run's actual timeline.
+
+        A time-of-day carbon curve integrates the simulation's recorded
+        intervals exactly — energy a gating policy shifted into the
+        trough is credited at trough intensity; flat intensities price
+        the energy total.  The priced figures are also stamped onto the
+        (mutable) :class:`SimulationResult` so downstream analysis of the
+        raw run sees the same numbers.  A ``None`` model is the identity.
+        """
+        model = self.cost_model
+        if model is None:
+            return record
+        if model.time_varying:
+            carbon = model.carbon_g_timed(result.intervals)
+        else:
+            carbon = model.carbon_g(record.energy_j)
+        price = model.price_usd(record.candidate, record.time_s, record.energy_j)
+        result.carbon_g = carbon
+        result.price_usd = price
+        return replace(record, carbon_g=carbon, price_usd=price)
+
     def _trace_record(
-        candidate: DesignCandidate, result: SimulationResult
+        self, candidate: DesignCandidate, result: SimulationResult
     ) -> EvaluatedDesign:
         """One stream simulation -> one timed design record.
 
@@ -476,7 +554,7 @@ class SimulatorEvaluator(SearchEvaluator):
         """
         responses = [result.response_time_s(name) for name in result.job_completion_s]
         policy = getattr(candidate, "policy", None)
-        return EvaluatedDesign(
+        record = EvaluatedDesign(
             candidate=candidate,
             time_s=result.makespan_s,
             energy_j=result.energy_j,
@@ -487,10 +565,10 @@ class SimulatorEvaluator(SearchEvaluator):
             ),
             energy_saved_j=result.energy_saved_j if policy is not None else None,
         )
+        return self._price_timed(record, result)
 
-    @staticmethod
     def _degraded_record(
-        candidate: DesignCandidate, result: SimulationResult
+        self, candidate: DesignCandidate, result: SimulationResult
     ) -> EvaluatedDesign:
         """One fault-injected stream simulation -> one degraded record.
 
@@ -500,7 +578,7 @@ class SimulatorEvaluator(SearchEvaluator):
         """
         responses = [result.response_time_s(name) for name in result.job_completion_s]
         policy = getattr(candidate, "policy", None)
-        return EvaluatedDesign(
+        record = EvaluatedDesign(
             candidate=candidate,
             time_s=result.makespan_s,
             energy_j=result.energy_j,
@@ -515,6 +593,7 @@ class SimulatorEvaluator(SearchEvaluator):
             dropped_jobs=result.dropped_jobs,
             faults_survived=result.faults_survived,
         )
+        return self._price_timed(record, result)
 
     def evaluate_trace_batch(
         self, trace: TimedTrace, candidates: Sequence[DesignCandidate]
@@ -549,16 +628,23 @@ class SimulatorEvaluator(SearchEvaluator):
         schedule routes every candidate down the exact serial path.  An
         *empty* schedule rides the multiplexed loop and is bit-identical
         to the bare trace.
+
+        A *time-varying* carbon curve also routes every candidate down
+        the serial path: exact integration needs each run's recorded
+        interval timeline, which the multiplexed fast path does not keep.
+        Flat-rate cost models price from the energy total and stay on the
+        fast path.
         """
         telemetry = get_telemetry()
         telemetry.count("evaluator.trace_evals", len(candidates))
         faults = getattr(trace, "faults", None)
         faulted = faults is not None and bool(getattr(faults, "events", ()))
+        timed_cost = self.cost_model is not None and self.cost_model.time_varying
         records: list[EvaluatedDesign | None] = [None] * len(candidates)
         runs: list[tuple[int, DesignCandidate, object, list]] = []
         for position, candidate in enumerate(candidates):
             policy = getattr(candidate, "policy", None)
-            if faulted or (policy is not None and not policy.is_static):
+            if faulted or timed_cost or (policy is not None and not policy.is_static):
                 records[position] = evaluate_timed_design(self, candidate, trace)
                 continue
             try:
@@ -589,13 +675,17 @@ class SimulatorEvaluator(SearchEvaluator):
         return records
 
     def fingerprint(self) -> tuple:
-        return (
+        base = (
             "simulator",
             self.warm_cache,
             self.pipeline_cpu_cost,
             self.receive_cpu_cost,
             self.concurrency,
         )
+        # appended ONLY when a model is attached — see ModelEvaluator
+        if self.cost_model is not None:
+            return base + (self.cost_model.fingerprint(),)
+        return base
 
 
 class CallableEvaluator(SearchEvaluator):
@@ -606,19 +696,28 @@ class CallableEvaluator(SearchEvaluator):
     enforces this by refusing to fan out unpicklable evaluators).
     """
 
-    def __init__(self, fn: Callable[[ClusterSpec, JoinWorkloadSpec], tuple[float, float]]):
+    def __init__(
+        self,
+        fn: Callable[[ClusterSpec, JoinWorkloadSpec], tuple[float, float]],
+        cost_model: CostModel | None = None,
+    ):
         self._fn = fn
+        self.cost_model = cost_model
 
     def evaluate_query(
         self, candidate: DesignCandidate, query: JoinWorkloadSpec
     ) -> EvaluatedDesign:
         time_s, energy_j = self._fn(candidate.cluster(), query)
-        return EvaluatedDesign(candidate=candidate, time_s=time_s, energy_j=energy_j)
+        return self._priced(
+            EvaluatedDesign(candidate=candidate, time_s=time_s, energy_j=energy_j)
+        )
 
     def fingerprint(self) -> tuple:
         # The callable itself (functions hash by identity): cache keys
         # hold a strong reference, so a recycled id() can never alias two
         # different callables in a shared cache.
+        if self.cost_model is not None:
+            return ("callable", self._fn, self.cost_model.fingerprint())
         return ("callable", self._fn)
 
 

@@ -135,6 +135,10 @@ class Optimizer(abc.ABC):
     name: str = "optimizer"
     #: whether ask() eventually returns None without external stopping
     terminates: bool = False
+    #: objective axes steering frontier-driven decisions (parent pools,
+    #: promotion ranks, convergence) — set by the loop before ``setup``;
+    #: ``None`` keeps the classic (time, energy) pair bit-identically
+    objectives: Sequence | None = None
 
     def setup(
         self, space: SearchSpace, workload: Workload, rng: random.Random
@@ -252,7 +256,7 @@ class LocalSearch(Optimizer):
         self._observed = []
 
     def ask(self) -> Proposal | None:
-        frontier = pareto_frontier(self._observed)
+        frontier = pareto_frontier(self._observed, objectives=self.objectives)
         if not frontier:
             batch = self._sample_unseen(self.batch_size, self._seen)
             if not batch:
@@ -383,25 +387,30 @@ class SuccessiveHalving(Optimizer):
             self._done = True  # full fidelity reached: the race is over
             return
         keep = max(1, len(self._pool) // self.eta)
-        order = _promotion_order(records)
+        order = _promotion_order(records, objectives=self.objectives)
         self._pool = tuple(proposal.candidates[i] for i in order[:keep])
         self._rung += 1
 
 
-def _promotion_order(records: Sequence[EvaluatedDesign]) -> list[int]:
+def _promotion_order(
+    records: Sequence[EvaluatedDesign], objectives: Sequence | None = None
+) -> list[int]:
     """Indices of ``records`` in promotion-priority order.
 
     Feasible designs are peeled into successive Pareto layers (the whole
     current proxy frontier outranks every dominated design); within a
     layer, lower EDP first, then time, then label — all deterministic.
-    Infeasible designs rank last, in label order.
+    Infeasible designs rank last, in label order.  ``objectives`` layers
+    under those axes instead of the classic (time, energy) pair.
     """
     feasible = [i for i, record in enumerate(records) if record.feasible]
     infeasible = [i for i, record in enumerate(records) if not record.feasible]
     order: list[int] = []
     remaining = feasible
     while remaining:
-        layer_points = pareto_frontier([records[i] for i in remaining])
+        layer_points = pareto_frontier(
+            [records[i] for i in remaining], objectives=objectives
+        )
         layer_ids = {id(point) for point in layer_points}
         layer = [i for i in remaining if id(records[i]) in layer_ids]
         layer.sort(
@@ -451,6 +460,12 @@ class OptimizationLoop:
     ``budget``/``patience``.  Everything is deterministic under ``seed``:
     the same (space, workload, optimizer, seed) yields the same candidate
     trajectory and archive, serial or parallel.
+
+    ``objectives`` steers every frontier-driven decision — the archive
+    frontier, convergence detection, mutation parent pools, and halving
+    promotion ranks — under those axes (e.g. ``("time_s", "energy_j",
+    "carbon_g")`` on a cost-model-priced evaluator); ``None`` keeps the
+    classic (time, energy) pair bit-identically.
     """
 
     def __init__(
@@ -463,6 +478,7 @@ class OptimizationLoop:
         budget: int | None = None,
         patience: int | None = None,
         seed: int = 0,
+        objectives: Sequence | None = None,
     ):
         if budget is not None and budget < 1:
             raise ConfigurationError(f"budget must be >= 1, got {budget}")
@@ -475,6 +491,7 @@ class OptimizationLoop:
         self.budget = budget
         self.patience = patience
         self.seed = seed
+        self.objectives = objectives
 
     def run(self, reference_label: str | None = None):
         """Run to a stopping rule; returns an
@@ -493,6 +510,7 @@ class OptimizationLoop:
                 "own; set budget= and/or patience="
             )
         rng = random.Random(self.seed)
+        self.optimizer.objectives = self.objectives
         self.optimizer.setup(self.space, self.workload, rng)
         ordered = _ordered_entries(self.workload)
         total_entries = len(ordered)
@@ -533,11 +551,13 @@ class OptimizationLoop:
             # One frontier pass per batch feeds both the trajectory and
             # the convergence check (the EDP optimum and the knee are
             # frontier points, so the frontier is all they need).
-            frontier = pareto_frontier(list(archive.values()))
+            frontier = pareto_frontier(
+                list(archive.values()), objectives=self.objectives
+            )
             trajectory.append(
                 self._trajectory_point(
                     batch_index, proposal, result, len(archive),
-                    frontier, fresh_total, total_entries,
+                    frontier, fresh_total, total_entries, self.objectives,
                 )
             )
             batch_index += 1
@@ -595,7 +615,7 @@ class OptimizationLoop:
     @staticmethod
     def _trajectory_point(
         batch_index, proposal, result, archive_size,
-        frontier, fresh_total, total_entries,
+        frontier, fresh_total, total_entries, objectives=None,
     ) -> TrajectoryPoint:
         return TrajectoryPoint(
             batch=batch_index,
@@ -606,7 +626,11 @@ class OptimizationLoop:
             archive_size=archive_size,
             frontier_size=len(frontier),
             best_edp=edp_optimal(frontier).edp if frontier else None,
-            knee_label=knee_point(frontier).label if frontier else None,
+            knee_label=(
+                knee_point(frontier, objectives=objectives).label
+                if frontier
+                else None
+            ),
         )
 
 

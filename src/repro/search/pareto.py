@@ -21,6 +21,15 @@ The paper reads its trade-off curves three ways, all supported here on raw
 
 All selectors break ties deterministically (lower time, then label) so
 repeated sweeps — serial or parallel — pick the same design.
+
+:func:`pareto_frontier` and :func:`knee_point` additionally accept an
+``objectives=`` list (names or :class:`~repro.search.objectives
+.Objective` instances) to select in more than two dimensions — e.g.
+``("time_s", "energy_j", "price_usd")`` over cost-model-priced records;
+the default ``None`` keeps the classic (time, energy) code paths
+bit-identical.  The N-dimensional machinery (and the
+``best_under_budget`` / ``best_under_carbon`` TCO selectors) lives in
+:mod:`repro.search.objectives`.
 """
 
 from __future__ import annotations
@@ -44,21 +53,40 @@ def _feasible(points: Sequence[EvaluatedDesign]) -> list[EvaluatedDesign]:
     return [p for p in points if p.feasible]
 
 
-def pareto_frontier(points: Sequence[EvaluatedDesign]) -> list[EvaluatedDesign]:
+def pareto_frontier(
+    points: Sequence[EvaluatedDesign],
+    objectives: Sequence | None = None,
+) -> list[EvaluatedDesign]:
     """Non-dominated points, sorted by ascending response time.
 
     A point dominates another when it is no worse on both axes and
-    strictly better on at least one.  Exact (time, energy) duplicates keep
-    only their first representative (by label order) so the frontier stays
-    a function of the design space, not of enumeration order.
+    strictly better on at least one.  Exact (time, energy) duplicates
+    keep only their **first representative by label order** — the sort
+    below ties by label, and the explicit dedupe skip drops every later
+    duplicate — so the frontier stays a function of the design space,
+    not of enumeration order.
+
+    ``objectives`` selects under any axis list instead
+    (:func:`~repro.search.objectives.frontier_nd`, which preserves both
+    the duplicate rule and — for the default pair — this sweep's exact
+    output); ``None`` keeps this classic two-objective path.
     """
+    if objectives is not None:
+        from repro.search.objectives import frontier_nd
+
+        return frontier_nd(points, objectives)
     feasible = _feasible(points)
     if not feasible:
         return []
     ordered = sorted(feasible, key=lambda p: (p.time_s, p.energy_j, p.label))
     frontier: list[EvaluatedDesign] = []
     best_energy = float("inf")
+    previous: tuple[float, float] | None = None
     for point in ordered:
+        pair = (point.time_s, point.energy_j)
+        if pair == previous:
+            continue  # exact duplicate: the min-label representative won
+        previous = pair
         if point.energy_j < best_energy:
             frontier.append(point)
             best_energy = point.energy_j
@@ -73,13 +101,25 @@ def edp_optimal(points: Sequence[EvaluatedDesign]) -> EvaluatedDesign:
     return min(feasible, key=lambda p: (p.edp, p.time_s, p.label))
 
 
-def knee_point(points: Sequence[EvaluatedDesign]) -> EvaluatedDesign:
+def knee_point(
+    points: Sequence[EvaluatedDesign],
+    objectives: Sequence | None = None,
+) -> EvaluatedDesign:
     """The frontier point farthest from the endpoint chord.
 
     Both axes are normalized to [0, 1] over the frontier's span first so
     seconds and joules weigh equally.  Degenerate frontiers (fewer than
     three points, or zero span) fall back to the EDP optimum.
+
+    ``objectives`` generalizes the chord to the endpoint *simplex* — the
+    hyperplane through the frontier's per-axis minimizers
+    (:func:`~repro.search.objectives.knee_nd`); ``None`` keeps this
+    classic two-objective path.
     """
+    if objectives is not None:
+        from repro.search.objectives import knee_nd
+
+        return knee_nd(points, objectives)
     frontier = pareto_frontier(points)
     if not frontier:
         raise ModelError("no feasible design to locate a knee on")

@@ -73,10 +73,11 @@ partially-configured studies can be shared and forked freely.
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Callable, Iterable
+from dataclasses import fields, is_dataclass, replace
+from typing import Callable, Iterable, Sequence
 
 from repro.core.design_space import DesignPoint, DesignSpaceExplorer, TradeoffCurve
+from repro.costmodel.model import CostModel
 from repro.errors import ConfigurationError, ModelError
 from repro.pstore.plans import ExecutionMode
 from repro.search.cache import EvaluationCache
@@ -121,6 +122,7 @@ class Study:
         min_dispatch_tasks: int | None = None,
         mode: ExecutionMode | None = None,
         reference_label: str | None = None,
+        cost_model: CostModel | None = None,
         _engine_cell: list | None = None,
     ):
         if isinstance(space, (DesignGrid, DesignSpaceExplorer, SearchSpace)):
@@ -142,6 +144,7 @@ class Study:
         self._min_dispatch_tasks = min_dispatch_tasks
         self._mode = mode
         self._reference_label = reference_label
+        self._cost_model = cost_model
         # One-slot holder for the lazily built engine, shared between
         # studies whose engine configuration is identical (see _with), so
         # workload-swapped studies reuse one pool and one entry memo.
@@ -156,6 +159,7 @@ class Study:
         "chunk_size",
         "cache",
         "min_dispatch_tasks",
+        "cost_model",
     )
 
     def _with(self, **overrides) -> "Study":
@@ -168,6 +172,7 @@ class Study:
             "min_dispatch_tasks": self._min_dispatch_tasks,
             "mode": self._mode,
             "reference_label": self._reference_label,
+            "cost_model": self._cost_model,
         }
         if not any(key in overrides for key in self._ENGINE_SETTINGS):
             settings["_engine_cell"] = self._engine_cell
@@ -219,6 +224,20 @@ class Study:
     def with_mode(self, mode: ExecutionMode | None) -> "Study":
         """Force one execution mode on every candidate built from an explorer."""
         return self._with(mode=mode)
+
+    def with_cost_model(self, cost_model: CostModel | None) -> "Study":
+        """Price every evaluation in dollars and grams of CO₂.
+
+        The :class:`~repro.costmodel.model.CostModel` is applied to this
+        study's evaluator, so every feasible record carries ``carbon_g``
+        and ``price_usd`` — enabling the TCO selections
+        (:meth:`StudyResult.best_under_budget` /
+        :meth:`~StudyResult.best_under_carbon`) and cost-axis objectives
+        (``result.knee(objectives=("time_s", "energy_j", "price_usd"))``).
+        Cost-model records cache under distinct keys, so differently
+        priced studies never alias; ``None`` removes the model.
+        """
+        return self._with(cost_model=cost_model)
 
     def with_reference(self, reference_label: str) -> "Study":
         """Pick the normalization reference of the result's trade-off curve."""
@@ -279,10 +298,22 @@ class Study:
 
     def _resolve_evaluator(self) -> SearchEvaluator:
         if self._evaluator is not None:
-            return self._evaluator
-        if isinstance(self._space, DesignSpaceExplorer):
-            return self._space.search_evaluator()
-        return ModelEvaluator()
+            evaluator = self._evaluator
+        elif isinstance(self._space, DesignSpaceExplorer):
+            evaluator = self._space.search_evaluator()
+        else:
+            evaluator = ModelEvaluator()
+        if self._cost_model is None:
+            return evaluator
+        if is_dataclass(evaluator) and any(
+            f.name == "cost_model" for f in fields(evaluator)
+        ):
+            return replace(evaluator, cost_model=self._cost_model)
+        raise ConfigurationError(
+            f"evaluator {type(evaluator).__name__} does not accept a cost "
+            "model; use ModelEvaluator/SimulatorEvaluator (or construct "
+            "the evaluator with cost_model= yourself)"
+        )
 
     def _resolve_cache(self) -> EvaluationCache | None:
         if self._cache is not None:
@@ -345,6 +376,7 @@ class Study:
         *,
         seed: int = 0,
         patience: int | None = None,
+        objectives: Sequence | None = None,
         **optimizer_options,
     ) -> "OptimizationResult":
         """Search the space adaptively instead of exhaustively.
@@ -358,6 +390,12 @@ class Study:
         pre-built :class:`~repro.search.optimize.Optimizer`.  The study's
         engine (pool, evaluator, cache) is shared with :meth:`run`, so an
         optimizer run warms a later exhaustive sweep and vice versa.
+
+        ``objectives`` steers the optimizer's frontier-driven decisions
+        (archive frontier, convergence, promotion ranks) under those axes
+        — e.g. ``("time_s", "energy_j", "carbon_g")`` on a
+        cost-model-priced study; ``None`` keeps the classic (time,
+        energy) pair.
         """
         if self._workload is None:
             raise ConfigurationError(
@@ -371,6 +409,7 @@ class Study:
             budget=budget,
             patience=patience,
             seed=seed,
+            objectives=objectives,
         )
         return loop.run(reference_label=self._reference_label)
 
@@ -433,17 +472,27 @@ class StudyResult:
     def cache_hits(self) -> int:
         return self.search.cache_hits
 
-    def pareto_frontier(self) -> list[EvaluatedDesign]:
-        return self.search.pareto_frontier()
+    def pareto_frontier(
+        self, objectives: Sequence | None = None
+    ) -> list[EvaluatedDesign]:
+        return self.search.pareto_frontier(objectives=objectives)
 
-    def knee(self) -> EvaluatedDesign:
-        return self.search.knee()
+    def knee(self, objectives: Sequence | None = None) -> EvaluatedDesign:
+        return self.search.knee(objectives=objectives)
 
     def edp_optimal(self) -> EvaluatedDesign:
         return self.search.edp_optimal()
 
     def best_under_sla(self, max_time_s: float) -> EvaluatedDesign:
         return self.search.best_under_sla(max_time_s)
+
+    def best_under_budget(self, max_usd: float) -> EvaluatedDesign:
+        """Fastest design within a dollar budget (needs a cost model)."""
+        return self.search.best_under_budget(max_usd)
+
+    def best_under_carbon(self, max_g: float) -> EvaluatedDesign:
+        """Fastest design within a carbon cap (needs a cost model)."""
+        return self.search.best_under_carbon(max_g)
 
     def best_under_latency_sla(
         self, max_response_s: float, metric: str = "max"
@@ -542,6 +591,20 @@ class StudyResult:
         from repro.analysis.export import curve_to_csv
 
         return curve_to_csv(self.normalized())
+
+    def tco_csv(
+        self,
+        objectives: Sequence = ("time_s", "energy_j", "price_usd", "carbon_g"),
+    ) -> str:
+        """The multi-objective (TCO) frontier as CSV.
+
+        Defaults to the full four-axis time/energy/price/carbon trade;
+        needs a cost model when a cost axis is selected
+        (:func:`~repro.analysis.export.tco_frontier_csv`).
+        """
+        from repro.analysis.export import tco_frontier_csv
+
+        return tco_frontier_csv(self.search, objectives=objectives)
 
 
 class OptimizationResult(StudyResult):

@@ -1,0 +1,364 @@
+"""Objective registry, N-dimensional selection, and 2-objective parity.
+
+The property tests pin the compatibility contract: under the default
+``("time_s", "energy_j")`` configuration the generalized machinery must
+reproduce the classic sweep/chord selections *exactly* on random point
+sets, and an added objective can only grow the frontier, never shrink it.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.costmodel import CostModel
+from repro.errors import ConfigurationError, ModelError
+from repro.hardware.presets import CLUSTER_V_NODE, WIMPY_LAPTOP_B
+from repro.search.evaluators import EvaluatedDesign
+from repro.search.grid import DesignCandidate
+from repro.search.objectives import (
+    DEFAULT_OBJECTIVES,
+    Objective,
+    best_under_budget,
+    best_under_carbon,
+    dominates,
+    frontier_nd,
+    knee_nd,
+    objective_vector,
+    register_objective,
+    resolve_objectives,
+)
+from repro.search.pareto import best_under_sla, knee_point, pareto_frontier
+
+
+def point(label, time_s, energy_j, feasible=True, carbon_g=None, price_usd=None):
+    candidate = DesignCandidate(
+        label=label, beefy=CLUSTER_V_NODE, wimpy=WIMPY_LAPTOP_B,
+        num_beefy=1, num_wimpy=1,
+    )
+    return EvaluatedDesign(
+        candidate=candidate,
+        time_s=time_s,
+        energy_j=energy_j,
+        feasible=feasible,
+        infeasible_reason="" if feasible else "does not fit",
+        carbon_g=carbon_g,
+        price_usd=price_usd,
+    )
+
+
+def random_cloud(rng, n, priced=False, duplicate_fraction=0.3):
+    """A random point set with deliberate exact duplicates and ties."""
+    points = []
+    for k in range(n):
+        time_s = rng.choice([1.0, 2.0, 3.0, 5.0, rng.uniform(0.5, 10.0)])
+        energy_j = rng.choice([10.0, 25.0, 40.0, rng.uniform(5.0, 100.0)])
+        kwargs = {}
+        if priced:
+            kwargs = {
+                "carbon_g": rng.uniform(1.0, 50.0),
+                "price_usd": rng.uniform(0.1, 5.0),
+            }
+        points.append(point(f"p{k:03d}", time_s, energy_j, **kwargs))
+    for k in range(int(n * duplicate_fraction)):
+        twin = rng.choice(points)
+        points.append(replace(twin, candidate=replace(
+            twin.candidate, label=f"d{k:03d}")))
+    rng.shuffle(points)
+    return points
+
+
+class TestObjective:
+    def test_direction_validated(self):
+        with pytest.raises(ConfigurationError, match="direction"):
+            Objective("time_s", direction="sideways")
+
+    def test_max_direction_negates(self):
+        throughput = Objective(
+            "throughput", accessor=lambda p: 1.0 / p.time_s, direction="max"
+        )
+        p = point("a", 4.0, 1.0)
+        assert throughput.raw_value(p) == 0.25
+        assert throughput.value(p) == -0.25
+
+    def test_missing_value_is_a_named_error_with_hint(self):
+        unpriced = point("a", 1.0, 1.0)
+        with pytest.raises(ModelError, match="CostModel"):
+            resolve_objectives(("time_s", "price_usd"))[1].value(unpriced)
+
+    def test_registry_rejects_silent_overwrite(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_objective(Objective("time_s"))
+
+    def test_resolve_validation(self):
+        assert [o.name for o in resolve_objectives(None)] == list(
+            DEFAULT_OBJECTIVES
+        )
+        with pytest.raises(ConfigurationError, match="unknown objective"):
+            resolve_objectives(("time_s", "dollars"))
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            resolve_objectives(("time_s", "time_s"))
+        with pytest.raises(ConfigurationError, match="at least two"):
+            resolve_objectives(("time_s",))
+
+
+class TestDominance:
+    def test_componentwise_rules(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+        assert dominates((1.0, 2.0), (1.0, 3.0))
+        assert not dominates((1.0, 1.0), (1.0, 1.0))  # equal: no strict axis
+        assert not dominates((1.0, 3.0), (2.0, 2.0))  # incomparable
+        assert not dominates((2.0, 2.0), (1.0, 1.0))
+
+    def test_extra_axis_can_break_dominance(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+        assert not dominates((1.0, 1.0, 9.0), (2.0, 2.0, 1.0))
+
+
+class TestTwoObjectiveParity:
+    """frontier_nd/knee_nd under the default axes == the classic code."""
+
+    def test_frontier_matches_legacy_on_random_clouds(self):
+        rng = random.Random(42)
+        for trial in range(50):
+            points = random_cloud(rng, rng.randint(1, 40))
+            legacy = pareto_frontier(points)
+            general = frontier_nd(points, DEFAULT_OBJECTIVES)
+            assert [p.label for p in general] == [p.label for p in legacy], (
+                f"trial {trial}: frontier diverged"
+            )
+            # and the objectives= passthrough on the classic entry point
+            routed = pareto_frontier(points, objectives=DEFAULT_OBJECTIVES)
+            assert [p.label for p in routed] == [p.label for p in legacy]
+
+    def test_knee_matches_legacy_on_random_clouds(self):
+        rng = random.Random(1337)
+        for trial in range(50):
+            points = random_cloud(rng, rng.randint(1, 40))
+            if not any(p.feasible for p in points):
+                continue
+            assert knee_nd(points, DEFAULT_OBJECTIVES).label == (
+                knee_point(points).label
+            ), f"trial {trial}: knee diverged"
+
+    def test_best_under_sla_is_untouched_by_the_refactor(self):
+        """The SLA selector ignores objectives entirely; pin its rule
+        against a from-scratch oracle on random clouds."""
+        rng = random.Random(9)
+        for _ in range(30):
+            points = random_cloud(rng, rng.randint(1, 30))
+            feasible = [p for p in points if p.feasible]
+            sla = rng.uniform(0.5, 12.0)
+            eligible = [p for p in feasible if p.time_s <= sla]
+            if not eligible:
+                with pytest.raises(ModelError):
+                    best_under_sla(points, sla)
+                continue
+            oracle = min(eligible, key=lambda p: (p.energy_j, p.time_s, p.label))
+            assert best_under_sla(points, sla).label == oracle.label
+
+
+class TestFrontierProperties:
+    def test_exact_duplicates_keep_first_label(self):
+        rng = random.Random(5)
+        for _ in range(30):
+            points = random_cloud(rng, rng.randint(2, 30), duplicate_fraction=1.0)
+            by_vector = {}
+            for p in points:
+                if p.feasible:
+                    by_vector.setdefault((p.time_s, p.energy_j), []).append(p.label)
+            for p in frontier_nd(points, DEFAULT_OBJECTIVES):
+                assert p.label == min(by_vector[(p.time_s, p.energy_j)])
+
+    def test_adding_an_objective_never_shrinks_the_frontier(self):
+        """Label-for-label inclusion, for clouds where cost is a function
+        of (time, energy) — as it is for every CostModel-priced record,
+        where price/carbon derive linearly from the base axes."""
+        rng = random.Random(77)
+        for trial in range(30):
+            points = [
+                replace(
+                    p,
+                    carbon_g=2.0 * p.energy_j + 1.0,
+                    price_usd=0.5 * p.time_s + 0.01 * p.energy_j,
+                )
+                for p in random_cloud(rng, rng.randint(1, 30))
+            ]
+            base = {p.label for p in frontier_nd(points, DEFAULT_OBJECTIVES)}
+            for extra in (
+                ("time_s", "energy_j", "price_usd"),
+                ("time_s", "energy_j", "carbon_g"),
+                ("time_s", "energy_j", "price_usd", "carbon_g"),
+            ):
+                wider = {p.label for p in frontier_nd(points, extra)}
+                assert base <= wider, (
+                    f"trial {trial}: {extra} dropped {base - wider}"
+                )
+
+    def test_adding_an_objective_keeps_every_base_vector(self):
+        """With arbitrary (even decorrelated) extra-axis values, the 2-D
+        dedupe representative may lose to a same-(time, energy) twin with
+        lower cost — but every base frontier *vector* stays represented."""
+        rng = random.Random(78)
+        for trial in range(30):
+            points = random_cloud(rng, rng.randint(1, 30), priced=True)
+            base = {
+                (p.time_s, p.energy_j)
+                for p in frontier_nd(points, DEFAULT_OBJECTIVES)
+            }
+            wider = {
+                (p.time_s, p.energy_j)
+                for p in frontier_nd(
+                    points, ("time_s", "energy_j", "carbon_g")
+                )
+            }
+            assert base <= wider, f"trial {trial}: dropped {base - wider}"
+
+    def test_frontier_points_are_mutually_non_dominated(self):
+        rng = random.Random(21)
+        objs = resolve_objectives(("time_s", "energy_j", "price_usd"))
+        for _ in range(20):
+            points = random_cloud(rng, rng.randint(1, 25), priced=True)
+            frontier = frontier_nd(points, objs)
+            vectors = [objective_vector(p, objs) for p in frontier]
+            for i, a in enumerate(vectors):
+                for j, b in enumerate(vectors):
+                    if i != j:
+                        assert not dominates(a, b)
+            # every excluded feasible point is dominated or a duplicate
+            kept = set(vectors)
+            for p in points:
+                if p.feasible and p not in frontier:
+                    v = objective_vector(p, objs)
+                    assert v in kept or any(
+                        dominates(w, v) for w in vectors
+                    )
+
+    def test_infeasible_and_empty(self):
+        assert frontier_nd([], ("time_s", "energy_j", "carbon_g")) == []
+        dead = [point("x", 1.0, 1.0, feasible=False, carbon_g=1.0)]
+        assert frontier_nd(dead, ("time_s", "energy_j", "carbon_g")) == []
+
+
+class TestKneeNd:
+    def test_three_objective_knee_finds_the_elbow(self):
+        # one point close to ideal on all three axes, plus axis extremes
+        points = [
+            point("t-end", 1.0, 100.0, carbon_g=100.0, price_usd=100.0),
+            point("e-end", 100.0, 1.0, carbon_g=100.0, price_usd=100.0),
+            point("c-end", 100.0, 100.0, carbon_g=1.0, price_usd=100.0),
+            point("elbow", 10.0, 10.0, carbon_g=10.0, price_usd=100.0),
+        ]
+        knee = knee_nd(points, ("time_s", "energy_j", "carbon_g"))
+        assert knee.label == "elbow"
+
+    def test_degenerate_frontiers_fall_back_to_edp(self):
+        objs = ("time_s", "energy_j", "carbon_g")
+        # fewer frontier points than objectives
+        few = [
+            point("a", 1.0, 9.0, carbon_g=5.0),
+            point("b", 9.0, 1.0, carbon_g=5.0),
+        ]
+        assert knee_nd(few, objs).label == knee_point(few).label
+        # a zero-span axis (all carbon equal) degenerates too
+        flat = [
+            point("a", 1.0, 9.0, carbon_g=5.0),
+            point("b", 3.0, 3.0, carbon_g=5.0),
+            point("c", 9.0, 1.0, carbon_g=5.0),
+            point("d", 2.0, 5.0, carbon_g=5.0),
+        ]
+        edp_best = min(
+            pareto_frontier(flat), key=lambda p: (p.edp, p.time_s, p.label)
+        )
+        assert knee_nd(flat, objs).label == edp_best.label
+
+    def test_no_feasible_point_raises(self):
+        with pytest.raises(ModelError, match="no feasible"):
+            knee_nd([point("x", 1.0, 1.0, feasible=False)], None)
+
+    def test_knee_is_deterministic_under_shuffling(self):
+        rng = random.Random(3)
+        points = random_cloud(rng, 25, priced=True)
+        objs = ("time_s", "energy_j", "price_usd")
+        first = knee_nd(points, objs).label
+        for _ in range(5):
+            rng.shuffle(points)
+            assert knee_nd(points, objs).label == first
+
+
+class TestBudgetSelectors:
+    def priced_points(self):
+        return [
+            point("cheap-slow", 10.0, 50.0, carbon_g=20.0, price_usd=1.0),
+            point("mid", 5.0, 60.0, carbon_g=40.0, price_usd=2.0),
+            point("fast-dear", 2.0, 90.0, carbon_g=80.0, price_usd=5.0),
+        ]
+
+    def test_best_under_budget_picks_fastest_that_fits(self):
+        points = self.priced_points()
+        assert best_under_budget(points, 10.0).label == "fast-dear"
+        assert best_under_budget(points, 2.5).label == "mid"
+        assert best_under_budget(points, 1.0).label == "cheap-slow"
+
+    def test_best_under_carbon_picks_fastest_that_fits(self):
+        points = self.priced_points()
+        assert best_under_carbon(points, 100.0).label == "fast-dear"
+        assert best_under_carbon(points, 50.0).label == "mid"
+
+    def test_caps_validated(self):
+        with pytest.raises(ModelError, match="> 0"):
+            best_under_budget(self.priced_points(), 0.0)
+        with pytest.raises(ModelError, match="> 0"):
+            best_under_carbon(self.priced_points(), -1.0)
+
+    def test_nothing_fits_is_a_named_error(self):
+        with pytest.raises(ModelError, match="fits"):
+            best_under_budget(self.priced_points(), 0.5)
+        with pytest.raises(ModelError, match="fits"):
+            best_under_carbon(self.priced_points(), 10.0)
+
+    def test_unpriced_points_name_the_missing_cost_model(self):
+        bare = [point("a", 1.0, 1.0)]
+        with pytest.raises(ModelError, match="CostModel"):
+            best_under_budget(bare, 10.0)
+        with pytest.raises(ModelError, match="CostModel"):
+            best_under_carbon(bare, 10.0)
+
+    def test_infeasible_points_never_win(self):
+        points = self.priced_points() + [
+            point("broken", 0.1, 1.0, feasible=False, carbon_g=0.1, price_usd=0.1)
+        ]
+        assert best_under_budget(points, 10.0).label == "fast-dear"
+
+    def test_ties_on_time_resolve_by_energy_then_label(self):
+        points = [
+            point("z", 2.0, 30.0, price_usd=1.0, carbon_g=1.0),
+            point("a", 2.0, 30.0, price_usd=1.0, carbon_g=1.0),
+            point("hungrier", 2.0, 40.0, price_usd=1.0, carbon_g=1.0),
+        ]
+        assert best_under_budget(points, 5.0).label == "a"
+        assert best_under_carbon(points, 5.0).label == "a"
+
+
+class TestCostModelObjectiveIntegration:
+    def test_priced_cloud_supports_cost_axes_end_to_end(self):
+        model = CostModel(
+            tariff_usd_per_kwh=0.2,
+            carbon_g_per_kwh=300.0,
+            default_capex_usd_per_node_hour=0.5,
+        )
+        raw = [point(f"p{k}", 1.0 + k, 100.0 - 10.0 * k) for k in range(5)]
+        priced = [
+            replace(
+                p,
+                carbon_g=model.carbon_g(p.energy_j),
+                price_usd=model.price_usd(p.candidate, p.time_s, p.energy_j),
+            )
+            for p in raw
+        ]
+        frontier = frontier_nd(priced, ("time_s", "price_usd"))
+        assert frontier  # non-empty and consistent with the pricing
+        for p in frontier:
+            assert p.price_usd == pytest.approx(
+                model.price_usd(p.candidate, p.time_s, p.energy_j)
+            )

@@ -8,7 +8,7 @@ import repro
 
 
 def test_version():
-    assert repro.__version__ == "1.3.0"
+    assert repro.__version__ == "1.5.0"
 
 
 def test_all_exports_resolve():
@@ -55,6 +55,9 @@ def test_quickstart_docstring_workflow():
         "repro.workloads.skew",
         "repro.workloads.suite",
         "repro.workloads.arrivals",
+        "repro.costmodel",
+        "repro.costmodel.carbon",
+        "repro.costmodel.model",
         "repro.policy",
         "repro.policy.policies",
         "repro.policy.candidate",
